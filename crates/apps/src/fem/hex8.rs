@@ -1,0 +1,253 @@
+//! Trilinear hexahedral (H8) element stiffness for isotropic linear
+//! elasticity.
+//!
+//! Computes the 24×24 element stiffness matrix `KE` of a unit-cube
+//! element by 2×2×2 Gauss quadrature of `Bᵀ·D·B`, with the standard
+//! isoparametric formulation. The matrix-free grid operator
+//! ([`crate::fem::solver`]) contracts `KE` blocks over the up-to-8
+//! elements surrounding each node.
+//!
+//! Local node numbering: `l = lx + 2·ly + 4·lz` with `(lx,ly,lz) ∈ {0,1}³`.
+
+/// Isotropic material parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Material {
+    /// Young's modulus.
+    pub e: f64,
+    /// Poisson's ratio.
+    pub nu: f64,
+}
+
+impl Default for Material {
+    fn default() -> Self {
+        Material { e: 1.0, nu: 0.3 }
+    }
+}
+
+impl Material {
+    /// Lamé parameters `(λ, μ)`.
+    pub fn lame(&self) -> (f64, f64) {
+        let lambda = self.e * self.nu / ((1.0 + self.nu) * (1.0 - 2.0 * self.nu));
+        let mu = self.e / (2.0 * (1.0 + self.nu));
+        (lambda, mu)
+    }
+
+    /// The 6×6 isotropic constitutive matrix (Voigt ordering
+    /// xx, yy, zz, yz, xz, xy).
+    pub fn d_matrix(&self) -> [[f64; 6]; 6] {
+        let (l, m) = self.lame();
+        let mut d = [[0.0; 6]; 6];
+        for i in 0..3 {
+            for j in 0..3 {
+                d[i][j] = l;
+            }
+            d[i][i] = l + 2.0 * m;
+            d[i + 3][i + 3] = m;
+        }
+        d
+    }
+}
+
+/// Positions of the 8 local nodes, `l = lx + 2·ly + 4·lz`.
+pub fn local_node(l: usize) -> (usize, usize, usize) {
+    (l & 1, (l >> 1) & 1, (l >> 2) & 1)
+}
+
+/// The 24×24 element stiffness matrix of a unit-cube H8 element.
+///
+/// Row/column `3·l + k` is dof `k` (x/y/z) of local node `l`.
+pub fn element_stiffness(mat: Material) -> [[f64; 24]; 24] {
+    let d = mat.d_matrix();
+    let g = 1.0 / 3.0_f64.sqrt();
+    let gauss = [-g, g];
+    let mut ke = [[0.0; 24]; 24];
+
+    for &gx in &gauss {
+        for &gy in &gauss {
+            for &gz in &gauss {
+                // Shape-function derivatives in natural coords ξ,η,ζ∈[-1,1].
+                // N_l = 1/8 (1 + ξ_l ξ)(1 + η_l η)(1 + ζ_l ζ) with
+                // (ξ_l, η_l, ζ_l) = 2·(lx,ly,lz) − 1.
+                let mut dndx = [[0.0f64; 3]; 8];
+                for (l, dn) in dndx.iter_mut().enumerate() {
+                    let (lx, ly, lz) = local_node(l);
+                    let sx = 2.0 * lx as f64 - 1.0;
+                    let sy = 2.0 * ly as f64 - 1.0;
+                    let sz = 2.0 * lz as f64 - 1.0;
+                    // d/dξ, then chain rule: x = (ξ+1)/2 ⇒ d/dx = 2 d/dξ.
+                    dn[0] = 2.0 * 0.125 * sx * (1.0 + sy * gy) * (1.0 + sz * gz);
+                    dn[1] = 2.0 * 0.125 * (1.0 + sx * gx) * sy * (1.0 + sz * gz);
+                    dn[2] = 2.0 * 0.125 * (1.0 + sx * gx) * (1.0 + sy * gy) * sz;
+                }
+                // B (6×24): Voigt strains from nodal displacements.
+                let mut b = [[0.0f64; 24]; 6];
+                for l in 0..8 {
+                    let c = 3 * l;
+                    b[0][c] = dndx[l][0];
+                    b[1][c + 1] = dndx[l][1];
+                    b[2][c + 2] = dndx[l][2];
+                    // yz
+                    b[3][c + 1] = dndx[l][2];
+                    b[3][c + 2] = dndx[l][1];
+                    // xz
+                    b[4][c] = dndx[l][2];
+                    b[4][c + 2] = dndx[l][0];
+                    // xy
+                    b[5][c] = dndx[l][1];
+                    b[5][c + 1] = dndx[l][0];
+                }
+                // detJ of the [-1,1]³ → [0,1]³ map.
+                let detj = 0.125;
+                // KE += Bᵀ D B detJ (unit Gauss weights).
+                for i in 0..24 {
+                    for k in 0..6 {
+                        if b[k][i] == 0.0 {
+                            continue;
+                        }
+                        for m in 0..6 {
+                            let dk = d[k][m] * b[k][i] * detj;
+                            if dk == 0.0 {
+                                continue;
+                            }
+                            for j in 0..24 {
+                                ke[i][j] += dk * b[m][j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ke
+}
+
+/// Node-coupling blocks for a uniform grid: `blocks[s]` is the 3×3 block
+/// coupling a node to its neighbour at the 27-point stencil offset with
+/// index `s = (dx+1) + 3(dy+1) + 9(dz+1)` — the slot order of
+/// [`neon_domain::Stencil::twenty_seven_point`] — summed over all shared
+/// elements (full interior coupling; the matrix-free operator re-derives
+/// boundary couplings per cell from element presence).
+pub fn interior_node_blocks(mat: Material) -> [[[f64; 3]; 3]; 27] {
+    let ke = element_stiffness(mat);
+    let mut blocks = [[[0.0; 3]; 3]; 27];
+    // Elements surrounding the node sit at origins n + e, e ∈ {-1,0}³.
+    for ex in -1..=0i32 {
+        for ey in -1..=0i32 {
+            for ez in -1..=0i32 {
+                // Local index of the centre node in this element.
+                let a = (-ex) as usize + 2 * (-ey) as usize + 4 * (-ez) as usize;
+                for l in 0..8 {
+                    let (lx, ly, lz) = local_node(l);
+                    let (ox, oy, oz) = (ex + lx as i32, ey + ly as i32, ez + lz as i32);
+                    let s = ((ox + 1) + 3 * (oy + 1) + 9 * (oz + 1)) as usize;
+                    for k in 0..3 {
+                        for j in 0..3 {
+                            blocks[s][k][j] += ke[3 * a + k][3 * l + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    blocks
+}
+
+/// Slot (27-point order) of the node `e + local(l)` relative to the
+/// centre node, for element offset index `ei ∈ [0,8)` (bit-packed like
+/// `local_node`) and local node `l`.
+pub fn element_node_slot(ei: usize, l: usize) -> usize {
+    let (ex, ey, ez) = local_node(ei); // 0 ↔ -1, 1 ↔ 0 after the shift below
+    let (lx, ly, lz) = local_node(l);
+    let ox = ex as i32 - 1 + lx as i32;
+    let oy = ey as i32 - 1 + ly as i32;
+    let oz = ez as i32 - 1 + lz as i32;
+    ((ox + 1) + 3 * (oy + 1) + 9 * (oz + 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ke_is_symmetric() {
+        let ke = element_stiffness(Material::default());
+        for i in 0..24 {
+            for j in 0..24 {
+                assert!(
+                    (ke[i][j] - ke[j][i]).abs() < 1e-12,
+                    "KE[{i}][{j}] asymmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rigid_translations_in_null_space() {
+        let ke = element_stiffness(Material::default());
+        for k in 0..3 {
+            let mut u = [0.0; 24];
+            for l in 0..8 {
+                u[3 * l + k] = 1.0;
+            }
+            for (i, row) in ke.iter().enumerate() {
+                let f: f64 = row.iter().zip(&u).map(|(a, b)| a * b).sum();
+                assert!(f.abs() < 1e-12, "row {i} not annihilated: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn ke_positive_semidefinite_diag() {
+        let ke = element_stiffness(Material::default());
+        for i in 0..24 {
+            assert!(ke[i][i] > 0.0, "diagonal {i} not positive");
+        }
+    }
+
+    #[test]
+    fn interior_blocks_are_symmetric_pairs() {
+        let blocks = interior_node_blocks(Material::default());
+        // K[n, n+o] = K[n+o, n]ᵀ by global symmetry; on a uniform grid
+        // that means blocks[s] = blocks[26-s]ᵀ (offset negation).
+        for s in 0..27 {
+            for k in 0..3 {
+                for j in 0..3 {
+                    assert!(
+                        (blocks[s][k][j] - blocks[26 - s][j][k]).abs() < 1e-12,
+                        "block {s} not the transpose of its opposite"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_blocks_annihilate_translation() {
+        let blocks = interior_node_blocks(Material::default());
+        for k in 0..3 {
+            for row in 0..3 {
+                let s: f64 = (0..27).map(|o| blocks[o][row][k]).sum();
+                assert!(s.abs() < 1e-12, "translation not in null space");
+            }
+        }
+    }
+
+    #[test]
+    fn element_node_slot_geometry() {
+        // Element at origin (-1,-1,-1) (ei = 0), local node 0 → offset
+        // (-1,-1,-1) → slot 0; local node 7 → offset (0,0,0) → slot 13.
+        assert_eq!(element_node_slot(0, 0), 0);
+        assert_eq!(element_node_slot(0, 7), 13);
+        // Element at origin (0,0,0) (ei = 7), local node 7 → (1,1,1) → 26.
+        assert_eq!(element_node_slot(7, 7), 26);
+        assert_eq!(element_node_slot(7, 0), 13);
+    }
+
+    #[test]
+    fn lame_parameters() {
+        let m = Material { e: 210.0, nu: 0.3 };
+        let (l, mu) = m.lame();
+        assert!((mu - 210.0 / 2.6).abs() < 1e-9);
+        assert!((l - 210.0 * 0.3 / (1.3 * 0.4)).abs() < 1e-9);
+    }
+}

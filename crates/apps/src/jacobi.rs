@@ -1,0 +1,279 @@
+//! Weighted-Jacobi Poisson solver — a second linear solver exercising the
+//! ping-pong (twoPop-style) iteration pattern instead of CG's
+//! map/stencil/reduce/host mix.
+//!
+//! `u_{k+1} = (1-ω)·u_k + ω·(b + Σ_{j∈N(i)} u_k[j]) / 6`
+//!
+//! One stencil container per iteration over two swapped buffers, plus an
+//! optional residual-norm reduction. Converges much more slowly than CG
+//! (it's the classic smoother, not a solver of choice), which the tests
+//! verify comparatively.
+
+use neon_core::{ExecReport, OccLevel, Skeleton, SkeletonOptions};
+use neon_domain::{
+    ops, Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike,
+    MemLayout, ScalarSet,
+};
+use neon_sys::Result;
+
+/// A weighted-Jacobi solver for `-∇²u = b` with Dirichlet-0 boundaries.
+pub struct JacobiSolver<G: GridLike> {
+    grid: G,
+    u: [Field<f64, G>; 2],
+    b: Field<f64, G>,
+    res: Field<f64, G>,
+    res_norm: ScalarSet<f64>,
+    sweeps: [Skeleton; 2],
+    residual_skel: [Skeleton; 2],
+    step: usize,
+}
+
+fn jacobi_sweep<G: GridLike>(
+    grid: &G,
+    u_in: &Field<f64, G>,
+    u_out: &Field<f64, G>,
+    b: &Field<f64, G>,
+    omega: f64,
+) -> Container {
+    let (ui, uo, bb) = (u_in.clone(), u_out.clone(), b.clone());
+    Container::compute_opts(
+        &format!("jacobi({}->{})", u_in.name(), u_out.name()),
+        grid.as_space(),
+        move |ldr| {
+            let uv = ldr.read_stencil(&ui);
+            let ov = ldr.write(&uo);
+            let bv = ldr.read(&bb);
+            Box::new(move |c: Cell| {
+                let mut s = 0.0;
+                for slot in 0..6 {
+                    s += uv.ngh(c, slot, 0);
+                }
+                let gs = (bv.at(c, 0) + s) / 6.0;
+                ov.set(c, 0, (1.0 - omega) * uv.at(c, 0) + omega * gs);
+            })
+        },
+        0,
+        crate::poisson::NEON_STENCIL_EFFICIENCY,
+    )
+}
+
+/// Residual `res ← b − A·u` (A = the 7-point negative Laplacian).
+fn residual_container<G: GridLike>(
+    grid: &G,
+    u: &Field<f64, G>,
+    b: &Field<f64, G>,
+    res: &Field<f64, G>,
+) -> Container {
+    let (uc, bc, rc) = (u.clone(), b.clone(), res.clone());
+    Container::compute("residual", grid.as_space(), move |ldr| {
+        let uv = ldr.read_stencil(&uc);
+        let bv = ldr.read(&bc);
+        let rv = ldr.write(&rc);
+        Box::new(move |c: Cell| {
+            let mut s = 0.0;
+            for slot in 0..6 {
+                s += uv.ngh(c, slot, 0);
+            }
+            rv.set(c, 0, bv.at(c, 0) - (6.0 * uv.at(c, 0) - s));
+        })
+    })
+}
+
+impl<G: GridLike> JacobiSolver<G> {
+    /// Build the solver with relaxation weight `omega` (2/3 is the usual
+    /// smoothing choice; 1.0 is plain Jacobi).
+    pub fn new(grid: &G, omega: f64, occ: OccLevel) -> Result<Self> {
+        let u0 = Field::<f64, G>::new(grid, "u0", 1, 0.0, MemLayout::SoA)?;
+        let u1 = Field::<f64, G>::new(grid, "u1", 1, 0.0, MemLayout::SoA)?;
+        let b = Field::<f64, G>::new(grid, "b", 1, 0.0, MemLayout::SoA)?;
+        let res = Field::<f64, G>::new(grid, "res", 1, 0.0, MemLayout::SoA)?;
+        let res_norm = ScalarSet::<f64>::new(grid.num_partitions(), "res2", 0.0, |a, b| a + b);
+        let backend = grid.backend().clone();
+        let sweeps = [
+            Skeleton::sequence(
+                &backend,
+                "jacobi-even",
+                vec![jacobi_sweep(grid, &u0, &u1, &b, omega)],
+                SkeletonOptions::with_occ(occ),
+            ),
+            Skeleton::sequence(
+                &backend,
+                "jacobi-odd",
+                vec![jacobi_sweep(grid, &u1, &u0, &b, omega)],
+                SkeletonOptions::with_occ(occ),
+            ),
+        ];
+        let residual_skel = [
+            Skeleton::sequence(
+                &backend,
+                "jacobi-res-even",
+                vec![
+                    residual_container(grid, &u0, &b, &res),
+                    ops::norm2_sq(grid, &res, &res_norm),
+                ],
+                SkeletonOptions::with_occ(OccLevel::None),
+            ),
+            Skeleton::sequence(
+                &backend,
+                "jacobi-res-odd",
+                vec![
+                    residual_container(grid, &u1, &b, &res),
+                    ops::norm2_sq(grid, &res, &res_norm),
+                ],
+                SkeletonOptions::with_occ(OccLevel::None),
+            ),
+        ];
+        Ok(JacobiSolver {
+            grid: grid.clone(),
+            u: [u0, u1],
+            b,
+            res,
+            res_norm,
+            sweeps,
+            residual_skel,
+            step: 0,
+        })
+    }
+
+    /// Set the right-hand side and reset the iterate to zero.
+    pub fn set_rhs(&mut self, f: impl Fn(i32, i32, i32) -> f64) {
+        self.b.fill(|x, y, z, _| f(x, y, z));
+        self.u[0].fill(|_, _, _, _| 0.0);
+        self.u[1].fill(|_, _, _, _| 0.0);
+        self.step = 0;
+    }
+
+    /// Run `n` sweeps (buffers swap every sweep).
+    pub fn sweep(&mut self, n: usize) -> ExecReport {
+        let mut total = ExecReport::default();
+        for _ in 0..n {
+            let r = self.sweeps[self.step % 2].run();
+            total.makespan += r.makespan;
+            total.kernel_time += r.kernel_time;
+            total.transfer_time += r.transfer_time;
+            total.executions += 1;
+            self.step += 1;
+        }
+        total
+    }
+
+    /// The current iterate.
+    pub fn solution(&self) -> &Field<f64, G> {
+        &self.u[self.step % 2]
+    }
+
+    /// Compute and return ‖b − A·u‖₂ for the current iterate.
+    pub fn residual(&mut self) -> f64 {
+        self.residual_skel[self.step % 2].run();
+        self.res_norm.host_value().max(0.0).sqrt()
+    }
+
+    /// The residual field of the last [`JacobiSolver::residual`] call.
+    pub fn residual_field(&self) -> &Field<f64, G> {
+        &self.res
+    }
+
+    /// The grid.
+    pub fn grid(&self) -> &G {
+        &self.grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::{apply_operator_host, PoissonSolver};
+    use neon_domain::{DenseGrid, Dim3, Stencil, StorageMode};
+    use neon_sys::Backend;
+
+    fn grid(ndev: usize, n: usize) -> DenseGrid {
+        let b = Backend::dgx_a100(ndev);
+        let st = Stencil::seven_point();
+        DenseGrid::new(&b, Dim3::cube(n), &[&st], StorageMode::Real).unwrap()
+    }
+
+    #[test]
+    fn residual_decreases() {
+        let g = grid(2, 8);
+        let mut j = JacobiSolver::new(&g, 1.0, OccLevel::Standard).unwrap();
+        j.set_rhs(|x, y, z| if (x, y, z) == (4, 4, 4) { 1.0 } else { 0.0 });
+        let r0 = j.residual();
+        j.sweep(50);
+        let r1 = j.residual();
+        j.sweep(200);
+        let r2 = j.residual();
+        assert!(r1 < r0, "{r0} -> {r1}");
+        assert!(r2 < r1 * 0.7, "{r1} -> {r2}");
+    }
+
+    #[test]
+    fn converges_to_same_solution_as_cg() {
+        let n = 8;
+        let g = grid(2, n);
+        let rhs = |x: i32, y: i32, z: i32| ((x + 2 * y + 3 * z) % 5) as f64 - 2.0;
+        let mut j = JacobiSolver::new(&g, 1.0, OccLevel::Standard).unwrap();
+        j.set_rhs(rhs);
+        j.sweep(3000);
+        let mut cg = PoissonSolver::new(&g, OccLevel::Standard).unwrap();
+        cg.set_rhs(rhs);
+        cg.solve_iters(200);
+        cg.solution().for_each(|x, y, z, _, v| {
+            let jv = j.solution().get(x, y, z, 0).unwrap();
+            assert!(
+                (v - jv).abs() < 1e-4,
+                "Jacobi vs CG mismatch at ({x},{y},{z}): {jv} vs {v}"
+            );
+        });
+    }
+
+    #[test]
+    fn cg_converges_much_faster_than_jacobi() {
+        let n = 8;
+        let g = grid(1, n);
+        let rhs = |x: i32, _: i32, _: i32| if x == 4 { 1.0 } else { 0.0 };
+        let mut j = JacobiSolver::new(&g, 1.0, OccLevel::None).unwrap();
+        j.set_rhs(rhs);
+        let j0 = j.residual();
+        j.sweep(50);
+        let jr = j.residual() / j0;
+        let mut cg = PoissonSolver::new(&g, OccLevel::None).unwrap();
+        cg.set_rhs(rhs);
+        cg.solve_iters(1);
+        let c0 = cg.residual();
+        cg.solve_iters(49);
+        let cr = cg.residual() / c0;
+        assert!(cr < jr * 1e-2, "CG {cr} should crush Jacobi {jr}");
+    }
+
+    #[test]
+    fn residual_matches_host_operator() {
+        let n = 6;
+        let g = grid(2, n);
+        let mut j = JacobiSolver::new(&g, 0.8, OccLevel::None).unwrap();
+        j.set_rhs(|x, y, z| (x * y + z) as f64);
+        j.sweep(7);
+        j.residual();
+        // Host check: res == b - A·u.
+        let mut u = vec![0.0; n * n * n];
+        j.solution().for_each(|x, y, z, _, v| {
+            u[(z as usize * n + y as usize) * n + x as usize] = v;
+        });
+        let mut au = vec![0.0; u.len()];
+        apply_operator_host((n, n, n), &u, &mut au);
+        j.residual_field().for_each(|x, y, z, _, r| {
+            let idx = (z as usize * n + y as usize) * n + x as usize;
+            let b = (x * y + z) as f64;
+            assert!((r - (b - au[idx])).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn under_relaxation_still_converges() {
+        let g = grid(2, 8);
+        let mut j = JacobiSolver::new(&g, 2.0 / 3.0, OccLevel::TwoWayExtended).unwrap();
+        j.set_rhs(|_, _, _| 1.0);
+        let r0 = j.residual();
+        j.sweep(300);
+        assert!(j.residual() < r0 * 0.1);
+    }
+}

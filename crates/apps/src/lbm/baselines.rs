@@ -1,0 +1,177 @@
+//! Comparator baselines for the LBM benchmarks (paper Tables I & II).
+//!
+//! The paper compares Neon against external systems we cannot run:
+//! `cuboltz` (a native CUDA LBM benchmark), the three `stlbm` variants
+//! built on C++17 parallel algorithms (Latt et al.), and Taichi's JIT
+//! kernels. Per the reproduction's substitution rule these are modelled
+//! *analytically under the same device model* Neon's own kernels are
+//! timed with: each variant is characterized by its memory traffic per
+//! lattice site, its achieved-bandwidth fraction and its per-iteration
+//! dispatch overhead, taken from the implementations' published
+//! descriptions and calibrated to the A100-class numbers the stlbm paper
+//! reports. What the reproduction claims is the *ranking and relative
+//! gaps*, not absolute MLUPS.
+
+use neon_sys::{DeviceModel, SimTime};
+
+/// An analytically-modelled single-GPU LBM implementation.
+#[derive(Debug, Clone)]
+pub struct AnalyticLbm {
+    /// Implementation name as used in the paper's tables.
+    pub name: &'static str,
+    /// Bytes moved per lattice-site update (reads + writes).
+    pub bytes_per_cell: u64,
+    /// FLOPs per site update.
+    pub flops_per_cell: u64,
+    /// Achieved fraction of the device's effective bandwidth.
+    pub bw_efficiency: f64,
+    /// Kernel launches per iteration.
+    pub launches_per_iter: u64,
+    /// Fixed host-side dispatch overhead per iteration, in µs (JIT
+    /// frameworks pay more here).
+    pub dispatch_overhead_us: f64,
+}
+
+impl AnalyticLbm {
+    /// Virtual time of one iteration over `cells` lattice sites.
+    pub fn time_per_iter(&self, device: &DeviceModel, cells: u64) -> SimTime {
+        let mut t = SimTime::from_us(self.dispatch_overhead_us);
+        // One roofline kernel per launch; traffic is split across them.
+        let bytes = cells * self.bytes_per_cell / self.launches_per_iter.max(1);
+        let flops = cells * self.flops_per_cell / self.launches_per_iter.max(1);
+        for _ in 0..self.launches_per_iter {
+            t += device.kernel_time(bytes, flops, self.bw_efficiency);
+        }
+        t
+    }
+
+    /// Million lattice-site updates per second on `device`.
+    pub fn mlups(&self, device: &DeviceModel, cells: u64) -> f64 {
+        super::mlups(cells, 1, self.time_per_iter(device, cells).as_us())
+    }
+
+    /// `cuboltz` — the native CUDA D3Q19 benchmark the paper uses as the
+    /// single-GPU reference (Table II). Hand-tuned: best-in-class
+    /// achieved bandwidth, one fused kernel.
+    pub fn cuboltz() -> Self {
+        AnalyticLbm {
+            name: "cuboltz (CUDA)",
+            bytes_per_cell: 19 * 2 * 8,
+            flops_per_cell: 350,
+            bw_efficiency: 0.80,
+            launches_per_iter: 1,
+            dispatch_overhead_us: 4.0,
+        }
+    }
+
+    /// `stlbm` twoPop — C++17 parallel algorithms, two populations.
+    /// CPA's generic iteration machinery costs achieved bandwidth
+    /// relative to the hand-tuned kernel (stlbm paper, §results).
+    pub fn stlbm_two_pop() -> Self {
+        AnalyticLbm {
+            name: "stlbm twoPop (CPA)",
+            bytes_per_cell: 19 * 2 * 8,
+            flops_per_cell: 350,
+            bw_efficiency: 0.70,
+            launches_per_iter: 1,
+            dispatch_overhead_us: 5.0,
+        }
+    }
+
+    /// `stlbm` AA — the in-place AA access pattern: same traffic, half the
+    /// memory footprint, slightly better locality than CPA twoPop but
+    /// still below the hand-tuned kernel.
+    pub fn stlbm_aa() -> Self {
+        AnalyticLbm {
+            name: "stlbm AA (CPA)",
+            bytes_per_cell: 19 * 2 * 8,
+            flops_per_cell: 350,
+            bw_efficiency: 0.74,
+            launches_per_iter: 2, // AA alternates even/odd kernels
+            dispatch_overhead_us: 5.0,
+        }
+    }
+
+    /// `stlbm` swap — neighbour-swap streaming: extra exchange traffic.
+    pub fn stlbm_swap() -> Self {
+        AnalyticLbm {
+            name: "stlbm swap (CPA)",
+            bytes_per_cell: 19 * 3 * 8, // swap touches populations twice
+            flops_per_cell: 350,
+            bw_efficiency: 0.66,
+            launches_per_iter: 2,
+            dispatch_overhead_us: 5.0,
+        }
+    }
+
+    /// Taichi — JIT-compiled D2Q9 kernels (Table I). Kernel quality
+    /// matches native code at scale, but the Python-driven dispatch adds
+    /// a fixed per-iteration cost that dominates small domains — which is
+    /// exactly the shape of the paper's Table I (Neon 1.14× at 4096×1024,
+    /// parity at larger sizes).
+    pub fn taichi_d2q9() -> Self {
+        AnalyticLbm {
+            name: "Taichi (JIT)",
+            bytes_per_cell: 9 * 2 * 8,
+            flops_per_cell: 160,
+            bw_efficiency: 0.80,
+            launches_per_iter: 1,
+            dispatch_overhead_us: 80.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100() -> DeviceModel {
+        DeviceModel::a100_40gb()
+    }
+
+    #[test]
+    fn cuboltz_mlups_in_a100_ballpark() {
+        // ~0.8 × 1555 GB/s over 304 B/cell ≈ 4000 MLUPS.
+        let m = AnalyticLbm::cuboltz().mlups(&a100(), 256 * 256 * 256);
+        assert!(m > 3500.0 && m < 4500.0, "cuboltz model off: {m}");
+    }
+
+    #[test]
+    fn table2_ranking_holds() {
+        let cells = 256 * 256 * 256;
+        let d = a100();
+        let cuboltz = AnalyticLbm::cuboltz().mlups(&d, cells);
+        let aa = AnalyticLbm::stlbm_aa().mlups(&d, cells);
+        let two_pop = AnalyticLbm::stlbm_two_pop().mlups(&d, cells);
+        let swap = AnalyticLbm::stlbm_swap().mlups(&d, cells);
+        assert!(cuboltz > aa && aa > two_pop && two_pop > swap);
+    }
+
+    #[test]
+    fn taichi_overhead_hurts_small_domains_only() {
+        let d = a100();
+        let t = AnalyticLbm::taichi_d2q9();
+        let small = t.mlups(&d, 4096 * 1024);
+        let large = t.mlups(&d, 32768 * 8192);
+        // The fixed dispatch cost suppresses small-domain throughput.
+        assert!(large > small * 1.05, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn launches_split_traffic_not_duplicate_it() {
+        let d = a100();
+        let one = AnalyticLbm {
+            launches_per_iter: 1,
+            ..AnalyticLbm::cuboltz()
+        };
+        let two = AnalyticLbm {
+            launches_per_iter: 2,
+            ..AnalyticLbm::cuboltz()
+        };
+        let cells = 1 << 24;
+        let t1 = one.time_per_iter(&d, cells).as_us();
+        let t2 = two.time_per_iter(&d, cells).as_us();
+        // Two launches pay one extra launch overhead, nothing more.
+        assert!((t2 - t1 - d.kernel_launch_us).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Criterion microbenchmarks of the framework's hot paths: container
+//! construction (loader dry-run), dependency-graph building, the
+//! multi-GPU + OCC transforms, scheduling, halo execution, and functional
+//! application steps (LBM, CG) on small real grids.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use neon_apps::lbm::{LbmParams, LidDrivenCavity};
+use neon_apps::PoissonSolver;
+use neon_core::{
+    apply_occ, build_dependency_graph, build_schedule, to_multigpu_graph, OccLevel, Skeleton,
+    SkeletonOptions,
+};
+use neon_domain::{
+    ops, Cell, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike,
+    MemLayout, ScalarSet, Stencil, StorageMode,
+};
+use neon_sys::Backend;
+
+fn fixture() -> (Backend, DenseGrid, Field<f64, DenseGrid>, Field<f64, DenseGrid>) {
+    let b = Backend::dgx_a100(4);
+    let st = Stencil::seven_point();
+    let g = DenseGrid::new(&b, Dim3::new(16, 16, 32), &[&st], StorageMode::Real).unwrap();
+    let x = Field::<f64, _>::new(&g, "x", 1, 0.0, MemLayout::SoA).unwrap();
+    let y = Field::<f64, _>::new(&g, "y", 1, 0.0, MemLayout::SoA).unwrap();
+    (b, g, x, y)
+}
+
+fn pipeline(g: &DenseGrid, x: &Field<f64, DenseGrid>, y: &Field<f64, DenseGrid>) -> Vec<Container> {
+    let dot = ScalarSet::<f64>::new(g.num_partitions(), "dot", 0.0, |a, b| a + b);
+    let sten = {
+        let (xc, yc) = (x.clone(), y.clone());
+        Container::compute("stn", g.as_space(), move |ldr| {
+            let xv = ldr.read_stencil(&xc);
+            let yv = ldr.write(&yc);
+            Box::new(move |c: Cell| yv.set(c, 0, xv.ngh(c, 0, 0)))
+        })
+    };
+    vec![ops::set_value(g, x, 1.0), sten, ops::dot(g, y, y, &dot)]
+}
+
+fn bench_container_construction(c: &mut Criterion) {
+    let (_, g, x, y) = fixture();
+    c.bench_function("container_construction_dry_run", |bench| {
+        bench.iter(|| std::hint::black_box(ops::axpy_const(&g, 2.0, &x, &y)))
+    });
+}
+
+fn bench_graph_pipeline(c: &mut Criterion) {
+    let (_, g, x, y) = fixture();
+    let containers = pipeline(&g, &x, &y);
+    c.bench_function("dependency_graph_build", |bench| {
+        bench.iter(|| std::hint::black_box(build_dependency_graph(&containers)))
+    });
+    let dep = build_dependency_graph(&containers);
+    c.bench_function("multigpu_transform", |bench| {
+        bench.iter(|| std::hint::black_box(to_multigpu_graph(&dep, 4)))
+    });
+    let mg = to_multigpu_graph(&dep, 4);
+    c.bench_function("occ_two_way_transform", |bench| {
+        bench.iter(|| std::hint::black_box(apply_occ(&mg, OccLevel::TwoWayExtended)))
+    });
+    let occ = apply_occ(&mg, OccLevel::TwoWayExtended);
+    c.bench_function("schedule_build", |bench| {
+        bench.iter(|| std::hint::black_box(build_schedule(&occ, 8)))
+    });
+}
+
+fn bench_skeleton_replay(c: &mut Criterion) {
+    let (b, g, x, y) = fixture();
+    let mut sk = Skeleton::sequence(
+        &b,
+        "replay",
+        pipeline(&g, &x, &y),
+        SkeletonOptions::with_occ(OccLevel::TwoWayExtended),
+    );
+    c.bench_function("skeleton_run_functional_16x16x32_4gpu", |bench| {
+        bench.iter(|| std::hint::black_box(sk.run()))
+    });
+}
+
+fn bench_halo_exchange(c: &mut Criterion) {
+    let (_, g, x, _) = fixture();
+    let big = Field::<f64, _>::new(&g, "wide", 19, 0.0, MemLayout::SoA).unwrap();
+    c.bench_function("halo_execute_scalar", |bench| bench.iter(|| x.update_halos()));
+    c.bench_function("halo_execute_19comp_soa", |bench| {
+        bench.iter(|| big.update_halos())
+    });
+}
+
+fn bench_lbm_step(c: &mut Criterion) {
+    let b = Backend::dgx_a100(2);
+    let st = Stencil::d3q19();
+    let g = DenseGrid::new(&b, Dim3::cube(16), &[&st], StorageMode::Real).unwrap();
+    let mut app = LidDrivenCavity::new(&g, LbmParams::default(), OccLevel::Standard).unwrap();
+    app.init();
+    c.bench_function("lbm_functional_step_16c_2gpu", |bench| {
+        bench.iter(|| std::hint::black_box(app.step(1)))
+    });
+}
+
+fn bench_cg_iteration(c: &mut Criterion) {
+    let b = Backend::dgx_a100(2);
+    let st = Stencil::seven_point();
+    let g = DenseGrid::new(&b, Dim3::cube(16), &[&st], StorageMode::Real).unwrap();
+    let mut solver = PoissonSolver::new(&g, OccLevel::TwoWayExtended).unwrap();
+    solver.set_rhs(|x, y, z| ((x + y + z) % 5) as f64);
+    c.bench_function("poisson_cg_functional_iter_16c_2gpu", |bench| {
+        bench.iter(|| std::hint::black_box(solver.solve_iters(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_container_construction, bench_graph_pipeline,
+              bench_skeleton_replay, bench_halo_exchange, bench_lbm_step,
+              bench_cg_iteration
+}
+criterion_main!(benches);

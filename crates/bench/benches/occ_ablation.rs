@@ -1,0 +1,73 @@
+//! Criterion benchmark of the orchestration cost per OCC level: how much
+//! host-side work (graph transforms + schedule replay on the virtual
+//! clock) each optimization level adds. The *simulated* performance of
+//! each level is reported by the `repro_*` binaries; this measures the
+//! real overhead of driving the richer graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use neon_core::{OccLevel, Skeleton, SkeletonOptions};
+use neon_domain::{
+    Cell, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _,
+    GridLike, MemLayout, ScalarSet, Stencil, StorageMode,
+};
+use neon_sys::Backend;
+
+fn build_skeleton(occ: OccLevel) -> Skeleton {
+    let b = Backend::dgx_a100(8);
+    let st = Stencil::seven_point();
+    let g = DenseGrid::new(&b, Dim3::new(64, 64, 64), &[&st], StorageMode::Virtual).unwrap();
+    let x = Field::<f64, _>::new(&g, "x", 1, 0.0, MemLayout::SoA).unwrap();
+    let y = Field::<f64, _>::new(&g, "y", 1, 0.0, MemLayout::SoA).unwrap();
+    let dot = ScalarSet::<f64>::new(8, "dot", 0.0, |a, b| a + b);
+    let map = {
+        let xc = x.clone();
+        Container::compute("map", g.as_space(), move |ldr| {
+            let xv = ldr.read_write(&xc);
+            Box::new(move |c: Cell| xv.set(c, 0, xv.at(c, 0)))
+        })
+    };
+    let sten = {
+        let (xc, yc) = (x.clone(), y.clone());
+        Container::compute("stn", g.as_space(), move |ldr| {
+            let xv = ldr.read_stencil(&xc);
+            let yv = ldr.write(&yc);
+            Box::new(move |c: Cell| yv.set(c, 0, xv.ngh(c, 0, 0)))
+        })
+    };
+    let red = neon_domain::ops::dot(&g, &y, &y, &dot);
+    Skeleton::sequence(
+        &b,
+        "abl",
+        vec![map, sten, red],
+        SkeletonOptions::with_occ(occ),
+    )
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skeleton_compile");
+    for occ in OccLevel::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(occ), &occ, |bench, &occ| {
+            bench.iter(|| std::hint::black_box(build_skeleton(occ)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timing_replay");
+    for occ in OccLevel::ALL {
+        let mut sk = build_skeleton(occ);
+        group.bench_with_input(BenchmarkId::from_parameter(occ), &occ, |bench, _| {
+            bench.iter(|| std::hint::black_box(sk.run()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compile, bench_replay
+}
+criterion_main!(benches);

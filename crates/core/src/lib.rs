@@ -1,0 +1,45 @@
+//! # neon-core — the Skeleton abstraction
+//!
+//! The highest layer of the Neon programming model (paper §V): users
+//! describe an application as a *sequential* list of containers; the
+//! Skeleton turns it into an optimized multi-GPU execution —
+//!
+//! * [`graph`] — the data dependency graph inferred from Loader records
+//!   (RaW / WaR / WaW edges), with BFS levels and transitive reduction;
+//! * [`multigpu`] — the multi-GPU transform inserting halo-update nodes;
+//! * [`occ`] — the overlap-computation-and-communication optimizations
+//!   (*Standard*, *Extended*, *Two-way Extended*) via internal/boundary
+//!   node splitting and scheduling hints;
+//! * [`schedule`] — the greedy three-phase scheduler (stream mapping,
+//!   event organization, task ordering);
+//! * [`exec`] — the executor: virtual-clock timing replay plus functional
+//!   execution of the kernels on real partition data.
+//!
+//! ```no_run
+//! # use neon_core::{Skeleton, SkeletonOptions, OccLevel};
+//! # use neon_sys::Backend;
+//! # let backend = Backend::dgx_a100(8);
+//! # let containers = vec![];
+//! let mut app = Skeleton::sequence(
+//!     &backend,
+//!     "my-solver",
+//!     containers, // map/stencil/reduce containers, in program order
+//!     SkeletonOptions::with_occ(OccLevel::TwoWayExtended),
+//! );
+//! let report = app.run_iters(100);
+//! println!("per iteration: {}", report.time_per_execution());
+//! ```
+
+pub mod exec;
+pub mod graph;
+pub mod multigpu;
+pub mod occ;
+pub mod schedule;
+pub mod skeleton;
+
+pub use exec::{ExecReport, Executor, HaloPolicy};
+pub use graph::{build_dependency_graph, Edge, EdgeKind, Graph, Node, NodeId, NodeKind};
+pub use multigpu::to_multigpu_graph;
+pub use occ::{apply_occ, OccLevel};
+pub use schedule::{build_schedule, build_schedule_opts, Schedule, Task};
+pub use skeleton::{Skeleton, SkeletonOptions};

@@ -1,0 +1,166 @@
+//! The Skeleton — Neon's orchestrator (paper §V).
+//!
+//! Users hand the Skeleton a *sequential* list of containers and a
+//! backend; it:
+//!
+//! 1. extracts the data dependency graph from the containers' recorded
+//!    accesses,
+//! 2. builds the multi-GPU graph (halo updates, redundancy pruning),
+//! 3. applies the configured OCC optimization,
+//! 4. schedules the graph onto streams (BFS mapping, events, task order),
+//!
+//! and then executes the plan — repeatedly, for iterative solvers —
+//! entirely without user intervention.
+
+use neon_set::Container;
+use neon_sys::{Backend, SimTime, Trace};
+
+use crate::exec::{ExecReport, Executor, HaloPolicy};
+use crate::graph::{build_dependency_graph, Graph};
+use crate::multigpu::to_multigpu_graph;
+use crate::occ::{apply_occ, OccLevel};
+use crate::schedule::{build_schedule_opts, Schedule};
+
+/// Configuration of a skeleton.
+#[derive(Debug, Clone, Copy)]
+pub struct SkeletonOptions {
+    /// The OCC optimization level (a single switch, as the paper argues a
+    /// system should offer — no best level exists for all configurations).
+    pub occ: OccLevel,
+    /// Cap on concurrent compute streams per device.
+    pub max_streams: usize,
+    /// Honour scheduling hints in the task ordering (ablation switch).
+    pub hints: bool,
+    /// Model concurrent kernels as each getting full bandwidth (ablation
+    /// switch; physically kernels share a device's bandwidth, so the
+    /// default serializes them per device).
+    pub kernel_concurrency: bool,
+    /// Halo coherency implementation (paper §IV-C2): explicit peer
+    /// transfers (default — required for OCC) or driver-managed unified
+    /// memory (page faults serialize with the consuming kernels).
+    pub halo_policy: HaloPolicy,
+    /// Record an execution trace (timeline spans).
+    pub trace: bool,
+}
+
+impl Default for SkeletonOptions {
+    fn default() -> Self {
+        SkeletonOptions {
+            occ: OccLevel::Standard,
+            max_streams: 8,
+            hints: true,
+            kernel_concurrency: false,
+            halo_policy: HaloPolicy::ExplicitTransfers,
+            trace: false,
+        }
+    }
+}
+
+impl SkeletonOptions {
+    /// Options with a given OCC level, defaults otherwise.
+    pub fn with_occ(occ: OccLevel) -> Self {
+        SkeletonOptions {
+            occ,
+            ..Default::default()
+        }
+    }
+}
+
+/// A compiled, executable application sequence.
+pub struct Skeleton {
+    name: String,
+    options: SkeletonOptions,
+    dependency_graph: Graph,
+    graph: Graph,
+    schedule: Schedule,
+    executor: Executor,
+}
+
+impl Skeleton {
+    /// Compile `containers` (in program order) for `backend`.
+    pub fn sequence(
+        backend: &Backend,
+        name: &str,
+        containers: Vec<Container>,
+        options: SkeletonOptions,
+    ) -> Self {
+        let dependency_graph = build_dependency_graph(&containers);
+        let mg = to_multigpu_graph(&dependency_graph, backend.num_devices());
+        let occ = apply_occ(&mg, options.occ);
+        let max_streams = if backend.concurrent_kernels() {
+            options.max_streams
+        } else {
+            1 // the CPU back end runs one kernel at a time (paper §IV-A)
+        };
+        let schedule = build_schedule_opts(&occ, max_streams, options.hints);
+        let mut executor = Executor::new(backend.clone(), occ.clone(), schedule.clone());
+        executor.set_kernel_concurrency(options.kernel_concurrency);
+        executor.set_halo_policy(options.halo_policy);
+        if options.trace {
+            executor.enable_trace();
+        }
+        Skeleton {
+            name: name.to_string(),
+            options,
+            dependency_graph,
+            graph: occ,
+            schedule,
+            executor,
+        }
+    }
+
+    /// The skeleton's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &SkeletonOptions {
+        &self.options
+    }
+
+    /// The raw data dependency graph (before the multi-GPU transform).
+    pub fn dependency_graph(&self) -> &Graph {
+        &self.dependency_graph
+    }
+
+    /// The final (multi-GPU, OCC-optimized) execution graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The execution plan.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Whether kernels run on real data.
+    pub fn is_functional(&self) -> bool {
+        self.executor.is_functional()
+    }
+
+    /// Force timing-only execution (for huge benchmark domains).
+    pub fn set_functional(&mut self, on: bool) {
+        self.executor.set_functional(on);
+    }
+
+    /// Execute the sequence once.
+    pub fn run(&mut self) -> ExecReport {
+        self.executor.execute()
+    }
+
+    /// Execute the sequence `n` times (an iterative solver's outer loop).
+    pub fn run_iters(&mut self, n: usize) -> ExecReport {
+        self.executor.execute_iters(n)
+    }
+
+    /// Average virtual time of one execution over `n` runs.
+    pub fn time_per_iteration(&mut self, n: usize) -> SimTime {
+        self.run_iters(n).time_per_execution()
+    }
+
+    /// Take the recorded trace (requires `options.trace`).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.executor.take_trace()
+    }
+}

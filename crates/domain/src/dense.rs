@@ -1,0 +1,693 @@
+//! The dense grid: every cell of the rectilinear domain is represented.
+//!
+//! Storage layout per partition (one per device): the slab of owned
+//! z-layers plus `radius` halo layers below and above, always allocated so
+//! all partitions share one indexing rule:
+//!
+//! ```text
+//! local z-layer  0 .. r      halo (lower neighbour's boundary cells)
+//! local z-layer  r .. r+nz   owned cells   ← iteration spans
+//! local z-layer  r+nz .. r+nz+r  halo (upper neighbour's boundary cells)
+//! ```
+//!
+//! A cell's local linear index is `((z - z0 + r)·ny + y)·nx + x`, so a
+//! neighbour at offset `(dx,dy,dz)` is exactly `lin + dz·nx·ny + dy·nx +
+//! dx` away — stencil views need no divisions. Boundary cells (the owned
+//! layers within `radius` of an inter-partition edge) are contiguous,
+//! which is why a halo update is two plain copies per partition (times
+//! the cardinality for SoA fields).
+
+use std::sync::Arc;
+
+use neon_set::{Cell, DataView, Elem, IterationSpace, RawRead, RawWrite, StorageMode};
+use neon_sys::{Backend, DeviceId, NeonSysError, Result};
+
+use crate::grid::{proportional_slab_partition, slab_partition, Dim3, FieldParts, GridLike};
+use crate::layout::MemLayout;
+use crate::stencil::{union_offsets, Offset3, Stencil};
+use crate::view::{FieldRead, FieldStencil, FieldWrite, HaloSegment};
+
+#[derive(Debug, Clone, Copy)]
+struct DensePart {
+    /// Owned global z-range `[z0, z1)`.
+    z0: usize,
+    z1: usize,
+    /// Whether a lower / upper neighbouring partition exists.
+    has_lo: bool,
+    has_hi: bool,
+}
+
+impl DensePart {
+    fn nz(&self) -> usize {
+        self.z1 - self.z0
+    }
+}
+
+#[derive(Debug)]
+struct DenseInner {
+    backend: Backend,
+    dim: Dim3,
+    radius: usize,
+    offsets: Arc<Vec<Offset3>>,
+    mode: StorageMode,
+    parts: Vec<DensePart>,
+}
+
+/// A dense rectilinear grid partitioned into z-slabs over the backend's
+/// devices.
+#[derive(Clone)]
+pub struct DenseGrid {
+    inner: Arc<DenseInner>,
+}
+
+impl std::fmt::Debug for DenseGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseGrid")
+            .field("dim", &self.inner.dim)
+            .field("radius", &self.inner.radius)
+            .field("partitions", &self.inner.parts.len())
+            .finish()
+    }
+}
+
+/// How a dense grid splits its z-layers over the devices.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PartitionStrategy {
+    /// Equal layer counts — correct for homogeneous systems.
+    #[default]
+    Even,
+    /// Layers proportional to each device's effective memory bandwidth —
+    /// load balance for heterogeneous systems (paper §VII future work).
+    DeviceProportional,
+}
+
+impl DenseGrid {
+    /// Create a dense grid over `backend`, registering `stencils` (their
+    /// union determines the halo radius and the neighbour slots).
+    pub fn new(
+        backend: &Backend,
+        dim: Dim3,
+        stencils: &[&Stencil],
+        mode: StorageMode,
+    ) -> Result<Self> {
+        DenseGrid::with_partitioning(backend, dim, stencils, mode, PartitionStrategy::Even)
+    }
+
+    /// [`DenseGrid::new`] with an explicit partitioning strategy.
+    pub fn with_partitioning(
+        backend: &Backend,
+        dim: Dim3,
+        stencils: &[&Stencil],
+        mode: StorageMode,
+        strategy: PartitionStrategy,
+    ) -> Result<Self> {
+        if dim.count() == 0 {
+            return Err(NeonSysError::InvalidConfig {
+                what: format!("empty domain {dim}"),
+            });
+        }
+        let n = backend.num_devices();
+        if dim.z < n {
+            return Err(NeonSysError::InvalidConfig {
+                what: format!("{dim} has fewer z-layers than the {n} devices"),
+            });
+        }
+        let offsets = union_offsets(stencils);
+        let radius = offsets
+            .iter()
+            .map(|o| o.dz.unsigned_abs() as usize)
+            .max()
+            .unwrap_or(0);
+        for o in &offsets {
+            if o.dx.unsigned_abs() as usize >= dim.x || o.dy.unsigned_abs() as usize >= dim.y {
+                return Err(NeonSysError::InvalidConfig {
+                    what: format!("stencil offset {o} exceeds domain extent {dim}"),
+                });
+            }
+        }
+        let slabs = match strategy {
+            PartitionStrategy::Even => slab_partition(dim.z, n),
+            PartitionStrategy::DeviceProportional => {
+                let shares: Vec<f64> = backend
+                    .devices()
+                    .iter()
+                    .map(|d| d.mem_bandwidth_gb_s)
+                    .collect();
+                proportional_slab_partition(dim.z, &shares)
+            }
+        };
+        let parts: Vec<DensePart> = slabs
+            .iter()
+            .enumerate()
+            .map(|(i, &(z0, z1))| DensePart {
+                z0,
+                z1,
+                has_lo: i > 0,
+                has_hi: i + 1 < n,
+            })
+            .collect();
+        for p in &parts {
+            let needed = p.has_lo as usize * radius + p.has_hi as usize * radius;
+            if p.nz() < needed.max(1) {
+                return Err(NeonSysError::InvalidConfig {
+                    what: format!(
+                        "partition [{}, {}) too thin for halo radius {radius}",
+                        p.z0, p.z1
+                    ),
+                });
+            }
+            let alloc = dim.x * dim.y * (p.nz() + 2 * radius);
+            if alloc > u32::MAX as usize {
+                return Err(NeonSysError::InvalidConfig {
+                    what: format!("partition storage {alloc} exceeds 32-bit cell indices"),
+                });
+            }
+        }
+        Ok(DenseGrid {
+            inner: Arc::new(DenseInner {
+                backend: backend.clone(),
+                dim,
+                radius,
+                offsets: Arc::new(offsets),
+                mode,
+                parts,
+            }),
+        })
+    }
+
+    fn sxy(&self) -> usize {
+        self.inner.dim.x * self.inner.dim.y
+    }
+
+    fn part(&self, dev: DeviceId) -> &DensePart {
+        &self.inner.parts[dev.0]
+    }
+
+    /// Owned z-range of device `dev`.
+    pub fn owned_z_range(&self, dev: DeviceId) -> (usize, usize) {
+        let p = self.part(dev);
+        (p.z0, p.z1)
+    }
+
+    /// Boundary layer counts `(below, above)` of `dev`'s slab.
+    fn bnd_layers(&self, dev: DeviceId) -> (usize, usize) {
+        let p = self.part(dev);
+        (
+            if p.has_lo { self.inner.radius } else { 0 },
+            if p.has_hi { self.inner.radius } else { 0 },
+        )
+    }
+
+    /// The owned z-ranges iterated for `view` on `dev` (global coords).
+    fn view_z_ranges(&self, dev: DeviceId, view: DataView) -> Vec<(usize, usize)> {
+        let p = self.part(dev);
+        let (bl, bh) = self.bnd_layers(dev);
+        match view {
+            DataView::Standard => vec![(p.z0, p.z1)],
+            DataView::Internal => vec![(p.z0 + bl, p.z1 - bh)],
+            DataView::Boundary => {
+                let mut v = Vec::new();
+                if bl > 0 {
+                    v.push((p.z0, p.z0 + bl));
+                }
+                if bh > 0 {
+                    v.push((p.z1 - bh, p.z1));
+                }
+                v
+            }
+        }
+    }
+
+    #[inline]
+    fn local_lin(&self, dev: DeviceId, x: usize, y: usize, z: usize) -> u32 {
+        let p = self.part(dev);
+        let zl = z - p.z0 + self.inner.radius;
+        ((zl * self.inner.dim.y + y) * self.inner.dim.x + x) as u32
+    }
+}
+
+impl IterationSpace for DenseGrid {
+    fn num_partitions(&self) -> usize {
+        self.inner.parts.len()
+    }
+
+    fn cell_count(&self, dev: DeviceId, view: DataView) -> u64 {
+        self.view_z_ranges(dev, view)
+            .iter()
+            .map(|&(a, b)| ((b - a) * self.sxy()) as u64)
+            .sum()
+    }
+
+    fn for_each_cell(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(Cell)) {
+        let dim = self.inner.dim;
+        for (za, zb) in self.view_z_ranges(dev, view) {
+            for z in za..zb {
+                for y in 0..dim.y {
+                    let row = self.local_lin(dev, 0, y, z);
+                    for x in 0..dim.x {
+                        f(Cell::new(row + x as u32, x as i32, y as i32, z as i32));
+                    }
+                }
+            }
+        }
+    }
+
+    fn supports_functional(&self) -> bool {
+        self.inner.mode == StorageMode::Real
+    }
+}
+
+/// Cell-local read view of a dense partition.
+pub struct DenseRead<T: Elem> {
+    raw: RawRead<T>,
+    card: usize,
+    layout: MemLayout,
+    stride: usize,
+}
+
+impl<T: Elem> FieldRead<T> for DenseRead<T> {
+    #[inline]
+    fn at(&self, cell: Cell, comp: usize) -> T {
+        self.raw
+            .get(self.layout.index(cell.idx(), comp, self.stride, self.card))
+    }
+    fn card(&self) -> usize {
+        self.card
+    }
+}
+
+/// Neighbourhood read view of a dense partition.
+pub struct DenseStencil<T: Elem> {
+    raw: RawRead<T>,
+    card: usize,
+    layout: MemLayout,
+    stride: usize,
+    outside: T,
+    offsets: Arc<Vec<Offset3>>,
+    dim: Dim3,
+    row: i64,
+    plane: i64,
+}
+
+impl<T: Elem> FieldRead<T> for DenseStencil<T> {
+    #[inline]
+    fn at(&self, cell: Cell, comp: usize) -> T {
+        self.raw
+            .get(self.layout.index(cell.idx(), comp, self.stride, self.card))
+    }
+    fn card(&self) -> usize {
+        self.card
+    }
+}
+
+impl<T: Elem> FieldStencil<T> for DenseStencil<T> {
+    #[inline]
+    fn ngh(&self, cell: Cell, slot: usize, comp: usize) -> T {
+        let o = self.offsets[slot];
+        if !self
+            .dim
+            .contains(cell.x + o.dx, cell.y + o.dy, cell.z + o.dz)
+        {
+            return self.outside;
+        }
+        let lin =
+            cell.lin as i64 + o.dz as i64 * self.plane + o.dy as i64 * self.row + o.dx as i64;
+        debug_assert!(lin >= 0);
+        self.raw
+            .get(self.layout.index(lin as usize, comp, self.stride, self.card))
+    }
+
+    #[inline]
+    fn ngh_active(&self, cell: Cell, slot: usize) -> bool {
+        let o = self.offsets[slot];
+        self.dim
+            .contains(cell.x + o.dx, cell.y + o.dy, cell.z + o.dz)
+    }
+
+    fn num_slots(&self) -> usize {
+        self.offsets.len()
+    }
+}
+
+/// Write view of a dense partition.
+pub struct DenseWrite<T: Elem> {
+    raw: RawWrite<T>,
+    card: usize,
+    layout: MemLayout,
+    stride: usize,
+}
+
+impl<T: Elem> FieldWrite<T> for DenseWrite<T> {
+    #[inline]
+    fn at(&self, cell: Cell, comp: usize) -> T {
+        self.raw
+            .get(self.layout.index(cell.idx(), comp, self.stride, self.card))
+    }
+    #[inline]
+    fn set(&self, cell: Cell, comp: usize, v: T) {
+        self.raw
+            .set(self.layout.index(cell.idx(), comp, self.stride, self.card), v)
+    }
+    fn card(&self) -> usize {
+        self.card
+    }
+}
+
+impl GridLike for DenseGrid {
+    type ReadView<T: Elem> = DenseRead<T>;
+    type StencilView<T: Elem> = DenseStencil<T>;
+    type WriteView<T: Elem> = DenseWrite<T>;
+
+    fn backend(&self) -> &Backend {
+        &self.inner.backend
+    }
+
+    fn dim(&self) -> Dim3 {
+        self.inner.dim
+    }
+
+    fn storage_mode(&self) -> StorageMode {
+        self.inner.mode
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.inner.parts.len()
+    }
+
+    fn radius(&self) -> usize {
+        self.inner.radius
+    }
+
+    fn active_cells(&self) -> u64 {
+        self.inner.dim.count()
+    }
+
+    fn owned_cells(&self, dev: DeviceId, view: DataView) -> u64 {
+        self.cell_count(dev, view)
+    }
+
+    fn alloc_len(&self, dev: DeviceId) -> usize {
+        self.sxy() * (self.part(dev).nz() + 2 * self.inner.radius)
+    }
+
+    fn as_space(&self) -> Arc<dyn IterationSpace> {
+        Arc::new(self.clone())
+    }
+
+    fn union_offsets(&self) -> &[Offset3] {
+        &self.inner.offsets
+    }
+
+    fn stencil_extra_bytes_per_cell(&self) -> u64 {
+        0
+    }
+
+    fn halo_segments(&self, card: usize, layout: MemLayout) -> Vec<HaloSegment> {
+        let r = self.inner.radius;
+        if r == 0 || self.inner.parts.len() == 1 {
+            return Vec::new();
+        }
+        let sxy = self.sxy();
+        let mut segs = Vec::new();
+        for p in 0..self.inner.parts.len() - 1 {
+            let lo = DeviceId(p);
+            let hi = DeviceId(p + 1);
+            let nz_lo = self.part(lo).nz();
+            let nz_hi = self.part(hi).nz();
+            // Element offsets within one component's storage.
+            let up_src = nz_lo * sxy; // z-layers [nz_lo, nz_lo + r) local
+            let up_dst = 0; // halo layers [0, r)
+            let dn_src = r * sxy; // owned layers [r, 2r)
+            let dn_dst = (r + nz_lo) * sxy; // halo layers above owned
+            let len = r * sxy;
+            match layout {
+                MemLayout::SoA => {
+                    let stride_lo = self.alloc_len(lo);
+                    let stride_hi = self.alloc_len(hi);
+                    for c in 0..card {
+                        segs.push(HaloSegment {
+                            src: lo,
+                            dst: hi,
+                            src_off: c * stride_lo + up_src,
+                            dst_off: c * stride_hi + up_dst,
+                            len,
+                        });
+                        segs.push(HaloSegment {
+                            src: hi,
+                            dst: lo,
+                            src_off: c * stride_hi + dn_src,
+                            dst_off: c * stride_lo + dn_dst,
+                            len,
+                        });
+                    }
+                    let _ = nz_hi;
+                }
+                MemLayout::AoS => {
+                    segs.push(HaloSegment {
+                        src: lo,
+                        dst: hi,
+                        src_off: up_src * card,
+                        dst_off: up_dst * card,
+                        len: len * card,
+                    });
+                    segs.push(HaloSegment {
+                        src: hi,
+                        dst: lo,
+                        src_off: dn_src * card,
+                        dst_off: dn_dst * card,
+                        len: len * card,
+                    });
+                }
+            }
+        }
+        segs
+    }
+
+    fn locate(&self, x: i32, y: i32, z: i32) -> Option<(DeviceId, u32)> {
+        if !self.inner.dim.contains(x, y, z) {
+            return None;
+        }
+        let (x, y, z) = (x as usize, y as usize, z as usize);
+        let dev = self
+            .inner
+            .parts
+            .iter()
+            .position(|p| z >= p.z0 && z < p.z1)
+            .map(DeviceId)?;
+        Some((dev, self.local_lin(dev, x, y, z)))
+    }
+
+    fn for_each_owned(&self, dev: DeviceId, f: &mut dyn FnMut(Cell)) {
+        self.for_each_cell(dev, DataView::Standard, f);
+    }
+
+    fn make_read_view<T: Elem>(
+        &self,
+        parts: &FieldParts<T>,
+        dev: DeviceId,
+        null: bool,
+    ) -> DenseRead<T> {
+        let null = null || self.inner.mode == StorageMode::Virtual;
+        DenseRead {
+            raw: if null {
+                parts.mem.null_read()
+            } else {
+                parts.mem.read(dev)
+            },
+            card: parts.card,
+            layout: parts.layout,
+            stride: self.alloc_len(dev),
+        }
+    }
+
+    fn make_stencil_view<T: Elem>(
+        &self,
+        parts: &FieldParts<T>,
+        dev: DeviceId,
+        null: bool,
+    ) -> DenseStencil<T> {
+        let null = null || self.inner.mode == StorageMode::Virtual;
+        DenseStencil {
+            raw: if null {
+                parts.mem.null_read()
+            } else {
+                parts.mem.read(dev)
+            },
+            card: parts.card,
+            layout: parts.layout,
+            stride: self.alloc_len(dev),
+            outside: parts.outside,
+            offsets: self.inner.offsets.clone(),
+            dim: self.inner.dim,
+            row: self.inner.dim.x as i64,
+            plane: self.sxy() as i64,
+        }
+    }
+
+    fn make_write_view<T: Elem>(
+        &self,
+        parts: &FieldParts<T>,
+        dev: DeviceId,
+        null: bool,
+    ) -> DenseWrite<T> {
+        let null = null || self.inner.mode == StorageMode::Virtual;
+        DenseWrite {
+            raw: if null {
+                parts.mem.null_write()
+            } else {
+                parts.mem.write(dev)
+            },
+            card: parts.card,
+            layout: parts.layout,
+            stride: self.alloc_len(dev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n_dev: usize, dim: Dim3) -> DenseGrid {
+        let b = Backend::dgx_a100(n_dev);
+        let s = Stencil::seven_point();
+        DenseGrid::new(&b, dim, &[&s], StorageMode::Real).unwrap()
+    }
+
+    #[test]
+    fn partition_geometry() {
+        let g = grid(4, Dim3::new(8, 8, 16));
+        assert_eq!(GridLike::num_partitions(&g), 4);
+        assert_eq!(g.radius(), 1);
+        assert_eq!(g.owned_z_range(DeviceId(0)), (0, 4));
+        assert_eq!(g.owned_z_range(DeviceId(3)), (12, 16));
+        // 4 owned layers + 2 halo layers of 64 cells each.
+        assert_eq!(g.alloc_len(DeviceId(1)), 8 * 8 * 6);
+    }
+
+    #[test]
+    fn view_counts_partition_standard() {
+        let g = grid(4, Dim3::new(8, 8, 16));
+        for d in 0..4 {
+            let d = DeviceId(d);
+            assert_eq!(
+                g.cell_count(d, DataView::Internal) + g.cell_count(d, DataView::Boundary),
+                g.cell_count(d, DataView::Standard)
+            );
+        }
+        // Middle partitions have boundary layers on both sides.
+        assert_eq!(g.cell_count(DeviceId(1), DataView::Boundary), 2 * 64);
+        // Edge partitions only on the interior side.
+        assert_eq!(g.cell_count(DeviceId(0), DataView::Boundary), 64);
+        assert_eq!(g.cell_count(DeviceId(3), DataView::Boundary), 64);
+    }
+
+    #[test]
+    fn single_device_has_no_boundary() {
+        let g = grid(1, Dim3::cube(8));
+        assert_eq!(g.cell_count(DeviceId(0), DataView::Boundary), 0);
+        assert_eq!(g.cell_count(DeviceId(0), DataView::Internal), 512);
+        assert!(g.halo_segments(1, MemLayout::SoA).is_empty());
+    }
+
+    #[test]
+    fn iteration_covers_every_cell_once() {
+        let g = grid(3, Dim3::new(4, 4, 9));
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..3 {
+            g.for_each_cell(DeviceId(d), DataView::Standard, &mut |c| {
+                assert!(seen.insert((c.x, c.y, c.z)), "duplicate cell");
+            });
+        }
+        assert_eq!(seen.len(), 4 * 4 * 9);
+    }
+
+    #[test]
+    fn internal_and_boundary_disjoint_cover() {
+        let g = grid(2, Dim3::new(4, 4, 8));
+        for d in 0..2 {
+            let mut cells = Vec::new();
+            g.for_each_cell(DeviceId(d), DataView::Internal, &mut |c| {
+                cells.push((c.z, false))
+            });
+            g.for_each_cell(DeviceId(d), DataView::Boundary, &mut |c| {
+                cells.push((c.z, true))
+            });
+            assert_eq!(cells.len(), 4 * 4 * 4);
+        }
+        // Device 0 owns z in [0,4); boundary is z=3 only (no lower neighbour).
+        let mut bnd_z = std::collections::HashSet::new();
+        g.for_each_cell(DeviceId(0), DataView::Boundary, &mut |c| {
+            bnd_z.insert(c.z);
+        });
+        assert_eq!(bnd_z, [3].into_iter().collect());
+    }
+
+    #[test]
+    fn locate_round_trips_with_iteration() {
+        let g = grid(2, Dim3::new(3, 5, 8));
+        for d in 0..2 {
+            g.for_each_cell(DeviceId(d), DataView::Standard, &mut |c| {
+                let (dev, lin) = g.locate(c.x, c.y, c.z).unwrap();
+                assert_eq!(dev, DeviceId(d));
+                assert_eq!(lin, c.lin);
+            });
+        }
+        assert!(g.locate(-1, 0, 0).is_none());
+        assert!(g.locate(0, 0, 8).is_none());
+    }
+
+    #[test]
+    fn halo_segment_counts_match_paper() {
+        let g = grid(4, Dim3::new(8, 8, 16));
+        // Scalar (or AoS): 2 transfers per partition pair.
+        assert_eq!(g.halo_segments(1, MemLayout::SoA).len(), 2 * 3);
+        assert_eq!(g.halo_segments(3, MemLayout::AoS).len(), 2 * 3);
+        // SoA with n components: 2n per pair.
+        assert_eq!(g.halo_segments(3, MemLayout::SoA).len(), 2 * 3 * 3);
+    }
+
+    #[test]
+    fn halo_segments_have_correct_sizes() {
+        let g = grid(2, Dim3::new(4, 4, 8));
+        let segs = g.halo_segments(1, MemLayout::SoA);
+        assert_eq!(segs.len(), 2);
+        for s in &segs {
+            assert_eq!(s.len, 16); // one z-layer of 4x4
+        }
+        let up = segs.iter().find(|s| s.src == DeviceId(0)).unwrap();
+        // dev0 owns z [0,4): top owned layer is local z-layer 4 (offset 4*16).
+        assert_eq!(up.src_off, 4 * 16);
+        assert_eq!(up.dst_off, 0);
+        let down = segs.iter().find(|s| s.src == DeviceId(1)).unwrap();
+        assert_eq!(down.src_off, 16); // owned layer r=1
+        assert_eq!(down.dst_off, (1 + 4) * 16); // above dev0's owned layers
+    }
+
+    #[test]
+    fn thin_partition_rejected() {
+        let b = Backend::dgx_a100(8);
+        let s = Stencil::seven_point();
+        // 8 layers over 8 devices = 1 layer each, but middle partitions
+        // need ≥2 for radius-1 boundaries on both sides.
+        let err = DenseGrid::new(&b, Dim3::new(4, 4, 8), &[&s], StorageMode::Real);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn wide_stencil_offset_rejected() {
+        let b = Backend::dgx_a100(1);
+        let s = Stencil::new("wide", vec![Offset3::new(5, 0, 0)]);
+        let err = DenseGrid::new(&b, Dim3::new(4, 4, 4), &[&s], StorageMode::Real);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn virtual_grid_reports_counts_but_not_iteration() {
+        let b = Backend::dgx_a100(2);
+        let s = Stencil::seven_point();
+        let g = DenseGrid::new(&b, Dim3::cube(64), &[&s], StorageMode::Virtual).unwrap();
+        assert!(!g.supports_functional());
+        assert_eq!(g.cell_count(DeviceId(0), DataView::Standard), 64 * 64 * 32);
+    }
+}

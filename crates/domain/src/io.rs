@@ -1,0 +1,199 @@
+//! Host-side field export: CSV and legacy-VTK, for inspecting and
+//! visualizing simulation results (ParaView / VisIt open the `.vtk`
+//! output directly).
+//!
+//! Works on any grid type: the export iterates the full rectilinear
+//! extent; cells outside a sparse grid's active set are written with the
+//! field's outside value and flagged `0` in the accompanying `active`
+//! mask array.
+
+use std::io::{self, Write};
+
+use neon_set::Elem;
+
+use crate::field::Field;
+use crate::grid::GridLike;
+
+/// Write `field` as CSV: `x,y,z,active,c0,...,cN` with a header row.
+pub fn write_csv<T: Elem + std::fmt::Display, G: GridLike>(
+    field: &Field<T, G>,
+    out: &mut impl Write,
+) -> io::Result<()> {
+    let dim = field.grid().dim();
+    let card = field.card();
+    write!(out, "x,y,z,active")?;
+    for k in 0..card {
+        write!(out, ",c{k}")?;
+    }
+    writeln!(out)?;
+    for z in 0..dim.z as i32 {
+        for y in 0..dim.y as i32 {
+            for x in 0..dim.x as i32 {
+                let active = field.grid().locate(x, y, z).is_some();
+                write!(out, "{x},{y},{z},{}", u8::from(active))?;
+                for k in 0..card {
+                    let v = field.get(x, y, z, k).unwrap_or(field.outside_value());
+                    write!(out, ",{v}")?;
+                }
+                writeln!(out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write `field` as a legacy-VTK `STRUCTURED_POINTS` dataset with one
+/// `SCALARS`/`VECTORS` array per configuration plus an `active` mask.
+///
+/// Cardinality 1 exports `SCALARS`, cardinality 3 `VECTORS`; other
+/// cardinalities export one scalar array per component.
+pub fn write_vtk<G: GridLike>(
+    field: &Field<f64, G>,
+    name: &str,
+    out: &mut impl Write,
+) -> io::Result<()> {
+    let dim = field.grid().dim();
+    let card = field.card();
+    let npoints = dim.count();
+    writeln!(out, "# vtk DataFile Version 3.0")?;
+    writeln!(out, "neon-rs field export: {name}")?;
+    writeln!(out, "ASCII")?;
+    writeln!(out, "DATASET STRUCTURED_POINTS")?;
+    writeln!(out, "DIMENSIONS {} {} {}", dim.x, dim.y, dim.z)?;
+    writeln!(out, "ORIGIN 0 0 0")?;
+    writeln!(out, "SPACING 1 1 1")?;
+    writeln!(out, "POINT_DATA {npoints}")?;
+
+    let for_each_point = |f: &mut dyn FnMut(i32, i32, i32) -> String,
+                              out: &mut dyn Write|
+     -> io::Result<()> {
+        for z in 0..dim.z as i32 {
+            for y in 0..dim.y as i32 {
+                for x in 0..dim.x as i32 {
+                    writeln!(out, "{}", f(x, y, z))?;
+                }
+            }
+        }
+        Ok(())
+    };
+
+    writeln!(out, "SCALARS active int 1")?;
+    writeln!(out, "LOOKUP_TABLE default")?;
+    for_each_point(
+        &mut |x, y, z| u8::from(field.grid().locate(x, y, z).is_some()).to_string(),
+        out,
+    )?;
+
+    let value = |x: i32, y: i32, z: i32, k: usize| -> f64 {
+        field.get(x, y, z, k).unwrap_or(field.outside_value())
+    };
+    match card {
+        1 => {
+            writeln!(out, "SCALARS {name} double 1")?;
+            writeln!(out, "LOOKUP_TABLE default")?;
+            for_each_point(&mut |x, y, z| format!("{}", value(x, y, z, 0)), out)?;
+        }
+        3 => {
+            writeln!(out, "VECTORS {name} double")?;
+            for_each_point(
+                &mut |x, y, z| {
+                    format!("{} {} {}", value(x, y, z, 0), value(x, y, z, 1), value(x, y, z, 2))
+                },
+                out,
+            )?;
+        }
+        _ => {
+            for k in 0..card {
+                writeln!(out, "SCALARS {name}_{k} double 1")?;
+                writeln!(out, "LOOKUP_TABLE default")?;
+                for_each_point(&mut |x, y, z| format!("{}", value(x, y, z, k)), out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseGrid;
+    use crate::grid::Dim3;
+    use crate::layout::MemLayout;
+    use crate::sparse::SparseGrid;
+    use crate::stencil::Stencil;
+    use neon_set::StorageMode;
+    use neon_sys::Backend;
+
+    fn dense_field(card: usize) -> Field<f64, DenseGrid> {
+        let b = Backend::dgx_a100(2);
+        let st = Stencil::seven_point();
+        let g = DenseGrid::new(&b, Dim3::new(3, 2, 4), &[&st], StorageMode::Real).unwrap();
+        let f = Field::<f64, _>::new(&g, "f", card, -9.0, MemLayout::SoA).unwrap();
+        f.fill(|x, y, z, k| (x + 10 * y + 100 * z) as f64 + k as f64 * 0.5);
+        f
+    }
+
+    #[test]
+    fn csv_round_trip_values() {
+        let f = dense_field(2);
+        let mut buf = Vec::new();
+        write_csv(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "x,y,z,active,c0,c1");
+        assert_eq!(lines.len(), 1 + 3 * 2 * 4);
+        // Spot-check a row: cell (2,1,3) = 2 + 10 + 300 = 312.
+        assert!(lines.iter().any(|l| l.starts_with("2,1,3,1,312,312.5")), "{text}");
+    }
+
+    #[test]
+    fn vtk_scalar_structure() {
+        let f = dense_field(1);
+        let mut buf = Vec::new();
+        write_vtk(&f, "u", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("DATASET STRUCTURED_POINTS"));
+        assert!(text.contains("DIMENSIONS 3 2 4"));
+        assert!(text.contains("POINT_DATA 24"));
+        assert!(text.contains("SCALARS u double 1"));
+        // 24 actives + 24 values + headers.
+        let n_values = text
+            .lines()
+            .filter(|l| l.parse::<f64>().is_ok())
+            .count();
+        assert_eq!(n_values, 48);
+    }
+
+    #[test]
+    fn vtk_vector_structure() {
+        let f = dense_field(3);
+        let mut buf = Vec::new();
+        write_vtk(&f, "vel", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("VECTORS vel double"));
+        // A vector line with three components.
+        assert!(text.lines().any(|l| l.split_whitespace().count() == 3
+            && l.split_whitespace().all(|t| t.parse::<f64>().is_ok())));
+    }
+
+    #[test]
+    fn sparse_export_masks_inactive() {
+        let b = Backend::dgx_a100(1);
+        let st = Stencil::seven_point();
+        let g = SparseGrid::new(
+            &b,
+            Dim3::new(3, 3, 3),
+            &[&st],
+            |x, _, _| x == 1,
+            StorageMode::Real,
+        )
+        .unwrap();
+        let f = Field::<f64, _>::new(&g, "f", 1, -2.5, MemLayout::SoA).unwrap();
+        f.fill(|_, _, _, _| 7.0);
+        let mut buf = Vec::new();
+        write_csv(&f, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("1,0,0,1,7"), "active cell exported: {text}");
+        assert!(text.contains("0,0,0,0,-2.5"), "inactive flagged + outside value");
+    }
+}

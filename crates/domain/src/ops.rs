@@ -1,0 +1,356 @@
+//! Prebuilt BLAS-style containers with a unified interface for every grid
+//! type (paper §III: "Neon also offers a set of well-optimized standard
+//! BLAS operations (e.g., dot product) … to facilitate rapid
+//! prototyping").
+//!
+//! All operations work on any cardinality (components are looped) and any
+//! grid implementing [`GridLike`].
+
+use neon_set::{Cell, Container, ScalarSet};
+
+use crate::field::Field;
+use crate::grid::GridLike;
+use crate::view::{FieldRead as _, FieldWrite as _};
+
+/// `dst[i] ← v` for every component.
+pub fn set_value<G: GridLike>(grid: &G, dst: &Field<f64, G>, v: f64) -> Container {
+    let dst = dst.clone();
+    let card = dst.card();
+    Container::compute(
+        &format!("set({})", dst.name()),
+        grid.as_space(),
+        move |ldr| {
+            let d = ldr.write(&dst);
+            Box::new(move |c: Cell| {
+                for k in 0..card {
+                    d.set(c, k, v);
+                }
+            })
+        },
+    )
+}
+
+/// `dst[i] ← src[i]`.
+pub fn copy<G: GridLike>(grid: &G, src: &Field<f64, G>, dst: &Field<f64, G>) -> Container {
+    assert_eq!(src.card(), dst.card(), "cardinality mismatch");
+    let (src, dst) = (src.clone(), dst.clone());
+    let card = src.card();
+    Container::compute(
+        &format!("copy({}->{})", src.name(), dst.name()),
+        grid.as_space(),
+        move |ldr| {
+            let s = ldr.read(&src);
+            let d = ldr.write(&dst);
+            Box::new(move |c: Cell| {
+                for k in 0..card {
+                    d.set(c, k, s.at(c, k));
+                }
+            })
+        },
+    )
+}
+
+/// `y[i] ← a·x[i] + y[i]` with a compile-time constant `a`.
+pub fn axpy_const<G: GridLike>(
+    grid: &G,
+    a: f64,
+    x: &Field<f64, G>,
+    y: &Field<f64, G>,
+) -> Container {
+    assert_eq!(x.card(), y.card(), "cardinality mismatch");
+    let (x, y) = (x.clone(), y.clone());
+    let card = x.card();
+    Container::compute(
+        &format!("axpy({},{})", x.name(), y.name()),
+        grid.as_space(),
+        move |ldr| {
+            let xv = ldr.read(&x);
+            let yv = ldr.read_write(&y);
+            Box::new(move |c: Cell| {
+                for k in 0..card {
+                    yv.set(c, k, a * xv.at(c, k) + yv.at(c, k));
+                }
+            })
+        },
+    )
+}
+
+/// `y[i] ← sign·alpha·x[i] + y[i]` where `alpha` is a host scalar read at
+/// launch time (CG-style dynamic coefficients).
+pub fn axpy_scalar<G: GridLike>(
+    grid: &G,
+    alpha: &ScalarSet<f64>,
+    sign: f64,
+    x: &Field<f64, G>,
+    y: &Field<f64, G>,
+) -> Container {
+    assert_eq!(x.card(), y.card(), "cardinality mismatch");
+    let (x, y, alpha) = (x.clone(), y.clone(), alpha.clone());
+    let card = x.card();
+    Container::compute(
+        &format!("axpy[{}]({},{})", alpha.name(), x.name(), y.name()),
+        grid.as_space(),
+        move |ldr| {
+            let a = sign * ldr.scalar(&alpha);
+            let xv = ldr.read(&x);
+            let yv = ldr.read_write(&y);
+            Box::new(move |c: Cell| {
+                for k in 0..card {
+                    yv.set(c, k, a * xv.at(c, k) + yv.at(c, k));
+                }
+            })
+        },
+    )
+}
+
+/// `dst[i] ← a·dst[i]` with a constant `a`.
+pub fn scale_const<G: GridLike>(grid: &G, a: f64, dst: &Field<f64, G>) -> Container {
+    let dst = dst.clone();
+    let card = dst.card();
+    Container::compute(
+        &format!("scale({})", dst.name()),
+        grid.as_space(),
+        move |ldr| {
+            let d = ldr.read_write(&dst);
+            Box::new(move |c: Cell| {
+                for k in 0..card {
+                    d.set(c, k, a * d.at(c, k));
+                }
+            })
+        },
+    )
+}
+
+/// `out ← Σ_i Σ_k x[i,k]·y[i,k]` (all components contribute).
+pub fn dot<G: GridLike>(
+    grid: &G,
+    x: &Field<f64, G>,
+    y: &Field<f64, G>,
+    out: &ScalarSet<f64>,
+) -> Container {
+    assert_eq!(x.card(), y.card(), "cardinality mismatch");
+    let (x, y, out_c) = (x.clone(), y.clone(), out.clone());
+    let card = x.card();
+    Container::compute(
+        &format!("dot({},{})", x.name(), y.name()),
+        grid.as_space(),
+        move |ldr| {
+            let xv = ldr.read(&x);
+            let yv = ldr.read(&y);
+            let acc = ldr.reduce(&out_c);
+            Box::new(move |c: Cell| {
+                let mut s = 0.0;
+                for k in 0..card {
+                    s += xv.at(c, k) * yv.at(c, k);
+                }
+                acc.update(|a| a + s);
+            })
+        },
+    )
+}
+
+/// `w[i] ← a·x[i] + b·y[i]` with constants (BLAS `waxpby`).
+pub fn waxpby_const<G: GridLike>(
+    grid: &G,
+    a: f64,
+    x: &Field<f64, G>,
+    b: f64,
+    y: &Field<f64, G>,
+    w: &Field<f64, G>,
+) -> Container {
+    assert_eq!(x.card(), y.card(), "cardinality mismatch");
+    assert_eq!(x.card(), w.card(), "cardinality mismatch");
+    let (x, y, w) = (x.clone(), y.clone(), w.clone());
+    let card = x.card();
+    Container::compute(
+        &format!("waxpby({},{},{})", x.name(), y.name(), w.name()),
+        grid.as_space(),
+        move |ldr| {
+            let xv = ldr.read(&x);
+            let yv = ldr.read(&y);
+            let wv = ldr.write(&w);
+            Box::new(move |c: Cell| {
+                for k in 0..card {
+                    wv.set(c, k, a * xv.at(c, k) + b * yv.at(c, k));
+                }
+            })
+        },
+    )
+}
+
+/// `out ← Σ_i Σ_k x[i,k]²` — the squared L² norm (`dot(x, x)` with the
+/// single-operand traffic of a BLAS `nrm2`).
+pub fn norm2_sq<G: GridLike>(grid: &G, x: &Field<f64, G>, out: &ScalarSet<f64>) -> Container {
+    dot(grid, x, x, out)
+}
+
+/// `dst[i] ← s·dst[i]` where `s` is a host scalar read at launch time.
+pub fn scale_scalar<G: GridLike>(
+    grid: &G,
+    s: &ScalarSet<f64>,
+    dst: &Field<f64, G>,
+) -> Container {
+    let (s, dst) = (s.clone(), dst.clone());
+    let card = dst.card();
+    Container::compute(
+        &format!("scale[{}]({})", s.name(), dst.name()),
+        grid.as_space(),
+        move |ldr| {
+            let a = ldr.scalar(&s);
+            let d = ldr.read_write(&dst);
+            Box::new(move |c: Cell| {
+                for k in 0..card {
+                    d.set(c, k, a * d.at(c, k));
+                }
+            })
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseGrid;
+    use crate::grid::Dim3;
+    use crate::layout::MemLayout;
+    use crate::stencil::Stencil;
+    use neon_set::{ContainerKind, DataView, StorageMode};
+    use neon_sys::{Backend, DeviceId};
+
+    fn setup() -> (DenseGrid, Field<f64, DenseGrid>, Field<f64, DenseGrid>) {
+        let b = Backend::dgx_a100(2);
+        let s = Stencil::seven_point();
+        let g = DenseGrid::new(&b, Dim3::new(4, 4, 8), &[&s], StorageMode::Real).unwrap();
+        let x = Field::<f64, _>::new(&g, "x", 1, 0.0, MemLayout::SoA).unwrap();
+        let y = Field::<f64, _>::new(&g, "y", 1, 0.0, MemLayout::SoA).unwrap();
+        (g, x, y)
+    }
+
+    fn run_all(c: &Container, n_dev: usize) {
+        if c.is_reduce() {
+            c.reduce_init();
+        }
+        for d in 0..n_dev {
+            c.run_device(DeviceId(d), DataView::Standard);
+        }
+        if c.is_reduce() {
+            c.reduce_finalize();
+        }
+    }
+
+    #[test]
+    fn set_and_copy() {
+        let (g, x, y) = setup();
+        run_all(&set_value(&g, &x, 3.0), 2);
+        run_all(&copy(&g, &x, &y), 2);
+        y.for_each(|_, _, _, _, v| assert_eq!(v, 3.0));
+    }
+
+    #[test]
+    fn axpy_const_math() {
+        let (g, x, y) = setup();
+        x.fill(|_, _, _, _| 2.0);
+        y.fill(|_, _, _, _| 1.0);
+        run_all(&axpy_const(&g, 3.0, &x, &y), 2);
+        y.for_each(|_, _, _, _, v| assert_eq!(v, 7.0));
+    }
+
+    #[test]
+    fn axpy_scalar_reads_alpha_at_launch() {
+        let (g, x, y) = setup();
+        x.fill(|_, _, _, _| 1.0);
+        y.fill(|_, _, _, _| 0.0);
+        let alpha = ScalarSet::<f64>::new(2, "alpha", 0.0, |a, b| a + b);
+        let c = axpy_scalar(&g, &alpha, -1.0, &x, &y);
+        alpha.set_host(4.0);
+        run_all(&c, 2);
+        y.for_each(|_, _, _, _, v| assert_eq!(v, -4.0));
+        alpha.set_host(1.0);
+        run_all(&c, 2);
+        y.for_each(|_, _, _, _, v| assert_eq!(v, -5.0));
+    }
+
+    #[test]
+    fn dot_product() {
+        let (g, x, y) = setup();
+        x.fill(|_, _, _, _| 2.0);
+        y.fill(|_, _, _, _| 3.0);
+        let out = ScalarSet::<f64>::new(2, "dot", 0.0, |a, b| a + b);
+        let c = dot(&g, &x, &y, &out);
+        assert_eq!(c.kind(), ContainerKind::Reduce);
+        run_all(&c, 2);
+        assert_eq!(out.host_value(), 6.0 * 128.0);
+    }
+
+    #[test]
+    fn dot_multicomponent() {
+        let b = Backend::dgx_a100(1);
+        let s = Stencil::seven_point();
+        let g = DenseGrid::new(&b, Dim3::cube(4), &[&s], StorageMode::Real).unwrap();
+        let x = Field::<f64, _>::new(&g, "x", 3, 0.0, MemLayout::SoA).unwrap();
+        let y = Field::<f64, _>::new(&g, "y", 3, 0.0, MemLayout::AoS).unwrap();
+        x.fill(|_, _, _, c| (c + 1) as f64);
+        y.fill(|_, _, _, _| 1.0);
+        let out = ScalarSet::<f64>::new(1, "dot", 0.0, |a, b| a + b);
+        run_all(&dot(&g, &x, &y, &out), 1);
+        assert_eq!(out.host_value(), 6.0 * 64.0); // (1+2+3) per cell
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let (g, x, _) = setup();
+        x.fill(|_, _, _, _| 2.0);
+        run_all(&scale_const(&g, 0.5, &x), 2);
+        x.for_each(|_, _, _, _, v| assert_eq!(v, 1.0));
+    }
+
+    #[test]
+    fn waxpby_combines() {
+        let (g, x, y) = setup();
+        let w = Field::<f64, _>::new(&g, "w", 1, 0.0, MemLayout::SoA).unwrap();
+        x.fill(|_, _, _, _| 2.0);
+        y.fill(|_, _, _, _| 5.0);
+        run_all(&waxpby_const(&g, 3.0, &x, -1.0, &y, &w), 2);
+        w.for_each(|_, _, _, _, v| assert_eq!(v, 1.0));
+        // Inputs untouched.
+        x.for_each(|_, _, _, _, v| assert_eq!(v, 2.0));
+    }
+
+    #[test]
+    fn norm2_matches_dot_with_self() {
+        let (g, x, _) = setup();
+        x.fill(|xx, yy, zz, _| (xx + yy + zz) as f64);
+        let a = ScalarSet::<f64>::new(2, "a", 0.0, |p, q| p + q);
+        let b = ScalarSet::<f64>::new(2, "b", 0.0, |p, q| p + q);
+        run_all(&norm2_sq(&g, &x, &a), 2);
+        run_all(&dot(&g, &x, &x, &b), 2);
+        assert_eq!(a.host_value(), b.host_value());
+        assert!(a.host_value() > 0.0);
+    }
+
+    #[test]
+    fn scale_scalar_reads_at_launch() {
+        let (g, x, _) = setup();
+        x.fill(|_, _, _, _| 2.0);
+        let s = ScalarSet::<f64>::new(2, "s", 0.0, |p, q| p + q);
+        let c = scale_scalar(&g, &s, &x);
+        s.set_host(3.0);
+        run_all(&c, 2);
+        x.for_each(|_, _, _, _, v| assert_eq!(v, 6.0));
+        s.set_host(0.5);
+        run_all(&c, 2);
+        x.for_each(|_, _, _, _, v| assert_eq!(v, 3.0));
+    }
+
+    #[test]
+    fn repeated_dot_reinitializes() {
+        let (g, x, y) = setup();
+        x.fill(|_, _, _, _| 1.0);
+        y.fill(|_, _, _, _| 1.0);
+        let out = ScalarSet::<f64>::new(2, "dot", 0.0, |a, b| a + b);
+        let c = dot(&g, &x, &y, &out);
+        run_all(&c, 2);
+        run_all(&c, 2);
+        assert_eq!(out.host_value(), 128.0, "second run must not accumulate");
+    }
+}

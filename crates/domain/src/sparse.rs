@@ -1,0 +1,879 @@
+//! The element-sparse grid: only active cells are stored, with an explicit
+//! connectivity table.
+//!
+//! The paper's second grid representation (§IV-C2). Cells of interest are
+//! selected by a user mask; each partition stores its owned cells in class
+//! order
+//!
+//! ```text
+//! [ internal | boundary-low | boundary-high | halo-low | halo-high ]
+//! ```
+//!
+//! so that the cells a neighbour needs (boundary) and the cells received
+//! from a neighbour (halo) are contiguous — one copy per direction per
+//! partition (times cardinality for SoA), exactly like the dense grid.
+//!
+//! Neighbour access goes through a per-cell **connectivity table**
+//! (`owned_cells × slots` entries): entry `u32::MAX` means the neighbour
+//! is inactive or outside, anything else is the local index of the
+//! neighbour (owned or halo). The table's memory footprint and per-access
+//! traffic are the sparse grid's overhead versus the dense grid — the
+//! trade-off Fig. 9 of the paper explores.
+//!
+//! Partitioning balances **active** cells per device: z-slabs are chosen
+//! by per-layer active counts ([`crate::grid::weighted_slab_partition`]).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use neon_set::{Cell, DataView, Elem, IterationSpace, RawRead, RawWrite, StorageMode};
+use neon_sys::{AllocationTicket, Backend, DeviceId, NeonSysError, Result};
+
+use crate::grid::{weighted_slab_partition, Dim3, FieldParts, GridLike};
+use crate::layout::MemLayout;
+use crate::stencil::{union_offsets, Offset3, Stencil};
+use crate::view::{FieldRead, FieldStencil, FieldWrite, HaloSegment};
+
+/// Connectivity sentinel: neighbour is inactive or outside the domain.
+pub const SPARSE_NONE: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct SparsePart {
+    z0: usize,
+    z1: usize,
+    n_int: u32,
+    n_bnd_lo: u32,
+    n_bnd_hi: u32,
+    n_halo_lo: u32,
+    n_halo_hi: u32,
+    /// Coordinates of stored cells (owned then halo), class-ordered.
+    /// Empty in virtual mode.
+    cells: Vec<(i32, i32, i32)>,
+    /// Connectivity: `owned × slots` local indices. Empty in virtual mode.
+    conn: Vec<u32>,
+    /// Host lookup from coords to local index (owned + halo cells).
+    lookup: HashMap<(i32, i32, i32), u32>,
+    /// Ledger registrations for connectivity + cell-coordinate storage.
+    _tickets: Vec<AllocationTicket>,
+}
+
+impl SparsePart {
+    fn n_owned(&self) -> u32 {
+        self.n_int + self.n_bnd_lo + self.n_bnd_hi
+    }
+    fn n_halo(&self) -> u32 {
+        self.n_halo_lo + self.n_halo_hi
+    }
+    fn n_stored(&self) -> u32 {
+        self.n_owned() + self.n_halo()
+    }
+}
+
+#[derive(Debug)]
+struct SparseInner {
+    backend: Backend,
+    dim: Dim3,
+    radius: usize,
+    offsets: Arc<Vec<Offset3>>,
+    mode: StorageMode,
+    parts: Vec<SparsePart>,
+    total_active: u64,
+}
+
+/// An element-sparse grid partitioned into active-cell-balanced z-slabs.
+#[derive(Clone)]
+pub struct SparseGrid {
+    inner: Arc<SparseInner>,
+}
+
+impl std::fmt::Debug for SparseGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparseGrid")
+            .field("dim", &self.inner.dim)
+            .field("active", &self.inner.total_active)
+            .field("radius", &self.inner.radius)
+            .field("partitions", &self.inner.parts.len())
+            .finish()
+    }
+}
+
+impl SparseGrid {
+    /// Create a sparse grid over the cells where `mask` is true.
+    pub fn new(
+        backend: &Backend,
+        dim: Dim3,
+        stencils: &[&Stencil],
+        mask: impl Fn(i32, i32, i32) -> bool,
+        mode: StorageMode,
+    ) -> Result<Self> {
+        if dim.count() == 0 {
+            return Err(NeonSysError::InvalidConfig {
+                what: format!("empty domain {dim}"),
+            });
+        }
+        let n = backend.num_devices();
+        if dim.z < n {
+            return Err(NeonSysError::InvalidConfig {
+                what: format!("{dim} has fewer z-layers than the {n} devices"),
+            });
+        }
+        let offsets = union_offsets(stencils);
+        let nslots = offsets.len();
+        let radius = offsets
+            .iter()
+            .map(|o| o.dz.unsigned_abs() as usize)
+            .max()
+            .unwrap_or(0);
+
+        // One mask pass: per-layer active counts (both modes).
+        let mut layer_counts = vec![0u64; dim.z];
+        for (z, count) in layer_counts.iter_mut().enumerate() {
+            for y in 0..dim.y as i32 {
+                for x in 0..dim.x as i32 {
+                    if mask(x, y, z as i32) {
+                        *count += 1;
+                    }
+                }
+            }
+        }
+        let total_active: u64 = layer_counts.iter().sum();
+        if total_active == 0 {
+            return Err(NeonSysError::InvalidConfig {
+                what: "sparse grid has no active cells".to_string(),
+            });
+        }
+        let slabs = weighted_slab_partition(&layer_counts, n);
+
+        let layer_sum =
+            |a: usize, b: usize| -> u64 { layer_counts[a.min(dim.z)..b.min(dim.z)].iter().sum() };
+
+        let mut parts = Vec::with_capacity(n);
+        for (p, &(z0, z1)) in slabs.iter().enumerate() {
+            let has_lo = p > 0;
+            let has_hi = p + 1 < n;
+            let nz = z1 - z0;
+            if (has_lo as usize + has_hi as usize) * radius > nz {
+                return Err(NeonSysError::InvalidConfig {
+                    what: format!("sparse partition [{z0}, {z1}) too thin for radius {radius}"),
+                });
+            }
+            let bl = if has_lo { radius } else { 0 };
+            let bh = if has_hi { radius } else { 0 };
+            let n_bnd_lo = layer_sum(z0, z0 + bl) as u32;
+            let n_bnd_hi = layer_sum(z1 - bh, z1) as u32;
+            // Guard against double counting when bl + bh == nz.
+            let n_owned = layer_sum(z0, z1) as u32;
+            let n_int = n_owned - n_bnd_lo - n_bnd_hi;
+            let n_halo_lo = if has_lo { layer_sum(z0 - radius, z0) as u32 } else { 0 };
+            let n_halo_hi = if has_hi { layer_sum(z1, z1 + radius) as u32 } else { 0 };
+            let n_stored = (n_owned + n_halo_lo + n_halo_hi) as u64;
+
+            // Account device memory: connectivity (u32 per slot per owned
+            // cell) + stored-cell coordinates (3 × i32).
+            let dev = DeviceId(p);
+            let conn_bytes = n_owned as u64 * nslots as u64 * 4;
+            let coord_bytes = n_stored * 12;
+            let tickets = vec![
+                backend.ledger(dev).alloc(conn_bytes)?,
+                backend.ledger(dev).alloc(coord_bytes)?,
+            ];
+
+            let (cells, conn, lookup) = if mode == StorageMode::Real {
+                build_partition_tables(
+                    dim, &mask, &offsets, radius, z0, z1, bl, bh, has_lo, has_hi,
+                )
+            } else {
+                (Vec::new(), Vec::new(), HashMap::new())
+            };
+
+            if mode == StorageMode::Real {
+                debug_assert_eq!(cells.len() as u64, n_stored);
+            }
+            if n_stored > u32::MAX as u64 {
+                return Err(NeonSysError::InvalidConfig {
+                    what: "sparse partition exceeds 32-bit cell indices".to_string(),
+                });
+            }
+
+            parts.push(SparsePart {
+                z0,
+                z1,
+                n_int,
+                n_bnd_lo,
+                n_bnd_hi,
+                n_halo_lo,
+                n_halo_hi,
+                cells,
+                conn,
+                lookup,
+                _tickets: tickets,
+            });
+        }
+
+        // Cross-partition consistency: boundary/halo mirrors must agree.
+        for p in 0..n.saturating_sub(1) {
+            assert_eq!(
+                parts[p].n_bnd_hi,
+                parts[p + 1].n_halo_lo,
+                "boundary/halo mismatch between partitions {p} and {}",
+                p + 1
+            );
+            assert_eq!(parts[p + 1].n_bnd_lo, parts[p].n_halo_hi);
+        }
+
+        Ok(SparseGrid {
+            inner: Arc::new(SparseInner {
+                backend: backend.clone(),
+                dim,
+                radius,
+                offsets: Arc::new(offsets),
+                mode,
+                parts,
+                total_active,
+            }),
+        })
+    }
+
+    fn part(&self, dev: DeviceId) -> &SparsePart {
+        &self.inner.parts[dev.0]
+    }
+
+    /// Owned z-range of device `dev`.
+    pub fn owned_z_range(&self, dev: DeviceId) -> (usize, usize) {
+        let p = self.part(dev);
+        (p.z0, p.z1)
+    }
+
+    /// Number of stored (owned + halo) cells on `dev`.
+    pub fn stored_cells(&self, dev: DeviceId) -> u64 {
+        self.part(dev).n_stored() as u64
+    }
+}
+
+/// Cell list, connectivity table and coordinate lookup of one partition.
+type PartitionTables = (
+    Vec<(i32, i32, i32)>,
+    Vec<u32>,
+    HashMap<(i32, i32, i32), u32>,
+);
+
+/// Build the cell list, connectivity table and lookup map of one partition.
+#[allow(clippy::too_many_arguments)]
+fn build_partition_tables(
+    dim: Dim3,
+    mask: &impl Fn(i32, i32, i32) -> bool,
+    offsets: &[Offset3],
+    radius: usize,
+    z0: usize,
+    z1: usize,
+    bl: usize,
+    bh: usize,
+    has_lo: bool,
+    has_hi: bool,
+) -> PartitionTables {
+    let collect_range = |za: i64, zb: i64| -> Vec<(i32, i32, i32)> {
+        let za = za.max(0) as usize;
+        let zb = (zb.max(0) as usize).min(dim.z);
+        let mut v = Vec::new();
+        for z in za..zb {
+            for y in 0..dim.y as i32 {
+                for x in 0..dim.x as i32 {
+                    if mask(x, y, z as i32) {
+                        v.push((x, y, z as i32));
+                    }
+                }
+            }
+        }
+        v
+    };
+
+    let internal = collect_range((z0 + bl) as i64, (z1 - bh) as i64);
+    let bnd_lo = collect_range(z0 as i64, (z0 + bl) as i64);
+    let bnd_hi = collect_range((z1 - bh) as i64, z1 as i64);
+    let halo_lo = if has_lo {
+        collect_range(z0 as i64 - radius as i64, z0 as i64)
+    } else {
+        Vec::new()
+    };
+    let halo_hi = if has_hi {
+        collect_range(z1 as i64, z1 as i64 + radius as i64)
+    } else {
+        Vec::new()
+    };
+
+    let mut cells =
+        Vec::with_capacity(internal.len() + bnd_lo.len() + bnd_hi.len() + halo_lo.len() + halo_hi.len());
+    cells.extend(internal);
+    cells.extend(bnd_lo);
+    cells.extend(bnd_hi);
+    let n_owned = cells.len();
+    cells.extend(halo_lo);
+    cells.extend(halo_hi);
+
+    let lookup: HashMap<(i32, i32, i32), u32> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i as u32))
+        .collect();
+
+    let nslots = offsets.len();
+    let mut conn = vec![SPARSE_NONE; n_owned * nslots];
+    for (i, &(x, y, z)) in cells[..n_owned].iter().enumerate() {
+        for (s, o) in offsets.iter().enumerate() {
+            let (nx, ny, nz) = (x + o.dx, y + o.dy, z + o.dz);
+            if !dim.contains(nx, ny, nz) || !mask(nx, ny, nz) {
+                continue;
+            }
+            let idx = lookup.get(&(nx, ny, nz)).copied().unwrap_or_else(|| {
+                panic!(
+                    "active neighbour ({nx},{ny},{nz}) of ({x},{y},{z}) not stored; \
+                     halo radius {radius} violated"
+                )
+            });
+            conn[i * nslots + s] = idx;
+        }
+    }
+    (cells, conn, lookup)
+}
+
+impl IterationSpace for SparseGrid {
+    fn num_partitions(&self) -> usize {
+        self.inner.parts.len()
+    }
+
+    fn cell_count(&self, dev: DeviceId, view: DataView) -> u64 {
+        let p = self.part(dev);
+        match view {
+            DataView::Standard => p.n_owned() as u64,
+            DataView::Internal => p.n_int as u64,
+            DataView::Boundary => (p.n_bnd_lo + p.n_bnd_hi) as u64,
+        }
+    }
+
+    fn for_each_cell(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(Cell)) {
+        assert!(
+            self.inner.mode == StorageMode::Real,
+            "sparse grid has virtual storage; functional iteration unavailable"
+        );
+        let p = self.part(dev);
+        let (a, b) = match view {
+            DataView::Standard => (0u32, p.n_owned()),
+            DataView::Internal => (0, p.n_int),
+            DataView::Boundary => (p.n_int, p.n_owned()),
+        };
+        for i in a..b {
+            let (x, y, z) = p.cells[i as usize];
+            f(Cell::new(i, x, y, z));
+        }
+    }
+
+    fn supports_functional(&self) -> bool {
+        self.inner.mode == StorageMode::Real
+    }
+}
+
+/// Cell-local read view of a sparse partition.
+pub struct SparseRead<T: Elem> {
+    raw: RawRead<T>,
+    card: usize,
+    layout: MemLayout,
+    stride: usize,
+}
+
+impl<T: Elem> FieldRead<T> for SparseRead<T> {
+    #[inline]
+    fn at(&self, cell: Cell, comp: usize) -> T {
+        self.raw
+            .get(self.layout.index(cell.idx(), comp, self.stride, self.card))
+    }
+    fn card(&self) -> usize {
+        self.card
+    }
+}
+
+/// Neighbourhood read view of a sparse partition (connectivity-table
+/// based).
+pub struct SparseStencil<T: Elem> {
+    raw: RawRead<T>,
+    card: usize,
+    layout: MemLayout,
+    stride: usize,
+    outside: T,
+    grid: Arc<SparseInner>,
+    dev: DeviceId,
+    nslots: usize,
+}
+
+impl<T: Elem> FieldRead<T> for SparseStencil<T> {
+    #[inline]
+    fn at(&self, cell: Cell, comp: usize) -> T {
+        self.raw
+            .get(self.layout.index(cell.idx(), comp, self.stride, self.card))
+    }
+    fn card(&self) -> usize {
+        self.card
+    }
+}
+
+impl<T: Elem> FieldStencil<T> for SparseStencil<T> {
+    #[inline]
+    fn ngh(&self, cell: Cell, slot: usize, comp: usize) -> T {
+        let conn = &self.grid.parts[self.dev.0].conn;
+        let n = conn[cell.idx() * self.nslots + slot];
+        if n == SPARSE_NONE {
+            self.outside
+        } else {
+            self.raw
+                .get(self.layout.index(n as usize, comp, self.stride, self.card))
+        }
+    }
+
+    #[inline]
+    fn ngh_active(&self, cell: Cell, slot: usize) -> bool {
+        let conn = &self.grid.parts[self.dev.0].conn;
+        conn[cell.idx() * self.nslots + slot] != SPARSE_NONE
+    }
+
+    fn num_slots(&self) -> usize {
+        self.nslots
+    }
+}
+
+/// Write view of a sparse partition.
+pub struct SparseWrite<T: Elem> {
+    raw: RawWrite<T>,
+    card: usize,
+    layout: MemLayout,
+    stride: usize,
+}
+
+impl<T: Elem> FieldWrite<T> for SparseWrite<T> {
+    #[inline]
+    fn at(&self, cell: Cell, comp: usize) -> T {
+        self.raw
+            .get(self.layout.index(cell.idx(), comp, self.stride, self.card))
+    }
+    #[inline]
+    fn set(&self, cell: Cell, comp: usize, v: T) {
+        self.raw
+            .set(self.layout.index(cell.idx(), comp, self.stride, self.card), v)
+    }
+    fn card(&self) -> usize {
+        self.card
+    }
+}
+
+impl GridLike for SparseGrid {
+    type ReadView<T: Elem> = SparseRead<T>;
+    type StencilView<T: Elem> = SparseStencil<T>;
+    type WriteView<T: Elem> = SparseWrite<T>;
+
+    fn backend(&self) -> &Backend {
+        &self.inner.backend
+    }
+
+    fn dim(&self) -> Dim3 {
+        self.inner.dim
+    }
+
+    fn storage_mode(&self) -> StorageMode {
+        self.inner.mode
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.inner.parts.len()
+    }
+
+    fn radius(&self) -> usize {
+        self.inner.radius
+    }
+
+    fn active_cells(&self) -> u64 {
+        self.inner.total_active
+    }
+
+    fn owned_cells(&self, dev: DeviceId, view: DataView) -> u64 {
+        self.cell_count(dev, view)
+    }
+
+    fn alloc_len(&self, dev: DeviceId) -> usize {
+        self.part(dev).n_stored() as usize
+    }
+
+    fn as_space(&self) -> Arc<dyn IterationSpace> {
+        Arc::new(self.clone())
+    }
+
+    fn union_offsets(&self) -> &[Offset3] {
+        &self.inner.offsets
+    }
+
+    fn stencil_extra_bytes_per_cell(&self) -> u64 {
+        // Each iterated cell streams its connectivity row.
+        self.inner.offsets.len() as u64 * 4
+    }
+
+    fn halo_segments(&self, card: usize, layout: MemLayout) -> Vec<HaloSegment> {
+        if self.inner.radius == 0 || self.inner.parts.len() == 1 {
+            return Vec::new();
+        }
+        let mut segs = Vec::new();
+        for i in 0..self.inner.parts.len() - 1 {
+            let lo = DeviceId(i);
+            let hi = DeviceId(i + 1);
+            let plo = self.part(lo);
+            let phi = self.part(hi);
+            // Upward: lo's boundary-high → hi's halo-low.
+            let up_src = (plo.n_int + plo.n_bnd_lo) as usize;
+            let up_dst = phi.n_owned() as usize;
+            let up_len = plo.n_bnd_hi as usize;
+            // Downward: hi's boundary-low → lo's halo-high.
+            let dn_src = phi.n_int as usize;
+            let dn_dst = (plo.n_owned() + plo.n_halo_lo) as usize;
+            let dn_len = phi.n_bnd_lo as usize;
+            match layout {
+                MemLayout::SoA => {
+                    let stride_lo = self.alloc_len(lo);
+                    let stride_hi = self.alloc_len(hi);
+                    for c in 0..card {
+                        if up_len > 0 {
+                            segs.push(HaloSegment {
+                                src: lo,
+                                dst: hi,
+                                src_off: c * stride_lo + up_src,
+                                dst_off: c * stride_hi + up_dst,
+                                len: up_len,
+                            });
+                        }
+                        if dn_len > 0 {
+                            segs.push(HaloSegment {
+                                src: hi,
+                                dst: lo,
+                                src_off: c * stride_hi + dn_src,
+                                dst_off: c * stride_lo + dn_dst,
+                                len: dn_len,
+                            });
+                        }
+                    }
+                }
+                MemLayout::AoS => {
+                    if up_len > 0 {
+                        segs.push(HaloSegment {
+                            src: lo,
+                            dst: hi,
+                            src_off: up_src * card,
+                            dst_off: up_dst * card,
+                            len: up_len * card,
+                        });
+                    }
+                    if dn_len > 0 {
+                        segs.push(HaloSegment {
+                            src: hi,
+                            dst: lo,
+                            src_off: dn_src * card,
+                            dst_off: dn_dst * card,
+                            len: dn_len * card,
+                        });
+                    }
+                }
+            }
+        }
+        segs
+    }
+
+    fn locate(&self, x: i32, y: i32, z: i32) -> Option<(DeviceId, u32)> {
+        if !self.inner.dim.contains(x, y, z) {
+            return None;
+        }
+        let z_us = z as usize;
+        let dev = self
+            .inner
+            .parts
+            .iter()
+            .position(|p| z_us >= p.z0 && z_us < p.z1)
+            .map(DeviceId)?;
+        let p = self.part(dev);
+        p.lookup.get(&(x, y, z)).map(|&lin| (dev, lin))
+    }
+
+    fn for_each_owned(&self, dev: DeviceId, f: &mut dyn FnMut(Cell)) {
+        self.for_each_cell(dev, DataView::Standard, f);
+    }
+
+    fn make_read_view<T: Elem>(
+        &self,
+        parts: &FieldParts<T>,
+        dev: DeviceId,
+        null: bool,
+    ) -> SparseRead<T> {
+        let null = null || self.inner.mode == StorageMode::Virtual;
+        SparseRead {
+            raw: if null {
+                parts.mem.null_read()
+            } else {
+                parts.mem.read(dev)
+            },
+            card: parts.card,
+            layout: parts.layout,
+            stride: self.alloc_len(dev),
+        }
+    }
+
+    fn make_stencil_view<T: Elem>(
+        &self,
+        parts: &FieldParts<T>,
+        dev: DeviceId,
+        null: bool,
+    ) -> SparseStencil<T> {
+        let null = null || self.inner.mode == StorageMode::Virtual;
+        SparseStencil {
+            raw: if null {
+                parts.mem.null_read()
+            } else {
+                parts.mem.read(dev)
+            },
+            card: parts.card,
+            layout: parts.layout,
+            stride: self.alloc_len(dev),
+            outside: parts.outside,
+            grid: self.inner.clone(),
+            dev,
+            nslots: self.inner.offsets.len(),
+        }
+    }
+
+    fn make_write_view<T: Elem>(
+        &self,
+        parts: &FieldParts<T>,
+        dev: DeviceId,
+        null: bool,
+    ) -> SparseWrite<T> {
+        let null = null || self.inner.mode == StorageMode::Virtual;
+        SparseWrite {
+            raw: if null {
+                parts.mem.null_write()
+            } else {
+                parts.mem.write(dev)
+            },
+            card: parts.card,
+            layout: parts.layout,
+            stride: self.alloc_len(dev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A solid ball of radius `r` centred in the domain.
+    fn ball_mask(dim: Dim3, r: f64) -> impl Fn(i32, i32, i32) -> bool {
+        let cx = dim.x as f64 / 2.0;
+        let cy = dim.y as f64 / 2.0;
+        let cz = dim.z as f64 / 2.0;
+        move |x, y, z| {
+            let dx = x as f64 + 0.5 - cx;
+            let dy = y as f64 + 0.5 - cy;
+            let dz = z as f64 + 0.5 - cz;
+            (dx * dx + dy * dy + dz * dz).sqrt() <= r
+        }
+    }
+
+    fn grid(n_dev: usize) -> SparseGrid {
+        let b = Backend::dgx_a100(n_dev);
+        let s = Stencil::seven_point();
+        let dim = Dim3::cube(16);
+        SparseGrid::new(&b, dim, &[&s], ball_mask(dim, 6.0), StorageMode::Real).unwrap()
+    }
+
+    #[test]
+    fn active_count_matches_mask() {
+        let g = grid(2);
+        let dim = g.dim();
+        let mask = ball_mask(dim, 6.0);
+        let mut expect = 0u64;
+        for z in 0..16 {
+            for y in 0..16 {
+                for x in 0..16 {
+                    if mask(x, y, z) {
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(g.active_cells(), expect);
+        let per_dev: u64 = (0..2)
+            .map(|d| g.cell_count(DeviceId(d), DataView::Standard))
+            .sum();
+        assert_eq!(per_dev, expect);
+    }
+
+    #[test]
+    fn views_partition_standard() {
+        let g = grid(4);
+        for d in 0..4 {
+            let d = DeviceId(d);
+            assert_eq!(
+                g.cell_count(d, DataView::Internal) + g.cell_count(d, DataView::Boundary),
+                g.cell_count(d, DataView::Standard)
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_covers_active_cells_once() {
+        let g = grid(2);
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..2 {
+            g.for_each_cell(DeviceId(d), DataView::Standard, &mut |c| {
+                assert!(seen.insert((c.x, c.y, c.z)));
+            });
+        }
+        assert_eq!(seen.len() as u64, g.active_cells());
+    }
+
+    #[test]
+    fn locate_round_trips() {
+        let g = grid(2);
+        for d in 0..2 {
+            g.for_each_cell(DeviceId(d), DataView::Standard, &mut |c| {
+                let (dev, lin) = g.locate(c.x, c.y, c.z).unwrap();
+                assert_eq!(dev, DeviceId(d));
+                assert_eq!(lin, c.lin);
+            });
+        }
+        // Corner of the box is outside the ball.
+        assert!(g.locate(0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn connectivity_agrees_with_geometry() {
+        let g = grid(2);
+        let dim = g.dim();
+        let mask = ball_mask(dim, 6.0);
+        let offsets = g.union_offsets().to_vec();
+        for d in 0..2 {
+            let part = &g.inner.parts[d];
+            let nslots = offsets.len();
+            for i in 0..part.n_owned() as usize {
+                let (x, y, z) = part.cells[i];
+                for (s, o) in offsets.iter().enumerate() {
+                    let n = part.conn[i * nslots + s];
+                    let (nx, ny, nz) = (x + o.dx, y + o.dy, z + o.dz);
+                    let active = dim.contains(nx, ny, nz) && mask(nx, ny, nz);
+                    if active {
+                        assert_ne!(n, SPARSE_NONE, "missing neighbour at ({nx},{ny},{nz})");
+                        assert_eq!(part.cells[n as usize], (nx, ny, nz));
+                    } else {
+                        assert_eq!(n, SPARSE_NONE);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_halo_mirror_counts() {
+        let g = grid(4);
+        for p in 0..3 {
+            let a = &g.inner.parts[p];
+            let b = &g.inner.parts[p + 1];
+            assert_eq!(a.n_bnd_hi, b.n_halo_lo);
+            assert_eq!(b.n_bnd_lo, a.n_halo_hi);
+            // And the mirrored cells are the same coordinates in order.
+            let a_bnd_hi: Vec<_> = a.cells
+                [(a.n_int + a.n_bnd_lo) as usize..a.n_owned() as usize]
+                .to_vec();
+            let b_halo_lo: Vec<_> = b.cells
+                [b.n_owned() as usize..(b.n_owned() + b.n_halo_lo) as usize]
+                .to_vec();
+            assert_eq!(a_bnd_hi, b_halo_lo);
+        }
+    }
+
+    #[test]
+    fn halo_segments_match_paper_counts() {
+        let g = grid(4);
+        let scalar = g.halo_segments(1, MemLayout::SoA);
+        assert!(scalar.len() <= 2 * 3);
+        let aos = g.halo_segments(3, MemLayout::AoS);
+        assert_eq!(aos.len(), scalar.len());
+        let soa = g.halo_segments(3, MemLayout::SoA);
+        assert_eq!(soa.len(), scalar.len() * 3);
+    }
+
+    #[test]
+    fn memory_accounted_for_connectivity() {
+        let b = Backend::dgx_a100(2);
+        let s = Stencil::seven_point();
+        let dim = Dim3::cube(16);
+        let before: u64 = (0..2).map(|d| b.ledger(DeviceId(d)).in_use()).sum();
+        let g = SparseGrid::new(&b, dim, &[&s], |_, _, _| true, StorageMode::Real).unwrap();
+        let after: u64 = (0..2).map(|d| b.ledger(DeviceId(d)).in_use()).sum();
+        let owned = g.active_cells();
+        // conn: owned × 6 slots × 4 bytes; coords: stored × 12 bytes ≥ owned × 12.
+        assert!(after - before >= owned * 24 + owned * 12);
+    }
+
+    #[test]
+    fn virtual_mode_counts_without_tables() {
+        let b = Backend::dgx_a100(2);
+        let s = Stencil::seven_point();
+        let dim = Dim3::cube(16);
+        let real =
+            SparseGrid::new(&b, dim, &[&s], ball_mask(dim, 6.0), StorageMode::Real).unwrap();
+        let virt =
+            SparseGrid::new(&b, dim, &[&s], ball_mask(dim, 6.0), StorageMode::Virtual).unwrap();
+        assert!(!virt.supports_functional());
+        for d in 0..2 {
+            for v in [DataView::Standard, DataView::Internal, DataView::Boundary] {
+                assert_eq!(
+                    real.cell_count(DeviceId(d), v),
+                    virt.cell_count(DeviceId(d), v)
+                );
+            }
+            assert_eq!(real.alloc_len(DeviceId(d)), virt.alloc_len(DeviceId(d)));
+        }
+        assert_eq!(
+            real.halo_segments(1, MemLayout::SoA),
+            virt.halo_segments(1, MemLayout::SoA)
+        );
+    }
+
+    #[test]
+    fn empty_mask_rejected() {
+        let b = Backend::dgx_a100(1);
+        let s = Stencil::seven_point();
+        let err = SparseGrid::new(
+            &b,
+            Dim3::cube(8),
+            &[&s],
+            |_, _, _| false,
+            StorageMode::Real,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn load_balance_beats_naive_split() {
+        // All active cells in the top half of z: a naive even split would
+        // give the lower devices nothing.
+        let b = Backend::dgx_a100(2);
+        let s = Stencil::seven_point();
+        let dim = Dim3::new(8, 8, 32);
+        let g = SparseGrid::new(
+            &b,
+            dim,
+            &[&s],
+            |_, _, z| z >= 16,
+            StorageMode::Real,
+        )
+        .unwrap();
+        let c0 = g.cell_count(DeviceId(0), DataView::Standard);
+        let c1 = g.cell_count(DeviceId(1), DataView::Standard);
+        let total = c0 + c1;
+        assert_eq!(total, 8 * 8 * 16);
+        let imbalance = c0.abs_diff(c1) as f64 / total as f64;
+        assert!(imbalance < 0.2, "imbalance {imbalance}: {c0} vs {c1}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Field view traits and halo transfer segments.
+//!
+//! A compute lambda never touches raw storage; it goes through view objects
+//! obtained from the [`crate::Loader`]. The traits here are the *common
+//! interface* the dense and sparse grids both implement, which is what
+//! makes user kernels grid-generic: the same lambda body compiles against
+//! either grid's concrete view types (paper §VI-C: "the ease of changing
+//! the data structures without changing the computation code").
+
+use neon_set::{Cell, Elem};
+use neon_sys::DeviceId;
+
+/// Cell-local read access to a field partition.
+pub trait FieldRead<T: Elem> {
+    /// Value of component `comp` at `cell`.
+    fn at(&self, cell: Cell, comp: usize) -> T;
+    /// Number of components.
+    fn card(&self) -> usize;
+}
+
+/// Neighbourhood read access (stencil pattern).
+///
+/// Neighbours are addressed by *slot* into the grid's registered stencil
+/// offsets. Reads outside the active domain return the field's
+/// outside-domain value (paper Listing 1); `ngh_active` distinguishes a
+/// real neighbour from the outside default (needed e.g. for bounce-back
+/// boundary conditions in LBM).
+pub trait FieldStencil<T: Elem>: FieldRead<T> {
+    /// Component `comp` of the neighbour at `slot`, or the outside value.
+    fn ngh(&self, cell: Cell, slot: usize, comp: usize) -> T;
+    /// Whether the neighbour at `slot` is an active cell.
+    fn ngh_active(&self, cell: Cell, slot: usize) -> bool;
+    /// Number of neighbour slots.
+    fn num_slots(&self) -> usize;
+}
+
+/// Cell-local write access (own-compute rule: a kernel may write only the
+/// cell it is invoked for; neighbour metadata is read-only).
+pub trait FieldWrite<T: Elem> {
+    /// Current value (for read-write accesses like AXPY's `y`).
+    fn at(&self, cell: Cell, comp: usize) -> T;
+    /// Store `v` into component `comp` at `cell`.
+    fn set(&self, cell: Cell, comp: usize, v: T);
+    /// Number of components.
+    fn card(&self) -> usize;
+}
+
+/// One contiguous element range copied by a halo update.
+///
+/// Offsets and lengths are in *elements* of the field's scalar type,
+/// relative to each partition's local storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaloSegment {
+    /// Source partition.
+    pub src: DeviceId,
+    /// Destination partition.
+    pub dst: DeviceId,
+    /// Element offset in the source partition.
+    pub src_off: usize,
+    /// Element offset in the destination partition.
+    pub dst_off: usize,
+    /// Number of elements.
+    pub len: usize,
+}

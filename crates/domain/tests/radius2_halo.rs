@@ -1,0 +1,123 @@
+//! Radius-2 stencils: the halo machinery must move *two* boundary layers
+//! per direction, classify two layers as boundary cells, and resolve
+//! neighbours two slabs away — on both grid types.
+
+use neon_domain::{
+    DataView, DenseGrid, Dim3, Field, FieldStencil as _, GridLike, Loader, MemLayout, Offset3,
+    SparseGrid, Stencil, StorageMode,
+};
+use neon_set::IterationSpace;
+use neon_sys::{Backend, DeviceId};
+
+fn value(x: i32, y: i32, z: i32) -> f64 {
+    (x + 100 * y + 10_000 * z) as f64
+}
+
+#[test]
+fn dense_radius2_views_and_halos() {
+    let b = Backend::dgx_a100(3);
+    let st = Stencil::star(2);
+    let dim = Dim3::new(4, 4, 18);
+    let g = DenseGrid::new(&b, dim, &[&st], StorageMode::Real).unwrap();
+    assert_eq!(g.radius(), 2);
+    // Middle partition: 2 boundary layers on each side.
+    assert_eq!(g.cell_count(DeviceId(1), DataView::Boundary), 4 * 16);
+    assert_eq!(
+        g.cell_count(DeviceId(1), DataView::Internal),
+        (6 - 4) * 16
+    );
+    // Halo segments move 2 layers each.
+    let segs = g.halo_segments(1, MemLayout::SoA);
+    for s in &segs {
+        assert_eq!(s.len, 2 * 16, "radius-2 halo must move two layers");
+    }
+}
+
+#[test]
+fn dense_radius2_cross_partition_reads() {
+    let b = Backend::dgx_a100(3);
+    let st = Stencil::star(2);
+    let dim = Dim3::new(4, 4, 18);
+    let g = DenseGrid::new(&b, dim, &[&st], StorageMode::Real).unwrap();
+    let f = Field::<f64, _>::new(&g, "f", 1, -1.0, MemLayout::SoA).unwrap();
+    f.fill(|x, y, z, _| value(x, y, z));
+    let up2 = g.slot_of(Offset3::new(0, 0, 2)).unwrap();
+    let dn2 = g.slot_of(Offset3::new(0, 0, -2)).unwrap();
+    for d in 0..3 {
+        let mut ldr = Loader::for_execution(DeviceId(d), 3, DataView::Standard);
+        let sv = ldr.read_stencil(&f);
+        g.for_each_cell(DeviceId(d), DataView::Standard, &mut |c| {
+            let expect_up = if c.z + 2 < dim.z as i32 {
+                value(c.x, c.y, c.z + 2)
+            } else {
+                -1.0
+            };
+            assert_eq!(sv.ngh(c, up2, 0), expect_up, "at ({},{},{})", c.x, c.y, c.z);
+            let expect_dn = if c.z >= 2 { value(c.x, c.y, c.z - 2) } else { -1.0 };
+            assert_eq!(sv.ngh(c, dn2, 0), expect_dn);
+        });
+    }
+}
+
+#[test]
+fn sparse_radius2_cross_partition_reads() {
+    let b = Backend::dgx_a100(2);
+    let st = Stencil::star(2);
+    let dim = Dim3::new(4, 4, 16);
+    // A plate occupying x < 3 so the mask is nontrivial.
+    let g = SparseGrid::new(&b, dim, &[&st], |x, _, _| x < 3, StorageMode::Real).unwrap();
+    assert_eq!(g.radius(), 2);
+    let f = Field::<f64, _>::new(&g, "f", 2, -5.0, MemLayout::AoS).unwrap();
+    f.fill(|x, y, z, k| value(x, y, z) + k as f64 * 0.5);
+    let up2 = g.slot_of(Offset3::new(0, 0, 2)).unwrap();
+    for d in 0..2 {
+        let mut ldr = Loader::for_execution(DeviceId(d), 2, DataView::Standard);
+        let sv = ldr.read_stencil(&f);
+        g.for_each_cell(DeviceId(d), DataView::Standard, &mut |c| {
+            for k in 0..2 {
+                let expect = if c.z + 2 < dim.z as i32 {
+                    value(c.x, c.y, c.z + 2) + k as f64 * 0.5
+                } else {
+                    -5.0
+                };
+                assert_eq!(sv.ngh(c, up2, k), expect, "({},{},{})[{k}]", c.x, c.y, c.z);
+            }
+        });
+    }
+}
+
+#[test]
+fn radius2_rejects_partitions_thinner_than_two_layers() {
+    let b = Backend::dgx_a100(4);
+    let st = Stencil::star(2);
+    // 12 layers over 4 devices = 3 layers each; middle partitions need 4.
+    assert!(DenseGrid::new(&b, Dim3::new(4, 4, 12), &[&st], StorageMode::Real).is_err());
+    // 16 layers = 4 each: exactly enough.
+    assert!(DenseGrid::new(&b, Dim3::new(4, 4, 16), &[&st], StorageMode::Real).is_ok());
+}
+
+#[test]
+fn mixed_radius_union_uses_max() {
+    let b = Backend::dgx_a100(2);
+    let s1 = Stencil::seven_point();
+    let s2 = Stencil::star(2);
+    let g = DenseGrid::new(&b, Dim3::new(4, 4, 12), &[&s1, &s2], StorageMode::Real).unwrap();
+    assert_eq!(g.radius(), 2);
+    // Union keeps the 7-point slots first.
+    for (i, o) in s1.offsets().iter().enumerate() {
+        assert_eq!(g.slot_of(*o), Some(i));
+    }
+}
+
+#[test]
+fn grid_ext_new_field_sugar() {
+    use neon_domain::GridExt as _;
+    let b = Backend::dgx_a100(2);
+    let st = Stencil::seven_point();
+    let g = DenseGrid::new(&b, Dim3::new(4, 4, 8), &[&st], StorageMode::Real).unwrap();
+    // Paper Listing 1 style: the grid creates its fields.
+    let velocity = g.new_field::<f64>("velocity", 3, 0.0, MemLayout::SoA).unwrap();
+    assert_eq!(velocity.card(), 3);
+    velocity.fill(|x, _, _, k| x as f64 + k as f64);
+    assert_eq!(velocity.get(2, 0, 0, 1), Some(3.0));
+}

@@ -1,0 +1,222 @@
+//! Runtime read/write access tracking per partition.
+//!
+//! Neon's C++ implementation trusts the user's `Loader` declarations; in
+//! Rust we *check* them. Every partition of a multi-GPU data object carries
+//! an [`AccessTracker`]; creating a read view acquires a shared lease,
+//! creating a write view acquires an exclusive lease, and conflicting
+//! leases panic with a diagnostic instead of racing. Leases are RAII
+//! ([`TrackerGuard`]) and are released when the compute lambda that owns
+//! the views is dropped.
+//!
+//! The tracker is a single atomic per partition: `0` = free, `n > 0` =
+//! `n` readers, `-1` = one writer. Acquisition happens once per container
+//! launch per device, so the cost is negligible.
+
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::Arc;
+
+/// Describes a detected access conflict (used in panic messages and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessConflict {
+    /// Name of the data object.
+    pub data: String,
+    /// What was being acquired ("read" / "write").
+    pub requested: &'static str,
+    /// State that blocked it.
+    pub held: String,
+}
+
+impl std::fmt::Display for AccessConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "access conflict on {}: requested {} while {}",
+            self.data, self.requested, self.held
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct TrackerInner {
+    /// 0 free; >0 reader count; -1 exclusive writer.
+    state: AtomicI32,
+}
+
+/// Shared/exclusive lease bookkeeping for one partition.
+#[derive(Debug, Clone, Default)]
+pub struct AccessTracker {
+    inner: Arc<TrackerInner>,
+}
+
+impl AccessTracker {
+    /// Fresh, free tracker.
+    pub fn new() -> Self {
+        AccessTracker::default()
+    }
+
+    /// Try to acquire a shared (read) lease.
+    pub fn try_read(&self, data_name: &str) -> Result<TrackerGuard, AccessConflict> {
+        let mut cur = self.inner.state.load(Ordering::Relaxed);
+        loop {
+            if cur < 0 {
+                return Err(AccessConflict {
+                    data: data_name.to_string(),
+                    requested: "read",
+                    held: "a write view is live".to_string(),
+                });
+            }
+            match self.inner.state.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Ok(TrackerGuard {
+                        tracker: self.clone(),
+                        exclusive: false,
+                    })
+                }
+                Err(a) => cur = a,
+            }
+        }
+    }
+
+    /// Try to acquire an exclusive (write) lease.
+    pub fn try_write(&self, data_name: &str) -> Result<TrackerGuard, AccessConflict> {
+        match self
+            .inner
+            .state
+            .compare_exchange(0, -1, Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => Ok(TrackerGuard {
+                tracker: self.clone(),
+                exclusive: true,
+            }),
+            Err(held) => Err(AccessConflict {
+                data: data_name.to_string(),
+                requested: "write",
+                held: if held < 0 {
+                    "another write view is live".to_string()
+                } else {
+                    format!("{held} read view(s) are live")
+                },
+            }),
+        }
+    }
+
+    /// Acquire a read lease or panic with a diagnostic.
+    pub fn read(&self, data_name: &str) -> TrackerGuard {
+        match self.try_read(data_name) {
+            Ok(g) => g,
+            Err(c) => panic!("{c} (declare the access as read_write in the loader?)"),
+        }
+    }
+
+    /// Acquire a write lease or panic with a diagnostic.
+    pub fn write(&self, data_name: &str) -> TrackerGuard {
+        match self.try_write(data_name) {
+            Ok(g) => g,
+            Err(c) => panic!("{c} (declare the access as read_write in the loader?)"),
+        }
+    }
+
+    /// Whether the partition is currently free.
+    pub fn is_free(&self) -> bool {
+        self.inner.state.load(Ordering::Acquire) == 0
+    }
+}
+
+/// RAII lease on a partition; releases on drop.
+#[derive(Debug)]
+pub struct TrackerGuard {
+    tracker: AccessTracker,
+    exclusive: bool,
+}
+
+impl TrackerGuard {
+    /// Whether this is an exclusive (write) lease.
+    pub fn is_exclusive(&self) -> bool {
+        self.exclusive
+    }
+}
+
+impl Drop for TrackerGuard {
+    fn drop(&mut self) {
+        if self.exclusive {
+            let prev = self.tracker.inner.state.swap(0, Ordering::AcqRel);
+            debug_assert_eq!(prev, -1, "tracker state corrupted");
+        } else {
+            let prev = self.tracker.inner.state.fetch_sub(1, Ordering::AcqRel);
+            debug_assert!(prev > 0, "tracker state corrupted");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiple_readers_allowed() {
+        let t = AccessTracker::new();
+        let a = t.read("x");
+        let b = t.read("x");
+        assert!(!a.is_exclusive());
+        drop(a);
+        drop(b);
+        assert!(t.is_free());
+    }
+
+    #[test]
+    fn writer_excludes_readers() {
+        let t = AccessTracker::new();
+        let w = t.write("x");
+        assert!(w.is_exclusive());
+        assert!(t.try_read("x").is_err());
+        assert!(t.try_write("x").is_err());
+        drop(w);
+        assert!(t.try_read("x").is_ok());
+    }
+
+    #[test]
+    fn reader_excludes_writer() {
+        let t = AccessTracker::new();
+        let _r = t.read("x");
+        let err = t.try_write("x").unwrap_err();
+        assert!(err.to_string().contains("1 read view"));
+    }
+
+    #[test]
+    #[should_panic(expected = "access conflict on field-y")]
+    fn write_write_panics() {
+        let t = AccessTracker::new();
+        let _a = t.write("field-y");
+        let _b = t.write("field-y");
+    }
+
+    #[test]
+    fn release_restores_freedom() {
+        let t = AccessTracker::new();
+        drop(t.write("x"));
+        drop(t.read("x"));
+        assert!(t.is_free());
+    }
+
+    #[test]
+    fn concurrent_readers_stress() {
+        let t = AccessTracker::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let g = t.read("x");
+                        drop(g);
+                    }
+                });
+            }
+        });
+        assert!(t.is_free());
+    }
+}

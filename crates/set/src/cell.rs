@@ -1,0 +1,162 @@
+//! The index-space vocabulary: cells, data views and iteration spaces.
+//!
+//! A [`Cell`] is the per-partition index handed to a compute lambda; it
+//! carries both the local linear index (for direct addressing into field
+//! storage) and the global grid coordinates (for geometry-dependent code
+//! such as boundary conditions).
+//!
+//! A [`DataView`] selects which part of a partition a container launch
+//! iterates over (paper §IV-C1, Fig. 3): *internal* cells depend only on
+//! local data; *boundary* cells additionally read halo data received from
+//! neighbouring partitions; *standard* is their union. OCC optimizations
+//! work by launching the internal view while halo transfers are in flight.
+
+use neon_sys::DeviceId;
+
+/// One grid cell as seen by a compute lambda.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Local linear index within the partition's storage.
+    pub lin: u32,
+    /// Global x coordinate.
+    pub x: i32,
+    /// Global y coordinate.
+    pub y: i32,
+    /// Global z coordinate.
+    pub z: i32,
+}
+
+impl Cell {
+    /// Construct a cell.
+    #[inline]
+    pub fn new(lin: u32, x: i32, y: i32, z: i32) -> Self {
+        Cell { lin, x, y, z }
+    }
+
+    /// The local linear index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.lin as usize
+    }
+}
+
+/// Which cells of a partition a launch covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataView {
+    /// All owned cells (internal ∪ boundary).
+    #[default]
+    Standard,
+    /// Cells whose stencil neighbourhood stays within the local partition.
+    Internal,
+    /// Cells whose stencil neighbourhood touches halo data.
+    Boundary,
+}
+
+impl DataView {
+    /// Short label used in node names and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataView::Standard => "std",
+            DataView::Internal => "int",
+            DataView::Boundary => "bnd",
+        }
+    }
+}
+
+/// The iteration domain a container launches over — implemented by grids.
+///
+/// The paper creates a container *from* a multi-GPU data object which
+/// provides the index space for each partition; this trait is that
+/// interface, object-safe so containers can hold any grid.
+pub trait IterationSpace: Send + Sync {
+    /// Number of partitions (= devices).
+    fn num_partitions(&self) -> usize;
+
+    /// Number of cells device `dev` iterates for `view`.
+    fn cell_count(&self, dev: DeviceId, view: DataView) -> u64;
+
+    /// Invoke `f` for every cell of `view` on device `dev`.
+    ///
+    /// Only meaningful for grids with real (non-virtual) storage; grids in
+    /// timing-only mode may panic here.
+    fn for_each_cell(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(Cell));
+
+    /// Whether functional iteration is possible (false for virtual-storage
+    /// grids used in timing-only benchmark sweeps).
+    fn supports_functional(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial 1-D iteration space used to test the trait contract.
+    struct Line {
+        len_per_dev: u32,
+        devs: usize,
+    }
+
+    impl IterationSpace for Line {
+        fn num_partitions(&self) -> usize {
+            self.devs
+        }
+        fn cell_count(&self, _dev: DeviceId, view: DataView) -> u64 {
+            match view {
+                DataView::Standard => self.len_per_dev as u64,
+                DataView::Internal => (self.len_per_dev - 2) as u64,
+                DataView::Boundary => 2,
+            }
+        }
+        fn for_each_cell(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(Cell)) {
+            let base = dev.0 as i32 * self.len_per_dev as i32;
+            let range: Vec<u32> = match view {
+                DataView::Standard => (0..self.len_per_dev).collect(),
+                DataView::Internal => (1..self.len_per_dev - 1).collect(),
+                DataView::Boundary => vec![0, self.len_per_dev - 1],
+            };
+            for i in range {
+                f(Cell::new(i, base + i as i32, 0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn views_partition_the_standard_view() {
+        let l = Line {
+            len_per_dev: 10,
+            devs: 2,
+        };
+        let d = DeviceId(0);
+        assert_eq!(
+            l.cell_count(d, DataView::Internal) + l.cell_count(d, DataView::Boundary),
+            l.cell_count(d, DataView::Standard)
+        );
+        let mut int_cells = Vec::new();
+        let mut bnd_cells = Vec::new();
+        l.for_each_cell(d, DataView::Internal, &mut |c| int_cells.push(c.lin));
+        l.for_each_cell(d, DataView::Boundary, &mut |c| bnd_cells.push(c.lin));
+        let mut all: Vec<u32> = int_cells.iter().chain(&bnd_cells).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cell_carries_global_coords() {
+        let l = Line {
+            len_per_dev: 4,
+            devs: 2,
+        };
+        let mut xs = Vec::new();
+        l.for_each_cell(DeviceId(1), DataView::Standard, &mut |c| xs.push(c.x));
+        assert_eq!(xs, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn view_labels() {
+        assert_eq!(DataView::Standard.label(), "std");
+        assert_eq!(DataView::Internal.label(), "int");
+        assert_eq!(DataView::Boundary.label(), "bnd");
+    }
+}

@@ -1,0 +1,502 @@
+//! `Container` — the multi-GPU kernel concept.
+//!
+//! A container generalizes a kernel to a multi-device launch (paper
+//! §IV-B2). It is built from an iteration space (a grid) and a *loading
+//! lambda*: a closure that receives a [`Loader`], extracts partition-local
+//! views from the multi-GPU data it uses, and returns the *compute lambda*
+//! that runs per cell.
+//!
+//! At construction the loading lambda is dry-run once with a recording
+//! loader; the collected [`AccessRecord`]s give the Skeleton everything it
+//! needs for dependency analysis — which data is used, the access mode and
+//! the compute pattern — without a compiler (the paper's
+//! dependency-graph-challenge solution).
+//!
+//! At execution the loading lambda runs once per device per launch, so
+//! captured host state (e.g. CG's `alpha` scalar) is re-read at each
+//! iteration.
+
+use std::sync::Arc;
+
+use neon_sys::DeviceId;
+
+use crate::cell::{Cell, DataView, IterationSpace};
+use crate::loader::{AccessRecord, ComputePattern, Loader, ReduceHooks};
+use crate::uid::DataUid;
+
+/// What kind of node a container contributes to the execution graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerKind {
+    /// Cell-local computation.
+    Map,
+    /// Neighbourhood computation — needs coherent halos.
+    Stencil,
+    /// Reduction into a scalar.
+    Reduce,
+    /// Host-side computation (scalar algebra between device phases).
+    Host,
+}
+
+/// The per-device kernel produced by a loading lambda.
+pub type ComputeFn = Box<dyn Fn(Cell) + Send>;
+
+/// The host action produced by a host container's loading lambda.
+pub type HostFn = Box<dyn FnOnce() + Send>;
+
+type GenFn = dyn Fn(&mut Loader) -> ComputeFn + Send + Sync;
+type HostGenFn = dyn Fn(&mut Loader) -> HostFn + Send + Sync;
+
+/// One directed inter-device transfer of a halo exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaloDescriptor {
+    /// Source device.
+    pub src: DeviceId,
+    /// Destination device.
+    pub dst: DeviceId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// Halo-coherency implementation exposed by fields (paper §IV-C2).
+///
+/// `descriptors` drive the performance model (one timed transfer each);
+/// `execute` performs the actual copies for functional execution.
+pub trait HaloExchange: Send + Sync {
+    /// Uid of the field this exchange belongs to.
+    fn data_uid(&self) -> DataUid;
+    /// Field name (diagnostics / trace labels).
+    fn data_name(&self) -> String;
+    /// The transfers one halo update performs.
+    fn descriptors(&self) -> Vec<HaloDescriptor>;
+    /// Perform the copies (no-op on virtual storage).
+    fn execute(&self);
+}
+
+struct ContainerInner {
+    name: String,
+    kind: ContainerKind,
+    space: Option<Arc<dyn IterationSpace>>,
+    gen: Option<Arc<GenFn>>,
+    host_gen: Option<Arc<HostGenFn>>,
+    accesses: Vec<AccessRecord>,
+    flops_per_cell: u64,
+    bw_efficiency: f64,
+    reduce_hooks: Vec<ReduceHooks>,
+}
+
+/// A multi-device kernel (or host step) with declared data accesses.
+#[derive(Clone)]
+pub struct Container {
+    inner: Arc<ContainerInner>,
+}
+
+impl std::fmt::Debug for Container {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Container")
+            .field("name", &self.inner.name)
+            .field("kind", &self.inner.kind)
+            .field("accesses", &self.inner.accesses)
+            .finish()
+    }
+}
+
+impl Container {
+    /// Build a compute container over `space` from a loading lambda.
+    ///
+    /// The kind (map / stencil / reduce) is inferred from the recorded
+    /// access patterns, exactly as the paper's Loader-based design intends.
+    pub fn compute(
+        name: &str,
+        space: Arc<dyn IterationSpace>,
+        gen: impl Fn(&mut Loader) -> ComputeFn + Send + Sync + 'static,
+    ) -> Self {
+        Container::compute_opts(name, space, gen, 0, 1.0)
+    }
+
+    /// [`Container::compute`] with performance-model overrides:
+    /// `flops_per_cell` for compute-bound kernels and `bw_efficiency`
+    /// scaling the achieved bandwidth (Neon's bound-checks cost a few
+    /// percent versus a hardwired kernel, paper §VI-B).
+    pub fn compute_opts(
+        name: &str,
+        space: Arc<dyn IterationSpace>,
+        gen: impl Fn(&mut Loader) -> ComputeFn + Send + Sync + 'static,
+        flops_per_cell: u64,
+        bw_efficiency: f64,
+    ) -> Self {
+        let mut accesses = Vec::new();
+        {
+            let mut loader = Loader::for_recording(&mut accesses, space.num_partitions());
+            // Dry run: records accesses; the produced kernel (over null
+            // views) is dropped unused.
+            let _ = gen(&mut loader);
+        }
+        let kind = infer_kind(&accesses);
+        let reduce_hooks = accesses
+            .iter()
+            .filter_map(|a| a.reduce_hooks.clone())
+            .collect();
+        Container {
+            inner: Arc::new(ContainerInner {
+                name: name.to_string(),
+                kind,
+                space: Some(space),
+                gen: Some(Arc::new(gen)),
+                host_gen: None,
+                accesses,
+                flops_per_cell,
+                bw_efficiency,
+                reduce_hooks,
+            }),
+        }
+    }
+
+    /// Build a host container: a scalar-algebra step between device phases
+    /// (e.g. CG's `alpha = rs / pAp`). The loading lambda declares scalar
+    /// reads/writes and returns the deferred host action.
+    pub fn host(
+        name: &str,
+        num_devices: usize,
+        gen: impl Fn(&mut Loader) -> HostFn + Send + Sync + 'static,
+    ) -> Self {
+        let mut accesses = Vec::new();
+        {
+            let mut loader = Loader::for_recording(&mut accesses, num_devices);
+            let _ = gen(&mut loader);
+        }
+        Container {
+            inner: Arc::new(ContainerInner {
+                name: name.to_string(),
+                kind: ContainerKind::Host,
+                space: None,
+                gen: None,
+                host_gen: Some(Arc::new(gen)),
+                accesses,
+                flops_per_cell: 0,
+                bw_efficiency: 1.0,
+                reduce_hooks: Vec::new(),
+            }),
+        }
+    }
+
+    /// Container name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Inferred kind.
+    pub fn kind(&self) -> ContainerKind {
+        self.inner.kind
+    }
+
+    /// Declared accesses (recorded at construction).
+    pub fn accesses(&self) -> &[AccessRecord] {
+        &self.inner.accesses
+    }
+
+    /// The iteration space (None for host containers).
+    pub fn space(&self) -> Option<&Arc<dyn IterationSpace>> {
+        self.inner.space.as_ref()
+    }
+
+    /// Number of devices the container launches over (1 for host).
+    pub fn num_devices(&self) -> usize {
+        self.inner
+            .space
+            .as_ref()
+            .map(|s| s.num_partitions())
+            .unwrap_or(1)
+    }
+
+    /// Total bytes moved per iterated cell.
+    ///
+    /// Reads of the same data object by several accesses are counted once
+    /// (on a real device the second read hits cache), writes likewise:
+    /// `Σ_uid max(read bytes) + Σ_uid max(write bytes)`.
+    pub fn bytes_per_cell(&self) -> u64 {
+        use std::collections::HashMap;
+        let mut reads: HashMap<crate::uid::DataUid, u64> = HashMap::new();
+        let mut writes: HashMap<crate::uid::DataUid, u64> = HashMap::new();
+        for a in &self.inner.accesses {
+            let r = reads.entry(a.uid).or_default();
+            *r = (*r).max(a.read_bytes_per_cell);
+            let w = writes.entry(a.uid).or_default();
+            *w = (*w).max(a.write_bytes_per_cell);
+        }
+        reads.values().sum::<u64>() + writes.values().sum::<u64>()
+    }
+
+    /// FLOPs per iterated cell (user hint; 0 = bandwidth-bound).
+    pub fn flops_per_cell(&self) -> u64 {
+        self.inner.flops_per_cell
+    }
+
+    /// Achieved-bandwidth fraction of this kernel (1.0 = model peak).
+    pub fn bw_efficiency(&self) -> f64 {
+        self.inner.bw_efficiency
+    }
+
+    /// Stencil-read accesses that require a halo update before launch.
+    pub fn stencil_reads(&self) -> impl Iterator<Item = &AccessRecord> {
+        self.inner
+            .accesses
+            .iter()
+            .filter(|a| a.pattern == ComputePattern::Stencil && a.mode.reads())
+    }
+
+    /// Whether the container performs a reduction.
+    pub fn is_reduce(&self) -> bool {
+        self.inner.kind == ContainerKind::Reduce
+    }
+
+    /// Reset the partials of every reduction target (call before the first
+    /// sub-launch of a reduce container).
+    pub fn reduce_init(&self) {
+        for h in &self.inner.reduce_hooks {
+            (h.init)();
+        }
+    }
+
+    /// Fold partials into host values (call after the last sub-launch).
+    pub fn reduce_finalize(&self) {
+        for h in &self.inner.reduce_hooks {
+            (h.finalize)();
+        }
+    }
+
+    /// Functionally execute this container's `view` on device `dev`.
+    ///
+    /// Runs the loading lambda (building real views for `dev`), then the
+    /// compute lambda over every cell of the view.
+    pub fn run_device(&self, dev: DeviceId, view: DataView) {
+        let space = self
+            .inner
+            .space
+            .as_ref()
+            .expect("run_device on a host container");
+        assert!(
+            space.supports_functional(),
+            "container '{}' runs on a virtual-storage grid; functional execution unavailable",
+            self.inner.name
+        );
+        let gen = self.inner.gen.as_ref().expect("compute container");
+        let mut loader = Loader::for_execution(dev, space.num_partitions(), view);
+        let kernel = gen(&mut loader);
+        space.for_each_cell(dev, view, &mut |c| kernel(c));
+    }
+
+    /// Functionally execute a host container.
+    pub fn run_host(&self) {
+        let gen = self
+            .inner
+            .host_gen
+            .as_ref()
+            .expect("run_host on a compute container");
+        let mut loader = Loader::for_execution(DeviceId(0), 1, DataView::Standard);
+        let action = gen(&mut loader);
+        action();
+    }
+}
+
+fn infer_kind(accesses: &[AccessRecord]) -> ContainerKind {
+    let mut kind = ContainerKind::Map;
+    for a in accesses {
+        match a.pattern {
+            ComputePattern::Reduce => return ContainerKind::Reduce,
+            ComputePattern::Stencil => kind = ContainerKind::Stencil,
+            ComputePattern::Map => {}
+        }
+    }
+    kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memset::{MemSet, StorageMode};
+    use crate::scalar::ScalarSet;
+    use neon_sys::Backend;
+
+    /// Simple 1-D space: `len` cells per device, first/last cell boundary.
+    struct Line {
+        len: u32,
+        devs: usize,
+    }
+
+    impl IterationSpace for Line {
+        fn num_partitions(&self) -> usize {
+            self.devs
+        }
+        fn cell_count(&self, _d: DeviceId, view: DataView) -> u64 {
+            match view {
+                DataView::Standard => self.len as u64,
+                DataView::Internal => self.len as u64 - 2,
+                DataView::Boundary => 2,
+            }
+        }
+        fn for_each_cell(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(Cell)) {
+            let base = dev.0 as i32 * self.len as i32;
+            let idxs: Vec<u32> = match view {
+                DataView::Standard => (0..self.len).collect(),
+                DataView::Internal => (1..self.len - 1).collect(),
+                DataView::Boundary => vec![0, self.len - 1],
+            };
+            for i in idxs {
+                f(Cell::new(i, base + i as i32, 0, 0));
+            }
+        }
+    }
+
+    fn setup() -> (Backend, Arc<dyn IterationSpace>) {
+        (
+            Backend::dgx_a100(2),
+            Arc::new(Line { len: 8, devs: 2 }) as Arc<dyn IterationSpace>,
+        )
+    }
+
+    #[test]
+    fn map_container_runs_per_device() {
+        let (b, space) = setup();
+        let x = MemSet::<f64>::new(&b, "x", &[8, 8], StorageMode::Real).unwrap();
+        let y = MemSet::<f64>::new(&b, "y", &[8, 8], StorageMode::Real).unwrap();
+        x.from_host(&[1.0; 16]);
+        let xc = x.clone();
+        let yc = y.clone();
+        let c = Container::compute("axpy", space, move |ldr| {
+            let xv = ldr.read(&xc);
+            let yv = ldr.read_write(&yc);
+            Box::new(move |cell: Cell| {
+                yv.set(cell.idx(), yv.get(cell.idx()) + 2.0 * xv.get(cell.idx()));
+            })
+        });
+        assert_eq!(c.kind(), ContainerKind::Map);
+        assert_eq!(c.accesses().len(), 2);
+        c.run_device(DeviceId(0), DataView::Standard);
+        c.run_device(DeviceId(1), DataView::Standard);
+        assert_eq!(y.to_host(), vec![2.0; 16]);
+    }
+
+    #[test]
+    fn stencil_kind_inferred() {
+        let (b, space) = setup();
+        let x = MemSet::<f64>::new(&b, "x", &[8, 8], StorageMode::Real).unwrap();
+        let y = MemSet::<f64>::new(&b, "y", &[8, 8], StorageMode::Real).unwrap();
+        let xc = x.clone();
+        let yc = y.clone();
+        let c = Container::compute("lap", space, move |ldr| {
+            let xv = ldr.read_stencil(&xc);
+            let yv = ldr.write(&yc);
+            Box::new(move |cell: Cell| {
+                // 1-D "stencil" clamped to the partition: just exercise
+                // reads; real stencils live in neon-domain.
+                let i = cell.idx();
+                let left = if i > 0 { xv.get(i - 1) } else { 0.0 };
+                yv.set(i, left + xv.get(i));
+            })
+        });
+        assert_eq!(c.kind(), ContainerKind::Stencil);
+        assert_eq!(c.stencil_reads().count(), 1);
+    }
+
+    #[test]
+    fn reduce_container_lifecycle() {
+        let (b, space) = setup();
+        let x = MemSet::<f64>::new(&b, "x", &[8, 8], StorageMode::Real).unwrap();
+        x.from_host(&(1..=16).map(f64::from).collect::<Vec<_>>());
+        let s = ScalarSet::<f64>::new(2, "sum", 0.0, |a, b| a + b);
+        let xc = x.clone();
+        let sc = s.clone();
+        let c = Container::compute("sum", space, move |ldr| {
+            let xv = ldr.read(&xc);
+            let acc = ldr.reduce(&sc);
+            Box::new(move |cell: Cell| acc.update(|a| a + xv.get(cell.idx())))
+        });
+        assert_eq!(c.kind(), ContainerKind::Reduce);
+        assert!(c.is_reduce());
+        c.reduce_init();
+        c.run_device(DeviceId(0), DataView::Standard);
+        c.run_device(DeviceId(1), DataView::Standard);
+        c.reduce_finalize();
+        assert_eq!(s.host_value(), 136.0); // 1+2+...+16
+    }
+
+    #[test]
+    fn reduce_split_views_accumulate() {
+        let (b, space) = setup();
+        let x = MemSet::<f64>::new(&b, "x", &[8, 8], StorageMode::Real).unwrap();
+        x.from_host(&[1.0; 16]);
+        let s = ScalarSet::<f64>::new(2, "sum", 0.0, |a, b| a + b);
+        let xc = x.clone();
+        let sc = s.clone();
+        let c = Container::compute("sum", space, move |ldr| {
+            let xv = ldr.read(&xc);
+            let acc = ldr.reduce(&sc);
+            Box::new(move |cell: Cell| acc.update(|a| a + xv.get(cell.idx())))
+        });
+        // Two-way OCC style: internal then boundary, one init, one finalize.
+        c.reduce_init();
+        for d in 0..2 {
+            c.run_device(DeviceId(d), DataView::Internal);
+        }
+        for d in 0..2 {
+            c.run_device(DeviceId(d), DataView::Boundary);
+        }
+        c.reduce_finalize();
+        assert_eq!(s.host_value(), 16.0);
+    }
+
+    #[test]
+    fn host_container_runs_scalar_algebra() {
+        let rs = ScalarSet::<f64>::new(1, "rs", 0.0, |a, b| a + b);
+        let pap = ScalarSet::<f64>::new(1, "pap", 0.0, |a, b| a + b);
+        let alpha = ScalarSet::<f64>::new(1, "alpha", 0.0, |a, b| a + b);
+        rs.set_host(6.0);
+        pap.set_host(2.0);
+        let (rsc, papc, alphac) = (rs.clone(), pap.clone(), alpha.clone());
+        let c = Container::host("alpha", 1, move |ldr| {
+            let r = ldr.scalar_reader(&rsc);
+            let p = ldr.scalar_reader(&papc);
+            let a = ldr.scalar_writer(&alphac);
+            Box::new(move || a.set(r.get() / p.get()))
+        });
+        assert_eq!(c.kind(), ContainerKind::Host);
+        assert_eq!(c.accesses().len(), 3);
+        c.run_host();
+        assert_eq!(alpha.host_value(), 3.0);
+    }
+
+    #[test]
+    fn bytes_per_cell_sums_accesses() {
+        let (b, space) = setup();
+        let x = MemSet::<f64>::new(&b, "x", &[8, 8], StorageMode::Real).unwrap();
+        let y = MemSet::<f64>::new(&b, "y", &[8, 8], StorageMode::Real).unwrap();
+        let (xc, yc) = (x.clone(), y.clone());
+        let c = Container::compute("axpy", space, move |ldr| {
+            let xv = ldr.read(&xc);
+            let yv = ldr.read_write(&yc);
+            Box::new(move |cell: Cell| yv.set(cell.idx(), xv.get(cell.idx())))
+        });
+        // read x (8) + read-write y (16)
+        assert_eq!(c.bytes_per_cell(), 24);
+    }
+
+    #[test]
+    fn gen_reruns_pick_up_fresh_scalars() {
+        let (b, space) = setup();
+        let y = MemSet::<f64>::new(&b, "y", &[8, 8], StorageMode::Real).unwrap();
+        let alpha = ScalarSet::<f64>::new(2, "alpha", 0.0, |a, b| a + b);
+        let (yc, ac) = (y.clone(), alpha.clone());
+        let c = Container::compute("scale", space, move |ldr| {
+            let a = ldr.scalar(&ac);
+            let yv = ldr.write(&yc);
+            Box::new(move |cell: Cell| yv.set(cell.idx(), a))
+        });
+        alpha.set_host(1.5);
+        c.run_device(DeviceId(0), DataView::Standard);
+        alpha.set_host(2.5);
+        c.run_device(DeviceId(1), DataView::Standard);
+        let host = y.to_host();
+        assert_eq!(host[0], 1.5);
+        assert_eq!(host[8], 2.5);
+    }
+}

@@ -1,0 +1,113 @@
+//! `DataSet<T>` — one value per device.
+//!
+//! The Set abstraction models every multi-device mechanism as a vector
+//! indexed by device (paper §IV-B: "data and kernels are described as
+//! vectors where the i-th entry stores the information associated with the
+//! i-th GPU"). `DataSet` is that vector, with a device-typed API.
+
+use neon_sys::DeviceId;
+
+/// A per-device collection: exactly one `T` per device of a backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSet<T> {
+    items: Vec<T>,
+}
+
+impl<T> DataSet<T> {
+    /// Build with `n` entries produced by `f(device)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(DeviceId) -> T) -> Self {
+        DataSet {
+            items: (0..n).map(|i| f(DeviceId(i))).collect(),
+        }
+    }
+
+    /// Wrap an existing vector (one entry per device).
+    pub fn from_vec(items: Vec<T>) -> Self {
+        assert!(!items.is_empty(), "DataSet needs at least one device");
+        DataSet { items }
+    }
+
+    /// Number of devices covered.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty (never true for a valid set).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Entry of device `d`.
+    pub fn get(&self, d: DeviceId) -> &T {
+        &self.items[d.0]
+    }
+
+    /// Mutable entry of device `d`.
+    pub fn get_mut(&mut self, d: DeviceId) -> &mut T {
+        &mut self.items[d.0]
+    }
+
+    /// Iterate `(device, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, &T)> {
+        self.items.iter().enumerate().map(|(i, t)| (DeviceId(i), t))
+    }
+
+    /// Iterate `(device, entry)` pairs mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (DeviceId, &mut T)> {
+        self.items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| (DeviceId(i), t))
+    }
+
+    /// Map each entry, preserving device association.
+    pub fn map<U>(&self, mut f: impl FnMut(DeviceId, &T) -> U) -> DataSet<U> {
+        DataSet {
+            items: self
+                .items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(DeviceId(i), t))
+                .collect(),
+        }
+    }
+
+    /// Underlying slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_indexes_devices() {
+        let ds = DataSet::from_fn(4, |d| d.0 * 10);
+        assert_eq!(ds.len(), 4);
+        assert_eq!(*ds.get(DeviceId(3)), 30);
+    }
+
+    #[test]
+    fn map_preserves_devices() {
+        let ds = DataSet::from_fn(3, |d| d.0);
+        let doubled = ds.map(|_, &v| v * 2);
+        assert_eq!(doubled.as_slice(), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn iter_mut_allows_updates() {
+        let mut ds = DataSet::from_vec(vec![1, 2, 3]);
+        for (_, v) in ds.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(ds.as_slice(), &[2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_rejected() {
+        DataSet::<i32>::from_vec(vec![]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Element types storable in multi-GPU data objects.
+
+/// Marker trait for plain-old-data element types.
+///
+/// Everything a field or mem-set stores must be `Copy`, thread-portable and
+/// have a default "zero" used for fresh allocations and outside-domain
+/// values.
+pub trait Elem:
+    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
+{
+    /// Size of one element in bytes (the value the performance model uses).
+    const BYTES: u64 = std::mem::size_of::<Self>() as u64;
+}
+
+impl Elem for f32 {}
+impl Elem for f64 {}
+impl Elem for i32 {}
+impl Elem for i64 {}
+impl Elem for u8 {}
+impl Elem for u32 {}
+impl Elem for u64 {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(<f64 as Elem>::BYTES, 8);
+        assert_eq!(<f32 as Elem>::BYTES, 4);
+        assert_eq!(<u8 as Elem>::BYTES, 1);
+        assert_eq!(<u32 as Elem>::BYTES, 4);
+    }
+}

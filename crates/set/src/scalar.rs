@@ -1,0 +1,272 @@
+//! `ScalarSet<T>` — multi-GPU reduction targets.
+//!
+//! A reduce operation (paper §III) folds fields into a single value (dot
+//! product, norms, …). On a multi-GPU back end this is realized as one
+//! *partial* accumulator per device plus a *host* value combined from the
+//! partials with a user-supplied associative operator.
+//!
+//! `ScalarSet` participates in dependency analysis like any other
+//! multi-GPU data object (it has a [`DataUid`]), which is how the Skeleton
+//! discovers e.g. that the CG `alpha` host computation must wait for the
+//! `dot` reduction.
+//!
+//! When the Two-way Extended OCC optimization splits a reduce node into an
+//! internal and a boundary half, both halves accumulate into the same
+//! partials; initialization happens on the first half and finalization on
+//! the last (and the paper's extra internal→boundary data dependency keeps
+//! them ordered).
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use neon_sys::DeviceId;
+use parking_lot::Mutex;
+
+use crate::access::{AccessTracker, TrackerGuard};
+use crate::elem::Elem;
+use crate::uid::DataUid;
+
+type CombineFn<T> = dyn Fn(T, T) -> T + Send + Sync;
+
+struct ScalarInner<T> {
+    uid: DataUid,
+    name: String,
+    init: T,
+    combine: Box<CombineFn<T>>,
+    partials: Vec<UnsafeCell<T>>,
+    trackers: Vec<AccessTracker>,
+    host: Mutex<T>,
+}
+
+// SAFETY: partials are only touched through `ScalarView`s, whose creation
+// takes an exclusive lease on the per-device tracker; the host value is
+// behind a mutex.
+unsafe impl<T: Elem> Send for ScalarInner<T> {}
+unsafe impl<T: Elem> Sync for ScalarInner<T> {}
+
+/// A reduction target: per-device partials + a combined host value.
+pub struct ScalarSet<T: Elem> {
+    inner: Arc<ScalarInner<T>>,
+}
+
+impl<T: Elem> Clone for ScalarSet<T> {
+    fn clone(&self) -> Self {
+        ScalarSet {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Elem> std::fmt::Debug for ScalarSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScalarSet")
+            .field("uid", &self.inner.uid)
+            .field("name", &self.inner.name)
+            .field("host", &self.host_value())
+            .finish()
+    }
+}
+
+impl<T: Elem> ScalarSet<T> {
+    /// Create a scalar with `num_devices` partials.
+    ///
+    /// `init` is the identity of `combine` (0 for sums, -inf for max, …).
+    pub fn new(
+        num_devices: usize,
+        name: &str,
+        init: T,
+        combine: impl Fn(T, T) -> T + Send + Sync + 'static,
+    ) -> Self {
+        assert!(num_devices > 0, "scalar needs at least one device");
+        ScalarSet {
+            inner: Arc::new(ScalarInner {
+                uid: DataUid::fresh(),
+                name: name.to_string(),
+                init,
+                combine: Box::new(combine),
+                partials: (0..num_devices).map(|_| UnsafeCell::new(init)).collect(),
+                trackers: (0..num_devices).map(|_| AccessTracker::new()).collect(),
+                host: Mutex::new(init),
+            }),
+        }
+    }
+
+    /// Sum-reduction scalar (the common case for dot products and norms).
+    pub fn sum(num_devices: usize, name: &str) -> ScalarSet<f64> {
+        ScalarSet::<f64>::new(num_devices, name, 0.0, |a, b| a + b)
+    }
+
+    /// Unique id for dependency analysis.
+    pub fn uid(&self) -> DataUid {
+        self.inner.uid
+    }
+
+    /// The scalar's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Number of per-device partials.
+    pub fn num_devices(&self) -> usize {
+        self.inner.partials.len()
+    }
+
+    /// The combined host value.
+    pub fn host_value(&self) -> T {
+        *self.inner.host.lock()
+    }
+
+    /// Overwrite the host value (used by host containers, e.g. CG `alpha`).
+    pub fn set_host(&self, v: T) {
+        *self.inner.host.lock() = v;
+    }
+
+    /// Reset all partials to the identity (start of a reduction).
+    pub fn init_partials(&self) {
+        for (i, p) in self.inner.partials.iter().enumerate() {
+            let _g = self.inner.trackers[i].write(&self.inner.name);
+            unsafe { *p.get() = self.inner.init };
+        }
+    }
+
+    /// Fold partials into the host value (end of a reduction).
+    pub fn finalize(&self) {
+        let mut acc = self.inner.init;
+        for (i, p) in self.inner.partials.iter().enumerate() {
+            let _g = self.inner.trackers[i].read(&self.inner.name);
+            acc = (self.inner.combine)(acc, unsafe { *p.get() });
+        }
+        *self.inner.host.lock() = acc;
+    }
+
+    /// The current partial of device `d` (test/diagnostic helper).
+    pub fn partial(&self, d: DeviceId) -> T {
+        let _g = self.inner.trackers[d.0].read(&self.inner.name);
+        unsafe { *self.inner.partials[d.0].get() }
+    }
+
+    /// Acquire the accumulation view for device `d`.
+    pub fn view(&self, d: DeviceId) -> ScalarView<T> {
+        let guard = self.inner.trackers[d.0].write(&self.inner.name);
+        ScalarView {
+            ptr: self.inner.partials[d.0].get(),
+            _guard: Some(guard),
+            _keepalive: self.inner.clone(),
+        }
+    }
+
+    /// Combine `a` and `b` with this scalar's operator (helper for tests).
+    pub fn combine(&self, a: T, b: T) -> T {
+        (self.inner.combine)(a, b)
+    }
+}
+
+/// Per-device accumulation handle used inside compute lambdas.
+pub struct ScalarView<T: Elem> {
+    ptr: *mut T,
+    _guard: Option<TrackerGuard>,
+    _keepalive: Arc<ScalarInner<T>>,
+}
+
+// SAFETY: exclusive lease on the single partial; used by one device thread.
+unsafe impl<T: Elem> Send for ScalarView<T> {}
+
+impl<T: Elem> ScalarView<T> {
+    /// Current partial value.
+    #[inline]
+    pub fn get(&self) -> T {
+        unsafe { *self.ptr }
+    }
+
+    /// Overwrite the partial.
+    #[inline]
+    pub fn set(&self, v: T) {
+        unsafe { *self.ptr = v }
+    }
+
+    /// Update the partial in place (e.g. `|a| a + x*y` for a dot product).
+    #[inline]
+    pub fn update(&self, f: impl FnOnce(T) -> T) {
+        unsafe { *self.ptr = f(*self.ptr) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_accumulate_finalize() {
+        let s = ScalarSet::<f64>::new(2, "dot", 0.0, |a, b| a + b);
+        s.init_partials();
+        {
+            let v0 = s.view(DeviceId(0));
+            v0.update(|a| a + 2.0);
+            v0.update(|a| a + 3.0);
+        }
+        {
+            let v1 = s.view(DeviceId(1));
+            v1.update(|a| a + 10.0);
+        }
+        s.finalize();
+        assert_eq!(s.host_value(), 15.0);
+    }
+
+    #[test]
+    fn reinit_resets_partials() {
+        let s = ScalarSet::<f64>::new(1, "r", 0.0, |a, b| a + b);
+        s.view(DeviceId(0)).set(42.0);
+        s.init_partials();
+        assert_eq!(s.partial(DeviceId(0)), 0.0);
+    }
+
+    #[test]
+    fn max_reduction() {
+        let s = ScalarSet::<f64>::new(2, "max", f64::NEG_INFINITY, f64::max);
+        s.init_partials();
+        s.view(DeviceId(0)).update(|a| a.max(3.0));
+        s.view(DeviceId(1)).update(|a| a.max(7.0));
+        s.finalize();
+        assert_eq!(s.host_value(), 7.0);
+    }
+
+    #[test]
+    fn set_host_direct() {
+        let s = ScalarSet::<f64>::new(1, "alpha", 0.0, |a, b| a + b);
+        s.set_host(0.25);
+        assert_eq!(s.host_value(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "access conflict")]
+    fn two_views_on_same_device_conflict() {
+        let s = ScalarSet::<f64>::new(1, "dot", 0.0, |a, b| a + b);
+        let _a = s.view(DeviceId(0));
+        let _b = s.view(DeviceId(0));
+    }
+
+    #[test]
+    fn split_accumulation_across_two_launches() {
+        // Models the Two-way Extended OCC reduce split: internal half then
+        // boundary half accumulate into the same partials.
+        let s = ScalarSet::<f64>::new(1, "dot", 0.0, |a, b| a + b);
+        s.init_partials();
+        {
+            let v = s.view(DeviceId(0));
+            v.update(|a| a + 1.0); // internal half
+        }
+        {
+            let v = s.view(DeviceId(0));
+            v.update(|a| a + 2.0); // boundary half
+        }
+        s.finalize();
+        assert_eq!(s.host_value(), 3.0);
+    }
+
+    #[test]
+    fn sum_helper() {
+        let s: ScalarSet<f64> = ScalarSet::<f64>::sum(3, "s");
+        assert_eq!(s.num_devices(), 3);
+        assert_eq!(s.host_value(), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Unique identifiers for multi-GPU data objects.
+//!
+//! Every data object that can appear in a [`crate::Loader`] access record —
+//! fields, mem-sets, scalar reduction targets — carries a process-unique
+//! [`DataUid`]. The Skeleton layer keys its dependency analysis (RaW / WaR /
+//! WaW edges) on these ids.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-unique identity of a multi-GPU data object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataUid(u64);
+
+impl DataUid {
+    /// Allocate a fresh uid.
+    pub fn fresh() -> Self {
+        DataUid(NEXT_UID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw value (stable within a process run).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DataUid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uids_are_unique_and_monotonic() {
+        let a = DataUid::fresh();
+        let b = DataUid::fresh();
+        assert_ne!(a, b);
+        assert!(b.raw() > a.raw());
+    }
+
+    #[test]
+    fn uids_unique_across_threads() {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(std::thread::spawn(|| {
+                (0..1000).map(|_| DataUid::fresh()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .map(|u| u.raw())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+}

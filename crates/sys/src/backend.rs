@@ -1,0 +1,232 @@
+//! Back-end configuration: the set of devices an application runs on.
+//!
+//! A [`Backend`] bundles the device models, the interconnect topology and
+//! one [`MemoryLedger`] per device. Every higher layer (grids, fields,
+//! skeletons) is parameterized by a `Backend`, which is what lets the same
+//! user code run on 1 GPU, 8 GPUs, or a CPU without modification — the
+//! paper's portability goal.
+
+use std::sync::Arc;
+
+use crate::device::{DeviceId, DeviceModel};
+use crate::error::{NeonSysError, Result};
+use crate::memory::MemoryLedger;
+use crate::topology::Topology;
+
+/// Class of a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// One or more (simulated) GPUs.
+    Gpu,
+    /// Single-node CPU execution (one kernel at a time, as in the paper).
+    Cpu,
+}
+
+#[derive(Debug)]
+struct BackendInner {
+    kind: BackendKind,
+    devices: Vec<DeviceModel>,
+    topology: Topology,
+    ledgers: Vec<MemoryLedger>,
+}
+
+/// A set of devices with their interconnect and memory accounting.
+#[derive(Debug, Clone)]
+pub struct Backend {
+    inner: Arc<BackendInner>,
+}
+
+impl Backend {
+    /// Build a backend from explicit devices and topology.
+    pub fn new(kind: BackendKind, devices: Vec<DeviceModel>, topology: Topology) -> Result<Self> {
+        if devices.is_empty() {
+            return Err(NeonSysError::InvalidConfig {
+                what: "backend requires at least one device".to_string(),
+            });
+        }
+        if topology.num_devices() != devices.len() {
+            return Err(NeonSysError::InvalidConfig {
+                what: format!(
+                    "topology covers {} devices but {} device models were given",
+                    topology.num_devices(),
+                    devices.len()
+                ),
+            });
+        }
+        let ledgers = devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| MemoryLedger::new(DeviceId(i), d.mem_capacity_bytes))
+            .collect();
+        Ok(Backend {
+            inner: Arc::new(BackendInner {
+                kind,
+                devices,
+                topology,
+                ledgers,
+            }),
+        })
+    }
+
+    /// DGX-A100-like backend: `n` A100-40GB GPUs, NVLink all-to-all.
+    pub fn dgx_a100(n: usize) -> Self {
+        let dev = DeviceModel::a100_40gb();
+        let local_bw = dev.mem_bandwidth_gb_s;
+        Backend::new(
+            BackendKind::Gpu,
+            vec![dev; n],
+            Topology::nvlink_all_to_all(n, local_bw),
+        )
+        .expect("valid preset")
+    }
+
+    /// GV100-box-like backend: `n` GV100 GPUs over PCIe Gen3.
+    pub fn gv100_pcie(n: usize) -> Self {
+        let dev = DeviceModel::gv100();
+        let local_bw = dev.mem_bandwidth_gb_s;
+        Backend::new(
+            BackendKind::Gpu,
+            vec![dev; n],
+            Topology::pcie_host_staged(n, local_bw),
+        )
+        .expect("valid preset")
+    }
+
+    /// Single-socket CPU backend (serial debugging back end, paper §IV-A).
+    pub fn cpu() -> Self {
+        let dev = DeviceModel::cpu_socket();
+        let local_bw = dev.mem_bandwidth_gb_s;
+        Backend::new(
+            BackendKind::Cpu,
+            vec![dev],
+            Topology::nvlink_all_to_all(1, local_bw),
+        )
+        .expect("valid preset")
+    }
+
+    /// Backend kind.
+    pub fn kind(&self) -> BackendKind {
+        self.inner.kind
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.inner.devices.len()
+    }
+
+    /// Iterate over the device ids of this backend.
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.num_devices()).map(DeviceId)
+    }
+
+    /// The model of device `d`.
+    pub fn device(&self, d: DeviceId) -> &DeviceModel {
+        &self.inner.devices[d.0]
+    }
+
+    /// All device models.
+    pub fn devices(&self) -> &[DeviceModel] {
+        &self.inner.devices
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topology
+    }
+
+    /// The memory ledger of device `d`.
+    pub fn ledger(&self, d: DeviceId) -> &MemoryLedger {
+        &self.inner.ledgers[d.0]
+    }
+
+    /// Validate a device id against this backend.
+    pub fn check_device(&self, d: DeviceId) -> Result<()> {
+        if d.0 < self.num_devices() {
+            Ok(())
+        } else {
+            Err(NeonSysError::InvalidDevice {
+                device: d,
+                num_devices: self.num_devices(),
+            })
+        }
+    }
+
+    /// Whether concurrent kernels on one device are allowed.
+    ///
+    /// The CPU back end is modelled with a single queue (paper: "we limit
+    /// the system to only one kernel at the time").
+    pub fn concurrent_kernels(&self) -> bool {
+        self.inner.kind == BackendKind::Gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkKind;
+
+    #[test]
+    fn dgx_preset() {
+        let b = Backend::dgx_a100(8);
+        assert_eq!(b.num_devices(), 8);
+        assert_eq!(b.kind(), BackendKind::Gpu);
+        assert_eq!(
+            b.topology().link(DeviceId(0), DeviceId(7)).kind,
+            LinkKind::NvLink
+        );
+        assert!(b.concurrent_kernels());
+        assert_eq!(b.ledger(DeviceId(3)).capacity(), 40 << 30);
+    }
+
+    #[test]
+    fn pcie_preset() {
+        let b = Backend::gv100_pcie(4);
+        assert_eq!(
+            b.topology().link(DeviceId(1), DeviceId(2)).kind,
+            LinkKind::PciE3
+        );
+    }
+
+    #[test]
+    fn cpu_preset_single_queue() {
+        let b = Backend::cpu();
+        assert_eq!(b.num_devices(), 1);
+        assert!(!b.concurrent_kernels());
+    }
+
+    #[test]
+    fn mismatched_topology_rejected() {
+        let err = Backend::new(
+            BackendKind::Gpu,
+            vec![DeviceModel::a100_40gb(); 3],
+            Topology::nvlink_all_to_all(2, 1555.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NeonSysError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn empty_backend_rejected() {
+        let err = Backend::new(
+            BackendKind::Gpu,
+            vec![],
+            Topology::nvlink_all_to_all(1, 1555.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NeonSysError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn check_device_bounds() {
+        let b = Backend::dgx_a100(2);
+        assert!(b.check_device(DeviceId(1)).is_ok());
+        assert!(b.check_device(DeviceId(2)).is_err());
+    }
+
+    #[test]
+    fn device_ids_iterates_all() {
+        let b = Backend::dgx_a100(3);
+        let ids: Vec<_> = b.device_ids().collect();
+        assert_eq!(ids, vec![DeviceId(0), DeviceId(1), DeviceId(2)]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Virtual simulation time.
+//!
+//! All durations in the performance model are expressed in microseconds on a
+//! monotonically increasing virtual clock. [`SimTime`] is a thin newtype over
+//! `f64` so times cannot be confused with other floating-point quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point (or span length) on the virtual clock, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        SimTime(ms * 1e3)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        SimTime(s * 1e6)
+    }
+
+    /// The value in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// The value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Pointwise maximum.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Pointwise minimum.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} s", self.as_secs())
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} ms", self.as_ms())
+        } else {
+            write!(f, "{:.3} us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_ms(1.5);
+        assert!((t.as_us() - 1500.0).abs() < 1e-12);
+        assert!((t.as_secs() - 0.0015).abs() < 1e-12);
+        let t = SimTime::from_secs(2.0);
+        assert!((t.as_ms() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(10.0);
+        let b = SimTime::from_us(32.0);
+        assert_eq!((a + b).as_us(), 42.0);
+        assert_eq!((b - a).as_us(), 22.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_us(), 42.0);
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: SimTime = [1.0, 2.0, 3.0].iter().map(|&u| SimTime::from_us(u)).sum();
+        assert_eq!(total.as_us(), 6.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimTime::from_us(12.0)), "12.000 us");
+        assert_eq!(format!("{}", SimTime::from_us(1200.0)), "1.200 ms");
+        assert_eq!(format!("{}", SimTime::from_secs(3.0)), "3.000 s");
+    }
+}

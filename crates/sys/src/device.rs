@@ -1,0 +1,189 @@
+//! Simulated accelerator devices and their performance model.
+//!
+//! Every kernel launched by Neon is memory-bound or compute-bound; its
+//! duration on a device is given by a roofline model:
+//!
+//! ```text
+//! t = launch_overhead + max(bytes / effective_bandwidth, flops / peak_flops)
+//! ```
+//!
+//! The presets are calibrated to the hardware used in the paper's
+//! evaluation: NVIDIA A100-40GB (DGX A100) and Quadro GV100. A CPU-socket
+//! model is provided for the paper's portability claim (same user code on a
+//! serial/OpenMP back end).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::SimTime;
+
+/// Identifier of a device within a [`crate::backend::Backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub usize);
+
+impl DeviceId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Broad class of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A (simulated) GPU accelerator: many concurrent queues.
+    Gpu,
+    /// A multi-core CPU modelled with the same accelerator interface.
+    ///
+    /// As in the paper (§IV-A), the CPU back end is limited to one kernel at
+    /// a time.
+    Cpu,
+}
+
+/// The analytic performance model of a single device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Human-readable device name.
+    pub name: String,
+    /// Device class.
+    pub kind: DeviceKind,
+    /// Effective (achievable) memory bandwidth, in GB/s.
+    pub mem_bandwidth_gb_s: f64,
+    /// Peak double-precision throughput, in GFLOP/s.
+    pub peak_gflop_s: f64,
+    /// Fixed overhead per kernel launch, in microseconds.
+    pub kernel_launch_us: f64,
+    /// Fixed overhead for a host-side synchronization, in microseconds.
+    pub sync_overhead_us: f64,
+    /// Device memory capacity, in bytes.
+    pub mem_capacity_bytes: u64,
+}
+
+impl DeviceModel {
+    /// NVIDIA A100-40GB (as in the DGX A100 used by the paper).
+    ///
+    /// 1555 GB/s HBM2e; 9.7 TFLOP/s fp64 (19.5 with FMA on tensor cores, not
+    /// assumed here); 40 GB capacity.
+    pub fn a100_40gb() -> Self {
+        DeviceModel {
+            name: "A100-40GB".to_string(),
+            kind: DeviceKind::Gpu,
+            mem_bandwidth_gb_s: 1555.0,
+            peak_gflop_s: 9700.0,
+            kernel_launch_us: 4.0,
+            sync_overhead_us: 12.0,
+            mem_capacity_bytes: 40 * (1 << 30),
+        }
+    }
+
+    /// NVIDIA Quadro GV100 (the paper's second, PCIe-connected system).
+    pub fn gv100() -> Self {
+        DeviceModel {
+            name: "GV100".to_string(),
+            kind: DeviceKind::Gpu,
+            mem_bandwidth_gb_s: 870.0,
+            peak_gflop_s: 7400.0,
+            kernel_launch_us: 6.0,
+            sync_overhead_us: 15.0,
+            mem_capacity_bytes: 32 * (1 << 30),
+        }
+    }
+
+    /// A contemporary two-socket Xeon-class CPU node.
+    pub fn cpu_socket() -> Self {
+        DeviceModel {
+            name: "Xeon-E5".to_string(),
+            kind: DeviceKind::Cpu,
+            mem_bandwidth_gb_s: 120.0,
+            peak_gflop_s: 600.0,
+            kernel_launch_us: 1.0,
+            sync_overhead_us: 1.0,
+            mem_capacity_bytes: 256 * (1 << 30),
+        }
+    }
+
+    /// Duration of a kernel that moves `bytes` of memory and executes
+    /// `flops` floating-point operations, per the roofline model.
+    ///
+    /// `efficiency` scales the achievable bandwidth (1.0 = the model's
+    /// effective bandwidth). Implementations with extra per-access work —
+    /// e.g. Neon's out-of-bound guards (paper §VI-B) or an untuned
+    /// comparator — use an efficiency below 1.
+    pub fn kernel_time(&self, bytes: u64, flops: u64, efficiency: f64) -> SimTime {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.5,
+            "bandwidth efficiency {efficiency} outside sane range"
+        );
+        let mem_us = bytes as f64 / (self.mem_bandwidth_gb_s * efficiency) * 1e-3;
+        let cmp_us = flops as f64 / self.peak_gflop_s * 1e-3;
+        SimTime::from_us(self.kernel_launch_us + mem_us.max(cmp_us))
+    }
+
+    /// Launch overhead alone (e.g. for an empty kernel).
+    pub fn launch_overhead(&self) -> SimTime {
+        SimTime::from_us(self.kernel_launch_us)
+    }
+
+    /// Host-side synchronization overhead.
+    pub fn sync_overhead(&self) -> SimTime {
+        SimTime::from_us(self.sync_overhead_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_memory_bound() {
+        let d = DeviceModel::a100_40gb();
+        // 1.555 GB at 1555 GB/s = 1 ms, plus 4 us launch.
+        let t = d.kernel_time(1_555_000_000, 0, 1.0);
+        assert!((t.as_us() - 1004.0).abs() < 1e-6, "got {t}");
+    }
+
+    #[test]
+    fn roofline_compute_bound() {
+        let d = DeviceModel::a100_40gb();
+        // 9.7 GFLOP at 9.7 TFLOP/s = 1 ms; negligible bytes.
+        let t = d.kernel_time(8, 9_700_000_000, 1.0);
+        assert!((t.as_us() - 1004.0).abs() < 1e-3, "got {t}");
+    }
+
+    #[test]
+    fn efficiency_scales_bandwidth() {
+        let d = DeviceModel::a100_40gb();
+        let fast = d.kernel_time(1_000_000_000, 0, 1.0);
+        let slow = d.kernel_time(1_000_000_000, 0, 0.5);
+        let fast_body = fast.as_us() - d.kernel_launch_us;
+        let slow_body = slow.as_us() - d.kernel_launch_us;
+        assert!((slow_body / fast_body - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn zero_efficiency_rejected() {
+        DeviceModel::a100_40gb().kernel_time(1, 0, 0.0);
+    }
+
+    #[test]
+    fn presets_have_sane_capacities() {
+        assert_eq!(DeviceModel::a100_40gb().mem_capacity_bytes, 40 << 30);
+        assert_eq!(DeviceModel::gv100().mem_capacity_bytes, 32 << 30);
+        assert!(DeviceModel::cpu_socket().mem_capacity_bytes > 100 << 30);
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let d = DeviceModel::gv100();
+        assert_eq!(d.kernel_time(0, 0, 1.0), d.launch_overhead());
+    }
+}

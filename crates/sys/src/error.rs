@@ -1,0 +1,99 @@
+//! Error types for the System abstraction.
+
+use std::fmt;
+
+use crate::device::DeviceId;
+
+/// Result alias for System-level operations.
+pub type Result<T> = std::result::Result<T, NeonSysError>;
+
+/// Errors raised by the System abstraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NeonSysError {
+    /// A device allocation exceeded the device's memory capacity.
+    OutOfMemory {
+        /// Device on which the allocation failed.
+        device: DeviceId,
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes already in use on the device.
+        in_use: u64,
+        /// Total capacity of the device, in bytes.
+        capacity: u64,
+    },
+    /// A device index was outside the backend's device set.
+    InvalidDevice {
+        /// The offending device id.
+        device: DeviceId,
+        /// Number of devices in the backend.
+        num_devices: usize,
+    },
+    /// A stream id referenced a stream that was never created.
+    InvalidStream {
+        /// Human-readable description of the offending reference.
+        what: String,
+    },
+    /// An event was waited on before ever being recorded.
+    EventNeverRecorded {
+        /// The event index.
+        event: usize,
+    },
+    /// Backend configuration was inconsistent (e.g. zero devices).
+    InvalidConfig {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for NeonSysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeonSysError::OutOfMemory {
+                device,
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "out of memory on device {device}: requested {requested} B with {in_use} B in use of {capacity} B capacity"
+            ),
+            NeonSysError::InvalidDevice {
+                device,
+                num_devices,
+            } => write!(
+                f,
+                "invalid device {device}: backend has {num_devices} device(s)"
+            ),
+            NeonSysError::InvalidStream { what } => write!(f, "invalid stream: {what}"),
+            NeonSysError::EventNeverRecorded { event } => {
+                write!(f, "event {event} waited on before being recorded")
+            }
+            NeonSysError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NeonSysError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NeonSysError::OutOfMemory {
+            device: DeviceId(3),
+            requested: 100,
+            in_use: 50,
+            capacity: 120,
+        };
+        let s = e.to_string();
+        assert!(s.contains("device 3"));
+        assert!(s.contains("100 B"));
+        let e = NeonSysError::InvalidDevice {
+            device: DeviceId(9),
+            num_devices: 8,
+        };
+        assert!(e.to_string().contains("8 device"));
+    }
+}

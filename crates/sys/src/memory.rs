@@ -1,0 +1,198 @@
+//! Per-device memory accounting.
+//!
+//! Field partitions, halo regions and connectivity tables all register their
+//! footprint with the owning device's [`MemoryLedger`]. Exceeding the
+//! device's modelled capacity yields [`NeonSysError::OutOfMemory`], which is
+//! how the reproduction of Fig. 9 observes the paper's "element-sparse grid
+//! runs out of memory at 512³, sparsity 1.0" data point.
+//!
+//! The ledger is purely an accountant: actual storage lives in ordinary
+//! `Vec`s owned by the Set/Domain layers. Tickets release their bytes on
+//! drop (RAII), so accounting cannot leak.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::device::DeviceId;
+use crate::error::{NeonSysError, Result};
+
+#[derive(Debug)]
+struct LedgerInner {
+    device: DeviceId,
+    capacity: u64,
+    in_use: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// Allocation accountant for one device.
+#[derive(Debug, Clone)]
+pub struct MemoryLedger {
+    inner: Arc<LedgerInner>,
+}
+
+impl MemoryLedger {
+    /// Create a ledger for `device` with `capacity` bytes.
+    pub fn new(device: DeviceId, capacity: u64) -> Self {
+        MemoryLedger {
+            inner: Arc::new(LedgerInner {
+                device,
+                capacity,
+                in_use: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Register an allocation of `bytes`, or fail with an OOM error.
+    pub fn alloc(&self, bytes: u64) -> Result<AllocationTicket> {
+        let mut cur = self.inner.in_use.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if next > self.inner.capacity {
+                return Err(NeonSysError::OutOfMemory {
+                    device: self.inner.device,
+                    requested: bytes,
+                    in_use: cur,
+                    capacity: self.inner.capacity,
+                });
+            }
+            match self.inner.in_use.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.peak.fetch_max(next, Ordering::AcqRel);
+                    return Ok(AllocationTicket {
+                        ledger: self.clone(),
+                        bytes,
+                    });
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The device this ledger accounts for.
+    pub fn device(&self) -> DeviceId {
+        self.inner.device
+    }
+
+    /// Bytes currently registered.
+    pub fn in_use(&self) -> u64 {
+        self.inner.in_use.load(Ordering::Acquire)
+    }
+
+    /// High-water mark of registered bytes.
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.load(Ordering::Acquire)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    fn release(&self, bytes: u64) {
+        let prev = self.inner.in_use.fetch_sub(bytes, Ordering::AcqRel);
+        debug_assert!(prev >= bytes, "memory ledger release underflow");
+    }
+}
+
+/// RAII handle for a registered allocation; releases its bytes on drop.
+#[derive(Debug)]
+pub struct AllocationTicket {
+    ledger: MemoryLedger,
+    bytes: u64,
+}
+
+impl AllocationTicket {
+    /// Size of this allocation in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The device holding the allocation.
+    pub fn device(&self) -> DeviceId {
+        self.ledger.device()
+    }
+}
+
+impl Drop for AllocationTicket {
+    fn drop(&mut self) {
+        self.ledger.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_release() {
+        let ledger = MemoryLedger::new(DeviceId(0), 1000);
+        let t1 = ledger.alloc(400).unwrap();
+        assert_eq!(ledger.in_use(), 400);
+        let t2 = ledger.alloc(600).unwrap();
+        assert_eq!(ledger.in_use(), 1000);
+        drop(t1);
+        assert_eq!(ledger.in_use(), 600);
+        drop(t2);
+        assert_eq!(ledger.in_use(), 0);
+        assert_eq!(ledger.peak(), 1000);
+    }
+
+    #[test]
+    fn oom_detected() {
+        let ledger = MemoryLedger::new(DeviceId(2), 100);
+        let _t = ledger.alloc(80).unwrap();
+        let err = ledger.alloc(30).unwrap_err();
+        match err {
+            NeonSysError::OutOfMemory {
+                device,
+                requested,
+                in_use,
+                capacity,
+            } => {
+                assert_eq!(device, DeviceId(2));
+                assert_eq!(requested, 30);
+                assert_eq!(in_use, 80);
+                assert_eq!(capacity, 100);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_alloc_does_not_change_accounting() {
+        let ledger = MemoryLedger::new(DeviceId(0), 100);
+        let _t = ledger.alloc(90).unwrap();
+        assert!(ledger.alloc(20).is_err());
+        assert_eq!(ledger.in_use(), 90);
+    }
+
+    #[test]
+    fn concurrent_allocations_are_consistent() {
+        let ledger = MemoryLedger::new(DeviceId(0), 1_000_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let l = ledger.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let t = l.alloc(10).unwrap();
+                        drop(t);
+                    }
+                });
+            }
+        });
+        assert_eq!(ledger.in_use(), 0);
+    }
+
+    #[test]
+    fn zero_byte_alloc_is_fine() {
+        let ledger = MemoryLedger::new(DeviceId(0), 0);
+        let t = ledger.alloc(0).unwrap();
+        assert_eq!(t.bytes(), 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Queue-based runtime model on a virtual clock.
+//!
+//! This module mirrors the CUDA execution model the paper builds on
+//! (§IV-A): each device owns a set of *streams* (in-order command queues)
+//! and *events* (markers recorded on one stream and awaited by others). The
+//! difference is that our queues advance a **virtual clock** instead of real
+//! hardware: enqueueing an operation of duration `d` on a stream moves that
+//! stream's clock forward by `d` starting from the stream's current ready
+//! time; waiting on an event raises the stream clock to the event's recorded
+//! time.
+//!
+//! This is sufficient to faithfully replay any schedule the Skeleton layer
+//! produces and to measure its makespan, including every overlap effect that
+//! OCC optimizations are designed to exploit.
+
+use crate::clock::SimTime;
+use crate::device::DeviceId;
+use crate::error::{NeonSysError, Result};
+use crate::trace::{SpanKind, Trace, TraceSpan};
+
+/// Identifier of a stream: a queue on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId {
+    /// Owning device.
+    pub device: DeviceId,
+    /// Queue index within the device.
+    pub index: usize,
+}
+
+impl StreamId {
+    /// Convenience constructor.
+    pub fn new(device: DeviceId, index: usize) -> Self {
+        StreamId { device, index }
+    }
+}
+
+/// Identifier of an event within a [`QueueSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub usize);
+
+/// Virtual-clock simulator for a set of devices' stream queues.
+#[derive(Debug)]
+pub struct QueueSim {
+    /// `clocks[device][stream]` = time at which that queue becomes idle.
+    clocks: Vec<Vec<SimTime>>,
+    /// Recorded completion time per event (`None` until recorded).
+    events: Vec<Option<SimTime>>,
+    trace: Option<Trace>,
+}
+
+impl QueueSim {
+    /// Create a simulator for `num_devices` devices with `streams_per_device`
+    /// queues each.
+    pub fn new(num_devices: usize, streams_per_device: usize) -> Self {
+        assert!(num_devices > 0, "need at least one device");
+        assert!(streams_per_device > 0, "need at least one stream");
+        QueueSim {
+            clocks: vec![vec![SimTime::ZERO; streams_per_device]; num_devices],
+            events: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Enable span recording. Disabled by default to keep hot paths cheap.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Take ownership of the recorded trace, leaving tracing enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.as_mut().map(std::mem::take)
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Number of streams per device.
+    pub fn streams_per_device(&self) -> usize {
+        self.clocks[0].len()
+    }
+
+    fn clock_mut(&mut self, s: StreamId) -> &mut SimTime {
+        &mut self.clocks[s.device.0][s.index]
+    }
+
+    /// Current ready time of a stream.
+    pub fn now(&self, s: StreamId) -> SimTime {
+        self.clocks[s.device.0][s.index]
+    }
+
+    /// Allocate a fresh, unrecorded event.
+    pub fn create_event(&mut self) -> EventId {
+        self.events.push(None);
+        EventId(self.events.len() - 1)
+    }
+
+    /// Enqueue an operation of length `duration` on stream `s`, not starting
+    /// before `earliest`. Returns the `(start, end)` span.
+    pub fn enqueue_from(
+        &mut self,
+        s: StreamId,
+        earliest: SimTime,
+        duration: SimTime,
+        name: &str,
+        kind: SpanKind,
+    ) -> (SimTime, SimTime) {
+        let start = self.now(s).max(earliest);
+        let end = start + duration;
+        *self.clock_mut(s) = end;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceSpan {
+                device: s.device,
+                stream: s.index,
+                name: name.to_string(),
+                kind,
+                start,
+                end,
+            });
+        }
+        (start, end)
+    }
+
+    /// Enqueue an operation of length `duration` on stream `s` at the
+    /// stream's current ready time. Returns the `(start, end)` span.
+    pub fn enqueue(
+        &mut self,
+        s: StreamId,
+        duration: SimTime,
+        name: &str,
+        kind: SpanKind,
+    ) -> (SimTime, SimTime) {
+        self.enqueue_from(s, SimTime::ZERO, duration, name, kind)
+    }
+
+    /// Record `event` as completing at stream `s`'s current ready time.
+    ///
+    /// Re-recording overwrites the previous time (CUDA semantics).
+    pub fn record_event(&mut self, s: StreamId, event: EventId) {
+        let t = self.now(s);
+        self.events[event.0] = Some(t);
+    }
+
+    /// Make stream `s` wait for `event`: its clock is raised to the event's
+    /// recorded time (no-op if the event completed earlier than `now`).
+    pub fn wait_event(&mut self, s: StreamId, event: EventId) -> Result<()> {
+        let t = self.events[event.0].ok_or(NeonSysError::EventNeverRecorded { event: event.0 })?;
+        let c = self.clock_mut(s);
+        *c = c.max(t);
+        Ok(())
+    }
+
+    /// The recorded time of an event, if any.
+    pub fn event_time(&self, event: EventId) -> Option<SimTime> {
+        self.events[event.0]
+    }
+
+    /// Device-wide synchronization: every stream of `device` is raised to the
+    /// device's latest stream time. Returns that time.
+    pub fn sync_device(&mut self, device: DeviceId) -> SimTime {
+        let t = self.clocks[device.0]
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+        for c in &mut self.clocks[device.0] {
+            *c = t;
+        }
+        t
+    }
+
+    /// Global barrier: all streams of all devices are raised to the global
+    /// maximum. Returns that time.
+    pub fn sync_all(&mut self) -> SimTime {
+        let t = self.makespan();
+        for dev in &mut self.clocks {
+            for c in dev.iter_mut() {
+                *c = t;
+            }
+        }
+        t
+    }
+
+    /// Latest ready time over all streams — the makespan so far.
+    pub fn makespan(&self) -> SimTime {
+        self.clocks
+            .iter()
+            .flat_map(|d| d.iter().copied())
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Reset all clocks and forget all events (the trace, if any, is kept).
+    pub fn reset(&mut self) {
+        for dev in &mut self.clocks {
+            for c in dev.iter_mut() {
+                *c = SimTime::ZERO;
+            }
+        }
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(d: usize, i: usize) -> StreamId {
+        StreamId::new(DeviceId(d), i)
+    }
+
+    #[test]
+    fn sequential_enqueue_advances_clock() {
+        let mut q = QueueSim::new(1, 1);
+        let (a0, a1) = q.enqueue(s(0, 0), SimTime::from_us(10.0), "k1", SpanKind::Kernel);
+        let (b0, b1) = q.enqueue(s(0, 0), SimTime::from_us(5.0), "k2", SpanKind::Kernel);
+        assert_eq!(a0.as_us(), 0.0);
+        assert_eq!(a1.as_us(), 10.0);
+        assert_eq!(b0.as_us(), 10.0);
+        assert_eq!(b1.as_us(), 15.0);
+        assert_eq!(q.makespan().as_us(), 15.0);
+    }
+
+    #[test]
+    fn parallel_streams_overlap() {
+        let mut q = QueueSim::new(1, 2);
+        q.enqueue(s(0, 0), SimTime::from_us(10.0), "compute", SpanKind::Kernel);
+        q.enqueue(s(0, 1), SimTime::from_us(8.0), "copy", SpanKind::Transfer);
+        // Overlapped: makespan is max, not sum.
+        assert_eq!(q.makespan().as_us(), 10.0);
+    }
+
+    #[test]
+    fn event_synchronization_orders_streams() {
+        let mut q = QueueSim::new(2, 1);
+        let e = q.create_event();
+        q.enqueue(s(0, 0), SimTime::from_us(10.0), "produce", SpanKind::Kernel);
+        q.record_event(s(0, 0), e);
+        q.wait_event(s(1, 0), e).unwrap();
+        let (start, _) = q.enqueue(s(1, 0), SimTime::from_us(5.0), "consume", SpanKind::Kernel);
+        assert_eq!(start.as_us(), 10.0);
+    }
+
+    #[test]
+    fn waiting_on_past_event_is_noop() {
+        let mut q = QueueSim::new(1, 2);
+        let e = q.create_event();
+        q.record_event(s(0, 0), e); // recorded at t=0
+        q.enqueue(s(0, 1), SimTime::from_us(20.0), "busy", SpanKind::Kernel);
+        q.wait_event(s(0, 1), e).unwrap();
+        assert_eq!(q.now(s(0, 1)).as_us(), 20.0);
+    }
+
+    #[test]
+    fn unrecorded_event_errors() {
+        let mut q = QueueSim::new(1, 1);
+        let e = q.create_event();
+        assert!(matches!(
+            q.wait_event(s(0, 0), e),
+            Err(NeonSysError::EventNeverRecorded { event: 0 })
+        ));
+    }
+
+    #[test]
+    fn sync_device_aligns_streams() {
+        let mut q = QueueSim::new(2, 2);
+        q.enqueue(s(0, 0), SimTime::from_us(10.0), "a", SpanKind::Kernel);
+        q.enqueue(s(0, 1), SimTime::from_us(4.0), "b", SpanKind::Kernel);
+        q.enqueue(s(1, 0), SimTime::from_us(99.0), "c", SpanKind::Kernel);
+        let t = q.sync_device(DeviceId(0));
+        assert_eq!(t.as_us(), 10.0);
+        assert_eq!(q.now(s(0, 1)).as_us(), 10.0);
+        // Other device untouched by device-local sync.
+        assert_eq!(q.now(s(1, 0)).as_us(), 99.0);
+    }
+
+    #[test]
+    fn sync_all_is_global_barrier() {
+        let mut q = QueueSim::new(2, 1);
+        q.enqueue(s(0, 0), SimTime::from_us(3.0), "a", SpanKind::Kernel);
+        q.enqueue(s(1, 0), SimTime::from_us(7.0), "b", SpanKind::Kernel);
+        let t = q.sync_all();
+        assert_eq!(t.as_us(), 7.0);
+        assert_eq!(q.now(s(0, 0)).as_us(), 7.0);
+    }
+
+    #[test]
+    fn enqueue_from_respects_earliest() {
+        let mut q = QueueSim::new(1, 1);
+        let (start, end) = q.enqueue_from(
+            s(0, 0),
+            SimTime::from_us(50.0),
+            SimTime::from_us(5.0),
+            "late",
+            SpanKind::Kernel,
+        );
+        assert_eq!(start.as_us(), 50.0);
+        assert_eq!(end.as_us(), 55.0);
+    }
+
+    #[test]
+    fn trace_records_spans() {
+        let mut q = QueueSim::new(1, 1);
+        q.enable_trace();
+        q.enqueue(s(0, 0), SimTime::from_us(10.0), "k", SpanKind::Kernel);
+        let tr = q.trace().unwrap();
+        assert_eq!(tr.spans().len(), 1);
+        assert_eq!(tr.spans()[0].name, "k");
+    }
+
+    #[test]
+    fn reset_clears_clocks_and_events() {
+        let mut q = QueueSim::new(1, 1);
+        let e = q.create_event();
+        q.enqueue(s(0, 0), SimTime::from_us(10.0), "k", SpanKind::Kernel);
+        q.record_event(s(0, 0), e);
+        q.reset();
+        assert_eq!(q.makespan(), SimTime::ZERO);
+        let e2 = q.create_event();
+        assert_eq!(e2.0, 0);
+    }
+
+    #[test]
+    fn re_recording_event_overwrites() {
+        let mut q = QueueSim::new(1, 1);
+        let e = q.create_event();
+        q.record_event(s(0, 0), e);
+        q.enqueue(s(0, 0), SimTime::from_us(10.0), "k", SpanKind::Kernel);
+        q.record_event(s(0, 0), e);
+        assert_eq!(q.event_time(e).unwrap().as_us(), 10.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Inter-device interconnect models.
+//!
+//! The paper evaluates on two systems: a DGX A100 whose GPUs are fully
+//! connected through NVLink/NVSwitch, and an 8×GV100 box on PCIe Gen3 where
+//! peer transfers are staged through the host root complex. A transfer of
+//! `bytes` between two devices costs
+//!
+//! ```text
+//! t = latency + bytes / bandwidth
+//! ```
+//!
+//! with per-link parameters. The latency term folds in peer-copy driver
+//! overhead, which dominates small halo exchanges and is what OCC hides.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::SimTime;
+use crate::device::DeviceId;
+
+/// The class of a link between two devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// NVLink / NVSwitch class: high bandwidth, direct peer access.
+    NvLink,
+    /// PCIe Gen3 class: staged through the host, lower bandwidth.
+    PciE3,
+    /// Same device (no transfer needed) or host shared memory.
+    Local,
+}
+
+/// Performance parameters of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Link class.
+    pub kind: LinkKind,
+    /// Fixed cost per transfer, in microseconds (driver + wire latency).
+    pub latency_us: f64,
+    /// Sustained link bandwidth, in GB/s.
+    pub bandwidth_gb_s: f64,
+}
+
+impl LinkModel {
+    /// NVLink-class link as on a DGX A100.
+    ///
+    /// The bandwidth is the *effective per-neighbour* rate observed for halo
+    /// exchanges (a slab partition talks to at most two neighbours, each over
+    /// a dedicated set of links); the latency is the per-copy launch/driver
+    /// overhead of a `cudaMemcpyPeerAsync`. Calibrated so that an 8-GPU
+    /// D3Q19 halo exchange (19 segments per direction, SoA) costs ≈49 % of
+    /// a 192³ iteration and ≈10 % of a 512³ one (paper §VI-A).
+    pub fn nvlink() -> Self {
+        LinkModel {
+            kind: LinkKind::NvLink,
+            latency_us: 9.5,
+            bandwidth_gb_s: 173.0,
+        }
+    }
+
+    /// PCIe Gen3 x16 link. Peer copies are staged through the host root
+    /// complex, roughly halving the achievable peer bandwidth.
+    pub fn pcie3() -> Self {
+        LinkModel {
+            kind: LinkKind::PciE3,
+            latency_us: 18.0,
+            bandwidth_gb_s: 6.5,
+        }
+    }
+
+    /// Intra-device "link" — copies inside one device's memory.
+    pub fn local(bandwidth_gb_s: f64) -> Self {
+        LinkModel {
+            kind: LinkKind::Local,
+            latency_us: 1.0,
+            bandwidth_gb_s,
+        }
+    }
+
+    /// Time to move `bytes` over this link.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_us(self.latency_us + bytes as f64 / self.bandwidth_gb_s * 1e-3)
+    }
+}
+
+/// The interconnect of a backend: a link model for every ordered device pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    n: usize,
+    /// Row-major `n × n` matrix of links; `links[src][dst]`.
+    links: Vec<LinkModel>,
+}
+
+impl Topology {
+    /// Build from an explicit link function.
+    pub fn from_fn(n: usize, f: impl Fn(DeviceId, DeviceId) -> LinkModel) -> Self {
+        assert!(n > 0, "topology needs at least one device");
+        let mut links = Vec::with_capacity(n * n);
+        for s in 0..n {
+            for d in 0..n {
+                links.push(f(DeviceId(s), DeviceId(d)));
+            }
+        }
+        Topology { n, links }
+    }
+
+    /// Fully-connected NVLink topology (DGX A100 class) over `n` devices.
+    pub fn nvlink_all_to_all(n: usize, local_bw_gb_s: f64) -> Self {
+        Topology::from_fn(n, |s, d| {
+            if s == d {
+                LinkModel::local(local_bw_gb_s)
+            } else {
+                LinkModel::nvlink()
+            }
+        })
+    }
+
+    /// PCIe Gen3 topology (GV100 box class) over `n` devices.
+    pub fn pcie_host_staged(n: usize, local_bw_gb_s: f64) -> Self {
+        Topology::from_fn(n, |s, d| {
+            if s == d {
+                LinkModel::local(local_bw_gb_s)
+            } else {
+                LinkModel::pcie3()
+            }
+        })
+    }
+
+    /// Number of devices the topology covers.
+    pub fn num_devices(&self) -> usize {
+        self.n
+    }
+
+    /// The link used from `src` to `dst`.
+    pub fn link(&self, src: DeviceId, dst: DeviceId) -> &LinkModel {
+        assert!(src.0 < self.n && dst.0 < self.n, "device out of topology");
+        &self.links[src.0 * self.n + dst.0]
+    }
+
+    /// Time to move `bytes` from `src` to `dst`.
+    pub fn transfer_time(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> SimTime {
+        self.link(src, dst).transfer_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_transfer_time() {
+        let l = LinkModel::nvlink();
+        // 173 MB at 173 GB/s = 1 ms plus 9.5 us latency.
+        let t = l.transfer_time(173_000_000);
+        assert!((t.as_us() - 1009.5).abs() < 1e-6, "got {t}");
+    }
+
+    #[test]
+    fn nvlink_faster_than_pcie() {
+        let bytes = 10_000_000;
+        assert!(
+            LinkModel::nvlink().transfer_time(bytes) < LinkModel::pcie3().transfer_time(bytes)
+        );
+    }
+
+    #[test]
+    fn topology_lookup() {
+        let t = Topology::nvlink_all_to_all(4, 1555.0);
+        assert_eq!(t.num_devices(), 4);
+        assert_eq!(t.link(DeviceId(0), DeviceId(0)).kind, LinkKind::Local);
+        assert_eq!(t.link(DeviceId(0), DeviceId(3)).kind, LinkKind::NvLink);
+        assert_eq!(t.link(DeviceId(3), DeviceId(1)).kind, LinkKind::NvLink);
+    }
+
+    #[test]
+    fn pcie_topology() {
+        let t = Topology::pcie_host_staged(2, 870.0);
+        assert_eq!(t.link(DeviceId(0), DeviceId(1)).kind, LinkKind::PciE3);
+        assert_eq!(t.link(DeviceId(1), DeviceId(1)).kind, LinkKind::Local);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of topology")]
+    fn out_of_range_panics() {
+        let t = Topology::nvlink_all_to_all(2, 1555.0);
+        t.link(DeviceId(0), DeviceId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_topology_rejected() {
+        Topology::from_fn(0, |_, _| LinkModel::nvlink());
+    }
+}

@@ -1,0 +1,261 @@
+//! Execution traces on the virtual clock.
+//!
+//! Every kernel, transfer and synchronization executed by the queue runtime
+//! can be recorded as a [`TraceSpan`]. Traces make OCC visible: the Fig. 1
+//! reproduction renders them as ASCII timelines, and [`Trace::to_chrome_json`]
+//! exports them for `chrome://tracing` / Perfetto.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::SimTime;
+use crate::device::DeviceId;
+
+/// What a span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// A compute kernel.
+    Kernel,
+    /// An inter-device (or intra-device) memory transfer.
+    Transfer,
+    /// A synchronization (event wait materialized as stream idle time).
+    Sync,
+    /// Host-side work.
+    Host,
+}
+
+impl SpanKind {
+    fn label(self) -> &'static str {
+        match self {
+            SpanKind::Kernel => "kernel",
+            SpanKind::Transfer => "transfer",
+            SpanKind::Sync => "sync",
+            SpanKind::Host => "host",
+        }
+    }
+}
+
+/// One span of activity on a stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Device the stream belongs to.
+    pub device: DeviceId,
+    /// Stream index within the device.
+    pub stream: usize,
+    /// Name of the operation (container name, transfer description, …).
+    pub name: String,
+    /// Kind of activity.
+    pub kind: SpanKind,
+    /// Start time on the virtual clock.
+    pub start: SimTime,
+    /// End time on the virtual clock.
+    pub end: SimTime,
+}
+
+/// An ordered collection of spans.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append a span.
+    pub fn push(&mut self, span: TraceSpan) {
+        debug_assert!(span.end.as_us() >= span.start.as_us(), "negative span");
+        self.spans.push(span);
+    }
+
+    /// All recorded spans, in insertion order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Remove all spans.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Latest end time across all spans (zero if empty).
+    pub fn end_time(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Total busy time attributed to a `(device, stream)` lane.
+    pub fn busy_time(&self, device: DeviceId, stream: usize) -> SimTime {
+        self.spans
+            .iter()
+            .filter(|s| s.device == device && s.stream == stream)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Total time of spans of a given kind, summed over all lanes.
+    pub fn time_by_kind(&self, kind: SpanKind) -> SimTime {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Serialize to Chrome `about:tracing` JSON (array-of-events form).
+    ///
+    /// Written by hand to avoid a JSON dependency; names are escaped for the
+    /// characters that can legally appear in container names.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.spans.len() * 96);
+        out.push('[');
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let name = escape_json(&s.name);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":{tid}}}",
+                cat = s.kind.label(),
+                ts = s.start.as_us(),
+                dur = (s.end - s.start).as_us(),
+                pid = s.device.0,
+                tid = s.stream,
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    /// Render a fixed-width ASCII timeline, one row per `(device, stream)`,
+    /// scaled to `width` columns. Used by the Fig. 1 reproduction.
+    pub fn ascii_timeline(&self, width: usize) -> String {
+        let end = self.end_time().as_us().max(1e-9);
+        let mut lanes: Vec<(DeviceId, usize)> = self
+            .spans
+            .iter()
+            .map(|s| (s.device, s.stream))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        lanes.sort();
+        let mut out = String::new();
+        for (dev, stream) in lanes {
+            let mut row = vec![b'.'; width];
+            for s in self
+                .spans
+                .iter()
+                .filter(|s| s.device == dev && s.stream == stream)
+            {
+                let a = ((s.start.as_us() / end) * width as f64).floor() as usize;
+                let b = (((s.end.as_us() / end) * width as f64).ceil() as usize).min(width);
+                let ch = match s.kind {
+                    SpanKind::Kernel => s.name.bytes().next().unwrap_or(b'K'),
+                    SpanKind::Transfer => b'~',
+                    SpanKind::Sync => b'|',
+                    SpanKind::Host => b'H',
+                };
+                for c in row.iter_mut().take(b).skip(a) {
+                    *c = ch;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "dev{} s{} |{}|",
+                dev.0,
+                stream,
+                String::from_utf8_lossy(&row)
+            );
+        }
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(dev: usize, stream: usize, name: &str, kind: SpanKind, a: f64, b: f64) -> TraceSpan {
+        TraceSpan {
+            device: DeviceId(dev),
+            stream,
+            name: name.to_string(),
+            kind,
+            start: SimTime::from_us(a),
+            end: SimTime::from_us(b),
+        }
+    }
+
+    #[test]
+    fn end_time_and_busy_time() {
+        let mut t = Trace::new();
+        t.push(span(0, 0, "a", SpanKind::Kernel, 0.0, 5.0));
+        t.push(span(0, 0, "b", SpanKind::Kernel, 7.0, 10.0));
+        t.push(span(1, 0, "c", SpanKind::Transfer, 2.0, 12.0));
+        assert_eq!(t.end_time().as_us(), 12.0);
+        assert_eq!(t.busy_time(DeviceId(0), 0).as_us(), 8.0);
+        assert_eq!(t.time_by_kind(SpanKind::Transfer).as_us(), 10.0);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut t = Trace::new();
+        t.push(span(0, 1, "axpy \"x\"", SpanKind::Kernel, 0.0, 5.0));
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\\\"x\\\""));
+        assert!(json.contains("\"pid\":0"));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"dur\":5.000"));
+    }
+
+    #[test]
+    fn ascii_timeline_has_one_row_per_lane() {
+        let mut t = Trace::new();
+        t.push(span(0, 0, "map", SpanKind::Kernel, 0.0, 10.0));
+        t.push(span(1, 0, "map", SpanKind::Kernel, 0.0, 10.0));
+        t.push(span(1, 1, "halo", SpanKind::Transfer, 5.0, 10.0));
+        let art = t.ascii_timeline(20);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("dev0 s0"));
+        assert!(art.contains("dev1 s1"));
+        assert!(art.contains('~'));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::new();
+        t.push(span(0, 0, "a", SpanKind::Kernel, 0.0, 5.0));
+        t.clear();
+        assert!(t.spans().is_empty());
+        assert_eq!(t.end_time(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,144 @@
+//! Sanity constraints on the performance model: the simulated hardware
+//! must respect the orderings real hardware would (faster parts are
+//! faster, overlap never slows things down, costs are additive), so that
+//! every conclusion the benchmarks draw rests on a sane substrate.
+
+use neon_sys::{
+    Backend, DeviceId, DeviceModel, LinkModel, QueueSim, SimTime, SpanKind, StreamId, Topology,
+};
+
+#[test]
+fn a100_beats_gv100_on_every_axis_that_matters() {
+    let a = DeviceModel::a100_40gb();
+    let g = DeviceModel::gv100();
+    for bytes in [1u64 << 10, 1 << 20, 1 << 30] {
+        assert!(a.kernel_time(bytes, 0, 1.0) < g.kernel_time(bytes, 0, 1.0));
+    }
+    for flops in [1u64 << 20, 1 << 30] {
+        assert!(a.kernel_time(0, flops, 1.0) <= g.kernel_time(0, flops, 1.0));
+    }
+    assert!(a.mem_capacity_bytes > g.mem_capacity_bytes);
+}
+
+#[test]
+fn kernel_time_is_monotone_in_work() {
+    let d = DeviceModel::a100_40gb();
+    let mut last = SimTime::ZERO;
+    for i in 0..20 {
+        let t = d.kernel_time(i * 1_000_000, i * 500_000, 1.0);
+        assert!(t.as_us() >= last.as_us());
+        last = t;
+    }
+}
+
+#[test]
+fn roofline_ridge_point() {
+    // Below the ridge (bytes-heavy) the kernel is memory bound; above it
+    // compute bound. The crossover must sit at bandwidth/flops ratio.
+    let d = DeviceModel::a100_40gb();
+    let bytes = 1u64 << 30;
+    // Arithmetic intensity at the ridge: peak_flops / bandwidth.
+    let ridge = d.peak_gflop_s / d.mem_bandwidth_gb_s; // flops per byte
+    let low = (bytes as f64 * ridge * 0.5) as u64;
+    let high = (bytes as f64 * ridge * 2.0) as u64;
+    let t_mem = d.kernel_time(bytes, low, 1.0);
+    let t_cmp = d.kernel_time(bytes, high, 1.0);
+    // The low-intensity kernel's time equals the pure-memory time.
+    assert_eq!(t_mem, d.kernel_time(bytes, 0, 1.0));
+    // The high-intensity kernel is slower than pure memory.
+    assert!(t_cmp > t_mem);
+}
+
+#[test]
+fn transfer_time_additive_in_latency_and_bytes() {
+    let l = LinkModel::nvlink();
+    let t0 = l.transfer_time(0);
+    assert!((t0.as_us() - l.latency_us).abs() < 1e-12);
+    let t1 = l.transfer_time(1_000_000);
+    let t2 = l.transfer_time(2_000_000);
+    // Doubling payload doubles only the payload part.
+    assert!(((t2.as_us() - t0.as_us()) - 2.0 * (t1.as_us() - t0.as_us())).abs() < 1e-9);
+}
+
+#[test]
+fn overlap_never_hurts() {
+    // Splitting work across two streams can only reduce the makespan
+    // relative to serializing it on one (no contention in this model —
+    // which is exactly why the executor serializes kernels; transfers
+    // genuinely run on separate engines).
+    for (w1, w2) in [(10.0, 10.0), (1.0, 100.0), (55.5, 44.5)] {
+        let mut serial = QueueSim::new(1, 2);
+        let s = StreamId::new(DeviceId(0), 0);
+        serial.enqueue(s, SimTime::from_us(w1), "a", SpanKind::Kernel);
+        serial.enqueue(s, SimTime::from_us(w2), "b", SpanKind::Transfer);
+        let mut parallel = QueueSim::new(1, 2);
+        parallel.enqueue(s, SimTime::from_us(w1), "a", SpanKind::Kernel);
+        parallel.enqueue(
+            StreamId::new(DeviceId(0), 1),
+            SimTime::from_us(w2),
+            "b",
+            SpanKind::Transfer,
+        );
+        assert!(parallel.makespan() <= serial.makespan());
+        assert_eq!(parallel.makespan().as_us(), w1.max(w2));
+        assert_eq!(serial.makespan().as_us(), w1 + w2);
+    }
+}
+
+#[test]
+fn backends_compose_heterogeneous_devices() {
+    let devices = vec![DeviceModel::a100_40gb(), DeviceModel::gv100()];
+    let b = Backend::new(
+        neon_sys::BackendKind::Gpu,
+        devices,
+        Topology::nvlink_all_to_all(2, 1555.0),
+    )
+    .unwrap();
+    assert_eq!(b.device(DeviceId(0)).name, "A100-40GB");
+    assert_eq!(b.device(DeviceId(1)).name, "GV100");
+    assert_ne!(
+        b.ledger(DeviceId(0)).capacity(),
+        b.ledger(DeviceId(1)).capacity()
+    );
+}
+
+#[test]
+fn event_chains_accumulate_correctly() {
+    // A chain of N dependent stages across two devices costs the sum of
+    // stage times, regardless of which device runs which stage.
+    let mut q = QueueSim::new(2, 1);
+    let mut expected = 0.0;
+    let mut last_event = None;
+    for i in 0..10 {
+        let s = StreamId::new(DeviceId(i % 2), 0);
+        if let Some(e) = last_event {
+            q.wait_event(s, e).unwrap();
+        }
+        let d = 3.0 + i as f64;
+        q.enqueue(s, SimTime::from_us(d), "stage", SpanKind::Kernel);
+        expected += d;
+        let e = q.create_event();
+        q.record_event(s, e);
+        last_event = Some(e);
+    }
+    assert!((q.makespan().as_us() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn trace_busy_time_equals_enqueued_durations() {
+    let mut q = QueueSim::new(1, 1);
+    q.enable_trace();
+    let mut total = 0.0;
+    for i in 1..=5 {
+        let d = i as f64 * 2.0;
+        q.enqueue(
+            StreamId::new(DeviceId(0), 0),
+            SimTime::from_us(d),
+            "op",
+            SpanKind::Kernel,
+        );
+        total += d;
+    }
+    let busy = q.trace().unwrap().busy_time(DeviceId(0), 0);
+    assert!((busy.as_us() - total).abs() < 1e-9);
+}

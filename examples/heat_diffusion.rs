@@ -1,0 +1,69 @@
+//! Heat diffusion on a block-sparse domain, exported to VTK.
+//!
+//! Demonstrates two extensions built on the paper's model: the
+//! block-sparse grid (sparsity at B³-block granularity) and field export
+//! for visualization — while the solver code itself is the same generic
+//! `HeatSolver` that runs on dense and element-sparse grids.
+//!
+//! Run with: `cargo run --release --example heat_diffusion`
+
+use neon::apps::heat::HeatSolver;
+use neon::prelude::*;
+use neon_domain::{io, StorageMode};
+
+fn main() -> neon_sys::Result<()> {
+    let backend = Backend::dgx_a100(2);
+    let n = 32;
+    let stencil = Stencil::seven_point();
+
+    // An L-shaped solid: the union of two slabs, blockified at B = 4.
+    let mask = move |x: i32, y: i32, _z: i32| x < n as i32 / 2 || y < n as i32 / 2;
+    let grid = BlockSparseGrid::new(
+        &backend,
+        Dim3::cube(n),
+        4,
+        &[&stencil],
+        mask,
+        StorageMode::Real,
+    )?;
+    println!(
+        "L-shaped domain: {} active cells of {} ({}% blocks stored on dev0: {})",
+        grid.active_cells(),
+        Dim3::cube(n).count(),
+        100 * grid.active_cells() / Dim3::cube(n).count(),
+        grid.stored_blocks(DeviceId(0)),
+    );
+
+    let mut solver = HeatSolver::new(&grid, 1.0 / 6.0, OccLevel::Standard)?;
+    // A hot spot in the inner corner of the L.
+    let c = n as i32 / 4;
+    solver.set_initial(move |x, y, z| {
+        let d2 = (x - c).pow(2) + (y - c).pow(2) + (z - n as i32 / 2).pow(2);
+        if d2 < 9 {
+            100.0
+        } else {
+            0.0
+        }
+    });
+
+    let heat0 = solver.total_heat();
+    for snapshot in 0..3 {
+        let report = solver.step(40);
+        println!(
+            "after {:>3} steps: total heat {:.2} (simulated {})",
+            (snapshot + 1) * 40,
+            solver.total_heat(),
+            report.makespan,
+        );
+        let path = std::env::temp_dir().join(format!("neon_heat_{snapshot}.vtk"));
+        let mut fh = std::io::BufWriter::new(std::fs::File::create(&path).expect("create vtk"));
+        io::write_vtk(solver.temperature(), "temperature", &mut fh).expect("write vtk");
+        println!("  snapshot written to {}", path.display());
+    }
+    println!(
+        "\nheat decayed from {heat0:.1} to {:.1} through the walls; open the\n\
+         .vtk files in ParaView to see the diffusion through the L-domain",
+        solver.total_heat()
+    );
+    Ok(())
+}

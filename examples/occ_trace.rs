@@ -1,0 +1,60 @@
+//! Visualizing overlap of computation and communication: runs the same
+//! map→stencil pipeline at every OCC level and prints the virtual-clock
+//! timelines (the paper's Fig. 1), plus a Chrome-trace JSON export for
+//! `chrome://tracing` / Perfetto.
+//!
+//! Run with: `cargo run --release --example occ_trace`
+
+use neon::prelude::*;
+use neon_domain::{FieldStencil as _, FieldWrite as _, StorageMode};
+
+fn build(backend: &Backend, occ: OccLevel) -> Skeleton {
+    let stencil = Stencil::seven_point();
+    let grid = DenseGrid::new(
+        backend,
+        Dim3::new(192, 192, 64),
+        &[&stencil],
+        StorageMode::Virtual, // timing-only: no host RAM needed
+    )
+    .expect("grid");
+    let a = Field::<f64, _>::new(&grid, "a", 8, 0.0, MemLayout::SoA).expect("field");
+    let b = Field::<f64, _>::new(&grid, "b", 8, 0.0, MemLayout::SoA).expect("field");
+    let map = {
+        let ac = a.clone();
+        Container::compute("map", grid.as_space(), move |ldr| {
+            let av = ldr.read_write(&ac);
+            Box::new(move |c| av.set(c, 0, av.at(c, 0) + 1.0))
+        })
+    };
+    let sten = {
+        let (ac, bc) = (a.clone(), b.clone());
+        Container::compute("stn", grid.as_space(), move |ldr| {
+            let av = ldr.read_stencil(&ac);
+            let bv = ldr.write(&bc);
+            Box::new(move |c| bv.set(c, 0, av.ngh(c, 0, 0)))
+        })
+    };
+    let mut opts = SkeletonOptions::with_occ(occ);
+    opts.trace = true;
+    Skeleton::sequence(backend, "occ-trace", vec![map, sten], opts)
+}
+
+fn main() {
+    let backend = Backend::gv100_pcie(2); // slow links make overlap visible
+    for occ in [
+        OccLevel::None,
+        OccLevel::Standard,
+        OccLevel::Extended,
+        OccLevel::TwoWayExtended,
+    ] {
+        let mut sk = build(&backend, occ);
+        let report = sk.run();
+        let trace = sk.take_trace().expect("tracing enabled");
+        println!("=== {occ}: makespan {} ===", report.makespan);
+        print!("{}", trace.ascii_timeline(70));
+        let path = std::env::temp_dir().join(format!("neon_occ_{occ}.trace.json"));
+        std::fs::write(&path, trace.to_chrome_json()).expect("write trace");
+        println!("chrome trace written to {}\n", path.display());
+    }
+    println!("open the .json files in chrome://tracing or https://ui.perfetto.dev");
+}

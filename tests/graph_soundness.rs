@@ -1,0 +1,242 @@
+//! Property tests of the Skeleton's graph machinery over *randomly
+//! generated* container pipelines: the dependency analysis must order
+//! every conflicting pair (serializability), the multi-GPU and OCC
+//! transforms must stay acyclic and sound, and — the strongest check —
+//! functional execution must be invariant across every OCC level for
+//! every random program.
+
+use proptest::prelude::*;
+
+use neon::prelude::*;
+use neon_core::{EdgeKind, Graph};
+use neon_domain::{ops, FieldStencil as _, FieldWrite as _, GridLike, StorageMode};
+
+const NFIELDS: usize = 4;
+
+/// One randomly chosen pipeline step.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Set(usize),
+    Axpy(usize, usize),
+    Copy(usize, usize),
+    Stencil(usize, usize),
+    Dot(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let f = 0..NFIELDS;
+    prop_oneof![
+        f.clone().prop_map(Op::Set),
+        (0..NFIELDS, 0..NFIELDS).prop_map(|(a, b)| Op::Axpy(a, b)),
+        (0..NFIELDS, 0..NFIELDS).prop_map(|(a, b)| Op::Copy(a, b)),
+        (0..NFIELDS, 0..NFIELDS).prop_map(|(a, b)| Op::Stencil(a, b)),
+        (0..NFIELDS, 0..NFIELDS).prop_map(|(a, b)| Op::Dot(a, b)),
+    ]
+}
+
+struct Pipeline {
+    containers: Vec<Container>,
+    /// (reads, writes) field indices per container.
+    accesses: Vec<(Vec<usize>, Vec<usize>)>,
+    fields: Vec<Field<f64, DenseGrid>>,
+    scalars: Vec<ScalarSet<f64>>,
+}
+
+fn build_pipeline(backend: &Backend, ops_list: &[Op]) -> Pipeline {
+    let st = Stencil::seven_point();
+    let grid = DenseGrid::new(
+        backend,
+        Dim3::new(4, 4, 4 * backend.num_devices().max(2)),
+        &[&st],
+        StorageMode::Real,
+    )
+    .unwrap();
+    let fields: Vec<Field<f64, DenseGrid>> = (0..NFIELDS)
+        .map(|i| Field::new(&grid, &format!("f{i}"), 1, 0.0, MemLayout::SoA).unwrap())
+        .collect();
+    for (i, f) in fields.iter().enumerate() {
+        f.fill(move |x, y, z, _| ((x + 2 * y + 3 * z + i as i32) % 7) as f64 - 3.0);
+    }
+    let mut containers = Vec::new();
+    let mut accesses = Vec::new();
+    let mut scalars = Vec::new();
+    for (i, op) in ops_list.iter().enumerate() {
+        match *op {
+            Op::Set(a) => {
+                containers.push(ops::set_value(&grid, &fields[a], i as f64 * 0.5 - 1.0));
+                accesses.push((vec![], vec![a]));
+            }
+            Op::Axpy(a, b) if a != b => {
+                containers.push(ops::axpy_const(&grid, 0.5, &fields[a], &fields[b]));
+                accesses.push((vec![a, b], vec![b]));
+            }
+            Op::Axpy(a, _) => {
+                containers.push(ops::scale_const(&grid, 1.25, &fields[a]));
+                accesses.push((vec![a], vec![a]));
+            }
+            Op::Copy(a, b) if a != b => {
+                containers.push(ops::copy(&grid, &fields[a], &fields[b]));
+                accesses.push((vec![a], vec![b]));
+            }
+            Op::Copy(a, _) => {
+                containers.push(ops::scale_const(&grid, 0.75, &fields[a]));
+                accesses.push((vec![a], vec![a]));
+            }
+            Op::Stencil(a, b) if a != b => {
+                let (src, dst) = (fields[a].clone(), fields[b].clone());
+                containers.push(Container::compute(
+                    &format!("stencil{i}"),
+                    grid.as_space(),
+                    move |ldr| {
+                        let sv = ldr.read_stencil(&src);
+                        let dv = ldr.write(&dst);
+                        Box::new(move |c| {
+                            let mut s = 0.0;
+                            for slot in 0..6 {
+                                s += sv.ngh(c, slot, 0);
+                            }
+                            dv.set(c, 0, s * 0.25);
+                        })
+                    },
+                ));
+                accesses.push((vec![a], vec![b]));
+            }
+            Op::Stencil(a, _) => {
+                containers.push(ops::scale_const(&grid, 0.9, &fields[a]));
+                accesses.push((vec![a], vec![a]));
+            }
+            Op::Dot(a, b) => {
+                let s = ScalarSet::<f64>::new(
+                    backend.num_devices(),
+                    &format!("dot{i}"),
+                    0.0,
+                    |p, q| p + q,
+                );
+                containers.push(ops::dot(&grid, &fields[a], &fields[b], &s));
+                accesses.push((vec![a, b], vec![]));
+                scalars.push(s);
+            }
+        }
+    }
+    Pipeline {
+        containers,
+        accesses,
+        fields,
+        scalars,
+    }
+}
+
+/// Reachability over data edges.
+fn reaches(g: &Graph, from: usize, to: usize) -> bool {
+    let mut stack = vec![from];
+    let mut seen = vec![false; g.len()];
+    while let Some(u) = stack.pop() {
+        if u == to {
+            return true;
+        }
+        if std::mem::replace(&mut seen[u], true) {
+            continue;
+        }
+        for e in g.edges() {
+            if e.from == u && e.kind != EdgeKind::Sched && !seen[e.to] {
+                stack.push(e.to);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Serializability: any two containers where one writes a field the
+    /// other touches must be path-ordered in program order — even after
+    /// transitive reduction and halo insertion.
+    #[test]
+    fn prop_conflicting_containers_are_ordered(
+        ops_list in prop::collection::vec(op_strategy(), 2..10),
+    ) {
+        let backend = Backend::dgx_a100(2);
+        let p = build_pipeline(&backend, &ops_list);
+        let dep = neon_core::build_dependency_graph(&p.containers);
+        let mg = neon_core::to_multigpu_graph(&dep, 2);
+        // The multi-GPU transform preserves container order (halo nodes
+        // are interleaved): the i-th non-halo node is container i.
+        let node_of: Vec<usize> = mg
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.is_halo())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(node_of.len(), p.containers.len());
+        for i in 0..p.containers.len() {
+            for j in (i + 1)..p.containers.len() {
+                let (ri, wi) = &p.accesses[i];
+                let (rj, wj) = &p.accesses[j];
+                let conflict = wi.iter().any(|f| rj.contains(f) || wj.contains(f))
+                    || wj.iter().any(|f| ri.contains(f));
+                if conflict {
+                    prop_assert!(
+                        reaches(&mg, node_of[i], node_of[j]),
+                        "containers {i} and {j} conflict but are unordered"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every OCC level keeps the graph acyclic, schedules every node, and
+    /// computes exactly the same field values and reductions as no-OCC.
+    #[test]
+    fn prop_occ_equivalence_random_programs(
+        ops_list in prop::collection::vec(op_strategy(), 2..8),
+        ndev in 1usize..4,
+    ) {
+        let run = |occ: OccLevel| {
+            let backend = Backend::dgx_a100(ndev);
+            let p = build_pipeline(&backend, &ops_list);
+            let mut sk = Skeleton::sequence(
+                &backend,
+                "random",
+                p.containers.clone(),
+                SkeletonOptions::with_occ(occ),
+            );
+            assert_eq!(sk.schedule().tasks.len(), sk.graph().len());
+            sk.run();
+            let mut field_vals = Vec::new();
+            for f in &p.fields {
+                f.for_each(|_, _, _, _, v| field_vals.push(v));
+            }
+            let scalar_vals: Vec<f64> = p.scalars.iter().map(|s| s.host_value()).collect();
+            (field_vals, scalar_vals)
+        };
+        let reference = run(OccLevel::None);
+        for occ in [OccLevel::Standard, OccLevel::Extended, OccLevel::TwoWayExtended] {
+            let got = run(occ);
+            prop_assert_eq!(&got.0, &reference.0, "{} changed fields", occ);
+            for (a, b) in got.1.iter().zip(&reference.1) {
+                prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    /// Rerunning the same skeleton is deterministic, and its virtual
+    /// makespan is identical on every execution.
+    #[test]
+    fn prop_skeleton_rerun_deterministic(
+        ops_list in prop::collection::vec(op_strategy(), 2..6),
+    ) {
+        let backend = Backend::dgx_a100(2);
+        let p = build_pipeline(&backend, &ops_list);
+        let mut sk = Skeleton::sequence(
+            &backend,
+            "det",
+            p.containers.clone(),
+            SkeletonOptions::default(),
+        );
+        let t1 = sk.run().makespan;
+        let t2 = sk.run().makespan;
+        prop_assert!((t1.as_us() - t2.as_us()).abs() < 1e-9, "{t1} vs {t2}");
+    }
+}

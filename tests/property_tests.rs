@@ -1,0 +1,316 @@
+//! Property-based tests over the core invariants of the stack, using
+//! randomly generated domains, partitions, masks and schedules.
+
+use proptest::prelude::*;
+
+use neon::prelude::*;
+use neon_domain::{
+    slab_partition, weighted_slab_partition, FieldStencil as _, FieldWrite as _,
+    GridLike, Offset3, StorageMode,
+};
+use neon_set::IterationSpace;
+use neon_sys::{DeviceId, MemoryLedger, QueueSim, SimTime, SpanKind, StreamId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Slab partitioning covers [0, total) contiguously and balanced.
+    #[test]
+    fn prop_slab_partition_covers(total in 1usize..200, parts in 1usize..16) {
+        prop_assume!(total >= parts);
+        let slabs = slab_partition(total, parts);
+        prop_assert_eq!(slabs.len(), parts);
+        prop_assert_eq!(slabs[0].0, 0);
+        prop_assert_eq!(slabs.last().unwrap().1, total);
+        for w in slabs.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+        let sizes: Vec<usize> = slabs.iter().map(|(a, b)| b - a).collect();
+        prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    /// Weighted partitioning covers everything with non-empty slabs and a
+    /// bounded imbalance whenever the weights allow it.
+    #[test]
+    fn prop_weighted_partition_covers(
+        weights in prop::collection::vec(0u64..100, 4..64),
+        parts in 1usize..8,
+    ) {
+        prop_assume!(weights.len() >= parts);
+        prop_assume!(weights.iter().sum::<u64>() > 0);
+        let slabs = weighted_slab_partition(&weights, parts);
+        prop_assert_eq!(slabs.len(), parts);
+        prop_assert_eq!(slabs[0].0, 0);
+        prop_assert_eq!(slabs.last().unwrap().1, weights.len());
+        for w in slabs.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+        for (a, b) in &slabs {
+            prop_assert!(b > a, "empty slab");
+        }
+    }
+
+    /// Every owned cell of a dense grid appears in exactly one partition
+    /// and exactly one view class; locate() agrees with iteration.
+    #[test]
+    fn prop_dense_grid_partition_invariants(
+        nx in 2usize..6,
+        ny in 2usize..6,
+        nz in 4usize..24,
+        ndev in 1usize..5,
+    ) {
+        prop_assume!(nz >= 2 * ndev);
+        let b = Backend::dgx_a100(ndev);
+        let st = Stencil::seven_point();
+        let g = DenseGrid::new(&b, Dim3::new(nx, ny, nz), &[&st], StorageMode::Real).unwrap();
+        let mut seen = std::collections::HashMap::new();
+        for d in 0..ndev {
+            let dev = DeviceId(d);
+            let mut int = 0u64;
+            let mut bnd = 0u64;
+            g.for_each_cell(dev, DataView::Internal, &mut |c| {
+                int += 1;
+                *seen.entry((c.x, c.y, c.z)).or_insert(0) += 1;
+            });
+            g.for_each_cell(dev, DataView::Boundary, &mut |c| {
+                bnd += 1;
+                *seen.entry((c.x, c.y, c.z)).or_insert(0) += 1;
+            });
+            prop_assert_eq!(int, g.cell_count(dev, DataView::Internal));
+            prop_assert_eq!(bnd, g.cell_count(dev, DataView::Boundary));
+            prop_assert_eq!(int + bnd, g.cell_count(dev, DataView::Standard));
+        }
+        prop_assert_eq!(seen.len() as u64, (nx * ny * nz) as u64);
+        prop_assert!(seen.values().all(|&v| v == 1), "cell in two views/partitions");
+        // locate round-trips.
+        for d in 0..ndev {
+            g.for_each_cell(DeviceId(d), DataView::Standard, &mut |c| {
+                let (dev, lin) = g.locate(c.x, c.y, c.z).unwrap();
+                assert_eq!((dev, lin), (DeviceId(d), c.lin));
+            });
+        }
+    }
+
+    /// Sparse grids store exactly the masked cells; connectivity agrees
+    /// with the mask; boundary and halo mirrors match.
+    #[test]
+    fn prop_sparse_grid_mask_invariants(
+        seed in 0u64..1000,
+        ndev in 1usize..4,
+        density in 0.2f64..1.0,
+    ) {
+        let dim = Dim3::new(5, 5, 12);
+        let mask = move |x: i32, y: i32, z: i32| {
+            // Deterministic pseudo-random mask from the seed.
+            let h = (x as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add((y as u64).wrapping_mul(40503))
+                .wrapping_add((z as u64).wrapping_mul(69069))
+                .wrapping_add(seed)
+                .wrapping_mul(6364136223846793005);
+            ((h >> 33) as f64 / (1u64 << 31) as f64) < density
+        };
+        let b = Backend::dgx_a100(ndev);
+        let st = Stencil::seven_point();
+        let g = match SparseGrid::new(&b, dim, &[&st], mask, StorageMode::Real) {
+            Ok(g) => g,
+            Err(_) => return Ok(()), // e.g. no active cells — fine
+        };
+        // Count active cells from the mask directly.
+        let mut expect = 0u64;
+        for z in 0..12 {
+            for y in 0..5 {
+                for x in 0..5 {
+                    if mask(x, y, z) {
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(g.active_cells(), expect);
+        // Iteration yields exactly the masked cells, once each.
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..ndev {
+            g.for_each_cell(DeviceId(d), DataView::Standard, &mut |c| {
+                assert!(mask(c.x, c.y, c.z), "inactive cell iterated");
+                assert!(seen.insert((c.x, c.y, c.z)), "duplicate");
+            });
+        }
+        prop_assert_eq!(seen.len() as u64, expect);
+    }
+
+    /// A stencil read across partitions equals the neighbour's owned
+    /// value after a halo update — for any device count and cardinality.
+    #[test]
+    fn prop_halo_exchange_correct(
+        ndev in 1usize..5,
+        card in 1usize..4,
+        soa in any::<bool>(),
+    ) {
+        let dim = Dim3::new(4, 4, 16);
+        let b = Backend::dgx_a100(ndev);
+        let st = Stencil::seven_point();
+        let g = DenseGrid::new(&b, dim, &[&st], StorageMode::Real).unwrap();
+        let layout = if soa { MemLayout::SoA } else { MemLayout::AoS };
+        let f = Field::<f64, _>::new(&g, "f", card, -1.0, layout).unwrap();
+        f.fill(|x, y, z, k| (x + 10 * y + 100 * z) as f64 + k as f64 * 0.1);
+        let up = g.slot_of(Offset3::new(0, 0, 1)).unwrap();
+        let down = g.slot_of(Offset3::new(0, 0, -1)).unwrap();
+        for d in 0..ndev {
+            let mut ldr = neon_domain::Loader::for_execution(DeviceId(d), ndev, DataView::Standard);
+            let sv = ldr.read_stencil(&f);
+            g.for_each_cell(DeviceId(d), DataView::Standard, &mut |c| {
+                for k in 0..card {
+                    let expect_up = if c.z + 1 < dim.z as i32 {
+                        (c.x + 10 * c.y + 100 * (c.z + 1)) as f64 + k as f64 * 0.1
+                    } else {
+                        -1.0
+                    };
+                    assert_eq!(sv.ngh(c, up, k), expect_up, "up at ({},{},{})", c.x, c.y, c.z);
+                    let expect_dn = if c.z > 0 {
+                        (c.x + 10 * c.y + 100 * (c.z - 1)) as f64 + k as f64 * 0.1
+                    } else {
+                        -1.0
+                    };
+                    assert_eq!(sv.ngh(c, down, k), expect_dn);
+                }
+            });
+        }
+    }
+
+    /// The ledger never loses bytes under arbitrary alloc/free sequences.
+    #[test]
+    fn prop_memory_ledger_consistent(ops in prop::collection::vec(0u64..1000, 1..40)) {
+        let ledger = MemoryLedger::new(DeviceId(0), 100_000);
+        let mut tickets = Vec::new();
+        let mut expect = 0u64;
+        for (i, sz) in ops.iter().enumerate() {
+            if i % 3 == 2 && !tickets.is_empty() {
+                let t: neon_sys::AllocationTicket = tickets.swap_remove(0);
+                expect -= t.bytes();
+                drop(t);
+            } else if let Ok(t) = ledger.alloc(*sz) {
+                expect += sz;
+                tickets.push(t);
+            }
+            prop_assert_eq!(ledger.in_use(), expect);
+            prop_assert!(ledger.peak() >= ledger.in_use());
+        }
+        drop(tickets);
+        prop_assert_eq!(ledger.in_use(), 0);
+    }
+
+    /// Virtual-clock invariants: makespan dominates every stream's busy
+    /// time, and events never travel back in time.
+    #[test]
+    fn prop_queue_sim_invariants(durations in prop::collection::vec(0.0f64..100.0, 1..32)) {
+        let mut q = QueueSim::new(2, 2);
+        q.enable_trace();
+        let mut events = Vec::new();
+        for (i, d) in durations.iter().enumerate() {
+            let s = StreamId::new(DeviceId(i % 2), (i / 2) % 2);
+            q.enqueue(s, SimTime::from_us(*d), "op", SpanKind::Kernel);
+            let e = q.create_event();
+            q.record_event(s, e);
+            events.push((s, e));
+            // Cross-wait on a previous event sometimes.
+            if i % 3 == 0 && i > 0 {
+                let (_, pe) = events[i / 2];
+                let target = StreamId::new(DeviceId((i + 1) % 2), 0);
+                q.wait_event(target, pe).unwrap();
+            }
+        }
+        let makespan = q.makespan();
+        let trace = q.trace().unwrap();
+        for d in 0..2 {
+            for s in 0..2 {
+                prop_assert!(trace.busy_time(DeviceId(d), s) <= makespan + SimTime::from_us(1e-9));
+            }
+        }
+        for span in trace.spans() {
+            prop_assert!(span.end.as_us() >= span.start.as_us());
+        }
+    }
+
+    /// Functional results are invariant under device count AND OCC level
+    /// for a random map+stencil pipeline.
+    #[test]
+    fn prop_execution_invariance(
+        seed in 0i32..1000,
+        ndev in 1usize..5,
+        occ_idx in 0usize..4,
+    ) {
+        let occ = OccLevel::ALL[occ_idx];
+        let dim = Dim3::new(4, 4, 12);
+        let run = |ndev: usize, occ: OccLevel| -> Vec<f64> {
+            let b = Backend::dgx_a100(ndev);
+            let st = Stencil::seven_point();
+            let g = DenseGrid::new(&b, dim, &[&st], StorageMode::Real).unwrap();
+            let u = Field::<f64, _>::new(&g, "u", 1, 0.0, MemLayout::SoA).unwrap();
+            let v = Field::<f64, _>::new(&g, "v", 1, 0.0, MemLayout::SoA).unwrap();
+            u.fill(move |x, y, z, _| ((x * 31 + y * 17 + z * 7 + seed) % 23) as f64);
+            let touch = {
+                let uc = u.clone();
+                Container::compute("touch", g.as_space(), move |ldr| {
+                    let uv = ldr.read_write(&uc);
+                    Box::new(move |c| uv.set(c, 0, uv.at(c, 0) * 1.5 - 1.0))
+                })
+            };
+            let sten = {
+                let (uc, vc) = (u.clone(), v.clone());
+                Container::compute("sten", g.as_space(), move |ldr| {
+                    let uv = ldr.read_stencil(&uc);
+                    let vv = ldr.write(&vc);
+                    Box::new(move |c| {
+                        let mut s = 0.0;
+                        for slot in 0..6 {
+                            s += uv.ngh(c, slot, 0);
+                        }
+                        vv.set(c, 0, s);
+                    })
+                })
+            };
+            let mut sk = Skeleton::sequence(
+                &b,
+                "rand",
+                vec![touch, sten],
+                SkeletonOptions::with_occ(occ),
+            );
+            sk.run();
+            let mut out = Vec::new();
+            v.for_each(|_, _, _, _, val| out.push(val));
+            out
+        };
+        let reference = run(1, OccLevel::None);
+        let got = run(ndev, occ);
+        prop_assert_eq!(reference, got);
+    }
+
+    /// Timing-model sanity: for domains large enough to amortize transfer
+    /// latency, more devices reduce per-iteration time; OCC never loses
+    /// to no-OCC; efficiency is never super-linear.
+    #[test]
+    fn prop_timing_monotonicity(n in 6usize..11) {
+        let n = n * 32; // 192..320 cubed
+        let t = |ndev: usize, occ: OccLevel| {
+            let b = Backend::dgx_a100(ndev);
+            let st = Stencil::d3q19();
+            let g = DenseGrid::new(&b, Dim3::cube(n), &[&st], StorageMode::Virtual).unwrap();
+            let mut app = neon::apps::lbm::LidDrivenCavity::new(
+                &g,
+                neon::apps::lbm::LbmParams::default(),
+                occ,
+            )
+            .unwrap();
+            app.init();
+            app.step(2).time_per_execution().as_us()
+        };
+        let t1 = t(1, OccLevel::None);
+        let t4_none = t(4, OccLevel::None);
+        let t4_occ = t(4, OccLevel::Standard);
+        prop_assert!(t4_none < t1, "4 devices should beat 1");
+        prop_assert!(t4_occ <= t4_none * 1.0001, "OCC should never lose");
+        // And efficiency can't be super-linear.
+        prop_assert!(t1 / (4.0 * t4_occ) <= 1.0 + 1e-9, "super-linear efficiency");
+    }
+}

@@ -1,0 +1,264 @@
+//! Cross-application physics checks: properties that must hold because
+//! of the *mathematics*, independent of any implementation detail —
+//! linearity, superposition, symmetry, conservation. These catch subtle
+//! distribution bugs (wrong halo cell, off-by-one partition edge) that
+//! unit tests of the machinery can miss.
+
+use neon::apps::fem::{ElasticitySolver, Material};
+use neon::apps::lbm::{LbmParams, LidDrivenCavity};
+use neon::apps::PoissonSolver;
+use neon::prelude::*;
+use neon_domain::StorageMode;
+
+fn poisson_grid(ndev: usize, n: usize) -> DenseGrid {
+    let b = Backend::dgx_a100(ndev);
+    let st = Stencil::seven_point();
+    DenseGrid::new(&b, Dim3::cube(n), &[&st], StorageMode::Real).unwrap()
+}
+
+/// Solve -∇²u = b and return u as a dense host array.
+fn poisson_solve(g: &DenseGrid, rhs: impl Fn(i32, i32, i32) -> f64, iters: usize) -> Vec<f64> {
+    let mut s = PoissonSolver::new(g, OccLevel::Standard).unwrap();
+    s.set_rhs(rhs);
+    s.solve_iters(iters);
+    let n = g.dim().x;
+    let mut out = vec![0.0; g.dim().count() as usize];
+    s.solution().for_each(|x, y, z, _, v| {
+        out[(z as usize * n + y as usize) * n + x as usize] = v;
+    });
+    out
+}
+
+#[test]
+fn poisson_superposition() {
+    // The operator is linear: u(b1 + b2) == u(b1) + u(b2).
+    let g = poisson_grid(3, 9);
+    let b1 = |x: i32, y: i32, z: i32| if (x, y, z) == (2, 4, 2) { 1.0 } else { 0.0 };
+    let b2 = |x: i32, y: i32, z: i32| if (x, y, z) == (6, 3, 7) { -2.0 } else { 0.0 };
+    let u1 = poisson_solve(&g, b1, 250);
+    let u2 = poisson_solve(&g, b2, 250);
+    let u12 = poisson_solve(&g, move |x, y, z| b1(x, y, z) + b2(x, y, z), 250);
+    for i in 0..u12.len() {
+        assert!(
+            (u12[i] - (u1[i] + u2[i])).abs() < 1e-8,
+            "superposition violated at {i}"
+        );
+    }
+}
+
+#[test]
+fn poisson_symmetry_of_greens_function() {
+    // With Dirichlet boundaries, G(a, b) == G(b, a).
+    let g = poisson_grid(2, 8);
+    let a = (1, 2, 3);
+    let b = (6, 5, 4);
+    let ua = poisson_solve(&g, move |x, y, z| f64::from((x, y, z) == a), 300);
+    let ub = poisson_solve(&g, move |x, y, z| f64::from((x, y, z) == b), 300);
+    let idx = |(x, y, z): (i32, i32, i32)| (z as usize * 8 + y as usize) * 8 + x as usize;
+    assert!(
+        (ua[idx(b)] - ub[idx(a)]).abs() < 1e-9,
+        "G(a,b)={} G(b,a)={}",
+        ua[idx(b)],
+        ub[idx(a)]
+    );
+}
+
+#[test]
+fn poisson_mirror_symmetry_across_partitions() {
+    // A source at the exact centre yields a solution symmetric in z —
+    // even though the two halves live on different devices.
+    let g = poisson_grid(2, 9);
+    let u = poisson_solve(
+        &g,
+        |x, y, z| if (x, y, z) == (4, 4, 4) { 1.0 } else { 0.0 },
+        250,
+    );
+    let idx = |x: usize, y: usize, z: usize| (z * 9 + y) * 9 + x;
+    for z in 0..9 {
+        for y in 0..9 {
+            for x in 0..9 {
+                let m = u[idx(x, y, 8 - z)];
+                assert!(
+                    (u[idx(x, y, z)] - m).abs() < 1e-9,
+                    "z-mirror violated at ({x},{y},{z})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fem_linearity_in_load() {
+    // Double the pressure → double the displacements (linear elasticity).
+    let b = Backend::dgx_a100(2);
+    let st = Stencil::twenty_seven_point();
+    let g = DenseGrid::new(&b, Dim3::cube(6), &[&st], StorageMode::Real).unwrap();
+    let solve = |p: f64| {
+        let mut s =
+            ElasticitySolver::new(&g, Material::default(), MemLayout::SoA, OccLevel::Standard)
+                .unwrap();
+        s.set_pressure_load(p);
+        s.solve_iters(150);
+        let mut out = Vec::new();
+        s.displacements().for_each(|_, _, _, _, v| out.push(v));
+        out
+    };
+    let u1 = solve(0.001);
+    let u2 = solve(0.002);
+    for (a, bb) in u1.iter().zip(&u2) {
+        assert!(
+            (2.0 * a - bb).abs() < 1e-9,
+            "load linearity violated: {a} vs {bb}"
+        );
+    }
+}
+
+#[test]
+fn fem_solution_is_xy_symmetric() {
+    // A uniform load on a square column gives displacements symmetric
+    // under x↔y — across the z-partitioned devices.
+    let b = Backend::dgx_a100(3);
+    let st = Stencil::twenty_seven_point();
+    let g = DenseGrid::new(&b, Dim3::cube(6), &[&st], StorageMode::Real).unwrap();
+    let mut s =
+        ElasticitySolver::new(&g, Material::default(), MemLayout::AoS, OccLevel::Extended)
+            .unwrap();
+    s.set_pressure_load(0.003);
+    s.solve_iters(150);
+    let d = s.displacements();
+    for z in 0..6 {
+        for y in 0..6 {
+            for x in 0..6 {
+                // u_z is symmetric under (x,y) swap; u_x and u_y exchange.
+                let uz = d.get(x, y, z, 2).unwrap();
+                let uz_t = d.get(y, x, z, 2).unwrap();
+                assert!((uz - uz_t).abs() < 1e-9, "u_z asymmetric at ({x},{y},{z})");
+                let ux = d.get(x, y, z, 0).unwrap();
+                let uy_t = d.get(y, x, z, 1).unwrap();
+                assert!((ux - uy_t).abs() < 1e-9, "u_x/u_y swap violated");
+            }
+        }
+    }
+}
+
+#[test]
+fn lbm_momentum_balance_in_closed_cavity() {
+    // In the lid-driven cavity the only momentum source is the lid; the
+    // y- and z-momentum totals stay tiny compared to x-momentum, and
+    // density stays near 1 everywhere (weak compressibility).
+    let b = Backend::dgx_a100(2);
+    let st = Stencil::d3q19();
+    let g = DenseGrid::new(&b, Dim3::cube(12), &[&st], StorageMode::Real).unwrap();
+    let mut app = LidDrivenCavity::new(
+        &g,
+        LbmParams {
+            omega: 1.0,
+            u_lid: 0.05,
+        },
+        OccLevel::Standard,
+    )
+    .unwrap();
+    app.init();
+    app.step(80);
+    let (mut px, mut pz) = (0.0f64, 0.0f64);
+    let mut rho_min = f64::INFINITY;
+    let mut rho_max = f64::NEG_INFINITY;
+    for z in 0..12 {
+        for y in 0..12 {
+            for x in 0..12 {
+                let (rho, u) = app.macroscopic(x, y, z).unwrap();
+                px += rho * u[0];
+                pz += rho * u[2];
+                rho_min = rho_min.min(rho);
+                rho_max = rho_max.max(rho);
+            }
+        }
+    }
+    assert!(px > 0.0, "lid should inject +x momentum: {px}");
+    assert!(pz.abs() < px.abs() * 0.05, "z-momentum {pz} vs x {px}");
+    assert!(rho_min > 0.9 && rho_max < 1.1, "density out of range: [{rho_min}, {rho_max}]");
+}
+
+#[test]
+fn lbm_cavity_is_y_mirror_of_reversed_lid() {
+    // Driving the lid in −x produces the x-mirrored flow field.
+    let run = |u_lid: f64| {
+        let b = Backend::dgx_a100(2);
+        let st = Stencil::d3q19();
+        let g = DenseGrid::new(&b, Dim3::cube(10), &[&st], StorageMode::Real).unwrap();
+        let mut app = LidDrivenCavity::new(
+            &g,
+            LbmParams { omega: 1.1, u_lid },
+            OccLevel::Standard,
+        )
+        .unwrap();
+        app.init();
+        app.step(40);
+        app
+    };
+    let fwd = run(0.06);
+    let bwd = run(-0.06);
+    for z in 0..10 {
+        for y in 0..10 {
+            for x in 0..10 {
+                let (_, uf) = fwd.macroscopic(x, y, z).unwrap();
+                let (_, ub) = bwd.macroscopic(9 - x, y, z).unwrap();
+                assert!(
+                    (uf[0] + ub[0]).abs() < 1e-10,
+                    "u_x mirror violated at ({x},{y},{z}): {} vs {}",
+                    uf[0],
+                    ub[0]
+                );
+                assert!((uf[1] - ub[1]).abs() < 1e-10, "u_y mirror violated");
+            }
+        }
+    }
+}
+
+#[test]
+fn lbm_flow_around_sphere_on_sparse_grid() {
+    // Solid obstacles come for free on the element-sparse grid: inactive
+    // cells make `ngh_active` false, and the LBM kernel's bounce-back
+    // branch handles them exactly like the cavity walls. A sphere in the
+    // cavity deflects the lid-driven flow and conserves mass.
+    let n = 16;
+    let b = Backend::dgx_a100(2);
+    let st = Stencil::d3q19();
+    let c = n as f64 / 2.0;
+    let solid = move |x: i32, y: i32, z: i32| {
+        let dx = x as f64 + 0.5 - c;
+        let dy = y as f64 + 0.5 - c;
+        let dz = z as f64 + 0.5 - c;
+        (dx * dx + dy * dy + dz * dz).sqrt() <= 3.0
+    };
+    let g = SparseGrid::new(
+        &b,
+        Dim3::cube(n),
+        &[&st],
+        move |x, y, z| !solid(x, y, z),
+        StorageMode::Real,
+    )
+    .unwrap();
+    let mut app = LidDrivenCavity::new(
+        &g,
+        LbmParams {
+            omega: 1.0,
+            u_lid: 0.08,
+        },
+        OccLevel::Standard,
+    )
+    .unwrap();
+    app.init();
+    let m0 = app.total_mass();
+    app.step(60);
+    assert!((app.total_mass() - m0).abs() < 1e-9 * m0, "mass drifted");
+    // The sphere is not part of the domain.
+    assert!(app.macroscopic(n as i32 / 2, n as i32 / 2, n as i32 / 2).is_none());
+    // Flow exists near the lid and is weaker in the sphere's shadow.
+    let (_, near_lid) = app.macroscopic(n as i32 / 2, n as i32 - 2, n as i32 / 2).unwrap();
+    assert!(near_lid[0] > 1e-3, "lid did not drive flow: {near_lid:?}");
+    let (_, beside) = app
+        .macroscopic(n as i32 / 2 + 5, n as i32 / 2, n as i32 / 2)
+        .unwrap();
+    assert!(beside[0].is_finite() && beside[1].is_finite());
+}
