@@ -21,7 +21,9 @@
 //! ```
 
 use neon_core::{ExecReport, OccLevel, Skeleton, SkeletonOptions};
-use neon_domain::{ops, Cell, Container, Field, FieldRead as _, FieldWrite as _, GridLike, MemLayout, ScalarSet};
+use neon_domain::{
+    ops, Cell, Container, Field, FieldRead as _, FieldWrite as _, GridLike, MemLayout, ScalarSet,
+};
 use neon_sys::Result;
 
 /// The state of a CG solve: fields and scalars.
@@ -90,11 +92,7 @@ fn update_p<G: GridLike>(grid: &G, st: &CgState<G>) -> Container {
 
 /// The containers of one CG iteration, given the operator container
 /// `apply` (which must read `state.p` with a stencil and write `state.ap`).
-pub fn cg_iteration<G: GridLike>(
-    grid: &G,
-    state: &CgState<G>,
-    apply: Container,
-) -> Vec<Container> {
+pub fn cg_iteration<G: GridLike>(grid: &G, state: &CgState<G>, apply: Container) -> Vec<Container> {
     let n = grid.num_partitions();
     let host_alpha = {
         let (rs, pap, alpha) = (
@@ -182,20 +180,41 @@ impl<G: GridLike> CgSolver<G> {
         occ: OccLevel,
         make_apply: impl FnOnce(&CgState<G>) -> Container,
     ) -> Result<Self> {
+        Self::with_options(
+            grid,
+            card,
+            layout,
+            SkeletonOptions::with_occ(occ),
+            make_apply,
+        )
+    }
+
+    /// Build a solver with full skeleton options — in particular the
+    /// collective mode, which decides how the two dot-product reductions
+    /// per iteration (`p·Ap` and `r·r`) are combined across devices (ring
+    /// / tree all-reduce vs the host-staged baseline).
+    pub fn with_options(
+        grid: &G,
+        card: usize,
+        layout: MemLayout,
+        options: SkeletonOptions,
+        make_apply: impl FnOnce(&CgState<G>) -> Container,
+    ) -> Result<Self> {
         let state = CgState::new(grid, card, layout)?;
         let apply = make_apply(&state);
         let backend = grid.backend().clone();
-        let init = Skeleton::sequence(
-            &backend,
-            "cg-init",
-            cg_init(grid, &state),
-            SkeletonOptions::with_occ(OccLevel::None),
-        );
+        // Init runs once; it inherits the collective mode (its rs_old
+        // reduction is also lowered) but needs no OCC.
+        let init_options = SkeletonOptions {
+            occ: OccLevel::None,
+            ..options
+        };
+        let init = Skeleton::sequence(&backend, "cg-init", cg_init(grid, &state), init_options);
         let iter = Skeleton::sequence(
             &backend,
             "cg-iter",
             cg_iteration(grid, &state, apply),
-            SkeletonOptions::with_occ(occ),
+            options,
         );
         Ok(CgSolver { state, init, iter })
     }

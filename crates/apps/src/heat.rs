@@ -10,8 +10,7 @@
 
 use neon_core::{ExecReport, OccLevel, Skeleton, SkeletonOptions};
 use neon_domain::{
-    Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike,
-    MemLayout,
+    Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike, MemLayout,
 };
 use neon_sys::Result;
 
@@ -175,7 +174,8 @@ mod tests {
             last = now;
         }
         // Everything stays non-negative (maximum principle at nu <= 1/6).
-        h.temperature().for_each(|_, _, _, _, v| assert!(v >= -1e-12));
+        h.temperature()
+            .for_each(|_, _, _, _, v| assert!(v >= -1e-12));
     }
 
     #[test]
@@ -241,7 +241,10 @@ mod block_grid_tests {
         hb.step(8);
         hd.temperature().for_each(|x, y, z, _, v| {
             let w = hb.temperature().get(x, y, z, 0).unwrap();
-            assert!((v - w).abs() < 1e-13, "mismatch at ({x},{y},{z}): {v} vs {w}");
+            assert!(
+                (v - w).abs() < 1e-13,
+                "mismatch at ({x},{y},{z}): {v} vs {w}"
+            );
         });
     }
 

@@ -287,10 +287,7 @@ mod tests {
         let m0 = app.total_mass();
         app.step(20);
         let m = app.total_mass();
-        assert!(
-            (m - m0).abs() < 1e-9 * m0,
-            "mass drifted: {m0} → {m}"
-        );
+        assert!((m - m0).abs() < 1e-9 * m0, "mass drifted: {m0} → {m}");
     }
 
     #[test]

@@ -65,11 +65,7 @@ impl ReferenceCavity {
                     for q in 0..19 {
                         let qb = D3Q19_OPPOSITE[q];
                         let o = offs[qb];
-                        let (sx, sy, sz) = (
-                            x as i32 + o.dx,
-                            y as i32 + o.dy,
-                            z as i32 + o.dz,
-                        );
+                        let (sx, sy, sz) = (x as i32 + o.dx, y as i32 + o.dy, z as i32 + o.dz);
                         let inside = sx >= 0
                             && sy >= 0
                             && sz >= 0
@@ -150,13 +146,7 @@ mod tests {
 
         let b = Backend::dgx_a100(2);
         let st = Stencil::d3q19();
-        let g = DenseGrid::new(
-            &b,
-            Dim3::new(nx, ny, nz),
-            &[&st],
-            StorageMode::Real,
-        )
-        .unwrap();
+        let g = DenseGrid::new(&b, Dim3::new(nx, ny, nz), &[&st], StorageMode::Real).unwrap();
         let mut app = LidDrivenCavity::new(&g, params, OccLevel::TwoWayExtended).unwrap();
         app.init();
         app.step(8);
@@ -165,10 +155,7 @@ mod tests {
             for y in 0..ny {
                 for x in 0..nx {
                     for q in 0..19 {
-                        let n = app
-                            .current()
-                            .get(x as i32, y as i32, z as i32, q)
-                            .unwrap();
+                        let n = app.current().get(x as i32, y as i32, z as i32, q).unwrap();
                         let r = reference.get(x, y, z, q);
                         assert!(
                             (n - r).abs() < 1e-12,

@@ -12,7 +12,9 @@
 //! guards the paper cites as Neon's only overhead (§VI-B).
 
 use neon_core::OccLevel;
-use neon_domain::{Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike, MemLayout};
+use neon_domain::{
+    Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike, MemLayout,
+};
 use neon_sys::Result;
 
 use crate::cg::{CgSolver, CgState};
@@ -59,6 +61,15 @@ impl<G: GridLike> PoissonSolver<G> {
         Ok(PoissonSolver { cg })
     }
 
+    /// Create the solver with full skeleton options (OCC level, collective
+    /// mode for the dot-product all-reduces, tracing, …).
+    pub fn with_options(grid: &G, options: neon_core::SkeletonOptions) -> Result<Self> {
+        let cg = CgSolver::with_options(grid, 1, MemLayout::SoA, options, |state| {
+            laplacian_apply(grid, state)
+        })?;
+        Ok(PoissonSolver { cg })
+    }
+
     /// Fill the right-hand side from `f(x, y, z)` and initialize CG.
     pub fn set_rhs(&mut self, f: impl Fn(i32, i32, i32) -> f64) {
         self.cg.state.b.fill(|x, y, z, _| f(x, y, z));
@@ -84,11 +95,7 @@ impl<G: GridLike> PoissonSolver<G> {
 /// Host-side reference: apply the same 7-point operator to a dense array
 /// (used to verify the solver and to build right-hand sides with known
 /// solutions).
-pub fn apply_operator_host(
-    dim: (usize, usize, usize),
-    u: &[f64],
-    out: &mut [f64],
-) {
+pub fn apply_operator_host(dim: (usize, usize, usize), u: &[f64], out: &mut [f64]) {
     let (nx, ny, nz) = dim;
     assert_eq!(u.len(), nx * ny * nz);
     assert_eq!(out.len(), u.len());
@@ -144,7 +151,10 @@ mod tests {
         apply_operator_host((dim.x, dim.y, dim.z), &u, &mut expect);
         solver.cg.state.ap.for_each(|x, y, z, _, v| {
             let e = expect[host_index(dim, x, y, z)];
-            assert!((v - e).abs() < 1e-12, "Ap mismatch at ({x},{y},{z}): {v} vs {e}");
+            assert!(
+                (v - e).abs() < 1e-12,
+                "Ap mismatch at ({x},{y},{z}): {v} vs {e}"
+            );
         });
     }
 
@@ -155,8 +165,7 @@ mod tests {
         let dim = Dim3::new(8, 8, 8);
         let g = DenseGrid::new(&b, dim, &[&st], StorageMode::Real).unwrap();
         // Choose a solution, build b = A·u_true, solve, compare.
-        let u_true =
-            |x: i32, y: i32, z: i32| ((x + 1) * (y + 2) % 7) as f64 * 0.1 + (z % 3) as f64;
+        let u_true = |x: i32, y: i32, z: i32| ((x + 1) * (y + 2) % 7) as f64 * 0.1 + (z % 3) as f64;
         let mut u = vec![0.0; dim.count() as usize];
         for z in 0..8 {
             for y in 0..8 {
@@ -240,8 +249,7 @@ mod tests {
         let bk = Backend::dgx_a100(2);
         let st = Stencil::seven_point();
         let dg = DenseGrid::new(&bk, dim, &[&st], StorageMode::Real).unwrap();
-        let sg =
-            SparseGrid::new(&bk, dim, &[&st], |_, _, _| true, StorageMode::Real).unwrap();
+        let sg = SparseGrid::new(&bk, dim, &[&st], |_, _, _| true, StorageMode::Real).unwrap();
         let rhs = |x: i32, y: i32, z: i32| ((x * 5 + y * 3 + z) % 7) as f64 - 3.0;
         let mut ds = PoissonSolver::new(&dg, OccLevel::Standard).unwrap();
         ds.set_rhs(rhs);
@@ -251,7 +259,10 @@ mod tests {
         ss.solve_iters(30);
         ds.solution().for_each(|x, y, z, _, v| {
             let s = ss.solution().get(x, y, z, 0).unwrap();
-            assert!((v - s).abs() < 1e-10, "dense/sparse mismatch at ({x},{y},{z})");
+            assert!(
+                (v - s).abs() < 1e-10,
+                "dense/sparse mismatch at ({x},{y},{z})"
+            );
         });
     }
 }

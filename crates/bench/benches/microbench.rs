@@ -17,7 +17,12 @@ use neon_domain::{
 };
 use neon_sys::Backend;
 
-fn fixture() -> (Backend, DenseGrid, Field<f64, DenseGrid>, Field<f64, DenseGrid>) {
+fn fixture() -> (
+    Backend,
+    DenseGrid,
+    Field<f64, DenseGrid>,
+    Field<f64, DenseGrid>,
+) {
     let b = Backend::dgx_a100(4);
     let st = Stencil::seven_point();
     let g = DenseGrid::new(&b, Dim3::new(16, 16, 32), &[&st], StorageMode::Real).unwrap();
@@ -82,7 +87,9 @@ fn bench_skeleton_replay(c: &mut Criterion) {
 fn bench_halo_exchange(c: &mut Criterion) {
     let (_, g, x, _) = fixture();
     let big = Field::<f64, _>::new(&g, "wide", 19, 0.0, MemLayout::SoA).unwrap();
-    c.bench_function("halo_execute_scalar", |bench| bench.iter(|| x.update_halos()));
+    c.bench_function("halo_execute_scalar", |bench| {
+        bench.iter(|| x.update_halos())
+    });
     c.bench_function("halo_execute_19comp_soa", |bench| {
         bench.iter(|| big.update_halos())
     });

@@ -8,8 +8,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use neon_core::{OccLevel, Skeleton, SkeletonOptions};
 use neon_domain::{
-    Cell, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _,
-    GridLike, MemLayout, ScalarSet, Stencil, StorageMode,
+    Cell, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike,
+    MemLayout, ScalarSet, Stencil, StorageMode,
 };
 use neon_sys::Backend;
 

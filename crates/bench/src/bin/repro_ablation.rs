@@ -16,8 +16,8 @@ use neon_apps::lbm::{LbmParams, LidDrivenCavity};
 use neon_bench::render_table;
 use neon_core::{OccLevel, Skeleton, SkeletonOptions};
 use neon_domain::{
-    Cell, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _,
-    GridLike, MemLayout, Stencil, StorageMode,
+    Cell, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike,
+    MemLayout, Stencil, StorageMode,
 };
 use neon_sys::Backend;
 
@@ -48,7 +48,12 @@ fn interconnect_ablation() {
     print!(
         "{}",
         render_table(
-            &["interconnect", "noOCC t/iter (us)", "OCC t/iter (us)", "OCC gain"],
+            &[
+                "interconnect",
+                "noOCC t/iter (us)",
+                "OCC t/iter (us)",
+                "OCC gain"
+            ],
             &rows
         )
     );
@@ -65,8 +70,13 @@ fn hints_ablation() {
     let mut rows = Vec::new();
     for (name, hints) in [("hints on", true), ("hints off", false)] {
         let st = Stencil::seven_point();
-        let g = DenseGrid::new(&backend, Dim3::new(256, 256, 64), &[&st], StorageMode::Virtual)
-            .unwrap();
+        let g = DenseGrid::new(
+            &backend,
+            Dim3::new(256, 256, 64),
+            &[&st],
+            StorageMode::Virtual,
+        )
+        .unwrap();
         let x = Field::<f64, _>::new(&g, "x", 8, 0.0, MemLayout::SoA).unwrap();
         let y = Field::<f64, _>::new(&g, "y", 8, 0.0, MemLayout::SoA).unwrap();
         let dot = neon_domain::ScalarSet::<f64>::new(8, "dot", 0.0, |a, b| a + b);
@@ -145,7 +155,10 @@ fn kernel_concurrency_ablation() {
     let st = Stencil::d3q19();
     let g = DenseGrid::new(&backend, Dim3::cube(256), &[&st], StorageMode::Virtual).unwrap();
     let mut rows = Vec::new();
-    for (name, conc) in [("serialized (default)", false), ("concurrent, full bw each", true)] {
+    for (name, conc) in [
+        ("serialized (default)", false),
+        ("concurrent, full bw each", true),
+    ] {
         let f0 = Field::<f64, _>::new(&g, "f0", 19, 0.0, MemLayout::SoA).unwrap();
         let f1 = Field::<f64, _>::new(&g, "f1", 19, 0.0, MemLayout::SoA).unwrap();
         let opts = SkeletonOptions {
@@ -164,7 +177,10 @@ fn kernel_concurrency_ablation() {
             .time_per_execution();
         rows.push(vec![name.to_string(), format!("{:.1}", t.as_us())]);
     }
-    print!("{}", render_table(&["contention model", "t/iter (us)"], &rows));
+    print!(
+        "{}",
+        render_table(&["contention model", "t/iter (us)"], &rows)
+    );
     println!("(concurrent mode undercounts: both stencil halves would stream at full bandwidth)\n");
 }
 
@@ -205,11 +221,16 @@ fn unified_memory_ablation() {
     }
     print!(
         "{}",
-        render_table(&["coherency model", "noOCC t/iter (us)", "OCC t/iter (us)"], &rows)
+        render_table(
+            &["coherency model", "noOCC t/iter (us)", "OCC t/iter (us)"],
+            &rows
+        )
     );
-    println!("(page faults serialize with kernels: unified memory cannot be overlapped,
+    println!(
+        "(page faults serialize with kernels: unified memory cannot be overlapped,
  the penalty the paper cites for choosing explicit transfers)
-");
+"
+    );
 }
 
 fn data_structure_ablation() {
@@ -231,7 +252,9 @@ fn data_structure_ablation() {
     {
         let b = Backend::dgx_a100(8);
         let g = DenseGrid::new(&b, Dim3::cube(N), &[&st], StorageMode::Virtual).unwrap();
-        let mut s = ElasticitySolver::new(&g, Material::default(), MemLayout::SoA, OccLevel::Standard).unwrap();
+        let mut s =
+            ElasticitySolver::new(&g, Material::default(), MemLayout::SoA, OccLevel::Standard)
+                .unwrap();
         let t = s.solve_iters(ITERS).time_per_execution();
         rows.push(vec![
             "dense".to_string(),
@@ -242,7 +265,9 @@ fn data_structure_ablation() {
     {
         let b = Backend::dgx_a100(8);
         let g = sparse_cube_grid(&b, N, RATIO, StorageMode::Virtual).unwrap();
-        let mut s = ElasticitySolver::new(&g, Material::default(), MemLayout::SoA, OccLevel::Standard).unwrap();
+        let mut s =
+            ElasticitySolver::new(&g, Material::default(), MemLayout::SoA, OccLevel::Standard)
+                .unwrap();
         let t = s.solve_iters(ITERS).time_per_execution();
         rows.push(vec![
             "element-sparse".to_string(),
@@ -252,9 +277,11 @@ fn data_structure_ablation() {
     }
     {
         let b = Backend::dgx_a100(8);
-        let g = BlockSparseGrid::new(&b, Dim3::cube(N), 4, &[&st], mask, StorageMode::Virtual)
-            .unwrap();
-        let mut s = ElasticitySolver::new(&g, Material::default(), MemLayout::SoA, OccLevel::Standard).unwrap();
+        let g =
+            BlockSparseGrid::new(&b, Dim3::cube(N), 4, &[&st], mask, StorageMode::Virtual).unwrap();
+        let mut s =
+            ElasticitySolver::new(&g, Material::default(), MemLayout::SoA, OccLevel::Standard)
+                .unwrap();
         let t = s.solve_iters(ITERS).time_per_execution();
         rows.push(vec![
             "block-sparse (B=4)".to_string(),
@@ -266,9 +293,11 @@ fn data_structure_ablation() {
         "{}",
         render_table(&["data structure", "t/iter (ms)", "peak GiB/dev"], &rows)
     );
-    println!("(block-sparse trades a little padding compute for ~B^3-times lighter
+    println!(
+        "(block-sparse trades a little padding compute for ~B^3-times lighter
  connectivity metadata than element-sparse)
-");
+"
+    );
 }
 
 fn heterogeneous_ablation() {
@@ -294,7 +323,10 @@ fn heterogeneous_ablation() {
     let mut rows = Vec::new();
     for (name, strategy) in [
         ("even layers", PartitionStrategy::Even),
-        ("bandwidth-proportional", PartitionStrategy::DeviceProportional),
+        (
+            "bandwidth-proportional",
+            PartitionStrategy::DeviceProportional,
+        ),
     ] {
         let g = DenseGrid::with_partitioning(
             &backend,

@@ -1,0 +1,243 @@
+//! Collective-communication sweep: all-reduce makespan for every
+//! algorithm (host-staged / ring / tree) across message sizes, device
+//! counts and both interconnect classes (DGX-A100 NVLink all-to-all vs a
+//! PCIe box staging through the host root complex).
+//!
+//! Also demonstrates:
+//! * the automatic algorithm selection (what `Auto` would pick per cell),
+//! * the shared-link contention model — two simultaneous PCIe peer
+//!   transfers through the host root complex take measurably longer than
+//!   the same two transfers serialized,
+//! * an ASCII timeline of ring vs host-staged on 8 NVLink devices.
+//!
+//! Output: a table per topology on stdout and machine-readable JSON at
+//! `results/repro_collectives.json`.
+
+use std::fmt::Write as _;
+
+use neon_bench::render_table;
+use neon_comm::{choose, Algorithm, CollectiveEngine, CollectiveKind, EngineConfig};
+use neon_sys::{DeviceId, QueueSim, SimTime, SpanKind, StreamId, Topology};
+
+fn zeros(n: usize) -> Vec<SimTime> {
+    vec![SimTime::ZERO; n]
+}
+
+/// Makespan of one all-reduce of `bytes` over `topo` with a forced
+/// algorithm; also returns total contention events across links.
+fn run_once(topo: &Topology, alg: Algorithm, bytes: u64) -> (SimTime, u64) {
+    let n = topo.num_devices();
+    let mut q = QueueSim::new(n, 1);
+    let engine = CollectiveEngine::with_config(
+        topo.clone(),
+        EngineConfig {
+            algorithm: Some(alg),
+            ..EngineConfig::default()
+        },
+    );
+    let t = engine.schedule(&mut q, CollectiveKind::AllReduce, bytes, &zeros(n), 0, "ar");
+    let contended: u64 = (0..q.num_link_resources())
+        .map(|r| q.link_contention_events(r))
+        .sum();
+    (t.makespan(), contended)
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{} MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{} KiB", b >> 10)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn sweep(label: &str, make_topo: &dyn Fn(usize) -> Topology, json: &mut String) {
+    println!("== {label}: all-reduce makespan (us) ==\n");
+    let sizes: &[u64] = &[8, 1 << 10, 64 << 10, 1 << 20, 16 << 20, 64 << 20];
+    let mut rows = Vec::new();
+    for &ndev in &[2usize, 4, 8] {
+        let topo = make_topo(ndev);
+        for &bytes in sizes {
+            let (host, _) = run_once(&topo, Algorithm::HostStaged, bytes);
+            let (ring, _) = run_once(&topo, Algorithm::Ring, bytes);
+            let (tree, _) = run_once(&topo, Algorithm::Tree, bytes);
+            let auto = choose(CollectiveKind::AllReduce, bytes, &topo);
+            rows.push(vec![
+                format!("{ndev}"),
+                fmt_bytes(bytes),
+                format!("{:.1}", host.as_us()),
+                format!("{:.1}", ring.as_us()),
+                format!("{:.1}", tree.as_us()),
+                format!("{auto}"),
+            ]);
+            let _ = write!(
+                json,
+                "{}{{\"topology\":\"{label}\",\"devices\":{ndev},\"bytes\":{bytes},\
+                 \"host_staged_us\":{:.3},\"ring_us\":{:.3},\"tree_us\":{:.3},\
+                 \"auto\":\"{auto}\"}}",
+                if json.ends_with('[') { "" } else { "," },
+                host.as_us(),
+                ring.as_us(),
+                tree.as_us(),
+            );
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "Devices",
+                "Message",
+                "host-staged",
+                "ring",
+                "tree",
+                "auto picks"
+            ],
+            &rows
+        )
+    );
+    println!();
+}
+
+/// Contention demo: two simultaneous PCIe peer transfers must serialize
+/// through the host root complex (plus an arbitration penalty), so they
+/// finish later than back-to-back transfers on one stream.
+fn contention_demo() {
+    println!("== Shared-link contention: PCIe host root complex ==\n");
+    let topo = Topology::pcie_host_staged(4, 870.0);
+    let bytes = 1u64 << 20;
+    let dur = topo.transfer_time(DeviceId(0), DeviceId(1), bytes);
+
+    // Simultaneous: two different devices issue at t=0; same physical link.
+    let mut q = QueueSim::new(4, 1);
+    let res = topo.link_resources(DeviceId(0), DeviceId(1)).to_vec();
+    q.enqueue_transfer(
+        StreamId::new(DeviceId(0), 0),
+        SimTime::ZERO,
+        dur,
+        &res,
+        "a",
+        SpanKind::Transfer,
+    );
+    let res2 = topo.link_resources(DeviceId(2), DeviceId(3)).to_vec();
+    q.enqueue_transfer(
+        StreamId::new(DeviceId(2), 0),
+        SimTime::ZERO,
+        dur,
+        &res2,
+        "b",
+        SpanKind::Transfer,
+    );
+    let simultaneous = q.makespan();
+    let contended: u64 = (0..q.num_link_resources())
+        .map(|r| q.link_contention_events(r))
+        .sum();
+
+    // Serialized: same two transfers, one stream, back to back.
+    let mut q2 = QueueSim::new(4, 1);
+    q2.enqueue_transfer(
+        StreamId::new(DeviceId(0), 0),
+        SimTime::ZERO,
+        dur,
+        &res,
+        "a",
+        SpanKind::Transfer,
+    );
+    q2.enqueue_transfer(
+        StreamId::new(DeviceId(0), 0),
+        SimTime::ZERO,
+        dur,
+        &res2,
+        "b",
+        SpanKind::Transfer,
+    );
+    let serialized = q2.makespan();
+
+    println!(
+        "transfer duration (1 MiB over PCIe3): {:.1} us",
+        dur.as_us()
+    );
+    println!(
+        "two simultaneous peer transfers : {:.1} us  ({contended} contention event(s))",
+        simultaneous.as_us()
+    );
+    println!(
+        "same two, serialized on 1 stream: {:.1} us",
+        serialized.as_us()
+    );
+    println!(
+        "=> contention adds {:.1} us of arbitration on top of full serialization\n",
+        (simultaneous - serialized).as_us()
+    );
+    assert!(
+        simultaneous > serialized,
+        "contention model must make simultaneous transfers slower"
+    );
+}
+
+/// ASCII timeline: ring vs host-staged all-reduce, 8 NVLink devices.
+fn timeline_demo(json: &mut String) {
+    println!("== Timeline: 1 MiB all-reduce on 8x A100 (NVLink) ==");
+    let topo = Topology::nvlink_all_to_all(8, 1555.0);
+    for alg in [Algorithm::Ring, Algorithm::HostStaged] {
+        let mut q = QueueSim::new(8, 1);
+        q.enable_trace();
+        let engine = CollectiveEngine::with_config(
+            topo.clone(),
+            EngineConfig {
+                algorithm: Some(alg),
+                ..EngineConfig::default()
+            },
+        );
+        let t = engine.schedule(
+            &mut q,
+            CollectiveKind::AllReduce,
+            1 << 20,
+            &zeros(8),
+            0,
+            "ar",
+        );
+        println!("\n-- {alg} ({:.1} us) --", t.makespan().as_us());
+        if let Some(trace) = q.trace() {
+            print!("{}", trace.ascii_timeline(72));
+        }
+        let _ = write!(
+            json,
+            ",{{\"timeline\":\"{alg}\",\"bytes\":1048576,\"devices\":8,\
+             \"makespan_us\":{:.3}}}",
+            t.makespan().as_us()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let mut json = String::from("[");
+    sweep(
+        "DGX-A100 (NVLink all-to-all)",
+        &|n| Topology::nvlink_all_to_all(n, 1555.0),
+        &mut json,
+    );
+    sweep(
+        "PCIe box (host root complex)",
+        &|n| Topology::pcie_host_staged(n, 870.0),
+        &mut json,
+    );
+    contention_demo();
+    timeline_demo(&mut json);
+    json.push(']');
+
+    let path = "results/repro_collectives.json";
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(path, &json).expect("write results JSON");
+    println!("wrote {path}");
+
+    println!(
+        "\nexpected shape: NVLink favors tree at small messages (latency-\n\
+         bound) and ring at large ones (bandwidth-optimal, 2(n-1) shard\n\
+         steps); on the PCIe box every peer algorithm serializes through\n\
+         the host root complex, so host staging stays competitive and the\n\
+         selector falls back to it."
+    );
+}

@@ -23,8 +23,13 @@ fn build(occ: OccLevel) -> Skeleton {
     let st = Stencil::seven_point();
     // A deliberately communication-heavy configuration so the overlap is
     // visible: wide slabs, 8 components.
-    let g = DenseGrid::new(&backend, Dim3::new(256, 256, 64), &[&st], StorageMode::Virtual)
-        .expect("grid");
+    let g = DenseGrid::new(
+        &backend,
+        Dim3::new(256, 256, 64),
+        &[&st],
+        StorageMode::Virtual,
+    )
+    .expect("grid");
     let x = Field::<f64, _>::new(&g, "X", 8, 0.0, MemLayout::SoA).expect("field");
     let y = Field::<f64, _>::new(&g, "Y", 8, 0.0, MemLayout::SoA).expect("field");
 

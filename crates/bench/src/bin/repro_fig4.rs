@@ -11,9 +11,7 @@
 //! task list (Fig. 6). Graphviz DOT for each stage is written to the
 //! system temp directory.
 
-use neon_core::{
-    apply_occ, build_dependency_graph, build_schedule, to_multigpu_graph, OccLevel,
-};
+use neon_core::{apply_occ, build_dependency_graph, build_schedule, to_multigpu_graph, OccLevel};
 use neon_domain::{
     ops, Container, DenseGrid, Dim3, Field, FieldRead as _, FieldStencil as _, FieldWrite as _,
     GridLike, MemLayout, ScalarSet, Stencil, StorageMode,
@@ -23,8 +21,13 @@ use neon_sys::Backend;
 fn main() {
     let backend = Backend::dgx_a100(2);
     let st = Stencil::seven_point();
-    let grid =
-        DenseGrid::new(&backend, Dim3::new(32, 32, 16), &[&st], StorageMode::Virtual).unwrap();
+    let grid = DenseGrid::new(
+        &backend,
+        Dim3::new(32, 32, 16),
+        &[&st],
+        StorageMode::Virtual,
+    )
+    .unwrap();
     let x = Field::<f64, _>::new(&grid, "X", 1, 0.0, MemLayout::SoA).unwrap();
     let y = Field::<f64, _>::new(&grid, "Y", 1, 0.0, MemLayout::SoA).unwrap();
     let l = Field::<f64, _>::new(&grid, "L", 1, 0.0, MemLayout::SoA).unwrap();

@@ -5,7 +5,9 @@
 //!
 //! The baseline is the single-GPU Neon implementation, as in the paper.
 
-use neon_bench::{a100_backend_with_link, efficiency, infinite_link, lbm_cavity_iter_time, render_table};
+use neon_bench::{
+    a100_backend_with_link, efficiency, infinite_link, lbm_cavity_iter_time, render_table,
+};
 use neon_core::OccLevel;
 use neon_sys::Backend;
 

@@ -38,10 +38,7 @@ fn top_for(system: &str, mk: impl Fn(usize) -> Backend) {
     }
     print!(
         "{}",
-        render_table(
-            &["GPUs", "no-OCC", "OCC", "eOCC", "2-eOCC", "best"],
-            &rows
-        )
+        render_table(&["GPUs", "no-OCC", "OCC", "eOCC", "2-eOCC", "best"], &rows)
     );
     println!();
 }

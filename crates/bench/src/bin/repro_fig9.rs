@@ -10,9 +10,7 @@
 //! model and — for the memory-limited data point — on a single 32 GB
 //! GV100 (the paper's second system).
 
-use neon_bench::{
-    fem_dense_iter_time, fem_sparse_iter_time, peak_device_demand, render_table,
-};
+use neon_bench::{fem_dense_iter_time, fem_sparse_iter_time, peak_device_demand, render_table};
 use neon_core::OccLevel;
 use neon_sys::Backend;
 

@@ -55,8 +55,7 @@ pub fn lbm_cavity_iter_time(backend: &Backend, n: usize, occ: OccLevel, iters: u
     let st = Stencil::d3q19();
     let g = DenseGrid::new(backend, Dim3::cube(n), &[&st], StorageMode::Virtual)
         .expect("grid construction");
-    let mut app =
-        LidDrivenCavity::new(&g, LbmParams::default(), occ).expect("field allocation");
+    let mut app = LidDrivenCavity::new(&g, LbmParams::default(), occ).expect("field allocation");
     app.init();
     let r = app.step(iters);
     r.time_per_execution()

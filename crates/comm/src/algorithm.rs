@@ -1,0 +1,253 @@
+//! Collective algorithms and the analytic cost model used to pick one.
+//!
+//! Three algorithms are modelled, mirroring the classic NCCL trade-off:
+//!
+//! * **Host-staged** — every device copies its full payload to the host,
+//!   the host combines, every device copies the result back. All `2n`
+//!   copies go through the shared host root complex, so they serialize.
+//!   This is the naive baseline Neon's original reduce containers used.
+//! * **Ring** — `2(n−1)` steps of shard-sized (`B/n`) neighbour transfers.
+//!   Asymptotically bandwidth-optimal: total data moved per device is
+//!   `2B(n−1)/n`, independent of `n`.
+//! * **Binomial tree** — `⌈log₂ n⌉` reduce rounds to rank 0 followed by
+//!   `⌈log₂ n⌉` broadcast rounds, each moving the full payload. Fewer
+//!   latency terms than ring, more bytes: wins for small messages.
+//!
+//! [`choose`] evaluates [`estimate_us`] for all three against the actual
+//! topology (link class decides whether peer steps overlap or serialize
+//! through the root complex) and picks the cheapest — selection is driven
+//! by both the interconnect and the message size.
+
+use std::fmt;
+
+use neon_sys::topology::{LinkKind, LinkModel, Topology};
+use neon_sys::DeviceId;
+
+/// A collective communication algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Stage every partial through the host (naive baseline).
+    HostStaged,
+    /// Ring with shard-sized steps (bandwidth-optimal).
+    Ring,
+    /// Binomial reduce-to-root + broadcast (latency-optimal).
+    Tree,
+}
+
+impl Algorithm {
+    /// All algorithms, for sweeps.
+    pub const ALL: [Algorithm; 3] = [Algorithm::HostStaged, Algorithm::Ring, Algorithm::Tree];
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Algorithm::HostStaged => "host-staged",
+            Algorithm::Ring => "ring",
+            Algorithm::Tree => "tree",
+        })
+    }
+}
+
+/// Which collective primitive is being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Element-wise reduction, result on every rank.
+    AllReduce,
+    /// Element-wise reduction, each rank keeps one shard.
+    ReduceScatter,
+    /// Concatenate per-rank shards onto every rank.
+    AllGather,
+    /// Copy the root's payload to every rank.
+    Broadcast,
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CollectiveKind::AllReduce => "all-reduce",
+            CollectiveKind::ReduceScatter => "reduce-scatter",
+            CollectiveKind::AllGather => "all-gather",
+            CollectiveKind::Broadcast => "broadcast",
+        })
+    }
+}
+
+/// Analytic cost of running `kind` with `alg` over `ndev` devices and
+/// `bytes` of payload, in microseconds.
+///
+/// `peer` is the device↔device link, `host` the device↔host staging link.
+/// When the peer link is PCIe-class, concurrent steps of a round share the
+/// host root complex and are charged serially; NVLink rounds overlap.
+pub fn estimate_us(
+    alg: Algorithm,
+    kind: CollectiveKind,
+    ndev: usize,
+    bytes: u64,
+    peer: &LinkModel,
+    host: &LinkModel,
+) -> f64 {
+    if ndev <= 1 {
+        return 0.0;
+    }
+    let n = ndev as f64;
+    let shard = (bytes as f64 / n).ceil() as u64;
+    // Number of peer transfers that can run at once within one round.
+    let serial = if peer.kind == LinkKind::PciE3 { n } else { 1.0 };
+    match alg {
+        Algorithm::HostStaged => {
+            let full = host.transfer_time(bytes).as_us();
+            let shard_t = host.transfer_time(shard).as_us();
+            // All copies serialize through the root complex.
+            match kind {
+                CollectiveKind::AllReduce => 2.0 * n * full,
+                CollectiveKind::ReduceScatter => n * full + n * shard_t,
+                CollectiveKind::AllGather => n * shard_t + n * full,
+                CollectiveKind::Broadcast => full + n * full,
+            }
+        }
+        Algorithm::Ring => {
+            let step = peer.transfer_time(shard).as_us() * serial;
+            let steps = match kind {
+                CollectiveKind::AllReduce => 2.0 * (n - 1.0),
+                CollectiveKind::ReduceScatter | CollectiveKind::AllGather => n - 1.0,
+                // Pipelined pass-along: latency of n−1 hops, bandwidth of
+                // the full payload on the slowest hop.
+                CollectiveKind::Broadcast => {
+                    return (n - 1.0) * peer.latency_us * serial
+                        + peer.transfer_time(bytes).as_us() * serial;
+                }
+            };
+            steps * step
+        }
+        Algorithm::Tree => {
+            let rounds = (ndev as f64).log2().ceil();
+            // Within one round at most half the devices transmit at once.
+            let round_serial = if peer.kind == LinkKind::PciE3 {
+                (n / 2.0).max(1.0)
+            } else {
+                1.0
+            };
+            let round = peer.transfer_time(bytes).as_us() * round_serial;
+            match kind {
+                CollectiveKind::AllReduce => 2.0 * rounds * round,
+                CollectiveKind::ReduceScatter | CollectiveKind::AllGather => {
+                    rounds * round + n * peer.transfer_time(shard).as_us()
+                }
+                CollectiveKind::Broadcast => rounds * round,
+            }
+        }
+    }
+}
+
+/// Pick the cheapest algorithm for `kind` on this topology and payload.
+///
+/// Selection is driven by the topology's link class and the message size:
+/// small payloads on NVLink favour the tree (fewest latency terms), large
+/// payloads favour the ring (bandwidth-optimal), and PCIe boxes fall back
+/// to host staging when serialization erases the peer algorithms' edge.
+pub fn choose(kind: CollectiveKind, bytes: u64, topo: &Topology) -> Algorithm {
+    let ndev = topo.num_devices();
+    if ndev <= 1 {
+        return Algorithm::Ring;
+    }
+    let peer = *topo.link(DeviceId(0), DeviceId(ndev - 1));
+    let host = *topo.host_link();
+    let mut best = Algorithm::Ring;
+    let mut best_t = f64::INFINITY;
+    for alg in Algorithm::ALL {
+        let t = estimate_us(alg, kind, ndev, bytes, &peer, &host);
+        if t < best_t {
+            best_t = t;
+            best = alg;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_nvlink_all_reduce_prefers_tree() {
+        let topo = Topology::nvlink_all_to_all(8, 1555.0);
+        assert_eq!(choose(CollectiveKind::AllReduce, 8, &topo), Algorithm::Tree);
+    }
+
+    #[test]
+    fn large_nvlink_all_reduce_prefers_ring() {
+        let topo = Topology::nvlink_all_to_all(8, 1555.0);
+        assert_eq!(
+            choose(CollectiveKind::AllReduce, 256 << 20, &topo),
+            Algorithm::Ring
+        );
+    }
+
+    #[test]
+    fn selection_is_size_monotone_on_nvlink() {
+        // Once ring wins it keeps winning as payloads grow.
+        let topo = Topology::nvlink_all_to_all(8, 1555.0);
+        let mut seen_ring = false;
+        for shift in 0..30 {
+            let alg = choose(CollectiveKind::AllReduce, 1u64 << shift, &topo);
+            if seen_ring {
+                assert_eq!(alg, Algorithm::Ring, "regressed at 2^{shift} bytes");
+            }
+            seen_ring |= alg == Algorithm::Ring;
+        }
+        assert!(seen_ring, "ring never selected");
+    }
+
+    #[test]
+    fn pcie_small_messages_prefer_host_staging() {
+        // With every peer step serialized through the root complex, the
+        // latency-heavy peer algorithms lose to plain host staging.
+        let topo = Topology::pcie_host_staged(8, 870.0);
+        assert_eq!(
+            choose(CollectiveKind::AllReduce, 8, &topo),
+            Algorithm::HostStaged
+        );
+    }
+
+    #[test]
+    fn estimates_are_positive_and_finite() {
+        let peer = LinkModel::nvlink();
+        let host = LinkModel::pcie4_host();
+        for alg in Algorithm::ALL {
+            for kind in [
+                CollectiveKind::AllReduce,
+                CollectiveKind::ReduceScatter,
+                CollectiveKind::AllGather,
+                CollectiveKind::Broadcast,
+            ] {
+                let t = estimate_us(alg, kind, 4, 1 << 20, &peer, &host);
+                assert!(t.is_finite() && t > 0.0, "{alg}/{kind}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_device_costs_nothing() {
+        let peer = LinkModel::nvlink();
+        let host = LinkModel::pcie4_host();
+        assert_eq!(
+            estimate_us(
+                Algorithm::Ring,
+                CollectiveKind::AllReduce,
+                1,
+                1 << 20,
+                &peer,
+                &host
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Algorithm::Ring.to_string(), "ring");
+        assert_eq!(Algorithm::HostStaged.to_string(), "host-staged");
+        assert_eq!(CollectiveKind::AllReduce.to_string(), "all-reduce");
+    }
+}

@@ -1,0 +1,164 @@
+//! Functional collectives on per-device host buffers.
+//!
+//! These implement the *data* semantics of the collectives, independent of
+//! the algorithm the timing layer schedules. Reductions always combine in
+//! **canonical rank order** (`((b₀ ⊕ b₁) ⊕ b₂) ⊕ …`), which makes the result
+//! bit-identical across algorithms even for non-associative floating-point
+//! `⊕` — a deliberate deviation from real NCCL, where ring and tree orders
+//! differ in the last ulps. Determinism is worth more than fidelity here:
+//! it is what lets the property tests assert exact equality between a
+//! collective result and a sequential fold.
+
+/// All-reduce: every buffer becomes the element-wise reduction (in rank
+/// order) of all buffers.
+///
+/// All buffers must have the same length. Panics otherwise.
+pub fn all_reduce<T: Copy>(bufs: &mut [Vec<T>], mut combine: impl FnMut(T, T) -> T) {
+    let Some(len) = check_uniform(bufs) else {
+        return;
+    };
+    for j in 0..len {
+        let mut acc = bufs[0][j];
+        for r in 1..bufs.len() {
+            acc = combine(acc, bufs[r][j]);
+        }
+        for buf in bufs.iter_mut() {
+            buf[j] = acc;
+        }
+    }
+}
+
+/// Reduce-scatter: the element-wise reduction (in rank order) is split into
+/// contiguous shards, and each rank's buffer is replaced by its own shard.
+///
+/// Shard `r` covers indices `[r·len/n, (r+1)·len/n)`, so uneven lengths are
+/// distributed without padding. All buffers must have the same length.
+pub fn reduce_scatter<T: Copy>(bufs: &mut [Vec<T>], mut combine: impl FnMut(T, T) -> T) {
+    let Some(len) = check_uniform(bufs) else {
+        return;
+    };
+    let n = bufs.len();
+    let mut reduced = bufs[0].clone();
+    for j in 0..len {
+        for r in 1..n {
+            reduced[j] = combine(reduced[j], bufs[r][j]);
+        }
+    }
+    for (r, buf) in bufs.iter_mut().enumerate() {
+        *buf = reduced[shard_range(len, n, r)].to_vec();
+    }
+}
+
+/// All-gather: every rank's buffer is replaced by the concatenation of all
+/// buffers in rank order. Buffers may have different lengths.
+pub fn all_gather<T: Copy>(bufs: &mut [Vec<T>]) {
+    if bufs.is_empty() {
+        return;
+    }
+    let cat: Vec<T> = bufs.iter().flat_map(|b| b.iter().copied()).collect();
+    for buf in bufs.iter_mut() {
+        *buf = cat.clone();
+    }
+}
+
+/// Broadcast: every rank's buffer is replaced by a copy of `root`'s buffer.
+///
+/// Panics if `root` is out of range.
+pub fn broadcast<T: Copy>(bufs: &mut [Vec<T>], root: usize) {
+    assert!(root < bufs.len(), "broadcast root {root} out of range");
+    let src = bufs[root].clone();
+    for buf in bufs.iter_mut() {
+        *buf = src.clone();
+    }
+}
+
+/// The contiguous index range of rank `r`'s shard in a length-`len` vector
+/// split over `n` ranks.
+pub fn shard_range(len: usize, n: usize, r: usize) -> std::ops::Range<usize> {
+    (r * len / n)..((r + 1) * len / n)
+}
+
+fn check_uniform<T>(bufs: &[Vec<T>]) -> Option<usize> {
+    let first = bufs.first()?;
+    let len = first.len();
+    assert!(
+        bufs.iter().all(|b| b.len() == len),
+        "collective buffers must have uniform length"
+    );
+    Some(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reduce_matches_sequential_fold() {
+        let mut bufs = vec![vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]];
+        all_reduce(&mut bufs, |a, b| a + b);
+        for b in &bufs {
+            assert_eq!(b, &vec![111.0, 222.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_preserves_rank_order_for_non_associative_ops() {
+        // Subtraction is order-sensitive: ((0 − 1) − 2) = −3.
+        let mut bufs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        all_reduce(&mut bufs, |a, b| a - b);
+        assert_eq!(bufs[0], vec![-3.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_shards_the_reduction() {
+        let mut bufs = vec![vec![1, 2, 3, 4, 5], vec![10, 20, 30, 40, 50]];
+        reduce_scatter(&mut bufs, |a, b| a + b);
+        assert_eq!(bufs[0], vec![11, 22]);
+        assert_eq!(bufs[1], vec![33, 44, 55]);
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let mut bufs = vec![vec![1], vec![2, 3], vec![4]];
+        all_gather(&mut bufs);
+        for b in &bufs {
+            assert_eq!(b, &vec![1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce() {
+        let data = vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]];
+        let mut a = data.clone();
+        all_reduce(&mut a, |x, y| x + y);
+        let mut b = data;
+        reduce_scatter(&mut b, |x, y| x + y);
+        all_gather(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn broadcast_copies_root() {
+        let mut bufs = vec![vec![0; 3], vec![7; 3], vec![0; 3]];
+        broadcast(&mut bufs, 1);
+        for b in &bufs {
+            assert_eq!(b, &vec![7; 3]);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let mut bufs = vec![vec![3.5, 4.5]];
+        all_reduce(&mut bufs, |a, b| a + b);
+        assert_eq!(bufs[0], vec![3.5, 4.5]);
+        all_gather(&mut bufs);
+        assert_eq!(bufs[0], vec![3.5, 4.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform length")]
+    fn mismatched_lengths_panic() {
+        let mut bufs = vec![vec![1.0], vec![1.0, 2.0]];
+        all_reduce(&mut bufs, |a, b| a + b);
+    }
+}

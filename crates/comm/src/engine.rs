@@ -1,0 +1,610 @@
+//! Timing schedules for the collectives on a [`QueueSim`] virtual clock.
+//!
+//! The engine turns one collective call into a set of transfer spans on the
+//! participating devices' collective lanes. Every span goes through
+//! [`QueueSim::enqueue_transfer`] with the link resources named by the
+//! [`Topology`], so shared physical links (the PCIe host root complex)
+//! serialize concurrent steps while dedicated NVLink pairs overlap freely.
+//!
+//! Large payloads are **pipelined**: each logical step is split into up to
+//! [`EngineConfig::max_chunks`] chunks of roughly
+//! [`EngineConfig::chunk_bytes`], and a chunk of step `t+1` may start as
+//! soon as that chunk of step `t` has arrived — the classic bandwidth
+//! optimization that lets a ring approach link rate instead of paying the
+//! full store-and-forward delay per step.
+//!
+//! Only *timing* lives here; the data semantics are in [`crate::buffers`].
+//! Reduction compute time is folded into the link latency term, as in the
+//! rest of the simulator's calibration.
+//!
+//! [`QueueSim`]: neon_sys::QueueSim
+//! [`QueueSim::enqueue_transfer`]: neon_sys::QueueSim::enqueue_transfer
+//! [`Topology`]: neon_sys::Topology
+
+use neon_sys::clock::SimTime;
+use neon_sys::queue::{QueueSim, StreamId};
+use neon_sys::topology::Topology;
+use neon_sys::trace::SpanKind;
+use neon_sys::DeviceId;
+
+use crate::algorithm::{choose, Algorithm, CollectiveKind};
+
+/// Tunables of a [`CollectiveEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Force a specific algorithm; `None` selects automatically per call.
+    pub algorithm: Option<Algorithm>,
+    /// Pipelining granularity: steps larger than this are split into chunks.
+    pub chunk_bytes: u64,
+    /// Upper bound on chunks per step (bounds simulation cost).
+    pub max_chunks: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            algorithm: None,
+            chunk_bytes: 1 << 20,
+            max_chunks: 8,
+        }
+    }
+}
+
+/// Result of scheduling one collective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveTiming {
+    /// Algorithm that was actually used.
+    pub algorithm: Algorithm,
+    /// Per-device completion time (when the result is usable on the device).
+    pub done: Vec<SimTime>,
+    /// Total link-occupied time summed over all spans of this collective.
+    pub busy: SimTime,
+}
+
+impl CollectiveTiming {
+    /// The collective's overall completion time.
+    pub fn makespan(&self) -> SimTime {
+        self.done.iter().copied().fold(SimTime::ZERO, SimTime::max)
+    }
+}
+
+/// Schedules collectives over a fixed topology.
+#[derive(Debug, Clone)]
+pub struct CollectiveEngine {
+    topo: Topology,
+    config: EngineConfig,
+}
+
+impl CollectiveEngine {
+    /// Engine with default configuration (automatic algorithm selection).
+    pub fn new(topo: Topology) -> Self {
+        CollectiveEngine {
+            topo,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Engine with an explicit configuration.
+    pub fn with_config(topo: Topology, config: EngineConfig) -> Self {
+        CollectiveEngine { topo, config }
+    }
+
+    /// The topology this engine schedules against.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The algorithm that will be used for a payload of `bytes`.
+    pub fn select(&self, kind: CollectiveKind, bytes: u64) -> Algorithm {
+        self.config
+            .algorithm
+            .unwrap_or_else(|| choose(kind, bytes, &self.topo))
+    }
+
+    /// Schedule one collective of `bytes` total payload on `q`.
+    ///
+    /// `earliest[d]` is the time device `d`'s contribution is ready; spans
+    /// are enqueued on stream `lane` of each device. Returns per-device
+    /// completion times. With a single device this is a no-op completing at
+    /// `earliest[0]`.
+    pub fn schedule(
+        &self,
+        q: &mut QueueSim,
+        kind: CollectiveKind,
+        bytes: u64,
+        earliest: &[SimTime],
+        lane: usize,
+        name: &str,
+    ) -> CollectiveTiming {
+        let n = self.topo.num_devices();
+        assert_eq!(earliest.len(), n, "one ready time per device");
+        let algorithm = self.select(kind, bytes);
+        if n <= 1 {
+            return CollectiveTiming {
+                algorithm,
+                done: earliest.to_vec(),
+                busy: SimTime::ZERO,
+            };
+        }
+        let busy_before: SimTime = (0..n).map(|d| q.now(self.stream(d, lane))).sum();
+        let done = match algorithm {
+            Algorithm::HostStaged => self.host_staged(q, kind, bytes, earliest, lane, name),
+            Algorithm::Ring => self.ring(q, kind, bytes, earliest, lane, name),
+            Algorithm::Tree => self.tree(q, kind, bytes, earliest, lane, name),
+        };
+        let busy_after: SimTime = (0..n).map(|d| q.now(self.stream(d, lane))).sum();
+        CollectiveTiming {
+            algorithm,
+            done,
+            busy: busy_after - busy_before,
+        }
+    }
+
+    fn stream(&self, device: usize, lane: usize) -> StreamId {
+        StreamId::new(DeviceId(device), lane)
+    }
+
+    /// Split `step_bytes` into `(chunks, bytes_per_chunk)`.
+    fn chunks(&self, step_bytes: u64) -> (usize, u64) {
+        if step_bytes == 0 {
+            return (1, 0);
+        }
+        let c = step_bytes
+            .div_ceil(self.config.chunk_bytes)
+            .clamp(1, self.config.max_chunks as u64);
+        (c as usize, step_bytes.div_ceil(c))
+    }
+
+    /// Finish times: the later of each device's last chunk arrival and its
+    /// own lane clock (its sends must retire too).
+    fn finish(&self, q: &QueueSim, lane: usize, ready: &[Vec<SimTime>]) -> Vec<SimTime> {
+        ready
+            .iter()
+            .enumerate()
+            .map(|(d, chunks)| {
+                chunks
+                    .iter()
+                    .copied()
+                    .fold(q.now(self.stream(d, lane)), SimTime::max)
+            })
+            .collect()
+    }
+
+    /// Ring schedule. All-reduce runs `2(n−1)` shard steps (reduce-scatter
+    /// phase then all-gather phase); reduce-scatter / all-gather run one
+    /// phase; broadcast pipelines the payload along the ring.
+    fn ring(
+        &self,
+        q: &mut QueueSim,
+        kind: CollectiveKind,
+        bytes: u64,
+        earliest: &[SimTime],
+        lane: usize,
+        name: &str,
+    ) -> Vec<SimTime> {
+        let n = self.topo.num_devices();
+        let step_bytes = match kind {
+            CollectiveKind::Broadcast => bytes,
+            _ => bytes.div_ceil(n as u64),
+        };
+        let steps = match kind {
+            CollectiveKind::AllReduce => 2 * (n - 1),
+            _ => n - 1,
+        };
+        let (c, cb) = self.chunks(step_bytes);
+        let mut ready: Vec<Vec<SimTime>> = earliest.iter().map(|&t| vec![t; c]).collect();
+        for step in 0..steps {
+            let prev = ready.clone();
+            for src in 0..n {
+                // Broadcast flows strictly root→…→last; reductions use the
+                // full ring every step.
+                if kind == CollectiveKind::Broadcast && src != step {
+                    continue;
+                }
+                let dst = (src + 1) % n;
+                let dur = self.topo.transfer_time(DeviceId(src), DeviceId(dst), cb);
+                let res = self
+                    .topo
+                    .link_resources(DeviceId(src), DeviceId(dst))
+                    .to_vec();
+                for k in 0..c {
+                    let label = format!("{name}:ring{step}.{k}:{src}->{dst}");
+                    let (_, end) = q.enqueue_transfer(
+                        self.stream(src, lane),
+                        prev[src][k],
+                        dur,
+                        &res,
+                        &label,
+                        SpanKind::Collective,
+                    );
+                    ready[dst][k] = ready[dst][k].max(end);
+                }
+            }
+        }
+        self.finish(q, lane, &ready)
+    }
+
+    /// Binomial-tree schedule: reduce to rank 0 in `⌈log₂ n⌉` rounds, then
+    /// broadcast back out in the mirror order. Broadcast-only collectives
+    /// run just the second half; reduce-scatter runs the first half plus a
+    /// shard scatter from the root.
+    fn tree(
+        &self,
+        q: &mut QueueSim,
+        kind: CollectiveKind,
+        bytes: u64,
+        earliest: &[SimTime],
+        lane: usize,
+        name: &str,
+    ) -> Vec<SimTime> {
+        let n = self.topo.num_devices();
+        let (c, cb) = self.chunks(bytes);
+        let mut ready: Vec<Vec<SimTime>> = earliest.iter().map(|&t| vec![t; c]).collect();
+        let needs_reduce = matches!(
+            kind,
+            CollectiveKind::AllReduce | CollectiveKind::ReduceScatter | CollectiveKind::AllGather
+        );
+        let mut r = 1;
+        if needs_reduce {
+            while r < n {
+                for dst in (0..n).step_by(2 * r) {
+                    let src = dst + r;
+                    if src >= n {
+                        continue;
+                    }
+                    self.tree_send(q, &mut ready, src, dst, cb, lane, name, "up", true);
+                }
+                r *= 2;
+            }
+        } else {
+            while r < n {
+                r *= 2;
+            }
+        }
+        match kind {
+            CollectiveKind::AllReduce | CollectiveKind::Broadcast | CollectiveKind::AllGather => {
+                while r > 1 {
+                    r /= 2;
+                    for src in (0..n).step_by(2 * r) {
+                        let dst = src + r;
+                        if dst >= n {
+                            continue;
+                        }
+                        self.tree_send(q, &mut ready, src, dst, cb, lane, name, "down", false);
+                    }
+                }
+            }
+            CollectiveKind::ReduceScatter => {
+                // Root scatters shard-sized results to every other rank.
+                let shard = bytes.div_ceil(n as u64);
+                let root_ready = ready[0].iter().copied().fold(SimTime::ZERO, SimTime::max);
+                for dst in 1..n {
+                    let dur = self.topo.transfer_time(DeviceId(0), DeviceId(dst), shard);
+                    let res = self
+                        .topo
+                        .link_resources(DeviceId(0), DeviceId(dst))
+                        .to_vec();
+                    let label = format!("{name}:scatter:0->{dst}");
+                    let (_, end) = q.enqueue_transfer(
+                        self.stream(0, lane),
+                        root_ready,
+                        dur,
+                        &res,
+                        &label,
+                        SpanKind::Collective,
+                    );
+                    for k in 0..c {
+                        ready[dst][k] = end;
+                    }
+                }
+            }
+        }
+        self.finish(q, lane, &ready)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn tree_send(
+        &self,
+        q: &mut QueueSim,
+        ready: &mut [Vec<SimTime>],
+        src: usize,
+        dst: usize,
+        chunk_bytes: u64,
+        lane: usize,
+        name: &str,
+        dir: &str,
+        combine: bool,
+    ) {
+        let dur = self
+            .topo
+            .transfer_time(DeviceId(src), DeviceId(dst), chunk_bytes);
+        let res = self
+            .topo
+            .link_resources(DeviceId(src), DeviceId(dst))
+            .to_vec();
+        for k in 0..ready[src].len() {
+            let label = format!("{name}:tree-{dir}.{k}:{src}->{dst}");
+            let (_, end) = q.enqueue_transfer(
+                self.stream(src, lane),
+                ready[src][k],
+                dur,
+                &res,
+                &label,
+                SpanKind::Collective,
+            );
+            // A reduce combines with the receiver's operand; a broadcast
+            // replaces it.
+            ready[dst][k] = if combine { ready[dst][k].max(end) } else { end };
+        }
+    }
+
+    /// Host-staged schedule: every device copies its payload to the host,
+    /// then copies the combined result back. All copies share the host root
+    /// complex, so concurrent ones serialize (with arbitration penalties) —
+    /// exactly the naive baseline the peer algorithms exist to beat.
+    fn host_staged(
+        &self,
+        q: &mut QueueSim,
+        kind: CollectiveKind,
+        bytes: u64,
+        earliest: &[SimTime],
+        lane: usize,
+        name: &str,
+    ) -> Vec<SimTime> {
+        let n = self.topo.num_devices();
+        let shard = bytes.div_ceil(n as u64);
+        let res = self.topo.host_resources().to_vec();
+        let (up_bytes, down_bytes) = match kind {
+            CollectiveKind::AllReduce => (bytes, bytes),
+            CollectiveKind::ReduceScatter => (bytes, shard),
+            CollectiveKind::AllGather => (shard, bytes),
+            CollectiveKind::Broadcast => (0, bytes),
+        };
+        let mut host_done = SimTime::ZERO;
+        if kind == CollectiveKind::Broadcast {
+            let dur = self.topo.host_transfer_time(bytes);
+            let label = format!("{name}:d2h:0");
+            let (_, end) = q.enqueue_transfer(
+                self.stream(0, lane),
+                earliest[0],
+                dur,
+                &res,
+                &label,
+                SpanKind::Collective,
+            );
+            host_done = end;
+        } else {
+            let dur = self.topo.host_transfer_time(up_bytes);
+            for d in 0..n {
+                let label = format!("{name}:d2h:{d}");
+                let (_, end) = q.enqueue_transfer(
+                    self.stream(d, lane),
+                    earliest[d],
+                    dur,
+                    &res,
+                    &label,
+                    SpanKind::Collective,
+                );
+                host_done = host_done.max(end);
+            }
+        }
+        let dur = self.topo.host_transfer_time(down_bytes);
+        let mut done = vec![SimTime::ZERO; n];
+        for d in 0..n {
+            if kind == CollectiveKind::Broadcast && d == 0 {
+                done[d] = host_done.max(earliest[d]);
+                continue;
+            }
+            let label = format!("{name}:h2d:{d}");
+            let (_, end) = q.enqueue_transfer(
+                self.stream(d, lane),
+                host_done,
+                dur,
+                &res,
+                &label,
+                SpanKind::Collective,
+            );
+            done[d] = end;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zeros(n: usize) -> Vec<SimTime> {
+        vec![SimTime::ZERO; n]
+    }
+
+    fn run(
+        topo: Topology,
+        alg: Algorithm,
+        kind: CollectiveKind,
+        bytes: u64,
+    ) -> (CollectiveTiming, QueueSim) {
+        let n = topo.num_devices();
+        let mut q = QueueSim::new(n, 1);
+        let engine = CollectiveEngine::with_config(
+            topo,
+            EngineConfig {
+                algorithm: Some(alg),
+                ..EngineConfig::default()
+            },
+        );
+        let t = engine.schedule(&mut q, kind, bytes, &zeros(n), 0, "ar");
+        (t, q)
+    }
+
+    #[test]
+    fn ring_beats_host_staged_on_8_dev_nvlink() {
+        for bytes in [8u64, 1 << 10, 1 << 20, 64 << 20] {
+            let (ring, _) = run(
+                Topology::nvlink_all_to_all(8, 1555.0),
+                Algorithm::Ring,
+                CollectiveKind::AllReduce,
+                bytes,
+            );
+            let (host, _) = run(
+                Topology::nvlink_all_to_all(8, 1555.0),
+                Algorithm::HostStaged,
+                CollectiveKind::AllReduce,
+                bytes,
+            );
+            assert!(
+                ring.makespan() < host.makespan(),
+                "{bytes} B: ring {} !< host-staged {}",
+                ring.makespan(),
+                host.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn tree_beats_ring_for_tiny_nvlink_payloads() {
+        let (tree, _) = run(
+            Topology::nvlink_all_to_all(8, 1555.0),
+            Algorithm::Tree,
+            CollectiveKind::AllReduce,
+            8,
+        );
+        let (ring, _) = run(
+            Topology::nvlink_all_to_all(8, 1555.0),
+            Algorithm::Ring,
+            CollectiveKind::AllReduce,
+            8,
+        );
+        assert!(tree.makespan() < ring.makespan());
+    }
+
+    #[test]
+    fn ring_all_reduce_has_expected_step_count() {
+        // 4 devices, tiny payload, no chunk split: 2·3 steps of ≥ latency
+        // each, overlapped across devices ⇒ makespan ≈ 6 × 9.5 µs.
+        let (t, _) = run(
+            Topology::nvlink_all_to_all(4, 1555.0),
+            Algorithm::Ring,
+            CollectiveKind::AllReduce,
+            8,
+        );
+        let us = t.makespan().as_us();
+        assert!((us - 6.0 * 9.5).abs() < 1.0, "got {us}");
+    }
+
+    #[test]
+    fn pipelining_helps_large_chained_broadcasts() {
+        // A store-and-forward chain pays the full payload per hop; chunking
+        // lets hop `h+1` forward chunk 0 while chunk 1 is still arriving.
+        let topo = Topology::nvlink_all_to_all(4, 1555.0);
+        let bytes = 64 << 20;
+        let (piped, _) = run(
+            topo.clone(),
+            Algorithm::Ring,
+            CollectiveKind::Broadcast,
+            bytes,
+        );
+        let engine = CollectiveEngine::with_config(
+            topo,
+            EngineConfig {
+                algorithm: Some(Algorithm::Ring),
+                max_chunks: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let mut q = QueueSim::new(4, 1);
+        let whole = engine.schedule(&mut q, CollectiveKind::Broadcast, bytes, &zeros(4), 0, "bc");
+        assert!(
+            piped.makespan() < whole.makespan(),
+            "chunked {} !< unchunked {}",
+            piped.makespan(),
+            whole.makespan()
+        );
+    }
+
+    #[test]
+    fn pcie_steps_serialize_through_root_complex() {
+        // On the PCIe box every ring step shares the host root complex; the
+        // contention counters must show it.
+        let (_, q) = run(
+            Topology::pcie_host_staged(4, 870.0),
+            Algorithm::Ring,
+            CollectiveKind::AllReduce,
+            1 << 20,
+        );
+        assert!(q.link_contention_events(0) > 0);
+        assert!(q.link_busy_time(0) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn nvlink_ring_never_contends() {
+        let topo = Topology::nvlink_all_to_all(4, 1555.0);
+        let nres = topo.num_link_resources();
+        let (_, q) = run(topo, Algorithm::Ring, CollectiveKind::AllReduce, 1 << 20);
+        for r in 0..nres {
+            assert_eq!(q.link_contention_events(r), 0, "resource {r} contended");
+        }
+    }
+
+    #[test]
+    fn respects_earliest_times() {
+        let topo = Topology::nvlink_all_to_all(2, 1555.0);
+        let engine = CollectiveEngine::new(topo);
+        let mut q = QueueSim::new(2, 1);
+        let late = SimTime::from_us(500.0);
+        let t = engine.schedule(
+            &mut q,
+            CollectiveKind::AllReduce,
+            8,
+            &[SimTime::ZERO, late],
+            0,
+            "ar",
+        );
+        assert!(t.makespan() > late, "cannot finish before the last input");
+    }
+
+    #[test]
+    fn single_device_is_free() {
+        let topo = Topology::nvlink_all_to_all(1, 1555.0);
+        let engine = CollectiveEngine::new(topo);
+        let mut q = QueueSim::new(1, 1);
+        let t0 = SimTime::from_us(42.0);
+        let t = engine.schedule(&mut q, CollectiveKind::AllReduce, 1 << 20, &[t0], 0, "ar");
+        assert_eq!(t.done, vec![t0]);
+        assert_eq!(t.busy, SimTime::ZERO);
+    }
+
+    #[test]
+    fn all_kinds_schedule_on_all_algorithms() {
+        for alg in Algorithm::ALL {
+            for kind in [
+                CollectiveKind::AllReduce,
+                CollectiveKind::ReduceScatter,
+                CollectiveKind::AllGather,
+                CollectiveKind::Broadcast,
+            ] {
+                let (t, _) = run(Topology::nvlink_all_to_all(3, 1555.0), alg, kind, 4 << 10);
+                assert!(t.makespan() > SimTime::ZERO, "{alg}/{kind}");
+                assert!(t.busy > SimTime::ZERO, "{alg}/{kind}");
+                assert_eq!(t.done.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_selection_matches_choose() {
+        let topo = Topology::nvlink_all_to_all(8, 1555.0);
+        let engine = CollectiveEngine::new(topo.clone());
+        for bytes in [8u64, 1 << 16, 64 << 20] {
+            assert_eq!(
+                engine.select(CollectiveKind::AllReduce, bytes),
+                crate::algorithm::choose(CollectiveKind::AllReduce, bytes, &topo)
+            );
+        }
+    }
+}

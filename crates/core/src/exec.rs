@@ -23,8 +23,10 @@
 
 #![allow(clippy::needless_range_loop)] // device loops index per-device tables
 
+use neon_comm::{CollectiveEngine, CollectiveKind, EngineConfig};
 use neon_sys::{Backend, DeviceId, QueueSim, SimTime, SpanKind, StreamId, Trace};
 
+use crate::collective::CollectiveMode;
 use crate::graph::{Graph, NodeId, NodeKind};
 use crate::schedule::Schedule;
 
@@ -71,6 +73,8 @@ pub struct ExecReport {
     pub transfer_time: SimTime,
     /// Total host-step time.
     pub host_time: SimTime,
+    /// Total collective-communication busy time over all lanes.
+    pub collective_time: SimTime,
     /// Number of executions aggregated.
     pub executions: u64,
 }
@@ -81,6 +85,7 @@ impl ExecReport {
         self.kernel_time += other.kernel_time;
         self.transfer_time += other.transfer_time;
         self.host_time += other.host_time;
+        self.collective_time += other.collective_time;
         self.executions += other.executions;
     }
 
@@ -104,6 +109,8 @@ pub struct Executor {
     functional: bool,
     kernel_concurrency: bool,
     halo_policy: HaloPolicy,
+    engine: CollectiveEngine,
+    collective_mode: CollectiveMode,
 }
 
 impl Executor {
@@ -111,8 +118,10 @@ impl Executor {
     /// compute node's iteration space has real storage.
     pub fn new(backend: Backend, graph: Graph, schedule: Schedule) -> Self {
         let compute_streams = schedule.num_streams;
-        // lanes: [0, compute_streams) kernels, +0/+1 transfers, +2 host.
-        let queue = QueueSim::new(backend.num_devices(), compute_streams + 3);
+        // lanes: [0, compute_streams) kernels, +0/+1 transfers, +2 host,
+        // +3 collectives.
+        let queue = QueueSim::new(backend.num_devices(), compute_streams + 4);
+        let engine = CollectiveEngine::new(backend.topology().clone());
         let functional = graph.nodes().iter().all(|n| match &n.kind {
             NodeKind::Compute { container, .. } => container
                 .space()
@@ -129,12 +138,32 @@ impl Executor {
             functional,
             kernel_concurrency: false,
             halo_policy: HaloPolicy::ExplicitTransfers,
+            engine,
+            collective_mode: CollectiveMode::default(),
         }
     }
 
     /// Select the halo coherency model (see [`HaloPolicy`]).
     pub fn set_halo_policy(&mut self, policy: HaloPolicy) {
         self.halo_policy = policy;
+    }
+
+    /// Select how collective nodes pick their algorithm (default:
+    /// [`CollectiveMode::Auto`]).
+    pub fn set_collective_mode(&mut self, mode: CollectiveMode) {
+        self.collective_mode = mode;
+        self.engine = CollectiveEngine::with_config(
+            self.backend.topology().clone(),
+            EngineConfig {
+                algorithm: mode.fixed_algorithm(),
+                ..EngineConfig::default()
+            },
+        );
+    }
+
+    /// The virtual-clock simulator (link utilization counters live here).
+    pub fn queue(&self) -> &QueueSim {
+        &self.queue
     }
 
     /// Let kernels of different streams run concurrently at full modelled
@@ -157,17 +186,13 @@ impl Executor {
     /// Force timing-only execution (used by large benchmark sweeps).
     pub fn set_functional(&mut self, on: bool) {
         assert!(
-            !on || self
-                .graph
-                .nodes()
-                .iter()
-                .all(|n| match &n.kind {
-                    NodeKind::Compute { container, .. } => container
-                        .space()
-                        .map(|s| s.supports_functional())
-                        .unwrap_or(true),
-                    _ => true,
-                }),
+            !on || self.graph.nodes().iter().all(|n| match &n.kind {
+                NodeKind::Compute { container, .. } => container
+                    .space()
+                    .map(|s| s.supports_functional())
+                    .unwrap_or(true),
+                _ => true,
+            }),
             "cannot enable functional execution on virtual storage"
         );
         self.functional = on;
@@ -191,6 +216,10 @@ impl Executor {
         self.compute_streams + 2
     }
 
+    fn collective_lane(&self) -> usize {
+        self.compute_streams + 3
+    }
+
     /// Execute the plan once.
     pub fn execute(&mut self) -> ExecReport {
         let ndev = self.backend.num_devices();
@@ -206,11 +235,7 @@ impl Executor {
             let task = self.schedule.tasks[ti].clone();
             let node_id: NodeId = task.node;
             let node = self.graph.node(node_id).clone();
-            let parents: Vec<NodeId> = self
-                .graph
-                .data_parents(node_id)
-                .map(|e| e.from)
-                .collect();
+            let parents: Vec<NodeId> = self.graph.data_parents(node_id).map(|e| e.from).collect();
 
             match &node.kind {
                 NodeKind::Compute {
@@ -228,10 +253,7 @@ impl Executor {
                     let eff = container.bw_efficiency();
                     for d in 0..ndev {
                         let dev = DeviceId(d);
-                        let earliest = parents
-                            .iter()
-                            .map(|&p| ends[p][d])
-                            .fold(t0, SimTime::max);
+                        let earliest = parents.iter().map(|&p| ends[p][d]).fold(t0, SimTime::max);
                         let cells = space.cell_count(dev, *view);
                         if cells == 0 {
                             ends[node_id][d] = earliest;
@@ -242,11 +264,19 @@ impl Executor {
                             cells * flops_per_cell,
                             eff,
                         );
-                        let lane = if self.kernel_concurrency { task.stream } else { 0 };
+                        let lane = if self.kernel_concurrency {
+                            task.stream
+                        } else {
+                            0
+                        };
                         let stream = StreamId::new(dev, lane);
-                        let (_, e) =
-                            self.queue
-                                .enqueue_from(stream, earliest, dur, &node.name, SpanKind::Kernel);
+                        let (_, e) = self.queue.enqueue_from(
+                            stream,
+                            earliest,
+                            dur,
+                            &node.name,
+                            SpanKind::Kernel,
+                        );
                         report.kernel_time += dur;
                         ends[node_id][d] = e;
                     }
@@ -254,10 +284,8 @@ impl Executor {
                         // Folding partials into the host value synchronizes
                         // the devices and pays a host round trip.
                         let sync = self.backend.device(DeviceId(0)).sync_overhead();
-                        let gmax = (0..ndev)
-                            .map(|d| ends[node_id][d])
-                            .fold(t0, SimTime::max)
-                            + sync;
+                        let gmax =
+                            (0..ndev).map(|d| ends[node_id][d]).fold(t0, SimTime::max) + sync;
                         report.host_time += sync;
                         for d in 0..ndev {
                             ends[node_id][d] = gmax;
@@ -268,13 +296,12 @@ impl Executor {
                             container.reduce_init();
                         }
                         let view = *view;
-                        crossbeam::thread::scope(|s| {
+                        std::thread::scope(|s| {
                             for d in 0..ndev {
                                 let c = container.clone();
-                                s.spawn(move |_| c.run_device(DeviceId(d), view));
+                                s.spawn(move || c.run_device(DeviceId(d), view));
                             }
-                        })
-                        .expect("device thread panicked");
+                        });
                         if *reduce_finalize {
                             container.reduce_finalize();
                         }
@@ -285,32 +312,37 @@ impl Executor {
                     let mut from = vec![t0; ndev];
                     let mut constraint = vec![t0; ndev];
                     for d in 0..ndev {
-                        constraint[d] = parents
-                            .iter()
-                            .map(|&p| ends[p][d])
-                            .fold(t0, SimTime::max);
+                        constraint[d] = parents.iter().map(|&p| ends[p][d]).fold(t0, SimTime::max);
                         into[d] = constraint[d];
                         from[d] = constraint[d];
                     }
                     match self.halo_policy {
                         HaloPolicy::ExplicitTransfers => {
                             for desc in exchange.descriptors() {
-                                let earliest =
-                                    constraint[desc.src.0].max(constraint[desc.dst.0]);
+                                let earliest = constraint[desc.src.0].max(constraint[desc.dst.0]);
                                 let lane = self.transfer_lane(desc.src, desc.dst);
                                 let dur = self
                                     .backend
                                     .topology()
                                     .transfer_time(desc.src, desc.dst, desc.bytes);
+                                // Occupy the physical link: peer copies on a
+                                // PCIe box all contend for the host root
+                                // complex; NVLink pairs are dedicated.
+                                let res = self
+                                    .backend
+                                    .topology()
+                                    .link_resources(desc.src, desc.dst)
+                                    .to_vec();
                                 let stream = StreamId::new(desc.src, lane);
-                                let (_, e) = self.queue.enqueue_from(
+                                let (s, e) = self.queue.enqueue_transfer(
                                     stream,
                                     earliest,
                                     dur,
+                                    &res,
                                     &node.name,
                                     SpanKind::Transfer,
                                 );
-                                report.transfer_time += dur;
+                                report.transfer_time += e - s;
                                 into[desc.dst.0] = into[desc.dst.0].max(e);
                                 from[desc.src.0] = from[desc.src.0].max(e);
                             }
@@ -325,8 +357,7 @@ impl Executor {
                             // device's compute lane (lane 0), serializing
                             // with kernels — OCC cannot hide it.
                             for desc in exchange.descriptors() {
-                                let earliest =
-                                    constraint[desc.src.0].max(constraint[desc.dst.0]);
+                                let earliest = constraint[desc.src.0].max(constraint[desc.dst.0]);
                                 let pages = desc.bytes.div_ceil(page_bytes);
                                 let dur = SimTime::from_us(
                                     pages as f64 * fault_us
@@ -364,19 +395,40 @@ impl Executor {
                         .flat_map(|&p| ends[p].iter().copied())
                         .fold(t0, SimTime::max);
                     let stream = StreamId::new(DeviceId(0), self.host_lane());
-                    let (_, e) = self.queue.enqueue_from(
-                        stream,
-                        earliest,
-                        sync,
-                        &node.name,
-                        SpanKind::Host,
-                    );
+                    let (_, e) =
+                        self.queue
+                            .enqueue_from(stream, earliest, sync, &node.name, SpanKind::Host);
                     report.host_time += sync;
                     for d in 0..ndev {
                         ends[node_id][d] = e;
                     }
                     if self.functional {
                         container.run_host();
+                    }
+                }
+                NodeKind::Collective { container, bytes } => {
+                    // Per-device readiness: a device joins the collective as
+                    // soon as ITS parents are done — no global barrier.
+                    let earliest: Vec<SimTime> = (0..ndev)
+                        .map(|d| parents.iter().map(|&p| ends[p][d]).fold(t0, SimTime::max))
+                        .collect();
+                    let lane = self.collective_lane();
+                    let timing = self.engine.schedule(
+                        &mut self.queue,
+                        CollectiveKind::AllReduce,
+                        *bytes,
+                        &earliest,
+                        lane,
+                        &node.name,
+                    );
+                    report.collective_time += timing.busy;
+                    for d in 0..ndev {
+                        ends[node_id][d] = timing.done[d];
+                    }
+                    if self.functional {
+                        // Canonical rank-order fold: bit-identical to the
+                        // host-staged merge regardless of algorithm.
+                        container.reduce_finalize();
                     }
                 }
             }
@@ -386,6 +438,24 @@ impl Executor {
         // measure cleanly (a zero-cost barrier on the virtual clock).
         let end = self.queue.sync_all();
         report.makespan = end - t0;
+        if self.queue.trace().is_some() {
+            let topo = self.backend.topology();
+            let stats: Vec<(String, f64, u64)> = (0..topo.num_link_resources())
+                .map(|r| {
+                    (
+                        topo.link_resource_name(r).to_string(),
+                        self.queue.link_busy_time(r).as_us(),
+                        self.queue.link_contention_events(r),
+                    )
+                })
+                .collect();
+            if let Some(trace) = self.queue.trace_mut() {
+                for (name, busy, contended) in stats {
+                    trace.set_counter(&format!("link:{name}:busy_us"), busy);
+                    trace.set_counter(&format!("link:{name}:contended"), contended as f64);
+                }
+            }
+        }
         report
     }
 

@@ -42,6 +42,14 @@ pub enum NodeKind {
         /// The host container.
         container: Container,
     },
+    /// A collective communication step (all-reduce of a reduce container's
+    /// partials), scheduled by `neon-comm` over the backend's topology.
+    Collective {
+        /// The reduce container whose partials are combined.
+        container: Container,
+        /// Total payload in bytes (8 bytes per reduced scalar).
+        bytes: u64,
+    },
 }
 
 impl std::fmt::Debug for NodeKind {
@@ -52,6 +60,9 @@ impl std::fmt::Debug for NodeKind {
             } => write!(f, "Compute({}, {})", container.name(), view.label()),
             NodeKind::Halo { exchange } => write!(f, "Halo({})", exchange.data_name()),
             NodeKind::Host { container } => write!(f, "Host({})", container.name()),
+            NodeKind::Collective { container, bytes } => {
+                write!(f, "Collective({}, {bytes} B)", container.name())
+            }
         }
     }
 }
@@ -69,7 +80,9 @@ impl Node {
     /// The node's container, if it has one.
     pub fn container(&self) -> Option<&Container> {
         match &self.kind {
-            NodeKind::Compute { container, .. } | NodeKind::Host { container } => Some(container),
+            NodeKind::Compute { container, .. }
+            | NodeKind::Host { container }
+            | NodeKind::Collective { container, .. } => Some(container),
             NodeKind::Halo { .. } => None,
         }
     }
@@ -86,10 +99,15 @@ impl Node {
     pub fn is_halo(&self) -> bool {
         matches!(self.kind, NodeKind::Halo { .. })
     }
+
+    /// Whether this is a collective communication node.
+    pub fn is_collective(&self) -> bool {
+        matches!(self.kind, NodeKind::Collective { .. })
+    }
 }
 
 /// The dependency type of an edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeKind {
     /// Read-after-write: consumer must see producer's data.
     RaW,
@@ -109,7 +127,7 @@ impl EdgeKind {
 }
 
 /// A directed edge `from → to`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// Producer / predecessor node.
     pub from: NodeId,
@@ -143,7 +161,11 @@ impl Graph {
     /// Append an edge if an identical one is not already present.
     pub fn add_edge(&mut self, edge: Edge) {
         assert!(edge.from < self.nodes.len() && edge.to < self.nodes.len());
-        assert_ne!(edge.from, edge.to, "self edge on {}", self.nodes[edge.from].name);
+        assert_ne!(
+            edge.from, edge.to,
+            "self edge on {}",
+            self.nodes[edge.from].name
+        );
         if !self.edges.contains(&edge) {
             self.edges.push(edge);
         }
@@ -152,6 +174,25 @@ impl Graph {
     /// All nodes.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    /// Mutable access to a node (for lowering passes).
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Mutable access to the edge list (for lowering passes). Callers must
+    /// preserve acyclicity and should call [`Graph::dedup_edges`] after
+    /// re-pointing edges.
+    pub(crate) fn edges_mut(&mut self) -> &mut Vec<Edge> {
+        &mut self.edges
+    }
+
+    /// Drop duplicate edges (re-pointing can alias previously distinct
+    /// edges onto the same endpoints).
+    pub(crate) fn dedup_edges(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        self.edges.retain(|e| seen.insert(*e));
     }
 
     /// A node by id.
@@ -254,6 +295,7 @@ impl Graph {
                 ),
                 NodeKind::Halo { .. } => ("ellipse", "lightblue"),
                 NodeKind::Host { .. } => ("diamond", "lightyellow"),
+                NodeKind::Collective { .. } => ("hexagon", "lightcoral"),
             };
             let _ = writeln!(
                 out,
@@ -308,17 +350,13 @@ impl Graph {
                 // Halo nodes are not valid intermediates: OCC later narrows
                 // halo edges to boundary halves, so a path through a halo
                 // node cannot substitute for a direct data dependency.
-                let redundant = self
-                    .nodes
-                    .iter()
-                    .enumerate()
-                    .any(|(m, node)| {
-                        m != e.to
-                            && m != e.from
-                            && !node.is_halo()
-                            && reach[e.from].contains(&m)
-                            && reach[m].contains(&e.to)
-                    });
+                let redundant = self.nodes.iter().enumerate().any(|(m, node)| {
+                    m != e.to
+                        && m != e.from
+                        && !node.is_halo()
+                        && reach[e.from].contains(&m)
+                        && reach[m].contains(&e.to)
+                });
                 !redundant
             })
             .collect();
@@ -400,7 +438,9 @@ pub fn build_dependency_graph(containers: &[Container]) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neon_domain::{ops, DenseGrid, Dim3, Field, GridLike as _, MemLayout, ScalarSet, Stencil, StorageMode};
+    use neon_domain::{
+        ops, DenseGrid, Dim3, Field, GridLike as _, MemLayout, ScalarSet, Stencil, StorageMode,
+    };
     use neon_sys::Backend;
 
     fn fixtures() -> (
@@ -425,10 +465,10 @@ mod tests {
         let c2 = ops::axpy_const(&g, 1.0, &y, &x); // reads y, writes x
         let graph = build_dependency_graph(&[c1, c2]);
         assert_eq!(graph.len(), 2);
-        assert!(graph
-            .edges()
-            .iter()
-            .any(|e| e.from == 0 && e.to == 1 && e.kind == EdgeKind::RaW && e.data == Some(y.uid())));
+        assert!(graph.edges().iter().any(|e| e.from == 0
+            && e.to == 1
+            && e.kind == EdgeKind::RaW
+            && e.data == Some(y.uid())));
     }
 
     #[test]
@@ -492,16 +532,19 @@ mod tests {
         let graph = build_dependency_graph(&[axpy, laplace, dotc]);
         assert_eq!(graph.len(), 3);
         // axpy → laplace RaW on x; laplace also WaR on y (axpy read y).
-        assert!(graph.edges().iter().any(
-            |e| e.from == 0 && e.to == 1 && e.kind == EdgeKind::RaW && e.data == Some(x.uid())
-        ));
-        assert!(graph.edges().iter().any(
-            |e| e.from == 0 && e.to == 1 && e.kind == EdgeKind::WaR && e.data == Some(y.uid())
-        ));
+        assert!(graph.edges().iter().any(|e| e.from == 0
+            && e.to == 1
+            && e.kind == EdgeKind::RaW
+            && e.data == Some(x.uid())));
+        assert!(graph.edges().iter().any(|e| e.from == 0
+            && e.to == 1
+            && e.kind == EdgeKind::WaR
+            && e.data == Some(y.uid())));
         // laplace → dot RaW on y.
-        assert!(graph.edges().iter().any(
-            |e| e.from == 1 && e.to == 2 && e.kind == EdgeKind::RaW && e.data == Some(y.uid())
-        ));
+        assert!(graph.edges().iter().any(|e| e.from == 1
+            && e.to == 2
+            && e.kind == EdgeKind::RaW
+            && e.data == Some(y.uid())));
     }
 
     #[test]

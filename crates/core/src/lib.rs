@@ -30,6 +30,7 @@
 //! println!("per iteration: {}", report.time_per_execution());
 //! ```
 
+pub mod collective;
 pub mod exec;
 pub mod graph;
 pub mod multigpu;
@@ -37,9 +38,11 @@ pub mod occ;
 pub mod schedule;
 pub mod skeleton;
 
+pub use collective::{lower_collectives, CollectiveMode};
 pub use exec::{ExecReport, Executor, HaloPolicy};
 pub use graph::{build_dependency_graph, Edge, EdgeKind, Graph, Node, NodeId, NodeKind};
 pub use multigpu::to_multigpu_graph;
+pub use neon_comm::Algorithm as CollectiveAlgorithm;
 pub use occ::{apply_occ, OccLevel};
 pub use schedule::{build_schedule, build_schedule_opts, Schedule, Task};
 pub use skeleton::{Skeleton, SkeletonOptions};

@@ -125,8 +125,8 @@ mod tests {
     use super::*;
     use crate::graph::build_dependency_graph;
     use neon_domain::{
-        ops, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike as _, MemLayout,
-        ScalarSet, Stencil, StorageMode,
+        ops, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike as _,
+        MemLayout, ScalarSet, Stencil, StorageMode,
     };
     use neon_sys::Backend;
 
@@ -147,11 +147,7 @@ mod tests {
         (g, x, y, d)
     }
 
-    fn laplace(
-        g: &DenseGrid,
-        x: &Field<f64, DenseGrid>,
-        y: &Field<f64, DenseGrid>,
-    ) -> Container {
+    fn laplace(g: &DenseGrid, x: &Field<f64, DenseGrid>, y: &Field<f64, DenseGrid>) -> Container {
         let (xc, yc) = (x.clone(), y.clone());
         Container::compute("laplace", g.as_space(), move |ldr| {
             let xv = ldr.read_stencil(&xc);
@@ -178,12 +174,12 @@ mod tests {
         let mg = to_multigpu_graph(&dep, 2);
         assert_eq!(mg.len(), 4, "one halo node added");
         let halo = mg.nodes().iter().position(|n| n.is_halo()).unwrap();
-        let stencil = mg
+        let stencil = mg.nodes().iter().position(|n| n.name == "laplace").unwrap();
+        let writer = mg
             .nodes()
             .iter()
-            .position(|n| n.name == "laplace")
+            .position(|n| n.name.starts_with("set"))
             .unwrap();
-        let writer = mg.nodes().iter().position(|n| n.name.starts_with("set")).unwrap();
         // writer → halo → stencil.
         assert!(mg.edges().iter().any(|e| e.from == writer && e.to == halo));
         assert!(mg.edges().iter().any(|e| e.from == halo && e.to == stencil));
@@ -242,11 +238,7 @@ mod tests {
             .map(|(i, _)| i)
             .max()
             .unwrap();
-        let first_stencil = mg
-            .nodes()
-            .iter()
-            .position(|n| n.name == "laplace")
-            .unwrap();
+        let first_stencil = mg.nodes().iter().position(|n| n.name == "laplace").unwrap();
         assert!(mg
             .edges()
             .iter()

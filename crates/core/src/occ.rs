@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use neon_set::{Container, ContainerKind, ComputePattern, DataUid, DataView};
+use neon_set::{ComputePattern, Container, ContainerKind, DataUid, DataView};
 
 use crate::graph::{Edge, EdgeKind, Graph, Node, NodeId, NodeKind};
 
@@ -163,9 +163,8 @@ pub fn apply_occ(g: &Graph, level: OccLevel) -> Graph {
     let mut mapping: HashMap<NodeId, Mapped> = HashMap::new();
 
     for (id, node) in g.nodes().iter().enumerate() {
-        let split = stencil_splits.contains(&id)
-            || map_splits.contains(&id)
-            || succ_splits.contains(&id);
+        let split =
+            stencil_splits.contains(&id) || map_splits.contains(&id) || succ_splits.contains(&id);
         if !split {
             let nid = out.add_node(node.clone());
             mapping.insert(id, Mapped::One(nid));
@@ -265,16 +264,7 @@ pub fn apply_occ(g: &Graph, level: OccLevel) -> Graph {
                     push(a, bnd);
                 }
             }
-            (
-                Mapped::Two {
-                    int: ui,
-                    bnd: ub,
-                },
-                Mapped::Two {
-                    int: vi,
-                    bnd: vb,
-                },
-            ) => {
+            (Mapped::Two { int: ui, bnd: ub }, Mapped::Two { int: vi, bnd: vb }) => {
                 let nonlocal = match e.data {
                     Some(uid) => {
                         let u_st = g

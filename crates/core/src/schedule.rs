@@ -144,7 +144,13 @@ pub fn build_schedule_opts(g: &Graph, max_streams: usize, use_hints: bool) -> Sc
     for &u in &order {
         let mut wait: Vec<NodeId> = g
             .data_parents(u)
-            .filter(|e| stream_of[e.from] != stream_of[u] || g.node(e.from).is_halo() || g.node(u).is_halo())
+            .filter(|e| {
+                stream_of[e.from] != stream_of[u]
+                    || g.node(e.from).is_halo()
+                    || g.node(u).is_halo()
+                    || g.node(e.from).is_collective()
+                    || g.node(u).is_collective()
+            })
             .map(|e| e.from)
             .collect();
         wait.sort_unstable();
@@ -227,7 +233,11 @@ mod tests {
         let d_task = s.tasks.iter().find(|t| t.node == 3).unwrap();
         // d waits at least on the parent from the other stream.
         assert!(!d_task.wait.is_empty());
-        let other = if s.stream_of[3] == s.stream_of[1] { 2 } else { 1 };
+        let other = if s.stream_of[3] == s.stream_of[1] {
+            2
+        } else {
+            1
+        };
         assert!(d_task.wait.contains(&other));
         // That parent signals.
         assert!(s.tasks.iter().find(|t| t.node == other).unwrap().signals);
@@ -244,7 +254,10 @@ mod tests {
         let s = build_schedule(&g, 8);
         assert_eq!(s.num_streams, 1);
         for t in &s.tasks {
-            assert!(t.wait.is_empty(), "linear chain on one stream needs no events");
+            assert!(
+                t.wait.is_empty(),
+                "linear chain on one stream needs no events"
+            );
         }
     }
 

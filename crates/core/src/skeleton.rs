@@ -15,6 +15,7 @@
 use neon_set::Container;
 use neon_sys::{Backend, SimTime, Trace};
 
+use crate::collective::{lower_collectives, CollectiveMode};
 use crate::exec::{ExecReport, Executor, HaloPolicy};
 use crate::graph::{build_dependency_graph, Graph};
 use crate::multigpu::to_multigpu_graph;
@@ -41,6 +42,10 @@ pub struct SkeletonOptions {
     pub halo_policy: HaloPolicy,
     /// Record an execution trace (timeline spans).
     pub trace: bool,
+    /// How multi-device reductions are realized: lowered to collective
+    /// nodes whose algorithm (ring / tree / host-staged) is picked from
+    /// the topology and payload (`Auto`), or forced (`Fixed`).
+    pub collectives: CollectiveMode,
 }
 
 impl Default for SkeletonOptions {
@@ -52,6 +57,7 @@ impl Default for SkeletonOptions {
             kernel_concurrency: false,
             halo_policy: HaloPolicy::ExplicitTransfers,
             trace: false,
+            collectives: CollectiveMode::Auto,
         }
     }
 }
@@ -87,6 +93,10 @@ impl Skeleton {
         let dependency_graph = build_dependency_graph(&containers);
         let mg = to_multigpu_graph(&dependency_graph, backend.num_devices());
         let occ = apply_occ(&mg, options.occ);
+        // Lower finalizing reduces to collective nodes after OCC (so the
+        // boundary half is visible) and before scheduling (so the nodes
+        // get streams and events like everything else).
+        let occ = lower_collectives(&occ, backend.num_devices());
         let max_streams = if backend.concurrent_kernels() {
             options.max_streams
         } else {
@@ -96,6 +106,7 @@ impl Skeleton {
         let mut executor = Executor::new(backend.clone(), occ.clone(), schedule.clone());
         executor.set_kernel_concurrency(options.kernel_concurrency);
         executor.set_halo_policy(options.halo_policy);
+        executor.set_collective_mode(options.collectives);
         if options.trace {
             executor.enable_trace();
         }

@@ -158,16 +158,25 @@ fn trace_shows_transfer_compute_overlap() {
     sk.run();
     let trace = sk.take_trace().expect("trace enabled");
     let spans = trace.spans();
-    let transfers: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Transfer).collect();
-    let kernels: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Kernel).collect();
+    let transfers: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Transfer)
+        .collect();
+    let kernels: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Kernel)
+        .collect();
     assert!(!transfers.is_empty());
     // The internal kernel halves overlap some transfer in time.
-    let internal: Vec<_> = kernels.iter().filter(|k| k.name.ends_with(".int")).collect();
+    let internal: Vec<_> = kernels
+        .iter()
+        .filter(|k| k.name.ends_with(".int"))
+        .collect();
     assert!(!internal.is_empty(), "stencil was split");
     let overlap = internal.iter().any(|k| {
-        transfers.iter().any(|t| {
-            k.start.as_us() < t.end.as_us() && t.start.as_us() < k.end.as_us()
-        })
+        transfers
+            .iter()
+            .any(|t| k.start.as_us() < t.end.as_us() && t.start.as_us() < k.end.as_us())
     });
     assert!(overlap, "internal compute should overlap halo transfers");
 }
@@ -256,7 +265,10 @@ fn virtual_and_real_storage_time_identically() {
     };
     let real = mk(StorageMode::Real);
     let virt = mk(StorageMode::Virtual);
-    assert!((real - virt).abs() < 1e-9, "timing model must not depend on storage: {real} vs {virt}");
+    assert!(
+        (real - virt).abs() < 1e-9,
+        "timing model must not depend on storage: {real} vs {virt}"
+    );
 }
 
 #[test]
@@ -303,7 +315,10 @@ fn sparse_grid_through_skeleton() {
             for x in 0..5 {
                 let d = dy.get(x, y, z, 0).unwrap();
                 let s = sy.get(x, y, z, 0).unwrap();
-                assert!((d - s).abs() < 1e-12, "mismatch at ({x},{y},{z}): {d} vs {s}");
+                assert!(
+                    (d - s).abs() < 1e-12,
+                    "mismatch at ({x},{y},{z}): {d} vs {s}"
+                );
                 compared += 1;
             }
         }
@@ -361,8 +376,7 @@ fn unified_memory_halo_is_slower_and_defeats_occ() {
     let mk = |policy: HaloPolicy, occ: OccLevel| {
         let b = Backend::dgx_a100(4);
         let st = Stencil::seven_point();
-        let g =
-            DenseGrid::new(&b, Dim3::new(128, 128, 64), &[&st], StorageMode::Virtual).unwrap();
+        let g = DenseGrid::new(&b, Dim3::new(128, 128, 64), &[&st], StorageMode::Virtual).unwrap();
         let x = Field::<f64, _>::new(&g, "x", 8, 0.0, MemLayout::SoA).unwrap();
         let y = Field::<f64, _>::new(&g, "y", 8, 0.0, MemLayout::SoA).unwrap();
         let upd = {

@@ -123,11 +123,7 @@ impl BlockSparseGrid {
             });
         }
         let offsets = union_offsets(stencils);
-        let radius = offsets
-            .iter()
-            .map(|o| o.radius())
-            .max()
-            .unwrap_or(0);
+        let radius = offsets.iter().map(|o| o.radius()).max().unwrap_or(0);
         if radius > block {
             return Err(NeonSysError::InvalidConfig {
                 what: format!("stencil radius {radius} exceeds block edge {block}"),
@@ -148,8 +144,11 @@ impl BlockSparseGrid {
             for z in 0..block as i32 {
                 for y in 0..block as i32 {
                     for x in 0..block as i32 {
-                        let (gx, gy, gz) =
-                            (bx * block as i32 + x, by * block as i32 + y, bz * block as i32 + z);
+                        let (gx, gy, gz) = (
+                            bx * block as i32 + x,
+                            by * block as i32 + y,
+                            bz * block as i32 + z,
+                        );
                         if dim.contains(gx, gy, gz) && mask(gx, gy, gz) {
                             return true;
                         }
@@ -230,8 +229,11 @@ impl BlockSparseGrid {
             } else {
                 Vec::new()
             };
-            let (n_int, n_bnd_lo, n_bnd_hi) =
-                (internal.len() as u32, bnd_lo.len() as u32, bnd_hi.len() as u32);
+            let (n_int, n_bnd_lo, n_bnd_hi) = (
+                internal.len() as u32,
+                bnd_lo.len() as u32,
+                bnd_hi.len() as u32,
+            );
             let (n_halo_lo, n_halo_hi) = (halo_lo.len() as u32, halo_hi.len() as u32);
 
             let mut origins = internal;
@@ -460,7 +462,11 @@ impl<T: Elem> BlockStencil<T> {
         let bpb = (b * b * b) as u32;
         let my_block = cell.lin / bpb;
         // Intra coords of the current cell derive from its global coords.
-        let (ix, iy, iz) = (cell.x.rem_euclid(b), cell.y.rem_euclid(b), cell.z.rem_euclid(b));
+        let (ix, iy, iz) = (
+            cell.x.rem_euclid(b),
+            cell.y.rem_euclid(b),
+            cell.z.rem_euclid(b),
+        );
         let (nx, ny, nz) = (ix + o.dx, iy + o.dy, iz + o.dz);
         let (sx, sy, sz) = (nx.div_euclid(b), ny.div_euclid(b), nz.div_euclid(b));
         let target = if (sx, sy, sz) == (0, 0, 0) {
@@ -519,8 +525,10 @@ impl<T: Elem> FieldWrite<T> for BlockWrite<T> {
     }
     #[inline]
     fn set(&self, cell: Cell, comp: usize, v: T) {
-        self.raw
-            .set(self.layout.index(cell.idx(), comp, self.stride, self.card), v)
+        self.raw.set(
+            self.layout.index(cell.idx(), comp, self.stride, self.card),
+            v,
+        )
     }
     fn card(&self) -> usize {
         self.card
@@ -850,8 +858,8 @@ mod tests {
         let st = Stencil::twenty_seven_point();
         let dim = Dim3::cube(16);
         let before = b.ledger(DeviceId(0)).in_use();
-        let bs = BlockSparseGrid::new(&b, dim, 4, &[&st], |_, _, _| true, StorageMode::Real)
-            .unwrap();
+        let bs =
+            BlockSparseGrid::new(&b, dim, 4, &[&st], |_, _, _| true, StorageMode::Real).unwrap();
         let bs_meta = b.ledger(DeviceId(0)).in_use() - before;
         let before2 = b.ledger(DeviceId(0)).in_use();
         let es = crate::sparse::SparseGrid::new(&b, dim, &[&st], |_, _, _| true, StorageMode::Real)

@@ -310,11 +310,12 @@ impl<T: Elem> FieldStencil<T> for DenseStencil<T> {
         {
             return self.outside;
         }
-        let lin =
-            cell.lin as i64 + o.dz as i64 * self.plane + o.dy as i64 * self.row + o.dx as i64;
+        let lin = cell.lin as i64 + o.dz as i64 * self.plane + o.dy as i64 * self.row + o.dx as i64;
         debug_assert!(lin >= 0);
-        self.raw
-            .get(self.layout.index(lin as usize, comp, self.stride, self.card))
+        self.raw.get(
+            self.layout
+                .index(lin as usize, comp, self.stride, self.card),
+        )
     }
 
     #[inline]
@@ -345,8 +346,10 @@ impl<T: Elem> FieldWrite<T> for DenseWrite<T> {
     }
     #[inline]
     fn set(&self, cell: Cell, comp: usize, v: T) {
-        self.raw
-            .set(self.layout.index(cell.idx(), comp, self.stride, self.card), v)
+        self.raw.set(
+            self.layout.index(cell.idx(), comp, self.stride, self.card),
+            v,
+        )
     }
     fn card(&self) -> usize {
         self.card

@@ -13,9 +13,7 @@
 
 use std::sync::Arc;
 
-use neon_set::{
-    DataUid, Elem, HaloDescriptor, HaloExchange, Loadable, MemSet,
-};
+use neon_set::{DataUid, Elem, HaloDescriptor, HaloExchange, Loadable, MemSet};
 use neon_sys::{DeviceId, Result};
 
 use crate::grid::{FieldParts, GridLike};
@@ -72,7 +70,11 @@ impl<T: Elem, G: GridLike> Field<T, G> {
         } else {
             Some(Arc::new(FieldHalo { mem, segs }))
         };
-        Ok(Field { grid: grid.clone(), parts, halo })
+        Ok(Field {
+            grid: grid.clone(),
+            parts,
+            halo,
+        })
     }
 
     /// The grid this field lives on.
@@ -274,9 +276,7 @@ impl<T: Elem, G: GridLike> Loadable for Field<T, G> {
     }
 
     fn halo_exchange(&self) -> Option<Arc<dyn HaloExchange>> {
-        self.halo
-            .clone()
-            .map(|h| h as Arc<dyn HaloExchange>)
+        self.halo.clone().map(|h| h as Arc<dyn HaloExchange>)
     }
 
     fn make_read_view(&self, dev: DeviceId, null: bool) -> Self::ReadView {
@@ -430,8 +430,7 @@ mod tests {
         let s = Stencil::seven_point();
         let dim = Dim3::cube(4);
         let dense_g = DenseGrid::new(&bk, dim, &[&s], StorageMode::Real).unwrap();
-        let sparse_g =
-            SparseGrid::new(&bk, dim, &[&s], |_, _, _| true, StorageMode::Real).unwrap();
+        let sparse_g = SparseGrid::new(&bk, dim, &[&s], |_, _, _| true, StorageMode::Real).unwrap();
         let fd = Field::<f64, _>::new(&dense_g, "fd", 1, 0.0, MemLayout::SoA).unwrap();
         let fs = Field::<f64, _>::new(&sparse_g, "fs", 1, 0.0, MemLayout::SoA).unwrap();
         assert_eq!(fd.stencil_bytes_per_cell(), 8);

@@ -64,18 +64,17 @@ pub fn write_vtk<G: GridLike>(
     writeln!(out, "SPACING 1 1 1")?;
     writeln!(out, "POINT_DATA {npoints}")?;
 
-    let for_each_point = |f: &mut dyn FnMut(i32, i32, i32) -> String,
-                              out: &mut dyn Write|
-     -> io::Result<()> {
-        for z in 0..dim.z as i32 {
-            for y in 0..dim.y as i32 {
-                for x in 0..dim.x as i32 {
-                    writeln!(out, "{}", f(x, y, z))?;
+    let for_each_point =
+        |f: &mut dyn FnMut(i32, i32, i32) -> String, out: &mut dyn Write| -> io::Result<()> {
+            for z in 0..dim.z as i32 {
+                for y in 0..dim.y as i32 {
+                    for x in 0..dim.x as i32 {
+                        writeln!(out, "{}", f(x, y, z))?;
+                    }
                 }
             }
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     writeln!(out, "SCALARS active int 1")?;
     writeln!(out, "LOOKUP_TABLE default")?;
@@ -97,7 +96,12 @@ pub fn write_vtk<G: GridLike>(
             writeln!(out, "VECTORS {name} double")?;
             for_each_point(
                 &mut |x, y, z| {
-                    format!("{} {} {}", value(x, y, z, 0), value(x, y, z, 1), value(x, y, z, 2))
+                    format!(
+                        "{} {} {}",
+                        value(x, y, z, 0),
+                        value(x, y, z, 1),
+                        value(x, y, z, 2)
+                    )
                 },
                 out,
             )?;
@@ -143,7 +147,10 @@ mod tests {
         assert_eq!(lines[0], "x,y,z,active,c0,c1");
         assert_eq!(lines.len(), 1 + 3 * 2 * 4);
         // Spot-check a row: cell (2,1,3) = 2 + 10 + 300 = 312.
-        assert!(lines.iter().any(|l| l.starts_with("2,1,3,1,312,312.5")), "{text}");
+        assert!(
+            lines.iter().any(|l| l.starts_with("2,1,3,1,312,312.5")),
+            "{text}"
+        );
     }
 
     #[test]
@@ -157,10 +164,7 @@ mod tests {
         assert!(text.contains("POINT_DATA 24"));
         assert!(text.contains("SCALARS u double 1"));
         // 24 actives + 24 values + headers.
-        let n_values = text
-            .lines()
-            .filter(|l| l.parse::<f64>().is_ok())
-            .count();
+        let n_values = text.lines().filter(|l| l.parse::<f64>().is_ok()).count();
         assert_eq!(n_values, 48);
     }
 
@@ -194,6 +198,9 @@ mod tests {
         write_csv(&f, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("1,0,0,1,7"), "active cell exported: {text}");
-        assert!(text.contains("0,0,0,0,-2.5"), "inactive flagged + outside value");
+        assert!(
+            text.contains("0,0,0,0,-2.5"),
+            "inactive flagged + outside value"
+        );
     }
 }

@@ -33,10 +33,13 @@ pub mod sparse;
 pub mod stencil;
 pub mod view;
 
-pub use block::{BlockSparseGrid, BlockRead, BlockStencil, BlockWrite, BLOCK_NONE};
+pub use block::{BlockRead, BlockSparseGrid, BlockStencil, BlockWrite, BLOCK_NONE};
 pub use dense::{DenseGrid, DenseRead, DenseStencil, DenseWrite, PartitionStrategy};
 pub use field::{Field, FieldHalo, GridExt};
-pub use grid::{proportional_slab_partition, slab_partition, weighted_slab_partition, Dim3, FieldParts, GridLike};
+pub use grid::{
+    proportional_slab_partition, slab_partition, weighted_slab_partition, Dim3, FieldParts,
+    GridLike,
+};
 pub use layout::MemLayout;
 pub use sparse::{SparseGrid, SparseRead, SparseStencil, SparseWrite, SPARSE_NONE};
 pub use stencil::{d2q9_offsets, d3q19_offsets, union_offsets, Offset3, Stencil};

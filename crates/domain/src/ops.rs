@@ -185,11 +185,7 @@ pub fn norm2_sq<G: GridLike>(grid: &G, x: &Field<f64, G>, out: &ScalarSet<f64>) 
 }
 
 /// `dst[i] ← s·dst[i]` where `s` is a host scalar read at launch time.
-pub fn scale_scalar<G: GridLike>(
-    grid: &G,
-    s: &ScalarSet<f64>,
-    dst: &Field<f64, G>,
-) -> Container {
+pub fn scale_scalar<G: GridLike>(grid: &G, s: &ScalarSet<f64>, dst: &Field<f64, G>) -> Container {
     let (s, dst) = (s.clone(), dst.clone());
     let card = dst.card();
     Container::compute(

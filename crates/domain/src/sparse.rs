@@ -164,8 +164,16 @@ impl SparseGrid {
             // Guard against double counting when bl + bh == nz.
             let n_owned = layer_sum(z0, z1) as u32;
             let n_int = n_owned - n_bnd_lo - n_bnd_hi;
-            let n_halo_lo = if has_lo { layer_sum(z0 - radius, z0) as u32 } else { 0 };
-            let n_halo_hi = if has_hi { layer_sum(z1, z1 + radius) as u32 } else { 0 };
+            let n_halo_lo = if has_lo {
+                layer_sum(z0 - radius, z0) as u32
+            } else {
+                0
+            };
+            let n_halo_hi = if has_hi {
+                layer_sum(z1, z1 + radius) as u32
+            } else {
+                0
+            };
             let n_stored = (n_owned + n_halo_lo + n_halo_hi) as u64;
 
             // Account device memory: connectivity (u32 per slot per owned
@@ -179,9 +187,7 @@ impl SparseGrid {
             ];
 
             let (cells, conn, lookup) = if mode == StorageMode::Real {
-                build_partition_tables(
-                    dim, &mask, &offsets, radius, z0, z1, bl, bh, has_lo, has_hi,
-                )
+                build_partition_tables(dim, &mask, &offsets, radius, z0, z1, bl, bh, has_lo, has_hi)
             } else {
                 (Vec::new(), Vec::new(), HashMap::new())
             };
@@ -301,8 +307,9 @@ fn build_partition_tables(
         Vec::new()
     };
 
-    let mut cells =
-        Vec::with_capacity(internal.len() + bnd_lo.len() + bnd_hi.len() + halo_lo.len() + halo_hi.len());
+    let mut cells = Vec::with_capacity(
+        internal.len() + bnd_lo.len() + bnd_hi.len() + halo_lo.len() + halo_hi.len(),
+    );
     cells.extend(internal);
     cells.extend(bnd_lo);
     cells.extend(bnd_hi);
@@ -455,8 +462,10 @@ impl<T: Elem> FieldWrite<T> for SparseWrite<T> {
     }
     #[inline]
     fn set(&self, cell: Cell, comp: usize, v: T) {
-        self.raw
-            .set(self.layout.index(cell.idx(), comp, self.stride, self.card), v)
+        self.raw.set(
+            self.layout.index(cell.idx(), comp, self.stride, self.card),
+            v,
+        )
     }
     fn card(&self) -> usize {
         self.card
@@ -781,12 +790,10 @@ mod tests {
             assert_eq!(a.n_bnd_hi, b.n_halo_lo);
             assert_eq!(b.n_bnd_lo, a.n_halo_hi);
             // And the mirrored cells are the same coordinates in order.
-            let a_bnd_hi: Vec<_> = a.cells
-                [(a.n_int + a.n_bnd_lo) as usize..a.n_owned() as usize]
-                .to_vec();
-            let b_halo_lo: Vec<_> = b.cells
-                [b.n_owned() as usize..(b.n_owned() + b.n_halo_lo) as usize]
-                .to_vec();
+            let a_bnd_hi: Vec<_> =
+                a.cells[(a.n_int + a.n_bnd_lo) as usize..a.n_owned() as usize].to_vec();
+            let b_halo_lo: Vec<_> =
+                b.cells[b.n_owned() as usize..(b.n_owned() + b.n_halo_lo) as usize].to_vec();
             assert_eq!(a_bnd_hi, b_halo_lo);
         }
     }
@@ -820,8 +827,7 @@ mod tests {
         let b = Backend::dgx_a100(2);
         let s = Stencil::seven_point();
         let dim = Dim3::cube(16);
-        let real =
-            SparseGrid::new(&b, dim, &[&s], ball_mask(dim, 6.0), StorageMode::Real).unwrap();
+        let real = SparseGrid::new(&b, dim, &[&s], ball_mask(dim, 6.0), StorageMode::Real).unwrap();
         let virt =
             SparseGrid::new(&b, dim, &[&s], ball_mask(dim, 6.0), StorageMode::Virtual).unwrap();
         assert!(!virt.supports_functional());
@@ -844,13 +850,7 @@ mod tests {
     fn empty_mask_rejected() {
         let b = Backend::dgx_a100(1);
         let s = Stencil::seven_point();
-        let err = SparseGrid::new(
-            &b,
-            Dim3::cube(8),
-            &[&s],
-            |_, _, _| false,
-            StorageMode::Real,
-        );
+        let err = SparseGrid::new(&b, Dim3::cube(8), &[&s], |_, _, _| false, StorageMode::Real);
         assert!(err.is_err());
     }
 
@@ -861,14 +861,7 @@ mod tests {
         let b = Backend::dgx_a100(2);
         let s = Stencil::seven_point();
         let dim = Dim3::new(8, 8, 32);
-        let g = SparseGrid::new(
-            &b,
-            dim,
-            &[&s],
-            |_, _, z| z >= 16,
-            StorageMode::Real,
-        )
-        .unwrap();
+        let g = SparseGrid::new(&b, dim, &[&s], |_, _, z| z >= 16, StorageMode::Real).unwrap();
         let c0 = g.cell_count(DeviceId(0), DataView::Standard);
         let c1 = g.cell_count(DeviceId(1), DataView::Standard);
         let total = c0 + c1;

@@ -31,7 +31,10 @@ impl Offset3 {
 
     /// Chebyshev radius (max absolute component).
     pub fn radius(&self) -> usize {
-        self.dx.unsigned_abs().max(self.dy.unsigned_abs()).max(self.dz.unsigned_abs()) as usize
+        self.dx
+            .unsigned_abs()
+            .max(self.dy.unsigned_abs())
+            .max(self.dz.unsigned_abs()) as usize
     }
 
     /// The opposite offset.

@@ -22,10 +22,7 @@ fn dense_radius2_views_and_halos() {
     assert_eq!(g.radius(), 2);
     // Middle partition: 2 boundary layers on each side.
     assert_eq!(g.cell_count(DeviceId(1), DataView::Boundary), 4 * 16);
-    assert_eq!(
-        g.cell_count(DeviceId(1), DataView::Internal),
-        (6 - 4) * 16
-    );
+    assert_eq!(g.cell_count(DeviceId(1), DataView::Internal), (6 - 4) * 16);
     // Halo segments move 2 layers each.
     let segs = g.halo_segments(1, MemLayout::SoA);
     for s in &segs {
@@ -53,7 +50,11 @@ fn dense_radius2_cross_partition_reads() {
                 -1.0
             };
             assert_eq!(sv.ngh(c, up2, 0), expect_up, "at ({},{},{})", c.x, c.y, c.z);
-            let expect_dn = if c.z >= 2 { value(c.x, c.y, c.z - 2) } else { -1.0 };
+            let expect_dn = if c.z >= 2 {
+                value(c.x, c.y, c.z - 2)
+            } else {
+                -1.0
+            };
             assert_eq!(sv.ngh(c, dn2, 0), expect_dn);
         });
     }
@@ -116,7 +117,9 @@ fn grid_ext_new_field_sugar() {
     let st = Stencil::seven_point();
     let g = DenseGrid::new(&b, Dim3::new(4, 4, 8), &[&st], StorageMode::Real).unwrap();
     // Paper Listing 1 style: the grid creates its fields.
-    let velocity = g.new_field::<f64>("velocity", 3, 0.0, MemLayout::SoA).unwrap();
+    let velocity = g
+        .new_field::<f64>("velocity", 3, 0.0, MemLayout::SoA)
+        .unwrap();
     assert_eq!(velocity.card(), 3);
     velocity.fill(|x, _, _, k| x as f64 + k as f64);
     assert_eq!(velocity.get(2, 0, 0, 1), Some(3.0));

@@ -5,9 +5,7 @@
 /// Everything a field or mem-set stores must be `Copy`, thread-portable and
 /// have a default "zero" used for fresh allocations and outside-domain
 /// values.
-pub trait Elem:
-    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
-{
+pub trait Elem: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
     /// Size of one element in bytes (the value the performance model uses).
     const BYTES: u64 = std::mem::size_of::<Self>() as u64;
 }

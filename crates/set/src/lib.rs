@@ -36,10 +36,10 @@ pub mod uid;
 
 pub use access::{AccessConflict, AccessTracker, TrackerGuard};
 pub use cell::{Cell, DataView, IterationSpace};
+pub use container::{ComputeFn, HostFn};
 pub use container::{Container, ContainerKind, HaloDescriptor, HaloExchange};
 pub use dataset::DataSet;
 pub use elem::Elem;
-pub use container::{ComputeFn, HostFn};
 pub use loader::{
     AccessMode, AccessRecord, ComputePattern, Loadable, Loader, ReduceHooks, ScalarReader,
     ScalarWriter,

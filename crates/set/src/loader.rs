@@ -147,12 +147,8 @@ pub trait Loadable {
 }
 
 enum LoaderState<'a> {
-    Recording {
-        records: &'a mut Vec<AccessRecord>,
-    },
-    Executing {
-        dev: DeviceId,
-    },
+    Recording { records: &'a mut Vec<AccessRecord> },
+    Executing { dev: DeviceId },
 }
 
 /// Hands partition-local views to loading lambdas and records accesses.

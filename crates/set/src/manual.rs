@@ -315,8 +315,7 @@ mod tests {
         let rt = ManualRuntime::new(&b, 4);
         // Only stream 0 exists on the CPU back end.
         rt.stream_set(0);
-        let caught =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rt.stream_set(1)));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rt.stream_set(1)));
         assert!(caught.is_err());
     }
 }

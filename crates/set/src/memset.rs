@@ -314,7 +314,11 @@ impl<T: Elem> RawRead<T> {
     /// Element `i` of the partition.
     #[inline]
     pub fn get(&self, i: usize) -> T {
-        assert!(i < self.len, "read index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "read index {i} out of bounds (len {})",
+            self.len
+        );
         unsafe { *self.ptr.add(i) }
     }
 
@@ -350,7 +354,11 @@ impl<T: Elem> RawWrite<T> {
     /// Element `i` of the partition.
     #[inline]
     pub fn get(&self, i: usize) -> T {
-        assert!(i < self.len, "read index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "read index {i} out of bounds (len {})",
+            self.len
+        );
         unsafe { *self.ptr.add(i) }
     }
 

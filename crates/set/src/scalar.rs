@@ -19,8 +19,9 @@
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
+use std::sync::Mutex;
+
 use neon_sys::DeviceId;
-use parking_lot::Mutex;
 
 use crate::access::{AccessTracker, TrackerGuard};
 use crate::elem::Elem;
@@ -112,13 +113,19 @@ impl<T: Elem> ScalarSet<T> {
     }
 
     /// The combined host value.
+    ///
+    /// Before the first [`finalize`](Self::finalize) (or after a
+    /// [`reset`](Self::reset)) this is the `init` identity the scalar was
+    /// created with — *not* the sum of whatever has been accumulated into
+    /// the per-device partials so far. The host value only ever changes
+    /// through `finalize` or [`set_host`](Self::set_host).
     pub fn host_value(&self) -> T {
-        *self.inner.host.lock()
+        *self.inner.host.lock().unwrap()
     }
 
     /// Overwrite the host value (used by host containers, e.g. CG `alpha`).
     pub fn set_host(&self, v: T) {
-        *self.inner.host.lock() = v;
+        *self.inner.host.lock().unwrap() = v;
     }
 
     /// Reset all partials to the identity (start of a reduction).
@@ -136,7 +143,19 @@ impl<T: Elem> ScalarSet<T> {
             let _g = self.inner.trackers[i].read(&self.inner.name);
             acc = (self.inner.combine)(acc, unsafe { *p.get() });
         }
-        *self.inner.host.lock() = acc;
+        *self.inner.host.lock().unwrap() = acc;
+    }
+
+    /// Reset the scalar to its freshly-created state: every per-device
+    /// partial *and* the host value go back to the `init` identity.
+    ///
+    /// Unlike [`init_partials`](Self::init_partials) (which a reduce
+    /// container calls at the start of each reduction and which leaves the
+    /// previously finalized host value readable), `reset` also discards
+    /// the host value — use it when re-running a solver from scratch.
+    pub fn reset(&self) {
+        self.init_partials();
+        *self.inner.host.lock().unwrap() = self.inner.init;
     }
 
     /// The current partial of device `d` (test/diagnostic helper).
@@ -261,6 +280,41 @@ mod tests {
         }
         s.finalize();
         assert_eq!(s.host_value(), 3.0);
+    }
+
+    #[test]
+    fn host_value_before_finalize_is_init() {
+        // Accumulating into partials does NOT update the host value; only
+        // finalize folds them over. Documented behaviour.
+        let s = ScalarSet::<f64>::new(2, "dot", 0.0, |a, b| a + b);
+        s.init_partials();
+        s.view(DeviceId(0)).set(5.0);
+        s.view(DeviceId(1)).set(7.0);
+        assert_eq!(
+            s.host_value(),
+            0.0,
+            "host value stays at init until finalize"
+        );
+        s.finalize();
+        assert_eq!(s.host_value(), 12.0);
+
+        let m = ScalarSet::<f64>::new(1, "max", f64::NEG_INFINITY, f64::max);
+        assert_eq!(m.host_value(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn reset_clears_partials_and_host() {
+        let s = ScalarSet::<f64>::new(2, "dot", 0.0, |a, b| a + b);
+        s.init_partials();
+        s.view(DeviceId(0)).set(1.0);
+        s.view(DeviceId(1)).set(2.0);
+        s.finalize();
+        assert_eq!(s.host_value(), 3.0);
+
+        s.reset();
+        assert_eq!(s.partial(DeviceId(0)), 0.0);
+        assert_eq!(s.partial(DeviceId(1)), 0.0);
+        assert_eq!(s.host_value(), 0.0, "reset also discards the host value");
     }
 
     #[test]

@@ -6,8 +6,7 @@
 use std::sync::Arc;
 
 use neon_set::{
-    Cell, Container, DataView, IterationSpace, ManualRuntime, MemSet, ScalarSet,
-    StorageMode,
+    Cell, Container, DataView, IterationSpace, ManualRuntime, MemSet, ScalarSet, StorageMode,
 };
 use neon_sys::{Backend, DeviceId};
 

@@ -14,12 +14,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::SimTime;
 
 /// Identifier of a device within a [`crate::backend::Backend`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DeviceId(pub usize);
 
 impl DeviceId {
@@ -37,7 +35,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// Broad class of a device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceKind {
     /// A (simulated) GPU accelerator: many concurrent queues.
     Gpu,
@@ -49,7 +47,7 @@ pub enum DeviceKind {
 }
 
 /// The analytic performance model of a single device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceModel {
     /// Human-readable device name.
     pub name: String,

@@ -42,5 +42,5 @@ pub use device::{DeviceId, DeviceKind, DeviceModel};
 pub use error::{NeonSysError, Result};
 pub use memory::{AllocationTicket, MemoryLedger};
 pub use queue::{EventId, QueueSim, StreamId};
-pub use topology::{LinkKind, LinkModel, Topology};
+pub use topology::{LinkKind, LinkModel, LinkResourceId, Topology};
 pub use trace::{SpanKind, Trace, TraceSpan};

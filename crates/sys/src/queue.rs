@@ -16,6 +16,7 @@
 use crate::clock::SimTime;
 use crate::device::DeviceId;
 use crate::error::{NeonSysError, Result};
+use crate::topology::LinkResourceId;
 use crate::trace::{SpanKind, Trace, TraceSpan};
 
 /// Identifier of a stream: a queue on one device.
@@ -38,6 +39,17 @@ impl StreamId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(pub usize);
 
+/// Occupancy bookkeeping for one physical link resource.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkState {
+    /// Time until which the resource is held by an in-flight transfer.
+    busy_until: SimTime,
+    /// Total time the resource has been occupied (utilization counter).
+    busy_total: SimTime,
+    /// Number of transfers that found the resource busy and were delayed.
+    contended: u64,
+}
+
 /// Virtual-clock simulator for a set of devices' stream queues.
 #[derive(Debug)]
 pub struct QueueSim {
@@ -45,6 +57,12 @@ pub struct QueueSim {
     clocks: Vec<Vec<SimTime>>,
     /// Recorded completion time per event (`None` until recorded).
     events: Vec<Option<SimTime>>,
+    /// Occupancy per link resource (indexed by [`LinkResourceId`]; grown on
+    /// demand by [`QueueSim::enqueue_transfer`]).
+    links: Vec<LinkState>,
+    /// Extra delay paid by a transfer that found one of its link resources
+    /// busy — models root-complex / switch arbitration.
+    link_arbitration: SimTime,
     trace: Option<Trace>,
 }
 
@@ -57,8 +75,16 @@ impl QueueSim {
         QueueSim {
             clocks: vec![vec![SimTime::ZERO; streams_per_device]; num_devices],
             events: Vec::new(),
+            links: Vec::new(),
+            link_arbitration: SimTime::from_us(2.0),
             trace: None,
         }
+    }
+
+    /// Set the arbitration penalty paid by contended transfers
+    /// (default 2 µs).
+    pub fn set_link_arbitration(&mut self, t: SimTime) {
+        self.link_arbitration = t;
     }
 
     /// Enable span recording. Disabled by default to keep hot paths cheap.
@@ -76,6 +102,12 @@ impl QueueSim {
     /// Take ownership of the recorded trace, leaving tracing enabled.
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.trace.as_mut().map(std::mem::take)
+    }
+
+    /// Mutable access to the recorded trace, if tracing is enabled (used to
+    /// attach utilization counters).
+    pub fn trace_mut(&mut self) -> Option<&mut Trace> {
+        self.trace.as_mut()
     }
 
     /// Number of devices.
@@ -127,6 +159,83 @@ impl QueueSim {
             });
         }
         (start, end)
+    }
+
+    /// Enqueue a transfer occupying the given link `resources`.
+    ///
+    /// Like [`QueueSim::enqueue_from`], but the transfer additionally holds
+    /// every resource in `resources` for its duration: it cannot start while
+    /// any of them is still held by an earlier transfer, and if it *was*
+    /// delayed by one — i.e. the resources freed up later than the stream and
+    /// `earliest` would otherwise allow — it pays the arbitration penalty on
+    /// top. This serializes concurrent transfers through a shared physical
+    /// link (notably the PCIe host root complex) while leaving transfers on
+    /// dedicated links (NVLink pairs) unaffected.
+    ///
+    /// Per-resource busy totals and contention counts are accumulated as
+    /// utilization counters (see [`QueueSim::link_busy_time`]).
+    pub fn enqueue_transfer(
+        &mut self,
+        s: StreamId,
+        earliest: SimTime,
+        duration: SimTime,
+        resources: &[LinkResourceId],
+        name: &str,
+        kind: SpanKind,
+    ) -> (SimTime, SimTime) {
+        if let Some(&max) = resources.iter().max() {
+            if max >= self.links.len() {
+                self.links.resize(max + 1, LinkState::default());
+            }
+        }
+        let stream_ready = self.now(s).max(earliest);
+        let res_ready = resources
+            .iter()
+            .map(|&r| self.links[r].busy_until)
+            .fold(SimTime::ZERO, SimTime::max);
+        let contended = res_ready > stream_ready;
+        let mut start = stream_ready.max(res_ready);
+        if contended {
+            start += self.link_arbitration;
+        }
+        let end = start + duration;
+        *self.clock_mut(s) = end;
+        for &r in resources {
+            let l = &mut self.links[r];
+            l.busy_until = end;
+            l.busy_total += end - start;
+            if contended {
+                l.contended += 1;
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceSpan {
+                device: s.device,
+                stream: s.index,
+                name: name.to_string(),
+                kind,
+                start,
+                end,
+            });
+        }
+        (start, end)
+    }
+
+    /// Total occupied time of a link resource (utilization counter; zero for
+    /// resources never used).
+    pub fn link_busy_time(&self, r: LinkResourceId) -> SimTime {
+        self.links.get(r).map_or(SimTime::ZERO, |l| l.busy_total)
+    }
+
+    /// Number of transfers that found link resource `r` busy and were
+    /// delayed behind it.
+    pub fn link_contention_events(&self, r: LinkResourceId) -> u64 {
+        self.links.get(r).map_or(0, |l| l.contended)
+    }
+
+    /// Number of link resources touched so far.
+    pub fn num_link_resources(&self) -> usize {
+        self.links.len()
     }
 
     /// Enqueue an operation of length `duration` on stream `s` at the
@@ -196,12 +305,17 @@ impl QueueSim {
             .fold(SimTime::ZERO, SimTime::max)
     }
 
-    /// Reset all clocks and forget all events (the trace, if any, is kept).
+    /// Reset all clocks and forget all events. The trace, if any, is kept,
+    /// and so are the per-link utilization counters; only the links'
+    /// `busy_until` occupancy is rewound with the clocks.
     pub fn reset(&mut self) {
         for dev in &mut self.clocks {
             for c in dev.iter_mut() {
                 *c = SimTime::ZERO;
             }
+        }
+        for l in &mut self.links {
+            l.busy_until = SimTime::ZERO;
         }
         self.events.clear();
     }
@@ -324,6 +438,67 @@ mod tests {
         assert_eq!(q.makespan(), SimTime::ZERO);
         let e2 = q.create_event();
         assert_eq!(e2.0, 0);
+    }
+
+    #[test]
+    fn shared_link_serializes_concurrent_transfers() {
+        let mut q = QueueSim::new(2, 1);
+        let d = SimTime::from_us(10.0);
+        // Two transfers issued at t=0 on different devices, same resource.
+        let (a0, a1) =
+            q.enqueue_transfer(s(0, 0), SimTime::ZERO, d, &[0], "t0", SpanKind::Transfer);
+        let (b0, b1) =
+            q.enqueue_transfer(s(1, 0), SimTime::ZERO, d, &[0], "t1", SpanKind::Transfer);
+        assert_eq!(a0.as_us(), 0.0);
+        assert_eq!(a1.as_us(), 10.0);
+        // Second waits for the link, plus the 2 us arbitration penalty.
+        assert_eq!(b0.as_us(), 12.0);
+        assert_eq!(b1.as_us(), 22.0);
+        assert_eq!(q.link_contention_events(0), 1);
+        // Longer than the same two transfers serialized on one stream (20 us).
+        assert!(q.makespan().as_us() > 20.0);
+    }
+
+    #[test]
+    fn dedicated_links_do_not_contend() {
+        let mut q = QueueSim::new(2, 1);
+        let d = SimTime::from_us(10.0);
+        q.enqueue_transfer(s(0, 0), SimTime::ZERO, d, &[1], "t0", SpanKind::Transfer);
+        let (b0, _) = q.enqueue_transfer(s(1, 0), SimTime::ZERO, d, &[2], "t1", SpanKind::Transfer);
+        assert_eq!(b0.as_us(), 0.0, "different resources overlap fully");
+        assert_eq!(q.link_contention_events(1), 0);
+        assert_eq!(q.link_contention_events(2), 0);
+    }
+
+    #[test]
+    fn back_to_back_same_stream_pays_no_penalty() {
+        let mut q = QueueSim::new(1, 1);
+        let d = SimTime::from_us(10.0);
+        q.enqueue_transfer(s(0, 0), SimTime::ZERO, d, &[0], "t0", SpanKind::Transfer);
+        let (b0, b1) =
+            q.enqueue_transfer(s(0, 0), SimTime::ZERO, d, &[0], "t1", SpanKind::Transfer);
+        // The stream itself was busy until 10, so the link being busy until
+        // the same moment is not contention.
+        assert_eq!(b0.as_us(), 10.0);
+        assert_eq!(b1.as_us(), 20.0);
+        assert_eq!(q.link_contention_events(0), 0);
+        assert_eq!(q.link_busy_time(0).as_us(), 20.0);
+    }
+
+    #[test]
+    fn link_utilization_counters_accumulate() {
+        let mut q = QueueSim::new(2, 1);
+        let d = SimTime::from_us(5.0);
+        q.enqueue_transfer(s(0, 0), SimTime::ZERO, d, &[3], "a", SpanKind::Transfer);
+        q.enqueue_transfer(s(1, 0), SimTime::ZERO, d, &[3], "b", SpanKind::Collective);
+        assert_eq!(q.num_link_resources(), 4);
+        assert_eq!(q.link_busy_time(3).as_us(), 10.0);
+        assert_eq!(q.link_busy_time(99), SimTime::ZERO);
+        q.reset();
+        // Counters survive reset; occupancy does not.
+        assert_eq!(q.link_busy_time(3).as_us(), 10.0);
+        let (c0, _) = q.enqueue_transfer(s(0, 0), SimTime::ZERO, d, &[3], "c", SpanKind::Transfer);
+        assert_eq!(c0.as_us(), 0.0);
     }
 
     #[test]

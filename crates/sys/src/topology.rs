@@ -11,14 +11,29 @@
 //!
 //! with per-link parameters. The latency term folds in peer-copy driver
 //! overhead, which dominates small halo exchanges and is what OCC hides.
-
-use serde::{Deserialize, Serialize};
+//!
+//! ## Link resources and contention
+//!
+//! Beyond the per-pair cost model, a topology names the *physical resources*
+//! a transfer occupies, so that [`QueueSim::enqueue_transfer`] can serialize
+//! concurrent transfers that share hardware:
+//!
+//! * NVLink pairs get a **dedicated** resource per ordered pair — two
+//!   different pairs never contend;
+//! * PCIe peer transfers (and every device↔host copy) all occupy the single
+//!   shared **host root complex** resource, so simultaneous transfers
+//!   serialize and pay an arbitration penalty.
+//!
+//! [`QueueSim::enqueue_transfer`]: crate::queue::QueueSim::enqueue_transfer
 
 use crate::clock::SimTime;
 use crate::device::DeviceId;
 
+/// Identifier of a physical link resource within a [`Topology`].
+pub type LinkResourceId = usize;
+
 /// The class of a link between two devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkKind {
     /// NVLink / NVSwitch class: high bandwidth, direct peer access.
     NvLink,
@@ -29,7 +44,7 @@ pub enum LinkKind {
 }
 
 /// Performance parameters of one directed link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkModel {
     /// Link class.
     pub kind: LinkKind,
@@ -66,6 +81,16 @@ impl LinkModel {
         }
     }
 
+    /// Device↔host staging link of a DGX A100 class machine (PCIe Gen4 x16
+    /// behind the root complex; pinned-memory effective rate).
+    pub fn pcie4_host() -> Self {
+        LinkModel {
+            kind: LinkKind::PciE3,
+            latency_us: 10.0,
+            bandwidth_gb_s: 22.0,
+        }
+    }
+
     /// Intra-device "link" — copies inside one device's memory.
     pub fn local(bandwidth_gb_s: f64) -> Self {
         LinkModel {
@@ -81,16 +106,33 @@ impl LinkModel {
     }
 }
 
-/// The interconnect of a backend: a link model for every ordered device pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The interconnect of a backend: a link model for every ordered device pair,
+/// the device↔host staging link, and the physical resources each transfer
+/// occupies.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     n: usize,
     /// Row-major `n × n` matrix of links; `links[src][dst]`.
     links: Vec<LinkModel>,
+    /// Link used for device↔host staging copies.
+    host_link: LinkModel,
+    /// Row-major `n × n` matrix of resource sets occupied by a peer transfer.
+    resources: Vec<Vec<LinkResourceId>>,
+    /// Human-readable name per resource (index = [`LinkResourceId`]).
+    resource_names: Vec<String>,
+    /// The host root complex resource (always resource 0).
+    host_resource: LinkResourceId,
 }
 
 impl Topology {
     /// Build from an explicit link function.
+    ///
+    /// Link resources are derived from the link classes: every ordered NVLink
+    /// pair gets a dedicated resource, while PCIe peer links — and all
+    /// device↔host staging copies — share the single host root complex
+    /// resource. The host staging link defaults to [`LinkModel::pcie3`] when
+    /// any peer link is PCIe-class and [`LinkModel::pcie4_host`] otherwise;
+    /// override it with [`Topology::with_host_link`].
     pub fn from_fn(n: usize, f: impl Fn(DeviceId, DeviceId) -> LinkModel) -> Self {
         assert!(n > 0, "topology needs at least one device");
         let mut links = Vec::with_capacity(n * n);
@@ -99,7 +141,46 @@ impl Topology {
                 links.push(f(DeviceId(s), DeviceId(d)));
             }
         }
-        Topology { n, links }
+        let mut resource_names = vec!["host-rc".to_string()];
+        let host_resource: LinkResourceId = 0;
+        let mut resources = vec![Vec::new(); n * n];
+        let mut any_pcie = false;
+        for s in 0..n {
+            for d in 0..n {
+                let idx = s * n + d;
+                match links[idx].kind {
+                    LinkKind::Local => {}
+                    LinkKind::NvLink => {
+                        let id = resource_names.len();
+                        resource_names.push(format!("nvlink:{s}->{d}"));
+                        resources[idx] = vec![id];
+                    }
+                    LinkKind::PciE3 => {
+                        any_pcie = true;
+                        resources[idx] = vec![host_resource];
+                    }
+                }
+            }
+        }
+        let host_link = if any_pcie {
+            LinkModel::pcie3()
+        } else {
+            LinkModel::pcie4_host()
+        };
+        Topology {
+            n,
+            links,
+            host_link,
+            resources,
+            resource_names,
+            host_resource,
+        }
+    }
+
+    /// Replace the device↔host staging link model.
+    pub fn with_host_link(mut self, link: LinkModel) -> Self {
+        self.host_link = link;
+        self
     }
 
     /// Fully-connected NVLink topology (DGX A100 class) over `n` devices.
@@ -139,6 +220,37 @@ impl Topology {
     pub fn transfer_time(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> SimTime {
         self.link(src, dst).transfer_time(bytes)
     }
+
+    /// The device↔host staging link.
+    pub fn host_link(&self) -> &LinkModel {
+        &self.host_link
+    }
+
+    /// Time to stage `bytes` between a device and the host.
+    pub fn host_transfer_time(&self, bytes: u64) -> SimTime {
+        self.host_link.transfer_time(bytes)
+    }
+
+    /// Total number of distinct link resources (host root complex included).
+    pub fn num_link_resources(&self) -> usize {
+        self.resource_names.len()
+    }
+
+    /// Human-readable name of a link resource.
+    pub fn link_resource_name(&self, r: LinkResourceId) -> &str {
+        &self.resource_names[r]
+    }
+
+    /// The resources a `src → dst` peer transfer occupies (empty for local).
+    pub fn link_resources(&self, src: DeviceId, dst: DeviceId) -> &[LinkResourceId] {
+        assert!(src.0 < self.n && dst.0 < self.n, "device out of topology");
+        &self.resources[src.0 * self.n + dst.0]
+    }
+
+    /// The resources a device↔host staging copy occupies.
+    pub fn host_resources(&self) -> &[LinkResourceId] {
+        std::slice::from_ref(&self.host_resource)
+    }
 }
 
 #[cfg(test)]
@@ -156,9 +268,7 @@ mod tests {
     #[test]
     fn nvlink_faster_than_pcie() {
         let bytes = 10_000_000;
-        assert!(
-            LinkModel::nvlink().transfer_time(bytes) < LinkModel::pcie3().transfer_time(bytes)
-        );
+        assert!(LinkModel::nvlink().transfer_time(bytes) < LinkModel::pcie3().transfer_time(bytes));
     }
 
     #[test]
@@ -175,6 +285,52 @@ mod tests {
         let t = Topology::pcie_host_staged(2, 870.0);
         assert_eq!(t.link(DeviceId(0), DeviceId(1)).kind, LinkKind::PciE3);
         assert_eq!(t.link(DeviceId(1), DeviceId(1)).kind, LinkKind::Local);
+    }
+
+    #[test]
+    fn nvlink_pairs_get_dedicated_resources() {
+        let t = Topology::nvlink_all_to_all(3, 1555.0);
+        // host-rc + one resource per ordered NVLink pair (3·2 pairs).
+        assert_eq!(t.num_link_resources(), 1 + 6);
+        let r01 = t.link_resources(DeviceId(0), DeviceId(1));
+        let r10 = t.link_resources(DeviceId(1), DeviceId(0));
+        let r02 = t.link_resources(DeviceId(0), DeviceId(2));
+        assert_eq!(r01.len(), 1);
+        assert_ne!(r01, r10, "each direction is its own resource");
+        assert_ne!(r01, r02);
+        assert!(t.link_resources(DeviceId(1), DeviceId(1)).is_empty());
+        assert_eq!(t.host_resources(), &[0]);
+        assert!(t.link_resource_name(r01[0]).starts_with("nvlink:"));
+    }
+
+    #[test]
+    fn pcie_pairs_share_host_root_complex() {
+        let t = Topology::pcie_host_staged(4, 870.0);
+        assert_eq!(t.num_link_resources(), 1, "only the host root complex");
+        for s in 0..4 {
+            for d in 0..4 {
+                if s == d {
+                    continue;
+                }
+                assert_eq!(
+                    t.link_resources(DeviceId(s), DeviceId(d)),
+                    t.host_resources(),
+                    "pcie peer {s}->{d} goes through the root complex"
+                );
+            }
+        }
+        assert_eq!(t.link_resource_name(0), "host-rc");
+    }
+
+    #[test]
+    fn host_link_defaults_follow_peer_class() {
+        let nv = Topology::nvlink_all_to_all(2, 1555.0);
+        let pc = Topology::pcie_host_staged(2, 870.0);
+        assert_eq!(nv.host_link().bandwidth_gb_s, 22.0);
+        assert_eq!(pc.host_link().bandwidth_gb_s, 6.5);
+        let custom = Topology::nvlink_all_to_all(2, 1555.0).with_host_link(LinkModel::pcie3());
+        assert_eq!(custom.host_link().bandwidth_gb_s, 6.5);
+        assert!(nv.host_transfer_time(22_000_000).as_us() > 1000.0);
     }
 
     #[test]

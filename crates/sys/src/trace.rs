@@ -7,13 +7,11 @@
 
 use std::fmt::Write as _;
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::SimTime;
 use crate::device::DeviceId;
 
 /// What a span represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanKind {
     /// A compute kernel.
     Kernel,
@@ -23,6 +21,8 @@ pub enum SpanKind {
     Sync,
     /// Host-side work.
     Host,
+    /// One step of a collective communication primitive (all-reduce, …).
+    Collective,
 }
 
 impl SpanKind {
@@ -32,12 +32,13 @@ impl SpanKind {
             SpanKind::Transfer => "transfer",
             SpanKind::Sync => "sync",
             SpanKind::Host => "host",
+            SpanKind::Collective => "collective",
         }
     }
 }
 
 /// One span of activity on a stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceSpan {
     /// Device the stream belongs to.
     pub device: DeviceId,
@@ -53,10 +54,12 @@ pub struct TraceSpan {
     pub end: SimTime,
 }
 
-/// An ordered collection of spans.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// An ordered collection of spans, plus named scalar counters (per-link
+/// utilization totals and the like).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     spans: Vec<TraceSpan>,
+    counters: Vec<(String, f64)>,
 }
 
 impl Trace {
@@ -76,9 +79,24 @@ impl Trace {
         &self.spans
     }
 
-    /// Remove all spans.
+    /// Remove all spans and counters.
     pub fn clear(&mut self) {
         self.spans.clear();
+        self.counters.clear();
+    }
+
+    /// Set a named counter (overwriting any previous value).
+    pub fn set_counter(&mut self, name: &str, value: f64) {
+        if let Some(c) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            c.1 = value;
+        } else {
+            self.counters.push((name.to_string(), value));
+        }
+    }
+
+    /// All counters, in insertion order.
+    pub fn counters(&self) -> &[(String, f64)] {
+        &self.counters
     }
 
     /// Latest end time across all spans (zero if empty).
@@ -114,10 +132,12 @@ impl Trace {
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(64 + self.spans.len() * 96);
         out.push('[');
-        for (i, s) in self.spans.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for s in &self.spans {
+            if !first {
                 out.push(',');
             }
+            first = false;
             let name = escape_json(&s.name);
             let _ = write!(
                 out,
@@ -127,6 +147,19 @@ impl Trace {
                 dur = (s.end - s.start).as_us(),
                 pid = s.device.0,
                 tid = s.stream,
+            );
+        }
+        // Counters as Chrome counter events at the end of the timeline.
+        let ts = self.end_time().as_us();
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let name = escape_json(name);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{ts:.3},\"pid\":0,\"args\":{{\"value\":{value:.3}}}}}",
             );
         }
         out.push(']');
@@ -160,6 +193,7 @@ impl Trace {
                     SpanKind::Transfer => b'~',
                     SpanKind::Sync => b'|',
                     SpanKind::Host => b'H',
+                    SpanKind::Collective => b'#',
                 };
                 for c in row.iter_mut().take(b).skip(a) {
                     *c = ch;
@@ -243,6 +277,21 @@ mod tests {
         assert!(art.contains("dev0 s0"));
         assert!(art.contains("dev1 s1"));
         assert!(art.contains('~'));
+    }
+
+    #[test]
+    fn counters_roundtrip_and_export() {
+        let mut t = Trace::new();
+        t.push(span(0, 0, "ar", SpanKind::Collective, 0.0, 4.0));
+        t.set_counter("link:host-rc busy_us", 4.0);
+        t.set_counter("link:host-rc busy_us", 6.0);
+        assert_eq!(t.counters(), &[("link:host-rc busy_us".to_string(), 6.0)]);
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"cat\":\"collective\""), "{json}");
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"value\":6.000"), "{json}");
+        let art = t.ascii_timeline(8);
+        assert!(art.contains('#'), "{art}");
     }
 
     #[test]

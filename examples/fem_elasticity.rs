@@ -38,7 +38,10 @@ fn main() -> neon_sys::Result<()> {
     sparse_solver.set_pressure_load(pressure);
     let sparse_report = sparse_solver.solve_iters(iters);
 
-    println!("elastic column {n}^3, E={}, nu={}, pressure {pressure}", material.e, material.nu);
+    println!(
+        "elastic column {n}^3, E={}, nu={}, pressure {pressure}",
+        material.e, material.nu
+    );
     println!(
         "dense grid : residual {:.3e}, simulated {}",
         dense_solver.residual(),
@@ -67,7 +70,10 @@ fn main() -> neon_sys::Result<()> {
         let bars = (-uz * 2e4) as usize;
         println!("z={z:>3}  u_z={uz:+.6}  |{}", "#".repeat(bars.min(60)));
     }
-    let top = dense_solver.displacements().get(mid, mid, n as i32 - 1, 2).unwrap();
+    let top = dense_solver
+        .displacements()
+        .get(mid, mid, n as i32 - 1, 2)
+        .unwrap();
     assert!(top < 0.0, "column should compress under the load");
     println!("\ncolumn top sinks by {:.6} — compressed as expected", -top);
     Ok(())

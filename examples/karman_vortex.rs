@@ -50,7 +50,9 @@ fn main() -> neon_sys::Result<()> {
 
     // The wake behind the cylinder is slower than the free stream.
     let (cx, cy) = params.centre;
-    let (wake, _) = flow.velocity(cx as i32 + params.radius as i32 * 2, cy as i32).unwrap();
+    let (wake, _) = flow
+        .velocity(cx as i32 + params.radius as i32 * 2, cy as i32)
+        .unwrap();
     let (free, _) = flow.velocity(cx as i32, 2).unwrap();
     println!("\nwake u_x = {wake:+.4} vs channel u_x = {free:+.4}");
     Ok(())

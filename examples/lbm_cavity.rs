@@ -27,14 +27,20 @@ fn main() -> neon_sys::Result<()> {
     let iters = 200;
     let report = cavity.step(iters);
 
-    println!("lid-driven cavity {n}^3, {} devices, {iters} iterations", backend.num_devices());
+    println!(
+        "lid-driven cavity {n}^3, {} devices, {iters} iterations",
+        backend.num_devices()
+    );
     println!(
         "simulated time/iter: {}  ->  {:.1} MLUPS",
         report.time_per_execution(),
         mlups(grid.active_cells(), 1, report.time_per_execution().as_us()),
     );
     let mass = cavity.total_mass();
-    println!("mass drift: {:.2e} (relative)", (mass - mass0).abs() / mass0);
+    println!(
+        "mass drift: {:.2e} (relative)",
+        (mass - mass0).abs() / mass0
+    );
 
     // Centre-line x-velocity profile u_x(y) at the cavity mid-plane: the
     // classic validation curve — positive near the moving lid, reversed
@@ -47,13 +53,21 @@ fn main() -> neon_sys::Result<()> {
         let bar: String = if bars >= 0 {
             format!("{}{}", " ".repeat(30), "#".repeat(bars as usize))
         } else {
-            format!("{}{}{}", " ".repeat((30 + bars) as usize), "#".repeat((-bars) as usize), "")
+            format!(
+                "{}{}{}",
+                " ".repeat((30 + bars) as usize),
+                "#".repeat((-bars) as usize),
+                ""
+            )
         };
         println!("y={y:>3}  u_x={:+.4}  |{bar:<61}|", u[0]);
     }
     let (_, top) = cavity.macroscopic(c, n as i32 - 1, c).unwrap();
     let (_, bottom) = cavity.macroscopic(c, 1, c).unwrap();
-    println!("\nnear-lid u_x = {:+.4}, near-floor u_x = {:+.4}", top[0], bottom[0]);
+    println!(
+        "\nnear-lid u_x = {:+.4}, near-floor u_x = {:+.4}",
+        top[0], bottom[0]
+    );
     assert!(top[0] > 0.0, "flow should follow the lid");
     Ok(())
 }

@@ -24,7 +24,10 @@ fn main() -> neon_sys::Result<()> {
         }
     };
 
-    println!("Poisson {n}^3 on {} devices, point source\n", backend.num_devices());
+    println!(
+        "Poisson {n}^3 on {} devices, point source\n",
+        backend.num_devices()
+    );
     for occ in [OccLevel::None, OccLevel::Standard, OccLevel::TwoWayExtended] {
         let mut solver = PoissonSolver::new(&grid, occ)?;
         solver.set_rhs(rhs);

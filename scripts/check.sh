@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local mirror of the CI pipeline: build, test, format check, clippy.
+# Run from the repository root before pushing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace --quiet"
+cargo test --workspace --quiet
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

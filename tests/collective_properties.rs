@@ -1,0 +1,219 @@
+//! Property and acceptance tests for the `neon-comm` collective layer
+//! and its integration into the Skeleton.
+//!
+//! * **Bit-identity**: the functional all-reduce is a canonical rank-order
+//!   fold, so for *any* device count, payload and link class it must be
+//!   bit-identical to sequentially folding the device buffers in rank
+//!   order (even for non-associative floating-point combines).
+//! * **Makespan monotonicity**: on NVLink all-to-all topologies with ≥4
+//!   devices, the ring algorithm never loses to the host-staged baseline.
+//! * **End-to-end acceptance**: an 8-device CG iteration whose dot
+//!   products go through ring all-reduce has strictly lower makespan than
+//!   the same iteration forced through host staging.
+
+use proptest::prelude::*;
+
+use neon::comm::{all_reduce, Algorithm, CollectiveEngine, CollectiveKind, EngineConfig};
+use neon::prelude::*;
+use neon_sys::{QueueSim, Topology};
+
+fn zeros(n: usize) -> Vec<SimTime> {
+    vec![SimTime::ZERO; n]
+}
+
+fn topo_for(class: bool, n: usize) -> Topology {
+    if class {
+        Topology::nvlink_all_to_all(n, 1555.0)
+    } else {
+        Topology::pcie_host_staged(n, 870.0)
+    }
+}
+
+proptest! {
+    /// The functional all-reduce equals the sequential rank-order fold
+    /// bit-for-bit, regardless of device count, payload size, payload
+    /// values, or which link class (and hence which algorithm the
+    /// auto-selector picks) carries it.
+    #[test]
+    fn all_reduce_bit_identical_to_sequential_fold(
+        ndev in 1usize..=8,
+        len in 1usize..48,
+        seed in any::<u64>(),
+        nvlink in any::<bool>(),
+    ) {
+        // Deterministic but irregular payloads; addition over these is
+        // genuinely non-associative in f64.
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 1e6 - 5e5
+        };
+        let bufs: Vec<Vec<f64>> =
+            (0..ndev).map(|_| (0..len).map(|_| next()).collect()).collect();
+
+        // Expected: sequential fold in rank order, element-wise.
+        let expected: Vec<f64> = (0..len)
+            .map(|i| bufs.iter().skip(1).fold(bufs[0][i], |acc, b| acc + b[i]))
+            .collect();
+
+        let mut reduced = bufs.clone();
+        all_reduce(&mut reduced, |a, b| a + b);
+        for (d, buf) in reduced.iter().enumerate() {
+            prop_assert_eq!(
+                buf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "device {} diverged from the sequential fold", d
+            );
+        }
+
+        // The timing engine schedules the same payload on either link
+        // class without affecting the data path; every device finishes at
+        // the same (non-negative) virtual time.
+        let topo = topo_for(nvlink, ndev);
+        let engine = CollectiveEngine::new(topo);
+        let mut q = QueueSim::new(ndev, 1);
+        let t = engine.schedule(
+            &mut q,
+            CollectiveKind::AllReduce,
+            (len * 8) as u64,
+            &zeros(ndev),
+            0,
+            "prop",
+        );
+        prop_assert_eq!(t.done.len(), ndev);
+        if ndev > 1 {
+            prop_assert!(t.makespan() > SimTime::ZERO);
+        }
+    }
+
+    /// Host-staged → ring is monotonically non-increasing in makespan on
+    /// NVLink all-to-all topologies with at least 4 devices, for any
+    /// payload size.
+    #[test]
+    fn ring_never_loses_to_host_staged_on_nvlink(
+        ndev in 4usize..=8,
+        kib in 0u64..=16_384,
+    ) {
+        let bytes = 8 + kib * 1024;
+        let run = |alg: Algorithm| {
+            let mut q = QueueSim::new(ndev, 1);
+            let engine = CollectiveEngine::with_config(
+                Topology::nvlink_all_to_all(ndev, 1555.0),
+                EngineConfig { algorithm: Some(alg), ..EngineConfig::default() },
+            );
+            engine
+                .schedule(&mut q, CollectiveKind::AllReduce, bytes, &zeros(ndev), 0, "ar")
+                .makespan()
+        };
+        let ring = run(Algorithm::Ring);
+        let host = run(Algorithm::HostStaged);
+        prop_assert!(
+            ring <= host,
+            "{} dev, {} B: ring {} > host-staged {}",
+            ndev, bytes, ring, host
+        );
+    }
+}
+
+/// Build a CG (Poisson) iteration skeleton on an 8-device DGX with the
+/// given collective mode and return its per-iteration makespan.
+fn cg_makespan(mode: CollectiveMode) -> SimTime {
+    use neon::apps::PoissonSolver;
+    use neon_domain::StorageMode;
+
+    let backend = Backend::dgx_a100(8);
+    let st = Stencil::seven_point();
+    let grid = DenseGrid::new(&backend, Dim3::new(16, 16, 64), &[&st], StorageMode::Real).unwrap();
+    let options = SkeletonOptions {
+        occ: OccLevel::Standard,
+        collectives: mode,
+        ..SkeletonOptions::default()
+    };
+    let mut solver = PoissonSolver::with_options(&grid, options).unwrap();
+    solver.set_rhs(|x, y, z| (x + y + z) as f64);
+    solver.solve_iters(4).time_per_execution()
+}
+
+/// Acceptance: routing the CG dot products through ring all-reduce
+/// strictly beats the host-staged baseline on 8 NVLink devices.
+#[test]
+fn cg_dot_ring_beats_host_staged_on_8_devices() {
+    let ring = cg_makespan(CollectiveMode::Fixed(CollectiveAlgorithm::Ring));
+    let host = cg_makespan(CollectiveMode::Fixed(CollectiveAlgorithm::HostStaged));
+    assert!(
+        ring < host,
+        "ring CG iteration {ring} not strictly below host-staged {host}"
+    );
+    // Auto is never worse than either explicit choice.
+    let auto = cg_makespan(CollectiveMode::Auto);
+    assert!(auto <= ring && auto <= host, "auto {auto} worse than fixed");
+}
+
+/// The functional result of a CG solve is identical across collective
+/// algorithms (canonical rank-order fold).
+#[test]
+fn cg_residual_identical_across_algorithms() {
+    use neon::apps::PoissonSolver;
+    use neon_domain::StorageMode;
+
+    let residual = |mode: CollectiveMode| {
+        let backend = Backend::dgx_a100(4);
+        let st = Stencil::seven_point();
+        let grid =
+            DenseGrid::new(&backend, Dim3::new(8, 8, 16), &[&st], StorageMode::Real).unwrap();
+        let options = SkeletonOptions {
+            collectives: mode,
+            ..SkeletonOptions::default()
+        };
+        let mut solver = PoissonSolver::with_options(&grid, options).unwrap();
+        solver.set_rhs(|x, y, z| ((x * 7 + y * 3 + z) % 5) as f64 - 2.0);
+        solver.solve_iters(5);
+        solver.residual()
+    };
+    let r_auto = residual(CollectiveMode::Auto);
+    let r_ring = residual(CollectiveMode::Fixed(CollectiveAlgorithm::Ring));
+    let r_tree = residual(CollectiveMode::Fixed(CollectiveAlgorithm::Tree));
+    let r_host = residual(CollectiveMode::Fixed(CollectiveAlgorithm::HostStaged));
+    assert_eq!(r_auto.to_bits(), r_ring.to_bits());
+    assert_eq!(r_auto.to_bits(), r_tree.to_bits());
+    assert_eq!(r_auto.to_bits(), r_host.to_bits());
+    assert!(r_auto.is_finite() && r_auto > 0.0);
+}
+
+/// Tracing a multi-device run surfaces per-link utilization counters.
+#[test]
+fn trace_carries_link_utilization_counters() {
+    let backend = Backend::dgx_a100(4);
+    let st = Stencil::seven_point();
+    let grid = DenseGrid::new(
+        &backend,
+        Dim3::new(8, 8, 16),
+        &[&st],
+        neon_domain::StorageMode::Real,
+    )
+    .unwrap();
+    let dot = ScalarSet::<f64>::new(grid.num_partitions(), "dot", 0.0, |a, b| a + b);
+    let x = Field::<f64, _>::new(&grid, "x", 1, 1.0, MemLayout::SoA).unwrap();
+    let options = SkeletonOptions {
+        trace: true,
+        ..SkeletonOptions::default()
+    };
+    let mut app = Skeleton::sequence(
+        &backend,
+        "traced-dot",
+        vec![neon_domain::ops::dot(&grid, &x, &x, &dot)],
+        options,
+    );
+    app.run();
+    let trace = app.take_trace().expect("trace enabled");
+    assert!(
+        trace
+            .counters()
+            .iter()
+            .any(|(name, _)| name.starts_with("link:")),
+        "expected per-link counters in the trace, got {:?}",
+        trace.counters()
+    );
+    let json = trace.to_chrome_json();
+    assert!(json.contains("\"ph\":\"C\""), "counter events exported");
+}

@@ -13,7 +13,11 @@ use neon_sys::BackendKind;
 
 /// A little "application": blur u into v, scale v, then measure ‖v‖².
 /// Written once, generic over the grid — the paper's central promise.
-fn blur_app<G: GridLike>(grid: &G, u: &Field<f64, G>, v: &Field<f64, G>) -> (Vec<Container>, ScalarSet<f64>) {
+fn blur_app<G: GridLike>(
+    grid: &G,
+    u: &Field<f64, G>,
+    v: &Field<f64, G>,
+) -> (Vec<Container>, ScalarSet<f64>) {
     let norm = ScalarSet::<f64>::new(grid.num_partitions(), "norm", 0.0, |a, b| a + b);
     let blur = {
         let (uc, vc) = (u.clone(), v.clone());
@@ -59,9 +63,8 @@ fn run_on<G: GridLike>(grid: &G, occ: OccLevel) -> (Vec<f64>, f64) {
 fn backend_swap_preserves_results() {
     let st = Stencil::seven_point();
     let dim = Dim3::new(6, 6, 16);
-    let mk_dense = |backend: &Backend| {
-        DenseGrid::new(backend, dim, &[&st], StorageMode::Real).unwrap()
-    };
+    let mk_dense =
+        |backend: &Backend| DenseGrid::new(backend, dim, &[&st], StorageMode::Real).unwrap();
     let reference = run_on(&mk_dense(&Backend::cpu()), OccLevel::None);
     for backend in [
         Backend::dgx_a100(1),
@@ -84,8 +87,7 @@ fn grid_swap_preserves_results() {
     let dim = Dim3::new(6, 6, 12);
     let backend = Backend::dgx_a100(2);
     let dense = DenseGrid::new(&backend, dim, &[&st], StorageMode::Real).unwrap();
-    let sparse =
-        SparseGrid::new(&backend, dim, &[&st], |_, _, _| true, StorageMode::Real).unwrap();
+    let sparse = SparseGrid::new(&backend, dim, &[&st], |_, _, _| true, StorageMode::Real).unwrap();
     let (dv, dn) = run_on(&dense, OccLevel::Standard);
     let (sv, sn) = run_on(&sparse, OccLevel::Standard);
     // Iteration order differs between grids, so compare the multiset via
@@ -116,12 +118,7 @@ fn layout_swap_preserves_results() {
                 })
             })
         };
-        let mut sk = Skeleton::sequence(
-            &backend,
-            "shift",
-            vec![shift],
-            SkeletonOptions::default(),
-        );
+        let mut sk = Skeleton::sequence(&backend, "shift", vec![shift], SkeletonOptions::default());
         sk.run();
         let mut vals = Vec::new();
         v.for_each(|_, _, _, _, val| vals.push(val));
@@ -134,8 +131,7 @@ fn layout_swap_preserves_results() {
 fn occ_sweep_preserves_results_and_norm() {
     let st = Stencil::seven_point();
     let backend = Backend::dgx_a100(4);
-    let grid =
-        DenseGrid::new(&backend, Dim3::new(6, 6, 16), &[&st], StorageMode::Real).unwrap();
+    let grid = DenseGrid::new(&backend, Dim3::new(6, 6, 16), &[&st], StorageMode::Real).unwrap();
     let reference = run_on(&grid, OccLevel::None);
     for occ in [
         OccLevel::Standard,
@@ -185,8 +181,7 @@ fn skeleton_graph_introspection_matches_paper_stages() {
     // (+halo), OCC graph (split nodes).
     let st = Stencil::seven_point();
     let backend = Backend::dgx_a100(2);
-    let grid =
-        DenseGrid::new(&backend, Dim3::new(4, 4, 8), &[&st], StorageMode::Real).unwrap();
+    let grid = DenseGrid::new(&backend, Dim3::new(4, 4, 8), &[&st], StorageMode::Real).unwrap();
     let u = Field::<f64, _>::new(&grid, "u", 1, 0.0, MemLayout::SoA).unwrap();
     let v = Field::<f64, _>::new(&grid, "v", 1, 0.0, MemLayout::SoA).unwrap();
     let (containers, _) = blur_app(&grid, &u, &v);

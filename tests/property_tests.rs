@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use neon::prelude::*;
 use neon_domain::{
-    slab_partition, weighted_slab_partition, FieldStencil as _, FieldWrite as _,
-    GridLike, Offset3, StorageMode,
+    slab_partition, weighted_slab_partition, FieldStencil as _, FieldWrite as _, GridLike, Offset3,
+    StorageMode,
 };
 use neon_set::IterationSpace;
 use neon_sys::{DeviceId, MemoryLedger, QueueSim, SimTime, SpanKind, StreamId};

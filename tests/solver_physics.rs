@@ -121,8 +121,7 @@ fn fem_solution_is_xy_symmetric() {
     let st = Stencil::twenty_seven_point();
     let g = DenseGrid::new(&b, Dim3::cube(6), &[&st], StorageMode::Real).unwrap();
     let mut s =
-        ElasticitySolver::new(&g, Material::default(), MemLayout::AoS, OccLevel::Extended)
-            .unwrap();
+        ElasticitySolver::new(&g, Material::default(), MemLayout::AoS, OccLevel::Extended).unwrap();
     s.set_pressure_load(0.003);
     s.solve_iters(150);
     let d = s.displacements();
@@ -176,7 +175,10 @@ fn lbm_momentum_balance_in_closed_cavity() {
     }
     assert!(px > 0.0, "lid should inject +x momentum: {px}");
     assert!(pz.abs() < px.abs() * 0.05, "z-momentum {pz} vs x {px}");
-    assert!(rho_min > 0.9 && rho_max < 1.1, "density out of range: [{rho_min}, {rho_max}]");
+    assert!(
+        rho_min > 0.9 && rho_max < 1.1,
+        "density out of range: [{rho_min}, {rho_max}]"
+    );
 }
 
 #[test]
@@ -186,12 +188,8 @@ fn lbm_cavity_is_y_mirror_of_reversed_lid() {
         let b = Backend::dgx_a100(2);
         let st = Stencil::d3q19();
         let g = DenseGrid::new(&b, Dim3::cube(10), &[&st], StorageMode::Real).unwrap();
-        let mut app = LidDrivenCavity::new(
-            &g,
-            LbmParams { omega: 1.1, u_lid },
-            OccLevel::Standard,
-        )
-        .unwrap();
+        let mut app =
+            LidDrivenCavity::new(&g, LbmParams { omega: 1.1, u_lid }, OccLevel::Standard).unwrap();
         app.init();
         app.step(40);
         app
@@ -253,9 +251,13 @@ fn lbm_flow_around_sphere_on_sparse_grid() {
     app.step(60);
     assert!((app.total_mass() - m0).abs() < 1e-9 * m0, "mass drifted");
     // The sphere is not part of the domain.
-    assert!(app.macroscopic(n as i32 / 2, n as i32 / 2, n as i32 / 2).is_none());
+    assert!(app
+        .macroscopic(n as i32 / 2, n as i32 / 2, n as i32 / 2)
+        .is_none());
     // Flow exists near the lid and is weaker in the sphere's shadow.
-    let (_, near_lid) = app.macroscopic(n as i32 / 2, n as i32 - 2, n as i32 / 2).unwrap();
+    let (_, near_lid) = app
+        .macroscopic(n as i32 / 2, n as i32 - 2, n as i32 / 2)
+        .unwrap();
     assert!(near_lid[0] > 1e-3, "lid did not drive flow: {near_lid:?}");
     let (_, beside) = app
         .macroscopic(n as i32 / 2 + 5, n as i32 / 2, n as i32 / 2)

@@ -1,0 +1,522 @@
+//! Offline shim for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment of this repository has no network access, so the
+//! subset of the proptest API the workspace's property tests use is
+//! reimplemented here on top of a deterministic xorshift generator:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] / [`prop_oneof!`],
+//! * [`strategy::Strategy`] with `prop_map` and `boxed`,
+//! * range, tuple, `any::<T>()`, `Just` and `collection::vec` strategies.
+//!
+//! Deviations from real proptest: no shrinking (a failing case reports its
+//! inputs instead of minimizing them) and a fixed per-test seed derived from
+//! the test's name, so runs are reproducible by construction. Regression
+//! files (`*.proptest-regressions`) are ignored.
+
+pub mod test_runner {
+    /// Deterministic xorshift64* generator.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeded generator (seed 0 is mapped to a fixed non-zero state).
+        pub fn new(seed: u64) -> Self {
+            TestRng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty sampling range");
+            self.next_u64() % n
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case violated a `prop_assume!` precondition; it is skipped.
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    /// Result type of a generated test body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (only `cases` is honoured by the shim).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// FNV-1a over a test name: the fixed seed of that test.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { s: self, f }
+        }
+
+        /// Type-erase the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(move |rng: &mut TestRng| self.sample(rng)),
+            }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        s: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.s.sample(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V> {
+        inner: Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.inner)(rng)
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type.
+    pub struct OneOf<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    /// Build a [`OneOf`]; used by the `prop_oneof!` macro.
+    pub fn one_of<V>(arms: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types samplable uniformly from a half-open range.
+    pub trait Uniform: Copy {
+        /// Draw from `[lo, hi)`.
+        fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),+) => {$(
+            impl Uniform for $t {
+                fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    assert!(lo < hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )+};
+    }
+    impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Uniform for f64 {
+        fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+            assert!(lo < hi, "empty range strategy");
+            lo + rng.next_f64() * (hi - lo)
+        }
+    }
+
+    impl Uniform for f32 {
+        fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+            f64::sample_range(lo as f64, hi as f64, rng) as f32
+        }
+    }
+
+    impl<T: Uniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_range(self.start, self.end, rng)
+        }
+    }
+
+    /// Types with a successor, enabling inclusive integer ranges.
+    pub trait StepUp: Uniform {
+        /// `self + 1` (must not overflow for valid inclusive ranges).
+        fn step_up(self) -> Self;
+    }
+
+    macro_rules! impl_step_up {
+        ($($t:ty),+) => {$(
+            impl StepUp for $t {
+                fn step_up(self) -> Self {
+                    self.checked_add(1).expect("inclusive range end overflows")
+                }
+            }
+        )+};
+    }
+    impl_step_up!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: StepUp> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_range(*self.start(), self.end().step_up(), rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($({ let $v = $s.sample(rng); $v },)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+}
+
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for vectors with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Vectors of `element` values with a length in `len` (half-open).
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy {
+            element,
+            lo: len.start,
+            hi: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.lo + rng.below((self.hi - self.lo) as u64) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skip cases that do not meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($config); $($(#[$meta])* fn $name($($arg in $strat),+) $body)*);
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default());
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::new(
+                    $crate::test_runner::seed_from_name(stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(100);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property '{}' failed: {}\n  inputs: {}", stringify!($name), msg, inputs)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::new(42);
+        let mut b = crate::test_runner::TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_strategy_respects_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3usize..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.5f64..2.0).sample(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0usize..100, flip in any::<bool>()) {
+            prop_assume!(x > 0 || flip);
+            prop_assert!(x < 100);
+            prop_assert_eq!(x + 1, 1 + x);
+        }
+
+        #[test]
+        fn vec_and_oneof(v in prop::collection::vec(prop_oneof![0i32..10, 100i32..110], 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for x in v {
+                prop_assert!((0..10).contains(&x) || (100..110).contains(&x));
+            }
+        }
+    }
+}
