@@ -24,7 +24,20 @@ use neon_core::{ExecReport, OccLevel, Skeleton, SkeletonOptions};
 use neon_domain::{
     ops, Cell, Container, Field, FieldRead as _, FieldWrite as _, GridLike, MemLayout, ScalarSet,
 };
-use neon_sys::Result;
+use neon_sys::{Result, SimTime};
+
+/// Compile statistics of a solver's skeletons (see
+/// [`neon_core::plan`] for the plan cache these reflect).
+#[derive(Debug, Clone, Copy)]
+pub struct CompileStats {
+    /// Whether the init skeleton's plan was rebound from the plan cache.
+    pub init_from_cache: bool,
+    /// Whether the iteration skeleton's plan was rebound from the cache.
+    pub iter_from_cache: bool,
+    /// Total compile wall-clock time across both skeletons (zero when
+    /// both were cache hits).
+    pub compile_time: SimTime,
+}
 
 /// The state of a CG solve: fields and scalars.
 pub struct CgState<G: GridLike> {
@@ -237,5 +250,17 @@ impl<G: GridLike> CgSolver<G> {
     /// The iteration skeleton (for graph introspection and traces).
     pub fn iteration_skeleton(&mut self) -> &mut Skeleton {
         &mut self.iter
+    }
+
+    /// Compile statistics: cache hits and compile wall-clock time. A
+    /// second structurally identical solver (same grid shape class,
+    /// backend and options) reports `iter_from_cache == true` and zero
+    /// compile time — the pipeline ran once, process-wide.
+    pub fn compile_stats(&self) -> CompileStats {
+        CompileStats {
+            init_from_cache: self.init.compiled_from_cache(),
+            iter_from_cache: self.iter.compiled_from_cache(),
+            compile_time: self.init.compile_time() + self.iter.compile_time(),
+        }
     }
 }

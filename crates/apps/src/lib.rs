@@ -33,7 +33,7 @@ pub mod jacobi;
 pub mod lbm;
 pub mod poisson;
 
-pub use cg::{CgSolver, CgState};
+pub use cg::{CgSolver, CgState, CompileStats};
 pub use heat::HeatSolver;
 pub use jacobi::JacobiSolver;
 pub use poisson::PoissonSolver;

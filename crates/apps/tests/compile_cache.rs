@@ -1,0 +1,54 @@
+//! The plan cache seen from an application: constructing the same solver
+//! twice compiles the pipeline once, and the second solver's skeletons
+//! share the first one's schedule by pointer.
+
+use std::sync::Arc;
+
+use neon_apps::PoissonSolver;
+use neon_core::{plan_cache_stats, OccLevel};
+use neon_domain::{DenseGrid, Dim3, Stencil, StorageMode};
+use neon_sys::Backend;
+
+fn build(n: usize) -> PoissonSolver<DenseGrid> {
+    // 5 devices: a backend shape no other test in this binary uses, so
+    // the first build is a guaranteed cache miss.
+    let b = Backend::dgx_a100(5);
+    let st = Stencil::seven_point();
+    let g = DenseGrid::new(&b, Dim3::cube(n), &[&st], StorageMode::Virtual).unwrap();
+    PoissonSolver::new(&g, OccLevel::TwoWayExtended).unwrap()
+}
+
+#[test]
+fn same_solver_built_twice_compiles_once() {
+    let before = plan_cache_stats();
+    let mut first = build(40);
+    let mid = plan_cache_stats();
+    let mut second = build(40);
+    let after = plan_cache_stats();
+
+    // Build #1: both skeletons (init + iteration) compiled fresh.
+    let s1 = first.cg.compile_stats();
+    assert!(!s1.init_from_cache && !s1.iter_from_cache);
+    assert_eq!(mid.misses - before.misses, 2);
+
+    // Build #2: both rebound from the cache, zero compile work.
+    let s2 = second.cg.compile_stats();
+    assert!(s2.init_from_cache && s2.iter_from_cache);
+    assert_eq!(after.hits - mid.hits, 2);
+    assert_eq!(after.misses, mid.misses);
+    assert_eq!(s2.compile_time.as_us(), 0.0);
+
+    // The shared schedule is literally the same allocation.
+    let sched1 = Arc::clone(first.cg.iteration_skeleton().plan().schedule_arc());
+    let sched2 = Arc::clone(second.cg.iteration_skeleton().plan().schedule_arc());
+    assert!(
+        Arc::ptr_eq(&sched1, &sched2),
+        "rebound plan must share the compiled schedule"
+    );
+
+    // A different grid size is the same structural key — still a hit.
+    let mut third = build(56);
+    assert!(third.cg.compile_stats().iter_from_cache);
+    let sched3 = Arc::clone(third.cg.iteration_skeleton().plan().schedule_arc());
+    assert!(Arc::ptr_eq(&sched1, &sched3));
+}

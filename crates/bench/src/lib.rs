@@ -70,6 +70,27 @@ pub fn poisson_iter_time(backend: &Backend, n: usize, occ: OccLevel, iters: usiz
     solver.solve_iters(iters).time_per_execution()
 }
 
+/// Compile-vs-run split of the Poisson CG solver: returns the compile
+/// wall-clock time, the per-iteration virtual run time, and whether the
+/// iteration plan came from the process-wide plan cache. Building the
+/// same configuration twice demonstrates the cache: the second call
+/// reports zero compile time and a hit — even for a different grid size,
+/// since the plan key is structural.
+pub fn poisson_compile_run_split(
+    backend: &Backend,
+    n: usize,
+    occ: OccLevel,
+    iters: usize,
+) -> (SimTime, SimTime, bool) {
+    let st = Stencil::seven_point();
+    let g = DenseGrid::new(backend, Dim3::cube(n), &[&st], StorageMode::Virtual)
+        .expect("grid construction");
+    let mut solver = PoissonSolver::new(&g, occ).expect("field allocation");
+    let stats = solver.cg.compile_stats();
+    let t = solver.solve_iters(iters).time_per_execution();
+    (stats.compile_time, t, stats.iter_from_cache)
+}
+
 /// Per-iteration virtual time of the FEM elasticity CG on a dense grid.
 /// Returns `Err` on simulated OOM.
 pub fn fem_dense_iter_time(
@@ -238,6 +259,17 @@ mod tests {
         use neon_domain::GridLike as _;
         let r = fifth.active_cells() as f64 / full.active_cells() as f64;
         assert!((r - 0.2).abs() < 0.05, "ratio off: {r}");
+    }
+
+    #[test]
+    fn compile_run_split_hits_cache_on_rebuild() {
+        // A backend shape no other test uses, so the first build is a
+        // guaranteed miss even with the process-wide cache warm.
+        let b = Backend::gv100_pcie(3);
+        let (_, _, _) = poisson_compile_run_split(&b, 24, OccLevel::Extended, 1);
+        let (compile2, _, hit2) = poisson_compile_run_split(&b, 48, OccLevel::Extended, 1);
+        assert!(hit2, "structurally identical rebuild must hit the cache");
+        assert_eq!(compile2.as_us(), 0.0, "cache hit does no compile work");
     }
 
     #[test]

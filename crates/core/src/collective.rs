@@ -86,9 +86,11 @@ pub fn lower_collectives(g: &Graph, ndev: usize) -> Graph {
         }
         let bytes = 8 * uids.len().max(1) as u64;
         let name = format!("{}:allreduce", out.node(id).name);
+        let source = out.node(id).source;
         let cid = out.add_node(Node {
             name,
             kind: NodeKind::Collective { container, bytes },
+            source,
         });
         // The collective is now the producer of the reduced scalars: its
         // consumers (RaW) and the partials' next writers (WaR/WaW) must

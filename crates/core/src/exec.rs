@@ -1,6 +1,7 @@
-//! Executing a scheduled multi-GPU graph.
+//! Executing a compiled plan.
 //!
-//! The executor does two things for every task of the plan:
+//! The executor holds an immutable, shareable [`CompiledPlan`] and does two
+//! things for every task of its schedule:
 //!
 //! * **Virtual timing** — enqueues the operation on the owning stream of
 //!   the [`neon_sys::QueueSim`] virtual clock: kernels cost
@@ -17,17 +18,25 @@
 //!   Skipped automatically when the grid uses virtual (timing-only)
 //!   storage.
 //!
+//! Tasks, nodes and parent lists are *borrowed from the plan by index* —
+//! the hot loop clones nothing per task, and the per-node completion-time
+//! table is a flat scratch buffer reused across iterations, so an
+//! iterative solver's steady state allocates nothing.
+//!
 //! Event semantics are per-device: a kernel on device *d* waits for its
 //! data parents on *d*; a halo transfer waits for its source's and
 //! destination's parents; a host step waits for everything.
 
 #![allow(clippy::needless_range_loop)] // device loops index per-device tables
 
+use std::sync::Arc;
+
 use neon_comm::{CollectiveEngine, CollectiveKind, EngineConfig};
 use neon_sys::{Backend, DeviceId, QueueSim, SimTime, SpanKind, StreamId, Trace};
 
 use crate::collective::CollectiveMode;
-use crate::graph::{Graph, NodeId, NodeKind};
+use crate::graph::{Graph, NodeKind};
+use crate::plan::CompiledPlan;
 use crate::schedule::Schedule;
 
 /// How halo coherency is realized (paper §IV-C2).
@@ -99,11 +108,11 @@ impl ExecReport {
     }
 }
 
-/// Replays a schedule on the virtual clock and (optionally) the real data.
+/// Replays a compiled plan on the virtual clock and (optionally) the real
+/// data.
 pub struct Executor {
     backend: Backend,
-    graph: Graph,
-    schedule: Schedule,
+    plan: Arc<CompiledPlan>,
     queue: QueueSim,
     compute_streams: usize,
     functional: bool,
@@ -111,18 +120,31 @@ pub struct Executor {
     halo_policy: HaloPolicy,
     engine: CollectiveEngine,
     collective_mode: CollectiveMode,
+    /// Flat `node × device` completion-time table, reused across
+    /// executions.
+    ends_scratch: Vec<SimTime>,
+    /// Per-device staging buffer for halo/collective readiness times,
+    /// reused across tasks.
+    lane_scratch: Vec<SimTime>,
 }
 
 impl Executor {
-    /// Build an executor. Functional execution is enabled iff every
-    /// compute node's iteration space has real storage.
+    /// Build an executor over an already-built graph and schedule
+    /// (compatibility path; the skeleton uses [`Executor::from_plan`]).
     pub fn new(backend: Backend, graph: Graph, schedule: Schedule) -> Self {
-        let compute_streams = schedule.num_streams;
+        Self::from_plan(backend, CompiledPlan::from_parts(graph, schedule))
+    }
+
+    /// Build an executor over a shared compiled plan. Functional execution
+    /// is enabled iff every compute node's iteration space has real
+    /// storage.
+    pub fn from_plan(backend: Backend, plan: Arc<CompiledPlan>) -> Self {
+        let compute_streams = plan.schedule().num_streams;
         // lanes: [0, compute_streams) kernels, +0/+1 transfers, +2 host,
         // +3 collectives.
         let queue = QueueSim::new(backend.num_devices(), compute_streams + 4);
         let engine = CollectiveEngine::new(backend.topology().clone());
-        let functional = graph.nodes().iter().all(|n| match &n.kind {
+        let functional = plan.graph().nodes().iter().all(|n| match &n.kind {
             NodeKind::Compute { container, .. } => container
                 .space()
                 .map(|s| s.supports_functional())
@@ -131,8 +153,7 @@ impl Executor {
         });
         Executor {
             backend,
-            graph,
-            schedule,
+            plan,
             queue,
             compute_streams,
             functional,
@@ -140,7 +161,14 @@ impl Executor {
             halo_policy: HaloPolicy::ExplicitTransfers,
             engine,
             collective_mode: CollectiveMode::default(),
+            ends_scratch: Vec::new(),
+            lane_scratch: Vec::new(),
         }
+    }
+
+    /// The plan this executor replays.
+    pub fn plan(&self) -> &Arc<CompiledPlan> {
+        &self.plan
     }
 
     /// Select the halo coherency model (see [`HaloPolicy`]).
@@ -186,7 +214,7 @@ impl Executor {
     /// Force timing-only execution (used by large benchmark sweeps).
     pub fn set_functional(&mut self, on: bool) {
         assert!(
-            !on || self.graph.nodes().iter().all(|n| match &n.kind {
+            !on || self.plan.graph().nodes().iter().all(|n| match &n.kind {
                 NodeKind::Compute { container, .. } => container
                     .space()
                     .map(|s| s.supports_functional())
@@ -222,20 +250,26 @@ impl Executor {
 
     /// Execute the plan once.
     pub fn execute(&mut self) -> ExecReport {
+        // Clone the Arc so plan data can be borrowed by index while the
+        // queue (and scratch) are mutated — nothing inside is copied.
+        let plan = Arc::clone(&self.plan);
+        let graph = plan.graph();
+        let schedule = plan.schedule();
         let ndev = self.backend.num_devices();
         let t0 = self.queue.makespan();
         let mut report = ExecReport {
             executions: 1,
             ..Default::default()
         };
-        // Completion time of each node on each device.
-        let mut ends: Vec<Vec<SimTime>> = vec![vec![t0; ndev]; self.graph.len()];
+        // Completion time of each node on each device, flat `node × dev`.
+        let mut ends = std::mem::take(&mut self.ends_scratch);
+        ends.clear();
+        ends.resize(graph.len() * ndev, t0);
 
-        for ti in 0..self.schedule.tasks.len() {
-            let task = self.schedule.tasks[ti].clone();
-            let node_id: NodeId = task.node;
-            let node = self.graph.node(node_id).clone();
-            let parents: Vec<NodeId> = self.graph.data_parents(node_id).map(|e| e.from).collect();
+        for task in &schedule.tasks {
+            let node_id = task.node;
+            let node = graph.node(node_id);
+            let parents = plan.data_parents(node_id);
 
             match &node.kind {
                 NodeKind::Compute {
@@ -246,17 +280,19 @@ impl Executor {
                 } => {
                     let space = container
                         .space()
-                        .expect("compute node has an iteration space")
-                        .clone();
+                        .expect("compute node has an iteration space");
                     let bytes_per_cell = container.bytes_per_cell();
                     let flops_per_cell = container.flops_per_cell();
                     let eff = container.bw_efficiency();
                     for d in 0..ndev {
                         let dev = DeviceId(d);
-                        let earliest = parents.iter().map(|&p| ends[p][d]).fold(t0, SimTime::max);
+                        let earliest = parents
+                            .iter()
+                            .map(|&p| ends[p * ndev + d])
+                            .fold(t0, SimTime::max);
                         let cells = space.cell_count(dev, *view);
                         if cells == 0 {
-                            ends[node_id][d] = earliest;
+                            ends[node_id * ndev + d] = earliest;
                             continue;
                         }
                         let dur = self.backend.device(dev).kernel_time(
@@ -278,17 +314,19 @@ impl Executor {
                             SpanKind::Kernel,
                         );
                         report.kernel_time += dur;
-                        ends[node_id][d] = e;
+                        ends[node_id * ndev + d] = e;
                     }
                     if *reduce_finalize {
                         // Folding partials into the host value synchronizes
                         // the devices and pays a host round trip.
                         let sync = self.backend.device(DeviceId(0)).sync_overhead();
-                        let gmax =
-                            (0..ndev).map(|d| ends[node_id][d]).fold(t0, SimTime::max) + sync;
+                        let gmax = (0..ndev)
+                            .map(|d| ends[node_id * ndev + d])
+                            .fold(t0, SimTime::max)
+                            + sync;
                         report.host_time += sync;
                         for d in 0..ndev {
-                            ends[node_id][d] = gmax;
+                            ends[node_id * ndev + d] = gmax;
                         }
                     }
                     if self.functional {
@@ -296,10 +334,11 @@ impl Executor {
                             container.reduce_init();
                         }
                         let view = *view;
+                        // Borrow the container into the per-device threads
+                        // (`Container: Sync`) — no per-launch clones.
                         std::thread::scope(|s| {
                             for d in 0..ndev {
-                                let c = container.clone();
-                                s.spawn(move || c.run_device(DeviceId(d), view));
+                                s.spawn(move || container.run_device(DeviceId(d), view));
                             }
                         });
                         if *reduce_finalize {
@@ -308,18 +347,23 @@ impl Executor {
                     }
                 }
                 NodeKind::Halo { exchange } => {
-                    let mut into = vec![t0; ndev];
-                    let mut from = vec![t0; ndev];
-                    let mut constraint = vec![t0; ndev];
+                    // lanes = [constraint | into | from], each `ndev` wide.
+                    let mut lanes = std::mem::take(&mut self.lane_scratch);
+                    lanes.clear();
+                    lanes.resize(3 * ndev, t0);
                     for d in 0..ndev {
-                        constraint[d] = parents.iter().map(|&p| ends[p][d]).fold(t0, SimTime::max);
-                        into[d] = constraint[d];
-                        from[d] = constraint[d];
+                        let c = parents
+                            .iter()
+                            .map(|&p| ends[p * ndev + d])
+                            .fold(t0, SimTime::max);
+                        lanes[d] = c;
+                        lanes[ndev + d] = c;
+                        lanes[2 * ndev + d] = c;
                     }
                     match self.halo_policy {
                         HaloPolicy::ExplicitTransfers => {
                             for desc in exchange.descriptors() {
-                                let earliest = constraint[desc.src.0].max(constraint[desc.dst.0]);
+                                let earliest = lanes[desc.src.0].max(lanes[desc.dst.0]);
                                 let lane = self.transfer_lane(desc.src, desc.dst);
                                 let dur = self
                                     .backend
@@ -343,8 +387,8 @@ impl Executor {
                                     SpanKind::Transfer,
                                 );
                                 report.transfer_time += e - s;
-                                into[desc.dst.0] = into[desc.dst.0].max(e);
-                                from[desc.src.0] = from[desc.src.0].max(e);
+                                lanes[ndev + desc.dst.0] = lanes[ndev + desc.dst.0].max(e);
+                                lanes[2 * ndev + desc.src.0] = lanes[2 * ndev + desc.src.0].max(e);
                             }
                         }
                         HaloPolicy::UnifiedMemory {
@@ -357,7 +401,7 @@ impl Executor {
                             // device's compute lane (lane 0), serializing
                             // with kernels — OCC cannot hide it.
                             for desc in exchange.descriptors() {
-                                let earliest = constraint[desc.src.0].max(constraint[desc.dst.0]);
+                                let earliest = lanes[desc.src.0].max(lanes[desc.dst.0]);
                                 let pages = desc.bytes.div_ceil(page_bytes);
                                 let dur = SimTime::from_us(
                                     pages as f64 * fault_us
@@ -372,14 +416,15 @@ impl Executor {
                                     SpanKind::Transfer,
                                 );
                                 report.transfer_time += dur;
-                                into[desc.dst.0] = into[desc.dst.0].max(e);
-                                from[desc.src.0] = from[desc.src.0].max(e);
+                                lanes[ndev + desc.dst.0] = lanes[ndev + desc.dst.0].max(e);
+                                lanes[2 * ndev + desc.src.0] = lanes[2 * ndev + desc.src.0].max(e);
                             }
                         }
                     }
                     for d in 0..ndev {
-                        ends[node_id][d] = into[d].max(from[d]);
+                        ends[node_id * ndev + d] = lanes[ndev + d].max(lanes[2 * ndev + d]);
                     }
+                    self.lane_scratch = lanes;
                     if self.functional {
                         // Functionally, unified memory still ends up with
                         // coherent halos — the driver migrated the pages.
@@ -392,7 +437,8 @@ impl Executor {
                     let sync = self.backend.device(DeviceId(0)).sync_overhead();
                     let earliest = parents
                         .iter()
-                        .flat_map(|&p| ends[p].iter().copied())
+                        .flat_map(|&p| (0..ndev).map(move |d| p * ndev + d))
+                        .map(|i| ends[i])
                         .fold(t0, SimTime::max);
                     let stream = StreamId::new(DeviceId(0), self.host_lane());
                     let (_, e) =
@@ -400,7 +446,7 @@ impl Executor {
                             .enqueue_from(stream, earliest, sync, &node.name, SpanKind::Host);
                     report.host_time += sync;
                     for d in 0..ndev {
-                        ends[node_id][d] = e;
+                        ends[node_id * ndev + d] = e;
                     }
                     if self.functional {
                         container.run_host();
@@ -409,9 +455,14 @@ impl Executor {
                 NodeKind::Collective { container, bytes } => {
                     // Per-device readiness: a device joins the collective as
                     // soon as ITS parents are done — no global barrier.
-                    let earliest: Vec<SimTime> = (0..ndev)
-                        .map(|d| parents.iter().map(|&p| ends[p][d]).fold(t0, SimTime::max))
-                        .collect();
+                    let mut earliest = std::mem::take(&mut self.lane_scratch);
+                    earliest.clear();
+                    earliest.extend((0..ndev).map(|d| {
+                        parents
+                            .iter()
+                            .map(|&p| ends[p * ndev + d])
+                            .fold(t0, SimTime::max)
+                    }));
                     let lane = self.collective_lane();
                     let timing = self.engine.schedule(
                         &mut self.queue,
@@ -421,9 +472,10 @@ impl Executor {
                         lane,
                         &node.name,
                     );
+                    self.lane_scratch = earliest;
                     report.collective_time += timing.busy;
                     for d in 0..ndev {
-                        ends[node_id][d] = timing.done[d];
+                        ends[node_id * ndev + d] = timing.done[d];
                     }
                     if self.functional {
                         // Canonical rank-order fold: bit-identical to the
@@ -433,6 +485,8 @@ impl Executor {
                 }
             }
         }
+
+        self.ends_scratch = ends;
 
         // Align all streams at the end of one execution so iterations
         // measure cleanly (a zero-cost barrier on the virtual clock).
@@ -460,10 +514,26 @@ impl Executor {
     }
 
     /// Execute the plan `n` times, aggregating the report.
+    ///
+    /// When tracing, asserts (debug builds) that each iteration emits the
+    /// same number of spans — the compiled schedule is replayed verbatim,
+    /// so a drifting span count means the executor grew hidden state.
     pub fn execute_iters(&mut self, n: usize) -> ExecReport {
         let mut total = ExecReport::default();
+        let mut spans_per_iter: Option<usize> = None;
         for _ in 0..n {
+            let before = self.queue.trace().map(|t| t.spans().len());
             total.accumulate(self.execute());
+            if let (Some(b), Some(t)) = (before, self.queue.trace()) {
+                let delta = t.spans().len() - b;
+                if let Some(expected) = spans_per_iter {
+                    debug_assert_eq!(
+                        expected, delta,
+                        "trace span count must be stable across iterations"
+                    );
+                }
+                spans_per_iter = Some(delta);
+            }
         }
         total
     }

@@ -74,9 +74,32 @@ pub struct Node {
     pub name: String,
     /// Payload.
     pub kind: NodeKind,
+    /// Index of the originating container in the compiled sequence (`None`
+    /// for synthesized nodes such as halo updates). Plan rebinding uses it
+    /// to swap a cached plan's containers for a new instance's.
+    pub source: Option<usize>,
 }
 
 impl Node {
+    /// A node with no container provenance.
+    pub fn new(name: impl Into<String>, kind: NodeKind) -> Self {
+        Node {
+            name: name.into(),
+            kind,
+            source: None,
+        }
+    }
+
+    /// A node originating from `containers[source]` of the compiled
+    /// sequence.
+    pub fn with_source(name: impl Into<String>, kind: NodeKind, source: usize) -> Self {
+        Node {
+            name: name.into(),
+            kind,
+            source: Some(source),
+        }
+    }
+
     /// The node's container, if it has one.
     pub fn container(&self) -> Option<&Container> {
         match &self.kind {
@@ -369,7 +392,7 @@ pub fn build_dependency_graph(containers: &[Container]) -> Graph {
     let mut last_writer: HashMap<DataUid, NodeId> = HashMap::new();
     let mut readers_since_write: HashMap<DataUid, Vec<NodeId>> = HashMap::new();
 
-    for c in containers {
+    for (ci, c) in containers.iter().enumerate() {
         let kind = match c.kind() {
             neon_set::ContainerKind::Host => NodeKind::Host {
                 container: c.clone(),
@@ -381,10 +404,7 @@ pub fn build_dependency_graph(containers: &[Container]) -> Graph {
                 reduce_finalize: c.is_reduce(),
             },
         };
-        let id = g.add_node(Node {
-            name: c.name().to_string(),
-            kind,
-        });
+        let id = g.add_node(Node::with_source(c.name(), kind, ci));
         for a in c.accesses() {
             if a.mode.reads() {
                 if let Some(&w) = last_writer.get(&a.uid) {
@@ -581,18 +601,18 @@ mod tests {
     #[should_panic(expected = "cycle")]
     fn cycle_detection() {
         let mut g = Graph::new();
-        let a = g.add_node(Node {
-            name: "a".into(),
-            kind: NodeKind::Host {
+        let a = g.add_node(Node::new(
+            "a",
+            NodeKind::Host {
                 container: Container::host("a", 1, |_| Box::new(|| {})),
             },
-        });
-        let b = g.add_node(Node {
-            name: "b".into(),
-            kind: NodeKind::Host {
+        ));
+        let b = g.add_node(Node::new(
+            "b",
+            NodeKind::Host {
                 container: Container::host("b", 1, |_| Box::new(|| {})),
             },
-        });
+        ));
         g.add_edge(Edge {
             from: a,
             to: b,

@@ -12,8 +12,15 @@
 //!   node splitting and scheduling hints;
 //! * [`schedule`] — the greedy three-phase scheduler (stream mapping,
 //!   event organization, task ordering);
+//! * [`pass`] — the pass manager driving those stages as a uniform,
+//!   timed, validated pipeline over a compilation IR;
+//! * [`validate`] — the inter-pass invariant checker (acyclicity,
+//!   conflict ordering, halo precedence, schedule/event soundness);
+//! * [`plan`] — immutable [`CompiledPlan`]s and the process-wide plan
+//!   cache keyed by sequence signature × backend fingerprint × options;
 //! * [`exec`] — the executor: virtual-clock timing replay plus functional
-//!   execution of the kernels on real partition data.
+//!   execution of the kernels on real partition data, borrowing plan data
+//!   by index.
 //!
 //! ```no_run
 //! # use neon_core::{Skeleton, SkeletonOptions, OccLevel};
@@ -35,8 +42,11 @@ pub mod exec;
 pub mod graph;
 pub mod multigpu;
 pub mod occ;
+pub mod pass;
+pub mod plan;
 pub mod schedule;
 pub mod skeleton;
+pub mod validate;
 
 pub use collective::{lower_collectives, CollectiveMode};
 pub use exec::{ExecReport, Executor, HaloPolicy};
@@ -44,5 +54,8 @@ pub use graph::{build_dependency_graph, Edge, EdgeKind, Graph, Node, NodeId, Nod
 pub use multigpu::to_multigpu_graph;
 pub use neon_comm::Algorithm as CollectiveAlgorithm;
 pub use occ::{apply_occ, OccLevel};
+pub use pass::{CompileError, CompileLog, Ir, Pass, PassCtx, PassManager, PassTiming};
+pub use plan::{clear_plan_cache, plan_cache_stats, CacheStats, CompiledPlan, PlanKey};
 pub use schedule::{build_schedule, build_schedule_opts, Schedule, Task};
 pub use skeleton::{Skeleton, SkeletonOptions};
+pub use validate::{validate_graph, validate_ir, validate_schedule, ValidationError};

@@ -49,10 +49,10 @@ pub fn to_multigpu_graph(g: &Graph, num_devices: usize) -> Graph {
                 let halo_id = if let Some(&h) = valid_halo.get(&uid) {
                     h
                 } else {
-                    let h = out.add_node(Node {
-                        name: format!("halo({})", exchange.data_name()),
-                        kind: NodeKind::Halo { exchange },
-                    });
+                    let h = out.add_node(Node::new(
+                        format!("halo({})", exchange.data_name()),
+                        NodeKind::Halo { exchange },
+                    ));
                     // Halo waits for the last writer of the field.
                     if let Some(&w) = last_writer.get(&uid) {
                         out.add_edge(Edge {

@@ -187,6 +187,7 @@ pub fn apply_occ(g: &Graph, level: OccLevel) -> Graph {
                 reduce_init: init,
                 reduce_finalize: fin,
             },
+            source: node.source,
         };
         // Boundary maps go first in id order so ties in the final BFS
         // ordering favour them; internal halves first for stencil/reduce.

@@ -1,0 +1,489 @@
+//! Immutable compiled execution plans and the process-wide plan cache.
+//!
+//! A [`CompiledPlan`] is the product of the pass pipeline: the final
+//! execution graph, its schedule, and precomputed per-node parent lists,
+//! all behind an `Arc` so the executor borrows task and node data by index
+//! instead of cloning per task per iteration.
+//!
+//! Plans are cached by [`PlanKey`]:
+//!
+//! * the **sequence signature** ([`neon_set::sequence_signature`]) — a
+//!   structural hash of the container sequence over *normalized* data-uid
+//!   roles, deliberately excluding cell counts and per-cell costs (those
+//!   are read from the bound containers at execution time), so the same
+//!   solver over a different grid size still hits;
+//! * the **backend fingerprint** ([`neon_sys::Backend::fingerprint`]) —
+//!   device models plus topology;
+//! * the **options signature** — every [`SkeletonOptions`] field that
+//!   shapes the graph or schedule (`trace` and `validate` don't).
+//!
+//! On a hit the cached plan is *rebound*: node containers are swapped by
+//! provenance index, halo exchanges and edge data uids are remapped via
+//! the role correspondence, and the schedule — which depends only on graph
+//! structure — is shared untouched. `Arc::ptr_eq` on the schedule is
+//! therefore proof that a sequence compiled once.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use neon_set::{sequence_signature, uid_roles, Container, DataUid, HaloExchange};
+use neon_sys::{stable_hash_of, Backend, StableHasher, Trace};
+
+use crate::collective::CollectiveMode;
+use crate::exec::HaloPolicy;
+use crate::graph::{Edge, Graph, Node, NodeId, NodeKind};
+use crate::pass::{CompileError, Ir, PassCtx, PassManager, PassTiming};
+use crate::schedule::Schedule;
+use crate::skeleton::SkeletonOptions;
+
+/// The immutable result of compiling a container sequence.
+pub struct CompiledPlan {
+    containers: Vec<Container>,
+    dependency_graph: Graph,
+    graph: Graph,
+    schedule: Arc<Schedule>,
+    data_parents: Vec<Vec<NodeId>>,
+    timings: Vec<PassTiming>,
+    dumps: Vec<(String, String)>,
+    compile_trace: Trace,
+}
+
+impl CompiledPlan {
+    /// The raw dependency graph (before the multi-GPU transform).
+    pub fn dependency_graph(&self) -> &Graph {
+        &self.dependency_graph
+    }
+
+    /// The final (multi-GPU, OCC-optimized, lowered) execution graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The execution plan.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The schedule's shared handle (`Arc::ptr_eq` across two plans proves
+    /// they came from one compilation).
+    pub fn schedule_arc(&self) -> &Arc<Schedule> {
+        &self.schedule
+    }
+
+    /// The bound container sequence, in program order.
+    pub fn containers(&self) -> &[Container] {
+        &self.containers
+    }
+
+    /// Data-edge parents of a node (precomputed at compile time).
+    pub fn data_parents(&self, node: NodeId) -> &[NodeId] {
+        &self.data_parents[node]
+    }
+
+    /// Per-pass compile timings. Empty for a rebound (cache-hit) plan —
+    /// no compilation happened.
+    pub fn pass_timings(&self) -> &[PassTiming] {
+        &self.timings
+    }
+
+    /// `(pass name, dump)` pairs captured when `dump_ir` was on.
+    pub fn dumps(&self) -> &[(String, String)] {
+        &self.dumps
+    }
+
+    /// Compile-time [`neon_sys::SpanKind::Compile`] spans, one per pass
+    /// (empty for a rebound plan).
+    pub fn compile_trace(&self) -> &Trace {
+        &self.compile_trace
+    }
+
+    /// Wrap an already-built graph and schedule (no containers, no
+    /// dependency graph, no timings). This is the compatibility path for
+    /// [`crate::exec::Executor::new`]; skeleton-built plans carry the full
+    /// state.
+    pub fn from_parts(graph: Graph, schedule: Schedule) -> Arc<CompiledPlan> {
+        let data_parents = precompute_parents(&graph);
+        Arc::new(CompiledPlan {
+            containers: Vec::new(),
+            dependency_graph: Graph::new(),
+            graph,
+            schedule: Arc::new(schedule),
+            data_parents,
+            timings: Vec::new(),
+            dumps: Vec::new(),
+            compile_trace: Trace::new(),
+        })
+    }
+}
+
+fn precompute_parents(g: &Graph) -> Vec<Vec<NodeId>> {
+    (0..g.len())
+        .map(|n| g.data_parents(n).map(|e| e.from).collect())
+        .collect()
+}
+
+/// Cache key of a compiled plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Structural signature of the container sequence.
+    pub seq: u64,
+    /// Backend fingerprint (device models + topology).
+    pub backend: u64,
+    /// Signature of the graph-shaping skeleton options.
+    pub opts: u64,
+}
+
+impl PlanKey {
+    /// Compute the key for compiling `containers` on `backend` with
+    /// `options`.
+    pub fn new(backend: &Backend, containers: &[Container], options: &SkeletonOptions) -> PlanKey {
+        PlanKey {
+            seq: sequence_signature(containers),
+            backend: backend.fingerprint(),
+            opts: options_signature(options),
+        }
+    }
+}
+
+/// Hash every option that shapes the compiled graph or schedule. `trace`,
+/// `validate` and `cache` are diagnostics/policy — same plan either way.
+fn options_signature(o: &SkeletonOptions) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = StableHasher::new();
+    let mut put = |v: u64| h.write_u64(v);
+    put(o.occ as u64);
+    put(o.max_streams as u64);
+    put(o.hints as u64);
+    put(o.kernel_concurrency as u64);
+    match o.halo_policy {
+        HaloPolicy::ExplicitTransfers => put(0),
+        HaloPolicy::UnifiedMemory {
+            page_bytes,
+            fault_us,
+            bandwidth_gb_s,
+        } => {
+            put(1);
+            put(page_bytes);
+            put(fault_us.to_bits());
+            put(bandwidth_gb_s.to_bits());
+        }
+    }
+    match o.collectives {
+        CollectiveMode::Auto => put(2),
+        CollectiveMode::Fixed(a) => {
+            put(3);
+            put(stable_hash_of(&format!("{a:?}")));
+        }
+    }
+    put(o.dump_ir as u64);
+    h.finish()
+}
+
+/// Counters of the process-wide plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a plan (each hit skips a full pipeline run).
+    pub hits: u64,
+    /// Lookups that compiled fresh.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+struct CacheInner {
+    map: HashMap<PlanKey, Arc<CompiledPlan>>,
+    order: VecDeque<PlanKey>,
+    hits: u64,
+    misses: u64,
+}
+
+const CACHE_CAPACITY: usize = 32;
+
+fn cache() -> &'static Mutex<CacheInner> {
+    static CACHE: OnceLock<Mutex<CacheInner>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(CacheInner {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        })
+    })
+}
+
+/// Current plan-cache counters.
+pub fn plan_cache_stats() -> CacheStats {
+    let c = cache().lock().unwrap();
+    CacheStats {
+        hits: c.hits,
+        misses: c.misses,
+        entries: c.map.len(),
+    }
+}
+
+/// Drop every cached plan (counters are kept; tests diff them).
+pub fn clear_plan_cache() {
+    let mut c = cache().lock().unwrap();
+    c.map.clear();
+    c.order.clear();
+}
+
+/// Compile `containers`, consulting the plan cache when `options.cache`.
+/// Returns the plan and whether it came from the cache.
+pub(crate) fn compile(
+    backend: &Backend,
+    containers: Vec<Container>,
+    options: SkeletonOptions,
+) -> Result<(Arc<CompiledPlan>, bool), CompileError> {
+    if !options.cache {
+        return Ok((compile_fresh(backend, containers, &options)?, false));
+    }
+    let key = PlanKey::new(backend, &containers, &options);
+    let cached = cache().lock().unwrap().map.get(&key).cloned();
+    if let Some(plan) = cached {
+        let rebound = rebind(&plan, containers);
+        let mut c = cache().lock().unwrap();
+        c.hits += 1;
+        // Keep the most recently bound instance: a later identical request
+        // then shares containers too, not just the schedule.
+        c.map.insert(key, Arc::clone(&rebound));
+        return Ok((rebound, true));
+    }
+    let plan = compile_fresh(backend, containers, &options)?;
+    let mut c = cache().lock().unwrap();
+    c.misses += 1;
+    if !c.map.contains_key(&key) {
+        while c.map.len() >= CACHE_CAPACITY {
+            match c.order.pop_front() {
+                Some(old) => {
+                    c.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        c.order.push_back(key);
+    }
+    c.map.insert(key, Arc::clone(&plan));
+    Ok((plan, false))
+}
+
+/// Run the standard pass pipeline to a fresh plan.
+fn compile_fresh(
+    backend: &Backend,
+    containers: Vec<Container>,
+    options: &SkeletonOptions,
+) -> Result<Arc<CompiledPlan>, CompileError> {
+    let mut ir = Ir::new(containers);
+    let cx = PassCtx {
+        backend: backend.clone(),
+        options: *options,
+    };
+    let log = PassManager::standard().run(&mut ir, &cx)?;
+    let schedule = ir
+        .schedule
+        .take()
+        .expect("schedule pass ran last and produced a schedule");
+    let graph = ir.graph;
+    let data_parents = precompute_parents(&graph);
+    Ok(Arc::new(CompiledPlan {
+        containers: ir.containers,
+        dependency_graph: ir.dependency_graph.unwrap_or_default(),
+        graph,
+        schedule: Arc::new(schedule),
+        data_parents,
+        timings: log.timings,
+        dumps: log.dumps,
+        compile_trace: log.trace,
+    }))
+}
+
+/// Re-bind a cached plan to a new (structurally identical) container
+/// sequence: swap containers by provenance index, remap data uids via the
+/// role correspondence, share the schedule.
+fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> {
+    let old_roles = uid_roles(&plan.containers);
+    let new_roles = uid_roles(&containers);
+    let role_to_new: HashMap<usize, DataUid> = new_roles.iter().map(|(u, r)| (*r, *u)).collect();
+    let map_uid = |u: DataUid| -> DataUid {
+        old_roles
+            .get(&u)
+            .and_then(|r| role_to_new.get(r))
+            .copied()
+            .unwrap_or(u)
+    };
+    // Halo exchanges of the new sequence, by (new) uid.
+    let mut halos: HashMap<DataUid, Arc<dyn HaloExchange>> = HashMap::new();
+    for c in &containers {
+        for a in c.accesses() {
+            if let Some(h) = &a.halo {
+                halos.entry(a.uid).or_insert_with(|| Arc::clone(h));
+            }
+        }
+    }
+    let rebind_graph = |g: &Graph| -> Graph {
+        let mut out = Graph::new();
+        for n in g.nodes() {
+            let swap = |c: &Container| match n.source {
+                Some(i) => containers[i].clone(),
+                None => c.clone(),
+            };
+            let node = match &n.kind {
+                NodeKind::Compute {
+                    container,
+                    view,
+                    reduce_init,
+                    reduce_finalize,
+                } => Node {
+                    name: n.name.clone(),
+                    kind: NodeKind::Compute {
+                        container: swap(container),
+                        view: *view,
+                        reduce_init: *reduce_init,
+                        reduce_finalize: *reduce_finalize,
+                    },
+                    source: n.source,
+                },
+                NodeKind::Host { container } => Node {
+                    name: n.name.clone(),
+                    kind: NodeKind::Host {
+                        container: swap(container),
+                    },
+                    source: n.source,
+                },
+                NodeKind::Collective { container, bytes } => Node {
+                    name: n.name.clone(),
+                    kind: NodeKind::Collective {
+                        container: swap(container),
+                        bytes: *bytes,
+                    },
+                    source: n.source,
+                },
+                NodeKind::Halo { exchange } => {
+                    let uid = map_uid(exchange.data_uid());
+                    let ex = halos
+                        .get(&uid)
+                        .cloned()
+                        .unwrap_or_else(|| Arc::clone(exchange));
+                    Node {
+                        name: format!("halo({})", ex.data_name()),
+                        kind: NodeKind::Halo { exchange: ex },
+                        source: None,
+                    }
+                }
+            };
+            out.add_node(node);
+        }
+        for e in g.edges() {
+            out.add_edge(Edge {
+                from: e.from,
+                to: e.to,
+                kind: e.kind,
+                data: e.data.map(map_uid),
+            });
+        }
+        out
+    };
+    Arc::new(CompiledPlan {
+        dependency_graph: rebind_graph(&plan.dependency_graph),
+        graph: rebind_graph(&plan.graph),
+        schedule: Arc::clone(&plan.schedule),
+        data_parents: plan.data_parents.clone(),
+        timings: Vec::new(),
+        dumps: plan.dumps.clone(),
+        compile_trace: Trace::new(),
+        containers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occ::OccLevel;
+    use neon_domain::{ops, DenseGrid, Dim3, Field, MemLayout, ScalarSet, Stencil, StorageMode};
+
+    fn sequence(ndev: usize, nz: usize) -> (Backend, Vec<Container>) {
+        let b = Backend::dgx_a100(ndev);
+        let s = Stencil::seven_point();
+        let g = DenseGrid::new(&b, Dim3::new(4, 4, nz), &[&s], StorageMode::Real).unwrap();
+        let x = Field::<f64, _>::new(&g, "x", 1, 1.0, MemLayout::SoA).unwrap();
+        let dot = ScalarSet::<f64>::new(ndev, "dot", 0.0, |a, b| a + b);
+        let seq = vec![ops::set_value(&g, &x, 2.0), ops::dot(&g, &x, &x, &dot)];
+        (b, seq)
+    }
+
+    #[test]
+    fn identical_sequences_share_one_compilation() {
+        let opts = SkeletonOptions::default();
+        let (b, seq1) = sequence(2, 8);
+        let (p1, hit1) = compile(&b, seq1, opts).unwrap();
+        let (_b2, seq2) = sequence(2, 8);
+        let (p2, hit2) = compile(&b, seq2, opts).unwrap();
+        assert!(
+            !hit1 || hit2,
+            "second lookup cannot be colder than the first"
+        );
+        assert!(hit2, "structurally identical sequence must hit");
+        assert!(
+            Arc::ptr_eq(p1.schedule_arc(), p2.schedule_arc()),
+            "schedule compiled once, shared"
+        );
+        // The rebound plan is bound to the *new* containers.
+        assert!(!p2.containers().is_empty());
+        assert!(
+            p2.pass_timings().is_empty(),
+            "cache hit does no compile work"
+        );
+    }
+
+    #[test]
+    fn grid_size_does_not_fragment_the_cache() {
+        let opts = SkeletonOptions::default();
+        let (b, small) = sequence(2, 8);
+        let (_, _) = compile(&b, small, opts).unwrap();
+        let (_b, large) = sequence(2, 64);
+        let (_, hit) = compile(&b, large, opts).unwrap();
+        assert!(hit, "same structure over a bigger grid reuses the plan");
+    }
+
+    #[test]
+    fn options_and_backend_fragment_the_cache() {
+        let (b, seq1) = sequence(2, 8);
+        let (_, _) = compile(&b, seq1, SkeletonOptions::default()).unwrap();
+        let (_b, seq2) = sequence(2, 8);
+        let (_, hit) = compile(
+            &b,
+            seq2,
+            SkeletonOptions::with_occ(OccLevel::TwoWayExtended),
+        )
+        .unwrap();
+        assert!(!hit, "different OCC level compiles fresh");
+        let (b4, seq3) = sequence(4, 8);
+        let (_, hit) = compile(&b4, seq3, SkeletonOptions::default()).unwrap();
+        assert!(!hit, "different device count compiles fresh");
+    }
+
+    #[test]
+    fn cache_opt_out_always_compiles_fresh() {
+        let opts = SkeletonOptions {
+            cache: false,
+            ..Default::default()
+        };
+        let (b, seq1) = sequence(2, 8);
+        let (p1, hit1) = compile(&b, seq1, opts).unwrap();
+        let (_b, seq2) = sequence(2, 8);
+        let (p2, hit2) = compile(&b, seq2, opts).unwrap();
+        assert!(!hit1 && !hit2);
+        assert!(!Arc::ptr_eq(p1.schedule_arc(), p2.schedule_arc()));
+    }
+
+    #[test]
+    fn trace_and_validate_do_not_fragment_the_key() {
+        let base = SkeletonOptions::default();
+        let traced = SkeletonOptions {
+            trace: true,
+            validate: false,
+            ..Default::default()
+        };
+        assert_eq!(options_signature(&base), options_signature(&traced));
+    }
+}

@@ -183,12 +183,12 @@ mod tests {
     use neon_set::Container;
 
     fn host_node(name: &str) -> Node {
-        Node {
-            name: name.to_string(),
-            kind: NodeKind::Host {
+        Node::new(
+            name,
+            NodeKind::Host {
                 container: Container::host(name, 1, |_| Box::new(|| {})),
             },
-        }
+        )
     }
 
     fn edge(from: NodeId, to: NodeId, kind: EdgeKind) -> Edge {

@@ -1,26 +1,39 @@
 //! The Skeleton — Neon's orchestrator (paper §V).
 //!
 //! Users hand the Skeleton a *sequential* list of containers and a
-//! backend; it:
+//! backend; it compiles them through the pass pipeline
+//! ([`crate::pass::PassManager`]):
 //!
-//! 1. extracts the data dependency graph from the containers' recorded
-//!    accesses,
-//! 2. builds the multi-GPU graph (halo updates, redundancy pruning),
-//! 3. applies the configured OCC optimization,
-//! 4. schedules the graph onto streams (BFS mapping, events, task order),
+//! 1. `dependency-graph` — extract the data dependency graph from the
+//!    containers' recorded accesses,
+//! 2. `multi-gpu` — insert halo updates, prune redundant edges,
+//! 3. `occ` — split kernels at the configured OCC level,
+//! 4. `collective-lowering` — turn finalizing reduces into collective
+//!    nodes,
+//! 5. `schedule` — map nodes to streams, organize events, fix the enqueue
+//!    order,
 //!
-//! and then executes the plan — repeatedly, for iterative solvers —
+//! validating pipeline invariants between passes, and then executes the
+//! resulting [`CompiledPlan`] — repeatedly, for iterative solvers —
 //! entirely without user intervention.
+//!
+//! Plans are cached process-wide (see [`crate::plan`]): a solver that
+//! rebuilds a skeleton for the same sequence shape, backend and options
+//! reuses the compiled graph and schedule, paying only a cheap rebinding
+//! of its containers.
+
+use std::sync::Arc;
 
 use neon_set::Container;
 use neon_sys::{Backend, SimTime, Trace};
 
-use crate::collective::{lower_collectives, CollectiveMode};
+use crate::collective::CollectiveMode;
 use crate::exec::{ExecReport, Executor, HaloPolicy};
-use crate::graph::{build_dependency_graph, Graph};
-use crate::multigpu::to_multigpu_graph;
-use crate::occ::{apply_occ, OccLevel};
-use crate::schedule::{build_schedule_opts, Schedule};
+use crate::graph::Graph;
+use crate::occ::OccLevel;
+use crate::pass::{CompileError, PassTiming};
+use crate::plan::{self, CompiledPlan};
+use crate::schedule::Schedule;
 
 /// Configuration of a skeleton.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +59,16 @@ pub struct SkeletonOptions {
     /// nodes whose algorithm (ring / tree / host-staged) is picked from
     /// the topology and payload (`Auto`), or forced (`Fixed`).
     pub collectives: CollectiveMode,
+    /// Run the invariant validator between compile passes (cheap on
+    /// app-sized graphs; turn off for huge synthetic sequences).
+    pub validate: bool,
+    /// Consult the process-wide plan cache (same sequence shape + backend
+    /// + options ⇒ reuse the compiled graph and schedule).
+    pub cache: bool,
+    /// Capture a text IR dump after every pass (see
+    /// [`Skeleton::dump_ir`]). Independently, setting the `NEON_DUMP_IR`
+    /// environment variable prints dumps to stderr.
+    pub dump_ir: bool,
 }
 
 impl Default for SkeletonOptions {
@@ -58,6 +81,9 @@ impl Default for SkeletonOptions {
             halo_policy: HaloPolicy::ExplicitTransfers,
             trace: false,
             collectives: CollectiveMode::Auto,
+            validate: true,
+            cache: true,
+            dump_ir: false,
         }
     }
 }
@@ -76,48 +102,49 @@ impl SkeletonOptions {
 pub struct Skeleton {
     name: String,
     options: SkeletonOptions,
-    dependency_graph: Graph,
-    graph: Graph,
-    schedule: Schedule,
+    plan: Arc<CompiledPlan>,
     executor: Executor,
+    from_cache: bool,
 }
 
 impl Skeleton {
     /// Compile `containers` (in program order) for `backend`.
+    ///
+    /// Panics if a compile pass violates a pipeline invariant — which
+    /// means a bug in the pipeline, not in user code. Use
+    /// [`Skeleton::try_sequence`] to handle it as an error.
     pub fn sequence(
         backend: &Backend,
         name: &str,
         containers: Vec<Container>,
         options: SkeletonOptions,
     ) -> Self {
-        let dependency_graph = build_dependency_graph(&containers);
-        let mg = to_multigpu_graph(&dependency_graph, backend.num_devices());
-        let occ = apply_occ(&mg, options.occ);
-        // Lower finalizing reduces to collective nodes after OCC (so the
-        // boundary half is visible) and before scheduling (so the nodes
-        // get streams and events like everything else).
-        let occ = lower_collectives(&occ, backend.num_devices());
-        let max_streams = if backend.concurrent_kernels() {
-            options.max_streams
-        } else {
-            1 // the CPU back end runs one kernel at a time (paper §IV-A)
-        };
-        let schedule = build_schedule_opts(&occ, max_streams, options.hints);
-        let mut executor = Executor::new(backend.clone(), occ.clone(), schedule.clone());
+        Self::try_sequence(backend, name, containers, options)
+            .unwrap_or_else(|e| panic!("compiling skeleton '{name}': {e}"))
+    }
+
+    /// [`Skeleton::sequence`], returning compile-pipeline failures.
+    pub fn try_sequence(
+        backend: &Backend,
+        name: &str,
+        containers: Vec<Container>,
+        options: SkeletonOptions,
+    ) -> Result<Self, CompileError> {
+        let (plan, from_cache) = plan::compile(backend, containers, options)?;
+        let mut executor = Executor::from_plan(backend.clone(), Arc::clone(&plan));
         executor.set_kernel_concurrency(options.kernel_concurrency);
         executor.set_halo_policy(options.halo_policy);
         executor.set_collective_mode(options.collectives);
         if options.trace {
             executor.enable_trace();
         }
-        Skeleton {
+        Ok(Skeleton {
             name: name.to_string(),
             options,
-            dependency_graph,
-            graph: occ,
-            schedule,
+            plan,
             executor,
-        }
+            from_cache,
+        })
     }
 
     /// The skeleton's name.
@@ -130,19 +157,66 @@ impl Skeleton {
         &self.options
     }
 
+    /// The compiled plan (graph + schedule + bindings).
+    pub fn plan(&self) -> &Arc<CompiledPlan> {
+        &self.plan
+    }
+
+    /// Whether this skeleton's plan came from the plan cache (rebound)
+    /// rather than a fresh pipeline run.
+    pub fn compiled_from_cache(&self) -> bool {
+        self.from_cache
+    }
+
+    /// Per-pass compile wall-clock timings (empty for a cache hit).
+    pub fn pass_timings(&self) -> &[PassTiming] {
+        self.plan.pass_timings()
+    }
+
+    /// Total compile wall-clock time (zero for a cache hit).
+    pub fn compile_time(&self) -> SimTime {
+        // fold, not sum: an empty f64 sum is -0.0, which prints as "-0".
+        let us = self
+            .plan
+            .pass_timings()
+            .iter()
+            .fold(0.0, |a, t| a + t.wall_us);
+        SimTime::from_us(us)
+    }
+
+    /// The per-pass IR dumps, concatenated (requires `options.dump_ir`;
+    /// empty otherwise). Deterministic across runs — data objects are
+    /// labelled by role, not raw uid.
+    pub fn dump_ir(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (pass, dump) in self.plan.dumps() {
+            let _ = writeln!(out, "== after {pass} ==");
+            out.push_str(dump);
+        }
+        out
+    }
+
+    /// Compile-time trace spans ([`neon_sys::SpanKind::Compile`]), kept
+    /// separate from the execution trace so execution timelines stay
+    /// undistorted.
+    pub fn compile_trace(&self) -> &Trace {
+        self.plan.compile_trace()
+    }
+
     /// The raw data dependency graph (before the multi-GPU transform).
     pub fn dependency_graph(&self) -> &Graph {
-        &self.dependency_graph
+        self.plan.dependency_graph()
     }
 
     /// The final (multi-GPU, OCC-optimized) execution graph.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.plan.graph()
     }
 
     /// The execution plan.
     pub fn schedule(&self) -> &Schedule {
-        &self.schedule
+        self.plan.schedule()
     }
 
     /// Whether kernels run on real data.

@@ -1,0 +1,555 @@
+//! Inter-pass invariant validation for the compile pipeline.
+//!
+//! Every pass of the [`crate::pass::PassManager`] must hand the next pass a
+//! well-formed IR. The validator makes that contract executable; it checks:
+//!
+//! 1. **Acyclicity** — the graph (data + hint edges) admits a topological
+//!    order.
+//! 2. **Conflict ordering** — any two nodes that touch the same data object
+//!    where at least one writes are connected by a directed data-edge path,
+//!    unless they provably cannot race: clones of one container instance
+//!    (OCC split halves, a reduce kernel and its lowered collective), or
+//!    cell-local accesses over disjoint views (an internal half and a
+//!    boundary half iterate disjoint cells). This is what "WaR/WaW edges
+//!    preserved across OCC splitting" means once splitting multiplies the
+//!    endpoints.
+//! 3. **Halo precedence** — every node that stencil-reads a partitioned
+//!    field over a view containing boundary cells has a halo-update node for
+//!    that field among its data-edge ancestors (multi-device backends only;
+//!    internal halves are exempt by construction).
+//! 4. **Schedule soundness** — one task per node, data edges respected by
+//!    the enqueue order, and event begin/end pairing: every cross-stream /
+//!    halo / collective data edge appears in the consumer's wait list, every
+//!    waited-on task signals, every signalling task has a waiter, and waits
+//!    reference earlier tasks only.
+
+use std::collections::{HashMap, HashSet};
+
+use neon_set::{ComputePattern, DataUid, DataView};
+
+use crate::graph::{Graph, NodeId, NodeKind};
+use crate::schedule::Schedule;
+
+/// A violated pipeline invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// The graph contains a cycle through the named nodes.
+    Cycle {
+        /// Nodes left unprocessed by Kahn's algorithm (a superset of one
+        /// cycle).
+        nodes: Vec<String>,
+    },
+    /// Two nodes conflict on a data object but no data-edge path orders
+    /// them.
+    UnorderedConflict {
+        /// One conflicting node.
+        a: String,
+        /// The other conflicting node.
+        b: String,
+        /// The shared data object's name.
+        data: String,
+    },
+    /// A stencil reader has no halo-update ancestor for the field it reads.
+    MissingHalo {
+        /// The reading node.
+        node: String,
+        /// The stencil-read field's name.
+        data: String,
+    },
+    /// The schedule's task count does not match the graph's node count.
+    TaskCountMismatch {
+        /// Tasks in the schedule.
+        tasks: usize,
+        /// Nodes in the graph.
+        nodes: usize,
+    },
+    /// A node appears in more than one task (or not at all).
+    DuplicateTask {
+        /// The node's name.
+        node: String,
+    },
+    /// A data edge runs against the task order.
+    NotTopological {
+        /// The producer node.
+        from: String,
+        /// The consumer node enqueued too early.
+        to: String,
+    },
+    /// A data edge that needs an event is missing from the consumer's wait
+    /// list.
+    MissingEvent {
+        /// The producer node.
+        from: String,
+        /// The consumer node.
+        to: String,
+    },
+    /// A task waits on a node whose task does not signal (no event was
+    /// recorded to wait for).
+    WaitWithoutSignal {
+        /// The waiting task's node.
+        task: String,
+        /// The awaited node.
+        waited: String,
+    },
+    /// A task waits on a node enqueued after it.
+    WaitNotEarlier {
+        /// The waiting task's node.
+        task: String,
+        /// The awaited node.
+        waited: String,
+    },
+    /// A task signals but nothing ever waits on it (dangling event begin).
+    SignalWithoutWait {
+        /// The signalling task's node.
+        task: String,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::Cycle { nodes } => {
+                write!(f, "cycle through {}", nodes.join(", "))
+            }
+            ValidationError::UnorderedConflict { a, b, data } => {
+                write!(f, "'{a}' and '{b}' conflict on {data} but are unordered")
+            }
+            ValidationError::MissingHalo { node, data } => {
+                write!(f, "'{node}' stencil-reads {data} with no halo ancestor")
+            }
+            ValidationError::TaskCountMismatch { tasks, nodes } => {
+                write!(f, "{tasks} tasks for {nodes} graph nodes")
+            }
+            ValidationError::DuplicateTask { node } => {
+                write!(f, "node '{node}' is not scheduled exactly once")
+            }
+            ValidationError::NotTopological { from, to } => {
+                write!(f, "'{to}' enqueued before its producer '{from}'")
+            }
+            ValidationError::MissingEvent { from, to } => {
+                write!(
+                    f,
+                    "edge '{from}' -> '{to}' crosses streams without an event"
+                )
+            }
+            ValidationError::WaitWithoutSignal { task, waited } => {
+                write!(f, "'{task}' waits on '{waited}', which never signals")
+            }
+            ValidationError::WaitNotEarlier { task, waited } => {
+                write!(f, "'{task}' waits on '{waited}', enqueued later")
+            }
+            ValidationError::SignalWithoutWait { task } => {
+                write!(f, "'{task}' signals an event nobody waits on")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Per-node summary of how one data object is used.
+#[derive(Default, Clone, Copy)]
+struct UidUse {
+    reads: bool,
+    writes: bool,
+    stencil: bool,
+}
+
+/// Collect each data object a node touches, with the aggregated mode and
+/// whether any access to it is a stencil (non-local) access.
+///
+/// Halo nodes report nothing (their conflicts are covered by the halo
+/// precedence check); collective nodes report only the reduced scalars —
+/// the carried container's field reads belong to the accumulating kernel,
+/// not to the communication step.
+fn node_uses(kind: &NodeKind) -> HashMap<DataUid, UidUse> {
+    let mut uses: HashMap<DataUid, UidUse> = HashMap::new();
+    match kind {
+        NodeKind::Halo { .. } => {}
+        NodeKind::Collective { container, .. } => {
+            for a in container.accesses() {
+                if a.pattern == ComputePattern::Reduce {
+                    let u = uses.entry(a.uid).or_default();
+                    u.reads = true;
+                    u.writes = true;
+                }
+            }
+        }
+        NodeKind::Compute { container, .. } | NodeKind::Host { container } => {
+            for a in container.accesses() {
+                let u = uses.entry(a.uid).or_default();
+                u.reads |= a.mode.reads();
+                u.writes |= a.mode.writes();
+                u.stencil |= a.pattern == ComputePattern::Stencil;
+            }
+        }
+    }
+    uses
+}
+
+/// Kahn's algorithm over data + hint edges; returns a topological order or
+/// the set of nodes stuck on a cycle.
+fn check_acyclic(g: &Graph) -> Result<Vec<NodeId>, ValidationError> {
+    let n = g.len();
+    let mut indeg = vec![0usize; n];
+    for e in g.edges() {
+        indeg[e.to] += 1;
+    }
+    let mut stack: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for e in g.edges() {
+            if e.from == u {
+                indeg[e.to] -= 1;
+                if indeg[e.to] == 0 {
+                    stack.push(e.to);
+                }
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let stuck: Vec<String> = (0..n)
+            .filter(|&i| indeg[i] > 0)
+            .map(|i| g.node(i).name.clone())
+            .collect();
+        Err(ValidationError::Cycle { nodes: stuck })
+    }
+}
+
+/// `reach[u]` = nodes reachable from `u` via data edges (u excluded).
+fn data_reachability(g: &Graph, topo: &[NodeId]) -> Vec<HashSet<NodeId>> {
+    let mut reach: Vec<HashSet<NodeId>> = vec![HashSet::new(); g.len()];
+    for &u in topo.iter().rev() {
+        let mut r = HashSet::new();
+        for e in g.data_children(u) {
+            r.insert(e.to);
+            r.extend(reach[e.to].iter().copied());
+        }
+        reach[u] = r;
+    }
+    reach
+}
+
+/// Whether two views iterate provably disjoint cell sets.
+fn views_disjoint(a: DataView, b: DataView) -> bool {
+    matches!(
+        (a, b),
+        (DataView::Internal, DataView::Boundary) | (DataView::Boundary, DataView::Internal)
+    )
+}
+
+/// Validate a graph's structural invariants (checks 1–3 above).
+///
+/// `check_halos` is off before the multi-GPU pass has run (the raw
+/// dependency graph legitimately has stencil readers with no halo nodes
+/// yet).
+pub fn validate_graph(g: &Graph, ndev: usize, check_halos: bool) -> Result<(), ValidationError> {
+    let topo = check_acyclic(g)?;
+    let reach = data_reachability(g, &topo);
+
+    // Check 2: conflicting accesses are ordered (or provably race-free).
+    let uses: Vec<HashMap<DataUid, UidUse>> =
+        g.nodes().iter().map(|n| node_uses(&n.kind)).collect();
+    let mut uid_names: HashMap<DataUid, String> = HashMap::new();
+    for n in g.nodes() {
+        if let Some(c) = n.container() {
+            for a in c.accesses() {
+                uid_names.entry(a.uid).or_insert_with(|| a.name.clone());
+            }
+        }
+    }
+    for a in 0..g.len() {
+        for b in (a + 1)..g.len() {
+            let (na, nb) = (g.node(a), g.node(b));
+            if let (Some(ca), Some(cb)) = (na.container(), nb.container()) {
+                if ca.same_instance(cb) {
+                    continue; // split halves / kernel+collective of one launch
+                }
+            }
+            for (uid, ua) in &uses[a] {
+                let Some(ub) = uses[b].get(uid) else {
+                    continue;
+                };
+                if !(ua.writes || ub.writes) {
+                    continue; // two readers never conflict
+                }
+                let cell_local = !ua.stencil && !ub.stencil;
+                if cell_local && views_disjoint(na.view(), nb.view()) {
+                    continue; // disjoint iteration sets cannot race
+                }
+                if !reach[a].contains(&b) && !reach[b].contains(&a) {
+                    return Err(ValidationError::UnorderedConflict {
+                        a: na.name.clone(),
+                        b: nb.name.clone(),
+                        data: uid_names
+                            .get(uid)
+                            .cloned()
+                            .unwrap_or_else(|| format!("{uid:?}")),
+                    });
+                }
+            }
+        }
+    }
+
+    // Check 3: every boundary-touching stencil read has a halo ancestor.
+    if check_halos && ndev >= 2 {
+        for (id, n) in g.nodes().iter().enumerate() {
+            if n.view() == DataView::Internal {
+                continue; // internal cells never touch halo data
+            }
+            let Some(c) = n.container() else { continue };
+            for acc in c.stencil_reads() {
+                let live = acc
+                    .halo
+                    .as_ref()
+                    .map(|h| !h.descriptors().is_empty())
+                    .unwrap_or(false);
+                if !live {
+                    continue;
+                }
+                let covered = (0..g.len()).any(|h| {
+                    matches!(&g.node(h).kind, NodeKind::Halo { exchange }
+                        if exchange.data_uid() == acc.uid)
+                        && reach[h].contains(&id)
+                });
+                if !covered {
+                    return Err(ValidationError::MissingHalo {
+                        node: n.name.clone(),
+                        data: acc.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a schedule against its graph (check 4 above).
+pub fn validate_schedule(g: &Graph, s: &Schedule) -> Result<(), ValidationError> {
+    if s.tasks.len() != g.len() {
+        return Err(ValidationError::TaskCountMismatch {
+            tasks: s.tasks.len(),
+            nodes: g.len(),
+        });
+    }
+    let mut pos = vec![usize::MAX; g.len()];
+    for (i, t) in s.tasks.iter().enumerate() {
+        if pos[t.node] != usize::MAX {
+            return Err(ValidationError::DuplicateTask {
+                node: g.node(t.node).name.clone(),
+            });
+        }
+        pos[t.node] = i;
+    }
+    if let Some(missing) = (0..g.len()).find(|&n| pos[n] == usize::MAX) {
+        return Err(ValidationError::DuplicateTask {
+            node: g.node(missing).name.clone(),
+        });
+    }
+
+    // Data edges respected by the enqueue order, and evented when they
+    // cross streams or involve halo/collective endpoints.
+    for e in g.edges() {
+        if !e.kind.is_data() {
+            continue;
+        }
+        if pos[e.from] >= pos[e.to] {
+            return Err(ValidationError::NotTopological {
+                from: g.node(e.from).name.clone(),
+                to: g.node(e.to).name.clone(),
+            });
+        }
+        let needs_event = s.stream_of[e.from] != s.stream_of[e.to]
+            || g.node(e.from).is_halo()
+            || g.node(e.to).is_halo()
+            || g.node(e.from).is_collective()
+            || g.node(e.to).is_collective();
+        if needs_event && !s.tasks[pos[e.to]].wait.contains(&e.from) {
+            return Err(ValidationError::MissingEvent {
+                from: g.node(e.from).name.clone(),
+                to: g.node(e.to).name.clone(),
+            });
+        }
+    }
+
+    // Event begin/end pairing.
+    let mut waited: HashSet<NodeId> = HashSet::new();
+    for (i, t) in s.tasks.iter().enumerate() {
+        for &w in &t.wait {
+            waited.insert(w);
+            if pos[w] >= i {
+                return Err(ValidationError::WaitNotEarlier {
+                    task: g.node(t.node).name.clone(),
+                    waited: g.node(w).name.clone(),
+                });
+            }
+            if !s.tasks[pos[w]].signals {
+                return Err(ValidationError::WaitWithoutSignal {
+                    task: g.node(t.node).name.clone(),
+                    waited: g.node(w).name.clone(),
+                });
+            }
+        }
+    }
+    for t in &s.tasks {
+        if t.signals && !waited.contains(&t.node) {
+            return Err(ValidationError::SignalWithoutWait {
+                task: g.node(t.node).name.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validate the full IR state: the graph always, the schedule if present.
+pub fn validate_ir(
+    g: &Graph,
+    schedule: Option<&Schedule>,
+    ndev: usize,
+    check_halos: bool,
+) -> Result<(), ValidationError> {
+    validate_graph(g, ndev, check_halos)?;
+    if let Some(s) = schedule {
+        validate_schedule(g, s)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::lower_collectives;
+    use crate::graph::{build_dependency_graph, Edge, EdgeKind};
+    use crate::multigpu::to_multigpu_graph;
+    use crate::occ::{apply_occ, OccLevel};
+    use crate::schedule::build_schedule;
+    use neon_domain::{
+        ops, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike as _, MemLayout,
+        ScalarSet, Stencil, StorageMode,
+    };
+    use neon_sys::Backend;
+
+    /// map(x) → laplace(x→y) → dot(y,y), 2 devices, 7-point stencil.
+    fn pipeline(ndev: usize, level: OccLevel) -> Graph {
+        let b = Backend::dgx_a100(ndev);
+        let s = Stencil::seven_point();
+        let g = DenseGrid::new(&b, Dim3::new(4, 4, 16), &[&s], StorageMode::Real).unwrap();
+        let x = Field::<f64, _>::new(&g, "x", 1, 0.0, MemLayout::SoA).unwrap();
+        let y = Field::<f64, _>::new(&g, "y", 1, 0.0, MemLayout::SoA).unwrap();
+        let dot = ScalarSet::<f64>::new(ndev, "dot", 0.0, |a, b| a + b);
+        let laplace = {
+            let (xc, yc) = (x.clone(), y.clone());
+            neon_set::Container::compute("laplace", g.as_space(), move |ldr| {
+                let xv = ldr.read_stencil(&xc);
+                let yv = ldr.write(&yc);
+                Box::new(move |c| {
+                    let mut s = 0.0;
+                    for slot in 0..6 {
+                        s += xv.ngh(c, slot, 0);
+                    }
+                    yv.set(c, 0, s);
+                })
+            })
+        };
+        let seq = vec![
+            ops::set_value(&g, &x, 1.0),
+            laplace,
+            ops::dot(&g, &y, &y, &dot),
+        ];
+        let mg = to_multigpu_graph(&build_dependency_graph(&seq), ndev);
+        lower_collectives(&apply_occ(&mg, level), ndev)
+    }
+
+    #[test]
+    fn valid_pipeline_passes_at_all_occ_levels() {
+        for ndev in [1, 2, 4] {
+            for level in OccLevel::ALL {
+                let g = pipeline(ndev, level);
+                validate_graph(&g, ndev, true).unwrap_or_else(|e| {
+                    panic!("ndev={ndev} level={level}: {e}");
+                });
+                let s = build_schedule(&g, 8);
+                validate_schedule(&g, &s).unwrap_or_else(|e| {
+                    panic!("ndev={ndev} level={level} schedule: {e}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn missing_halo_edge_rejected() {
+        let mut g = pipeline(2, OccLevel::None);
+        let halo = (0..g.len()).find(|&i| g.node(i).is_halo()).unwrap();
+        // Corrupt: sever every edge out of the halo node.
+        g.edges_mut().retain(|e| e.from != halo);
+        let err = validate_graph(&g, 2, true).unwrap_err();
+        assert!(
+            matches!(err, ValidationError::MissingHalo { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn unordered_conflict_rejected() {
+        let mut g = pipeline(2, OccLevel::None);
+        // Corrupt: drop every data edge into the stencil node, leaving the
+        // producer map racing with the consumer.
+        let stencil = (0..g.len()).find(|&i| g.node(i).name == "laplace").unwrap();
+        g.edges_mut().retain(|e| e.to != stencil);
+        let err = validate_graph(&g, 2, true).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ValidationError::UnorderedConflict { .. } | ValidationError::MissingHalo { .. }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = pipeline(1, OccLevel::None);
+        let last = g.len() - 1;
+        g.edges_mut().push(Edge {
+            from: last,
+            to: 0,
+            kind: EdgeKind::RaW,
+            data: None,
+        });
+        let err = validate_graph(&g, 1, true).unwrap_err();
+        assert!(matches!(err, ValidationError::Cycle { .. }), "got {err}");
+    }
+
+    #[test]
+    fn tampered_schedule_rejected() {
+        let g = pipeline(2, OccLevel::Standard);
+        let good = build_schedule(&g, 8);
+        validate_schedule(&g, &good).unwrap();
+
+        // Reverse the task order: breaks topology.
+        let mut bad = good.clone();
+        bad.tasks.reverse();
+        assert!(validate_schedule(&g, &bad).is_err());
+
+        // Drop all wait lists: breaks event pairing.
+        let mut bad = good.clone();
+        for t in &mut bad.tasks {
+            t.wait.clear();
+        }
+        assert!(matches!(
+            validate_schedule(&g, &bad).unwrap_err(),
+            ValidationError::MissingEvent { .. }
+        ));
+
+        // Truncate: breaks the count.
+        let mut bad = good.clone();
+        bad.tasks.pop();
+        assert!(matches!(
+            validate_schedule(&g, &bad).unwrap_err(),
+            ValidationError::TaskCountMismatch { .. }
+        ));
+    }
+}

@@ -184,6 +184,14 @@ impl Container {
         &self.inner.name
     }
 
+    /// Whether `self` and `other` are clones of the same container
+    /// instance (pointer identity). OCC split halves share one instance;
+    /// the pipeline validator uses this to tell "two halves of one launch"
+    /// from "two launches racing on the same data".
+    pub fn same_instance(&self, other: &Container) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Inferred kind.
     pub fn kind(&self) -> ContainerKind {
         self.inner.kind

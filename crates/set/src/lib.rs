@@ -32,6 +32,7 @@ pub mod loader;
 pub mod manual;
 pub mod memset;
 pub mod scalar;
+pub mod signature;
 pub mod uid;
 
 pub use access::{AccessConflict, AccessTracker, TrackerGuard};
@@ -47,4 +48,5 @@ pub use loader::{
 pub use manual::{EventSetId, ManualRuntime, StreamSetId};
 pub use memset::{MemSet, RawRead, RawWrite, StorageMode};
 pub use scalar::{ScalarSet, ScalarView};
+pub use signature::{sequence_signature, uid_roles};
 pub use uid::DataUid;

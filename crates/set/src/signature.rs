@@ -1,0 +1,195 @@
+//! Stable structural signatures of container sequences.
+//!
+//! [`DataUid`]s come from a process-global counter: rebuilding the same
+//! solver twice yields different raw uids, and no uid survives a process
+//! restart. To let a plan cache recognise "the same program", the signature
+//! replaces every uid with its **role**: the first-occurrence index of that
+//! uid across the sequence's access records. Two sequences get the same
+//! signature exactly when they have the same shape — same container names,
+//! kinds and access structure (role / mode / pattern / halo presence) — no
+//! matter which concrete data objects they were built over.
+//!
+//! Per-cell byte counts, FLOP hints and bandwidth efficiencies are
+//! deliberately **excluded**: they parameterize the performance model at
+//! execution time (read from the rebound containers), not the shape of the
+//! compiled graph. A CG solver on a 1e6-cell grid therefore shares a plan
+//! with the same solver on a 1e7-cell grid.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use neon_sys::hash::StableHasher;
+
+use crate::container::{Container, ContainerKind};
+use crate::loader::{AccessMode, ComputePattern};
+use crate::uid::DataUid;
+
+/// Map every uid accessed by the sequence to its role: the index of its
+/// first occurrence in declaration order (container order, then access
+/// order within a container).
+pub fn uid_roles(containers: &[Container]) -> HashMap<DataUid, usize> {
+    let mut roles = HashMap::new();
+    for c in containers {
+        for a in c.accesses() {
+            let next = roles.len();
+            roles.entry(a.uid).or_insert(next);
+        }
+    }
+    roles
+}
+
+/// Stable structural signature of a container sequence.
+///
+/// Covers, per container: name, inferred kind, and per access the uid
+/// *role* (see [`uid_roles`]), whether the mode reads/writes, the compute
+/// pattern, and whether a halo exchange with at least one transfer is
+/// attached. Everything identifying concrete data instances or grid sizes
+/// stays out.
+pub fn sequence_signature(containers: &[Container]) -> u64 {
+    let roles = uid_roles(containers);
+    let mut h = StableHasher::new();
+    h.write_u64(containers.len() as u64);
+    for c in containers {
+        c.name().hash(&mut h);
+        h.write_u8(match c.kind() {
+            ContainerKind::Map => 0,
+            ContainerKind::Stencil => 1,
+            ContainerKind::Reduce => 2,
+            ContainerKind::Host => 3,
+        });
+        h.write_u64(c.accesses().len() as u64);
+        for a in c.accesses() {
+            h.write_u64(roles[&a.uid] as u64);
+            h.write_u8(u8::from(a.mode.reads()) | (u8::from(a.mode.writes()) << 1));
+            h.write_u8(match a.pattern {
+                ComputePattern::Map => 0,
+                ComputePattern::Stencil => 1,
+                ComputePattern::Reduce => 2,
+            });
+            let live_halo = a
+                .halo
+                .as_ref()
+                .map(|x| !x.descriptors().is_empty())
+                .unwrap_or(false);
+            h.write_u8(u8::from(live_halo));
+        }
+    }
+    h.finish()
+}
+
+/// `AccessMode` encoded for signatures — kept here so the encoding has one
+/// home if more modes appear.
+pub fn mode_bits(mode: AccessMode) -> u8 {
+    u8::from(mode.reads()) | (u8::from(mode.writes()) << 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::cell::{Cell, DataView, IterationSpace};
+    use crate::memset::{MemSet, StorageMode};
+    use neon_sys::{Backend, DeviceId};
+
+    struct Line {
+        len: u32,
+        devs: usize,
+    }
+
+    impl IterationSpace for Line {
+        fn num_partitions(&self) -> usize {
+            self.devs
+        }
+        fn cell_count(&self, _d: DeviceId, view: DataView) -> u64 {
+            match view {
+                DataView::Standard => self.len as u64,
+                DataView::Internal => self.len as u64 - 2,
+                DataView::Boundary => 2,
+            }
+        }
+        fn for_each_cell(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(Cell)) {
+            let base = dev.0 as i32 * self.len as i32;
+            let idxs: Vec<u32> = match view {
+                DataView::Standard => (0..self.len).collect(),
+                DataView::Internal => (1..self.len - 1).collect(),
+                DataView::Boundary => vec![0, self.len - 1],
+            };
+            for i in idxs {
+                f(Cell::new(i, base + i as i32, 0, 0));
+            }
+        }
+    }
+
+    fn axpy_like(b: &Backend, len: usize) -> Vec<Container> {
+        let space = Arc::new(Line {
+            len: len as u32,
+            devs: b.num_devices(),
+        }) as Arc<dyn IterationSpace>;
+        let x = MemSet::<f64>::new(b, "x", &[len, len], StorageMode::Real).unwrap();
+        let y = MemSet::<f64>::new(b, "y", &[len, len], StorageMode::Real).unwrap();
+        let (xc, yc) = (x.clone(), y.clone());
+        vec![Container::compute("axpy", space, move |ldr| {
+            let xv = ldr.read(&xc);
+            let yv = ldr.read_write(&yc);
+            Box::new(move |cell: Cell| yv.set(cell.idx(), xv.get(cell.idx())))
+        })]
+    }
+
+    #[test]
+    fn same_shape_same_signature_despite_fresh_uids() {
+        let b = Backend::dgx_a100(2);
+        let s1 = sequence_signature(&axpy_like(&b, 8));
+        let s2 = sequence_signature(&axpy_like(&b, 8));
+        assert_eq!(s1, s2, "fresh uids must not change the signature");
+    }
+
+    #[test]
+    fn grid_size_does_not_change_signature() {
+        let b = Backend::dgx_a100(2);
+        assert_eq!(
+            sequence_signature(&axpy_like(&b, 8)),
+            sequence_signature(&axpy_like(&b, 64))
+        );
+    }
+
+    #[test]
+    fn name_and_structure_change_signature() {
+        let b = Backend::dgx_a100(2);
+        let base = sequence_signature(&axpy_like(&b, 8));
+
+        let space = Arc::new(Line { len: 8, devs: 2 }) as Arc<dyn IterationSpace>;
+        let x = MemSet::<f64>::new(&b, "x", &[8, 8], StorageMode::Real).unwrap();
+        let y = MemSet::<f64>::new(&b, "y", &[8, 8], StorageMode::Real).unwrap();
+        let (xc, yc) = (x.clone(), y.clone());
+        let renamed = vec![Container::compute("copy", space.clone(), {
+            let (xc, yc) = (xc.clone(), yc.clone());
+            move |ldr| {
+                let xv = ldr.read(&xc);
+                let yv = ldr.read_write(&yc);
+                Box::new(move |cell: Cell| yv.set(cell.idx(), xv.get(cell.idx())))
+            }
+        })];
+        assert_ne!(base, sequence_signature(&renamed));
+
+        // Same names, but y is now read-only and x written: different roles.
+        let swapped = vec![Container::compute("axpy", space, move |ldr| {
+            let yv = ldr.read(&yc);
+            let xv = ldr.read_write(&xc);
+            Box::new(move |cell: Cell| xv.set(cell.idx(), yv.get(cell.idx())))
+        })];
+        // Structurally identical (read first, read-write second) — roles are
+        // positional, so this *should* collide with the base signature.
+        assert_eq!(base, sequence_signature(&swapped));
+    }
+
+    #[test]
+    fn uid_roles_are_first_occurrence_order() {
+        let b = Backend::dgx_a100(2);
+        let seq = axpy_like(&b, 8);
+        let roles = uid_roles(&seq);
+        let accs = seq[0].accesses();
+        assert_eq!(roles[&accs[0].uid], 0);
+        assert_eq!(roles[&accs[1].uid], 1);
+    }
+}

@@ -158,6 +158,36 @@ impl Backend {
     pub fn concurrent_kernels(&self) -> bool {
         self.inner.kind == BackendKind::Gpu
     }
+
+    /// Stable fingerprint of the hardware configuration: backend kind, every
+    /// device's performance parameters, and the topology fingerprint.
+    ///
+    /// Two backends with the same fingerprint time every kernel and transfer
+    /// identically, so a compiled plan keyed on this value is reusable across
+    /// them. Memory-ledger *state* deliberately stays out of the hash.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = crate::hash::StableHasher::new();
+        h.write_u8(match self.inner.kind {
+            BackendKind::Gpu => 0,
+            BackendKind::Cpu => 1,
+        });
+        h.write_u64(self.inner.devices.len() as u64);
+        for d in &self.inner.devices {
+            d.name.hash(&mut h);
+            h.write_u8(match d.kind {
+                crate::device::DeviceKind::Gpu => 0,
+                crate::device::DeviceKind::Cpu => 1,
+            });
+            h.write_u64(d.mem_bandwidth_gb_s.to_bits());
+            h.write_u64(d.peak_gflop_s.to_bits());
+            h.write_u64(d.kernel_launch_us.to_bits());
+            h.write_u64(d.sync_overhead_us.to_bits());
+            h.write_u64(d.mem_capacity_bytes);
+        }
+        h.write_u64(self.inner.topology.fingerprint());
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +251,26 @@ mod tests {
         let b = Backend::dgx_a100(2);
         assert!(b.check_device(DeviceId(1)).is_ok());
         assert!(b.check_device(DeviceId(2)).is_err());
+    }
+
+    #[test]
+    fn fingerprint_stable_and_sensitive() {
+        assert_eq!(
+            Backend::dgx_a100(2).fingerprint(),
+            Backend::dgx_a100(2).fingerprint()
+        );
+        assert_ne!(
+            Backend::dgx_a100(2).fingerprint(),
+            Backend::dgx_a100(4).fingerprint()
+        );
+        assert_ne!(
+            Backend::dgx_a100(2).fingerprint(),
+            Backend::gv100_pcie(2).fingerprint()
+        );
+        assert_ne!(
+            Backend::cpu().fingerprint(),
+            Backend::dgx_a100(1).fingerprint()
+        );
     }
 
     #[test]

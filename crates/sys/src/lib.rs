@@ -31,6 +31,7 @@ pub mod backend;
 pub mod clock;
 pub mod device;
 pub mod error;
+pub mod hash;
 pub mod memory;
 pub mod queue;
 pub mod topology;
@@ -40,6 +41,7 @@ pub use backend::{Backend, BackendKind};
 pub use clock::SimTime;
 pub use device::{DeviceId, DeviceKind, DeviceModel};
 pub use error::{NeonSysError, Result};
+pub use hash::{stable_hash_of, StableHasher};
 pub use memory::{AllocationTicket, MemoryLedger};
 pub use queue::{EventId, QueueSim, StreamId};
 pub use topology::{LinkKind, LinkModel, LinkResourceId, Topology};

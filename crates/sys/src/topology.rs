@@ -251,6 +251,38 @@ impl Topology {
     pub fn host_resources(&self) -> &[LinkResourceId] {
         std::slice::from_ref(&self.host_resource)
     }
+
+    /// Stable fingerprint of the interconnect: device count, every directed
+    /// link's parameters, the host staging link, and the resource structure.
+    ///
+    /// Two topologies with the same fingerprint time transfers identically,
+    /// which is what plan caching needs — nothing about allocation state or
+    /// resource *names* enters the hash.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::hash::StableHasher::new();
+        let link_bits = |h: &mut crate::hash::StableHasher, l: &LinkModel| {
+            h.write_u8(match l.kind {
+                LinkKind::NvLink => 0,
+                LinkKind::PciE3 => 1,
+                LinkKind::Local => 2,
+            });
+            h.write_u64(l.latency_us.to_bits());
+            h.write_u64(l.bandwidth_gb_s.to_bits());
+        };
+        h.write_u64(self.n as u64);
+        for l in &self.links {
+            link_bits(&mut h, l);
+        }
+        link_bits(&mut h, &self.host_link);
+        for rs in &self.resources {
+            h.write_u64(rs.len() as u64);
+            for &r in rs {
+                h.write_u64(r as u64);
+            }
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +363,25 @@ mod tests {
         let custom = Topology::nvlink_all_to_all(2, 1555.0).with_host_link(LinkModel::pcie3());
         assert_eq!(custom.host_link().bandwidth_gb_s, 6.5);
         assert!(nv.host_transfer_time(22_000_000).as_us() > 1000.0);
+    }
+
+    #[test]
+    fn fingerprint_stable_and_sensitive() {
+        let a = Topology::nvlink_all_to_all(4, 1555.0);
+        let b = Topology::nvlink_all_to_all(4, 1555.0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            Topology::nvlink_all_to_all(8, 1555.0).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            Topology::pcie_host_staged(4, 1555.0).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            b.with_host_link(LinkModel::pcie3()).fingerprint()
+        );
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum SpanKind {
     Host,
     /// One step of a collective communication primitive (all-reduce, …).
     Collective,
+    /// A compile-time pass of the skeleton's pass pipeline (wall-clock time
+    /// mapped onto the virtual timeline for inspection, not simulation).
+    Compile,
 }
 
 impl SpanKind {
@@ -33,6 +36,7 @@ impl SpanKind {
             SpanKind::Sync => "sync",
             SpanKind::Host => "host",
             SpanKind::Collective => "collective",
+            SpanKind::Compile => "compile",
         }
     }
 }
@@ -194,6 +198,7 @@ impl Trace {
                     SpanKind::Sync => b'|',
                     SpanKind::Host => b'H',
                     SpanKind::Collective => b'#',
+                    SpanKind::Compile => b'C',
                 };
                 for c in row.iter_mut().take(b).skip(a) {
                     *c = ch;

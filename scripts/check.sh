@@ -11,6 +11,12 @@ cargo build --workspace --release
 echo "==> cargo test --workspace --quiet"
 cargo test --workspace --quiet
 
+echo "==> golden IR dump (compiler pipeline output pinned)"
+cargo test -p neon-core --test golden_ir_dump --quiet
+
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
