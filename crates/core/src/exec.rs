@@ -1,10 +1,11 @@
 //! Executing a compiled plan.
 //!
-//! The executor holds an immutable, shareable [`CompiledPlan`] and does two
-//! things for every task of its schedule:
+//! The executor holds an immutable, shareable [`CompiledPlan`] and splits
+//! every execution into two replays:
 //!
-//! * **Virtual timing** — enqueues the operation on the owning stream of
-//!   the [`neon_sys::QueueSim`] virtual clock: kernels cost
+//! * **Virtual-timing replay** ([`Executor::execute`]'s first half) —
+//!   enqueues every task on the owning stream of the
+//!   [`neon_sys::QueueSim`] virtual clock: kernels cost
 //!   `launch + bytes/bandwidth` (roofline), halo transfers cost
 //!   `latency + bytes/link-bandwidth` per segment on dedicated per-device
 //!   transfer lanes (one per direction, modelling a GPU's copy engines),
@@ -12,29 +13,39 @@
 //!   enables shows up as reduced makespan — this is how the paper's OCC
 //!   figures are reproduced without hardware.
 //!
-//! * **Functional execution** — actually runs the compute lambdas over the
-//!   partition data (one OS thread per device, disjoint partitions),
-//!   executes halo copies, reduce folds and host steps, in task order.
-//!   Skipped automatically when the grid uses virtual (timing-only)
-//!   storage.
+//! * **Functional replay** — actually runs the compute lambdas over the
+//!   partition data. In the default [`FunctionalMode::Parallel`] mode a
+//!   persistent per-device [`neon_sys::WorkerPool`] walks the compiled
+//!   [`DevicePlan`]: each worker executes *its* device's steps in schedule
+//!   order and synchronizes with the other workers through atomic event
+//!   slots exactly where the event table says to wait — so internal
+//!   kernels, boundary kernels and halo copies really overlap on the host,
+//!   mirroring the virtual-clock model (paper §IV-D). The
+//!   [`FunctionalMode::Serial`] reference walks tasks strictly in order on
+//!   the calling thread; parity tests pin the two bit for bit.
 //!
-//! Tasks, nodes and parent lists are *borrowed from the plan by index* —
-//! the hot loop clones nothing per task, and the per-node completion-time
-//! table is a flat scratch buffer reused across iterations, so an
-//! iterative solver's steady state allocates nothing.
+//! Tasks, nodes, parent lists, halo descriptors and the event table are
+//! *borrowed from the plan by index* — the hot loop clones nothing per
+//! task and allocates nothing in steady state; the per-node
+//! completion-time table is a flat scratch buffer reused across
+//! iterations.
 //!
 //! Event semantics are per-device: a kernel on device *d* waits for its
-//! data parents on *d*; a halo transfer waits for its source's and
+//! data parents on *d*; a halo transfer waits for its sources' and
 //! destination's parents; a host step waits for everything.
 
 #![allow(clippy::needless_range_loop)] // device loops index per-device tables
 
-use std::sync::Arc;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use neon_comm::{CollectiveEngine, CollectiveKind, EngineConfig};
-use neon_sys::{Backend, DeviceId, QueueSim, SimTime, SpanKind, StreamId, Trace};
+use neon_sys::{Backend, DeviceId, QueueSim, SimTime, SpanKind, StreamId, Trace, WorkerPool};
 
 use crate::collective::CollectiveMode;
+use crate::devplan::{DevAction, DevicePlan};
 use crate::graph::{Graph, NodeKind};
 use crate::plan::CompiledPlan;
 use crate::schedule::Schedule;
@@ -71,6 +82,23 @@ impl HaloPolicy {
     }
 }
 
+/// How the functional replay runs the compute lambdas on host threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FunctionalMode {
+    /// Walk tasks strictly in schedule order on the calling thread: the
+    /// bit-exactness reference.
+    Serial,
+    /// One `std::thread::scope` per kernel launch (the historical
+    /// behavior): per-device parallelism inside a launch, a full
+    /// spawn/join round trip per launch, no cross-task overlap.
+    SpawnPerLaunch,
+    /// Event-driven replay on a persistent per-device worker pool walking
+    /// the compiled [`DevicePlan`] — cross-task overlap exactly where the
+    /// event table allows it, no thread spawns in steady state.
+    #[default]
+    Parallel,
+}
+
 /// Timing summary of one or more executions.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecReport {
@@ -99,12 +127,101 @@ impl ExecReport {
     }
 
     /// Average makespan per execution.
+    ///
+    /// Every execution ends with a [`neon_sys::QueueSim::sync_all`] — a
+    /// zero-cost *alignment barrier* on the virtual clock that raises all
+    /// streams to the global maximum. Because of that barrier, successive
+    /// iterations cannot overlap on the virtual clock, the summed
+    /// `makespan` is exactly the sum of the individual iteration
+    /// makespans, and this average is exact — but it also flattens any
+    /// per-iteration variance. Use
+    /// [`Executor::per_iteration_makespans`] when the distribution
+    /// matters.
     pub fn time_per_execution(&self) -> SimTime {
         if self.executions == 0 {
             SimTime::ZERO
         } else {
             SimTime::from_us(self.makespan.as_us() / self.executions as f64)
         }
+    }
+}
+
+/// Iterations a waiter spins before parking on the condvar. Kept small:
+/// slots signaled microseconds apart are caught cheaply, anything longer
+/// parks instead of burning a core (which on an oversubscribed host would
+/// steal cycles from the very worker being waited for).
+const WAIT_SPIN: usize = 64;
+
+/// The event table of the parallel functional replay: one atomic epoch
+/// counter per [`DevicePlan`] slot.
+///
+/// A slot stores the executor epoch in which it was last signaled; a
+/// waiter for epoch `e` proceeds once the slot holds `>= e`. Nothing is
+/// ever cleared — bumping the epoch invalidates all slots at once, which
+/// also makes slots left behind by a panicked (poisoned) replay harmless.
+struct EventSlots {
+    slots: Vec<AtomicU64>,
+    lock: Mutex<()>,
+    cv: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl EventSlots {
+    fn new(n: usize) -> Self {
+        EventSlots {
+            slots: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn signal(&self, slot: usize, epoch: u64) {
+        self.slots[slot].store(epoch, Ordering::Release);
+        // The empty critical section pairs with the waiter's
+        // check-then-wait under the same lock: no lost wakeups.
+        drop(self.lock.lock().unwrap());
+        self.cv.notify_all();
+    }
+
+    /// Wait until `slot` reaches `epoch`. Returns false if the replay was
+    /// poisoned by a panicking worker — the caller must abandon its walk.
+    fn wait(&self, slot: usize, epoch: u64) -> bool {
+        for _ in 0..WAIT_SPIN {
+            if self.slots[slot].load(Ordering::Acquire) >= epoch {
+                return true;
+            }
+            if self.poisoned.load(Ordering::Acquire) {
+                return false;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock().unwrap();
+        loop {
+            if self.slots[slot].load(Ordering::Acquire) >= epoch {
+                return true;
+            }
+            if self.poisoned.load(Ordering::Acquire) {
+                return false;
+            }
+            // The timeout is belt-and-braces only; the signal-side lock
+            // bracket already rules out lost wakeups.
+            let (g, _) = self
+                .cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap();
+            guard = g;
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        drop(self.lock.lock().unwrap());
+        self.cv.notify_all();
+    }
+
+    fn clear_poison(&self) {
+        self.poisoned.store(false, Ordering::Release);
     }
 }
 
@@ -116,10 +233,31 @@ pub struct Executor {
     queue: QueueSim,
     compute_streams: usize,
     functional: bool,
+    functional_mode: FunctionalMode,
     kernel_concurrency: bool,
     halo_policy: HaloPolicy,
     engine: CollectiveEngine,
     collective_mode: CollectiveMode,
+    /// The plan's per-device task partition + event table.
+    devplan: Arc<DevicePlan>,
+    /// Persistent per-device workers, spawned on the first parallel
+    /// functional replay and parked between jobs.
+    pool: Option<WorkerPool>,
+    /// Event slots backing the parallel replay, sized to the device plan.
+    events: EventSlots,
+    /// Current replay epoch (bumped once per parallel functional replay).
+    func_epoch: u64,
+    /// Whether every halo exchange supports per-device execution — if not,
+    /// the parallel replay falls back to the serial reference (a
+    /// whole-exchange `execute()` takes whole-partition leases that would
+    /// falsely conflict with overlapping internal kernels).
+    parallel_halo_ok: bool,
+    /// Precomputed `"<name>(um)"` span labels, one per node (empty for
+    /// non-halo nodes), so the unified-memory path formats nothing per
+    /// descriptor per iteration.
+    um_names: Vec<String>,
+    /// Per-iteration makespans of the most recent `execute_iters` call.
+    iter_makespans: Vec<SimTime>,
     /// Flat `node × device` completion-time table, reused across
     /// executions.
     ends_scratch: Vec<SimTime>,
@@ -151,16 +289,42 @@ impl Executor {
                 .unwrap_or(true),
             _ => true,
         });
+        let parallel_halo_ok = plan.graph().nodes().iter().all(|n| match &n.kind {
+            NodeKind::Halo { exchange } => exchange.supports_per_device(),
+            _ => true,
+        });
+        let um_names = plan
+            .graph()
+            .nodes()
+            .iter()
+            .map(|n| {
+                if n.is_halo() {
+                    format!("{}(um)", n.name)
+                } else {
+                    String::new()
+                }
+            })
+            .collect();
+        let devplan = Arc::clone(plan.device_plan());
+        let events = EventSlots::new(devplan.num_slots());
         Executor {
             backend,
             plan,
             queue,
             compute_streams,
             functional,
+            functional_mode: FunctionalMode::default(),
             kernel_concurrency: false,
             halo_policy: HaloPolicy::ExplicitTransfers,
             engine,
             collective_mode: CollectiveMode::default(),
+            devplan,
+            pool: None,
+            events,
+            func_epoch: 0,
+            parallel_halo_ok,
+            um_names,
+            iter_makespans: Vec::new(),
             ends_scratch: Vec::new(),
             lane_scratch: Vec::new(),
         }
@@ -226,6 +390,26 @@ impl Executor {
         self.functional = on;
     }
 
+    /// Select how the functional replay parallelizes (default:
+    /// [`FunctionalMode::Parallel`]).
+    pub fn set_functional_mode(&mut self, mode: FunctionalMode) {
+        self.functional_mode = mode;
+    }
+
+    /// The current functional replay mode.
+    pub fn functional_mode(&self) -> FunctionalMode {
+        self.functional_mode
+    }
+
+    /// Makespans of the individual iterations of the most recent
+    /// [`Executor::execute_iters`] call, in order.
+    ///
+    /// [`ExecReport::time_per_execution`] only exposes the mean; this is
+    /// the full per-iteration distribution for variance reporting.
+    pub fn per_iteration_makespans(&self) -> &[SimTime] {
+        &self.iter_makespans
+    }
+
     /// Enable span recording on the virtual clock.
     pub fn enable_trace(&mut self) {
         self.queue.enable_trace();
@@ -248,19 +432,52 @@ impl Executor {
         self.compute_streams + 3
     }
 
-    /// Execute the plan once.
+    /// Execute the plan once: the virtual-timing replay, then (when
+    /// functional) the functional replay in the configured mode.
     pub fn execute(&mut self) -> ExecReport {
         // Clone the Arc so plan data can be borrowed by index while the
         // queue (and scratch) are mutated — nothing inside is copied.
         let plan = Arc::clone(&self.plan);
-        let graph = plan.graph();
-        let schedule = plan.schedule();
-        let ndev = self.backend.num_devices();
         let t0 = self.queue.makespan();
         let mut report = ExecReport {
             executions: 1,
             ..Default::default()
         };
+        self.replay_timing(&plan, t0, &mut report);
+        if self.functional {
+            self.replay_functional(&plan);
+        }
+
+        // Align all streams at the end of one execution so iterations
+        // measure cleanly (a zero-cost barrier on the virtual clock).
+        let end = self.queue.sync_all();
+        report.makespan = end - t0;
+        if self.queue.trace().is_some() {
+            let topo = self.backend.topology();
+            let stats: Vec<(String, f64, u64)> = (0..topo.num_link_resources())
+                .map(|r| {
+                    (
+                        topo.link_resource_name(r).to_string(),
+                        self.queue.link_busy_time(r).as_us(),
+                        self.queue.link_contention_events(r),
+                    )
+                })
+                .collect();
+            if let Some(trace) = self.queue.trace_mut() {
+                for (name, busy, contended) in stats {
+                    trace.set_counter(&format!("link:{name}:busy_us"), busy);
+                    trace.set_counter(&format!("link:{name}:contended"), contended as f64);
+                }
+            }
+        }
+        report
+    }
+
+    /// The virtual-clock half of one execution.
+    fn replay_timing(&mut self, plan: &CompiledPlan, t0: SimTime, report: &mut ExecReport) {
+        let graph = plan.graph();
+        let schedule = plan.schedule();
+        let ndev = self.backend.num_devices();
         // Completion time of each node on each device, flat `node × dev`.
         let mut ends = std::mem::take(&mut self.ends_scratch);
         ends.clear();
@@ -275,8 +492,8 @@ impl Executor {
                 NodeKind::Compute {
                     container,
                     view,
-                    reduce_init,
                     reduce_finalize,
+                    ..
                 } => {
                     let space = container
                         .space()
@@ -329,24 +546,8 @@ impl Executor {
                             ends[node_id * ndev + d] = gmax;
                         }
                     }
-                    if self.functional {
-                        if *reduce_init {
-                            container.reduce_init();
-                        }
-                        let view = *view;
-                        // Borrow the container into the per-device threads
-                        // (`Container: Sync`) — no per-launch clones.
-                        std::thread::scope(|s| {
-                            for d in 0..ndev {
-                                s.spawn(move || container.run_device(DeviceId(d), view));
-                            }
-                        });
-                        if *reduce_finalize {
-                            container.reduce_finalize();
-                        }
-                    }
                 }
-                NodeKind::Halo { exchange } => {
+                NodeKind::Halo { .. } => {
                     // lanes = [constraint | into | from], each `ndev` wide.
                     let mut lanes = std::mem::take(&mut self.lane_scratch);
                     lanes.clear();
@@ -362,7 +563,7 @@ impl Executor {
                     }
                     match self.halo_policy {
                         HaloPolicy::ExplicitTransfers => {
-                            for desc in exchange.descriptors() {
+                            for desc in plan.halo_descriptors(node_id) {
                                 let earliest = lanes[desc.src.0].max(lanes[desc.dst.0]);
                                 let lane = self.transfer_lane(desc.src, desc.dst);
                                 let dur = self
@@ -372,17 +573,14 @@ impl Executor {
                                 // Occupy the physical link: peer copies on a
                                 // PCIe box all contend for the host root
                                 // complex; NVLink pairs are dedicated.
-                                let res = self
-                                    .backend
-                                    .topology()
-                                    .link_resources(desc.src, desc.dst)
-                                    .to_vec();
+                                let res =
+                                    self.backend.topology().link_resources(desc.src, desc.dst);
                                 let stream = StreamId::new(desc.src, lane);
                                 let (s, e) = self.queue.enqueue_transfer(
                                     stream,
                                     earliest,
                                     dur,
-                                    &res,
+                                    res,
                                     &node.name,
                                     SpanKind::Transfer,
                                 );
@@ -400,7 +598,7 @@ impl Executor {
                             // kernel: the cost lands on the DESTINATION
                             // device's compute lane (lane 0), serializing
                             // with kernels — OCC cannot hide it.
-                            for desc in exchange.descriptors() {
+                            for desc in plan.halo_descriptors(node_id) {
                                 let earliest = lanes[desc.src.0].max(lanes[desc.dst.0]);
                                 let pages = desc.bytes.div_ceil(page_bytes);
                                 let dur = SimTime::from_us(
@@ -412,7 +610,7 @@ impl Executor {
                                     stream,
                                     earliest,
                                     dur,
-                                    &format!("{}(um)", node.name),
+                                    &self.um_names[node_id],
                                     SpanKind::Transfer,
                                 );
                                 report.transfer_time += dur;
@@ -425,13 +623,8 @@ impl Executor {
                         ends[node_id * ndev + d] = lanes[ndev + d].max(lanes[2 * ndev + d]);
                     }
                     self.lane_scratch = lanes;
-                    if self.functional {
-                        // Functionally, unified memory still ends up with
-                        // coherent halos — the driver migrated the pages.
-                        exchange.execute();
-                    }
                 }
-                NodeKind::Host { container } => {
+                NodeKind::Host { .. } => {
                     // Host steps synchronize against every parent on every
                     // device, pay a sync + host overhead, and gate everyone.
                     let sync = self.backend.device(DeviceId(0)).sync_overhead();
@@ -448,11 +641,8 @@ impl Executor {
                     for d in 0..ndev {
                         ends[node_id * ndev + d] = e;
                     }
-                    if self.functional {
-                        container.run_host();
-                    }
                 }
-                NodeKind::Collective { container, bytes } => {
+                NodeKind::Collective { bytes, .. } => {
                     // Per-device readiness: a device joins the collective as
                     // soon as ITS parents are done — no global barrier.
                     let mut earliest = std::mem::take(&mut self.lane_scratch);
@@ -477,43 +667,129 @@ impl Executor {
                     for d in 0..ndev {
                         ends[node_id * ndev + d] = timing.done[d];
                     }
-                    if self.functional {
-                        // Canonical rank-order fold: bit-identical to the
-                        // host-staged merge regardless of algorithm.
-                        container.reduce_finalize();
-                    }
                 }
             }
         }
 
         self.ends_scratch = ends;
+    }
 
-        // Align all streams at the end of one execution so iterations
-        // measure cleanly (a zero-cost barrier on the virtual clock).
-        let end = self.queue.sync_all();
-        report.makespan = end - t0;
-        if self.queue.trace().is_some() {
-            let topo = self.backend.topology();
-            let stats: Vec<(String, f64, u64)> = (0..topo.num_link_resources())
-                .map(|r| {
-                    (
-                        topo.link_resource_name(r).to_string(),
-                        self.queue.link_busy_time(r).as_us(),
-                        self.queue.link_contention_events(r),
-                    )
-                })
-                .collect();
-            if let Some(trace) = self.queue.trace_mut() {
-                for (name, busy, contended) in stats {
-                    trace.set_counter(&format!("link:{name}:busy_us"), busy);
-                    trace.set_counter(&format!("link:{name}:contended"), contended as f64);
+    /// The functional half of one execution.
+    fn replay_functional(&mut self, plan: &CompiledPlan) {
+        match self.functional_mode {
+            FunctionalMode::Serial => self.replay_functional_serial(plan),
+            FunctionalMode::SpawnPerLaunch => self.replay_functional_spawn(plan),
+            FunctionalMode::Parallel => {
+                if self.parallel_halo_ok {
+                    self.replay_functional_parallel(plan);
+                } else {
+                    // A whole-exchange halo cannot run concurrently with
+                    // kernels (whole-partition leases); stay serial.
+                    self.replay_functional_serial(plan);
                 }
             }
         }
-        report
+    }
+
+    /// Reference replay: strictly in task order, devices in rank order,
+    /// everything on the calling thread.
+    fn replay_functional_serial(&self, plan: &CompiledPlan) {
+        let ndev = self.backend.num_devices();
+        for task in &plan.schedule().tasks {
+            match &plan.graph().node(task.node).kind {
+                NodeKind::Compute {
+                    container,
+                    view,
+                    reduce_init,
+                    reduce_finalize,
+                } => {
+                    if *reduce_init {
+                        container.reduce_init();
+                    }
+                    for d in 0..ndev {
+                        container.run_device(DeviceId(d), *view);
+                    }
+                    if *reduce_finalize {
+                        container.reduce_finalize();
+                    }
+                }
+                NodeKind::Halo { exchange } => exchange.execute(),
+                NodeKind::Host { container } => container.run_host(),
+                NodeKind::Collective { container, .. } => {
+                    // Canonical rank-order fold: bit-identical to the
+                    // host-staged merge regardless of algorithm.
+                    container.reduce_finalize();
+                }
+            }
+        }
+    }
+
+    /// Historical replay: task order, but each launch spawns a fresh
+    /// thread scope over the devices.
+    fn replay_functional_spawn(&self, plan: &CompiledPlan) {
+        let ndev = self.backend.num_devices();
+        for task in &plan.schedule().tasks {
+            match &plan.graph().node(task.node).kind {
+                NodeKind::Compute {
+                    container,
+                    view,
+                    reduce_init,
+                    reduce_finalize,
+                } => {
+                    if *reduce_init {
+                        container.reduce_init();
+                    }
+                    let view = *view;
+                    // Borrow the container into the per-device threads
+                    // (`Container: Sync`) — no per-launch clones.
+                    std::thread::scope(|s| {
+                        for d in 0..ndev {
+                            s.spawn(move || container.run_device(DeviceId(d), view));
+                        }
+                    });
+                    if *reduce_finalize {
+                        container.reduce_finalize();
+                    }
+                }
+                NodeKind::Halo { exchange } => exchange.execute(),
+                NodeKind::Host { container } => container.run_host(),
+                NodeKind::Collective { container, .. } => container.reduce_finalize(),
+            }
+        }
+    }
+
+    /// Event-driven replay on the persistent worker pool.
+    fn replay_functional_parallel(&mut self, plan: &CompiledPlan) {
+        let ndev = self.devplan.ndev();
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(ndev));
+        }
+        self.func_epoch += 1;
+        let epoch = self.func_epoch;
+        self.events.clear_poison();
+
+        let graph = plan.graph();
+        let devplan: &DevicePlan = &self.devplan;
+        let events = &self.events;
+        let pool = self.pool.as_ref().expect("pool was just created");
+        pool.run(|d| {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                walk_device(graph, devplan, events, epoch, d);
+            }));
+            if let Err(payload) = result {
+                // Wake every sibling worker out of its event waits so the
+                // pool drains instead of deadlocking, then let the pool
+                // deliver the payload to the caller.
+                events.poison();
+                panic::resume_unwind(payload);
+            }
+        });
     }
 
     /// Execute the plan `n` times, aggregating the report.
+    ///
+    /// Individual iteration makespans are recorded and readable via
+    /// [`Executor::per_iteration_makespans`] until the next call.
     ///
     /// When tracing, asserts (debug builds) that each iteration emits the
     /// same number of spans — the compiled schedule is replayed verbatim,
@@ -521,9 +797,14 @@ impl Executor {
     pub fn execute_iters(&mut self, n: usize) -> ExecReport {
         let mut total = ExecReport::default();
         let mut spans_per_iter: Option<usize> = None;
+        // Reserve up front so the steady-state loop never reallocates.
+        self.iter_makespans.clear();
+        self.iter_makespans.reserve(n);
         for _ in 0..n {
             let before = self.queue.trace().map(|t| t.spans().len());
-            total.accumulate(self.execute());
+            let report = self.execute();
+            self.iter_makespans.push(report.makespan);
+            total.accumulate(report);
             if let (Some(b), Some(t)) = (before, self.queue.trace()) {
                 let delta = t.spans().len() - b;
                 if let Some(expected) = spans_per_iter {
@@ -536,5 +817,62 @@ impl Executor {
             }
         }
         total
+    }
+}
+
+/// One worker's walk over its device's step list: wait on the event table
+/// where the plan says to, execute, signal.
+fn walk_device(graph: &Graph, dp: &DevicePlan, events: &EventSlots, epoch: u64, d: usize) {
+    let ndev = dp.ndev();
+    for step in dp.steps(d) {
+        for &w in dp.waits_of(step) {
+            if !events.wait(w as usize, epoch) {
+                return; // poisoned: a sibling worker panicked
+            }
+        }
+        let node_id = step.node as usize;
+        let node = graph.node(node_id);
+        match step.action {
+            DevAction::ReduceInit => {
+                let c = node.container().expect("reduce node has a container");
+                c.reduce_init();
+                events.signal(dp.aux_init(node_id), epoch);
+            }
+            DevAction::Kernel => {
+                match &node.kind {
+                    NodeKind::Compute {
+                        container, view, ..
+                    } => container.run_device(DeviceId(d), *view),
+                    _ => unreachable!("kernel step on a non-compute node"),
+                }
+                events.signal(dp.slot(node_id, d), epoch);
+            }
+            DevAction::HaloPull => {
+                match &node.kind {
+                    NodeKind::Halo { exchange } => exchange.execute_for_dst(DeviceId(d)),
+                    _ => unreachable!("halo step on a non-halo node"),
+                }
+                events.signal(dp.slot(node_id, d), epoch);
+            }
+            DevAction::HaloAll => {
+                match &node.kind {
+                    NodeKind::Halo { exchange } => exchange.execute(),
+                    _ => unreachable!("halo step on a non-halo node"),
+                }
+                for e in 0..ndev {
+                    events.signal(dp.slot(node_id, e), epoch);
+                }
+            }
+            DevAction::Host => {
+                let c = node.container().expect("host node has a container");
+                c.run_host();
+                events.signal(dp.aux_done(node_id), epoch);
+            }
+            DevAction::Collective | DevAction::ReduceFinalize => {
+                let c = node.container().expect("reduce node has a container");
+                c.reduce_finalize();
+                events.signal(dp.aux_done(node_id), epoch);
+            }
+        }
     }
 }

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod collective;
+pub mod devplan;
 pub mod exec;
 pub mod graph;
 pub mod multigpu;
@@ -49,7 +50,8 @@ pub mod skeleton;
 pub mod validate;
 
 pub use collective::{lower_collectives, CollectiveMode};
-pub use exec::{ExecReport, Executor, HaloPolicy};
+pub use devplan::{build_device_plan, DevAction, DevStep, DevicePlan};
+pub use exec::{ExecReport, Executor, FunctionalMode, HaloPolicy};
 pub use graph::{build_dependency_graph, Edge, EdgeKind, Graph, Node, NodeId, NodeKind};
 pub use multigpu::to_multigpu_graph;
 pub use neon_comm::Algorithm as CollectiveAlgorithm;

@@ -18,6 +18,7 @@
 //!
 //! ```text
 //! dependency-graph → multi-gpu → occ → collective-lowering → schedule
+//!     → device-partition
 //! ```
 //!
 //! and its product is consumed by [`crate::plan::CompiledPlan`].
@@ -28,7 +29,8 @@ use neon_set::{uid_roles, Container};
 use neon_sys::{Backend, DeviceId, SimTime, SpanKind, Trace, TraceSpan};
 
 use crate::collective::lower_collectives;
-use crate::graph::{build_dependency_graph, EdgeKind, Graph, NodeKind};
+use crate::devplan::{build_device_plan, DevicePlan};
+use crate::graph::{build_dependency_graph, EdgeKind, Graph, NodeId, NodeKind};
 use crate::multigpu::to_multigpu_graph;
 use crate::occ::apply_occ;
 use crate::schedule::{build_schedule_opts, Schedule};
@@ -44,8 +46,11 @@ pub struct Ir {
     pub dependency_graph: Option<Graph>,
     /// The current execution graph.
     pub graph: Graph,
-    /// The execution plan, produced by the final pass.
+    /// The execution plan, produced by the schedule pass.
     pub schedule: Option<Schedule>,
+    /// The per-device task partition + event table, produced by the final
+    /// pass from the schedule.
+    pub device_plan: Option<DevicePlan>,
     /// Set once halo-update nodes have been inserted; enables the halo
     /// precedence invariant (meaningless on the raw dependency graph).
     pub halos_inserted: bool,
@@ -59,8 +64,21 @@ impl Ir {
             dependency_graph: None,
             graph: Graph::new(),
             schedule: None,
+            device_plan: None,
             halos_inserted: false,
         }
+    }
+
+    /// Deduplicated data-edge parents of every node of the current graph.
+    pub fn data_parent_lists(&self) -> Vec<Vec<NodeId>> {
+        (0..self.graph.len())
+            .map(|n| {
+                let mut v: Vec<NodeId> = self.graph.data_parents(n).map(|e| e.from).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect()
     }
 
     /// Deterministic text rendering of the IR.
@@ -147,6 +165,9 @@ impl Ir {
                     t.node, t.stream, t.signals
                 );
             }
+        }
+        if let Some(dp) = &self.device_plan {
+            out.push_str(&dp.dump(&self.graph));
         }
         out
     }
@@ -289,6 +310,30 @@ impl Pass for SchedulePass {
     }
 }
 
+/// Partitions the schedule's tasks over the device workers and lowers
+/// every data dependency to an event-slot wait (the table the functional
+/// executor's worker pool synchronizes on).
+pub struct DevicePartitionPass;
+
+impl Pass for DevicePartitionPass {
+    fn name(&self) -> &'static str {
+        "device-partition"
+    }
+    fn run(&self, ir: &mut Ir, cx: &PassCtx) {
+        let schedule = ir
+            .schedule
+            .as_ref()
+            .expect("device-partition requires the schedule pass to have run");
+        let parents = ir.data_parent_lists();
+        ir.device_plan = Some(build_device_plan(
+            &ir.graph,
+            schedule,
+            &parents,
+            cx.backend.num_devices(),
+        ));
+    }
+}
+
 /// Runs an ordered list of passes over an [`Ir`], validating and logging
 /// between them.
 pub struct PassManager {
@@ -296,7 +341,7 @@ pub struct PassManager {
 }
 
 impl PassManager {
-    /// The standard five-pass skeleton pipeline.
+    /// The standard six-pass skeleton pipeline.
     pub fn standard() -> Self {
         PassManager {
             passes: vec![
@@ -305,6 +350,7 @@ impl PassManager {
                 Box::new(OccPass),
                 Box::new(CollectivePass),
                 Box::new(SchedulePass),
+                Box::new(DevicePartitionPass),
             ],
         }
     }
@@ -399,6 +445,7 @@ mod tests {
         let log = PassManager::standard().run(&mut ir, &cx).unwrap();
         assert!(ir.schedule.is_some());
         assert!(ir.dependency_graph.is_some());
+        assert!(ir.device_plan.is_some());
         assert_eq!(
             log.timings.iter().map(|t| t.name).collect::<Vec<_>>(),
             vec![
@@ -406,10 +453,11 @@ mod tests {
                 "multi-gpu",
                 "occ",
                 "collective-lowering",
-                "schedule"
+                "schedule",
+                "device-partition"
             ]
         );
-        assert_eq!(log.trace.spans().len(), 5);
+        assert_eq!(log.trace.spans().len(), 6);
         assert!(log
             .trace
             .spans()
@@ -430,11 +478,12 @@ mod tests {
             },
         };
         let log = PassManager::standard().run(&mut ir, &cx).unwrap();
-        assert_eq!(log.dumps.len(), 5);
+        assert_eq!(log.dumps.len(), 6);
         // Dumps use role labels, never raw uids.
         assert!(log.dumps.iter().all(|(_, d)| d.contains("u0")));
-        // The final dump includes the schedule.
+        // The final dump includes the schedule and the device plan.
         assert!(log.dumps.last().unwrap().1.contains("schedule:"));
+        assert!(log.dumps.last().unwrap().1.contains("device-plan:"));
     }
 
     #[test]

@@ -26,10 +26,11 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use neon_set::{sequence_signature, uid_roles, Container, DataUid, HaloExchange};
+use neon_set::{sequence_signature, uid_roles, Container, DataUid, HaloDescriptor, HaloExchange};
 use neon_sys::{stable_hash_of, Backend, StableHasher, Trace};
 
 use crate::collective::CollectiveMode;
+use crate::devplan::{build_device_plan, DevicePlan};
 use crate::exec::HaloPolicy;
 use crate::graph::{Edge, Graph, Node, NodeId, NodeKind};
 use crate::pass::{CompileError, Ir, PassCtx, PassManager, PassTiming};
@@ -42,7 +43,12 @@ pub struct CompiledPlan {
     dependency_graph: Graph,
     graph: Graph,
     schedule: Arc<Schedule>,
+    device_plan: Arc<DevicePlan>,
     data_parents: Vec<Vec<NodeId>>,
+    /// Per-node halo transfer descriptors (empty for non-halo nodes),
+    /// cached so the executor's hot loop never calls the allocating
+    /// `HaloExchange::descriptors()`.
+    halo_descs: Vec<Vec<HaloDescriptor>>,
     timings: Vec<PassTiming>,
     dumps: Vec<(String, String)>,
     compile_trace: Trace,
@@ -80,6 +86,17 @@ impl CompiledPlan {
         &self.data_parents[node]
     }
 
+    /// The per-device task partition + event table (shared handle).
+    pub fn device_plan(&self) -> &Arc<DevicePlan> {
+        &self.device_plan
+    }
+
+    /// Cached halo transfer descriptors of a node (empty unless the node
+    /// is a halo update).
+    pub fn halo_descriptors(&self, node: NodeId) -> &[HaloDescriptor] {
+        &self.halo_descs[node]
+    }
+
     /// Per-pass compile timings. Empty for a rebound (cache-hit) plan —
     /// no compilation happened.
     pub fn pass_timings(&self) -> &[PassTiming] {
@@ -103,12 +120,18 @@ impl CompiledPlan {
     /// state.
     pub fn from_parts(graph: Graph, schedule: Schedule) -> Arc<CompiledPlan> {
         let data_parents = precompute_parents(&graph);
+        // No backend here: infer the device count from the graph itself.
+        let ndev = infer_ndev(&graph);
+        let device_plan = Arc::new(build_device_plan(&graph, &schedule, &data_parents, ndev));
+        let halo_descs = precompute_halo_descs(&graph);
         Arc::new(CompiledPlan {
             containers: Vec::new(),
             dependency_graph: Graph::new(),
             graph,
             schedule: Arc::new(schedule),
+            device_plan,
             data_parents,
+            halo_descs,
             timings: Vec::new(),
             dumps: Vec::new(),
             compile_trace: Trace::new(),
@@ -118,8 +141,41 @@ impl CompiledPlan {
 
 fn precompute_parents(g: &Graph) -> Vec<Vec<NodeId>> {
     (0..g.len())
-        .map(|n| g.data_parents(n).map(|e| e.from).collect())
+        .map(|n| {
+            let mut v: Vec<NodeId> = g.data_parents(n).map(|e| e.from).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
         .collect()
+}
+
+fn precompute_halo_descs(g: &Graph) -> Vec<Vec<neon_set::HaloDescriptor>> {
+    g.nodes()
+        .iter()
+        .map(|n| match &n.kind {
+            NodeKind::Halo { exchange } => exchange.descriptors(),
+            _ => Vec::new(),
+        })
+        .collect()
+}
+
+/// Largest device index referenced by the graph, for the compatibility
+/// path that wraps a bare graph + schedule without a backend in hand.
+fn infer_ndev(g: &Graph) -> usize {
+    let mut n = 1usize;
+    for node in g.nodes() {
+        match &node.kind {
+            NodeKind::Compute { container, .. } => n = n.max(container.num_devices()),
+            NodeKind::Halo { exchange } => {
+                for d in exchange.descriptors() {
+                    n = n.max(d.src.0 + 1).max(d.dst.0 + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    n
 }
 
 /// Cache key of a compiled plan.
@@ -146,7 +202,8 @@ impl PlanKey {
 }
 
 /// Hash every option that shapes the compiled graph or schedule. `trace`,
-/// `validate` and `cache` are diagnostics/policy — same plan either way.
+/// `validate`, `cache` and `functional_mode` are diagnostics/runtime
+/// policy — same plan either way.
 fn options_signature(o: &SkeletonOptions) -> u64 {
     use std::hash::Hasher as _;
     let mut h = StableHasher::new();
@@ -282,15 +339,22 @@ fn compile_fresh(
     let schedule = ir
         .schedule
         .take()
-        .expect("schedule pass ran last and produced a schedule");
+        .expect("schedule pass produced a schedule");
+    let device_plan = ir
+        .device_plan
+        .take()
+        .expect("device-partition pass ran last and produced a device plan");
     let graph = ir.graph;
     let data_parents = precompute_parents(&graph);
+    let halo_descs = precompute_halo_descs(&graph);
     Ok(Arc::new(CompiledPlan {
         containers: ir.containers,
         dependency_graph: ir.dependency_graph.unwrap_or_default(),
         graph,
         schedule: Arc::new(schedule),
+        device_plan: Arc::new(device_plan),
         data_parents,
+        halo_descs,
         timings: log.timings,
         dumps: log.dumps,
         compile_trace: log.trace,
@@ -383,11 +447,35 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
         }
         out
     };
+    let graph = rebind_graph(&plan.graph);
+    // Descriptor byte sizes change with grid size, so recompute the cache;
+    // the device plan only depends on the src/dst pair structure and can
+    // be shared when that is unchanged (the common case).
+    let halo_descs = precompute_halo_descs(&graph);
+    let same_pairs = halo_descs.len() == plan.halo_descs.len()
+        && halo_descs.iter().zip(&plan.halo_descs).all(|(a, b)| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b)
+                    .all(|(x, y)| x.src == y.src && x.dst == y.dst)
+        });
+    let device_plan = if same_pairs {
+        Arc::clone(&plan.device_plan)
+    } else {
+        Arc::new(build_device_plan(
+            &graph,
+            &plan.schedule,
+            &plan.data_parents,
+            plan.device_plan.ndev(),
+        ))
+    };
     Arc::new(CompiledPlan {
         dependency_graph: rebind_graph(&plan.dependency_graph),
-        graph: rebind_graph(&plan.graph),
+        graph,
         schedule: Arc::clone(&plan.schedule),
+        device_plan,
         data_parents: plan.data_parents.clone(),
+        halo_descs,
         timings: Vec::new(),
         dumps: plan.dumps.clone(),
         compile_trace: Trace::new(),
@@ -477,11 +565,12 @@ mod tests {
     }
 
     #[test]
-    fn trace_and_validate_do_not_fragment_the_key() {
+    fn runtime_options_do_not_fragment_the_key() {
         let base = SkeletonOptions::default();
         let traced = SkeletonOptions {
             trace: true,
             validate: false,
+            functional_mode: crate::exec::FunctionalMode::Serial,
             ..Default::default()
         };
         assert_eq!(options_signature(&base), options_signature(&traced));

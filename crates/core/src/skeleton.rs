@@ -28,7 +28,7 @@ use neon_set::Container;
 use neon_sys::{Backend, SimTime, Trace};
 
 use crate::collective::CollectiveMode;
-use crate::exec::{ExecReport, Executor, HaloPolicy};
+use crate::exec::{ExecReport, Executor, FunctionalMode, HaloPolicy};
 use crate::graph::Graph;
 use crate::occ::OccLevel;
 use crate::pass::{CompileError, PassTiming};
@@ -53,6 +53,12 @@ pub struct SkeletonOptions {
     /// transfers (default — required for OCC) or driver-managed unified
     /// memory (page faults serialize with the consuming kernels).
     pub halo_policy: HaloPolicy,
+    /// How the functional replay parallelizes across devices: serial
+    /// reference, a thread scope per launch, or the event-driven
+    /// persistent worker pool (default). A runtime knob — it never
+    /// changes the compiled plan, so it is excluded from the plan-cache
+    /// key.
+    pub functional_mode: FunctionalMode,
     /// Record an execution trace (timeline spans).
     pub trace: bool,
     /// How multi-device reductions are realized: lowered to collective
@@ -79,6 +85,7 @@ impl Default for SkeletonOptions {
             hints: true,
             kernel_concurrency: false,
             halo_policy: HaloPolicy::ExplicitTransfers,
+            functional_mode: FunctionalMode::default(),
             trace: false,
             collectives: CollectiveMode::Auto,
             validate: true,
@@ -135,6 +142,7 @@ impl Skeleton {
         executor.set_kernel_concurrency(options.kernel_concurrency);
         executor.set_halo_policy(options.halo_policy);
         executor.set_collective_mode(options.collectives);
+        executor.set_functional_mode(options.functional_mode);
         if options.trace {
             executor.enable_trace();
         }
@@ -227,6 +235,17 @@ impl Skeleton {
     /// Force timing-only execution (for huge benchmark domains).
     pub fn set_functional(&mut self, on: bool) {
         self.executor.set_functional(on);
+    }
+
+    /// Change how the functional replay parallelizes (see
+    /// [`FunctionalMode`]). Takes effect on the next run.
+    pub fn set_functional_mode(&mut self, mode: FunctionalMode) {
+        self.executor.set_functional_mode(mode);
+    }
+
+    /// Per-iteration makespans of the most recent [`Skeleton::run_iters`].
+    pub fn per_iteration_makespans(&self) -> &[SimTime] {
+        self.executor.per_iteration_makespans()
     }
 
     /// Execute the sequence once.

@@ -1,0 +1,178 @@
+//! Lifecycle tests of the parallel functional executor: the persistent
+//! worker pool must survive panicking kernels (propagating the payload,
+//! not deadlocking), coexist across executors, and join its threads on
+//! drop.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use neon_core::{FunctionalMode, OccLevel, Skeleton, SkeletonOptions};
+use neon_domain::{
+    Container, DenseGrid, Dim3, Field, FieldRead as _, FieldWrite as _, GridLike, MemLayout,
+    Stencil, StorageMode,
+};
+use neon_sys::Backend;
+
+struct Fixture {
+    backend: Backend,
+    grid: DenseGrid,
+    x: Field<f64, DenseGrid>,
+    y: Field<f64, DenseGrid>,
+}
+
+fn fixture(n_dev: usize) -> Fixture {
+    let backend = Backend::dgx_a100(n_dev);
+    let st = Stencil::seven_point();
+    let grid = DenseGrid::new(&backend, Dim3::new(6, 5, 12), &[&st], StorageMode::Real).unwrap();
+    let x = Field::<f64, _>::new(&grid, "x", 1, 0.0, MemLayout::SoA).unwrap();
+    let y = Field::<f64, _>::new(&grid, "y", 1, 0.0, MemLayout::SoA).unwrap();
+    reset(&x, &y);
+    Fixture {
+        backend,
+        grid,
+        x,
+        y,
+    }
+}
+
+fn reset(x: &Field<f64, DenseGrid>, y: &Field<f64, DenseGrid>) {
+    x.fill(|a, b, c, _| ((a * 31 + b * 17 + c * 7) % 13) as f64 - 6.0);
+    y.fill(|a, b, c, _| ((a * 5 + b * 3 + c) % 7) as f64);
+}
+
+/// `y ← x + y`, panicking per cell while `bomb` is armed.
+fn sum_container(f: &Fixture, bomb: Arc<AtomicBool>) -> Container {
+    let (xc, yc) = (f.x.clone(), f.y.clone());
+    Container::compute("sum", f.grid.as_space(), move |ldr| {
+        let xv = ldr.read(&xc);
+        let yv = ldr.read_write(&yc);
+        let bomb = Arc::clone(&bomb);
+        Box::new(move |c| {
+            assert!(!bomb.load(Ordering::Relaxed), "armed kernel bomb");
+            yv.set(c, 0, xv.at(c, 0) + yv.at(c, 0));
+        })
+    })
+}
+
+fn skeleton(f: &Fixture, seq: Vec<Container>, mode: FunctionalMode) -> Skeleton {
+    Skeleton::sequence(
+        &f.backend,
+        "lifecycle",
+        seq,
+        SkeletonOptions {
+            occ: OccLevel::Standard,
+            functional_mode: mode,
+            cache: false,
+            ..Default::default()
+        },
+    )
+}
+
+fn field_bits(x: &Field<f64, DenseGrid>, y: &Field<f64, DenseGrid>) -> Vec<u64> {
+    let mut bits = Vec::new();
+    x.for_each(|_, _, _, _, v| bits.push(v.to_bits()));
+    y.for_each(|_, _, _, _, v| bits.push(v.to_bits()));
+    bits
+}
+
+/// Threads of this process, from /proc (Linux-only; the CI target).
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap()
+}
+
+#[test]
+fn panicking_kernel_propagates_and_executor_survives() {
+    let f = fixture(3);
+    let bomb = Arc::new(AtomicBool::new(true));
+    let seq = vec![sum_container(&f, Arc::clone(&bomb))];
+    let mut sk = skeleton(&f, seq, FunctionalMode::Parallel);
+
+    // Armed: the worker's panic must reach this thread (no deadlock —
+    // the 60 s harness timeout is the implicit bound) with its payload.
+    let err = catch_unwind(AssertUnwindSafe(|| sk.run())).expect_err("bomb must propagate");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+    assert!(msg.contains("armed kernel bomb"), "payload was {msg:?}");
+
+    // Disarmed: the same executor (same pool) must run to completion and
+    // produce exactly the serial reference, despite the aborted replay's
+    // half-written state in between.
+    bomb.store(false, Ordering::Relaxed);
+    reset(&f.x, &f.y);
+    sk.run();
+    let got = field_bits(&f.x, &f.y);
+
+    let r = fixture(3);
+    let rbomb = Arc::new(AtomicBool::new(false));
+    let mut reference = skeleton(&r, vec![sum_container(&r, rbomb)], FunctionalMode::Serial);
+    reference.run();
+    assert_eq!(got, field_bits(&r.x, &r.y));
+}
+
+#[test]
+fn two_parallel_executors_coexist() {
+    let f1 = fixture(2);
+    let f2 = fixture(4);
+    let off = Arc::new(AtomicBool::new(false));
+    let mut sk1 = skeleton(
+        &f1,
+        vec![sum_container(&f1, Arc::clone(&off))],
+        FunctionalMode::Parallel,
+    );
+    let mut sk2 = skeleton(
+        &f2,
+        vec![sum_container(&f2, Arc::clone(&off))],
+        FunctionalMode::Parallel,
+    );
+    // Interleave runs: each executor's pool and event table are private,
+    // so neither replay may disturb the other.
+    sk1.run();
+    sk2.run();
+    sk1.run();
+    sk2.run();
+
+    let r = fixture(2);
+    let mut reference = skeleton(
+        &r,
+        vec![sum_container(&r, Arc::new(AtomicBool::new(false)))],
+        FunctionalMode::Serial,
+    );
+    reference.run();
+    reference.run();
+    assert_eq!(field_bits(&f1.x, &f1.y), field_bits(&r.x, &r.y));
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn dropping_the_executor_joins_its_workers() {
+    let f = fixture(4);
+    let off = Arc::new(AtomicBool::new(false));
+    let mut sk = skeleton(&f, vec![sum_container(&f, off)], FunctionalMode::Parallel);
+    sk.run(); // spawns the pool
+    let with_pool = thread_count();
+    drop(sk);
+    // Joining is synchronous in drop, but give the kernel a moment to
+    // retire the task structs before asserting (other tests' threads may
+    // add noise; we only require a strict decrease from our own pool).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if thread_count() < with_pool {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker threads still alive after executor drop"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

@@ -3,7 +3,7 @@
 //! functional results are bit-identical across OCC levels, and a plan
 //! rebound from the cache executes identically to a fresh compile.
 
-use neon_core::{validate_ir, OccLevel, Skeleton, SkeletonOptions};
+use neon_core::{validate_ir, FunctionalMode, HaloPolicy, OccLevel, Skeleton, SkeletonOptions};
 use neon_domain::{
     ops, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike,
     MemLayout, ScalarSet, Stencil, StorageMode,
@@ -117,6 +117,22 @@ fn build_sequence(s: &Setup, ops_list: &[Op]) -> Vec<Container> {
 /// Compile + run one randomized sequence, returning the full observable
 /// state: both fields (exact bits) and both reduction scalars.
 fn run_case(ops_list: &[Op], n_dev: usize, occ: OccLevel) -> (Vec<u64>, f64, f64) {
+    run_case_opts(
+        ops_list,
+        n_dev,
+        occ,
+        FunctionalMode::default(),
+        HaloPolicy::ExplicitTransfers,
+    )
+}
+
+fn run_case_opts(
+    ops_list: &[Op],
+    n_dev: usize,
+    occ: OccLevel,
+    mode: FunctionalMode,
+    halo: HaloPolicy,
+) -> (Vec<u64>, f64, f64) {
     let s = setup(n_dev);
     let seq = build_sequence(&s, ops_list);
     let mut sk = Skeleton::try_sequence(
@@ -125,6 +141,8 @@ fn run_case(ops_list: &[Op], n_dev: usize, occ: OccLevel) -> (Vec<u64>, f64, f64
         seq,
         SkeletonOptions {
             occ,
+            functional_mode: mode,
+            halo_policy: halo,
             ..Default::default()
         },
     )
@@ -169,6 +187,43 @@ proptest! {
             );
             prop_assert_eq!(got.1, reference.1, "{:?} changes dot a", occ);
             prop_assert_eq!(got.2, reference.2, "{:?} changes dot b", occ);
+        }
+    }
+
+    /// The event-driven parallel replay (and the per-launch spawn mode)
+    /// must be bit-identical to the serial reference walk for arbitrary
+    /// sequences — across OCC levels, 1/2/4/8 devices, and both halo
+    /// policies. The halo policy only shapes the virtual-clock replay, so
+    /// it appearing in a functional diff would itself be a bug.
+    #[test]
+    fn parallel_replay_is_bit_identical_to_serial(
+        ops_list in op_sequences(),
+        dev_pick in 0usize..4,
+        occ_pick in 0usize..4,
+        unified_halo in any::<bool>(),
+    ) {
+        let n_dev = [1, 2, 4, 8][dev_pick];
+        let occ = [
+            OccLevel::None,
+            OccLevel::Standard,
+            OccLevel::Extended,
+            OccLevel::TwoWayExtended,
+        ][occ_pick];
+        let halo = if unified_halo {
+            HaloPolicy::unified_default()
+        } else {
+            HaloPolicy::ExplicitTransfers
+        };
+        let reference = run_case_opts(&ops_list, n_dev, occ, FunctionalMode::Serial, halo);
+        for mode in [FunctionalMode::SpawnPerLaunch, FunctionalMode::Parallel] {
+            let got = run_case_opts(&ops_list, n_dev, occ, mode, halo);
+            prop_assert_eq!(
+                &got.0, &reference.0,
+                "{:?} changes field bits for {:?} at {:?} on {} devices",
+                mode, ops_list, occ, n_dev
+            );
+            prop_assert_eq!(got.1, reference.1, "{:?} changes dot a", mode);
+            prop_assert_eq!(got.2, reference.2, "{:?} changes dot b", mode);
         }
     }
 }

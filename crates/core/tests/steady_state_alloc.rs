@@ -1,0 +1,103 @@
+//! Proof that the executor's steady-state timing replay allocates
+//! nothing: after a warm-up iteration (which sizes the scratch tables and
+//! the simulator's link-state vector), further `execute_iters` calls must
+//! perform zero heap allocations.
+//!
+//! This is its own test binary because it installs a counting global
+//! allocator, and it contains exactly one `#[test]` so no sibling test
+//! thread can allocate during the measured window.
+//!
+//! Scope: the sequence is timing-only (virtual storage, so the functional
+//! replay is skipped) and has no reductions (collective scheduling lives
+//! in neon-comm and builds its transfer lists per call by design). The
+//! functional replay cannot be allocation-free regardless: every kernel
+//! launch boxes the loading-lambda's closure.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use neon_core::{OccLevel, Skeleton, SkeletonOptions};
+use neon_domain::{
+    Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike, MemLayout,
+    Stencil, StorageMode,
+};
+use neon_sys::Backend;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates verbatim to `System`; only adds a counter.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(l) }
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, new_size) }
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: Counting = Counting;
+
+#[test]
+fn steady_state_execute_does_not_allocate() {
+    let b = Backend::dgx_a100(4);
+    let st = Stencil::seven_point();
+    let g = DenseGrid::new(&b, Dim3::new(32, 32, 64), &[&st], StorageMode::Virtual).unwrap();
+    let x = Field::<f64, _>::new(&g, "x", 2, 0.0, MemLayout::SoA).unwrap();
+    let y = Field::<f64, _>::new(&g, "y", 2, 0.0, MemLayout::SoA).unwrap();
+    let upd = {
+        let xc = x.clone();
+        Container::compute("update", g.as_space(), move |ldr| {
+            let xv = ldr.read_write(&xc);
+            Box::new(move |c| xv.set(c, 0, xv.at(c, 0)))
+        })
+    };
+    let sten = {
+        let (xc, yc) = (x.clone(), y.clone());
+        Container::compute("stencil", g.as_space(), move |ldr| {
+            let xv = ldr.read_stencil(&xc);
+            let yv = ldr.write(&yc);
+            Box::new(move |c| yv.set(c, 0, xv.ngh(c, 0, 0)))
+        })
+    };
+    let host = Container::host("tick", 4, |_| Box::new(|| {}));
+    let mut sk = Skeleton::sequence(
+        &b,
+        "steady-state",
+        vec![upd, sten, host],
+        SkeletonOptions {
+            occ: OccLevel::TwoWayExtended,
+            cache: false,
+            ..Default::default()
+        },
+    );
+    assert!(!sk.is_functional(), "virtual storage must be timing-only");
+
+    const ITERS: usize = 16;
+    sk.run_iters(ITERS); // warm up scratch tables + makespan buffer
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = sk.run_iters(ITERS);
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(report.executions, ITERS as u64);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state execute loop must not touch the heap"
+    );
+}

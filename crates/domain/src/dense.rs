@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use neon_set::{Cell, DataView, Elem, IterationSpace, RawRead, RawWrite, StorageMode};
+use neon_set::{Cell, DataView, Elem, IterationSpace, RawRead, RawWrite, StorageMode, CELL_CHUNK};
 use neon_sys::{Backend, DeviceId, NeonSysError, Result};
 
 use crate::grid::{proportional_slab_partition, slab_partition, Dim3, FieldParts, GridLike};
@@ -199,23 +199,35 @@ impl DenseGrid {
     }
 
     /// The owned z-ranges iterated for `view` on `dev` (global coords).
-    fn view_z_ranges(&self, dev: DeviceId, view: DataView) -> Vec<(usize, usize)> {
+    /// At most two (the boundary view's low and high slabs); returned
+    /// inline so per-launch queries stay off the heap.
+    fn view_z_ranges(&self, dev: DeviceId, view: DataView) -> ([(usize, usize); 2], usize) {
         let p = self.part(dev);
         let (bl, bh) = self.bnd_layers(dev);
-        match view {
-            DataView::Standard => vec![(p.z0, p.z1)],
-            DataView::Internal => vec![(p.z0 + bl, p.z1 - bh)],
+        let mut ranges = [(0, 0); 2];
+        let n = match view {
+            DataView::Standard => {
+                ranges[0] = (p.z0, p.z1);
+                1
+            }
+            DataView::Internal => {
+                ranges[0] = (p.z0 + bl, p.z1 - bh);
+                1
+            }
             DataView::Boundary => {
-                let mut v = Vec::new();
+                let mut n = 0;
                 if bl > 0 {
-                    v.push((p.z0, p.z0 + bl));
+                    ranges[n] = (p.z0, p.z0 + bl);
+                    n += 1;
                 }
                 if bh > 0 {
-                    v.push((p.z1 - bh, p.z1));
+                    ranges[n] = (p.z1 - bh, p.z1);
+                    n += 1;
                 }
-                v
+                n
             }
-        }
+        };
+        (ranges, n)
     }
 
     #[inline]
@@ -232,7 +244,8 @@ impl IterationSpace for DenseGrid {
     }
 
     fn cell_count(&self, dev: DeviceId, view: DataView) -> u64 {
-        self.view_z_ranges(dev, view)
+        let (ranges, n) = self.view_z_ranges(dev, view);
+        ranges[..n]
             .iter()
             .map(|&(a, b)| ((b - a) * self.sxy()) as u64)
             .sum()
@@ -240,12 +253,36 @@ impl IterationSpace for DenseGrid {
 
     fn for_each_cell(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(Cell)) {
         let dim = self.inner.dim;
-        for (za, zb) in self.view_z_ranges(dev, view) {
+        let (ranges, nr) = self.view_z_ranges(dev, view);
+        for &(za, zb) in &ranges[..nr] {
             for z in za..zb {
                 for y in 0..dim.y {
                     let row = self.local_lin(dev, 0, y, z);
                     for x in 0..dim.x {
                         f(Cell::new(row + x as u32, x as i32, y as i32, z as i32));
+                    }
+                }
+            }
+        }
+    }
+
+    fn for_each_cell_chunked(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(&[Cell])) {
+        let dim = self.inner.dim;
+        let mut buf = [Cell::new(0, 0, 0, 0); CELL_CHUNK];
+        let (ranges, nr) = self.view_z_ranges(dev, view);
+        for &(za, zb) in &ranges[..nr] {
+            for z in za..zb {
+                for y in 0..dim.y {
+                    let row = self.local_lin(dev, 0, y, z);
+                    let mut x = 0usize;
+                    while x < dim.x {
+                        let n = (dim.x - x).min(CELL_CHUNK);
+                        for (i, cell) in buf[..n].iter_mut().enumerate() {
+                            let xx = x + i;
+                            *cell = Cell::new(row + xx as u32, xx as i32, y as i32, z as i32);
+                        }
+                        f(&buf[..n]);
+                        x += n;
                     }
                 }
             }

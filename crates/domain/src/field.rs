@@ -252,6 +252,21 @@ impl<T: Elem> HaloExchange for FieldHalo<T> {
                 .copy_between(s.src, s.src_off, s.dst, s.dst_off, s.len);
         }
     }
+
+    fn supports_per_device(&self) -> bool {
+        true
+    }
+
+    fn execute_for_dst(&self, dst: DeviceId) {
+        // Lease-free: the parallel executor's event table orders this
+        // against every conflicting access, and taking whole-partition
+        // leases here would falsely reject the internal-kernel ∥ halo
+        // overlap the schedule legitimately allows.
+        for s in self.segs.iter().filter(|s| s.dst == dst) {
+            self.mem
+                .copy_between_untracked(s.src, s.src_off, s.dst, s.dst_off, s.len);
+        }
+    }
 }
 
 impl<T: Elem, G: GridLike> Loadable for Field<T, G> {

@@ -63,6 +63,11 @@ impl DataView {
     }
 }
 
+/// Number of cells handed to the kernel per call through the chunked
+/// iteration path. Chosen so a chunk of [`Cell`]s stays within a cache
+/// line budget while amortizing the `dyn FnMut` virtual dispatch.
+pub const CELL_CHUNK: usize = 64;
+
 /// The iteration domain a container launches over — implemented by grids.
 ///
 /// The paper creates a container *from* a multi-GPU data object which
@@ -80,6 +85,35 @@ pub trait IterationSpace: Send + Sync {
     /// Only meaningful for grids with real (non-virtual) storage; grids in
     /// timing-only mode may panic here.
     fn for_each_cell(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(Cell));
+
+    /// Invoke `f` with blocks of up to [`CELL_CHUNK`] cells of `view` on
+    /// device `dev`, in the same order `for_each_cell` would visit them.
+    ///
+    /// The per-cell path crosses the `dyn FnMut` boundary once *per cell*;
+    /// this path crosses it once per chunk, amortizing the virtual dispatch
+    /// over up to [`CELL_CHUNK`] cells. The default implementation buffers
+    /// `for_each_cell` output through a stack array; grids override it to
+    /// fill chunks directly from their native layout.
+    fn for_each_cell_chunked(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(&[Cell])) {
+        let mut buf = [Cell::new(0, 0, 0, 0); CELL_CHUNK];
+        let mut n = 0usize;
+        {
+            let buf = &mut buf;
+            let n = &mut n;
+            let f = &mut *f;
+            self.for_each_cell(dev, view, &mut |c| {
+                buf[*n] = c;
+                *n += 1;
+                if *n == CELL_CHUNK {
+                    f(&buf[..]);
+                    *n = 0;
+                }
+            });
+        }
+        if n > 0 {
+            f(&buf[..n]);
+        }
+    }
 
     /// Whether functional iteration is possible (false for virtual-storage
     /// grids used in timing-only benchmark sweeps).
@@ -151,6 +185,21 @@ mod tests {
         let mut xs = Vec::new();
         l.for_each_cell(DeviceId(1), DataView::Standard, &mut |c| xs.push(c.x));
         assert_eq!(xs, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn chunked_default_matches_per_cell_order() {
+        let l = Line {
+            len_per_dev: CELL_CHUNK as u32 + 7, // exercises a partial tail chunk
+            devs: 1,
+        };
+        for view in [DataView::Standard, DataView::Internal, DataView::Boundary] {
+            let mut per_cell = Vec::new();
+            l.for_each_cell(DeviceId(0), view, &mut |c| per_cell.push(c));
+            let mut chunked = Vec::new();
+            l.for_each_cell_chunked(DeviceId(0), view, &mut |cs| chunked.extend_from_slice(cs));
+            assert_eq!(per_cell, chunked, "{view:?}");
+        }
     }
 
     #[test]

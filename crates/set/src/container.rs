@@ -70,6 +70,22 @@ pub trait HaloExchange: Send + Sync {
     fn descriptors(&self) -> Vec<HaloDescriptor>;
     /// Perform the copies (no-op on virtual storage).
     fn execute(&self);
+    /// Whether [`HaloExchange::execute_for_dst`] is implemented, allowing
+    /// the parallel executor to run each destination device's incoming
+    /// copies on that device's worker instead of serializing the whole
+    /// exchange on one thread.
+    fn supports_per_device(&self) -> bool {
+        false
+    }
+    /// Perform only the copies whose destination is `dst`.
+    ///
+    /// Must only be called when [`HaloExchange::supports_per_device`]
+    /// returns true; calling every destination exactly once must be
+    /// equivalent to one [`HaloExchange::execute`] call.
+    fn execute_for_dst(&self, dst: DeviceId) {
+        let _ = dst;
+        unimplemented!("HaloExchange::execute_for_dst without supports_per_device");
+    }
 }
 
 struct ContainerInner {
@@ -79,9 +95,27 @@ struct ContainerInner {
     gen: Option<Arc<GenFn>>,
     host_gen: Option<Arc<HostGenFn>>,
     accesses: Vec<AccessRecord>,
+    bytes_per_cell: u64,
     flops_per_cell: u64,
     bw_efficiency: f64,
     reduce_hooks: Vec<ReduceHooks>,
+}
+
+/// `Σ_uid max(read bytes) + Σ_uid max(write bytes)` over the recorded
+/// accesses: reads of the same data object by several accesses count
+/// once (on a real device the second read hits cache), writes likewise.
+/// Computed once at construction — the executor reads it per launch.
+fn bytes_per_cell_of(accesses: &[AccessRecord]) -> u64 {
+    use std::collections::HashMap;
+    let mut reads: HashMap<crate::uid::DataUid, u64> = HashMap::new();
+    let mut writes: HashMap<crate::uid::DataUid, u64> = HashMap::new();
+    for a in accesses {
+        let r = reads.entry(a.uid).or_default();
+        *r = (*r).max(a.read_bytes_per_cell);
+        let w = writes.entry(a.uid).or_default();
+        *w = (*w).max(a.write_bytes_per_cell);
+    }
+    reads.values().sum::<u64>() + writes.values().sum::<u64>()
 }
 
 /// A multi-device kernel (or host step) with declared data accesses.
@@ -143,6 +177,7 @@ impl Container {
                 space: Some(space),
                 gen: Some(Arc::new(gen)),
                 host_gen: None,
+                bytes_per_cell: bytes_per_cell_of(&accesses),
                 accesses,
                 flops_per_cell,
                 bw_efficiency,
@@ -171,6 +206,7 @@ impl Container {
                 space: None,
                 gen: None,
                 host_gen: Some(Arc::new(gen)),
+                bytes_per_cell: bytes_per_cell_of(&accesses),
                 accesses,
                 flops_per_cell: 0,
                 bw_efficiency: 1.0,
@@ -220,18 +256,10 @@ impl Container {
     ///
     /// Reads of the same data object by several accesses are counted once
     /// (on a real device the second read hits cache), writes likewise:
-    /// `Σ_uid max(read bytes) + Σ_uid max(write bytes)`.
+    /// `Σ_uid max(read bytes) + Σ_uid max(write bytes)`. Precomputed at
+    /// construction, free to call per launch.
     pub fn bytes_per_cell(&self) -> u64 {
-        use std::collections::HashMap;
-        let mut reads: HashMap<crate::uid::DataUid, u64> = HashMap::new();
-        let mut writes: HashMap<crate::uid::DataUid, u64> = HashMap::new();
-        for a in &self.inner.accesses {
-            let r = reads.entry(a.uid).or_default();
-            *r = (*r).max(a.read_bytes_per_cell);
-            let w = writes.entry(a.uid).or_default();
-            *w = (*w).max(a.write_bytes_per_cell);
-        }
-        reads.values().sum::<u64>() + writes.values().sum::<u64>()
+        self.inner.bytes_per_cell
     }
 
     /// FLOPs per iterated cell (user hint; 0 = bandwidth-bound).
@@ -290,7 +318,13 @@ impl Container {
         let gen = self.inner.gen.as_ref().expect("compute container");
         let mut loader = Loader::for_execution(dev, space.num_partitions(), view);
         let kernel = gen(&mut loader);
-        space.for_each_cell(dev, view, &mut |c| kernel(c));
+        // Chunked iteration: one virtual call per block of cells instead of
+        // one per cell, amortizing the `dyn FnMut` dispatch overhead.
+        space.for_each_cell_chunked(dev, view, &mut |cells| {
+            for &c in cells {
+                kernel(c);
+            }
+        });
     }
 
     /// Functionally execute a host container.

@@ -36,7 +36,7 @@ pub mod signature;
 pub mod uid;
 
 pub use access::{AccessConflict, AccessTracker, TrackerGuard};
-pub use cell::{Cell, DataView, IterationSpace};
+pub use cell::{Cell, DataView, IterationSpace, CELL_CHUNK};
 pub use container::{ComputeFn, HostFn};
 pub use container::{Container, ContainerKind, HaloDescriptor, HaloExchange};
 pub use dataset::DataSet;

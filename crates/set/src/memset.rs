@@ -296,6 +296,46 @@ impl<T: Elem> MemSet<T> {
             }
         }
     }
+
+    /// [`MemSet::copy_between`] without acquiring tracker leases.
+    ///
+    /// The access tracker leases whole partitions, but a halo copy only
+    /// reads the source's owned boundary cells and only writes the
+    /// destination's halo layers — ranges that are disjoint from what an
+    /// overlapping *internal*-view kernel touches. The event-driven
+    /// executor's dependency table orders every genuinely conflicting
+    /// access, so it uses this lease-free path to allow the overlap the
+    /// whole-partition lease would falsely reject. The serial reference
+    /// path keeps the fully tracked [`MemSet::copy_between`]; parity tests
+    /// compare the two bit for bit.
+    ///
+    /// Callers must guarantee (e.g. via an event table) that no concurrent
+    /// access overlaps the copied ranges. Distinct partitions required.
+    pub fn copy_between_untracked(
+        &self,
+        src: DeviceId,
+        src_off: usize,
+        dst: DeviceId,
+        dst_off: usize,
+        len: usize,
+    ) {
+        if self.inner.mode == StorageMode::Virtual {
+            return;
+        }
+        assert_ne!(src, dst, "copy_between_untracked: partitions must differ");
+        let sp = self.part(src);
+        let dp = self.part(dst);
+        assert!(src_off + len <= sp.len, "copy_between: source out of range");
+        assert!(
+            dst_off + len <= dp.len,
+            "copy_between: destination out of range"
+        );
+        unsafe {
+            let s = (*sp.data.get()).as_ptr().add(src_off);
+            let d = (*dp.data.get()).as_mut_ptr().add(dst_off);
+            std::ptr::copy_nonoverlapping(s, d, len);
+        }
+    }
 }
 
 /// Immutable, bounds-checked view of one partition.

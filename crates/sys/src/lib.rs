@@ -33,6 +33,7 @@ pub mod device;
 pub mod error;
 pub mod hash;
 pub mod memory;
+pub mod pool;
 pub mod queue;
 pub mod topology;
 pub mod trace;
@@ -43,6 +44,7 @@ pub use device::{DeviceId, DeviceKind, DeviceModel};
 pub use error::{NeonSysError, Result};
 pub use hash::{stable_hash_of, StableHasher};
 pub use memory::{AllocationTicket, MemoryLedger};
+pub use pool::WorkerPool;
 pub use queue::{EventId, QueueSim, StreamId};
 pub use topology::{LinkKind, LinkModel, LinkResourceId, Topology};
 pub use trace::{SpanKind, Trace, TraceSpan};

@@ -14,6 +14,9 @@ cargo test --workspace --quiet
 echo "==> golden IR dump (compiler pipeline output pinned)"
 cargo test -p neon-core --test golden_ir_dump --quiet
 
+echo "==> functional executor smoke (parallel must match serial bit-for-bit)"
+cargo run --release -p neon-bench --bin repro_functional -- --smoke
+
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
