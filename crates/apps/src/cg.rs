@@ -3,14 +3,15 @@
 //!
 //! The iteration is expressed as a *sequential* container list; the
 //! Skeleton discovers the parallelism. Following the paper (§VI-B), the
-//! `UpdateP` map is placed at the *start* of the iteration, immediately
-//! before the stencil, which is what enables the Two-way Extended OCC
-//! optimization without changing the numerics.
+//! direction update `p ← r + β·p` is placed at the *start* of the
+//! iteration, immediately before the stencil, which is what enables the
+//! Two-way Extended OCC optimization without changing the numerics.
 //!
 //! One iteration (given `rs_old = r·r` from initialization):
 //!
 //! ```text
-//! p    ← r + β·p          (map)
+//! p    ← β·p              (map)
+//! p    ← r + p            (map)
 //! Ap   ← A·p              (stencil, user-supplied operator)
 //! pAp  ← p·Ap             (reduce)
 //! α    ← rs_old / pAp     (host)
@@ -21,9 +22,7 @@
 //! ```
 
 use neon_core::{ExecReport, OccLevel, Skeleton, SkeletonOptions};
-use neon_domain::{
-    ops, Cell, Container, Field, FieldRead as _, FieldWrite as _, GridLike, MemLayout, ScalarSet,
-};
+use neon_domain::{ops, Container, Field, GridLike, MemLayout, ScalarSet};
 use neon_sys::{Result, SimTime};
 
 /// Compile statistics of a solver's skeletons (see
@@ -87,22 +86,6 @@ impl<G: GridLike> CgState<G> {
     }
 }
 
-/// The `p ← r + β·p` map (β read at launch time; β=0 degenerates to copy).
-fn update_p<G: GridLike>(grid: &G, st: &CgState<G>) -> Container {
-    let (r, p, beta) = (st.r.clone(), st.p.clone(), st.beta.clone());
-    let card = r.card();
-    Container::compute("UpdateP", grid.as_space(), move |ldr| {
-        let b = ldr.scalar(&beta);
-        let rv = ldr.read(&r);
-        let pv = ldr.read_write(&p);
-        Box::new(move |c: Cell| {
-            for k in 0..card {
-                pv.set(c, k, rv.at(c, k) + b * pv.at(c, k));
-            }
-        })
-    })
-}
-
 /// The containers of one CG iteration, given the operator container
 /// `apply` (which must read `state.p` with a stencil and write `state.ap`).
 pub fn cg_iteration<G: GridLike>(grid: &G, state: &CgState<G>, apply: Container) -> Vec<Container> {
@@ -142,8 +125,14 @@ pub fn cg_iteration<G: GridLike>(grid: &G, state: &CgState<G>, apply: Container)
             })
         })
     };
+    // `p ← r + β·p` is expressed as scale-then-add rather than one
+    // three-operand map: `fl(1·r + fl(β·p))` is bitwise what the single
+    // map computed, the two cell-local maps fuse back into one sweep under
+    // the fuse pass, and keeping them separate lets the unfused baseline
+    // meter the true per-container traffic.
     vec![
-        update_p(grid, state),
+        ops::scale_scalar(grid, &state.beta, &state.p),
+        ops::axpy_const(grid, 1.0, &state.r, &state.p),
         apply,
         ops::dot(grid, &state.p, &state.ap, &state.p_ap),
         host_alpha,

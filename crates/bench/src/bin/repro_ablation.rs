@@ -99,6 +99,9 @@ fn hints_ablation() {
         let opts = SkeletonOptions {
             occ: OccLevel::TwoWayExtended,
             hints,
+            // Fusing stn+dot would leave OCC nothing to split — this
+            // ablation is about hint edges on the split graph.
+            fusion: neon_core::FusionLevel::Off,
             ..Default::default()
         };
         let t = Skeleton::sequence(&backend, "pipeline", vec![map, sten, red], opts)

@@ -21,6 +21,9 @@ fn main() {
     println!("== Fig. 7: LBM twoPop parallel efficiency, 8x A100 (NVLink) ==\n");
     let mut rows = Vec::new();
     for n in [192, 256, 320, 384, 448, 512] {
+        // Cached plans pin the previous size's fields (the plan holds the
+        // container Arcs); drop them so the ledgers free the old grids.
+        neon_core::clear_plan_cache();
         let t1 = lbm_cavity_iter_time(&single, n, OccLevel::None, ITERS);
         let t_none = lbm_cavity_iter_time(&multi, n, OccLevel::None, ITERS);
         let t_occ = lbm_cavity_iter_time(&multi, n, OccLevel::Standard, ITERS);

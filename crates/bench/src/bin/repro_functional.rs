@@ -76,6 +76,10 @@ fn run_mode(mode: FunctionalMode, label: &'static str, dim: usize, iters: usize)
         SkeletonOptions {
             occ: OccLevel::Standard,
             functional_mode: mode,
+            // This bench compares executor modes on the unfused program
+            // (the checked-in numbers predate fusion); `repro_fusion`
+            // owns the fused-vs-unfused comparison.
+            fusion: neon_core::FusionLevel::Off,
             ..Default::default()
         },
     )

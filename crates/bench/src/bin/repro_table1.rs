@@ -22,6 +22,9 @@ fn main() {
     println!("== Table I: Neon vs Taichi, 2-D Karman vortex (D2Q9), 1x A100 ==\n");
     let mut rows = Vec::new();
     for (nx, ny) in [(4096, 1024), (8192, 2048), (16384, 4096), (32768, 8192)] {
+        // Cached plans pin the previous size's fields (the plan holds the
+        // container Arcs); drop them so the ledgers free the old grids.
+        neon_core::clear_plan_cache();
         let st = Stencil::d2q9();
         let g = DenseGrid::new(&backend, Dim3::new(nx, ny, 1), &[&st], StorageMode::Virtual)
             .expect("grid");

@@ -61,6 +61,11 @@ pub fn lower_collectives(g: &Graph, ndev: usize) -> Graph {
         return out;
     }
     let original = out.len();
+    let mut lowered: Vec<(
+        crate::graph::NodeId,
+        crate::graph::NodeId,
+        Vec<neon_set::DataUid>,
+    )> = Vec::new();
     for id in 0..original {
         let (container, uids) = match &out.node(id).kind {
             NodeKind::Compute {
@@ -78,6 +83,7 @@ pub fn lower_collectives(g: &Graph, ndev: usize) -> Graph {
             }
             _ => continue,
         };
+        let uids_for_anchor = uids.clone();
         if let NodeKind::Compute {
             reduce_finalize, ..
         } = &mut out.node_mut(id).kind
@@ -87,10 +93,12 @@ pub fn lower_collectives(g: &Graph, ndev: usize) -> Graph {
         let bytes = 8 * uids.len().max(1) as u64;
         let name = format!("{}:allreduce", out.node(id).name);
         let source = out.node(id).source;
+        let fused_sources = out.node(id).fused_sources.clone();
         let cid = out.add_node(Node {
             name,
             kind: NodeKind::Collective { container, bytes },
             source,
+            fused_sources,
         });
         // The collective is now the producer of the reduced scalars: its
         // consumers (RaW) and the partials' next writers (WaR/WaW) must
@@ -106,6 +114,181 @@ pub fn lower_collectives(g: &Graph, ndev: usize) -> Graph {
             kind: EdgeKind::RaW,
             data: uids.first().copied(),
         });
+        lowered.push((id, cid, uids_for_anchor));
+    }
+    // Transitive reduction may have deleted the direct edge between a
+    // reduce kernel and a later toucher of its scalar (a longer path
+    // through other data already orders the two kernels). Repointing then
+    // finds nothing to move and the collective dangles, unordered against
+    // the scalar's next use. Re-anchor: order each collective before every
+    // later toucher of its uids that the kernel reaches but the collective
+    // does not. The collective's only in-edge is kernel → collective, so a
+    // new edge cannot close a cycle (the toucher reaching the collective
+    // would mean it also reaches the kernel that reaches it).
+    let reaches = |out: &Graph, from: crate::graph::NodeId, to: crate::graph::NodeId| -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![false; out.len()];
+        while let Some(u) = stack.pop() {
+            if u == to {
+                return true;
+            }
+            if std::mem::replace(&mut seen[u], true) {
+                continue;
+            }
+            for e in out.edges() {
+                if e.from == u && e.kind.is_data() && !seen[e.to] {
+                    stack.push(e.to);
+                }
+            }
+        }
+        false
+    };
+    for (id, cid, uids) in lowered {
+        for uid in uids {
+            let touchers: Vec<_> = (0..out.len())
+                .filter(|&m| m != id && m != cid)
+                .filter(|&m| {
+                    out.node(m)
+                        .container()
+                        .is_some_and(|c| c.accesses().iter().any(|a| a.uid == uid))
+                })
+                .filter(|&m| reaches(&out, id, m))
+                .collect();
+            for m in touchers {
+                if !reaches(&out, cid, m) {
+                    out.add_edge(Edge {
+                        from: cid,
+                        to: m,
+                        kind: EdgeKind::RaW,
+                        data: Some(uid),
+                    });
+                }
+            }
+        }
+    }
+    out.dedup_edges();
+    out
+}
+
+/// Collective fusion: merge independent all-reduce rounds into one
+/// multi-scalar round.
+///
+/// Collective nodes on the same BFS level have no dependency path between
+/// them, so their payloads can ride one collective instead of paying one
+/// latency-bound round each. Every same-level group is replaced by a
+/// single node at the first member's position carrying the summed payload
+/// and a [`neon_set::Container::fused_reductions`] container whose
+/// finalize folds every member's partials; the graph is rebuilt without
+/// the merged-away nodes. Members must carry provenance (`source` or
+/// `fused_sources`) so a cached plan can rebind them; nodes without it
+/// are left alone.
+pub fn merge_collectives(g: &Graph) -> Graph {
+    use std::collections::HashMap;
+
+    // Any-edge reachability (hints included): insurance against merging
+    // nodes that a scheduling hint chain secretly orders.
+    let reaches = |from: crate::graph::NodeId, to: crate::graph::NodeId| -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![false; g.len()];
+        while let Some(u) = stack.pop() {
+            if u == to {
+                return true;
+            }
+            if std::mem::replace(&mut seen[u], true) {
+                continue;
+            }
+            for e in g.edges() {
+                if e.from == u && !seen[e.to] {
+                    stack.push(e.to);
+                }
+            }
+        }
+        false
+    };
+
+    let mut groups: Vec<Vec<crate::graph::NodeId>> = Vec::new();
+    for level in g.bfs_levels(false) {
+        let mut group: Vec<crate::graph::NodeId> = Vec::new();
+        for id in level {
+            let n = g.node(id);
+            if !n.is_collective() || (n.source.is_none() && n.fused_sources.is_empty()) {
+                continue;
+            }
+            if group.iter().any(|&m| reaches(m, id) || reaches(id, m)) {
+                continue;
+            }
+            group.push(id);
+        }
+        if group.len() >= 2 {
+            groups.push(group);
+        }
+    }
+    if groups.is_empty() {
+        return g.clone();
+    }
+
+    // Map every node to its representative (first group member), then
+    // rebuild the graph without the merged-away nodes.
+    let mut rep: HashMap<crate::graph::NodeId, crate::graph::NodeId> = HashMap::new();
+    for grp in &groups {
+        for &m in grp {
+            rep.insert(m, grp[0]);
+        }
+    }
+    let mut out = Graph::new();
+    let mut remap: HashMap<crate::graph::NodeId, crate::graph::NodeId> = HashMap::new();
+    for (id, n) in g.nodes().iter().enumerate() {
+        let r = rep.get(&id).copied().unwrap_or(id);
+        if r != id {
+            continue; // merged into its representative
+        }
+        let new_id = if let Some(grp) = groups.iter().find(|grp| grp[0] == id) {
+            let members: Vec<_> = grp
+                .iter()
+                .map(|&m| g.node(m).container().expect("collective").clone())
+                .collect();
+            let name = grp
+                .iter()
+                .map(|&m| g.node(m).name.as_str())
+                .collect::<Vec<_>>()
+                .join("+");
+            let bytes = grp
+                .iter()
+                .map(|&m| match &g.node(m).kind {
+                    NodeKind::Collective { bytes, .. } => *bytes,
+                    _ => unreachable!("group members are collectives"),
+                })
+                .sum();
+            let fused_sources = grp
+                .iter()
+                .flat_map(|&m| {
+                    let n = g.node(m);
+                    if n.fused_sources.is_empty() {
+                        vec![n.source.expect("provenance checked above")]
+                    } else {
+                        n.fused_sources.clone()
+                    }
+                })
+                .collect();
+            out.add_node(Node::with_fused_sources(
+                name,
+                NodeKind::Collective {
+                    container: neon_set::Container::fused_reductions("merged-allreduce", members),
+                    bytes,
+                },
+                fused_sources,
+            ))
+        } else {
+            out.add_node(n.clone())
+        };
+        remap.insert(id, new_id);
+    }
+    for e in g.edges() {
+        let from = remap[&rep.get(&e.from).copied().unwrap_or(e.from)];
+        let to = remap[&rep.get(&e.to).copied().unwrap_or(e.to)];
+        if from != to {
+            out.add_edge(Edge { from, to, ..*e });
+        }
     }
     out.dedup_edges();
     out

@@ -112,6 +112,13 @@ pub struct ExecReport {
     pub host_time: SimTime,
     /// Total collective-communication busy time over all lanes.
     pub collective_time: SimTime,
+    /// Kernel launches enqueued (one per compute node per device with a
+    /// non-empty partition; fusion shrinks this).
+    pub launches: u64,
+    /// Bytes swept by those kernels (cells × the container's per-cell
+    /// bytes, summed over launches; fused reads of just-written fields
+    /// count zero).
+    pub bytes_moved: u64,
     /// Number of executions aggregated.
     pub executions: u64,
 }
@@ -123,6 +130,8 @@ impl ExecReport {
         self.transfer_time += other.transfer_time;
         self.host_time += other.host_time;
         self.collective_time += other.collective_time;
+        self.launches += other.launches;
+        self.bytes_moved += other.bytes_moved;
         self.executions += other.executions;
     }
 
@@ -463,11 +472,17 @@ impl Executor {
                     )
                 })
                 .collect();
+            let (launches, kernel_bytes) = (
+                self.queue.kernel_launches(),
+                self.queue.kernel_bytes_moved(),
+            );
             if let Some(trace) = self.queue.trace_mut() {
                 for (name, busy, contended) in stats {
                     trace.set_counter(&format!("link:{name}:busy_us"), busy);
                     trace.set_counter(&format!("link:{name}:contended"), contended as f64);
                 }
+                trace.set_counter("kernel:launches", launches as f64);
+                trace.set_counter("kernel:bytes_moved", kernel_bytes as f64);
             }
         }
         report
@@ -531,6 +546,9 @@ impl Executor {
                             SpanKind::Kernel,
                         );
                         report.kernel_time += dur;
+                        report.launches += 1;
+                        report.bytes_moved += cells * bytes_per_cell;
+                        self.queue.record_launch(cells * bytes_per_cell);
                         ends[node_id * ndev + d] = e;
                     }
                     if *reduce_finalize {

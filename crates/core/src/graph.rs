@@ -78,6 +78,11 @@ pub struct Node {
     /// for synthesized nodes such as halo updates). Plan rebinding uses it
     /// to swap a cached plan's containers for a new instance's.
     pub source: Option<usize>,
+    /// For nodes produced by fusion: the sequence indices of every member
+    /// container, in fused order (`source` is `None` then). Plan rebinding
+    /// re-fuses the new instance's containers from this list; IR dumps
+    /// render it as provenance.
+    pub fused_sources: Vec<usize>,
 }
 
 impl Node {
@@ -87,6 +92,7 @@ impl Node {
             name: name.into(),
             kind,
             source: None,
+            fused_sources: Vec::new(),
         }
     }
 
@@ -97,6 +103,21 @@ impl Node {
             name: name.into(),
             kind,
             source: Some(source),
+            fused_sources: Vec::new(),
+        }
+    }
+
+    /// A fused node originating from `containers[i]` for each member `i`.
+    pub fn with_fused_sources(
+        name: impl Into<String>,
+        kind: NodeKind,
+        members: Vec<usize>,
+    ) -> Self {
+        Node {
+            name: name.into(),
+            kind,
+            source: None,
+            fused_sources: members,
         }
     }
 

@@ -6,6 +6,9 @@
 //!
 //! * [`graph`] — the data dependency graph inferred from Loader records
 //!   (RaW / WaR / WaW edges), with BFS levels and transitive reduction;
+//! * [`fuse`] — the container-fusion pass merging map chains and a
+//!   trailing reduction into single fused sweeps (fewer launches, fewer
+//!   field re-reads);
 //! * [`multigpu`] — the multi-GPU transform inserting halo-update nodes;
 //! * [`occ`] — the overlap-computation-and-communication optimizations
 //!   (*Standard*, *Extended*, *Two-way Extended*) via internal/boundary
@@ -40,6 +43,7 @@
 pub mod collective;
 pub mod devplan;
 pub mod exec;
+pub mod fuse;
 pub mod graph;
 pub mod multigpu;
 pub mod occ;
@@ -49,9 +53,10 @@ pub mod schedule;
 pub mod skeleton;
 pub mod validate;
 
-pub use collective::{lower_collectives, CollectiveMode};
+pub use collective::{lower_collectives, merge_collectives, CollectiveMode};
 pub use devplan::{build_device_plan, DevAction, DevStep, DevicePlan};
 pub use exec::{ExecReport, Executor, FunctionalMode, HaloPolicy};
+pub use fuse::{fuse_graph, FusePass, FusionLevel};
 pub use graph::{build_dependency_graph, Edge, EdgeKind, Graph, Node, NodeId, NodeKind};
 pub use multigpu::to_multigpu_graph;
 pub use neon_comm::Algorithm as CollectiveAlgorithm;

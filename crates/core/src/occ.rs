@@ -146,7 +146,16 @@ pub fn apply_occ(g: &Graph, level: OccLevel) -> Graph {
                     continue;
                 }
                 let n = g.node(id);
+                // A fused node containing a reduction is never split: its
+                // member kernels interleave per cell, so an int/bnd split
+                // would reorder the accumulation relative to the unfused
+                // sequence and break fusion's bit-identity guarantee.
+                let fused_reduce = n
+                    .container()
+                    .map(|c| c.is_fused() && c.is_reduce())
+                    .unwrap_or(false);
                 if is_splittable_compute(n)
+                    && !fused_reduce
                     && matches!(
                         n.container().map(Container::kind),
                         Some(ContainerKind::Map) | Some(ContainerKind::Reduce)
@@ -188,6 +197,7 @@ pub fn apply_occ(g: &Graph, level: OccLevel) -> Graph {
                 reduce_finalize: fin,
             },
             source: node.source,
+            fused_sources: node.fused_sources.clone(),
         };
         // Boundary maps go first in id order so ties in the final BFS
         // ordering favour them; internal halves first for stencil/reduce.

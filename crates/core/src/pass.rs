@@ -17,8 +17,8 @@
 //! The standard pipeline is
 //!
 //! ```text
-//! dependency-graph → multi-gpu → occ → collective-lowering → schedule
-//!     → device-partition
+//! dependency-graph → fuse → multi-gpu → occ → collective-lowering
+//!     → schedule → device-partition
 //! ```
 //!
 //! and its product is consumed by [`crate::plan::CompiledPlan`].
@@ -28,8 +28,9 @@ use std::time::Instant;
 use neon_set::{uid_roles, Container};
 use neon_sys::{Backend, DeviceId, SimTime, SpanKind, Trace, TraceSpan};
 
-use crate::collective::lower_collectives;
+use crate::collective::{lower_collectives, merge_collectives};
 use crate::devplan::{build_device_plan, DevicePlan};
+use crate::fuse::{FusePass, FusionLevel};
 use crate::graph::{build_dependency_graph, EdgeKind, Graph, NodeId, NodeKind};
 use crate::multigpu::to_multigpu_graph;
 use crate::occ::apply_occ;
@@ -91,6 +92,21 @@ impl Ir {
     /// output shape.
     pub fn dump(&self) -> String {
         use std::fmt::Write as _;
+        // Fusion provenance: which sequence containers a fused node merges.
+        let provenance = |n: &crate::graph::Node| -> String {
+            if n.fused_sources.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " members={}",
+                    n.fused_sources
+                        .iter()
+                        .map(|s| format!("c{s}"))
+                        .collect::<Vec<_>>()
+                        .join("+")
+                )
+            }
+        };
         let roles = uid_roles(&self.containers);
         let label = |u: neon_set::DataUid| match roles.get(&u) {
             Some(r) => format!("u{r}"),
@@ -113,7 +129,12 @@ impl Ir {
                     if *reduce_finalize {
                         flags.push_str(" finalize");
                     }
-                    let _ = writeln!(out, "  n{i}: compute {} view={view:?}{flags}", n.name);
+                    let _ = writeln!(
+                        out,
+                        "  n{i}: compute {} view={view:?}{flags}{}",
+                        n.name,
+                        provenance(n)
+                    );
                 }
                 NodeKind::Halo { exchange } => {
                     let _ = writeln!(out, "  n{i}: halo data={}", label(exchange.data_uid()));
@@ -122,7 +143,12 @@ impl Ir {
                     let _ = writeln!(out, "  n{i}: host {}", n.name);
                 }
                 NodeKind::Collective { bytes, .. } => {
-                    let _ = writeln!(out, "  n{i}: collective {} bytes={bytes}", n.name);
+                    let _ = writeln!(
+                        out,
+                        "  n{i}: collective {} bytes={bytes}{}",
+                        n.name,
+                        provenance(n)
+                    );
                 }
             }
         }
@@ -285,6 +311,9 @@ impl Pass for CollectivePass {
     }
     fn run(&self, ir: &mut Ir, cx: &PassCtx) {
         ir.graph = lower_collectives(&ir.graph, cx.backend.num_devices());
+        if cx.options.fusion != FusionLevel::Off {
+            ir.graph = merge_collectives(&ir.graph);
+        }
     }
 }
 
@@ -341,11 +370,12 @@ pub struct PassManager {
 }
 
 impl PassManager {
-    /// The standard six-pass skeleton pipeline.
+    /// The standard seven-pass skeleton pipeline.
     pub fn standard() -> Self {
         PassManager {
             passes: vec![
                 Box::new(DependencyGraphPass),
+                Box::new(FusePass),
                 Box::new(MultiGpuPass),
                 Box::new(OccPass),
                 Box::new(CollectivePass),
@@ -450,6 +480,7 @@ mod tests {
             log.timings.iter().map(|t| t.name).collect::<Vec<_>>(),
             vec![
                 "dependency-graph",
+                "fuse",
                 "multi-gpu",
                 "occ",
                 "collective-lowering",
@@ -457,7 +488,7 @@ mod tests {
                 "device-partition"
             ]
         );
-        assert_eq!(log.trace.spans().len(), 6);
+        assert_eq!(log.trace.spans().len(), 7);
         assert!(log
             .trace
             .spans()
@@ -478,9 +509,13 @@ mod tests {
             },
         };
         let log = PassManager::standard().run(&mut ir, &cx).unwrap();
-        assert_eq!(log.dumps.len(), 6);
-        // Dumps use role labels, never raw uids.
-        assert!(log.dumps.iter().all(|(_, d)| d.contains("u0")));
+        assert_eq!(log.dumps.len(), 7);
+        // The raw dependency graph uses role labels, never raw uids.
+        assert!(log.dumps[0].1.contains("u0"));
+        // From the fuse pass on, the map+dot pair is one provenanced node.
+        assert!(log.dumps[1..]
+            .iter()
+            .all(|(_, d)| d.contains("members=c0+c1")));
         // The final dump includes the schedule and the device plan.
         assert!(log.dumps.last().unwrap().1.contains("schedule:"));
         assert!(log.dumps.last().unwrap().1.contains("device-plan:"));

@@ -232,6 +232,7 @@ fn options_signature(o: &SkeletonOptions) -> u64 {
             put(stable_hash_of(&format!("{a:?}")));
         }
     }
+    put(o.fusion as u64);
     put(o.dump_ir as u64);
     h.finish()
 }
@@ -387,9 +388,27 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
     let rebind_graph = |g: &Graph| -> Graph {
         let mut out = Graph::new();
         for n in g.nodes() {
-            let swap = |c: &Container| match n.source {
-                Some(i) => containers[i].clone(),
-                None => c.clone(),
+            // Fused nodes re-fuse the new instance's member containers by
+            // provenance; collectives only ever run finalize hooks, so the
+            // lighter `fused_reductions` merge covers both a merged
+            // all-reduce and the lowered half of a fused map+reduce.
+            let swap = |c: &Container| -> Container {
+                if !n.fused_sources.is_empty() {
+                    let members: Vec<Container> = n
+                        .fused_sources
+                        .iter()
+                        .map(|&i| containers[i].clone())
+                        .collect();
+                    return if n.is_collective() {
+                        Container::fused_reductions(c.name(), members)
+                    } else {
+                        Container::fused(c.name(), members)
+                    };
+                }
+                match n.source {
+                    Some(i) => containers[i].clone(),
+                    None => c.clone(),
+                }
             };
             let node = match &n.kind {
                 NodeKind::Compute {
@@ -406,6 +425,7 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
                         reduce_finalize: *reduce_finalize,
                     },
                     source: n.source,
+                    fused_sources: n.fused_sources.clone(),
                 },
                 NodeKind::Host { container } => Node {
                     name: n.name.clone(),
@@ -413,6 +433,7 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
                         container: swap(container),
                     },
                     source: n.source,
+                    fused_sources: n.fused_sources.clone(),
                 },
                 NodeKind::Collective { container, bytes } => Node {
                     name: n.name.clone(),
@@ -421,6 +442,7 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
                         bytes: *bytes,
                     },
                     source: n.source,
+                    fused_sources: n.fused_sources.clone(),
                 },
                 NodeKind::Halo { exchange } => {
                     let uid = map_uid(exchange.data_uid());
@@ -432,6 +454,7 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
                         name: format!("halo({})", ex.data_name()),
                         kind: NodeKind::Halo { exchange: ex },
                         source: None,
+                        fused_sources: Vec::new(),
                     }
                 }
             };
@@ -486,6 +509,7 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fuse::FusionLevel;
     use crate::occ::OccLevel;
     use neon_domain::{ops, DenseGrid, Dim3, Field, MemLayout, ScalarSet, Stencil, StorageMode};
 
@@ -574,5 +598,112 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(options_signature(&base), options_signature(&traced));
+    }
+
+    #[test]
+    fn every_graph_shaping_option_fragments_the_signature() {
+        // Audit: each option that changes the compiled graph or schedule
+        // must be part of the cache key, or a cache hit would silently
+        // hand back a plan compiled under different semantics.
+        let base = SkeletonOptions::default();
+        let variants: Vec<(&str, SkeletonOptions)> = vec![
+            (
+                "occ",
+                SkeletonOptions {
+                    occ: OccLevel::TwoWayExtended,
+                    ..base
+                },
+            ),
+            (
+                "max_streams",
+                SkeletonOptions {
+                    max_streams: 2,
+                    ..base
+                },
+            ),
+            (
+                "hints",
+                SkeletonOptions {
+                    hints: false,
+                    ..base
+                },
+            ),
+            (
+                "kernel_concurrency",
+                SkeletonOptions {
+                    kernel_concurrency: true,
+                    ..base
+                },
+            ),
+            (
+                "halo_policy",
+                SkeletonOptions {
+                    halo_policy: HaloPolicy::UnifiedMemory {
+                        page_bytes: 65536,
+                        fault_us: 20.0,
+                        bandwidth_gb_s: 32.0,
+                    },
+                    ..base
+                },
+            ),
+            (
+                "fusion",
+                SkeletonOptions {
+                    fusion: FusionLevel::Off,
+                    ..base
+                },
+            ),
+            (
+                "collectives",
+                SkeletonOptions {
+                    collectives: CollectiveMode::Fixed(neon_comm::Algorithm::Tree),
+                    ..base
+                },
+            ),
+            (
+                "dump_ir",
+                SkeletonOptions {
+                    dump_ir: true,
+                    ..base
+                },
+            ),
+        ];
+        let sig = options_signature(&base);
+        for (name, v) in &variants {
+            assert_ne!(
+                options_signature(v),
+                sig,
+                "flipping `{name}` must miss the plan cache"
+            );
+        }
+        // And pairwise: no two variants may collide either.
+        for i in 0..variants.len() {
+            for j in (i + 1)..variants.len() {
+                assert_ne!(
+                    options_signature(&variants[i].1),
+                    options_signature(&variants[j].1),
+                    "`{}` and `{}` collide",
+                    variants[i].0,
+                    variants[j].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_level_fragments_the_cache() {
+        let (b, seq1) = sequence(2, 8);
+        let _ = compile(&b, seq1, SkeletonOptions::default()).unwrap();
+        let (_b, seq2) = sequence(2, 8);
+        let (_, hit) = compile(
+            &b,
+            seq2,
+            SkeletonOptions {
+                fusion: FusionLevel::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!hit, "different fusion level compiles fresh");
     }
 }

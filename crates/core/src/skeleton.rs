@@ -6,11 +6,14 @@
 //!
 //! 1. `dependency-graph` — extract the data dependency graph from the
 //!    containers' recorded accesses,
-//! 2. `multi-gpu` — insert halo updates, prune redundant edges,
-//! 3. `occ` — split kernels at the configured OCC level,
-//! 4. `collective-lowering` — turn finalizing reduces into collective
-//!    nodes,
-//! 5. `schedule` — map nodes to streams, organize events, fix the enqueue
+//! 2. `fuse` — merge legal map chains (and a trailing reduction) into
+//!    single fused sweeps,
+//! 3. `multi-gpu` — insert halo updates, prune redundant edges,
+//! 4. `occ` — split kernels at the configured OCC level,
+//! 5. `collective-lowering` — turn finalizing reduces into collective
+//!    nodes (merging independent same-level collectives when fusion is
+//!    on),
+//! 6. `schedule` — map nodes to streams, organize events, fix the enqueue
 //!    order,
 //!
 //! validating pipeline invariants between passes, and then executes the
@@ -29,6 +32,7 @@ use neon_sys::{Backend, SimTime, Trace};
 
 use crate::collective::CollectiveMode;
 use crate::exec::{ExecReport, Executor, FunctionalMode, HaloPolicy};
+use crate::fuse::FusionLevel;
 use crate::graph::Graph;
 use crate::occ::OccLevel;
 use crate::pass::{CompileError, PassTiming};
@@ -61,6 +65,12 @@ pub struct SkeletonOptions {
     pub functional_mode: FunctionalMode,
     /// Record an execution trace (timeline spans).
     pub trace: bool,
+    /// Container fusion (the `fuse` compile pass): merge contiguous
+    /// same-grid map chains — and the map side of a trailing reduction —
+    /// into single fused sweeps, and combine independent same-level
+    /// collectives into one multi-scalar all-reduce. `Conservative`
+    /// (default) only fuses when provably bit-identical to `Off`.
+    pub fusion: FusionLevel,
     /// How multi-device reductions are realized: lowered to collective
     /// nodes whose algorithm (ring / tree / host-staged) is picked from
     /// the topology and payload (`Auto`), or forced (`Fixed`).
@@ -87,6 +97,7 @@ impl Default for SkeletonOptions {
             halo_policy: HaloPolicy::ExplicitTransfers,
             functional_mode: FunctionalMode::default(),
             trace: false,
+            fusion: FusionLevel::default(),
             collectives: CollectiveMode::Auto,
             validate: true,
             cache: true,
@@ -96,10 +107,16 @@ impl Default for SkeletonOptions {
 }
 
 impl SkeletonOptions {
-    /// Options with a given OCC level, defaults otherwise.
+    /// Options with a given OCC level and **fusion off** — the paper's
+    /// baseline executor, where the OCC level under study is what shapes
+    /// the graph. Fusing a trailing reduction produces a node OCC leaves
+    /// whole (see the `fuse` pass), which would flatten every OCC
+    /// comparison built on this constructor; opt into fusion explicitly
+    /// via `Default::default()` or the `fusion` field.
     pub fn with_occ(occ: OccLevel) -> Self {
         SkeletonOptions {
             occ,
+            fusion: FusionLevel::Off,
             ..Default::default()
         }
     }

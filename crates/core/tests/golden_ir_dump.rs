@@ -69,6 +69,7 @@ fn golden_ir_dump_matches() {
     // Sanity before comparing: one section per pass, in pipeline order.
     for pass in [
         "dependency-graph",
+        "fuse",
         "multi-gpu",
         "occ",
         "collective-lowering",

@@ -353,7 +353,12 @@ fn dot_export_and_schedule_render() {
             laplacian(&g, &x, &y),
             ops::dot(&g, &y, &y, &dot_s),
         ],
-        SkeletonOptions::with_occ(OccLevel::TwoWayExtended),
+        // Fusion would merge laplacian+dot into one reduce node, which OCC
+        // leaves whole — this test renders the split .int/.bnd halves.
+        SkeletonOptions {
+            fusion: neon_core::FusionLevel::Off,
+            ..SkeletonOptions::with_occ(OccLevel::TwoWayExtended)
+        },
     );
     let dot = sk.graph().to_dot("render");
     assert!(dot.starts_with("digraph"));

@@ -370,6 +370,10 @@ impl IterationSpace for BlockSparseGrid {
         self.inner.parts.len()
     }
 
+    fn space_id(&self) -> Option<u64> {
+        Some(Arc::as_ptr(&self.inner) as *const () as u64)
+    }
+
     fn cell_count(&self, dev: DeviceId, view: DataView) -> u64 {
         let (a, b) = self.class_range(dev, view);
         let p = self.part(dev);

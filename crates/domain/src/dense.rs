@@ -243,6 +243,10 @@ impl IterationSpace for DenseGrid {
         self.inner.parts.len()
     }
 
+    fn space_id(&self) -> Option<u64> {
+        Some(Arc::as_ptr(&self.inner) as *const () as u64)
+    }
+
     fn cell_count(&self, dev: DeviceId, view: DataView) -> u64 {
         let (ranges, n) = self.view_z_ranges(dev, view);
         ranges[..n]

@@ -348,6 +348,10 @@ impl IterationSpace for SparseGrid {
         self.inner.parts.len()
     }
 
+    fn space_id(&self) -> Option<u64> {
+        Some(Arc::as_ptr(&self.inner) as *const () as u64)
+    }
+
     fn cell_count(&self, dev: DeviceId, view: DataView) -> u64 {
         let p = self.part(dev);
         match view {

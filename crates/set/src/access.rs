@@ -8,12 +8,25 @@
 //! ([`TrackerGuard`]) and are released when the compute lambda that owns
 //! the views is dropped.
 //!
-//! The tracker is a single atomic per partition: `0` = free, `n > 0` =
-//! `n` readers, `-1` = one writer. Acquisition happens once per container
-//! launch per device, so the cost is negligible.
+//! **Fused launches.** A fused container (see `Container::fused`) runs
+//! every member's loading lambda back to back for one launch, so two
+//! members may legitimately hold views of the same partition — e.g. one
+//! member read-writes `r` and the next reduces over `r`. Member order is
+//! applied per cell within a single traversal, which is exactly the hazard
+//! discipline of a single `read_write` view, so these leases must
+//! *coalesce* rather than conflict. The member lambdas run inside a
+//! [`FusedScope`]; leases taken by the same scope on one partition stack
+//! (read under its own write, write under write, and a read→write upgrade
+//! when no outside reader is live) and release only when the scope's last
+//! guard drops. Leases from *different* launches still conflict exactly as
+//! before.
+//!
+//! Acquisition happens a handful of times per container launch per device,
+//! so a mutex per partition is negligible.
 
-use std::sync::atomic::{AtomicI32, Ordering};
-use std::sync::Arc;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Describes a detected access conflict (used in panic messages and tests).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,10 +49,60 @@ impl std::fmt::Display for AccessConflict {
     }
 }
 
+thread_local! {
+    static CURRENT_SCOPE: Cell<u64> = const { Cell::new(0) };
+}
+
+static NEXT_SCOPE: AtomicU64 = AtomicU64::new(1);
+
+fn current_scope() -> u64 {
+    CURRENT_SCOPE.with(|c| c.get())
+}
+
+/// RAII marker that the current thread is building views for one fused
+/// launch: every lease acquired while the scope is live coalesces with the
+/// other leases of the same scope instead of conflicting. Entered by the
+/// fused container's loading lambda; scopes nest (the previous scope is
+/// restored on drop).
+#[derive(Debug)]
+pub struct FusedScope {
+    prev: u64,
+}
+
+impl FusedScope {
+    /// Enter a fresh fused-launch scope on this thread.
+    pub fn enter() -> FusedScope {
+        let id = NEXT_SCOPE.fetch_add(1, Ordering::Relaxed);
+        let prev = CURRENT_SCOPE.with(|c| c.replace(id));
+        FusedScope { prev }
+    }
+}
+
+impl Drop for FusedScope {
+    fn drop(&mut self) {
+        CURRENT_SCOPE.with(|c| c.set(self.prev));
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Shared leases held outside any fused scope.
+    readers: u32,
+    /// Exclusive lease held outside any fused scope.
+    writer: bool,
+    /// Fused scope currently holding leases here (0 = none). A partition
+    /// tracks one scope at a time; reads from a second scope are simply
+    /// counted as plain readers (they never need to coalesce upward).
+    scope: u64,
+    /// Number of live guards held by that scope.
+    scope_leases: u32,
+    /// Whether the scope's effective lease is exclusive.
+    scope_exclusive: bool,
+}
+
 #[derive(Debug, Default)]
 struct TrackerInner {
-    /// 0 free; >0 reader count; -1 exclusive writer.
-    state: AtomicI32,
+    state: Mutex<State>,
 }
 
 /// Shared/exclusive lease bookkeeping for one partition.
@@ -54,54 +117,102 @@ impl AccessTracker {
         AccessTracker::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.inner.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Try to acquire a shared (read) lease.
     pub fn try_read(&self, data_name: &str) -> Result<TrackerGuard, AccessConflict> {
-        let mut cur = self.inner.state.load(Ordering::Relaxed);
-        loop {
-            if cur < 0 {
-                return Err(AccessConflict {
-                    data: data_name.to_string(),
-                    requested: "read",
-                    held: "a write view is live".to_string(),
-                });
-            }
-            match self.inner.state.compare_exchange_weak(
-                cur,
-                cur + 1,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => {
-                    return Ok(TrackerGuard {
-                        tracker: self.clone(),
-                        exclusive: false,
-                    })
-                }
-                Err(a) => cur = a,
-            }
+        let scope = current_scope();
+        let mut st = self.lock();
+        if scope != 0 && st.scope == scope {
+            // Same fused launch: stack on whatever we already hold
+            // (reading under our own write lease is the fused read-elision
+            // case and is safe — member order is applied per cell).
+            st.scope_leases += 1;
+            return Ok(self.guard(scope, false));
+        }
+        if st.writer || (st.scope != 0 && st.scope_exclusive) {
+            return Err(AccessConflict {
+                data: data_name.to_string(),
+                requested: "read",
+                held: "a write view is live".to_string(),
+            });
+        }
+        if scope != 0 && st.scope == 0 {
+            st.scope = scope;
+            st.scope_leases = 1;
+            st.scope_exclusive = false;
+            Ok(self.guard(scope, false))
+        } else {
+            // No scope, or the scope slot is taken by a different launch's
+            // shared leases — a plain reader coexists with either.
+            st.readers += 1;
+            Ok(self.guard(0, false))
         }
     }
 
     /// Try to acquire an exclusive (write) lease.
     pub fn try_write(&self, data_name: &str) -> Result<TrackerGuard, AccessConflict> {
-        match self
-            .inner
-            .state
-            .compare_exchange(0, -1, Ordering::AcqRel, Ordering::Relaxed)
-        {
-            Ok(_) => Ok(TrackerGuard {
-                tracker: self.clone(),
-                exclusive: true,
-            }),
-            Err(held) => Err(AccessConflict {
+        let scope = current_scope();
+        let mut st = self.lock();
+        if st.writer {
+            return Err(AccessConflict {
                 data: data_name.to_string(),
                 requested: "write",
-                held: if held < 0 {
+                held: "another write view is live".to_string(),
+            });
+        }
+        if scope != 0 && st.scope == scope {
+            if !st.scope_exclusive {
+                // Upgrade our shared leases — legal only while no reader
+                // from outside the scope is live.
+                if st.readers > 0 {
+                    return Err(AccessConflict {
+                        data: data_name.to_string(),
+                        requested: "write",
+                        held: format!("{} read view(s) are live", st.readers),
+                    });
+                }
+                st.scope_exclusive = true;
+            }
+            st.scope_leases += 1;
+            return Ok(self.guard(scope, true));
+        }
+        if st.scope != 0 {
+            return Err(AccessConflict {
+                data: data_name.to_string(),
+                requested: "write",
+                held: if st.scope_exclusive {
                     "another write view is live".to_string()
                 } else {
-                    format!("{held} read view(s) are live")
+                    format!("{} read view(s) are live", st.readers + st.scope_leases)
                 },
-            }),
+            });
+        }
+        if st.readers > 0 {
+            return Err(AccessConflict {
+                data: data_name.to_string(),
+                requested: "write",
+                held: format!("{} read view(s) are live", st.readers),
+            });
+        }
+        if scope != 0 {
+            st.scope = scope;
+            st.scope_leases = 1;
+            st.scope_exclusive = true;
+            Ok(self.guard(scope, true))
+        } else {
+            st.writer = true;
+            Ok(self.guard(0, true))
+        }
+    }
+
+    fn guard(&self, scope: u64, exclusive: bool) -> TrackerGuard {
+        TrackerGuard {
+            tracker: self.clone(),
+            scope,
+            exclusive,
         }
     }
 
@@ -123,7 +234,8 @@ impl AccessTracker {
 
     /// Whether the partition is currently free.
     pub fn is_free(&self) -> bool {
-        self.inner.state.load(Ordering::Acquire) == 0
+        let st = self.lock();
+        st.readers == 0 && !st.writer && st.scope == 0
     }
 }
 
@@ -131,11 +243,13 @@ impl AccessTracker {
 #[derive(Debug)]
 pub struct TrackerGuard {
     tracker: AccessTracker,
+    /// Fused scope this guard belongs to (0 = a plain lease).
+    scope: u64,
     exclusive: bool,
 }
 
 impl TrackerGuard {
-    /// Whether this is an exclusive (write) lease.
+    /// Whether this lease was acquired for writing.
     pub fn is_exclusive(&self) -> bool {
         self.exclusive
     }
@@ -143,12 +257,20 @@ impl TrackerGuard {
 
 impl Drop for TrackerGuard {
     fn drop(&mut self) {
-        if self.exclusive {
-            let prev = self.tracker.inner.state.swap(0, Ordering::AcqRel);
-            debug_assert_eq!(prev, -1, "tracker state corrupted");
+        let mut st = self.tracker.lock();
+        if self.scope != 0 {
+            debug_assert_eq!(st.scope, self.scope, "tracker scope corrupted");
+            st.scope_leases -= 1;
+            if st.scope_leases == 0 {
+                st.scope = 0;
+                st.scope_exclusive = false;
+            }
+        } else if self.exclusive {
+            debug_assert!(st.writer, "tracker state corrupted");
+            st.writer = false;
         } else {
-            let prev = self.tracker.inner.state.fetch_sub(1, Ordering::AcqRel);
-            debug_assert!(prev > 0, "tracker state corrupted");
+            debug_assert!(st.readers > 0, "tracker state corrupted");
+            st.readers -= 1;
         }
     }
 }
@@ -200,6 +322,58 @@ mod tests {
         let t = AccessTracker::new();
         drop(t.write("x"));
         drop(t.read("x"));
+        assert!(t.is_free());
+    }
+
+    #[test]
+    fn fused_scope_coalesces_read_under_write() {
+        let t = AccessTracker::new();
+        let scope = FusedScope::enter();
+        let w = t.write("r");
+        let r = t.read("r"); // a later fused member reading what we wrote
+        let w2 = t.write("r"); // and another member rewriting it
+        drop(scope); // guards outlive the scope marker
+                     // Outside launches still see the exclusive lease.
+        assert!(t.try_read("r").is_err());
+        drop(w);
+        drop(r);
+        assert!(t.try_read("r").is_err()); // w2 still holds it
+        drop(w2);
+        assert!(t.is_free());
+    }
+
+    #[test]
+    fn fused_scope_upgrades_read_to_write() {
+        let t = AccessTracker::new();
+        let scope = FusedScope::enter();
+        let r = t.read("x"); // member A reads x…
+        let w = t.write("x"); // …member B overwrites it, same sweep
+        drop(scope);
+        assert!(t.try_read("x").is_err());
+        drop((r, w));
+        assert!(t.is_free());
+    }
+
+    #[test]
+    fn fused_scope_upgrade_blocked_by_outside_reader() {
+        let t = AccessTracker::new();
+        let _outside = t.read("x");
+        let _scope = FusedScope::enter();
+        let _r = t.read("x");
+        assert!(t.try_write("x").is_err());
+    }
+
+    #[test]
+    fn distinct_scopes_still_conflict() {
+        let t = AccessTracker::new();
+        let w = {
+            let _scope = FusedScope::enter();
+            t.write("x")
+        };
+        let _scope = FusedScope::enter();
+        assert!(t.try_read("x").is_err());
+        assert!(t.try_write("x").is_err());
+        drop(w);
         assert!(t.is_free());
     }
 

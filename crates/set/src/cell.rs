@@ -120,6 +120,18 @@ pub trait IterationSpace: Send + Sync {
     fn supports_functional(&self) -> bool {
         true
     }
+
+    /// Stable identity of the underlying grid, if it has one.
+    ///
+    /// `as_space()` wraps the grid in a fresh `Arc` on every call, so
+    /// pointer equality of spaces says nothing; grids instead expose the
+    /// address of their shared interior here. Two spaces reporting the
+    /// same id iterate the same cells in the same order on every device —
+    /// the precondition for the fuse pass to merge their containers. The
+    /// default `None` means "no identity": such containers never fuse.
+    fn space_id(&self) -> Option<u64> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,8 @@ struct ContainerInner {
     flops_per_cell: u64,
     bw_efficiency: f64,
     reduce_hooks: Vec<ReduceHooks>,
+    /// Member containers of a fused container (empty for ordinary ones).
+    members: Vec<Container>,
 }
 
 /// `Σ_uid max(read bytes) + Σ_uid max(write bytes)` over the recorded
@@ -182,6 +184,7 @@ impl Container {
                 flops_per_cell,
                 bw_efficiency,
                 reduce_hooks,
+                members: Vec::new(),
             }),
         }
     }
@@ -211,8 +214,150 @@ impl Container {
                 flops_per_cell: 0,
                 bw_efficiency: 1.0,
                 reduce_hooks: Vec::new(),
+                members: Vec::new(),
             }),
         }
+    }
+
+    /// Compose several compute containers into one fused kernel (built by
+    /// the fuse pass): a single traversal that applies every member's
+    /// compute lambda per cell, in member order.
+    ///
+    /// The merged access list drives dependency inference exactly as if
+    /// the members had been declared in one loading lambda. A read of a
+    /// data object written by an *earlier* member costs zero bytes — the
+    /// value is still in registers within the fused sweep — which is where
+    /// fusion saves memory traffic; the write itself is kept, so later
+    /// unfused consumers of the field stay correct.
+    ///
+    /// # Panics
+    ///
+    /// If fewer than two members are given, if any member is not a compute
+    /// container, or if the members do not share one iteration space (as
+    /// reported by [`IterationSpace::space_id`]).
+    pub fn fused(name: &str, members: Vec<Container>) -> Self {
+        assert!(members.len() >= 2, "fusing fewer than two containers");
+        let space = members[0]
+            .inner
+            .space
+            .clone()
+            .expect("fused members must be compute containers");
+        let sid = space.space_id();
+        assert!(sid.is_some(), "fused members need a grid identity");
+        let mut accesses = Vec::new();
+        let mut written = std::collections::HashSet::new();
+        let mut flops_per_cell = 0u64;
+        let mut bw_efficiency = f64::INFINITY;
+        for m in &members {
+            let ms = m
+                .inner
+                .space
+                .as_ref()
+                .expect("fused members must be compute containers");
+            assert!(
+                ms.space_id() == sid,
+                "fused members must share one iteration space"
+            );
+            assert!(
+                m.inner.gen.is_some(),
+                "fused members must be compute containers"
+            );
+            for a in &m.inner.accesses {
+                let mut a = a.clone();
+                if written.contains(&a.uid) {
+                    a.read_bytes_per_cell = 0;
+                }
+                accesses.push(a);
+            }
+            for a in &m.inner.accesses {
+                if a.mode.writes() {
+                    written.insert(a.uid);
+                }
+            }
+            flops_per_cell += m.inner.flops_per_cell;
+            bw_efficiency = bw_efficiency.min(m.inner.bw_efficiency);
+        }
+        let kind = infer_kind(&accesses);
+        let reduce_hooks = accesses
+            .iter()
+            .filter_map(|a| a.reduce_hooks.clone())
+            .collect();
+        let gens: Vec<Arc<GenFn>> = members
+            .iter()
+            .map(|m| m.inner.gen.clone().expect("checked above"))
+            .collect();
+        // One loading lambda running every member's: in execution mode the
+        // loader's record() is a no-op, so sharing it is safe; each member
+        // still builds its own device views. The members' views of one
+        // partition belong to a single launch, so their leases coalesce
+        // under a FusedScope instead of conflicting (see `access`).
+        let gen = move |ldr: &mut Loader| -> ComputeFn {
+            let _scope = crate::access::FusedScope::enter();
+            let kernels: Vec<ComputeFn> = gens.iter().map(|g| g(ldr)).collect();
+            Box::new(move |c| {
+                for k in &kernels {
+                    k(c);
+                }
+            })
+        };
+        Container {
+            inner: Arc::new(ContainerInner {
+                name: name.to_string(),
+                kind,
+                space: Some(space),
+                gen: Some(Arc::new(gen)),
+                host_gen: None,
+                bytes_per_cell: bytes_per_cell_of(&accesses),
+                accesses,
+                flops_per_cell,
+                bw_efficiency,
+                reduce_hooks,
+                members,
+            }),
+        }
+    }
+
+    /// Merge several finalizing reduce containers into one collective-only
+    /// container (built by collective fusion): it is never launched — only
+    /// its [`Container::reduce_finalize`] runs, folding every member's
+    /// partials in a single multi-scalar all-reduce round. Members may
+    /// live on different grids; only their access records and reduce hooks
+    /// are combined.
+    pub fn fused_reductions(name: &str, members: Vec<Container>) -> Self {
+        let accesses: Vec<AccessRecord> = members
+            .iter()
+            .flat_map(|m| m.inner.accesses.iter().cloned())
+            .collect();
+        let reduce_hooks = accesses
+            .iter()
+            .filter_map(|a| a.reduce_hooks.clone())
+            .collect();
+        Container {
+            inner: Arc::new(ContainerInner {
+                name: name.to_string(),
+                kind: ContainerKind::Reduce,
+                space: members.first().and_then(|m| m.inner.space.clone()),
+                gen: None,
+                host_gen: None,
+                bytes_per_cell: bytes_per_cell_of(&accesses),
+                accesses,
+                flops_per_cell: 0,
+                bw_efficiency: 1.0,
+                reduce_hooks,
+                members,
+            }),
+        }
+    }
+
+    /// Whether this container was composed by [`Container::fused`] or
+    /// [`Container::fused_reductions`].
+    pub fn is_fused(&self) -> bool {
+        !self.inner.members.is_empty()
+    }
+
+    /// Member containers of a fused container (empty for ordinary ones).
+    pub fn fused_members(&self) -> &[Container] {
+        &self.inner.members
     }
 
     /// Container name.

@@ -63,6 +63,11 @@ pub struct QueueSim {
     /// Extra delay paid by a transfer that found one of its link resources
     /// busy — models root-complex / switch arbitration.
     link_arbitration: SimTime,
+    /// Cumulative kernel launches recorded (utilization counter; survives
+    /// [`QueueSim::reset`] like the link counters).
+    kernel_launches: u64,
+    /// Cumulative bytes swept by recorded kernel launches.
+    kernel_bytes_moved: u64,
     trace: Option<Trace>,
 }
 
@@ -77,6 +82,8 @@ impl QueueSim {
             events: Vec::new(),
             links: Vec::new(),
             link_arbitration: SimTime::from_us(2.0),
+            kernel_launches: 0,
+            kernel_bytes_moved: 0,
             trace: None,
         }
     }
@@ -231,6 +238,24 @@ impl QueueSim {
     /// delayed behind it.
     pub fn link_contention_events(&self, r: LinkResourceId) -> u64 {
         self.links.get(r).map_or(0, |l| l.contended)
+    }
+
+    /// Record one kernel launch sweeping `bytes` (utilization counter; the
+    /// executor calls this once per compute launch it enqueues).
+    pub fn record_launch(&mut self, bytes: u64) {
+        self.kernel_launches += 1;
+        self.kernel_bytes_moved += bytes;
+    }
+
+    /// Cumulative kernel launches recorded since construction (survives
+    /// [`QueueSim::reset`]).
+    pub fn kernel_launches(&self) -> u64 {
+        self.kernel_launches
+    }
+
+    /// Cumulative bytes swept by recorded kernel launches.
+    pub fn kernel_bytes_moved(&self) -> u64 {
+        self.kernel_bytes_moved
     }
 
     /// Number of link resources touched so far.
@@ -499,6 +524,20 @@ mod tests {
         assert_eq!(q.link_busy_time(3).as_us(), 10.0);
         let (c0, _) = q.enqueue_transfer(s(0, 0), SimTime::ZERO, d, &[3], "c", SpanKind::Transfer);
         assert_eq!(c0.as_us(), 0.0);
+    }
+
+    #[test]
+    fn kernel_launch_counters_accumulate_and_survive_reset() {
+        let mut q = QueueSim::new(1, 1);
+        assert_eq!(q.kernel_launches(), 0);
+        assert_eq!(q.kernel_bytes_moved(), 0);
+        q.record_launch(1024);
+        q.record_launch(512);
+        assert_eq!(q.kernel_launches(), 2);
+        assert_eq!(q.kernel_bytes_moved(), 1536);
+        q.reset();
+        assert_eq!(q.kernel_launches(), 2, "utilization counters survive reset");
+        assert_eq!(q.kernel_bytes_moved(), 1536);
     }
 
     #[test]

@@ -17,6 +17,9 @@ cargo test -p neon-core --test golden_ir_dump --quiet
 echo "==> functional executor smoke (parallel must match serial bit-for-bit)"
 cargo run --release -p neon-bench --bin repro_functional -- --smoke
 
+echo "==> fusion smoke (fused must match unfused bit-for-bit and cut launches/bytes)"
+cargo run --release -p neon-bench --bin repro_fusion -- --smoke
+
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

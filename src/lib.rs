@@ -28,7 +28,7 @@ pub use neon_sys as sys;
 pub mod prelude {
     pub use neon_comm::Algorithm as CollectiveAlgorithm;
     pub use neon_core::{
-        CollectiveMode, ExecReport, HaloPolicy, OccLevel, Skeleton, SkeletonOptions,
+        CollectiveMode, ExecReport, FusionLevel, HaloPolicy, OccLevel, Skeleton, SkeletonOptions,
     };
     pub use neon_domain::{
         BlockSparseGrid, Cell, DataView, DenseGrid, Dim3, Field, GridLike, MemLayout, SparseGrid,

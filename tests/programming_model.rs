@@ -185,11 +185,17 @@ fn skeleton_graph_introspection_matches_paper_stages() {
     let u = Field::<f64, _>::new(&grid, "u", 1, 0.0, MemLayout::SoA).unwrap();
     let v = Field::<f64, _>::new(&grid, "v", 1, 0.0, MemLayout::SoA).unwrap();
     let (containers, _) = blur_app(&grid, &u, &v);
+    // Fusion would collapse the whole pipeline into one node (the blur's
+    // stencil read is of `u`, which no member writes); pin it off — this
+    // test is about the OCC splitting stages specifically.
     let sk = Skeleton::sequence(
         &backend,
         "introspect",
         containers,
-        SkeletonOptions::with_occ(OccLevel::TwoWayExtended),
+        SkeletonOptions {
+            fusion: FusionLevel::Off,
+            ..SkeletonOptions::with_occ(OccLevel::TwoWayExtended)
+        },
     );
     assert_eq!(sk.dependency_graph().len(), 3);
     let names: Vec<_> = sk.graph().nodes().iter().map(|n| n.name.clone()).collect();
