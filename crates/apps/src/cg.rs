@@ -21,7 +21,10 @@
 //! β    ← rs / rs_old; rs_old ← rs   (host)
 //! ```
 
-use neon_core::{ExecReport, OccLevel, Skeleton, SkeletonOptions};
+use neon_core::{
+    ExecError, ExecReport, FaultPlan, FaultStats, OccLevel, ResilientError, ResilientRun, Skeleton,
+    SkeletonOptions,
+};
 use neon_domain::{ops, Container, Field, GridLike, MemLayout, ScalarSet};
 use neon_sys::{Result, SimTime};
 
@@ -229,6 +232,45 @@ impl<G: GridLike> CgSolver<G> {
     /// Run `n` CG iterations, returning the aggregated timing report.
     pub fn iterate(&mut self, n: usize) -> ExecReport {
         self.iter.run_iters(n)
+    }
+
+    /// Fallible variant of [`CgSolver::iterate`]: stops at the first
+    /// iteration that fails with a structured error instead of panicking.
+    pub fn try_iterate(&mut self, n: usize) -> std::result::Result<ExecReport, ExecError> {
+        let mut report = ExecReport::default();
+        for _ in 0..n {
+            report.accumulate(self.iter.try_run()?);
+        }
+        Ok(report)
+    }
+
+    /// Run iterations `start .. start + n` of the CG loop with periodic
+    /// checkpoints and automatic rollback (see
+    /// [`Skeleton::run_iters_resilient`]).
+    pub fn iterate_resilient(
+        &mut self,
+        start: u64,
+        n: usize,
+    ) -> std::result::Result<ResilientRun, Box<ResilientError>> {
+        self.iter.run_iters_resilient(start, n)
+    }
+
+    /// Install a fault plan on the iteration skeleton; the retry policy is
+    /// derived from the skeleton's [`neon_core::ResilienceOptions`].
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.iter.install_fault_plan(plan);
+    }
+
+    /// Fault statistics of the iteration skeleton.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.iter.fault_stats()
+    }
+
+    /// Reset the cumulative hardware counters of both skeletons (between
+    /// benchmark sweep points).
+    pub fn reset_counters(&mut self) {
+        self.init.reset_counters();
+        self.iter.reset_counters();
     }
 
     /// Current residual norm.

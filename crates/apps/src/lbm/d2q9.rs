@@ -223,6 +223,15 @@ impl<G: GridLike> KarmanVortex<G> {
     pub fn params(&self) -> KarmanParams {
         self.params
     }
+
+    /// Reset the cumulative hardware counters of both ping-pong skeletons
+    /// (between benchmark warm-up and measurement, or between sweep
+    /// points).
+    pub fn reset_counters(&mut self) {
+        for s in &mut self.skeletons {
+            s.reset_counters();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -234,6 +234,15 @@ impl<G: GridLike> LidDrivenCavity<G> {
     pub fn skeleton(&mut self) -> &mut Skeleton {
         &mut self.skeletons[0]
     }
+
+    /// Reset the cumulative hardware counters of both ping-pong skeletons
+    /// (between benchmark warm-up and measurement, or between sweep
+    /// points).
+    pub fn reset_counters(&mut self) {
+        for s in &mut self.skeletons {
+            s.reset_counters();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -32,8 +32,10 @@ pub mod heat;
 pub mod jacobi;
 pub mod lbm;
 pub mod poisson;
+pub mod resilient;
 
 pub use cg::{CgSolver, CgState, CompileStats};
 pub use heat::HeatSolver;
 pub use jacobi::JacobiSolver;
 pub use poisson::PoissonSolver;
+pub use resilient::{RecoveryReport, ResilientPoisson};

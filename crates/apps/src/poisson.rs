@@ -81,6 +81,39 @@ impl<G: GridLike> PoissonSolver<G> {
         self.cg.iterate(n)
     }
 
+    /// Fallible variant of [`PoissonSolver::solve_iters`]: a fault that
+    /// escapes retry surfaces as a structured error instead of a panic.
+    pub fn try_solve_iters(
+        &mut self,
+        n: usize,
+    ) -> std::result::Result<neon_core::ExecReport, neon_core::ExecError> {
+        self.cg.try_iterate(n)
+    }
+
+    /// Run iterations `start .. start + n` with checkpoints and rollback.
+    pub fn solve_iters_resilient(
+        &mut self,
+        start: u64,
+        n: usize,
+    ) -> std::result::Result<neon_core::ResilientRun, Box<neon_core::ResilientError>> {
+        self.cg.iterate_resilient(start, n)
+    }
+
+    /// Install a fault plan on the CG iteration skeleton.
+    pub fn install_fault_plan(&mut self, plan: neon_core::FaultPlan) {
+        self.cg.install_fault_plan(plan);
+    }
+
+    /// Fault statistics of the CG iteration skeleton.
+    pub fn fault_stats(&self) -> neon_core::FaultStats {
+        self.cg.fault_stats()
+    }
+
+    /// Reset cumulative hardware counters (between benchmark sweeps).
+    pub fn reset_counters(&mut self) {
+        self.cg.reset_counters();
+    }
+
     /// Residual norm ‖b − A·x‖.
     pub fn residual(&self) -> f64 {
         self.cg.residual()

@@ -1,0 +1,360 @@
+//! Self-healing Poisson solve: transparent retry, rollback **and**
+//! graceful device eviction.
+//!
+//! [`crate::CgSolver::iterate_resilient`] heals everything a fixed device set can
+//! heal (transient kernel/transfer faults, via retry and checkpoint
+//! rollback). What it cannot heal is a *permanent device loss* — the
+//! hardware configuration itself changed. [`ResilientPoisson`] closes that
+//! gap at the application level:
+//!
+//! 1. the skeleton layer restores the last checkpoint and surfaces
+//!    [`ExecError::DeviceLost`];
+//! 2. the dead device is evicted from the [`Backend`]
+//!    ([`Backend::without_device`]) and every cached plan compiled for the
+//!    old hardware fingerprint is dropped
+//!    ([`neon_core::invalidate_backend`]);
+//! 3. the grid and solver are rebuilt on the survivors (a fresh compile
+//!    through the normal pass pipeline — recompilation *is* the recovery
+//!    path, there is no special-case scheduler);
+//! 4. the checkpointed fields and reduction scalars are migrated onto the
+//!    new partitioning through their logical (x, y, z) coordinates;
+//! 5. iteration resumes from the checkpoint — `cg-init` is *not* re-run,
+//!    so the numerics continue exactly where the checkpoint left them.
+//!
+//! Because a checkpoint is an end-of-iteration state and CG's iteration is
+//! a pure function of that state, the post-eviction residual history is
+//! bit-identical to a run that *started* on the surviving devices from the
+//! same checkpoint (the "voluntary eviction oracle" the fault benchmark
+//! checks against). It is generally *not* bit-identical to the fault-free
+//! run: fewer partitions change the grouping of the dot-product
+//! reductions, which is an FP-associativity effect, not a correctness bug.
+
+use neon_core::{ExecError, ExecReport, SkeletonOptions};
+use neon_domain::{DenseGrid, Dim3, Stencil, StorageMode};
+use neon_sys::{Backend, DeviceId, FaultPlan, FaultStats, Result};
+
+use crate::poisson::PoissonSolver;
+
+/// Outcome of a [`ResilientPoisson::iterate`] call that ran to completion
+/// (possibly after rollbacks and device evictions).
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Aggregated execution report over every committed iteration.
+    pub report: ExecReport,
+    /// Checkpoint restores triggered by transient faults that escaped
+    /// retry.
+    pub rollbacks: u64,
+    /// Committed iterations that had to be re-executed after rollbacks
+    /// (transient) or evictions (device loss).
+    pub replayed: u64,
+    /// Permanent device losses healed by eviction + recompilation.
+    pub evictions: u64,
+}
+
+/// A Poisson CG solver that survives transient faults *and* permanent
+/// device losses, rebuilding itself on the surviving devices.
+pub struct ResilientPoisson {
+    backend: Backend,
+    dim: Dim3,
+    options: SkeletonOptions,
+    solver: PoissonSolver<DenseGrid>,
+    /// Next logical iteration to run.
+    iteration: u64,
+    evictions: u64,
+}
+
+impl ResilientPoisson {
+    /// Build the solver on `backend` for a dense `dim` grid.
+    pub fn new(backend: &Backend, dim: Dim3, options: SkeletonOptions) -> Result<Self> {
+        let solver = Self::build_solver(backend, dim, &options)?;
+        Ok(ResilientPoisson {
+            backend: backend.clone(),
+            dim,
+            options,
+            solver,
+            iteration: 0,
+            evictions: 0,
+        })
+    }
+
+    fn build_solver(
+        backend: &Backend,
+        dim: Dim3,
+        options: &SkeletonOptions,
+    ) -> Result<PoissonSolver<DenseGrid>> {
+        let stencil = Stencil::seven_point();
+        let grid = DenseGrid::new(backend, dim, &[&stencil], StorageMode::Real)?;
+        PoissonSolver::with_options(&grid, *options)
+    }
+
+    /// Fill the right-hand side and run CG initialization.
+    pub fn set_rhs(&mut self, f: impl Fn(i32, i32, i32) -> f64) {
+        self.solver.set_rhs(f);
+        self.iteration = 0;
+    }
+
+    /// Install a fault plan on the CG iteration skeleton. The plan is
+    /// dropped if a device loss forces an eviction: spec addressing is by
+    /// device index, which eviction renumbers.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.solver.install_fault_plan(plan);
+    }
+
+    /// Fault statistics of the current iteration skeleton (reset when an
+    /// eviction rebuilds the solver).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.solver.fault_stats()
+    }
+
+    /// The backend currently in use (shrinks after evictions).
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Devices lost and healed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Next logical iteration to run.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Current residual norm.
+    pub fn residual(&self) -> f64 {
+        self.solver.residual()
+    }
+
+    /// Access the underlying solver (current epoch — replaced on
+    /// eviction).
+    pub fn solver(&self) -> &PoissonSolver<DenseGrid> {
+        &self.solver
+    }
+
+    /// Run `n` CG iterations, healing transient faults by rollback and
+    /// device losses by eviction. Returns an error only for failures no
+    /// recovery level can absorb (structural errors, or losing the last
+    /// device).
+    pub fn iterate(&mut self, n: usize) -> std::result::Result<RecoveryReport, ExecError> {
+        let end = self.iteration + n as u64;
+        let mut out = RecoveryReport::default();
+        while self.iteration < end {
+            let left = (end - self.iteration) as usize;
+            match self.solver.solve_iters_resilient(self.iteration, left) {
+                Ok(run) => {
+                    out.report.accumulate(run.report);
+                    out.rollbacks += run.rollbacks;
+                    out.replayed += run.replayed;
+                    self.iteration = end;
+                }
+                Err(fail) => match fail.error {
+                    ExecError::DeviceLost { device, .. } => {
+                        // State is already rolled back to `fail.checkpoint`;
+                        // re-run everything from there on the survivors.
+                        let resume = fail.checkpoint.iteration();
+                        self.recover_from_device_loss(device)?;
+                        out.evictions += 1;
+                        out.replayed += self.iteration.saturating_sub(resume);
+                        self.iteration = resume;
+                    }
+                    error => return Err(error),
+                },
+            }
+        }
+        Ok(out)
+    }
+
+    /// Voluntarily evict `dead`: flush its compiled plans, rebuild grid +
+    /// solver on the survivors and migrate the current state. This is the
+    /// same path a permanent device loss takes (minus the rollback, which
+    /// [`Skeleton::run_iters_resilient`] has already performed by the time
+    /// the loss surfaces), exposed for planned maintenance and as the
+    /// benchmark's "voluntary eviction" oracle.
+    ///
+    /// [`Skeleton::run_iters_resilient`]: neon_core::Skeleton::run_iters_resilient
+    pub fn evict_device(&mut self, dead: DeviceId) -> std::result::Result<(), ExecError> {
+        self.recover_from_device_loss(dead)
+    }
+
+    /// Evict `dead`, flush its compiled plans, rebuild grid + solver on
+    /// the survivors and migrate the (already rolled-back) state.
+    fn recover_from_device_loss(&mut self, dead: DeviceId) -> std::result::Result<(), ExecError> {
+        let iteration = self.iteration;
+        let old_fingerprint = self.backend.fingerprint();
+        let survivors = self
+            .backend
+            .without_device(dead)
+            .map_err(|_| ExecError::DeviceLost {
+                device: dead,
+                iteration,
+            })?;
+        neon_core::invalidate_backend(old_fingerprint);
+        let fresh = Self::build_solver(&survivors, self.dim, &self.options).map_err(|_| {
+            ExecError::DeviceLost {
+                device: dead,
+                iteration,
+            }
+        })?;
+
+        // Migrate the checkpointed state through logical coordinates: the
+        // partition boundaries moved, the (x, y, z) -> value map did not.
+        let old = &self.solver.cg.state;
+        let new = &fresh.cg.state;
+        for (src, dst) in [
+            (&old.x, &new.x),
+            (&old.b, &new.b),
+            (&old.r, &new.r),
+            (&old.p, &new.p),
+            (&old.ap, &new.ap),
+        ] {
+            src.for_each(|x, y, z, comp, v| {
+                dst.set(x, y, z, comp, v);
+            });
+            dst.update_halos();
+        }
+        for (src, dst) in [
+            (&old.rs_old, &new.rs_old),
+            (&old.rs_new, &new.rs_new),
+            (&old.p_ap, &new.p_ap),
+            (&old.alpha, &new.alpha),
+            (&old.beta, &new.beta),
+        ] {
+            dst.set_host(src.host_value());
+        }
+
+        self.backend = survivors;
+        self.solver = fresh;
+        self.evictions += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neon_core::{OccLevel, ResilienceOptions};
+
+    fn options() -> SkeletonOptions {
+        SkeletonOptions {
+            resilience: ResilienceOptions {
+                enabled: true,
+                checkpoint_interval: 3,
+                ..ResilienceOptions::default()
+            },
+            ..SkeletonOptions::with_occ(OccLevel::Standard)
+        }
+    }
+
+    fn rhs(x: i32, y: i32, z: i32) -> f64 {
+        ((x * 3 + y * 5 + z * 7) % 11) as f64 - 5.0
+    }
+
+    /// Residual history of a run with a mid-run device loss: the prefix
+    /// (before the loss) is bit-identical to a fault-free run, and the
+    /// suffix is bit-identical to a run that voluntarily evicted the same
+    /// device at the same checkpoint.
+    #[test]
+    fn device_loss_heals_and_matches_voluntary_eviction() {
+        let dim = Dim3::new(10, 10, 12);
+        let iters = 12usize;
+        let lost_at = 7u64;
+        let dead = DeviceId(2);
+
+        // Fault-free reference history on 4 devices.
+        let mut clean = ResilientPoisson::new(&Backend::dgx_a100(4), dim, options()).unwrap();
+        clean.set_rhs(rhs);
+        let mut clean_hist = Vec::new();
+        for _ in 0..iters {
+            clean.iterate(1).unwrap();
+            clean_hist.push(clean.residual());
+        }
+
+        // Faulted run: device 2 dies at logical iteration `lost_at`.
+        let mut faulty = ResilientPoisson::new(&Backend::dgx_a100(4), dim, options()).unwrap();
+        faulty.set_rhs(rhs);
+        faulty.install_fault_plan(FaultPlan::none().with_device_loss(lost_at, dead));
+        let mut fault_hist = Vec::new();
+        let mut total = RecoveryReport::default();
+        for _ in 0..iters {
+            let r = faulty.iterate(1).unwrap();
+            total.evictions += r.evictions;
+            total.replayed += r.replayed;
+            fault_hist.push(faulty.residual());
+        }
+        assert_eq!(total.evictions, 1, "exactly one eviction expected");
+        assert_eq!(faulty.backend().num_devices(), 3);
+
+        // Oracle: voluntarily switch to the 3-survivor backend at the same
+        // checkpoint (iterate(1) checkpoints every iteration, so the
+        // rollback target is exactly `lost_at`).
+        let mut oracle = ResilientPoisson::new(&Backend::dgx_a100(4), dim, options()).unwrap();
+        oracle.set_rhs(rhs);
+        let mut oracle_hist = Vec::new();
+        for i in 0..iters as u64 {
+            if i == lost_at {
+                oracle.evict_device(dead).unwrap();
+            }
+            oracle.iterate(1).unwrap();
+            oracle_hist.push(oracle.residual());
+        }
+
+        for i in 0..lost_at as usize {
+            assert_eq!(
+                fault_hist[i].to_bits(),
+                clean_hist[i].to_bits(),
+                "prefix diverged from fault-free at iteration {i}"
+            );
+        }
+        for i in 0..iters {
+            assert_eq!(
+                fault_hist[i].to_bits(),
+                oracle_hist[i].to_bits(),
+                "history diverged from voluntary-eviction oracle at iteration {i}"
+            );
+        }
+    }
+
+    /// Transient faults (recovered or escaped) leave the residual history
+    /// bit-identical to a fault-free run.
+    #[test]
+    fn transient_faults_are_bit_transparent() {
+        let dim = Dim3::new(8, 8, 10);
+        let iters = 10usize;
+
+        let run = |plan: Option<FaultPlan>| -> Vec<u64> {
+            let mut s = ResilientPoisson::new(&Backend::dgx_a100(4), dim, options()).unwrap();
+            s.set_rhs(rhs);
+            if let Some(p) = plan {
+                s.install_fault_plan(p);
+            }
+            let mut hist = Vec::new();
+            for _ in 0..iters {
+                s.iterate(1).unwrap();
+                hist.push(s.residual().to_bits());
+            }
+            hist
+        };
+
+        let clean = run(None);
+        // Recovered fault (fails < max_attempts) and an escaped fault
+        // (fails >= max_attempts, forcing a rollback).
+        let plan = FaultPlan::none()
+            .with_kernel_fault(2, DeviceId(1), 0, 1)
+            .with_transfer_fault(4, DeviceId(3), 0, 1)
+            .with_kernel_fault(6, DeviceId(0), 1, 10);
+        assert_eq!(run(Some(plan)), clean);
+    }
+
+    /// Losing the only device is unrecoverable and surfaces as a
+    /// structured error, not a panic.
+    #[test]
+    fn last_device_loss_is_fatal_but_structured() {
+        let mut s =
+            ResilientPoisson::new(&Backend::dgx_a100(1), Dim3::new(6, 6, 6), options()).unwrap();
+        s.set_rhs(rhs);
+        s.install_fault_plan(FaultPlan::none().with_device_loss(2, DeviceId(0)));
+        let err = s.iterate(5).unwrap_err();
+        assert!(matches!(err, ExecError::DeviceLost { device, .. } if device == DeviceId(0)));
+    }
+}

@@ -99,8 +99,11 @@ fn run_config(fusion: FusionLevel, label: &'static str, dim: usize, iters: usize
 
     // Warm up (compile, fault in partitions), then reset to the same
     // starting state so both configurations integrate the same system.
+    // Cumulative queue counters are zeroed too, so traces reflect only
+    // the measured window.
     solver.solve_iters(3);
     solver.set_rhs(rhs);
+    solver.reset_counters();
 
     let mut residual_bits = Vec::with_capacity(iters);
     let mut launches = 0u64;

@@ -31,6 +31,8 @@ fn main() {
         let mut app = KarmanVortex::new(&g, KarmanParams::for_domain(nx, ny), OccLevel::None)
             .expect("fields");
         app.init();
+        // Counters cover only the measured window of this sweep size.
+        app.reset_counters();
         let t = app.step(ITERS).time_per_execution();
         let cells = (nx * ny) as u64;
         let neon_mlups = mlups(cells, 1, t.as_us());

@@ -57,6 +57,9 @@ pub fn lbm_cavity_iter_time(backend: &Backend, n: usize, occ: OccLevel, iters: u
         .expect("grid construction");
     let mut app = LidDrivenCavity::new(&g, LbmParams::default(), occ).expect("field allocation");
     app.init();
+    // Cumulative queue counters should cover only the measured window,
+    // not a previous sweep size or the warm-up.
+    app.reset_counters();
     let r = app.step(iters);
     r.time_per_execution()
 }

@@ -42,7 +42,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use neon_comm::{CollectiveEngine, CollectiveKind, EngineConfig};
-use neon_sys::{Backend, DeviceId, QueueSim, SimTime, SpanKind, StreamId, Trace, WorkerPool};
+use neon_sys::{
+    Backend, DeviceId, FaultInjector, FaultPlan, FaultSite, FaultSiteKind, FaultStats,
+    FaultVerdict, QueueSim, RetryPolicy, SimTime, SpanKind, StreamId, Trace, WorkerPool,
+};
 
 use crate::collective::CollectiveMode;
 use crate::devplan::{DevAction, DevicePlan};
@@ -99,6 +102,90 @@ pub enum FunctionalMode {
     Parallel,
 }
 
+/// A structured execution failure.
+///
+/// The executor's hot path reports malformed plans and injected faults as
+/// values instead of panicking: a solver embedding the executor can retry,
+/// roll back or evict a device without unwinding through foreign frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A transient injected fault failed every allowed attempt. The
+    /// iteration aborted mid-replay (earlier nodes already ran), so the
+    /// caller must roll back to the last checkpoint before continuing.
+    TransientFaultEscaped {
+        /// Device whose operation kept failing.
+        device: DeviceId,
+        /// Kind of operation that failed.
+        kind: FaultSiteKind,
+        /// Logical iteration that aborted.
+        iteration: u64,
+        /// Attempts made (the policy's bound).
+        attempts: u32,
+    },
+    /// A device was lost permanently. Every subsequent execution fails the
+    /// same way until the caller rebuilds the plan on the survivors.
+    DeviceLost {
+        /// The dead device.
+        device: DeviceId,
+        /// Logical iteration at whose start the loss was detected.
+        iteration: u64,
+    },
+    /// A compute node carries no iteration space.
+    MissingIterationSpace {
+        /// Name of the offending node.
+        node: String,
+    },
+    /// A reduce/host/collective step's node carries no container.
+    MissingContainer {
+        /// Name of the offending node.
+        node: String,
+    },
+    /// A device-plan step references a node of an incompatible kind.
+    MalformedStep {
+        /// Name of the offending node.
+        node: String,
+    },
+    /// The parallel replay was poisoned before this worker could finish
+    /// (the root cause is reported by the worker that failed).
+    ReplayPoisoned,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::TransientFaultEscaped {
+                device,
+                kind,
+                iteration,
+                attempts,
+            } => write!(
+                f,
+                "transient {kind} fault on device {} escaped retry \
+                 (iteration {iteration}, {attempts} attempts); roll back required",
+                device.0
+            ),
+            ExecError::DeviceLost { device, iteration } => {
+                write!(f, "device {} lost at iteration {iteration}", device.0)
+            }
+            ExecError::MissingIterationSpace { node } => {
+                write!(f, "compute node '{node}' has no iteration space")
+            }
+            ExecError::MissingContainer { node } => {
+                write!(f, "node '{node}' has no container")
+            }
+            ExecError::MalformedStep { node } => {
+                write!(
+                    f,
+                    "device-plan step references node '{node}' of incompatible kind"
+                )
+            }
+            ExecError::ReplayPoisoned => f.write_str("parallel replay poisoned"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Timing summary of one or more executions.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecReport {
@@ -121,10 +208,19 @@ pub struct ExecReport {
     pub bytes_moved: u64,
     /// Number of executions aggregated.
     pub executions: u64,
+    /// Fault events injected during these executions (transient specs
+    /// fired plus device losses).
+    pub faults_injected: u64,
+    /// Transient faults absorbed by retry (no rollback needed).
+    pub faults_recovered: u64,
+    /// Failed attempts that were re-tried.
+    pub retries: u64,
 }
 
 impl ExecReport {
-    fn accumulate(&mut self, other: ExecReport) {
+    /// Fold another report into this one (used when aggregating across
+    /// iterations, rollback segments, or recovery epochs).
+    pub fn accumulate(&mut self, other: ExecReport) {
         self.makespan += other.makespan;
         self.kernel_time += other.kernel_time;
         self.transfer_time += other.transfer_time;
@@ -133,6 +229,9 @@ impl ExecReport {
         self.launches += other.launches;
         self.bytes_moved += other.bytes_moved;
         self.executions += other.executions;
+        self.faults_injected += other.faults_injected;
+        self.faults_recovered += other.faults_recovered;
+        self.retries += other.retries;
     }
 
     /// Average makespan per execution.
@@ -188,8 +287,10 @@ impl EventSlots {
     fn signal(&self, slot: usize, epoch: u64) {
         self.slots[slot].store(epoch, Ordering::Release);
         // The empty critical section pairs with the waiter's
-        // check-then-wait under the same lock: no lost wakeups.
-        drop(self.lock.lock().unwrap());
+        // check-then-wait under the same lock: no lost wakeups. The lock
+        // guards no data, so a poisoned mutex (a worker panicked while
+        // holding it) is harmless — take it anyway.
+        drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
         self.cv.notify_all();
     }
 
@@ -205,7 +306,7 @@ impl EventSlots {
             }
             std::hint::spin_loop();
         }
-        let mut guard = self.lock.lock().unwrap();
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if self.slots[slot].load(Ordering::Acquire) >= epoch {
                 return true;
@@ -218,14 +319,14 @@ impl EventSlots {
             let (g, _) = self
                 .cv
                 .wait_timeout(guard, Duration::from_millis(1))
-                .unwrap();
+                .unwrap_or_else(|e| e.into_inner());
             guard = g;
         }
     }
 
     fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
-        drop(self.lock.lock().unwrap());
+        drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
         self.cv.notify_all();
     }
 
@@ -265,6 +366,13 @@ pub struct Executor {
     /// non-halo nodes), so the unified-memory path formats nothing per
     /// descriptor per iteration.
     um_names: Vec<String>,
+    /// Fault injector shared with the virtual-clock queue (kernel faults
+    /// are observed inside `enqueue_from`; transfer faults at halo nodes).
+    injector: Option<Arc<FaultInjector>>,
+    /// Logical solver iteration of the *next* execution — the coordinate
+    /// fault plans target. Advanced by each successful execution; a
+    /// resilient runner rewinds it on rollback.
+    logical_iteration: u64,
     /// Per-iteration makespans of the most recent `execute_iters` call.
     iter_makespans: Vec<SimTime>,
     /// Flat `node × device` completion-time table, reused across
@@ -333,6 +441,8 @@ impl Executor {
             func_epoch: 0,
             parallel_halo_ok,
             um_names,
+            injector: None,
+            logical_iteration: 0,
             iter_makespans: Vec::new(),
             ends_scratch: Vec::new(),
             lane_scratch: Vec::new(),
@@ -419,6 +529,54 @@ impl Executor {
         &self.iter_makespans
     }
 
+    /// Install a fault plan, replacing any previous one. Faults are
+    /// delivered deterministically by `(iteration, device, kind, nth)`;
+    /// transient faults are retried up to `policy.max_attempts` with
+    /// exponential backoff on the virtual clock.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        let injector = FaultInjector::new(plan, policy, self.backend.num_devices());
+        self.queue.set_fault_injector(Some(Arc::clone(&injector)));
+        self.injector = Some(injector);
+    }
+
+    /// Remove the installed fault plan (executions run clean again).
+    pub fn clear_fault_plan(&mut self) {
+        self.queue.set_fault_injector(None);
+        self.injector = None;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// Lifetime fault counters (zero without an installed plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector
+            .as_ref()
+            .map(|i| i.stats())
+            .unwrap_or_default()
+    }
+
+    /// Set the logical iteration the next execution runs as (the
+    /// coordinate fault plans target). Resilient runners rewind this after
+    /// a rollback so the replayed iterations keep their original numbers.
+    pub fn set_logical_iteration(&mut self, iteration: u64) {
+        self.logical_iteration = iteration;
+    }
+
+    /// The logical iteration of the next execution.
+    pub fn logical_iteration(&self) -> u64 {
+        self.logical_iteration
+    }
+
+    /// Zero the queue's cumulative utilization counters (see
+    /// [`neon_sys::QueueSim::reset_counters`]); benchmarks call this
+    /// between sweep configurations.
+    pub fn reset_counters(&mut self) {
+        self.queue.reset_counters();
+    }
+
     /// Enable span recording on the virtual clock.
     pub fn enable_trace(&mut self) {
         self.queue.enable_trace();
@@ -443,24 +601,57 @@ impl Executor {
 
     /// Execute the plan once: the virtual-timing replay, then (when
     /// functional) the functional replay in the configured mode.
+    ///
+    /// Panics on a structural failure or an unrecovered fault; use
+    /// [`Executor::try_execute`] to handle those as values.
     pub fn execute(&mut self) -> ExecReport {
+        self.try_execute()
+            .unwrap_or_else(|e| panic!("execution failed: {e}"))
+    }
+
+    /// [`Executor::execute`], reporting failures as [`ExecError`].
+    ///
+    /// With a fault plan installed, recovered transients show up only as
+    /// extra virtual time and report counters. A fault that escapes retry
+    /// aborts the functional replay exactly at the faulted operation —
+    /// earlier nodes of the iteration have already mutated data, so the
+    /// caller must restore a checkpoint before continuing. A scheduled
+    /// device loss fails every execution from its iteration on.
+    pub fn try_execute(&mut self) -> Result<ExecReport, ExecError> {
         // Clone the Arc so plan data can be borrowed by index while the
         // queue (and scratch) are mutated — nothing inside is copied.
         let plan = Arc::clone(&self.plan);
         let t0 = self.queue.makespan();
+        let iteration = self.logical_iteration;
+        let stats_before = self.injector.as_ref().map(|i| i.stats());
+        if let Some(inj) = &self.injector {
+            if let Err(device) = inj.begin_iteration(iteration) {
+                return Err(ExecError::DeviceLost { device, iteration });
+            }
+        }
         let mut report = ExecReport {
             executions: 1,
             ..Default::default()
         };
-        self.replay_timing(&plan, t0, &mut report);
+        self.replay_timing(&plan, t0, &mut report)?;
+        let escape = self.injector.as_ref().and_then(|i| i.escape_site());
         if self.functional {
-            self.replay_functional(&plan);
+            match escape {
+                Some(site) => self.replay_functional_until(&plan, site)?,
+                None => self.replay_functional(&plan)?,
+            }
         }
 
         // Align all streams at the end of one execution so iterations
         // measure cleanly (a zero-cost barrier on the virtual clock).
         let end = self.queue.sync_all();
         report.makespan = end - t0;
+        if let Some(before) = stats_before {
+            let after = self.fault_stats();
+            report.faults_injected = after.injected - before.injected;
+            report.faults_recovered = after.recovered - before.recovered;
+            report.retries = after.retries - before.retries;
+        }
         if self.queue.trace().is_some() {
             let topo = self.backend.topology();
             let stats: Vec<(String, f64, u64)> = (0..topo.num_link_resources())
@@ -485,14 +676,43 @@ impl Executor {
                 trace.set_counter("kernel:bytes_moved", kernel_bytes as f64);
             }
         }
-        report
+        if let Some(site) = escape {
+            // The iteration aborted: leave `logical_iteration` in place so
+            // a bare retry re-runs the same iteration (its fault specs are
+            // consumed, so the re-run is clean).
+            let attempts = self
+                .injector
+                .as_ref()
+                .map(|i| i.policy().max_attempts)
+                .unwrap_or(1);
+            return Err(ExecError::TransientFaultEscaped {
+                device: site.device,
+                kind: site.kind,
+                iteration,
+                attempts,
+            });
+        }
+        self.logical_iteration = iteration + 1;
+        Ok(report)
     }
 
     /// The virtual-clock half of one execution.
-    fn replay_timing(&mut self, plan: &CompiledPlan, t0: SimTime, report: &mut ExecReport) {
+    fn replay_timing(
+        &mut self,
+        plan: &CompiledPlan,
+        t0: SimTime,
+        report: &mut ExecReport,
+    ) -> Result<(), ExecError> {
         let graph = plan.graph();
         let schedule = plan.schedule();
         let ndev = self.backend.num_devices();
+        // Kernel faults are observed inside `enqueue_from`; transfer
+        // faults are consulted here, once per (halo node, destination).
+        let injector = self.injector.clone();
+        let backoff = injector
+            .as_ref()
+            .map(|i| i.policy().backoff)
+            .unwrap_or(SimTime::ZERO);
         // Completion time of each node on each device, flat `node × dev`.
         let mut ends = std::mem::take(&mut self.ends_scratch);
         ends.clear();
@@ -510,9 +730,13 @@ impl Executor {
                     reduce_finalize,
                     ..
                 } => {
-                    let space = container
-                        .space()
-                        .expect("compute node has an iteration space");
+                    let space = container.space().ok_or_else(|| {
+                        // The taken `ends` scratch is dropped on this exit
+                        // path; the next execution just re-allocates it.
+                        ExecError::MissingIterationSpace {
+                            node: node.name.clone(),
+                        }
+                    })?;
                     let bytes_per_cell = container.bytes_per_cell();
                     let flops_per_cell = container.flops_per_cell();
                     let eff = container.bw_efficiency();
@@ -579,9 +803,29 @@ impl Executor {
                         lanes[ndev + d] = c;
                         lanes[2 * ndev + d] = c;
                     }
+                    // One transfer-fault verdict per destination device per
+                    // halo node: the first descriptor into a destination
+                    // carries the retry cost, later ones ride clean. Only
+                    // allocated when an injector is installed.
+                    let mut verdicts: Option<Vec<Option<FaultVerdict>>> =
+                        injector.as_ref().map(|_| vec![None; ndev]);
+                    let mut consult = |dst: DeviceId| -> FaultVerdict {
+                        match (&mut verdicts, &injector) {
+                            (Some(v), Some(inj)) => match v[dst.0] {
+                                Some(_) => FaultVerdict::Clean,
+                                None => {
+                                    let verdict = inj.observe(dst, FaultSiteKind::Transfer);
+                                    v[dst.0] = Some(verdict);
+                                    verdict
+                                }
+                            },
+                            _ => FaultVerdict::Clean,
+                        }
+                    };
                     match self.halo_policy {
                         HaloPolicy::ExplicitTransfers => {
                             for desc in plan.halo_descriptors(node_id) {
+                                let verdict = consult(desc.dst);
                                 let earliest = lanes[desc.src.0].max(lanes[desc.dst.0]);
                                 let lane = self.transfer_lane(desc.src, desc.dst);
                                 let dur = self
@@ -594,17 +838,24 @@ impl Executor {
                                 let res =
                                     self.backend.topology().link_resources(desc.src, desc.dst);
                                 let stream = StreamId::new(desc.src, lane);
-                                let (s, e) = self.queue.enqueue_transfer(
+                                let (s, e) = self.queue.enqueue_transfer_with_faults(
                                     stream,
                                     earliest,
                                     dur,
                                     res,
                                     &node.name,
                                     SpanKind::Transfer,
+                                    verdict,
+                                    backoff,
                                 );
                                 report.transfer_time += e - s;
                                 lanes[ndev + desc.dst.0] = lanes[ndev + desc.dst.0].max(e);
                                 lanes[2 * ndev + desc.src.0] = lanes[2 * ndev + desc.src.0].max(e);
+                                if matches!(verdict, FaultVerdict::Escaped { .. }) {
+                                    // The destination never receives a clean
+                                    // payload; the iteration is aborting.
+                                    break;
+                                }
                             }
                         }
                         HaloPolicy::UnifiedMemory {
@@ -617,12 +868,27 @@ impl Executor {
                             // device's compute lane (lane 0), serializing
                             // with kernels — OCC cannot hide it.
                             for desc in plan.halo_descriptors(node_id) {
-                                let earliest = lanes[desc.src.0].max(lanes[desc.dst.0]);
+                                let verdict = consult(desc.dst);
+                                let mut earliest = lanes[desc.src.0].max(lanes[desc.dst.0]);
                                 let pages = desc.bytes.div_ceil(page_bytes);
                                 let dur = SimTime::from_us(
                                     pages as f64 * fault_us
                                         + desc.bytes as f64 / bandwidth_gb_s * 1e-3,
                                 );
+                                if matches!(verdict, FaultVerdict::Escaped { .. }) {
+                                    break;
+                                }
+                                if let FaultVerdict::Recovered { failed_attempts } = verdict {
+                                    // Failed migrations repeat the sweep and
+                                    // pay the backoff before the clean pass.
+                                    if let Some(inj) = &injector {
+                                        earliest = earliest
+                                            + inj.policy().backoff_total(failed_attempts)
+                                            + SimTime::from_us(
+                                                dur.as_us() * failed_attempts as f64,
+                                            );
+                                    }
+                                }
                                 let stream = StreamId::new(desc.dst, 0);
                                 let (_, e) = self.queue.enqueue_from(
                                     stream,
@@ -687,23 +953,31 @@ impl Executor {
                     }
                 }
             }
+            if injector.as_ref().is_some_and(|i| i.escape_site().is_some()) {
+                // The iteration is aborting: the rest of it never runs, so
+                // later operations must not advance the clock or consume
+                // fault specs (the injector also stops matching once the
+                // escape marker is set — this break just saves the work).
+                break;
+            }
         }
 
         self.ends_scratch = ends;
+        Ok(())
     }
 
     /// The functional half of one execution.
-    fn replay_functional(&mut self, plan: &CompiledPlan) {
+    fn replay_functional(&mut self, plan: &CompiledPlan) -> Result<(), ExecError> {
         match self.functional_mode {
             FunctionalMode::Serial => self.replay_functional_serial(plan),
             FunctionalMode::SpawnPerLaunch => self.replay_functional_spawn(plan),
             FunctionalMode::Parallel => {
                 if self.parallel_halo_ok {
-                    self.replay_functional_parallel(plan);
+                    self.replay_functional_parallel(plan)
                 } else {
                     // A whole-exchange halo cannot run concurrently with
                     // kernels (whole-partition leases); stay serial.
-                    self.replay_functional_serial(plan);
+                    self.replay_functional_serial(plan)
                 }
             }
         }
@@ -711,7 +985,7 @@ impl Executor {
 
     /// Reference replay: strictly in task order, devices in rank order,
     /// everything on the calling thread.
-    fn replay_functional_serial(&self, plan: &CompiledPlan) {
+    fn replay_functional_serial(&self, plan: &CompiledPlan) -> Result<(), ExecError> {
         let ndev = self.backend.num_devices();
         for task in &plan.schedule().tasks {
             match &plan.graph().node(task.node).kind {
@@ -740,11 +1014,12 @@ impl Executor {
                 }
             }
         }
+        Ok(())
     }
 
     /// Historical replay: task order, but each launch spawns a fresh
     /// thread scope over the devices.
-    fn replay_functional_spawn(&self, plan: &CompiledPlan) {
+    fn replay_functional_spawn(&self, plan: &CompiledPlan) -> Result<(), ExecError> {
         let ndev = self.backend.num_devices();
         for task in &plan.schedule().tasks {
             match &plan.graph().node(task.node).kind {
@@ -774,14 +1049,18 @@ impl Executor {
                 NodeKind::Collective { container, .. } => container.reduce_finalize(),
             }
         }
+        Ok(())
     }
 
     /// Event-driven replay on the persistent worker pool.
-    fn replay_functional_parallel(&mut self, plan: &CompiledPlan) {
+    fn replay_functional_parallel(&mut self, plan: &CompiledPlan) -> Result<(), ExecError> {
         let ndev = self.devplan.ndev();
-        if self.pool.is_none() {
-            self.pool = Some(WorkerPool::new(ndev));
-        }
+        // Take the pool out of `self` for the duration of the run: the
+        // worker closure borrows `self`'s plan data immutably, and this
+        // sidesteps both the borrow conflict and the old
+        // `expect("pool was just created")`. If a worker panic unwinds
+        // through `run`, the pool is dropped and respawned fresh next time.
+        let pool = self.pool.take().unwrap_or_else(|| WorkerPool::new(ndev));
         self.func_epoch += 1;
         let epoch = self.func_epoch;
         self.events.clear_poison();
@@ -789,19 +1068,125 @@ impl Executor {
         let graph = plan.graph();
         let devplan: &DevicePlan = &self.devplan;
         let events = &self.events;
-        let pool = self.pool.as_ref().expect("pool was just created");
+        // First structural error reported by a worker; later workers see
+        // the poisoned events and abandon their walks.
+        let first_error: Mutex<Option<ExecError>> = Mutex::new(None);
         pool.run(|d| {
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
-                walk_device(graph, devplan, events, epoch, d);
+                walk_device(graph, devplan, events, epoch, d)
             }));
-            if let Err(payload) = result {
-                // Wake every sibling worker out of its event waits so the
-                // pool drains instead of deadlocking, then let the pool
-                // deliver the payload to the caller.
-                events.poison();
-                panic::resume_unwind(payload);
+            match result {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    let mut slot = first_error.lock().unwrap_or_else(|p| p.into_inner());
+                    slot.get_or_insert(e);
+                    drop(slot);
+                    // Wake the siblings out of their event waits so the
+                    // pool drains instead of deadlocking.
+                    events.poison();
+                }
+                Err(payload) => {
+                    events.poison();
+                    // Let the pool deliver the payload to the caller.
+                    panic::resume_unwind(payload);
+                }
             }
         });
+        self.pool = Some(pool);
+        match first_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Functional replay of the *prefix* of an iteration whose fault at
+    /// `site` escaped retry: every operation before the faulted one runs
+    /// (mutating data — this is what makes the rollback genuinely
+    /// necessary), the faulted operation and everything after it never
+    /// execute. Runs strictly serially regardless of the configured mode —
+    /// the partial state is about to be wiped by a checkpoint restore, and
+    /// a serial walk keeps the abort point deterministic.
+    ///
+    /// Occurrence counting mirrors the timing replay exactly: kernels
+    /// count per device only when the partition is non-empty, halo
+    /// transfers count once per (node, destination) in descriptor order.
+    fn replay_functional_until(
+        &self,
+        plan: &CompiledPlan,
+        site: FaultSite,
+    ) -> Result<(), ExecError> {
+        let ndev = self.backend.num_devices();
+        // Per-device `[kernel, transfer]` occurrence counters.
+        let mut seen = vec![[0u32; 2]; ndev];
+        for task in &plan.schedule().tasks {
+            match &plan.graph().node(task.node).kind {
+                NodeKind::Compute {
+                    container,
+                    view,
+                    reduce_init,
+                    reduce_finalize,
+                } => {
+                    let space =
+                        container
+                            .space()
+                            .ok_or_else(|| ExecError::MissingIterationSpace {
+                                node: plan.graph().node(task.node).name.clone(),
+                            })?;
+                    if *reduce_init {
+                        container.reduce_init();
+                    }
+                    for d in 0..ndev {
+                        let dev = DeviceId(d);
+                        if space.cell_count(dev, *view) == 0 {
+                            continue; // the timing replay skipped it too
+                        }
+                        let nth = seen[d][0];
+                        seen[d][0] += 1;
+                        if site.kind == FaultSiteKind::Kernel
+                            && site.device == dev
+                            && site.nth == nth
+                        {
+                            // Launch-failure semantics: the faulted kernel
+                            // never ran, devices before it in rank order
+                            // already did.
+                            return Ok(());
+                        }
+                        container.run_device(dev, *view);
+                    }
+                    if *reduce_finalize {
+                        container.reduce_finalize();
+                    }
+                }
+                NodeKind::Halo { exchange } => {
+                    let mut counted = vec![false; ndev];
+                    for desc in plan.halo_descriptors(task.node) {
+                        if counted[desc.dst.0] {
+                            continue;
+                        }
+                        counted[desc.dst.0] = true;
+                        let nth = seen[desc.dst.0][1];
+                        seen[desc.dst.0][1] += 1;
+                        if site.kind == FaultSiteKind::Transfer
+                            && site.device == desc.dst
+                            && site.nth == nth
+                        {
+                            // The corrupted payload was dropped before
+                            // commit: no destination of this exchange is
+                            // updated.
+                            return Ok(());
+                        }
+                    }
+                    exchange.execute();
+                }
+                NodeKind::Host { container } => container.run_host(),
+                NodeKind::Collective { container, .. } => container.reduce_finalize(),
+            }
+        }
+        // The site was not reached — counters drifted from the timing
+        // replay, which is a bug; the caller still rolls back, so data
+        // stays consistent, but surface it loudly in debug builds.
+        debug_assert!(false, "escape site {site:?} not found in functional replay");
+        Ok(())
     }
 
     /// Execute the plan `n` times, aggregating the report.
@@ -823,6 +1208,12 @@ impl Executor {
             let report = self.execute();
             self.iter_makespans.push(report.makespan);
             total.accumulate(report);
+            // With a fault injector installed the span count legitimately
+            // varies per iteration (retry spans appear where faults fire),
+            // so the stability check only applies to clean runs.
+            if self.injector.is_some() {
+                continue;
+            }
             if let (Some(b), Some(t)) = (before, self.queue.trace()) {
                 let delta = t.spans().len() - b;
                 if let Some(expected) = spans_per_iter {
@@ -836,23 +1227,52 @@ impl Executor {
         }
         total
     }
+
+    /// [`Executor::execute_iters`], stopping at the first failure.
+    pub fn try_execute_iters(&mut self, n: usize) -> Result<ExecReport, ExecError> {
+        let mut total = ExecReport::default();
+        self.iter_makespans.clear();
+        self.iter_makespans.reserve(n);
+        for _ in 0..n {
+            let report = self.try_execute()?;
+            self.iter_makespans.push(report.makespan);
+            total.accumulate(report);
+        }
+        Ok(total)
+    }
 }
 
 /// One worker's walk over its device's step list: wait on the event table
-/// where the plan says to, execute, signal.
-fn walk_device(graph: &Graph, dp: &DevicePlan, events: &EventSlots, epoch: u64, d: usize) {
+/// where the plan says to, execute, signal. A malformed step is reported
+/// as an error (the worker stores it and poisons the replay) rather than
+/// panicking through the pool.
+fn walk_device(
+    graph: &Graph,
+    dp: &DevicePlan,
+    events: &EventSlots,
+    epoch: u64,
+    d: usize,
+) -> Result<(), ExecError> {
     let ndev = dp.ndev();
     for step in dp.steps(d) {
         for &w in dp.waits_of(step) {
             if !events.wait(w as usize, epoch) {
-                return; // poisoned: a sibling worker panicked
+                // Poisoned: a sibling worker failed and is reporting the
+                // root cause; abandon the walk quietly.
+                return Ok(());
             }
         }
         let node_id = step.node as usize;
         let node = graph.node(node_id);
+        let missing = || ExecError::MissingContainer {
+            node: node.name.clone(),
+        };
+        let malformed = || ExecError::MalformedStep {
+            node: node.name.clone(),
+        };
         match step.action {
             DevAction::ReduceInit => {
-                let c = node.container().expect("reduce node has a container");
+                let c = node.container().ok_or_else(missing)?;
                 c.reduce_init();
                 events.signal(dp.aux_init(node_id), epoch);
             }
@@ -861,36 +1281,37 @@ fn walk_device(graph: &Graph, dp: &DevicePlan, events: &EventSlots, epoch: u64, 
                     NodeKind::Compute {
                         container, view, ..
                     } => container.run_device(DeviceId(d), *view),
-                    _ => unreachable!("kernel step on a non-compute node"),
+                    _ => return Err(malformed()),
                 }
                 events.signal(dp.slot(node_id, d), epoch);
             }
             DevAction::HaloPull => {
                 match &node.kind {
                     NodeKind::Halo { exchange } => exchange.execute_for_dst(DeviceId(d)),
-                    _ => unreachable!("halo step on a non-halo node"),
+                    _ => return Err(malformed()),
                 }
                 events.signal(dp.slot(node_id, d), epoch);
             }
             DevAction::HaloAll => {
                 match &node.kind {
                     NodeKind::Halo { exchange } => exchange.execute(),
-                    _ => unreachable!("halo step on a non-halo node"),
+                    _ => return Err(malformed()),
                 }
                 for e in 0..ndev {
                     events.signal(dp.slot(node_id, e), epoch);
                 }
             }
             DevAction::Host => {
-                let c = node.container().expect("host node has a container");
+                let c = node.container().ok_or_else(missing)?;
                 c.run_host();
                 events.signal(dp.aux_done(node_id), epoch);
             }
             DevAction::Collective | DevAction::ReduceFinalize => {
-                let c = node.container().expect("reduce node has a container");
+                let c = node.container().ok_or_else(missing)?;
                 c.reduce_finalize();
                 events.signal(dp.aux_done(node_id), epoch);
             }
         }
     }
+    Ok(())
 }

@@ -55,14 +55,17 @@ pub mod validate;
 
 pub use collective::{lower_collectives, merge_collectives, CollectiveMode};
 pub use devplan::{build_device_plan, DevAction, DevStep, DevicePlan};
-pub use exec::{ExecReport, Executor, FunctionalMode, HaloPolicy};
+pub use exec::{ExecError, ExecReport, Executor, FunctionalMode, HaloPolicy};
 pub use fuse::{fuse_graph, FusePass, FusionLevel};
 pub use graph::{build_dependency_graph, Edge, EdgeKind, Graph, Node, NodeId, NodeKind};
 pub use multigpu::to_multigpu_graph;
 pub use neon_comm::Algorithm as CollectiveAlgorithm;
+pub use neon_sys::{FaultPlan, FaultSite, FaultSiteKind, FaultStats, RetryPolicy};
 pub use occ::{apply_occ, OccLevel};
 pub use pass::{CompileError, CompileLog, Ir, Pass, PassCtx, PassManager, PassTiming};
-pub use plan::{clear_plan_cache, plan_cache_stats, CacheStats, CompiledPlan, PlanKey};
+pub use plan::{
+    clear_plan_cache, invalidate_backend, plan_cache_stats, CacheStats, CompiledPlan, PlanKey,
+};
 pub use schedule::{build_schedule, build_schedule_opts, Schedule, Task};
-pub use skeleton::{Skeleton, SkeletonOptions};
+pub use skeleton::{ResilienceOptions, ResilientError, ResilientRun, Skeleton, SkeletonOptions};
 pub use validate::{validate_graph, validate_ir, validate_schedule, ValidationError};

@@ -217,6 +217,12 @@ pub enum CompileError {
         /// The violated invariant.
         error: ValidationError,
     },
+    /// The skeleton options are inconsistent; rejected before any pass
+    /// runs (e.g. a resilience policy with zero attempts).
+    InvalidOptions {
+        /// What is wrong.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -224,6 +230,9 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Invariant { pass, error } => {
                 write!(f, "after pass '{pass}': {error}")
+            }
+            CompileError::InvalidOptions { reason } => {
+                write!(f, "invalid skeleton options: {reason}")
             }
         }
     }

@@ -202,8 +202,8 @@ impl PlanKey {
 }
 
 /// Hash every option that shapes the compiled graph or schedule. `trace`,
-/// `validate`, `cache` and `functional_mode` are diagnostics/runtime
-/// policy — same plan either way.
+/// `validate`, `cache`, `functional_mode` and `resilience` are
+/// diagnostics/runtime policy — same plan either way.
 fn options_signature(o: &SkeletonOptions) -> u64 {
     use std::hash::Hasher as _;
     let mut h = StableHasher::new();
@@ -284,6 +284,18 @@ pub fn clear_plan_cache() {
     let mut c = cache().lock().unwrap();
     c.map.clear();
     c.order.clear();
+}
+
+/// Drop every cached plan compiled for the backend with `fingerprint`,
+/// returning how many were evicted. Called when a device is lost: plans
+/// compiled for the dead topology must not be rebound — the surviving
+/// backend has a different fingerprint and will compile fresh.
+pub fn invalidate_backend(fingerprint: u64) -> usize {
+    let mut c = cache().lock().unwrap();
+    let before = c.map.len();
+    c.map.retain(|k, _| k.backend != fingerprint);
+    c.order.retain(|k| k.backend != fingerprint);
+    before - c.map.len()
 }
 
 /// Compile `containers`, consulting the plan cache when `options.cache`.
@@ -595,6 +607,12 @@ mod tests {
             trace: true,
             validate: false,
             functional_mode: crate::exec::FunctionalMode::Serial,
+            resilience: crate::skeleton::ResilienceOptions {
+                enabled: true,
+                max_attempts: 9,
+                backoff_us: 1.0,
+                checkpoint_interval: 2,
+            },
             ..Default::default()
         };
         assert_eq!(options_signature(&base), options_signature(&traced));

@@ -25,19 +25,96 @@
 //! reuses the compiled graph and schedule, paying only a cheap rebinding
 //! of its containers.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
-use neon_set::Container;
-use neon_sys::{Backend, SimTime, Trace};
+use neon_set::{Checkpoint, ComputePattern, Container, StateHandle};
+use neon_sys::{Backend, FaultPlan, FaultStats, RetryPolicy, SimTime, Trace};
 
 use crate::collective::CollectiveMode;
-use crate::exec::{ExecReport, Executor, FunctionalMode, HaloPolicy};
+use crate::exec::{ExecError, ExecReport, Executor, FunctionalMode, HaloPolicy};
 use crate::fuse::FusionLevel;
 use crate::graph::Graph;
 use crate::occ::OccLevel;
 use crate::pass::{CompileError, PassTiming};
 use crate::plan::{self, CompiledPlan};
 use crate::schedule::Schedule;
+
+/// Fault-recovery policy of a skeleton (paper-style self-healing: retry
+/// transient faults, checkpoint periodically, roll back when retry is
+/// exhausted).
+///
+/// Pure runtime policy — it never changes the compiled plan, so it is
+/// excluded from the plan-cache key like `trace` and `functional_mode`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceOptions {
+    /// Master switch. When off, any injected fault escapes on its first
+    /// failure (`max_attempts` is treated as 1) and surfaces as a
+    /// structured [`ExecError`] from the `try_*` entry points.
+    pub enabled: bool,
+    /// Attempts allowed per faulted operation, including the first.
+    /// Must be at least 1.
+    pub max_attempts: u32,
+    /// Base backoff before the first re-attempt, in virtual µs; doubles
+    /// per retry. Must be finite and non-negative.
+    pub backoff_us: f64,
+    /// A checkpoint is captured every this many iterations in
+    /// [`Skeleton::run_iters_resilient`]. Must be at least 1.
+    pub checkpoint_interval: u32,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        ResilienceOptions {
+            enabled: false,
+            max_attempts: 3,
+            backoff_us: 50.0,
+            checkpoint_interval: 4,
+        }
+    }
+}
+
+impl ResilienceOptions {
+    /// The retry policy faults are judged against ([`RetryPolicy`] with a
+    /// single attempt when recovery is disabled).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        if self.enabled {
+            RetryPolicy {
+                max_attempts: self.max_attempts,
+                backoff: SimTime::from_us(self.backoff_us),
+            }
+        } else {
+            RetryPolicy {
+                max_attempts: 1,
+                backoff: SimTime::ZERO,
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), CompileError> {
+        if self.max_attempts == 0 {
+            return Err(CompileError::InvalidOptions {
+                reason: "resilience.max_attempts must be at least 1 \
+                         (the first attempt counts)"
+                    .to_string(),
+            });
+        }
+        if self.checkpoint_interval == 0 {
+            return Err(CompileError::InvalidOptions {
+                reason: "resilience.checkpoint_interval must be at least 1".to_string(),
+            });
+        }
+        if !self.backoff_us.is_finite() || self.backoff_us < 0.0 {
+            return Err(CompileError::InvalidOptions {
+                reason: format!(
+                    "resilience.backoff_us must be finite and non-negative, got {}",
+                    self.backoff_us
+                ),
+            });
+        }
+        Ok(())
+    }
+}
 
 /// Configuration of a skeleton.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +162,9 @@ pub struct SkeletonOptions {
     /// [`Skeleton::dump_ir`]). Independently, setting the `NEON_DUMP_IR`
     /// environment variable prints dumps to stderr.
     pub dump_ir: bool,
+    /// Fault-recovery policy (runtime only — excluded from the plan-cache
+    /// key). Validated by [`Skeleton::try_sequence`].
+    pub resilience: ResilienceOptions,
 }
 
 impl Default for SkeletonOptions {
@@ -102,6 +182,7 @@ impl Default for SkeletonOptions {
             validate: true,
             cache: true,
             dump_ir: false,
+            resilience: ResilienceOptions::default(),
         }
     }
 }
@@ -154,6 +235,7 @@ impl Skeleton {
         containers: Vec<Container>,
         options: SkeletonOptions,
     ) -> Result<Self, CompileError> {
+        options.resilience.validate()?;
         let (plan, from_cache) = plan::compile(backend, containers, options)?;
         let mut executor = Executor::from_plan(backend.clone(), Arc::clone(&plan));
         executor.set_kernel_concurrency(options.kernel_concurrency);
@@ -284,4 +366,169 @@ impl Skeleton {
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.executor.take_trace()
     }
+
+    /// The underlying executor (virtual clock, fault injector, counters).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Mutable access to the underlying executor.
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.executor
+    }
+
+    /// Zero the virtual clock's cumulative utilization counters (kernel
+    /// launches, bytes, link busy/contention); benchmarks call this
+    /// between sweep configurations.
+    pub fn reset_counters(&mut self) {
+        self.executor.reset_counters();
+    }
+
+    /// Install a fault plan; retry behavior follows
+    /// `options.resilience` (recovery disabled ⇒ single attempt, every
+    /// fault escapes as a structured error).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        let policy = self.options.resilience.retry_policy();
+        self.executor.install_fault_plan(plan, policy);
+    }
+
+    /// Lifetime fault counters (zero without an installed plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.executor.fault_stats()
+    }
+
+    /// Set the logical iteration the next run executes as (the coordinate
+    /// fault plans target).
+    pub fn set_logical_iteration(&mut self, iteration: u64) {
+        self.executor.set_logical_iteration(iteration);
+    }
+
+    /// Execute the sequence once, reporting failures as values instead of
+    /// panicking (see [`Executor::try_execute`]).
+    pub fn try_run(&mut self) -> Result<ExecReport, ExecError> {
+        self.executor.try_execute()
+    }
+
+    /// Type-erased state handles of every data object the sequence
+    /// writes (fields written or read-written by kernels, reduction
+    /// scalars), deduplicated — exactly the set a checkpoint must capture
+    /// for a rollback to restore the iteration boundary.
+    pub fn state_handles(&self) -> Vec<Arc<dyn StateHandle>> {
+        let mut seen: HashSet<neon_set::DataUid> = HashSet::new();
+        let mut out: Vec<Arc<dyn StateHandle>> = Vec::new();
+        for c in self.plan.containers() {
+            for a in c.accesses() {
+                if !(a.mode.writes() || a.pattern == ComputePattern::Reduce) {
+                    continue;
+                }
+                if let Some(h) = &a.state {
+                    if seen.insert(h.state_uid()) {
+                        out.push(Arc::clone(h));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Snapshot the sequence's write set. `iteration` is the first
+    /// iteration to (re-)execute after a restore.
+    pub fn capture_checkpoint(&self, iteration: u64) -> Checkpoint {
+        Checkpoint::capture(iteration, &self.state_handles())
+    }
+
+    /// Run iterations `start .. start + n` with periodic checkpoints and
+    /// automatic rollback.
+    ///
+    /// A transient fault that escapes retry restores the last checkpoint
+    /// and replays from it (fault specs are consumed once, so the replay
+    /// passes clean — and because recovered faults have no data effects,
+    /// the final state is bit-identical to a fault-free run). A device
+    /// loss cannot be healed at this level: the last checkpoint is
+    /// restored and the error is returned so the caller can rebuild on
+    /// the surviving devices and resume from `completed`.
+    pub fn run_iters_resilient(
+        &mut self,
+        start: u64,
+        n: usize,
+    ) -> Result<ResilientRun, Box<ResilientError>> {
+        let interval = u64::from(self.options.resilience.checkpoint_interval.max(1));
+        let handles = self.state_handles();
+        let mut checkpoint = Checkpoint::capture(start, &handles);
+        let mut report = ExecReport::default();
+        let mut rollbacks = 0u64;
+        let mut replayed = 0u64;
+        let end = start + n as u64;
+        let mut i = start;
+        while i < end {
+            self.executor.set_logical_iteration(i);
+            match self.executor.try_execute() {
+                Ok(r) => {
+                    report.accumulate(r);
+                    i += 1;
+                    if (i - start).is_multiple_of(interval) && i < end {
+                        checkpoint = Checkpoint::capture(i, &handles);
+                    }
+                }
+                Err(ExecError::TransientFaultEscaped { .. }) => {
+                    checkpoint.restore();
+                    rollbacks += 1;
+                    replayed += i - checkpoint.iteration();
+                    i = checkpoint.iteration();
+                }
+                Err(error) => {
+                    checkpoint.restore();
+                    let completed = checkpoint.iteration();
+                    return Err(Box::new(ResilientError {
+                        error,
+                        checkpoint,
+                        completed,
+                    }));
+                }
+            }
+        }
+        Ok(ResilientRun {
+            report,
+            rollbacks,
+            replayed,
+        })
+    }
 }
+
+/// Outcome of a completed [`Skeleton::run_iters_resilient`].
+#[derive(Debug)]
+pub struct ResilientRun {
+    /// Aggregated report over every *successful* iteration (aborted
+    /// iterations contribute no report; their virtual time still advanced
+    /// the clock, which is how recovery overhead shows up in makespans).
+    pub report: ExecReport,
+    /// Checkpoint restores performed.
+    pub rollbacks: u64,
+    /// Successful iterations that had to be re-executed after rollbacks.
+    pub replayed: u64,
+}
+
+/// A failure [`Skeleton::run_iters_resilient`] could not heal. The data
+/// objects have already been restored to `checkpoint`'s state.
+#[derive(Debug)]
+pub struct ResilientError {
+    /// The unhealable failure (device loss, or a structural error).
+    pub error: ExecError,
+    /// The checkpoint that was restored (its `iteration()` is the first
+    /// iteration to re-run after the caller recovers).
+    pub checkpoint: Checkpoint,
+    /// Iterations committed before the failure.
+    pub completed: u64,
+}
+
+impl std::fmt::Display for ResilientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} iterations committed, state rolled back)",
+            self.error, self.completed
+        )
+    }
+}
+
+impl std::error::Error for ResilientError {}

@@ -120,6 +120,36 @@ fn panicking_kernel_propagates_and_executor_survives() {
 }
 
 #[test]
+fn post_panic_execute_matches_fresh_executor_bit_for_bit() {
+    // A panicking kernel must leave the executor fully usable: the next
+    // execute on the *same* executor (whose worker pool was poisoned and
+    // respawned) must be bit-identical to a brand-new parallel executor
+    // running the same program on the same data.
+    let f = fixture(4);
+    let bomb = Arc::new(AtomicBool::new(true));
+    let mut sk = skeleton(
+        &f,
+        vec![sum_container(&f, Arc::clone(&bomb))],
+        FunctionalMode::Parallel,
+    );
+    catch_unwind(AssertUnwindSafe(|| sk.run())).expect_err("bomb must propagate");
+
+    bomb.store(false, Ordering::Relaxed);
+    reset(&f.x, &f.y);
+    sk.run();
+    let survivor = field_bits(&f.x, &f.y);
+
+    let fresh = fixture(4);
+    let mut fresh_sk = skeleton(
+        &fresh,
+        vec![sum_container(&fresh, Arc::new(AtomicBool::new(false)))],
+        FunctionalMode::Parallel,
+    );
+    fresh_sk.run();
+    assert_eq!(survivor, field_bits(&fresh.x, &fresh.y));
+}
+
+#[test]
 fn two_parallel_executors_coexist() {
     let f1 = fixture(2);
     let f2 = fixture(4);

@@ -1,0 +1,285 @@
+//! Deterministic tests of the self-healing executor: structured errors
+//! when recovery is off, retry counters and trace spans when it is on,
+//! checkpoint rollback, device loss surfacing, options validation, and
+//! backend-scoped plan-cache invalidation.
+
+use neon_core::{
+    invalidate_backend, CompileError, ExecError, FaultPlan, OccLevel, ResilienceOptions, Skeleton,
+    SkeletonOptions,
+};
+use neon_domain::{
+    ops, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike,
+    MemLayout, ScalarSet, Stencil, StorageMode,
+};
+use neon_sys::{Backend, DeviceId, SpanKind};
+
+struct Fixture {
+    backend: Backend,
+    u: Field<f64, DenseGrid>,
+    v: Field<f64, DenseGrid>,
+    s: ScalarSet<f64>,
+    containers: Vec<Container>,
+}
+
+/// Stencil + read-write map + reduction over a 4-device dense grid:
+/// enough structure to exercise kernels, halo transfers and scalar state.
+fn fixture(ndev: usize) -> Fixture {
+    let backend = Backend::dgx_a100(ndev);
+    let st = Stencil::seven_point();
+    let grid = DenseGrid::new(&backend, Dim3::new(4, 4, 16), &[&st], StorageMode::Real).unwrap();
+    let u = Field::<f64, _>::new(&grid, "u", 1, 0.0, MemLayout::SoA).unwrap();
+    let v = Field::<f64, _>::new(&grid, "v", 1, 0.0, MemLayout::SoA).unwrap();
+    let s = ScalarSet::<f64>::new(ndev, "s", 0.0, |a, b| a + b);
+    u.fill(|x, y, z, _| ((x * 31 + y * 17 + z * 7) % 23) as f64 * 0.5);
+    let sten = {
+        let (uc, vc) = (u.clone(), v.clone());
+        Container::compute("sten", grid.as_space(), move |ldr| {
+            let uv = ldr.read_stencil(&uc);
+            let vv = ldr.write(&vc);
+            Box::new(move |c| {
+                let mut acc = 0.0;
+                for slot in 0..6 {
+                    acc += uv.ngh(c, slot, 0);
+                }
+                vv.set(c, 0, acc);
+            })
+        })
+    };
+    let relax = ops::axpy_const(&grid, 0.25, &v, &u);
+    let reduce = ops::dot(&grid, &u, &v, &s);
+    Fixture {
+        backend,
+        u,
+        v,
+        s,
+        containers: vec![sten, relax, reduce],
+    }
+}
+
+fn options(resilience: ResilienceOptions) -> SkeletonOptions {
+    SkeletonOptions {
+        occ: OccLevel::Standard,
+        resilience,
+        cache: false,
+        ..Default::default()
+    }
+}
+
+fn state_bits(f: &Fixture) -> Vec<u64> {
+    let mut bits = Vec::new();
+    f.u.for_each(|_, _, _, _, v| bits.push(v.to_bits()));
+    f.v.for_each(|_, _, _, _, v| bits.push(v.to_bits()));
+    bits.push(f.s.host_value().to_bits());
+    bits
+}
+
+#[test]
+fn recovery_disabled_fault_is_structured_error_not_panic() {
+    let f = fixture(4);
+    // Default resilience: disabled, so the retry policy is 1 attempt.
+    let mut sk = Skeleton::sequence(
+        &f.backend,
+        "no-recovery",
+        f.containers.clone(),
+        options(ResilienceOptions::default()),
+    );
+    sk.install_fault_plan(FaultPlan::none().with_kernel_fault(1, DeviceId(2), 0, 1));
+    sk.try_run().expect("iteration 0 is clean");
+    let err = sk.try_run().expect_err("iteration 1 must fail");
+    match err {
+        ExecError::TransientFaultEscaped {
+            device,
+            iteration,
+            attempts,
+            ..
+        } => {
+            assert_eq!(device, DeviceId(2));
+            assert_eq!(iteration, 1);
+            assert_eq!(attempts, 1, "disabled resilience allows one attempt");
+        }
+        other => panic!("expected TransientFaultEscaped, got {other}"),
+    }
+    // The executor stays usable after the failure.
+    sk.try_run().expect("specs consumed; next run is clean");
+}
+
+#[test]
+fn recovered_faults_populate_counters_and_trace() {
+    let f = fixture(4);
+    let mut sk = Skeleton::sequence(
+        &f.backend,
+        "counters",
+        f.containers.clone(),
+        SkeletonOptions {
+            trace: true,
+            ..options(ResilienceOptions {
+                enabled: true,
+                ..ResilienceOptions::default()
+            })
+        },
+    );
+    sk.install_fault_plan(
+        FaultPlan::none()
+            .with_kernel_fault(0, DeviceId(1), 0, 2)
+            .with_transfer_fault(1, DeviceId(3), 0, 1),
+    );
+    let run = sk.run_iters_resilient(0, 3).expect("faults recover");
+    assert_eq!(run.report.faults_injected, 2);
+    assert_eq!(run.report.faults_recovered, 2);
+    assert_eq!(
+        run.report.retries, 3,
+        "2 failed kernel attempts + 1 transfer"
+    );
+    assert_eq!(run.rollbacks, 0);
+    let stats = sk.fault_stats();
+    assert_eq!(stats.injected, 2);
+    assert_eq!(stats.escaped, 0);
+    let trace = sk.take_trace().expect("trace enabled");
+    let fault_spans = trace
+        .spans()
+        .iter()
+        .filter(|s| s.kind == SpanKind::Fault)
+        .count();
+    assert_eq!(fault_spans, 3, "one span per failed attempt");
+}
+
+#[test]
+fn escaped_fault_rolls_back_to_bit_identical_state() {
+    let resilience = ResilienceOptions {
+        enabled: true,
+        max_attempts: 2,
+        checkpoint_interval: 2,
+        ..ResilienceOptions::default()
+    };
+
+    let clean = fixture(4);
+    let mut clean_sk = Skeleton::sequence(
+        &clean.backend,
+        "rollback",
+        clean.containers.clone(),
+        options(resilience),
+    );
+    clean_sk.run_iters_resilient(0, 5).expect("clean run");
+
+    let faulty = fixture(4);
+    let mut faulty_sk = Skeleton::sequence(
+        &faulty.backend,
+        "rollback",
+        faulty.containers.clone(),
+        options(resilience),
+    );
+    // fails = 5 >= max_attempts = 2: escapes retry, forces a rollback off
+    // the checkpoint boundary (iteration 3, checkpoints at 0/2/4).
+    faulty_sk.install_fault_plan(FaultPlan::none().with_kernel_fault(3, DeviceId(0), 1, 5));
+    let run = faulty_sk.run_iters_resilient(0, 5).expect("must heal");
+    assert_eq!(run.rollbacks, 1);
+    assert_eq!(run.replayed, 1, "iteration 2 re-ran after restoring");
+    assert_eq!(state_bits(&faulty), state_bits(&clean));
+}
+
+#[test]
+fn device_loss_surfaces_with_restored_checkpoint() {
+    let f = fixture(4);
+    let mut sk = Skeleton::sequence(
+        &f.backend,
+        "loss",
+        f.containers.clone(),
+        options(ResilienceOptions {
+            enabled: true,
+            checkpoint_interval: 2,
+            ..ResilienceOptions::default()
+        }),
+    );
+    sk.install_fault_plan(FaultPlan::none().with_device_loss(3, DeviceId(1)));
+    let err = *sk
+        .run_iters_resilient(0, 6)
+        .expect_err("loss is unhealable here");
+    assert!(matches!(
+        err.error,
+        ExecError::DeviceLost { device, iteration } if device == DeviceId(1) && iteration == 3
+    ));
+    assert_eq!(
+        err.completed, 2,
+        "rolled back to the iteration-2 checkpoint"
+    );
+    assert_eq!(err.checkpoint.iteration(), 2);
+
+    // The restored state is exactly a clean 2-iteration run.
+    let clean = fixture(4);
+    let mut clean_sk = Skeleton::sequence(
+        &clean.backend,
+        "loss",
+        clean.containers.clone(),
+        options(ResilienceOptions::default()),
+    );
+    clean_sk.try_run().unwrap();
+    clean_sk.try_run().unwrap();
+    assert_eq!(state_bits(&f), state_bits(&clean));
+}
+
+#[test]
+fn resilience_options_are_validated() {
+    let f = fixture(2);
+    let reject = |resilience: ResilienceOptions| match Skeleton::try_sequence(
+        &f.backend,
+        "invalid",
+        f.containers.clone(),
+        options(resilience),
+    ) {
+        Err(err) => assert!(
+            matches!(err, CompileError::InvalidOptions { .. }),
+            "expected InvalidOptions, got {err}"
+        ),
+        Ok(_) => panic!("invalid options must be rejected"),
+    };
+    reject(ResilienceOptions {
+        max_attempts: 0,
+        ..ResilienceOptions::default()
+    });
+    reject(ResilienceOptions {
+        checkpoint_interval: 0,
+        ..ResilienceOptions::default()
+    });
+    reject(ResilienceOptions {
+        backoff_us: -1.0,
+        ..ResilienceOptions::default()
+    });
+    reject(ResilienceOptions {
+        backoff_us: f64::NAN,
+        ..ResilienceOptions::default()
+    });
+    // The valid default compiles.
+    Skeleton::try_sequence(
+        &f.backend,
+        "valid",
+        f.containers.clone(),
+        options(ResilienceOptions::default()),
+    )
+    .expect("default resilience options are valid");
+}
+
+#[test]
+fn invalidate_backend_purges_only_that_fingerprint() {
+    // A backend shape no other test in this binary compiles for, so the
+    // process-wide cache interaction stays deterministic.
+    let f = fixture(3);
+    let cached = SkeletonOptions {
+        occ: OccLevel::Extended,
+        ..Default::default() // cache: true
+    };
+    let sk1 = Skeleton::sequence(&f.backend, "cache-probe", f.containers.clone(), cached);
+    assert!(!sk1.compiled_from_cache(), "first compile is a miss");
+    let sk2 = Skeleton::sequence(&f.backend, "cache-probe", f.containers.clone(), cached);
+    assert!(sk2.compiled_from_cache(), "second compile hits the cache");
+
+    let purged = invalidate_backend(f.backend.fingerprint());
+    assert!(purged >= 1, "the cached plan belongs to this fingerprint");
+
+    let sk3 = Skeleton::sequence(&f.backend, "cache-probe", f.containers.clone(), cached);
+    assert!(
+        !sk3.compiled_from_cache(),
+        "eviction invalidated the dead backend's plans"
+    );
+    // Purging an unknown fingerprint touches nothing.
+    assert_eq!(invalidate_backend(0xDEAD_BEEF), 0);
+}

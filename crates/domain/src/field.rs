@@ -294,6 +294,12 @@ impl<T: Elem, G: GridLike> Loadable for Field<T, G> {
         self.halo.clone().map(|h| h as Arc<dyn HaloExchange>)
     }
 
+    fn state_handle(&self) -> Option<Arc<dyn neon_set::StateHandle>> {
+        // Checkpoint the backing MemSet: halo layers are captured along
+        // with owned cells, so a restore needs no halo refresh.
+        Some(Arc::new(self.parts.mem.clone()))
+    }
+
     fn make_read_view(&self, dev: DeviceId, null: bool) -> Self::ReadView {
         self.grid.make_read_view(&self.parts, dev, null)
     }

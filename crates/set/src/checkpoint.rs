@@ -1,0 +1,234 @@
+//! Checkpoint/rollback state capture for multi-GPU data objects.
+//!
+//! The self-healing executor (neon-core) recovers from faults that escape
+//! retry by rolling the solver back to the last good iteration. That
+//! requires snapshotting every data object a skeleton *writes* — fields and
+//! reduction scalars alike — without the core layer knowing their concrete
+//! types. [`StateHandle`] is that type-erased capture interface: `MemSet`
+//! and `ScalarSet` implement it here, `neon-domain` fields forward to their
+//! backing `MemSet`, and the loader attaches a handle to every
+//! [`AccessRecord`](crate::loader::AccessRecord) so the core can collect
+//! the write set straight from a compiled plan.
+//!
+//! A [`Checkpoint`] is a host-side snapshot: partition buffers are cloned
+//! into plain `Vec`s (virtual storage captures nothing — there is no data
+//! to protect), scalars capture host value plus per-device partials.
+//! Restore writes the blobs back through the same handles. Capture and
+//! restore both run at iteration boundaries, where no views are live, so
+//! the access trackers are free.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use neon_sys::DeviceId;
+
+use crate::elem::Elem;
+use crate::memset::{MemSet, StorageMode};
+use crate::scalar::ScalarSet;
+use crate::uid::DataUid;
+
+/// Type-erased snapshot of one data object's state.
+pub type StateBlob = Box<dyn Any + Send + Sync>;
+
+/// A data object whose state can be captured into and restored from a
+/// host-side blob. Object-safe so the core layer can hold heterogeneous
+/// write sets as `Arc<dyn StateHandle>`.
+pub trait StateHandle: Send + Sync {
+    /// Identity of the underlying data object (used to deduplicate the
+    /// write set across containers).
+    fn state_uid(&self) -> DataUid;
+    /// Name for diagnostics.
+    fn state_name(&self) -> String;
+    /// Capture the current state. `None` when there is nothing to capture
+    /// (virtual storage).
+    fn save_state(&self) -> Option<StateBlob>;
+    /// Restore a previously captured state.
+    ///
+    /// # Panics
+    /// Panics if `blob` did not come from this handle's `save_state` (or a
+    /// handle of the same object) — a blob/object mismatch is a logic error.
+    fn restore_state(&self, blob: &StateBlob);
+}
+
+impl<T: Elem> StateHandle for MemSet<T> {
+    fn state_uid(&self) -> DataUid {
+        self.uid()
+    }
+    fn state_name(&self) -> String {
+        self.name().to_string()
+    }
+    fn save_state(&self) -> Option<StateBlob> {
+        if self.mode() == StorageMode::Virtual {
+            return None;
+        }
+        let parts: Vec<Vec<T>> = (0..self.num_partitions())
+            .map(|d| self.with_part(DeviceId(d), |s| s.to_vec()))
+            .collect();
+        Some(Box::new(parts))
+    }
+    fn restore_state(&self, blob: &StateBlob) {
+        let parts = blob
+            .downcast_ref::<Vec<Vec<T>>>()
+            .expect("state blob type mismatch for MemSet");
+        assert_eq!(
+            parts.len(),
+            self.num_partitions(),
+            "state blob partition count mismatch for '{}'",
+            self.name()
+        );
+        for (d, saved) in parts.iter().enumerate() {
+            self.with_part_mut(DeviceId(d), |s| s.copy_from_slice(saved));
+        }
+    }
+}
+
+/// Snapshot payload of a [`ScalarSet`]: host value + per-device partials.
+struct ScalarState<T> {
+    host: T,
+    partials: Vec<T>,
+}
+
+impl<T: Elem> StateHandle for ScalarSet<T> {
+    fn state_uid(&self) -> DataUid {
+        self.uid()
+    }
+    fn state_name(&self) -> String {
+        self.name().to_string()
+    }
+    fn save_state(&self) -> Option<StateBlob> {
+        let partials = (0..self.num_devices())
+            .map(|d| self.partial(DeviceId(d)))
+            .collect();
+        Some(Box::new(ScalarState {
+            host: self.host_value(),
+            partials,
+        }))
+    }
+    fn restore_state(&self, blob: &StateBlob) {
+        let state = blob
+            .downcast_ref::<ScalarState<T>>()
+            .expect("state blob type mismatch for ScalarSet");
+        assert_eq!(
+            state.partials.len(),
+            self.num_devices(),
+            "state blob partial count mismatch for '{}'",
+            self.name()
+        );
+        for (d, &p) in state.partials.iter().enumerate() {
+            self.view(DeviceId(d)).set(p);
+        }
+        self.set_host(state.host);
+    }
+}
+
+/// A host-side snapshot of a set of data objects at one iteration boundary.
+pub struct Checkpoint {
+    iteration: u64,
+    entries: Vec<(Arc<dyn StateHandle>, StateBlob)>,
+}
+
+impl std::fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("iteration", &self.iteration)
+            .field(
+                "objects",
+                &self
+                    .entries
+                    .iter()
+                    .map(|(h, _)| h.state_name())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Checkpoint {
+    /// Capture the current state of every handle (handles whose
+    /// `save_state` returns `None` — virtual storage — are skipped; restore
+    /// leaves them untouched, which is correct because they hold no data).
+    pub fn capture(iteration: u64, handles: &[Arc<dyn StateHandle>]) -> Self {
+        let entries = handles
+            .iter()
+            .filter_map(|h| h.save_state().map(|b| (h.clone(), b)))
+            .collect();
+        Checkpoint { iteration, entries }
+    }
+
+    /// The iteration at whose *end* this snapshot was taken (resuming means
+    /// re-entering the loop at `iteration + 1`).
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Number of captured objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Write every captured blob back into its object.
+    pub fn restore(&self) {
+        for (h, blob) in &self.entries {
+            h.restore_state(blob);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neon_sys::Backend;
+
+    #[test]
+    fn memset_round_trip() {
+        let b = Backend::dgx_a100(2);
+        let m = MemSet::<f64>::new(&b, "m", &[2, 2], StorageMode::Real).unwrap();
+        m.from_host(&[1.0, 2.0, 3.0, 4.0]);
+        let handle: Arc<dyn StateHandle> = Arc::new(m.clone());
+        let cp = Checkpoint::capture(7, &[handle]);
+        assert_eq!(cp.iteration(), 7);
+        assert_eq!(cp.len(), 1);
+        m.from_host(&[9.0, 9.0, 9.0, 9.0]);
+        cp.restore();
+        assert_eq!(m.to_host(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn scalar_round_trip_includes_partials() {
+        let s = ScalarSet::<f64>::new(2, "dot", 0.0, |a, b| a + b);
+        s.view(DeviceId(0)).set(1.5);
+        s.view(DeviceId(1)).set(2.5);
+        s.set_host(4.0);
+        let cp = Checkpoint::capture(0, &[Arc::new(s.clone()) as Arc<dyn StateHandle>]);
+        s.reset();
+        assert_eq!(s.host_value(), 0.0);
+        cp.restore();
+        assert_eq!(s.host_value(), 4.0);
+        assert_eq!(s.partial(DeviceId(0)), 1.5);
+        assert_eq!(s.partial(DeviceId(1)), 2.5);
+    }
+
+    #[test]
+    fn virtual_storage_captures_nothing() {
+        let b = Backend::dgx_a100(1);
+        let m = MemSet::<f64>::new(&b, "v", &[64], StorageMode::Virtual).unwrap();
+        let cp = Checkpoint::capture(0, &[Arc::new(m) as Arc<dyn StateHandle>]);
+        assert!(cp.is_empty());
+        cp.restore(); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "state blob type mismatch")]
+    fn mismatched_blob_panics() {
+        let b = Backend::dgx_a100(1);
+        let m = MemSet::<f64>::new(&b, "m", &[2], StorageMode::Real).unwrap();
+        let n = MemSet::<i32>::new(&b, "n", &[2], StorageMode::Real).unwrap();
+        let blob = StateHandle::save_state(&m).unwrap();
+        n.restore_state(&blob);
+    }
+}

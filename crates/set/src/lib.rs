@@ -25,6 +25,7 @@
 
 pub mod access;
 pub mod cell;
+pub mod checkpoint;
 pub mod container;
 pub mod dataset;
 pub mod elem;
@@ -37,6 +38,7 @@ pub mod uid;
 
 pub use access::{AccessConflict, AccessTracker, TrackerGuard};
 pub use cell::{Cell, DataView, IterationSpace, CELL_CHUNK};
+pub use checkpoint::{Checkpoint, StateBlob, StateHandle};
 pub use container::{ComputeFn, HostFn};
 pub use container::{Container, ContainerKind, HaloDescriptor, HaloExchange};
 pub use dataset::DataSet;

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use neon_sys::DeviceId;
 
 use crate::cell::DataView;
+use crate::checkpoint::StateHandle;
 use crate::container::HaloExchange;
 use crate::elem::Elem;
 use crate::scalar::{ScalarSet, ScalarView};
@@ -95,6 +96,9 @@ pub struct AccessRecord {
     pub halo: Option<Arc<dyn HaloExchange>>,
     /// Reduce lifecycle hooks, present for reduce accesses.
     pub reduce_hooks: Option<ReduceHooks>,
+    /// Checkpoint capture handle, present for written objects (the
+    /// self-healing executor snapshots these for rollback).
+    pub state: Option<Arc<dyn StateHandle>>,
 }
 
 impl std::fmt::Debug for AccessRecord {
@@ -107,6 +111,7 @@ impl std::fmt::Debug for AccessRecord {
             .field("read_bytes_per_cell", &self.read_bytes_per_cell)
             .field("write_bytes_per_cell", &self.write_bytes_per_cell)
             .field("has_halo", &self.halo.is_some())
+            .field("has_state", &self.state.is_some())
             .finish()
     }
 }
@@ -137,6 +142,12 @@ pub trait Loadable {
     /// The halo-exchange implementation (only fields on partitioned grids
     /// have one).
     fn halo_exchange(&self) -> Option<Arc<dyn HaloExchange>>;
+    /// A checkpoint capture handle for this object's state (attached to
+    /// write accesses so the self-healing executor can snapshot the write
+    /// set). `None` opts the object out of checkpointing.
+    fn state_handle(&self) -> Option<Arc<dyn StateHandle>> {
+        None
+    }
 
     /// Create the read view for `dev` (`null` for dry runs).
     fn make_read_view(&self, dev: DeviceId, null: bool) -> Self::ReadView;
@@ -212,6 +223,7 @@ impl<'a> Loader<'a> {
         write_bytes_per_cell: u64,
         halo: Option<Arc<dyn HaloExchange>>,
         reduce_hooks: Option<ReduceHooks>,
+        state: Option<Arc<dyn StateHandle>>,
     ) {
         if let LoaderState::Recording { records } = &mut self.state {
             records.push(AccessRecord {
@@ -223,6 +235,7 @@ impl<'a> Loader<'a> {
                 write_bytes_per_cell,
                 halo,
                 reduce_hooks,
+                state,
             });
         }
     }
@@ -236,6 +249,7 @@ impl<'a> Loader<'a> {
             ComputePattern::Map,
             d.bytes_per_cell(),
             0,
+            None,
             None,
             None,
         );
@@ -256,12 +270,18 @@ impl<'a> Loader<'a> {
             0,
             d.halo_exchange(),
             None,
+            None,
         );
         d.make_stencil_view(self.device(), self.is_recording())
     }
 
     /// Load a cell-local write view.
     pub fn write<L: Loadable>(&mut self, d: &L) -> L::WriteView {
+        let state = if self.is_recording() {
+            d.state_handle()
+        } else {
+            None
+        };
         self.record(
             d.data_uid(),
             d.data_name(),
@@ -271,6 +291,7 @@ impl<'a> Loader<'a> {
             d.bytes_per_cell(),
             None,
             None,
+            state,
         );
         d.make_write_view(self.device(), self.is_recording())
     }
@@ -279,6 +300,11 @@ impl<'a> Loader<'a> {
     ///
     /// Costs two accesses' worth of bytes (a load and a store per cell).
     pub fn read_write<L: Loadable>(&mut self, d: &L) -> L::WriteView {
+        let state = if self.is_recording() {
+            d.state_handle()
+        } else {
+            None
+        };
         self.record(
             d.data_uid(),
             d.data_name(),
@@ -288,6 +314,7 @@ impl<'a> Loader<'a> {
             d.bytes_per_cell(),
             None,
             None,
+            state,
         );
         d.make_write_view(self.device(), self.is_recording())
     }
@@ -308,6 +335,7 @@ impl<'a> Loader<'a> {
                 init: Arc::new(move || s_init.init_partials()),
                 finalize: Arc::new(move || s_fin.finalize()),
             }),
+            Some(Arc::new(s.clone()) as Arc<dyn StateHandle>),
         );
         s.view(self.device())
     }
@@ -322,6 +350,7 @@ impl<'a> Loader<'a> {
             ComputePattern::Map,
             0,
             0,
+            None,
             None,
             None,
         );
@@ -339,6 +368,7 @@ impl<'a> Loader<'a> {
             0,
             None,
             None,
+            None,
         );
         ScalarReader { set: s.clone() }
     }
@@ -354,6 +384,7 @@ impl<'a> Loader<'a> {
             0,
             None,
             None,
+            Some(Arc::new(s.clone()) as Arc<dyn StateHandle>),
         );
         ScalarWriter { set: s.clone() }
     }

@@ -443,6 +443,9 @@ impl<T: Elem> crate::loader::Loadable for MemSet<T> {
     fn halo_exchange(&self) -> Option<Arc<dyn crate::container::HaloExchange>> {
         None
     }
+    fn state_handle(&self) -> Option<Arc<dyn crate::checkpoint::StateHandle>> {
+        Some(Arc::new(self.clone()))
+    }
     fn make_read_view(&self, dev: DeviceId, null: bool) -> Self::ReadView {
         if null || self.mode() == StorageMode::Virtual {
             self.null_read()

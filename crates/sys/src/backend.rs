@@ -139,6 +139,34 @@ impl Backend {
         &self.inner.ledgers[d.0]
     }
 
+    /// The backend with device `dead` evicted: its model and topology row
+    /// are removed, survivors are renumbered contiguously, and fresh
+    /// memory ledgers are created (data objects must be rebuilt — the
+    /// self-healing executor restores them from a checkpoint). The new
+    /// backend has a different [`Backend::fingerprint`], so stale compiled
+    /// plans cannot be rebound to it by accident.
+    pub fn without_device(&self, dead: DeviceId) -> Result<Self> {
+        self.check_device(dead)?;
+        if self.num_devices() == 1 {
+            return Err(NeonSysError::InvalidConfig {
+                what: "cannot evict the only device of a backend".to_string(),
+            });
+        }
+        let devices = self
+            .inner
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != dead.0)
+            .map(|(_, d)| d.clone())
+            .collect();
+        Backend::new(
+            self.inner.kind,
+            devices,
+            self.inner.topology.without_device(dead),
+        )
+    }
+
     /// Validate a device id against this backend.
     pub fn check_device(&self, d: DeviceId) -> Result<()> {
         if d.0 < self.num_devices() {
@@ -270,6 +298,45 @@ mod tests {
         assert_ne!(
             Backend::cpu().fingerprint(),
             Backend::dgx_a100(1).fingerprint()
+        );
+    }
+
+    #[test]
+    fn without_device_renumbers_survivors() {
+        let b = Backend::dgx_a100(4);
+        let evicted = b.without_device(DeviceId(1)).unwrap();
+        assert_eq!(evicted.num_devices(), 3);
+        assert_eq!(evicted.topology().num_devices(), 3);
+        // Survivors keep their models and their links stay NVLink.
+        assert_eq!(evicted.device(DeviceId(2)).name, b.device(DeviceId(3)).name);
+        assert_eq!(
+            evicted.topology().link(DeviceId(0), DeviceId(2)).kind,
+            LinkKind::NvLink
+        );
+        // Eviction changes the fingerprint, so cached plans cannot rebind.
+        assert_ne!(evicted.fingerprint(), b.fingerprint());
+        assert_eq!(evicted.fingerprint(), Backend::dgx_a100(3).fingerprint());
+    }
+
+    #[test]
+    fn without_device_rejects_bad_evictions() {
+        let b = Backend::dgx_a100(2);
+        assert!(b.without_device(DeviceId(5)).is_err());
+        let one = b.without_device(DeviceId(0)).unwrap();
+        assert!(one.without_device(DeviceId(0)).is_err());
+    }
+
+    #[test]
+    fn without_device_preserves_host_link() {
+        let b = Backend::gv100_pcie(3);
+        let evicted = b.without_device(DeviceId(0)).unwrap();
+        assert_eq!(
+            evicted.topology().host_link().kind,
+            b.topology().host_link().kind
+        );
+        assert_eq!(
+            evicted.topology().link(DeviceId(0), DeviceId(1)).kind,
+            LinkKind::PciE3
         );
     }
 

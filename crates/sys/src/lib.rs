@@ -31,6 +31,7 @@ pub mod backend;
 pub mod clock;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod memory;
 pub mod pool;
@@ -42,6 +43,10 @@ pub use backend::{Backend, BackendKind};
 pub use clock::SimTime;
 pub use device::{DeviceId, DeviceKind, DeviceModel};
 pub use error::{NeonSysError, Result};
+pub use fault::{
+    FaultInjector, FaultPlan, FaultSite, FaultSiteKind, FaultSpec, FaultStats, FaultVerdict,
+    RetryPolicy,
+};
 pub use hash::{stable_hash_of, StableHasher};
 pub use memory::{AllocationTicket, MemoryLedger};
 pub use pool::WorkerPool;

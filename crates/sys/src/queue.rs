@@ -13,9 +13,12 @@
 //! produces and to measure its makespan, including every overlap effect that
 //! OCC optimizations are designed to exploit.
 
+use std::sync::Arc;
+
 use crate::clock::SimTime;
 use crate::device::DeviceId;
 use crate::error::{NeonSysError, Result};
+use crate::fault::{FaultInjector, FaultSiteKind, FaultVerdict};
 use crate::topology::LinkResourceId;
 use crate::trace::{SpanKind, Trace, TraceSpan};
 
@@ -69,6 +72,9 @@ pub struct QueueSim {
     /// Cumulative bytes swept by recorded kernel launches.
     kernel_bytes_moved: u64,
     trace: Option<Trace>,
+    /// Fault injector consulted for kernel launches (transfers are consulted
+    /// by the executor at halo-node granularity instead).
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl QueueSim {
@@ -85,7 +91,53 @@ impl QueueSim {
             kernel_launches: 0,
             kernel_bytes_moved: 0,
             trace: None,
+            injector: None,
         }
+    }
+
+    /// Install (or clear) the fault injector consulted by kernel enqueues.
+    /// Injected failed attempts show up as [`SpanKind::Fault`] spans followed
+    /// by exponential backoff idle time on the stream.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.injector = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// Model `failed` consecutive failed attempts of an operation of length
+    /// `duration` starting no earlier than `ready`: each attempt occupies the
+    /// stream for the operation's duration (recorded as a [`SpanKind::Fault`]
+    /// span), then backs off exponentially before the next attempt. Returns
+    /// the time at which the next (re-)attempt may start.
+    fn faulty_attempts(
+        &mut self,
+        s: StreamId,
+        mut ready: SimTime,
+        duration: SimTime,
+        name: &str,
+        failed: u32,
+        backoff: SimTime,
+    ) -> SimTime {
+        for a in 0..failed {
+            let start = ready;
+            let end = start + duration;
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceSpan {
+                    device: s.device,
+                    stream: s.index,
+                    name: format!("{name}!fail{a}"),
+                    kind: SpanKind::Fault,
+                    start,
+                    end,
+                });
+            }
+            let factor = 1u64 << a.min(16);
+            ready = end + SimTime::from_us(backoff.as_us() * factor as f64);
+        }
+        ready
     }
 
     /// Set the arbitration penalty paid by contended transfers
@@ -144,7 +196,65 @@ impl QueueSim {
 
     /// Enqueue an operation of length `duration` on stream `s`, not starting
     /// before `earliest`. Returns the `(start, end)` span.
+    ///
+    /// If a fault injector is installed and `kind` is [`SpanKind::Kernel`],
+    /// the injector is consulted: a recovered fault prepends failed-attempt
+    /// spans plus backoff before the successful launch; an escaped fault
+    /// records only the failed attempts (the launch never succeeds) and
+    /// returns the span of the failed episode.
     pub fn enqueue_from(
+        &mut self,
+        s: StreamId,
+        earliest: SimTime,
+        duration: SimTime,
+        name: &str,
+        kind: SpanKind,
+    ) -> (SimTime, SimTime) {
+        if kind == SpanKind::Kernel {
+            if let Some(inj) = self.injector.clone() {
+                let verdict = inj.observe(s.device, FaultSiteKind::Kernel);
+                if verdict != FaultVerdict::Clean {
+                    let policy = inj.policy();
+                    let first = self.now(s).max(earliest);
+                    return match verdict {
+                        FaultVerdict::Recovered { failed_attempts } => {
+                            let ready = self.faulty_attempts(
+                                s,
+                                first,
+                                duration,
+                                name,
+                                failed_attempts,
+                                policy.backoff,
+                            );
+                            self.enqueue_from_clean(s, ready, duration, name, kind)
+                        }
+                        FaultVerdict::Escaped { failed_attempts } => {
+                            // All attempts fail; no successful span. The last
+                            // backoff gap is not paid (there is no re-attempt).
+                            let ready = self.faulty_attempts(
+                                s,
+                                first,
+                                duration,
+                                name,
+                                failed_attempts,
+                                policy.backoff,
+                            );
+                            let last_gap = 1u64 << failed_attempts.saturating_sub(1).min(16);
+                            let end =
+                                ready - SimTime::from_us(policy.backoff.as_us() * last_gap as f64);
+                            *self.clock_mut(s) = end;
+                            (first, end)
+                        }
+                        FaultVerdict::Clean => unreachable!(),
+                    };
+                }
+            }
+        }
+        self.enqueue_from_clean(s, earliest, duration, name, kind)
+    }
+
+    /// [`QueueSim::enqueue_from`] without the fault-injection consult.
+    fn enqueue_from_clean(
         &mut self,
         s: StreamId,
         earliest: SimTime,
@@ -226,6 +336,62 @@ impl QueueSim {
             });
         }
         (start, end)
+    }
+
+    /// [`QueueSim::enqueue_transfer`] with a fault verdict applied.
+    ///
+    /// Transfers are consulted for faults by the executor at halo-node
+    /// granularity (one verdict per destination device), so the verdict is
+    /// passed in rather than looked up here. A recovered fault prepends
+    /// failed-attempt spans (the corrupted payloads, dropped at the receiver
+    /// before commit) plus backoff; an escaped fault records only the failed
+    /// attempts and never occupies the link with a successful transfer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_transfer_with_faults(
+        &mut self,
+        s: StreamId,
+        earliest: SimTime,
+        duration: SimTime,
+        resources: &[LinkResourceId],
+        name: &str,
+        kind: SpanKind,
+        verdict: FaultVerdict,
+        backoff: SimTime,
+    ) -> (SimTime, SimTime) {
+        match verdict {
+            FaultVerdict::Clean => {
+                self.enqueue_transfer(s, earliest, duration, resources, name, kind)
+            }
+            FaultVerdict::Recovered { failed_attempts } => {
+                let first = self.now(s).max(earliest);
+                let ready =
+                    self.faulty_attempts(s, first, duration, name, failed_attempts, backoff);
+                self.enqueue_transfer(s, ready, duration, resources, name, kind)
+            }
+            FaultVerdict::Escaped { failed_attempts } => {
+                let first = self.now(s).max(earliest);
+                let ready =
+                    self.faulty_attempts(s, first, duration, name, failed_attempts, backoff);
+                let last_gap = 1u64 << failed_attempts.saturating_sub(1).min(16);
+                let end = ready - SimTime::from_us(backoff.as_us() * last_gap as f64);
+                *self.clock_mut(s) = end;
+                (first, end)
+            }
+        }
+    }
+
+    /// Zero the cumulative utilization counters (kernel launches, bytes
+    /// moved, per-link busy totals and contention counts) without touching
+    /// clocks, events or the trace. [`QueueSim::reset`] deliberately keeps
+    /// these counters so multi-execution reports accumulate; benchmarks that
+    /// sweep problem sizes call this between sizes instead.
+    pub fn reset_counters(&mut self) {
+        self.kernel_launches = 0;
+        self.kernel_bytes_moved = 0;
+        for l in &mut self.links {
+            l.busy_total = SimTime::ZERO;
+            l.contended = 0;
+        }
     }
 
     /// Total occupied time of a link resource (utilization counter; zero for
@@ -538,6 +704,99 @@ mod tests {
         q.reset();
         assert_eq!(q.kernel_launches(), 2, "utilization counters survive reset");
         assert_eq!(q.kernel_bytes_moved(), 1536);
+    }
+
+    #[test]
+    fn reset_counters_zeroes_utilization_only() {
+        let mut q = QueueSim::new(2, 1);
+        let d = SimTime::from_us(10.0);
+        q.record_launch(1024);
+        q.enqueue_transfer(s(0, 0), SimTime::ZERO, d, &[0], "a", SpanKind::Transfer);
+        q.enqueue_transfer(s(1, 0), SimTime::ZERO, d, &[0], "b", SpanKind::Transfer);
+        assert_eq!(q.link_contention_events(0), 1);
+        q.reset_counters();
+        assert_eq!(q.kernel_launches(), 0);
+        assert_eq!(q.kernel_bytes_moved(), 0);
+        assert_eq!(q.link_busy_time(0), SimTime::ZERO);
+        assert_eq!(q.link_contention_events(0), 0);
+        // Clocks are untouched: the streams are still busy.
+        assert!(q.makespan().as_us() > 0.0);
+    }
+
+    #[test]
+    fn injected_kernel_fault_costs_attempts_plus_backoff() {
+        use crate::fault::{FaultInjector, FaultPlan, RetryPolicy};
+        let mut q = QueueSim::new(1, 1);
+        q.enable_trace();
+        let plan = FaultPlan::none().with_kernel_fault(0, DeviceId(0), 1, 2);
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            backoff: SimTime::from_us(5.0),
+        };
+        let inj = FaultInjector::new(plan, policy, 1);
+        inj.begin_iteration(0).unwrap();
+        q.set_fault_injector(Some(inj));
+        let d = SimTime::from_us(10.0);
+        q.enqueue(s(0, 0), d, "k0", SpanKind::Kernel);
+        // Second kernel: fails twice (10 + 5, 10 + 10), then succeeds.
+        let (start, end) = q.enqueue(s(0, 0), d, "k1", SpanKind::Kernel);
+        assert_eq!(start.as_us(), 45.0);
+        assert_eq!(end.as_us(), 55.0);
+        let tr = q.trace().unwrap();
+        let faults: Vec<_> = tr
+            .spans()
+            .iter()
+            .filter(|sp| sp.kind == SpanKind::Fault)
+            .collect();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].start.as_us(), 10.0);
+        assert_eq!(faults[1].start.as_us(), 25.0);
+    }
+
+    #[test]
+    fn escaped_kernel_fault_never_succeeds() {
+        use crate::fault::{FaultInjector, FaultPlan, RetryPolicy};
+        let mut q = QueueSim::new(1, 1);
+        q.enable_trace();
+        let plan = FaultPlan::none().with_kernel_fault(0, DeviceId(0), 0, 99);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            backoff: SimTime::from_us(5.0),
+        };
+        let inj = FaultInjector::new(plan, policy, 1);
+        inj.begin_iteration(0).unwrap();
+        q.set_fault_injector(Some(inj.clone()));
+        let d = SimTime::from_us(10.0);
+        // Two failed attempts: [0,10] then backoff 5, [15,25]. No final gap.
+        let (start, end) = q.enqueue(s(0, 0), d, "k", SpanKind::Kernel);
+        assert_eq!(start.as_us(), 0.0);
+        assert_eq!(end.as_us(), 25.0);
+        assert!(inj.escape_site().is_some());
+        let tr = q.trace().unwrap();
+        assert!(tr.spans().iter().all(|sp| sp.kind == SpanKind::Fault));
+        assert_eq!(tr.spans().len(), 2);
+    }
+
+    #[test]
+    fn faulted_transfer_retries_before_occupying_link() {
+        use crate::fault::FaultVerdict;
+        let mut q = QueueSim::new(1, 1);
+        let d = SimTime::from_us(10.0);
+        let (start, end) = q.enqueue_transfer_with_faults(
+            s(0, 0),
+            SimTime::ZERO,
+            d,
+            &[0],
+            "t",
+            SpanKind::Transfer,
+            FaultVerdict::Recovered { failed_attempts: 1 },
+            SimTime::from_us(5.0),
+        );
+        // One corrupted send [0,10], backoff 5, clean send [15,25].
+        assert_eq!(start.as_us(), 15.0);
+        assert_eq!(end.as_us(), 25.0);
+        // Only the successful transfer holds the link.
+        assert_eq!(q.link_busy_time(0).as_us(), 10.0);
     }
 
     #[test]

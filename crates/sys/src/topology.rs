@@ -210,6 +210,20 @@ impl Topology {
         self.n
     }
 
+    /// The topology with device `dead` removed (graceful eviction after a
+    /// permanent device loss). Surviving devices are renumbered to stay
+    /// contiguous — device `i > dead` becomes `i - 1` — and link resources
+    /// are rebuilt for the smaller system; the host staging link is kept.
+    pub fn without_device(&self, dead: DeviceId) -> Topology {
+        assert!(dead.0 < self.n, "device out of topology");
+        assert!(self.n > 1, "cannot evict the only device");
+        let keep: Vec<usize> = (0..self.n).filter(|&i| i != dead.0).collect();
+        Topology::from_fn(self.n - 1, |s, d| {
+            self.links[keep[s.0] * self.n + keep[d.0]]
+        })
+        .with_host_link(self.host_link)
+    }
+
     /// The link used from `src` to `dst`.
     pub fn link(&self, src: DeviceId, dst: DeviceId) -> &LinkModel {
         assert!(src.0 < self.n && dst.0 < self.n, "device out of topology");

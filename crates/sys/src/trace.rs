@@ -26,6 +26,9 @@ pub enum SpanKind {
     /// A compile-time pass of the skeleton's pass pipeline (wall-clock time
     /// mapped onto the virtual timeline for inspection, not simulation).
     Compile,
+    /// A failed attempt of an injected fault (the retried launch or
+    /// corrupted transfer itself; backoff shows as stream idle time).
+    Fault,
 }
 
 impl SpanKind {
@@ -37,6 +40,7 @@ impl SpanKind {
             SpanKind::Host => "host",
             SpanKind::Collective => "collective",
             SpanKind::Compile => "compile",
+            SpanKind::Fault => "fault",
         }
     }
 }
@@ -199,6 +203,7 @@ impl Trace {
                     SpanKind::Host => b'H',
                     SpanKind::Collective => b'#',
                     SpanKind::Compile => b'C',
+                    SpanKind::Fault => b'!',
                 };
                 for c in row.iter_mut().take(b).skip(a) {
                     *c = ch;

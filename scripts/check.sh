@@ -20,6 +20,9 @@ cargo run --release -p neon-bench --bin repro_functional -- --smoke
 echo "==> fusion smoke (fused must match unfused bit-for-bit and cut launches/bytes)"
 cargo run --release -p neon-bench --bin repro_fusion -- --smoke
 
+echo "==> fault smoke (retry/rollback/eviction must recover bit-identically)"
+cargo run --release -p neon-bench --bin repro_faults -- --smoke
+
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

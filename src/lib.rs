@@ -28,12 +28,13 @@ pub use neon_sys as sys;
 pub mod prelude {
     pub use neon_comm::Algorithm as CollectiveAlgorithm;
     pub use neon_core::{
-        CollectiveMode, ExecReport, FusionLevel, HaloPolicy, OccLevel, Skeleton, SkeletonOptions,
+        CollectiveMode, ExecError, ExecReport, FusionLevel, HaloPolicy, OccLevel,
+        ResilienceOptions, Skeleton, SkeletonOptions,
     };
     pub use neon_domain::{
         BlockSparseGrid, Cell, DataView, DenseGrid, Dim3, Field, GridLike, MemLayout, SparseGrid,
         Stencil,
     };
     pub use neon_set::{Container, Loader, ScalarSet};
-    pub use neon_sys::{Backend, DeviceId, SimTime};
+    pub use neon_sys::{Backend, DeviceId, FaultPlan, SimTime};
 }
