@@ -267,10 +267,20 @@ impl<G: GridLike> CgSolver<G> {
     }
 
     /// Reset the cumulative hardware counters of both skeletons (between
-    /// benchmark sweep points).
+    /// benchmark sweep points). Global — prefer
+    /// [`CgSolver::counters_snapshot`] when other jobs share the process.
     pub fn reset_counters(&mut self) {
         self.init.reset_counters();
         self.iter.reset_counters();
+    }
+
+    /// Snapshot the cumulative utilization counters of both skeletons
+    /// (init + iteration), summed. Subtract two snapshots to attribute a
+    /// window of work to its tenant without a global reset.
+    pub fn counters_snapshot(&self) -> neon_sys::CounterSnapshot {
+        let mut total = self.init.counters_snapshot();
+        total.accumulate(&self.iter.counters_snapshot());
+        total
     }
 
     /// Current residual norm.
@@ -281,6 +291,19 @@ impl<G: GridLike> CgSolver<G> {
     /// The iteration skeleton (for graph introspection and traces).
     pub fn iteration_skeleton(&mut self) -> &mut Skeleton {
         &mut self.iter
+    }
+
+    /// The compiled plan of the iteration skeleton. The serving layer's
+    /// tests compare `plan().schedule_arc()` pointers across tenants to
+    /// prove plan-cache sharing.
+    pub fn iteration_plan(&self) -> &std::sync::Arc<neon_core::CompiledPlan> {
+        self.iter.plan()
+    }
+
+    /// Capture a checkpoint of the iteration skeleton's write set at
+    /// logical iteration `iteration` (see [`Skeleton::capture_checkpoint`]).
+    pub fn capture_checkpoint(&self, iteration: u64) -> neon_set::Checkpoint {
+        self.iter.capture_checkpoint(iteration)
     }
 
     /// Compile statistics: cache hits and compile wall-clock time. A

@@ -194,11 +194,7 @@ impl<G: GridLike> KarmanVortex<G> {
         let mut total = ExecReport::default();
         for _ in 0..n {
             let r = self.skeletons[self.step % 2].run();
-            total.makespan += r.makespan;
-            total.kernel_time += r.kernel_time;
-            total.transfer_time += r.transfer_time;
-            total.host_time += r.host_time;
-            total.executions += 1;
+            total.accumulate(r);
             self.step += 1;
         }
         total
@@ -226,11 +222,20 @@ impl<G: GridLike> KarmanVortex<G> {
 
     /// Reset the cumulative hardware counters of both ping-pong skeletons
     /// (between benchmark warm-up and measurement, or between sweep
-    /// points).
+    /// points). Global — prefer [`KarmanVortex::counters_snapshot`]
+    /// deltas when anything else shares the simulators.
     pub fn reset_counters(&mut self) {
         for s in &mut self.skeletons {
             s.reset_counters();
         }
+    }
+
+    /// Summed cumulative counters of both ping-pong skeletons. Subtract
+    /// two snapshots to meter a window without resetting shared state.
+    pub fn counters_snapshot(&self) -> neon_sys::CounterSnapshot {
+        let mut total = self.skeletons[0].counters_snapshot();
+        total.accumulate(&self.skeletons[1].counters_snapshot());
+        total
     }
 }
 

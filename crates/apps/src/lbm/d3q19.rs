@@ -187,11 +187,7 @@ impl<G: GridLike> LidDrivenCavity<G> {
         let mut total = ExecReport::default();
         for _ in 0..n {
             let r = self.skeletons[self.step % 2].run();
-            total.makespan += r.makespan;
-            total.kernel_time += r.kernel_time;
-            total.transfer_time += r.transfer_time;
-            total.host_time += r.host_time;
-            total.executions += 1;
+            total.accumulate(r);
             self.step += 1;
         }
         total
@@ -200,6 +196,12 @@ impl<G: GridLike> LidDrivenCavity<G> {
     /// The field currently holding the latest populations.
     pub fn current(&self) -> &Field<f64, G> {
         &self.f[self.step % 2]
+    }
+
+    /// Population field of one ping-pong parity (`0` or `1`) — migration
+    /// copies both, since the next step reads the one the last step wrote.
+    pub fn population(&self, parity: usize) -> &Field<f64, G> {
+        &self.f[parity % 2]
     }
 
     /// The solver parameters.
@@ -237,11 +239,53 @@ impl<G: GridLike> LidDrivenCavity<G> {
 
     /// Reset the cumulative hardware counters of both ping-pong skeletons
     /// (between benchmark warm-up and measurement, or between sweep
-    /// points).
+    /// points). Global — prefer [`LidDrivenCavity::counters_snapshot`]
+    /// when other jobs share the process.
     pub fn reset_counters(&mut self) {
         for s in &mut self.skeletons {
             s.reset_counters();
         }
+    }
+
+    /// Snapshot the cumulative utilization counters of both ping-pong
+    /// skeletons, summed; subtract two snapshots to attribute a window of
+    /// steps without a global reset.
+    pub fn counters_snapshot(&self) -> neon_sys::CounterSnapshot {
+        let mut total = self.skeletons[0].counters_snapshot();
+        total.accumulate(&self.skeletons[1].counters_snapshot());
+        total
+    }
+
+    /// Completed time steps (the ping-pong parity: even steps read `f0`,
+    /// odd steps read `f1`).
+    pub fn step_index(&self) -> usize {
+        self.step
+    }
+
+    /// Restore the step counter to `step` — the companion of a state
+    /// rollback or migration: parity decides which population field
+    /// [`LidDrivenCavity::current`] reads and which skeleton runs next, so
+    /// restoring populations without restoring parity would corrupt the
+    /// ping-pong.
+    pub fn set_step_index(&mut self, step: usize) {
+        self.step = step;
+    }
+
+    /// Type-erased state handles of *both* population fields, deduplicated
+    /// — the union of the two ping-pong skeletons' write sets. A checkpoint
+    /// at an iteration boundary must capture both parities: the next step
+    /// reads the field the previous step wrote.
+    pub fn checkpoint_handles(&self) -> Vec<std::sync::Arc<dyn neon_set::StateHandle>> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out: Vec<std::sync::Arc<dyn neon_set::StateHandle>> = Vec::new();
+        for sk in &self.skeletons {
+            for h in sk.state_handles() {
+                if seen.insert(h.state_uid()) {
+                    out.push(h);
+                }
+            }
+        }
+        out
     }
 }
 

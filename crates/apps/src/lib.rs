@@ -30,6 +30,7 @@ pub mod cg;
 pub mod fem;
 pub mod heat;
 pub mod jacobi;
+pub mod job;
 pub mod lbm;
 pub mod poisson;
 pub mod resilient;
@@ -37,5 +38,6 @@ pub mod resilient;
 pub use cg::{CgSolver, CgState, CompileStats};
 pub use heat::HeatSolver;
 pub use jacobi::JacobiSolver;
+pub use job::{JobSpec, LbmJob, PoissonJob, SolverJob};
 pub use poisson::PoissonSolver;
 pub use resilient::{RecoveryReport, ResilientPoisson};

@@ -213,7 +213,14 @@ fn timeline_demo(json: &mut String) {
 }
 
 fn main() {
-    let mut json = String::from("[");
+    // Virtual-clock numbers don't depend on the host, but every results
+    // file records the host anyway so wall-clock-bearing files are never
+    // the odd ones out (and host-sensitive regressions are diagnosable).
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json =
+        format!("{{\"bench\":\"repro_collectives\",\"host_cores\":{host_cores},\"results\":[");
     sweep(
         "DGX-A100 (NVLink all-to-all)",
         &|n| Topology::nvlink_all_to_all(n, 1555.0),
@@ -226,7 +233,7 @@ fn main() {
     );
     contention_demo();
     timeline_demo(&mut json);
-    json.push(']');
+    json.push_str("]}");
 
     let path = "results/repro_collectives.json";
     std::fs::create_dir_all("results").ok();

@@ -99,11 +99,11 @@ fn run_config(fusion: FusionLevel, label: &'static str, dim: usize, iters: usize
 
     // Warm up (compile, fault in partitions), then reset to the same
     // starting state so both configurations integrate the same system.
-    // Cumulative queue counters are zeroed too, so traces reflect only
-    // the measured window.
+    // The measured window is metered with counter-snapshot deltas, not a
+    // global reset — the queue counters are shared, cumulative state.
     solver.solve_iters(3);
     solver.set_rhs(rhs);
-    solver.reset_counters();
+    let before = solver.counters_snapshot();
 
     let mut residual_bits = Vec::with_capacity(iters);
     let mut launches = 0u64;
@@ -117,6 +117,11 @@ fn run_config(fusion: FusionLevel, label: &'static str, dim: usize, iters: usize
         residual_bits.push(solver.cg.state.rs_old.host_value().to_bits());
     }
     let wall = t0.elapsed();
+    // Cross-check the two accounting paths over the same window: the
+    // queue-counter delta must agree with the summed per-call reports.
+    let window = solver.counters_snapshot() - before;
+    assert_eq!(window.kernel_launches, launches, "window delta drifted");
+    assert_eq!(window.kernel_bytes_moved, bytes_moved, "byte delta drifted");
 
     let cells = (dim * dim * dim) as f64;
     let wall_s = wall.as_secs_f64();

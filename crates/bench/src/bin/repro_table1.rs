@@ -31,9 +31,13 @@ fn main() {
         let mut app = KarmanVortex::new(&g, KarmanParams::for_domain(nx, ny), OccLevel::None)
             .expect("fields");
         app.init();
-        // Counters cover only the measured window of this sweep size.
-        app.reset_counters();
-        let t = app.step(ITERS).time_per_execution();
+        // Meter this sweep size with a snapshot delta instead of resetting
+        // the cumulative (shared) queue counters.
+        let before = app.counters_snapshot();
+        let r = app.step(ITERS);
+        let t = r.time_per_execution();
+        let window = app.counters_snapshot() - before;
+        assert_eq!(window.kernel_launches, r.launches, "window delta drifted");
         let cells = (nx * ny) as u64;
         let neon_mlups = mlups(cells, 1, t.as_us());
         let taichi_mlups = taichi.mlups(&device, cells);

@@ -57,10 +57,14 @@ pub fn lbm_cavity_iter_time(backend: &Backend, n: usize, occ: OccLevel, iters: u
         .expect("grid construction");
     let mut app = LidDrivenCavity::new(&g, LbmParams::default(), occ).expect("field allocation");
     app.init();
-    // Cumulative queue counters should cover only the measured window,
-    // not a previous sweep size or the warm-up.
-    app.reset_counters();
+    // Meter only the measured window with snapshot deltas — the queue
+    // counters are cumulative and shared, so a global reset here would
+    // clobber any other user of the same simulators (the serving layer
+    // accounts per-tenant exactly this way).
+    let before = app.counters_snapshot();
     let r = app.step(iters);
+    let window = app.counters_snapshot() - before;
+    debug_assert_eq!(window.kernel_launches, r.launches);
     r.time_per_execution()
 }
 

@@ -477,6 +477,14 @@ impl Executor {
         &self.queue
     }
 
+    /// Snapshot the simulator's cumulative utilization counters
+    /// ([`neon_sys::CounterSnapshot`]). Two snapshots bracketing a window of
+    /// executions subtract to that window's own traffic — the race-free
+    /// alternative to [`Executor::reset_counters`] under multi-tenancy.
+    pub fn counters_snapshot(&self) -> neon_sys::CounterSnapshot {
+        self.queue.counters_snapshot()
+    }
+
     /// Let kernels of different streams run concurrently at full modelled
     /// bandwidth each.
     ///

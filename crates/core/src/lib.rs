@@ -60,11 +60,12 @@ pub use fuse::{fuse_graph, FusePass, FusionLevel};
 pub use graph::{build_dependency_graph, Edge, EdgeKind, Graph, Node, NodeId, NodeKind};
 pub use multigpu::to_multigpu_graph;
 pub use neon_comm::Algorithm as CollectiveAlgorithm;
-pub use neon_sys::{FaultPlan, FaultSite, FaultSiteKind, FaultStats, RetryPolicy};
+pub use neon_sys::{CounterSnapshot, FaultPlan, FaultSite, FaultSiteKind, FaultStats, RetryPolicy};
 pub use occ::{apply_occ, OccLevel};
 pub use pass::{CompileError, CompileLog, Ir, Pass, PassCtx, PassManager, PassTiming};
 pub use plan::{
-    clear_plan_cache, invalidate_backend, plan_cache_stats, CacheStats, CompiledPlan, PlanKey,
+    clear_plan_cache, invalidate_backend, plan_cache_capacity, plan_cache_stats,
+    set_plan_cache_capacity, CacheStats, CompiledPlan, PlanKey, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use schedule::{build_schedule, build_schedule_opts, Schedule, Task};
 pub use skeleton::{ResilienceOptions, ResilientError, ResilientRun, Skeleton, SkeletonOptions};

@@ -244,8 +244,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that compiled fresh.
     pub misses: u64,
+    /// Plans pushed out by the capacity bound (FIFO order). Backend
+    /// invalidations and explicit clears are not counted here.
+    pub evictions: u64,
     /// Plans currently cached.
     pub entries: usize,
+    /// Current capacity bound (see [`set_plan_cache_capacity`]).
+    pub capacity: usize,
 }
 
 struct CacheInner {
@@ -253,9 +258,28 @@ struct CacheInner {
     order: VecDeque<PlanKey>,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    capacity: usize,
 }
 
-const CACHE_CAPACITY: usize = 32;
+impl CacheInner {
+    /// Evict FIFO until the entry count fits `capacity`, counting evictions.
+    fn enforce_capacity(&mut self, headroom: usize) {
+        while self.map.len().saturating_add(headroom) > self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    if self.map.remove(&old).is_some() {
+                        self.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Default plan-cache capacity (plans, not bytes).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 32;
 
 fn cache() -> &'static Mutex<CacheInner> {
     static CACHE: OnceLock<Mutex<CacheInner>> = OnceLock::new();
@@ -265,6 +289,8 @@ fn cache() -> &'static Mutex<CacheInner> {
             order: VecDeque::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
+            capacity: DEFAULT_PLAN_CACHE_CAPACITY,
         })
     })
 }
@@ -275,8 +301,25 @@ pub fn plan_cache_stats() -> CacheStats {
     CacheStats {
         hits: c.hits,
         misses: c.misses,
+        evictions: c.evictions,
         entries: c.map.len(),
+        capacity: c.capacity,
     }
+}
+
+/// Bound the process-wide plan cache to `capacity` plans (clamped to at
+/// least 1). Shrinking below the current entry count evicts FIFO immediately.
+/// A serving deployment sizes this to its working set of distinct
+/// (program structure × backend fingerprint × options) keys.
+pub fn set_plan_cache_capacity(capacity: usize) {
+    let mut c = cache().lock().unwrap();
+    c.capacity = capacity.max(1);
+    c.enforce_capacity(0);
+}
+
+/// Current plan-cache capacity bound.
+pub fn plan_cache_capacity() -> usize {
+    cache().lock().unwrap().capacity
 }
 
 /// Drop every cached plan (counters are kept; tests diff them).
@@ -323,14 +366,7 @@ pub(crate) fn compile(
     let mut c = cache().lock().unwrap();
     c.misses += 1;
     if !c.map.contains_key(&key) {
-        while c.map.len() >= CACHE_CAPACITY {
-            match c.order.pop_front() {
-                Some(old) => {
-                    c.map.remove(&old);
-                }
-                None => break,
-            }
-        }
+        c.enforce_capacity(1);
         c.order.push_back(key);
     }
     c.map.insert(key, Arc::clone(&plan));

@@ -379,9 +379,17 @@ impl Skeleton {
 
     /// Zero the virtual clock's cumulative utilization counters (kernel
     /// launches, bytes, link busy/contention); benchmarks call this
-    /// between sweep configurations.
+    /// between sweep configurations. Prefer [`Skeleton::counters_snapshot`]
+    /// when other jobs may share the process — a reset is global.
     pub fn reset_counters(&mut self) {
         self.executor.reset_counters();
+    }
+
+    /// Snapshot the cumulative utilization counters (see
+    /// [`Executor::counters_snapshot`]); subtract two snapshots to slice out
+    /// one window's traffic without disturbing concurrent jobs.
+    pub fn counters_snapshot(&self) -> neon_sys::CounterSnapshot {
+        self.executor.counters_snapshot()
     }
 
     /// Install a fault plan; retry behavior follows

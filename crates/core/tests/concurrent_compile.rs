@@ -1,0 +1,119 @@
+//! Concurrent compilation against the shared plan cache.
+//!
+//! The serving layer compiles many tenants' programs from many threads
+//! through one process-wide cache. Property: for an arbitrary mix of
+//! identical and distinct programs compiled from N threads at once, the
+//! cache (a) never deadlocks, (b) never double-inserts a key — afterwards it
+//! holds exactly one entry per distinct program — and (c) every thread's
+//! functional result is bit-identical to a serial compile-and-run of the
+//! same program.
+//!
+//! Own test binary: it clears the process-wide cache per case, which would
+//! race the other integration tests' cache-stat diffs.
+
+use proptest::prelude::*;
+
+use neon_core::{clear_plan_cache, plan_cache_stats, OccLevel, Skeleton, SkeletonOptions};
+use neon_domain::{
+    Container, DenseGrid, Dim3, Field, FieldRead as _, FieldWrite as _, GridLike, MemLayout,
+    Stencil, StorageMode,
+};
+use neon_sys::Backend;
+
+/// Compile and run program variant `variant` (a chain of `variant + 1` maps,
+/// each with a variant-specific coefficient) and return the output bits.
+/// Each call builds its own backend, grid and fields, so threads share
+/// nothing but the plan cache.
+fn compile_and_run(variant: usize) -> Vec<u64> {
+    let b = Backend::dgx_a100(2);
+    let st = Stencil::seven_point();
+    let g = DenseGrid::new(&b, Dim3::new(5, 4, 8), &[&st], StorageMode::Real).unwrap();
+    let x = Field::<f64, _>::new(&g, "x", 1, 0.0, MemLayout::SoA).unwrap();
+    let y = Field::<f64, _>::new(&g, "y", 1, 0.0, MemLayout::SoA).unwrap();
+    x.fill(|xx, yy, zz, _| (xx * 7 + yy * 3 + zz) as f64 * 0.25 - 2.0);
+    let coeff = 1.0 + variant as f64 * 0.5;
+    let containers: Vec<Container> = (0..=variant)
+        .map(|stage| {
+            if stage == 0 {
+                let (src, dst) = (x.clone(), y.clone());
+                Container::compute(
+                    &format!("map-v{variant}-s{stage}"),
+                    g.as_space(),
+                    move |ldr| {
+                        let sv = ldr.read(&src);
+                        let dv = ldr.write(&dst);
+                        Box::new(move |c| dv.set(c, 0, coeff * sv.at(c, 0)))
+                    },
+                )
+            } else {
+                let yc = y.clone();
+                Container::compute(
+                    &format!("map-v{variant}-s{stage}"),
+                    g.as_space(),
+                    move |ldr| {
+                        let yv = ldr.read_write(&yc);
+                        Box::new(move |c| yv.set(c, 0, coeff * yv.at(c, 0) + stage as f64))
+                    },
+                )
+            }
+        })
+        .collect();
+    let mut sk = Skeleton::try_sequence(
+        &b,
+        &format!("concurrent-v{variant}"),
+        containers,
+        SkeletonOptions::with_occ(OccLevel::Standard),
+    )
+    .expect("compile must succeed");
+    sk.run();
+    let mut bits = Vec::new();
+    y.for_each(|_, _, _, _, v| bits.push(v.to_bits()));
+    bits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn threaded_compiles_match_serial_and_insert_once(
+        assignments in prop::collection::vec(0usize..3, 6..11),
+    ) {
+        // Serial references, one per distinct variant.
+        let mut distinct: Vec<usize> = assignments.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let references: Vec<(usize, Vec<u64>)> = distinct
+            .iter()
+            .map(|&v| (v, compile_and_run(v)))
+            .collect();
+
+        // Cold cache, then all threads compile at once — a mix of identical
+        // keys (racing to insert the same entry) and distinct ones.
+        clear_plan_cache();
+        let before = plan_cache_stats();
+        let results: Vec<(usize, Vec<u64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|&v| scope.spawn(move || (v, compile_and_run(v))))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        let after = plan_cache_stats();
+
+        // (b) exactly one cache entry per distinct program — racing threads
+        // that both miss must not leave duplicate entries behind.
+        prop_assert_eq!(after.entries, distinct.len(), "one entry per program");
+        prop_assert_eq!(
+            (after.hits - before.hits) + (after.misses - before.misses),
+            assignments.len() as u64,
+            "every thread's compile was either a hit or a miss"
+        );
+        prop_assert!(after.misses - before.misses >= distinct.len() as u64);
+
+        // (c) bit-identical to the serial run, hit or miss.
+        for (v, bits) in &results {
+            let reference = &references.iter().find(|(rv, _)| rv == v).unwrap().1;
+            prop_assert_eq!(bits, reference, "variant {} diverges under concurrency", v);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Plan-cache observability and bounding: the capacity knob, the
+//! hit/miss/eviction counters, and cross-tenant schedule sharing.
+//!
+//! These tests reconfigure the *process-wide* cache capacity, so they live in
+//! their own integration-test binary (own process) rather than alongside the
+//! in-crate unit tests, which share the cache and would race a shrunken
+//! capacity.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use neon_core::{
+    clear_plan_cache, plan_cache_capacity, plan_cache_stats, set_plan_cache_capacity, OccLevel,
+    Skeleton, SkeletonOptions, DEFAULT_PLAN_CACHE_CAPACITY,
+};
+use neon_domain::{
+    Container, DenseGrid, Dim3, Field, FieldRead as _, FieldWrite as _, GridLike, MemLayout,
+    Stencil, StorageMode,
+};
+use neon_sys::Backend;
+
+/// Both tests mutate the process-wide cache configuration; serialize them so
+/// the harness's default parallel test threads cannot interleave.
+fn cache_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A one-container program whose structure is parameterized by `tag` (the
+/// container name participates in the sequence signature, so distinct tags
+/// are distinct cache keys).
+fn program(backend: &Backend, dim: Dim3, tag: &str) -> Vec<Container> {
+    let st = Stencil::seven_point();
+    let g = DenseGrid::new(backend, dim, &[&st], StorageMode::Real).unwrap();
+    let x = Field::<f64, _>::new(&g, "x", 1, 0.0, MemLayout::SoA).unwrap();
+    let y = Field::<f64, _>::new(&g, "y", 1, 0.0, MemLayout::SoA).unwrap();
+    x.fill(|xx, yy, zz, _| (xx + 2 * yy + 3 * zz) as f64);
+    let (xc, yc) = (x.clone(), y.clone());
+    vec![Container::compute(tag, g.as_space(), move |ldr| {
+        let xv = ldr.read(&xc);
+        let yv = ldr.write(&yc);
+        Box::new(move |c| yv.set(c, 0, 2.0 * xv.at(c, 0) + 1.0))
+    })]
+}
+
+fn skeleton(backend: &Backend, dim: Dim3, tag: &str) -> Skeleton {
+    Skeleton::sequence(
+        backend,
+        tag,
+        program(backend, dim, tag),
+        SkeletonOptions::with_occ(OccLevel::None),
+    )
+}
+
+#[test]
+fn capacity_bound_is_configurable_and_evictions_are_counted() {
+    let _guard = cache_lock();
+    let b = Backend::dgx_a100(2);
+    let dim = Dim3::new(4, 4, 4);
+    assert_eq!(plan_cache_capacity(), DEFAULT_PLAN_CACHE_CAPACITY);
+
+    clear_plan_cache();
+    set_plan_cache_capacity(2);
+    assert_eq!(plan_cache_capacity(), 2);
+
+    let before = plan_cache_stats();
+    // Three distinct programs against a capacity of 2: the first is evicted
+    // (FIFO) by the third.
+    skeleton(&b, dim, "prog-a");
+    skeleton(&b, dim, "prog-b");
+    skeleton(&b, dim, "prog-c");
+    let after = plan_cache_stats();
+    assert_eq!(after.entries, 2, "entry count respects the bound");
+    assert_eq!(after.misses - before.misses, 3);
+    assert_eq!(
+        after.evictions - before.evictions,
+        1,
+        "FIFO eviction counted"
+    );
+
+    // The evicted program ("prog-a") recompiles: a miss and another eviction.
+    skeleton(&b, dim, "prog-a");
+    let again = plan_cache_stats();
+    assert_eq!(again.misses - after.misses, 1);
+    assert_eq!(again.evictions - after.evictions, 1);
+    // The survivor ("prog-c") still hits.
+    skeleton(&b, dim, "prog-c");
+    let hit = plan_cache_stats();
+    assert_eq!(hit.hits - again.hits, 1);
+
+    // Shrinking below the live entry count evicts immediately.
+    set_plan_cache_capacity(1);
+    let shrunk = plan_cache_stats();
+    assert_eq!(shrunk.entries, 1);
+    assert_eq!(shrunk.evictions - hit.evictions, 1);
+
+    // Capacity is clamped to at least one plan.
+    set_plan_cache_capacity(0);
+    assert_eq!(plan_cache_capacity(), 1);
+
+    set_plan_cache_capacity(DEFAULT_PLAN_CACHE_CAPACITY);
+    clear_plan_cache();
+}
+
+#[test]
+fn cross_tenant_compiles_share_one_schedule() {
+    let _guard = cache_lock();
+    // Two "tenants" build the same program structure on plan-compatible
+    // backends (equal-size subsets of one fleet). The second compile must be
+    // a cache hit whose rebound plan shares the schedule allocation —
+    // Arc::ptr_eq, not just equality.
+    let fleet = Backend::dgx_a100(4);
+    let sub_a = fleet
+        .with_devices(&[neon_sys::DeviceId(0), neon_sys::DeviceId(1)])
+        .unwrap();
+    let sub_b = fleet
+        .with_devices(&[neon_sys::DeviceId(2), neon_sys::DeviceId(3)])
+        .unwrap();
+    let dim = Dim3::new(6, 5, 8);
+
+    let before = plan_cache_stats();
+    let tenant_a = skeleton(&sub_a, dim, "shared-prog");
+    let tenant_b = skeleton(&sub_b, dim, "shared-prog");
+    let after = plan_cache_stats();
+
+    assert!(after.hits > before.hits, "second tenant hits the cache");
+    assert!(
+        Arc::ptr_eq(
+            tenant_a.plan().schedule_arc(),
+            tenant_b.plan().schedule_arc()
+        ),
+        "tenants share one schedule allocation across the plan cache"
+    );
+}

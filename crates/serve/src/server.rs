@@ -1,0 +1,592 @@
+//! The serving event loop: admission, scheduling, space sharing, device
+//! loss, accounting.
+//!
+//! The server is a discrete-event simulation on the same virtual clock the
+//! executors use. Quanta are *computed* eagerly (a dispatched quantum runs
+//! its iterations functionally and returns its virtual makespan) and then
+//! *placed* on the fleet timeline: the job's pinned devices are busy from
+//! the dispatch time until `dispatch + makespan`. Jobs pinned to disjoint
+//! subsets therefore overlap in virtual time — space sharing — while jobs
+//! whose subsets intersect serialize on the shared devices.
+//!
+//! Preemption happens only between [`neon_apps::SolverJob::advance`] calls
+//! (iteration boundaries), so no kernel state is ever interrupted and a
+//! job's results are bit-identical to a solo run of the same spec on a
+//! same-size backend.
+//!
+//! A scheduled [`DeviceLoss`] marks a fleet device dead at its virtual
+//! time: in-flight quanta whose subset contains the device are aborted and
+//! rolled back to the checkpoint captured at their quantum start, and every
+//! live job pinned to the device is re-planned — survivors keep their
+//! subset slots, a spare alive device replaces the dead one when the fleet
+//! still has enough devices, otherwise the subset shrinks — and migrated
+//! through logical coordinates. Plans compiled for equal-size subsets stay
+//! valid (the fingerprint hashes device *models*, not identities), so
+//! re-planning is usually a plan-cache hit.
+
+use std::time::Instant;
+
+use neon_apps::{JobSpec, SolverJob};
+use neon_core::{OccLevel, SkeletonOptions};
+use neon_set::Checkpoint;
+use neon_sys::{Backend, CounterSnapshot, DeviceId, Result, SimTime};
+
+use crate::types::{
+    DeviceLoss, EvictionEvent, JobOutcome, JobRequest, SchedPolicy, ServeConfig, ServeReport,
+    TenantAccount, TenantSpec,
+};
+
+/// Comparison slack for event times (sums of f64 microseconds).
+const EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Not yet arrived.
+    Pending,
+    /// Admitted, at an iteration boundary, not running.
+    Waiting,
+    /// A quantum is in flight.
+    Running,
+    /// All iterations committed.
+    Done,
+    /// Rejected by admission control.
+    Shed,
+}
+
+/// Per-request server-side state.
+struct JobState {
+    req: JobRequest,
+    /// Admission sequence number (FIFO order, WFQ tie-break).
+    seq: usize,
+    job: Option<Box<dyn SolverJob>>,
+    /// Fleet device indices the job is pinned to (sorted; set at first
+    /// dispatch, re-carved on device loss).
+    pinned: Option<Vec<usize>>,
+    phase: Phase,
+    /// When the job last became ready (arrival or last quantum end).
+    ready_since: f64,
+    start_us: Option<f64>,
+    finish_us: Option<f64>,
+    queue_wait_us: f64,
+    first_ndev: Option<usize>,
+    evictions: Vec<EvictionEvent>,
+}
+
+/// One in-flight quantum.
+struct Active {
+    widx: usize,
+    devices: Vec<usize>,
+    start: f64,
+    end: f64,
+    iters_delta: u64,
+    counters_before: CounterSnapshot,
+    /// Captured at quantum start iff a device loss is armed for one of the
+    /// quantum's devices; the abort path restores it.
+    cp: Option<Checkpoint>,
+}
+
+/// A multi-tenant solver-job server over one device fleet.
+pub struct Server {
+    fleet: Backend,
+    tenants: Vec<TenantSpec>,
+    cfg: ServeConfig,
+    job_options: SkeletonOptions,
+}
+
+impl Server {
+    /// Create a server over `fleet` for `tenants`.
+    pub fn new(fleet: &Backend, tenants: Vec<TenantSpec>, cfg: ServeConfig) -> Self {
+        assert!(!tenants.is_empty(), "server needs at least one tenant");
+        Server {
+            fleet: fleet.clone(),
+            tenants,
+            cfg,
+            job_options: SkeletonOptions::with_occ(OccLevel::Standard),
+        }
+    }
+
+    /// Override the skeleton options jobs are compiled with.
+    pub fn with_job_options(mut self, options: SkeletonOptions) -> Self {
+        self.job_options = options;
+        self
+    }
+
+    /// The fleet this server schedules onto.
+    pub fn fleet(&self) -> &Backend {
+        &self.fleet
+    }
+
+    /// Serve `requests` to completion (or shedding) and report.
+    ///
+    /// The whole stream is simulated in one call: arrivals are admitted at
+    /// their virtual arrival times, quanta are scheduled by the configured
+    /// policy, and the report carries per-request outcomes plus per-tenant
+    /// accounting.
+    pub fn run(&mut self, requests: Vec<JobRequest>) -> ServeReport {
+        for r in &requests {
+            assert!(r.tenant < self.tenants.len(), "request for unknown tenant");
+            assert!(r.ndev >= 1, "request needs at least one device");
+        }
+        let run_start = Instant::now();
+        let cache_before = neon_core::plan_cache_stats();
+        let fleet_n = self.fleet.num_devices();
+
+        // Arrival order (stable on submission index).
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by(|&a, &b| {
+            requests[a]
+                .arrival_us
+                .partial_cmp(&requests[b].arrival_us)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+
+        let mut jobs: Vec<JobState> = requests
+            .iter()
+            .map(|r| JobState {
+                req: *r,
+                seq: usize::MAX,
+                job: None,
+                pinned: None,
+                phase: Phase::Pending,
+                ready_since: r.arrival_us,
+                start_us: None,
+                finish_us: None,
+                queue_wait_us: 0.0,
+                first_ndev: None,
+                evictions: Vec::new(),
+            })
+            .collect();
+
+        let mut accounts: Vec<TenantAccount> =
+            self.tenants.iter().map(TenantAccount::new).collect();
+        let mut vtime: Vec<f64> = vec![0.0; self.tenants.len()];
+        let mut live_jobs: Vec<usize> = vec![0; self.tenants.len()];
+
+        let mut free_at: Vec<f64> = vec![0.0; fleet_n];
+        let mut dead: Vec<bool> = vec![false; fleet_n];
+        let mut waiting: Vec<usize> = Vec::new();
+        let mut active: Vec<Active> = Vec::new();
+        let mut clock: f64 = 0.0;
+        let mut next_arrival = 0usize;
+        let mut next_seq = 0usize;
+        let mut shed = 0u64;
+        let mut device_losses = 0u64;
+        let mut loss_pending = self.cfg.device_loss;
+        let mut sched_wall = std::time::Duration::ZERO;
+        let mut makespan: f64 = 0.0;
+
+        loop {
+            // 1. Admit arrivals due at or before the clock.
+            while next_arrival < order.len()
+                && requests[order[next_arrival]].arrival_us <= clock + EPS
+            {
+                let widx = order[next_arrival];
+                next_arrival += 1;
+                let tenant = jobs[widx].req.tenant;
+                let tenant_waiting = waiting
+                    .iter()
+                    .filter(|&&w| jobs[w].req.tenant == tenant)
+                    .count();
+                if tenant_waiting >= self.cfg.queue_capacity {
+                    jobs[widx].phase = Phase::Shed;
+                    accounts[tenant].jobs_shed += 1;
+                    shed += 1;
+                    continue;
+                }
+                jobs[widx].phase = Phase::Waiting;
+                jobs[widx].seq = next_seq;
+                next_seq += 1;
+                jobs[widx].ready_since = jobs[widx].req.arrival_us.max(clock);
+                // WFQ floor: a tenant returning from idle must not replay
+                // the virtual time it sat out (no service banking).
+                if live_jobs[tenant] == 0 {
+                    let floor = vtime
+                        .iter()
+                        .enumerate()
+                        .filter(|(u, _)| live_jobs[*u] > 0)
+                        .map(|(_, v)| *v)
+                        .fold(f64::INFINITY, f64::min);
+                    if floor.is_finite() {
+                        vtime[tenant] = vtime[tenant].max(floor);
+                    }
+                }
+                live_jobs[tenant] += 1;
+                waiting.push(widx);
+            }
+
+            // 2. Fire a due device loss (after completions at strictly
+            //    earlier times were handled in previous rounds; quanta
+            //    ending exactly at the loss time commit below first only
+            //    if they were already due — a tie goes to the loss, which
+            //    is the conservative choice: the quantum aborts).
+            if let Some(loss) = loss_pending {
+                if loss.at_us <= clock + EPS {
+                    loss_pending = None;
+                    self.process_loss(
+                        loss,
+                        clock.min(loss.at_us.max(0.0)),
+                        &mut jobs,
+                        &mut accounts,
+                        &mut active,
+                        &mut waiting,
+                        &mut free_at,
+                        &mut dead,
+                    );
+                    device_losses += 1;
+                }
+            }
+
+            // 3. Commit quanta that ended by now.
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].end <= clock + EPS {
+                    let a = active.swap_remove(i);
+                    makespan = makespan.max(a.end);
+                    let js = &mut jobs[a.widx];
+                    let tenant = js.req.tenant;
+                    let job = js.job.as_ref().expect("active job is built");
+                    let delta = job.counters() - a.counters_before;
+                    let device_us = (a.end - a.start) * a.devices.len() as f64;
+                    accounts[tenant].commit(&delta, a.iters_delta, device_us);
+                    vtime[tenant] += device_us / self.tenants[tenant].weight;
+                    if job.is_done() {
+                        js.phase = Phase::Done;
+                        js.finish_us = Some(a.end);
+                        accounts[tenant].jobs_completed += 1;
+                        live_jobs[tenant] -= 1;
+                    } else {
+                        js.phase = Phase::Waiting;
+                        js.ready_since = a.end;
+                        waiting.push(a.widx);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+
+            // 4. Dispatch while something is both ready and placeable.
+            while self.try_dispatch_one(
+                clock,
+                &mut jobs,
+                &mut accounts,
+                &mut waiting,
+                &mut active,
+                &mut free_at,
+                &dead,
+                &vtime,
+                loss_pending,
+                &mut sched_wall,
+            ) {}
+
+            // 5. Done?
+            if next_arrival >= order.len() && waiting.is_empty() && active.is_empty() {
+                break;
+            }
+
+            // 6. Advance the clock to the next event.
+            let mut t = f64::INFINITY;
+            if next_arrival < order.len() {
+                t = t.min(requests[order[next_arrival]].arrival_us);
+            }
+            if let Some(loss) = loss_pending {
+                t = t.min(loss.at_us);
+            }
+            for a in &active {
+                t = t.min(a.end);
+            }
+            if !t.is_finite() {
+                // Waiting jobs that can never run (e.g. the whole fleet
+                // died). Leave them incomplete rather than spinning.
+                break;
+            }
+            clock = t.max(clock);
+        }
+
+        let cache_after = neon_core::plan_cache_stats();
+        let outcomes: Vec<JobOutcome> = jobs
+            .iter()
+            .map(|js| JobOutcome {
+                tenant: js.req.tenant,
+                spec: js.req.spec,
+                ndev: js.req.ndev,
+                admitted: js.phase != Phase::Shed && js.phase != Phase::Pending,
+                completed: js.phase == Phase::Done,
+                result_bits: match (js.phase, &js.job) {
+                    (Phase::Done, Some(job)) => Some(job.result_bits()),
+                    _ => None,
+                },
+                arrival_us: js.req.arrival_us,
+                start_us: js.start_us,
+                finish_us: js.finish_us,
+                iterations: js.job.as_ref().map_or(0, |j| j.completed()),
+                first_ndev: js.first_ndev,
+                evictions: js.evictions.clone(),
+            })
+            .collect();
+        for js in &jobs {
+            accounts[js.req.tenant].queue_wait_us += js.queue_wait_us;
+        }
+
+        ServeReport {
+            outcomes,
+            tenants: accounts,
+            makespan: SimTime::from_us(makespan),
+            shed,
+            device_losses,
+            sched_wall_us: sched_wall.as_secs_f64() * 1e6,
+            total_wall_us: run_start.elapsed().as_secs_f64() * 1e6,
+            cache_hits: cache_after.hits - cache_before.hits,
+            cache_misses: cache_after.misses - cache_before.misses,
+        }
+    }
+
+    /// Pick and dispatch at most one quantum at `clock`. Returns whether a
+    /// dispatch happened.
+    #[allow(clippy::too_many_arguments)]
+    fn try_dispatch_one(
+        &self,
+        clock: f64,
+        jobs: &mut [JobState],
+        accounts: &mut [TenantAccount],
+        waiting: &mut Vec<usize>,
+        active: &mut Vec<Active>,
+        free_at: &mut [f64],
+        dead: &[bool],
+        vtime: &[f64],
+        loss_pending: Option<DeviceLoss>,
+        sched_wall: &mut std::time::Duration,
+    ) -> bool {
+        let sched_start = Instant::now();
+        let alive: Vec<usize> = (0..free_at.len()).filter(|&d| !dead[d]).collect();
+        let free_now =
+            |d: usize, free_at: &[f64]| -> bool { !dead[d] && free_at[d] <= clock + EPS };
+
+        let placeable = |js: &JobState, free_at: &[f64]| -> bool {
+            match &js.pinned {
+                Some(p) => p.iter().all(|&d| free_now(d, free_at)),
+                None => {
+                    let want = js.req.ndev.min(alive.len());
+                    want >= 1 && alive.iter().filter(|&&d| free_now(d, free_at)).count() >= want
+                }
+            }
+        };
+
+        let pick: Option<usize> = match self.cfg.policy {
+            SchedPolicy::FifoExclusive => {
+                // One job at a time, strict arrival order: the head of the
+                // queue runs to completion before anything else starts.
+                if active.is_empty() && !alive.is_empty() {
+                    waiting
+                        .iter()
+                        .copied()
+                        .min_by_key(|&w| jobs[w].seq)
+                        .filter(|&w| placeable(&jobs[w], free_at))
+                } else {
+                    None
+                }
+            }
+            SchedPolicy::WeightedFair => waiting
+                .iter()
+                .copied()
+                .filter(|&w| placeable(&jobs[w], free_at))
+                .min_by(|&a, &b| {
+                    let ka = (vtime[jobs[a].req.tenant], jobs[a].seq);
+                    let kb = (vtime[jobs[b].req.tenant], jobs[b].seq);
+                    ka.partial_cmp(&kb).unwrap()
+                }),
+        };
+        *sched_wall += sched_start.elapsed();
+        let Some(widx) = pick else {
+            return false;
+        };
+
+        // Pin a subset at first dispatch: the lowest-indexed alive free
+        // devices (jobs keep their subset for data affinity; overlapping
+        // pins time-share, disjoint pins space-share).
+        let sched_start = Instant::now();
+        if jobs[widx].pinned.is_none() {
+            let want = jobs[widx].req.ndev.min(alive.len());
+            let mut choice: Vec<usize> = alive
+                .iter()
+                .copied()
+                .filter(|&d| free_now(d, free_at))
+                .collect();
+            choice.truncate(want);
+            choice.sort_unstable();
+            jobs[widx].pinned = Some(choice);
+        }
+        let devices = jobs[widx].pinned.clone().expect("pinned above");
+        *sched_wall += sched_start.elapsed();
+
+        // Build the solver on the subset backend (first dispatch only);
+        // compiles go through the shared plan cache.
+        if jobs[widx].job.is_none() {
+            let subset: Vec<DeviceId> = devices.iter().map(|&d| DeviceId(d)).collect();
+            let backend = self
+                .fleet
+                .with_devices(&subset)
+                .expect("pinned subset is valid");
+            let job = jobs[widx]
+                .req
+                .spec
+                .build(&backend, self.job_options)
+                .expect("job construction on subset backend");
+            jobs[widx].first_ndev = Some(job.num_devices());
+            jobs[widx].job = Some(job);
+            jobs[widx].start_us = Some(clock);
+        }
+
+        let span = match self.cfg.policy {
+            SchedPolicy::FifoExclusive => u64::MAX,
+            SchedPolicy::WeightedFair => self.cfg.quantum_iters.max(1),
+        };
+        let js = &mut jobs[widx];
+        let job = js.job.as_mut().expect("built above");
+        // Checkpoint iff an armed loss targets one of this quantum's
+        // devices — the abort path rolls back to the quantum start.
+        let cp = match loss_pending {
+            Some(loss) if devices.contains(&loss.device) => Some(job.capture()),
+            _ => None,
+        };
+        let counters_before = job.counters();
+        let iters_before = job.completed();
+        let report = job.advance(span);
+        let iters_delta = job.completed() - iters_before;
+        debug_assert!(iters_delta > 0, "a quantum must commit progress");
+        let end = clock + report.makespan.as_us().max(1e-6);
+
+        js.queue_wait_us += clock - js.ready_since;
+        js.phase = Phase::Running;
+        let _ = accounts; // accounting happens at commit time
+        waiting.retain(|&w| w != widx);
+        for &d in &devices {
+            free_at[d] = end;
+        }
+        active.push(Active {
+            widx,
+            devices,
+            start: clock,
+            end,
+            iters_delta,
+            counters_before,
+            cp,
+        });
+        true
+    }
+
+    /// Mark a fleet device dead, abort in-flight quanta that used it, and
+    /// re-plan + migrate every live job pinned to it.
+    #[allow(clippy::too_many_arguments)]
+    fn process_loss(
+        &self,
+        loss: DeviceLoss,
+        at: f64,
+        jobs: &mut [JobState],
+        accounts: &mut [TenantAccount],
+        active: &mut Vec<Active>,
+        waiting: &mut Vec<usize>,
+        free_at: &mut [f64],
+        dead: &mut [bool],
+    ) {
+        let d0 = loss.device;
+        if d0 >= dead.len() || dead[d0] {
+            return;
+        }
+        dead[d0] = true;
+
+        // Abort in-flight quanta whose subset contains the dead device:
+        // roll back to the quantum-start checkpoint, free the surviving
+        // devices at the loss time, charge the wasted device-time.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].devices.contains(&d0) {
+                let a = active.swap_remove(i);
+                let js = &mut jobs[a.widx];
+                let cp = a.cp.expect("loss was armed, checkpoint captured");
+                js.job.as_mut().expect("active job is built").restore(&cp);
+                accounts[js.req.tenant].wasted_device_us +=
+                    (at - a.start).max(0.0) * a.devices.len() as f64;
+                for &d in &a.devices {
+                    if d != d0 {
+                        free_at[d] = at;
+                    }
+                }
+                js.phase = Phase::Waiting;
+                js.ready_since = at;
+                waiting.push(a.widx);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Re-plan every live job pinned to the dead device: keep the
+        // surviving slots, top up with the least-loaded alive spares (same
+        // size if the fleet still has enough devices, else shrink), and
+        // migrate state through logical coordinates. Equal-size subsets
+        // share a backend fingerprint, so the rebuild is normally a
+        // plan-cache hit, not a fresh compile.
+        let alive_count = dead.iter().filter(|&&x| !x).count();
+        for js in jobs.iter_mut() {
+            if js.phase != Phase::Waiting {
+                continue;
+            }
+            let Some(pinned) = &js.pinned else { continue };
+            if !pinned.contains(&d0) {
+                continue;
+            }
+            let from_ndev = pinned.len();
+            let survivors: Vec<usize> = pinned.iter().copied().filter(|&d| d != d0).collect();
+            let size = from_ndev.min(alive_count).max(1);
+            let mut spares: Vec<usize> = (0..dead.len())
+                .filter(|&d| !dead[d] && !survivors.contains(&d))
+                .collect();
+            spares.sort_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).unwrap().then(a.cmp(&b)));
+            let mut new_pinned = survivors;
+            new_pinned.extend(spares.into_iter().take(size - new_pinned.len().min(size)));
+            new_pinned.sort_unstable();
+            new_pinned.truncate(size);
+
+            let subset: Vec<DeviceId> = new_pinned.iter().map(|&d| DeviceId(d)).collect();
+            let backend = self
+                .fleet
+                .with_devices(&subset)
+                .expect("replacement subset is valid");
+            let job = js.job.as_mut().expect("pinned implies built");
+            job.migrate_to(&backend).expect("migration onto survivors");
+            js.evictions.push(EvictionEvent {
+                at_iteration: job.completed(),
+                from_ndev,
+                to_ndev: new_pinned.len(),
+            });
+            js.pinned = Some(new_pinned);
+        }
+    }
+}
+
+/// Replay one job solo — same spec, a subset of `ndev` devices, the same
+/// forced-migration history — and return its result fingerprint. This is
+/// the bit-identity oracle: a multiplexed job's `result_bits` must equal
+/// its solo replay's, preemption or not, device loss or not.
+pub fn solo_run_bits(
+    fleet: &Backend,
+    spec: JobSpec,
+    ndev: usize,
+    options: SkeletonOptions,
+    evictions: &[EvictionEvent],
+) -> Result<u64> {
+    let n = ndev.clamp(1, fleet.num_devices());
+    let subset: Vec<DeviceId> = (0..n).map(DeviceId).collect();
+    let backend = fleet.with_devices(&subset)?;
+    let mut job = spec.build(&backend, options)?;
+    for ev in evictions {
+        debug_assert!(ev.at_iteration >= job.completed());
+        job.advance(ev.at_iteration - job.completed());
+        let sub: Vec<DeviceId> = (0..ev.to_ndev.clamp(1, fleet.num_devices()))
+            .map(DeviceId)
+            .collect();
+        job.migrate_to(&fleet.with_devices(&sub)?)?;
+    }
+    job.advance(job.total().saturating_sub(job.completed()));
+    Ok(job.result_bits())
+}

@@ -152,18 +152,40 @@ impl Backend {
                 what: "cannot evict the only device of a backend".to_string(),
             });
         }
-        let devices = self
-            .inner
-            .devices
+        let keep: Vec<DeviceId> = self.device_ids().filter(|d| *d != dead).collect();
+        self.with_devices(&keep)
+    }
+
+    /// The sub-backend induced by the device subset `keep` (space sharing):
+    /// device `keep[i]` of `self` becomes device `i` of the result, with its
+    /// model, the induced sub-topology and a *fresh* memory ledger. `keep`
+    /// must be non-empty, sorted, duplicate-free and in range.
+    ///
+    /// On a homogeneous fleet every equal-size subset produces the same
+    /// [`Backend::fingerprint`], so tenants running on disjoint subsets of
+    /// one fleet still share compiled plans through the plan cache.
+    pub fn with_devices(&self, keep: &[DeviceId]) -> Result<Self> {
+        if keep.is_empty() {
+            return Err(NeonSysError::InvalidConfig {
+                what: "device subset must be non-empty".to_string(),
+            });
+        }
+        for w in keep.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(NeonSysError::InvalidConfig {
+                    what: format!("device subset must be sorted and unique, got {keep:?}"),
+                });
+            }
+        }
+        self.check_device(keep[keep.len() - 1])?;
+        let devices = keep
             .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != dead.0)
-            .map(|(_, d)| d.clone())
+            .map(|d| self.inner.devices[d.0].clone())
             .collect();
         Backend::new(
             self.inner.kind,
             devices,
-            self.inner.topology.without_device(dead),
+            self.inner.topology.with_devices(keep),
         )
     }
 
@@ -337,6 +359,43 @@ mod tests {
         assert_eq!(
             evicted.topology().link(DeviceId(0), DeviceId(1)).kind,
             LinkKind::PciE3
+        );
+    }
+
+    #[test]
+    fn with_devices_equal_size_subsets_share_fingerprint() {
+        let fleet = Backend::dgx_a100(4);
+        let a = fleet.with_devices(&[DeviceId(0), DeviceId(1)]).unwrap();
+        let b = fleet.with_devices(&[DeviceId(2), DeviceId(3)]).unwrap();
+        assert_eq!(a.num_devices(), 2);
+        // Homogeneous fleet: any equal-size subset is plan-compatible.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), Backend::dgx_a100(2).fingerprint());
+        assert_ne!(a.fingerprint(), fleet.fingerprint());
+        // Subsets get fresh ledgers, not the fleet's.
+        assert_eq!(a.ledger(DeviceId(0)).capacity(), 40 << 30);
+    }
+
+    #[test]
+    fn with_devices_rejects_bad_subsets() {
+        let fleet = Backend::dgx_a100(4);
+        assert!(fleet.with_devices(&[]).is_err());
+        assert!(fleet.with_devices(&[DeviceId(1), DeviceId(1)]).is_err());
+        assert!(fleet.with_devices(&[DeviceId(2), DeviceId(1)]).is_err());
+        assert!(fleet.with_devices(&[DeviceId(0), DeviceId(4)]).is_err());
+    }
+
+    #[test]
+    fn with_devices_preserves_links_of_kept_devices() {
+        let fleet = Backend::gv100_pcie(4);
+        let sub = fleet.with_devices(&[DeviceId(1), DeviceId(3)]).unwrap();
+        assert_eq!(
+            sub.topology().link(DeviceId(0), DeviceId(1)).kind,
+            LinkKind::PciE3
+        );
+        assert_eq!(
+            sub.topology().host_link().kind,
+            fleet.topology().host_link().kind
         );
     }
 

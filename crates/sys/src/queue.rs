@@ -42,6 +42,56 @@ impl StreamId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(pub usize);
 
+/// A point-in-time snapshot of a [`QueueSim`]'s cumulative utilization
+/// counters. Subtracting two snapshots (`after - before`) yields the traffic
+/// of exactly the window between them, which is how concurrent tenants slice
+/// their own usage out of shared counters without a global
+/// [`QueueSim::reset_counters`] (which would race under multi-tenancy).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CounterSnapshot {
+    /// Kernel launches recorded so far.
+    pub kernel_launches: u64,
+    /// Bytes swept by recorded kernel launches.
+    pub kernel_bytes_moved: u64,
+    /// Total busy time summed over every link resource.
+    pub link_busy: SimTime,
+    /// Contention events summed over every link resource.
+    pub link_contended: u64,
+}
+
+impl CounterSnapshot {
+    /// Accumulate another snapshot/delta into this one (used when a job's
+    /// traffic spans several executors, e.g. across a device-loss migration).
+    pub fn accumulate(&mut self, other: &CounterSnapshot) {
+        self.kernel_launches += other.kernel_launches;
+        self.kernel_bytes_moved += other.kernel_bytes_moved;
+        self.link_busy += other.link_busy;
+        self.link_contended += other.link_contended;
+    }
+}
+
+impl std::ops::Sub for CounterSnapshot {
+    type Output = CounterSnapshot;
+
+    /// Delta between two snapshots. Saturates rather than panics so a delta
+    /// taken across a [`QueueSim::reset_counters`] degrades to zero instead
+    /// of poisoning accounting.
+    fn sub(self, before: CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            kernel_launches: self.kernel_launches.saturating_sub(before.kernel_launches),
+            kernel_bytes_moved: self
+                .kernel_bytes_moved
+                .saturating_sub(before.kernel_bytes_moved),
+            link_busy: if self.link_busy.as_us() >= before.link_busy.as_us() {
+                self.link_busy - before.link_busy
+            } else {
+                SimTime::ZERO
+            },
+            link_contended: self.link_contended.saturating_sub(before.link_contended),
+        }
+    }
+}
+
 /// Occupancy bookkeeping for one physical link resource.
 #[derive(Debug, Clone, Copy, Default)]
 struct LinkState {
@@ -383,14 +433,32 @@ impl QueueSim {
     /// Zero the cumulative utilization counters (kernel launches, bytes
     /// moved, per-link busy totals and contention counts) without touching
     /// clocks, events or the trace. [`QueueSim::reset`] deliberately keeps
-    /// these counters so multi-execution reports accumulate; benchmarks that
-    /// sweep problem sizes call this between sizes instead.
+    /// these counters so multi-execution reports accumulate.
+    ///
+    /// This is a *global* reset: under multi-tenancy (several jobs sharing
+    /// one process, as in `neon-serve`) it erases everyone's counters, not
+    /// just the caller's. Prefer [`QueueSim::counters_snapshot`] and delta
+    /// subtraction, which compose; this method is kept for single-owner
+    /// callers and tests.
     pub fn reset_counters(&mut self) {
         self.kernel_launches = 0;
         self.kernel_bytes_moved = 0;
         for l in &mut self.links {
             l.busy_total = SimTime::ZERO;
             l.contended = 0;
+        }
+    }
+
+    /// Snapshot the cumulative utilization counters. Take one snapshot
+    /// before a measured (or tenant-attributed) window and one after;
+    /// `after - before` is the window's own traffic, untouched by whatever
+    /// other jobs did to the same counters in between their own windows.
+    pub fn counters_snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            kernel_launches: self.kernel_launches,
+            kernel_bytes_moved: self.kernel_bytes_moved,
+            link_busy: self.links.iter().map(|l| l.busy_total).sum(),
+            link_contended: self.links.iter().map(|l| l.contended).sum(),
         }
     }
 
@@ -721,6 +789,37 @@ mod tests {
         assert_eq!(q.link_contention_events(0), 0);
         // Clocks are untouched: the streams are still busy.
         assert!(q.makespan().as_us() > 0.0);
+    }
+
+    #[test]
+    fn counter_snapshots_slice_windows_without_reset() {
+        let mut q = QueueSim::new(2, 1);
+        let d = SimTime::from_us(10.0);
+        q.record_launch(1024);
+        q.enqueue_transfer(s(0, 0), SimTime::ZERO, d, &[0], "a", SpanKind::Transfer);
+        let before = q.counters_snapshot();
+        // "Tenant" window: one launch, two contending transfers.
+        q.record_launch(512);
+        q.enqueue_transfer(s(0, 0), SimTime::ZERO, d, &[1], "b", SpanKind::Transfer);
+        q.enqueue_transfer(s(1, 0), SimTime::ZERO, d, &[1], "c", SpanKind::Transfer);
+        let delta = q.counters_snapshot() - before;
+        assert_eq!(delta.kernel_launches, 1);
+        assert_eq!(delta.kernel_bytes_moved, 512);
+        assert_eq!(delta.link_busy.as_us(), 20.0);
+        assert_eq!(delta.link_contended, 1);
+        // The cumulative counters were never disturbed.
+        assert_eq!(q.kernel_launches(), 2);
+        // Deltas accumulate across executors/migrations.
+        let mut total = CounterSnapshot::default();
+        total.accumulate(&delta);
+        total.accumulate(&delta);
+        assert_eq!(total.kernel_launches, 2);
+        assert_eq!(total.link_busy.as_us(), 40.0);
+        // A delta taken across a reset saturates to zero instead of panicking.
+        let hi = q.counters_snapshot();
+        q.reset_counters();
+        let across = q.counters_snapshot() - hi;
+        assert_eq!(across, CounterSnapshot::default());
     }
 
     #[test]

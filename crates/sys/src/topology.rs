@@ -217,9 +217,24 @@ impl Topology {
     pub fn without_device(&self, dead: DeviceId) -> Topology {
         assert!(dead.0 < self.n, "device out of topology");
         assert!(self.n > 1, "cannot evict the only device");
-        let keep: Vec<usize> = (0..self.n).filter(|&i| i != dead.0).collect();
-        Topology::from_fn(self.n - 1, |s, d| {
-            self.links[keep[s.0] * self.n + keep[d.0]]
+        let keep: Vec<DeviceId> = (0..self.n).filter(|&i| i != dead.0).map(DeviceId).collect();
+        self.with_devices(&keep)
+    }
+
+    /// The sub-topology induced by `keep`: device `keep[i]` of `self` becomes
+    /// device `i` of the result, links between kept devices are preserved,
+    /// and link resources are rebuilt for the smaller system; the host
+    /// staging link is kept. `keep` must be non-empty, sorted, duplicate-free
+    /// and in range — the serving layer carves disjoint device subsets out of
+    /// one fleet with this.
+    pub fn with_devices(&self, keep: &[DeviceId]) -> Topology {
+        assert!(!keep.is_empty(), "device subset must be non-empty");
+        for w in keep.windows(2) {
+            assert!(w[0].0 < w[1].0, "device subset must be sorted and unique");
+        }
+        assert!(keep[keep.len() - 1].0 < self.n, "device out of topology");
+        Topology::from_fn(keep.len(), |s, d| {
+            self.links[keep[s.0].0 * self.n + keep[d.0].0]
         })
         .with_host_link(self.host_link)
     }

@@ -23,6 +23,9 @@ cargo run --release -p neon-bench --bin repro_fusion -- --smoke
 echo "==> fault smoke (retry/rollback/eviction must recover bit-identically)"
 cargo run --release -p neon-bench --bin repro_faults -- --smoke
 
+echo "==> serving smoke (multiplexed jobs bit-identical to solo, wfq >= 1.3x fifo, Jain >= 0.9)"
+cargo run --release -p neon-bench --bin repro_serve -- --smoke
+
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
