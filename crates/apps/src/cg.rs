@@ -176,6 +176,26 @@ pub struct CgSolver<G: GridLike> {
 }
 
 impl<G: GridLike> CgSolver<G> {
+    /// The field layout a [`neon_core::LayoutPolicy`] recommends for this
+    /// solver's access pattern: the direction field `p` is stencil-read
+    /// (with live halos whenever the grid spans more than one partition),
+    /// so the policy's vector-stencil rule applies at cardinality > 1.
+    /// Callers that let the skeleton pick layouts pass the result to
+    /// [`CgSolver::new`] / [`CgSolver::with_options`] — and must use the
+    /// same policy in their [`SkeletonOptions`] so the plan-cache key
+    /// matches the allocation decision.
+    pub fn layout_for(policy: neon_core::LayoutPolicy, grid: &G, card: usize) -> MemLayout {
+        neon_core::recommend_layout(
+            policy,
+            neon_core::AccessSummary {
+                card,
+                stencil: true,
+                live_halo: grid.num_partitions() > 1,
+            },
+        )
+        .0
+    }
+
     /// Build a solver for operator `apply` (created from `state` by the
     /// caller via `make_apply(&state)`).
     pub fn new(

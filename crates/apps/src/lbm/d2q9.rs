@@ -12,7 +12,8 @@
 
 use neon_core::{ExecReport, OccLevel, Skeleton, SkeletonOptions};
 use neon_domain::{
-    Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike, MemLayout,
+    Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike, KernelFn,
+    KernelShape, MemLayout,
 };
 use neon_sys::Result;
 
@@ -86,13 +87,15 @@ pub fn karman_step<G: GridLike>(
     let dim = grid.dim();
     let (fi, fo) = (f_in.clone(), f_out.clone());
     let name = format!("karman({}->{})", f_in.name(), f_out.name());
-    Container::compute_opts(
+    // Chunked Generic kernel — see the D3Q19 twin for the rationale.
+    Container::compute_shaped_opts(
         &name,
         grid.as_space(),
+        KernelShape::Generic,
         move |ldr| {
             let fin = ldr.read_stencil(&fi);
             let fout = ldr.write(&fo);
-            Box::new(move |c: Cell| {
+            let per_cell = move |c: Cell| {
                 // Solid cells relax to rest equilibrium (they are masked
                 // out of the flow by bounce-back at their fluid faces).
                 if params.in_cylinder(c.x, c.y) {
@@ -129,6 +132,11 @@ pub fn karman_step<G: GridLike>(
                 for q in 0..9 {
                     let feq = equilibrium_d2q9(q, rho, ux, uy);
                     fout.set(c, q, f[q] + params.omega * (feq - f[q]));
+                }
+            };
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    per_cell(c);
                 }
             })
         },

@@ -12,7 +12,8 @@
 
 use neon_core::{ExecReport, OccLevel, Skeleton, SkeletonOptions};
 use neon_domain::{
-    Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike, MemLayout,
+    Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike, KernelFn,
+    KernelShape,
 };
 use neon_sys::Result;
 
@@ -85,15 +86,19 @@ pub fn stream_collide<G: GridLike>(
     let dim = grid.dim();
     let (fi, fo) = (f_in.clone(), f_out.clone());
     let name = format!("lbm({}->{})", f_in.name(), f_out.name());
-    Container::compute_opts(
+    // Chunked kernel: the `dyn` dispatch boundary is crossed once per
+    // CELL_CHUNK cells. No named shape fits a 19-point pull kernel, so the
+    // shape stays Generic — the chunking alone carries the dispatch win.
+    Container::compute_shaped_opts(
         &name,
         grid.as_space(),
+        KernelShape::Generic,
         move |ldr| {
             let fin = ldr.read_stencil(&fi);
             let fout = ldr.write(&fo);
             let omega = params.omega;
             let u_lid = params.u_lid;
-            Box::new(move |c: Cell| {
+            let per_cell = move |c: Cell| {
                 let mut f = [0.0f64; 19];
                 for q in 0..19 {
                     let qb = D3Q19_OPPOSITE[q];
@@ -128,6 +133,11 @@ pub fn stream_collide<G: GridLike>(
                     let feq = equilibrium_d3q19(q, rho, ux, uy, uz);
                     fout.set(c, q, f[q] + omega * (feq - f[q]));
                 }
+            };
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    per_cell(c);
+                }
             })
         },
         D3Q19_FLOPS_PER_CELL,
@@ -149,8 +159,21 @@ impl<G: GridLike> LidDrivenCavity<G> {
     /// Build the application on `grid` (constructed with the D3Q19
     /// stencil) with the chosen OCC level.
     pub fn new(grid: &G, params: LbmParams, occ: OccLevel) -> Result<Self> {
-        let f0 = Field::<f64, G>::new(grid, "f0", 19, 0.0, MemLayout::SoA)?;
-        let f1 = Field::<f64, G>::new(grid, "f1", 19, 0.0, MemLayout::SoA)?;
+        // Layout as policy: let layout-select pick for a 19-component
+        // stencil-read field — AoS when halos are live (2 transfers per
+        // partition pair instead of 2·19), SoA on a single partition.
+        // Numerics are layout-transparent, so either choice is exact.
+        let layout = neon_core::recommend_layout(
+            neon_core::LayoutPolicy::Auto,
+            neon_core::AccessSummary {
+                card: 19,
+                stencil: true,
+                live_halo: grid.num_partitions() > 1,
+            },
+        )
+        .0;
+        let f0 = Field::<f64, G>::new(grid, "f0", 19, 0.0, layout)?;
+        let f1 = Field::<f64, G>::new(grid, "f1", 19, 0.0, layout)?;
         let backend = grid.backend().clone();
         let even = Skeleton::sequence(
             &backend,

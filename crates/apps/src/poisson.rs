@@ -13,7 +13,8 @@
 
 use neon_core::OccLevel;
 use neon_domain::{
-    Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike, MemLayout,
+    Cell, Container, Field, FieldRead as _, FieldStencil as _, FieldWrite as _, GridLike, KernelFn,
+    KernelShape, MemLayout,
 };
 use neon_sys::Result;
 
@@ -25,20 +26,27 @@ use crate::cg::{CgSolver, CgState};
 pub const NEON_STENCIL_EFFICIENCY: f64 = 0.96;
 
 /// Build the 7-point negative-Laplacian container `Ap ← A·p`.
+///
+/// Declared [`KernelShape::MapStencil7`] with a chunked kernel: the
+/// `dyn` dispatch boundary is crossed once per [`neon_set::CELL_CHUNK`]
+/// cells, and the shape feeds the `layout-select` pass.
 pub fn laplacian_apply<G: GridLike>(grid: &G, state: &CgState<G>) -> Container {
     let (p, ap) = (state.p.clone(), state.ap.clone());
-    Container::compute_opts(
+    Container::compute_shaped_opts(
         "LaplacianStencil",
         grid.as_space(),
+        KernelShape::MapStencil7,
         move |ldr| {
             let pv = ldr.read_stencil(&p);
             let av = ldr.write(&ap);
-            Box::new(move |c: Cell| {
-                let mut s = 0.0;
-                for slot in 0..6 {
-                    s += pv.ngh(c, slot, 0);
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    let mut s = 0.0;
+                    for slot in 0..6 {
+                        s += pv.ngh(c, slot, 0);
+                    }
+                    av.set(c, 0, 6.0 * pv.at(c, 0) - s);
                 }
-                av.set(c, 0, 6.0 * pv.at(c, 0) - s);
             })
         },
         0,

@@ -129,9 +129,7 @@ fn run_mode(mode: FunctionalMode, label: &'static str, dim: usize, iters: usize)
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (dim, iters) = if smoke { (16, 8) } else { (64, 40) };
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_cores = neon_sys::host_cores();
 
     println!(
         "== repro_functional: {NDEV}-device Poisson CG at {dim}^3, {iters} iterations, \
@@ -143,7 +141,15 @@ fn main() {
     // (measured here) inflates later runs by up to ~1.5× relative to the
     // first. Repeating the whole ladder and keeping each mode's best
     // removes that order effect.
-    let repeats = if smoke { 1 } else { 3 };
+    // In smoke mode the perf gate below only fires on ≥ 4 cores; give it
+    // one extra repeat there so a single scheduler hiccup can't fail CI.
+    let repeats = if !smoke {
+        3
+    } else if host_cores >= 4 {
+        2
+    } else {
+        1
+    };
     let (mut serial, mut spawn, mut parallel) = (None, None, None);
     for _ in 0..repeats {
         merge_best(
@@ -199,7 +205,26 @@ fn main() {
     println!("all modes bit-identical to the serial reference");
 
     if smoke {
-        return; // CI gate: identity checked, no results file
+        // Perf gate, multi-core hosts only: with enough cores to run all
+        // device workers concurrently, the parallel replay must at least
+        // match the serial walk. On fewer cores the replay cannot beat
+        // serial (the workers time-slice one another), so the gate would
+        // only measure the CI container — skip it there, loudly.
+        let parallel = &runs[2];
+        if host_cores >= 4 {
+            let speedup = serial.wall_ms / parallel.wall_ms;
+            if speedup < 1.0 {
+                eprintln!(
+                    "FAIL: parallel replay slower than serial on a \
+                     {host_cores}-core host ({speedup:.3}x)"
+                );
+                std::process::exit(1);
+            }
+            println!("parallel speedup gate passed: {speedup:.3}x (>= 1.0x)");
+        } else {
+            println!("parallel speedup gate skipped: host_cores={host_cores} < 4");
+        }
+        return; // CI gate: identity (and perf, above) checked, no results file
     }
 
     let mut json = String::from("{");

@@ -254,11 +254,19 @@ impl ExecReport {
     }
 }
 
-/// Iterations a waiter spins before parking on the condvar. Kept small:
-/// slots signaled microseconds apart are caught cheaply, anything longer
-/// parks instead of burning a core (which on an oversubscribed host would
-/// steal cycles from the very worker being waited for).
-const WAIT_SPIN: usize = 64;
+/// Iterations a waiter spins before parking on the condvar, scaled to
+/// the host: with enough cores to run every device worker concurrently,
+/// slots are signaled microseconds apart and a longer spin catches them
+/// without two context switches per dependency edge; on an oversubscribed
+/// host spinning steals cycles from the very worker being waited for, so
+/// the budget collapses (to zero on a single core).
+fn wait_spin() -> usize {
+    match neon_sys::host_cores() {
+        0 | 1 => 0,
+        2 | 3 => 64,
+        _ => 512,
+    }
+}
 
 /// The event table of the parallel functional replay: one atomic epoch
 /// counter per [`DevicePlan`] slot.
@@ -297,7 +305,7 @@ impl EventSlots {
     /// Wait until `slot` reaches `epoch`. Returns false if the replay was
     /// poisoned by a panicking worker — the caller must abandon its walk.
     fn wait(&self, slot: usize, epoch: u64) -> bool {
-        for _ in 0..WAIT_SPIN {
+        for _ in 0..wait_spin() {
             if self.slots[slot].load(Ordering::Acquire) >= epoch {
                 return true;
             }

@@ -45,6 +45,7 @@ pub mod devplan;
 pub mod exec;
 pub mod fuse;
 pub mod graph;
+pub mod layout_select;
 pub mod multigpu;
 pub mod occ;
 pub mod pass;
@@ -58,6 +59,9 @@ pub use devplan::{build_device_plan, DevAction, DevStep, DevicePlan};
 pub use exec::{ExecError, ExecReport, Executor, FunctionalMode, HaloPolicy};
 pub use fuse::{fuse_graph, FusePass, FusionLevel};
 pub use graph::{build_dependency_graph, Edge, EdgeKind, Graph, Node, NodeId, NodeKind};
+pub use layout_select::{
+    recommend_layout, summarize_accesses, AccessSummary, LayoutPolicy, LayoutRec, LayoutSelectPass,
+};
 pub use multigpu::to_multigpu_graph;
 pub use neon_comm::Algorithm as CollectiveAlgorithm;
 pub use neon_sys::{CounterSnapshot, FaultPlan, FaultSite, FaultSiteKind, FaultStats, RetryPolicy};

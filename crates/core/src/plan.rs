@@ -234,6 +234,7 @@ fn options_signature(o: &SkeletonOptions) -> u64 {
     }
     put(o.fusion as u64);
     put(o.dump_ir as u64);
+    put(o.layout.signature_byte() as u64);
     h.finish()
 }
 
@@ -718,6 +719,13 @@ mod tests {
                 "dump_ir",
                 SkeletonOptions {
                     dump_ir: true,
+                    ..base
+                },
+            ),
+            (
+                "layout",
+                SkeletonOptions {
+                    layout: crate::layout_select::LayoutPolicy::FixedAoS,
                     ..base
                 },
             ),

@@ -35,6 +35,7 @@ use crate::collective::CollectiveMode;
 use crate::exec::{ExecError, ExecReport, Executor, FunctionalMode, HaloPolicy};
 use crate::fuse::FusionLevel;
 use crate::graph::Graph;
+use crate::layout_select::LayoutPolicy;
 use crate::occ::OccLevel;
 use crate::pass::{CompileError, PassTiming};
 use crate::plan::{self, CompiledPlan};
@@ -165,6 +166,10 @@ pub struct SkeletonOptions {
     /// Fault-recovery policy (runtime only — excluded from the plan-cache
     /// key). Validated by [`Skeleton::try_sequence`].
     pub resilience: ResilienceOptions,
+    /// How the `layout-select` pass recommends field memory layouts
+    /// (folded into the plan-cache key — recommendations feed allocation,
+    /// so plans under different policies must never alias).
+    pub layout: LayoutPolicy,
 }
 
 impl Default for SkeletonOptions {
@@ -183,6 +188,7 @@ impl Default for SkeletonOptions {
             cache: true,
             dump_ir: false,
             resilience: ResilienceOptions::default(),
+            layout: LayoutPolicy::default(),
         }
     }
 }

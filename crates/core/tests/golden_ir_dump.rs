@@ -69,6 +69,7 @@ fn golden_ir_dump_matches() {
     // Sanity before comparing: one section per pass, in pipeline order.
     for pass in [
         "dependency-graph",
+        "layout-select",
         "fuse",
         "multi-gpu",
         "occ",
@@ -80,6 +81,11 @@ fn golden_ir_dump_matches() {
             "dump is missing the {pass} section:\n{dump}"
         );
     }
+    // The layout-select section carries per-object recommendations.
+    assert!(
+        dump.contains("layout-select: policy=auto"),
+        "dump is missing the layout recommendations:\n{dump}"
+    );
     if std::env::var_os("NEON_UPDATE_GOLDEN").is_some() {
         std::fs::write(GOLDEN_PATH, &dump).expect("write golden file");
         return;

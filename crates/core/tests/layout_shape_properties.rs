@@ -1,0 +1,187 @@
+//! Property tests of the monomorphized kernel data path:
+//!
+//! * **Layout transparency** — the same shaped program over AoS fields
+//!   and over SoA fields produces bit-identical results (the layout only
+//!   moves bytes, never changes the arithmetic or its order).
+//! * **Shape transparency** — every [`neon_domain::ops`] fast-path
+//!   container is bit-identical to its per-cell Generic twin in
+//!   [`neon_domain::ops::reference`].
+//!
+//! Both hold for randomized sequences across 1/2/4/8 devices, every OCC
+//! level, and fusion on/off — the full cross product the plan cache can
+//! serve. Fields are integer-valued so all f64 arithmetic is exact;
+//! bit-identity is a real property, not a tolerance.
+
+use neon_core::{FusionLevel, OccLevel, Skeleton, SkeletonOptions};
+use neon_domain::{
+    ops, Container, DenseGrid, Dim3, Field, MemLayout, ScalarSet, Stencil, StorageMode,
+};
+use neon_sys::Backend;
+use proptest::prelude::*;
+
+/// One step of a randomized BLAS-style sequence over vector fields
+/// `x`, `y` (cardinality 3, so AoS and SoA genuinely differ) and the
+/// reduction scalar `acc`.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `y ← 0.5` (fill).
+    FillY,
+    /// `y ← x` (copy).
+    CopyXy,
+    /// `y ← 2·x + y` (axpy, constant coefficient).
+    AxpyXy,
+    /// `x ← acc·x` (scale by a reduction scalar).
+    ScaleX,
+    /// `w ← 3·x + 0.5·y` (waxpby).
+    WaxpbyXy,
+    /// `acc ← x·y` (dot).
+    DotXy,
+    /// `acc ← ‖x‖²` (norm2).
+    NormX,
+}
+
+const OPS: [Op; 7] = [
+    Op::FillY,
+    Op::CopyXy,
+    Op::AxpyXy,
+    Op::ScaleX,
+    Op::WaxpbyXy,
+    Op::DotXy,
+    Op::NormX,
+];
+
+const CARD: usize = 3;
+
+struct Setup {
+    backend: Backend,
+    grid: DenseGrid,
+    x: Field<f64, DenseGrid>,
+    y: Field<f64, DenseGrid>,
+    w: Field<f64, DenseGrid>,
+    acc: ScalarSet<f64>,
+}
+
+fn setup(n_dev: usize, layout: MemLayout) -> Setup {
+    let backend = Backend::dgx_a100(n_dev);
+    let st = Stencil::seven_point();
+    let grid = DenseGrid::new(&backend, Dim3::new(5, 4, 16), &[&st], StorageMode::Real).unwrap();
+    let x = Field::<f64, _>::new(&grid, "x", CARD, 0.0, layout).unwrap();
+    let y = Field::<f64, _>::new(&grid, "y", CARD, 0.0, layout).unwrap();
+    let w = Field::<f64, _>::new(&grid, "w", CARD, 0.0, layout).unwrap();
+    x.fill(|a, b, c, k| ((a * 31 + b * 17 + c * 7 + k as i32) % 13) as f64 - 6.0);
+    y.fill(|a, b, c, k| ((a * 5 + b * 3 + c + 2 * k as i32) % 7) as f64);
+    let acc = ScalarSet::<f64>::new(n_dev, "acc", 0.0, |p, q| p + q);
+    Setup {
+        backend,
+        grid,
+        x,
+        y,
+        w,
+        acc,
+    }
+}
+
+/// Build the sequence from the shaped fast-path ops or their per-cell
+/// Generic reference twins.
+fn build_sequence(s: &Setup, ops_list: &[Op], shaped: bool) -> Vec<Container> {
+    macro_rules! op {
+        ($f:ident ( $($a:expr),* )) => {
+            if shaped { ops::$f($($a),*) } else { ops::reference::$f($($a),*) }
+        };
+    }
+    ops_list
+        .iter()
+        .map(|op| match op {
+            Op::FillY => op!(set_value(&s.grid, &s.y, 0.5)),
+            Op::CopyXy => op!(copy(&s.grid, &s.x, &s.y)),
+            Op::AxpyXy => op!(axpy_const(&s.grid, 2.0, &s.x, &s.y)),
+            Op::ScaleX => op!(scale_scalar(&s.grid, &s.acc, &s.x)),
+            Op::WaxpbyXy => op!(waxpby_const(&s.grid, 3.0, &s.x, 0.5, &s.y, &s.w)),
+            Op::DotXy => op!(dot(&s.grid, &s.x, &s.y, &s.acc)),
+            Op::NormX => op!(norm2_sq(&s.grid, &s.x, &s.acc)),
+        })
+        .collect()
+}
+
+/// Compile + run one randomized sequence, returning the full observable
+/// state as bit patterns (fields in traversal order, then the scalar).
+fn run_case(
+    ops_list: &[Op],
+    n_dev: usize,
+    layout: MemLayout,
+    occ: OccLevel,
+    fusion: FusionLevel,
+    shaped: bool,
+) -> Vec<u64> {
+    let s = setup(n_dev, layout);
+    let seq = build_sequence(&s, ops_list, shaped);
+    let mut sk = Skeleton::sequence(
+        &s.backend,
+        "layout-shape-prop",
+        seq,
+        SkeletonOptions {
+            occ,
+            fusion,
+            ..Default::default()
+        },
+    );
+    sk.run();
+    let mut bits = Vec::new();
+    s.x.for_each(|_, _, _, _, v| bits.push(v.to_bits()));
+    s.y.for_each(|_, _, _, _, v| bits.push(v.to_bits()));
+    s.w.for_each(|_, _, _, _, v| bits.push(v.to_bits()));
+    bits.push(s.acc.host_value().to_bits());
+    bits
+}
+
+fn op_sequences() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0usize..OPS.len()).prop_map(|i| OPS[i]), 1..7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// AoS and SoA runs of the same shaped program are bit-identical.
+    #[test]
+    fn aos_and_soa_are_bit_identical(
+        ops_list in op_sequences(),
+        dev_pick in 0usize..4,
+        occ_pick in 0usize..4,
+        fuse in any::<bool>(),
+    ) {
+        let n_dev = [1, 2, 4, 8][dev_pick];
+        let occ = OccLevel::ALL[occ_pick];
+        let fusion = if fuse { FusionLevel::Conservative } else { FusionLevel::Off };
+        let soa = run_case(&ops_list, n_dev, MemLayout::SoA, occ, fusion, true);
+        let aos = run_case(&ops_list, n_dev, MemLayout::AoS, occ, fusion, true);
+        prop_assert_eq!(
+            &aos, &soa,
+            "layout changes bits for {:?} at {:?} on {} devices (fusion {:?})",
+            ops_list, occ, n_dev, fusion
+        );
+    }
+
+    /// Shaped fast paths and their Generic per-cell twins are
+    /// bit-identical.
+    #[test]
+    fn shaped_matches_generic_reference(
+        ops_list in op_sequences(),
+        dev_pick in 0usize..4,
+        occ_pick in 0usize..4,
+        fuse in any::<bool>(),
+        aos in any::<bool>(),
+    ) {
+        let n_dev = [1, 2, 4, 8][dev_pick];
+        let occ = OccLevel::ALL[occ_pick];
+        let fusion = if fuse { FusionLevel::Conservative } else { FusionLevel::Off };
+        let layout = if aos { MemLayout::AoS } else { MemLayout::SoA };
+        let fast = run_case(&ops_list, n_dev, layout, occ, fusion, true);
+        let generic = run_case(&ops_list, n_dev, layout, occ, fusion, false);
+        prop_assert_eq!(
+            &fast, &generic,
+            "shape fast path changes bits for {:?} at {:?} on {} devices \
+             ({:?}, fusion {:?})",
+            ops_list, occ, n_dev, layout, fusion
+        );
+    }
+}

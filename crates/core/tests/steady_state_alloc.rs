@@ -18,8 +18,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use neon_core::{OccLevel, Skeleton, SkeletonOptions};
 use neon_domain::{
-    Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike, MemLayout,
-    Stencil, StorageMode,
+    Cell, Container, DenseGrid, Dim3, Field, FieldStencil as _, FieldWrite as _, GridLike,
+    KernelFn, KernelShape, MemLayout, Stencil, StorageMode,
 };
 use neon_sys::Backend;
 
@@ -74,11 +74,29 @@ fn steady_state_execute_does_not_allocate() {
             Box::new(move |c| yv.set(c, 0, xv.ngh(c, 0, 0)))
         })
     };
+    // A shaped chunked container: the monomorphized kernel data path must
+    // be as allocation-free in steady state as the per-cell one.
+    let shaped = {
+        let xc = x.clone();
+        Container::compute_shaped(
+            "shaped-scale",
+            g.as_space(),
+            KernelShape::Scale,
+            move |ldr| {
+                let xv = ldr.read_write(&xc);
+                KernelFn::chunked(move |cells: &[Cell]| {
+                    for &c in cells {
+                        xv.set(c, 0, 2.0 * xv.at(c, 0));
+                    }
+                })
+            },
+        )
+    };
     let host = Container::host("tick", 4, |_| Box::new(|| {}));
     let mut sk = Skeleton::sequence(
         &b,
         "steady-state",
-        vec![upd, sten, host],
+        vec![upd, sten, shaped, host],
         SkeletonOptions {
             occ: OccLevel::TwoWayExtended,
             cache: false,

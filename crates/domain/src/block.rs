@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use neon_set::{Cell, DataView, Elem, IterationSpace, RawRead, RawWrite, StorageMode};
+use neon_set::{Cell, ChunkBuffer, DataView, Elem, IterationSpace, RawRead, RawWrite, StorageMode};
 use neon_sys::{AllocationTicket, Backend, DeviceId, NeonSysError, Result};
 
 use crate::grid::{weighted_slab_partition, Dim3, FieldParts, GridLike};
@@ -407,6 +407,38 @@ impl IterationSpace for BlockSparseGrid {
                 }
             }
         }
+    }
+
+    // The only grid that previously lacked a chunked variant: the domain
+    // mask makes block iteration skip out-of-domain padding cells, so the
+    // producer can't emit whole slices directly — it pushes into a
+    // `ChunkBuffer` (inlined per cell, one virtual call per chunk).
+    fn for_each_cell_chunked(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(&[Cell])) {
+        assert!(
+            self.inner.mode == StorageMode::Real,
+            "block-sparse grid has virtual storage"
+        );
+        let p = self.part(dev);
+        let bb = self.inner.block as i32;
+        let (a, b) = self.class_range(dev, view);
+        let mut chunks = ChunkBuffer::new();
+        for bi in a..b {
+            let (bx, by, bz) = p.origins[bi as usize];
+            let base = bi * (bb * bb * bb) as u32;
+            let mut intra = 0u32;
+            for z in 0..bb {
+                for y in 0..bb {
+                    for x in 0..bb {
+                        let (gx, gy, gz) = (bx * bb + x, by * bb + y, bz * bb + z);
+                        if self.inner.dim.contains(gx, gy, gz) {
+                            chunks.push(Cell::new(base + intra, gx, gy, gz), f);
+                        }
+                        intra += 1;
+                    }
+                }
+            }
+        }
+        chunks.flush(f);
     }
 
     fn supports_functional(&self) -> bool {
@@ -854,6 +886,39 @@ mod tests {
         assert!(scalar <= 2 * 3);
         assert_eq!(g.halo_segments(2, MemLayout::SoA).len(), scalar * 2);
         assert_eq!(g.halo_segments(2, MemLayout::AoS).len(), scalar);
+    }
+
+    /// The `MemLayout` doc claim — SoA needs `2·card` transfers per
+    /// partition pair, AoS needs 2 — asserted on the *block-sparse* grid
+    /// (the dense and element-sparse grids assert it in their own tests).
+    #[test]
+    fn halo_transfers_per_pair_match_layout_claim() {
+        use std::collections::HashMap;
+        let g = grid(4);
+        for (layout, card) in [
+            (MemLayout::SoA, 1),
+            (MemLayout::SoA, 3),
+            (MemLayout::AoS, 3),
+        ] {
+            let mut per_pair: HashMap<(usize, usize), usize> = HashMap::new();
+            for s in g.halo_segments(card, layout) {
+                *per_pair.entry((s.src.0, s.dst.0)).or_default() += 1;
+            }
+            assert!(!per_pair.is_empty(), "grid(4) spans several partitions");
+            // Each ordered pair carries one directed half of the exchange,
+            // so an unordered pair totals `halo_transfers_per_pair`.
+            for (&(src, dst), &n) in &per_pair {
+                assert_eq!(
+                    n,
+                    layout.halo_transfers_per_pair(card) / 2,
+                    "{}→{} under {:?} card {}",
+                    src,
+                    dst,
+                    layout,
+                    card
+                );
+            }
+        }
     }
 
     #[test]

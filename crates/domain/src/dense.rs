@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use neon_set::{Cell, DataView, Elem, IterationSpace, RawRead, RawWrite, StorageMode, CELL_CHUNK};
+use neon_set::{Cell, ChunkBuffer, DataView, Elem, IterationSpace, RawRead, RawWrite, StorageMode};
 use neon_sys::{Backend, DeviceId, NeonSysError, Result};
 
 use crate::grid::{proportional_slab_partition, slab_partition, Dim3, FieldParts, GridLike};
@@ -270,27 +270,25 @@ impl IterationSpace for DenseGrid {
         }
     }
 
+    // Overridden (not the buffered default) so the per-cell producer loop
+    // stays monomorphized: `ChunkBuffer::push` inlines here, and the only
+    // virtual call is the one per full chunk. Chunks also span x-rows, so
+    // small grids still hand the kernel full CELL_CHUNK slices.
     fn for_each_cell_chunked(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(&[Cell])) {
         let dim = self.inner.dim;
-        let mut buf = [Cell::new(0, 0, 0, 0); CELL_CHUNK];
         let (ranges, nr) = self.view_z_ranges(dev, view);
+        let mut chunks = ChunkBuffer::new();
         for &(za, zb) in &ranges[..nr] {
             for z in za..zb {
                 for y in 0..dim.y {
                     let row = self.local_lin(dev, 0, y, z);
-                    let mut x = 0usize;
-                    while x < dim.x {
-                        let n = (dim.x - x).min(CELL_CHUNK);
-                        for (i, cell) in buf[..n].iter_mut().enumerate() {
-                            let xx = x + i;
-                            *cell = Cell::new(row + xx as u32, xx as i32, y as i32, z as i32);
-                        }
-                        f(&buf[..n]);
-                        x += n;
+                    for x in 0..dim.x {
+                        chunks.push(Cell::new(row + x as u32, x as i32, y as i32, z as i32), f);
                     }
                 }
             }
         }
+        chunks.flush(f);
     }
 
     fn supports_functional(&self) -> bool {

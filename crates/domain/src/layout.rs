@@ -1,54 +1,9 @@
-//! Memory layouts for vector fields.
+//! Memory layouts for vector fields — re-exported from `neon-set`.
+//!
+//! [`MemLayout`] moved down to the Set layer when layout became a
+//! *policy*: the compile pipeline's `layout-select` pass recommends a
+//! layout per data object, and the monomorphized kernel fast paths index
+//! partition storage through `MemLayout::index` directly. This module
+//! stays so `neon_domain::layout::MemLayout` keeps resolving.
 
-/// How a cardinality-`n` field organizes its components in memory.
-///
-/// The choice is transparent to user code (paper §IV-C2) but changes the
-/// halo-exchange structure: SoA needs `2n` transfers per partition, AoS
-/// needs 2 — which this reproduction asserts in its tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum MemLayout {
-    /// Structure-of-Arrays: all cells of component 0, then component 1, …
-    #[default]
-    SoA,
-    /// Array-of-Structures: all components of cell 0, then cell 1, …
-    AoS,
-}
-
-impl MemLayout {
-    /// Element index of `(cell, comp)` given the per-component stride
-    /// (total cells in the partition's storage) and cardinality.
-    #[inline]
-    pub fn index(self, cell: usize, comp: usize, stride: usize, card: usize) -> usize {
-        match self {
-            MemLayout::SoA => comp * stride + cell,
-            MemLayout::AoS => cell * card + comp,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn soa_strides_by_component() {
-        assert_eq!(MemLayout::SoA.index(5, 0, 100, 3), 5);
-        assert_eq!(MemLayout::SoA.index(5, 2, 100, 3), 205);
-    }
-
-    #[test]
-    fn aos_interleaves() {
-        assert_eq!(MemLayout::AoS.index(5, 0, 100, 3), 15);
-        assert_eq!(MemLayout::AoS.index(5, 2, 100, 3), 17);
-    }
-
-    #[test]
-    fn scalar_fields_agree() {
-        for cell in 0..10 {
-            assert_eq!(
-                MemLayout::SoA.index(cell, 0, 64, 1),
-                MemLayout::AoS.index(cell, 0, 64, 1)
-            );
-        }
-    }
-}
+pub use neon_set::layout::MemLayout;

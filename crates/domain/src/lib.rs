@@ -46,4 +46,6 @@ pub use stencil::{d2q9_offsets, d3q19_offsets, union_offsets, Offset3, Stencil};
 pub use view::{FieldRead, FieldStencil, FieldWrite, HaloSegment};
 
 // Re-export the Set-layer vocabulary domain users constantly need.
-pub use neon_set::{Cell, Container, DataView, Loader, ScalarSet, StorageMode};
+pub use neon_set::{
+    Cell, Container, DataView, KernelFn, KernelShape, Loader, ScalarSet, StorageMode,
+};

@@ -5,8 +5,18 @@
 //!
 //! All operations work on any cardinality (components are looped) and any
 //! grid implementing [`GridLike`].
+//!
+//! Every operation here declares a typed [`KernelShape`] and registers a
+//! **chunk-level** kernel: the `dyn Fn` boundary is crossed once per
+//! `CELL_CHUNK` cells and the per-cell body — view `at`/`set` calls that
+//! inline down to `MemLayout::index` arithmetic on the grid's concrete
+//! view types — stays monomorphized. The [`mod@reference`] module keeps the
+//! original per-cell `Generic` forms as the bit-identity oracle; the two
+//! families visit cells and update reduction partials in the identical
+//! order, so they must agree bit for bit (enforced by proptests in
+//! `neon-core`).
 
-use neon_set::{Cell, Container, ScalarSet};
+use neon_set::{Cell, Container, KernelFn, KernelShape, ScalarSet};
 
 use crate::field::Field;
 use crate::grid::GridLike;
@@ -16,14 +26,17 @@ use crate::view::{FieldRead as _, FieldWrite as _};
 pub fn set_value<G: GridLike>(grid: &G, dst: &Field<f64, G>, v: f64) -> Container {
     let dst = dst.clone();
     let card = dst.card();
-    Container::compute(
+    Container::compute_shaped(
         &format!("set({})", dst.name()),
         grid.as_space(),
+        KernelShape::Fill,
         move |ldr| {
             let d = ldr.write(&dst);
-            Box::new(move |c: Cell| {
-                for k in 0..card {
-                    d.set(c, k, v);
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    for k in 0..card {
+                        d.set(c, k, v);
+                    }
                 }
             })
         },
@@ -35,15 +48,18 @@ pub fn copy<G: GridLike>(grid: &G, src: &Field<f64, G>, dst: &Field<f64, G>) -> 
     assert_eq!(src.card(), dst.card(), "cardinality mismatch");
     let (src, dst) = (src.clone(), dst.clone());
     let card = src.card();
-    Container::compute(
+    Container::compute_shaped(
         &format!("copy({}->{})", src.name(), dst.name()),
         grid.as_space(),
+        KernelShape::Copy,
         move |ldr| {
             let s = ldr.read(&src);
             let d = ldr.write(&dst);
-            Box::new(move |c: Cell| {
-                for k in 0..card {
-                    d.set(c, k, s.at(c, k));
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    for k in 0..card {
+                        d.set(c, k, s.at(c, k));
+                    }
                 }
             })
         },
@@ -60,15 +76,18 @@ pub fn axpy_const<G: GridLike>(
     assert_eq!(x.card(), y.card(), "cardinality mismatch");
     let (x, y) = (x.clone(), y.clone());
     let card = x.card();
-    Container::compute(
+    Container::compute_shaped(
         &format!("axpy({},{})", x.name(), y.name()),
         grid.as_space(),
+        KernelShape::Axpy,
         move |ldr| {
             let xv = ldr.read(&x);
             let yv = ldr.read_write(&y);
-            Box::new(move |c: Cell| {
-                for k in 0..card {
-                    yv.set(c, k, a * xv.at(c, k) + yv.at(c, k));
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    for k in 0..card {
+                        yv.set(c, k, a * xv.at(c, k) + yv.at(c, k));
+                    }
                 }
             })
         },
@@ -87,16 +106,19 @@ pub fn axpy_scalar<G: GridLike>(
     assert_eq!(x.card(), y.card(), "cardinality mismatch");
     let (x, y, alpha) = (x.clone(), y.clone(), alpha.clone());
     let card = x.card();
-    Container::compute(
+    Container::compute_shaped(
         &format!("axpy[{}]({},{})", alpha.name(), x.name(), y.name()),
         grid.as_space(),
+        KernelShape::Axpy,
         move |ldr| {
             let a = sign * ldr.scalar(&alpha);
             let xv = ldr.read(&x);
             let yv = ldr.read_write(&y);
-            Box::new(move |c: Cell| {
-                for k in 0..card {
-                    yv.set(c, k, a * xv.at(c, k) + yv.at(c, k));
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    for k in 0..card {
+                        yv.set(c, k, a * xv.at(c, k) + yv.at(c, k));
+                    }
                 }
             })
         },
@@ -107,14 +129,17 @@ pub fn axpy_scalar<G: GridLike>(
 pub fn scale_const<G: GridLike>(grid: &G, a: f64, dst: &Field<f64, G>) -> Container {
     let dst = dst.clone();
     let card = dst.card();
-    Container::compute(
+    Container::compute_shaped(
         &format!("scale({})", dst.name()),
         grid.as_space(),
+        KernelShape::Scale,
         move |ldr| {
             let d = ldr.read_write(&dst);
-            Box::new(move |c: Cell| {
-                for k in 0..card {
-                    d.set(c, k, a * d.at(c, k));
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    for k in 0..card {
+                        d.set(c, k, a * d.at(c, k));
+                    }
                 }
             })
         },
@@ -122,6 +147,10 @@ pub fn scale_const<G: GridLike>(grid: &G, a: f64, dst: &Field<f64, G>) -> Contai
 }
 
 /// `out ← Σ_i Σ_k x[i,k]·y[i,k]` (all components contribute).
+///
+/// The chunked kernel still folds one per-cell product sum into the
+/// device partial *per cell*, in chunk order — the same floating-point
+/// association as the per-cell reference, so the two are bit-identical.
 pub fn dot<G: GridLike>(
     grid: &G,
     x: &Field<f64, G>,
@@ -131,19 +160,22 @@ pub fn dot<G: GridLike>(
     assert_eq!(x.card(), y.card(), "cardinality mismatch");
     let (x, y, out_c) = (x.clone(), y.clone(), out.clone());
     let card = x.card();
-    Container::compute(
+    Container::compute_shaped(
         &format!("dot({},{})", x.name(), y.name()),
         grid.as_space(),
+        KernelShape::DotChunk,
         move |ldr| {
             let xv = ldr.read(&x);
             let yv = ldr.read(&y);
             let acc = ldr.reduce(&out_c);
-            Box::new(move |c: Cell| {
-                let mut s = 0.0;
-                for k in 0..card {
-                    s += xv.at(c, k) * yv.at(c, k);
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    let mut s = 0.0;
+                    for k in 0..card {
+                        s += xv.at(c, k) * yv.at(c, k);
+                    }
+                    acc.update(|a| a + s);
                 }
-                acc.update(|a| a + s);
             })
         },
     )
@@ -162,16 +194,19 @@ pub fn waxpby_const<G: GridLike>(
     assert_eq!(x.card(), w.card(), "cardinality mismatch");
     let (x, y, w) = (x.clone(), y.clone(), w.clone());
     let card = x.card();
-    Container::compute(
+    Container::compute_shaped(
         &format!("waxpby({},{},{})", x.name(), y.name(), w.name()),
         grid.as_space(),
+        KernelShape::Waxpby,
         move |ldr| {
             let xv = ldr.read(&x);
             let yv = ldr.read(&y);
             let wv = ldr.write(&w);
-            Box::new(move |c: Cell| {
-                for k in 0..card {
-                    wv.set(c, k, a * xv.at(c, k) + b * yv.at(c, k));
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    for k in 0..card {
+                        wv.set(c, k, a * xv.at(c, k) + b * yv.at(c, k));
+                    }
                 }
             })
         },
@@ -188,19 +223,227 @@ pub fn norm2_sq<G: GridLike>(grid: &G, x: &Field<f64, G>, out: &ScalarSet<f64>) 
 pub fn scale_scalar<G: GridLike>(grid: &G, s: &ScalarSet<f64>, dst: &Field<f64, G>) -> Container {
     let (s, dst) = (s.clone(), dst.clone());
     let card = dst.card();
-    Container::compute(
+    Container::compute_shaped(
         &format!("scale[{}]({})", s.name(), dst.name()),
         grid.as_space(),
+        KernelShape::Scale,
         move |ldr| {
             let a = ldr.scalar(&s);
             let d = ldr.read_write(&dst);
-            Box::new(move |c: Cell| {
-                for k in 0..card {
-                    d.set(c, k, a * d.at(c, k));
+            KernelFn::chunked(move |cells: &[Cell]| {
+                for &c in cells {
+                    for k in 0..card {
+                        d.set(c, k, a * d.at(c, k));
+                    }
                 }
             })
         },
     )
+}
+
+/// The original per-cell `Generic` forms of every operation above.
+///
+/// These are the bit-identity oracle for the shaped fast paths: same
+/// container names, same access records, same per-cell math — only the
+/// kernel shape differs, so a shaped program and its reference twin hash
+/// to *different* sequence signatures (the shape byte is folded in) and
+/// never alias each other in the plan cache, while their results must be
+/// bit-for-bit equal.
+pub mod reference {
+    use super::*;
+
+    /// Per-cell `Generic` form of [`super::set_value`].
+    pub fn set_value<G: GridLike>(grid: &G, dst: &Field<f64, G>, v: f64) -> Container {
+        let dst = dst.clone();
+        let card = dst.card();
+        Container::compute(
+            &format!("set({})", dst.name()),
+            grid.as_space(),
+            move |ldr| {
+                let d = ldr.write(&dst);
+                Box::new(move |c: Cell| {
+                    for k in 0..card {
+                        d.set(c, k, v);
+                    }
+                })
+            },
+        )
+    }
+
+    /// Per-cell `Generic` form of [`super::copy`].
+    pub fn copy<G: GridLike>(grid: &G, src: &Field<f64, G>, dst: &Field<f64, G>) -> Container {
+        assert_eq!(src.card(), dst.card(), "cardinality mismatch");
+        let (src, dst) = (src.clone(), dst.clone());
+        let card = src.card();
+        Container::compute(
+            &format!("copy({}->{})", src.name(), dst.name()),
+            grid.as_space(),
+            move |ldr| {
+                let s = ldr.read(&src);
+                let d = ldr.write(&dst);
+                Box::new(move |c: Cell| {
+                    for k in 0..card {
+                        d.set(c, k, s.at(c, k));
+                    }
+                })
+            },
+        )
+    }
+
+    /// Per-cell `Generic` form of [`super::axpy_const`].
+    pub fn axpy_const<G: GridLike>(
+        grid: &G,
+        a: f64,
+        x: &Field<f64, G>,
+        y: &Field<f64, G>,
+    ) -> Container {
+        assert_eq!(x.card(), y.card(), "cardinality mismatch");
+        let (x, y) = (x.clone(), y.clone());
+        let card = x.card();
+        Container::compute(
+            &format!("axpy({},{})", x.name(), y.name()),
+            grid.as_space(),
+            move |ldr| {
+                let xv = ldr.read(&x);
+                let yv = ldr.read_write(&y);
+                Box::new(move |c: Cell| {
+                    for k in 0..card {
+                        yv.set(c, k, a * xv.at(c, k) + yv.at(c, k));
+                    }
+                })
+            },
+        )
+    }
+
+    /// Per-cell `Generic` form of [`super::axpy_scalar`].
+    pub fn axpy_scalar<G: GridLike>(
+        grid: &G,
+        alpha: &ScalarSet<f64>,
+        sign: f64,
+        x: &Field<f64, G>,
+        y: &Field<f64, G>,
+    ) -> Container {
+        assert_eq!(x.card(), y.card(), "cardinality mismatch");
+        let (x, y, alpha) = (x.clone(), y.clone(), alpha.clone());
+        let card = x.card();
+        Container::compute(
+            &format!("axpy[{}]({},{})", alpha.name(), x.name(), y.name()),
+            grid.as_space(),
+            move |ldr| {
+                let a = sign * ldr.scalar(&alpha);
+                let xv = ldr.read(&x);
+                let yv = ldr.read_write(&y);
+                Box::new(move |c: Cell| {
+                    for k in 0..card {
+                        yv.set(c, k, a * xv.at(c, k) + yv.at(c, k));
+                    }
+                })
+            },
+        )
+    }
+
+    /// Per-cell `Generic` form of [`super::scale_const`].
+    pub fn scale_const<G: GridLike>(grid: &G, a: f64, dst: &Field<f64, G>) -> Container {
+        let dst = dst.clone();
+        let card = dst.card();
+        Container::compute(
+            &format!("scale({})", dst.name()),
+            grid.as_space(),
+            move |ldr| {
+                let d = ldr.read_write(&dst);
+                Box::new(move |c: Cell| {
+                    for k in 0..card {
+                        d.set(c, k, a * d.at(c, k));
+                    }
+                })
+            },
+        )
+    }
+
+    /// Per-cell `Generic` form of [`super::dot`].
+    pub fn dot<G: GridLike>(
+        grid: &G,
+        x: &Field<f64, G>,
+        y: &Field<f64, G>,
+        out: &ScalarSet<f64>,
+    ) -> Container {
+        assert_eq!(x.card(), y.card(), "cardinality mismatch");
+        let (x, y, out_c) = (x.clone(), y.clone(), out.clone());
+        let card = x.card();
+        Container::compute(
+            &format!("dot({},{})", x.name(), y.name()),
+            grid.as_space(),
+            move |ldr| {
+                let xv = ldr.read(&x);
+                let yv = ldr.read(&y);
+                let acc = ldr.reduce(&out_c);
+                Box::new(move |c: Cell| {
+                    let mut s = 0.0;
+                    for k in 0..card {
+                        s += xv.at(c, k) * yv.at(c, k);
+                    }
+                    acc.update(|a| a + s);
+                })
+            },
+        )
+    }
+
+    /// Per-cell `Generic` form of [`super::waxpby_const`].
+    pub fn waxpby_const<G: GridLike>(
+        grid: &G,
+        a: f64,
+        x: &Field<f64, G>,
+        b: f64,
+        y: &Field<f64, G>,
+        w: &Field<f64, G>,
+    ) -> Container {
+        assert_eq!(x.card(), y.card(), "cardinality mismatch");
+        assert_eq!(x.card(), w.card(), "cardinality mismatch");
+        let (x, y, w) = (x.clone(), y.clone(), w.clone());
+        let card = x.card();
+        Container::compute(
+            &format!("waxpby({},{},{})", x.name(), y.name(), w.name()),
+            grid.as_space(),
+            move |ldr| {
+                let xv = ldr.read(&x);
+                let yv = ldr.read(&y);
+                let wv = ldr.write(&w);
+                Box::new(move |c: Cell| {
+                    for k in 0..card {
+                        wv.set(c, k, a * xv.at(c, k) + b * yv.at(c, k));
+                    }
+                })
+            },
+        )
+    }
+
+    /// Per-cell `Generic` form of [`super::norm2_sq`].
+    pub fn norm2_sq<G: GridLike>(grid: &G, x: &Field<f64, G>, out: &ScalarSet<f64>) -> Container {
+        dot(grid, x, x, out)
+    }
+
+    /// Per-cell `Generic` form of [`super::scale_scalar`].
+    pub fn scale_scalar<G: GridLike>(
+        grid: &G,
+        s: &ScalarSet<f64>,
+        dst: &Field<f64, G>,
+    ) -> Container {
+        let (s, dst) = (s.clone(), dst.clone());
+        let card = dst.card();
+        Container::compute(
+            &format!("scale[{}]({})", s.name(), dst.name()),
+            grid.as_space(),
+            move |ldr| {
+                let a = ldr.scalar(&s);
+                let d = ldr.read_write(&dst);
+                Box::new(move |c: Cell| {
+                    for k in 0..card {
+                        d.set(c, k, a * d.at(c, k));
+                    }
+                })
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +483,33 @@ mod tests {
         run_all(&set_value(&g, &x, 3.0), 2);
         run_all(&copy(&g, &x, &y), 2);
         y.for_each(|_, _, _, _, v| assert_eq!(v, 3.0));
+    }
+
+    #[test]
+    fn ops_declare_shapes() {
+        let (g, x, y) = setup();
+        let out = ScalarSet::<f64>::new(2, "dot", 0.0, |a, b| a + b);
+        assert_eq!(set_value(&g, &x, 0.0).shape(), KernelShape::Fill);
+        assert_eq!(copy(&g, &x, &y).shape(), KernelShape::Copy);
+        assert_eq!(axpy_const(&g, 1.0, &x, &y).shape(), KernelShape::Axpy);
+        assert_eq!(scale_const(&g, 1.0, &x).shape(), KernelShape::Scale);
+        assert_eq!(dot(&g, &x, &y, &out).shape(), KernelShape::DotChunk);
+        assert_eq!(
+            reference::copy(&g, &x, &y).shape(),
+            KernelShape::Generic,
+            "reference twins stay generic"
+        );
+    }
+
+    #[test]
+    fn shape_byte_distinguishes_reference_twin_signatures() {
+        let (g, x, y) = setup();
+        let shaped = neon_set::sequence_signature(&[copy(&g, &x, &y)]);
+        let generic = neon_set::sequence_signature(&[reference::copy(&g, &x, &y)]);
+        assert_ne!(
+            shaped, generic,
+            "same name and accesses, but the shape byte must split the plan key"
+        );
     }
 
     #[test]
@@ -348,5 +618,32 @@ mod tests {
         run_all(&c, 2);
         run_all(&c, 2);
         assert_eq!(out.host_value(), 128.0, "second run must not accumulate");
+    }
+
+    /// Every shaped op must be bit-identical to its reference twin.
+    #[test]
+    fn shaped_ops_match_reference_bitwise() {
+        let (g, x, y) = setup();
+        let (g2, x2, y2) = setup();
+        let seed = |f: &Field<f64, DenseGrid>, salt: f64| {
+            f.fill(|xx, yy, zz, _| ((xx * 31 + yy * 7 + zz) as f64).sin() * salt)
+        };
+        seed(&x, 1.0);
+        seed(&x2, 1.0);
+        seed(&y, 0.5);
+        seed(&y2, 0.5);
+        run_all(&axpy_const(&g, 1.25, &x, &y), 2);
+        run_all(&reference::axpy_const(&g2, 1.25, &x2, &y2), 2);
+        let collect = |f: &Field<f64, DenseGrid>| {
+            let mut v = Vec::new();
+            f.for_each(|_, _, _, _, val| v.push(val.to_bits()));
+            v
+        };
+        assert_eq!(collect(&y), collect(&y2));
+        let d1 = ScalarSet::<f64>::new(2, "d1", 0.0, |p, q| p + q);
+        let d2 = ScalarSet::<f64>::new(2, "d2", 0.0, |p, q| p + q);
+        run_all(&dot(&g, &x, &y, &d1), 2);
+        run_all(&reference::dot(&g2, &x2, &y2, &d2), 2);
+        assert_eq!(d1.host_value().to_bits(), d2.host_value().to_bits());
     }
 }

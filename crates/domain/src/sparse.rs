@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use neon_set::{Cell, DataView, Elem, IterationSpace, RawRead, RawWrite, StorageMode, CELL_CHUNK};
+use neon_set::{Cell, ChunkBuffer, DataView, Elem, IterationSpace, RawRead, RawWrite, StorageMode};
 use neon_sys::{AllocationTicket, Backend, DeviceId, NeonSysError, Result};
 
 use crate::grid::{weighted_slab_partition, Dim3, FieldParts, GridLike};
@@ -389,18 +389,14 @@ impl IterationSpace for SparseGrid {
             DataView::Internal => (0, p.n_int),
             DataView::Boundary => (p.n_int, p.n_owned()),
         };
-        let mut buf = [Cell::new(0, 0, 0, 0); CELL_CHUNK];
-        let mut i = a;
-        while i < b {
-            let n = ((b - i) as usize).min(CELL_CHUNK);
-            for (k, cell) in buf[..n].iter_mut().enumerate() {
-                let idx = i + k as u32;
-                let (x, y, z) = p.cells[idx as usize];
-                *cell = Cell::new(idx, x, y, z);
-            }
-            f(&buf[..n]);
-            i += n as u32;
+        // Monomorphized producer loop over the class-ordered cell list;
+        // `ChunkBuffer` owns the buffering, one virtual call per chunk.
+        let mut chunks = ChunkBuffer::new();
+        for i in a..b {
+            let (x, y, z) = p.cells[i as usize];
+            chunks.push(Cell::new(i, x, y, z), f);
         }
+        chunks.flush(f);
     }
 
     fn supports_functional(&self) -> bool {

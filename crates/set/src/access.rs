@@ -76,6 +76,12 @@ impl FusedScope {
         let prev = CURRENT_SCOPE.with(|c| c.replace(id));
         FusedScope { prev }
     }
+
+    /// Whether the calling thread is currently inside a fused scope.
+    #[inline]
+    pub fn is_active() -> bool {
+        current_scope() != 0
+    }
 }
 
 impl Drop for FusedScope {
@@ -156,13 +162,12 @@ impl AccessTracker {
     pub fn try_write(&self, data_name: &str) -> Result<TrackerGuard, AccessConflict> {
         let scope = current_scope();
         let mut st = self.lock();
-        if st.writer {
-            return Err(AccessConflict {
-                data: data_name.to_string(),
-                requested: "write",
-                held: "another write view is live".to_string(),
-            });
-        }
+        // Same-scope fast path first, mirroring `try_read`: this is the
+        // per-member hot path of every fused launch, and a partition
+        // claimed by our scope can never also hold a plain writer (plain
+        // writes are rejected while a scope is live, and the scope's
+        // first lease required the partition to be writer-free), so the
+        // coalescing check needs no preceding `st.writer` test.
         if scope != 0 && st.scope == scope {
             if !st.scope_exclusive {
                 // Upgrade our shared leases — legal only while no reader
@@ -178,6 +183,13 @@ impl AccessTracker {
             }
             st.scope_leases += 1;
             return Ok(self.guard(scope, true));
+        }
+        if st.writer {
+            return Err(AccessConflict {
+                data: data_name.to_string(),
+                requested: "write",
+                held: "another write view is live".to_string(),
+            });
         }
         if st.scope != 0 {
             return Err(AccessConflict {

@@ -68,6 +68,57 @@ impl DataView {
 /// line budget while amortizing the `dyn FnMut` virtual dispatch.
 pub const CELL_CHUNK: usize = 64;
 
+/// Stack-allocated accumulator that turns per-cell emission into
+/// [`CELL_CHUNK`]-sized chunk emission.
+///
+/// This is the one home of the chunk-buffering logic: the default
+/// [`IterationSpace::for_each_cell_chunked`] uses it, and grids whose
+/// native iteration order cannot produce whole slices directly (sparse
+/// cell lists, block-sparse domain masks, dense x-rows shorter than a
+/// chunk) push into it from their own loops — a direct, inlinable call
+/// per cell, with the `dyn FnMut` boundary crossed once per chunk.
+pub struct ChunkBuffer {
+    buf: [Cell; CELL_CHUNK],
+    n: usize,
+}
+
+impl ChunkBuffer {
+    /// Fresh, empty buffer.
+    #[inline]
+    pub fn new() -> Self {
+        ChunkBuffer {
+            buf: [Cell::new(0, 0, 0, 0); CELL_CHUNK],
+            n: 0,
+        }
+    }
+
+    /// Append `c`; hands a full chunk to `f` when the buffer fills.
+    #[inline]
+    pub fn push(&mut self, c: Cell, f: &mut dyn FnMut(&[Cell])) {
+        self.buf[self.n] = c;
+        self.n += 1;
+        if self.n == CELL_CHUNK {
+            f(&self.buf[..]);
+            self.n = 0;
+        }
+    }
+
+    /// Hand any buffered tail chunk to `f` (call once, after the loop).
+    #[inline]
+    pub fn flush(&mut self, f: &mut dyn FnMut(&[Cell])) {
+        if self.n > 0 {
+            f(&self.buf[..self.n]);
+            self.n = 0;
+        }
+    }
+}
+
+impl Default for ChunkBuffer {
+    fn default() -> Self {
+        ChunkBuffer::new()
+    }
+}
+
 /// The iteration domain a container launches over — implemented by grids.
 ///
 /// The paper creates a container *from* a multi-GPU data object which
@@ -95,24 +146,13 @@ pub trait IterationSpace: Send + Sync {
     /// `for_each_cell` output through a stack array; grids override it to
     /// fill chunks directly from their native layout.
     fn for_each_cell_chunked(&self, dev: DeviceId, view: DataView, f: &mut dyn FnMut(&[Cell])) {
-        let mut buf = [Cell::new(0, 0, 0, 0); CELL_CHUNK];
-        let mut n = 0usize;
+        let mut chunks = ChunkBuffer::new();
         {
-            let buf = &mut buf;
-            let n = &mut n;
+            let chunks = &mut chunks;
             let f = &mut *f;
-            self.for_each_cell(dev, view, &mut |c| {
-                buf[*n] = c;
-                *n += 1;
-                if *n == CELL_CHUNK {
-                    f(&buf[..]);
-                    *n = 0;
-                }
-            });
+            self.for_each_cell(dev, view, &mut |c| chunks.push(c, f));
         }
-        if n > 0 {
-            f(&buf[..n]);
-        }
+        chunks.flush(f);
     }
 
     /// Whether functional iteration is possible (false for virtual-storage

@@ -22,6 +22,7 @@ use neon_sys::DeviceId;
 
 use crate::cell::{Cell, DataView, IterationSpace};
 use crate::loader::{AccessRecord, ComputePattern, Loader, ReduceHooks};
+use crate::shape::KernelShape;
 use crate::uid::DataUid;
 
 /// What kind of node a container contributes to the execution graph.
@@ -37,13 +38,58 @@ pub enum ContainerKind {
     Host,
 }
 
-/// The per-device kernel produced by a loading lambda.
+/// The per-device kernel produced by a loading lambda (per-cell form).
 pub type ComputeFn = Box<dyn Fn(Cell) + Send>;
+
+/// The per-device kernel produced by a *shaped* loading lambda: invoked
+/// once per [`crate::cell::CELL_CHUNK`]-sized block of cells, so the
+/// `dyn Fn` boundary is crossed per chunk and the per-cell inner loop
+/// stays monomorphized in the caller.
+pub type ChunkFn = Box<dyn Fn(&[Cell]) + Send>;
 
 /// The host action produced by a host container's loading lambda.
 pub type HostFn = Box<dyn FnOnce() + Send>;
 
-type GenFn = dyn Fn(&mut Loader) -> ComputeFn + Send + Sync;
+/// A compute lambda in either dispatch granularity.
+///
+/// `PerCell` is the paper-faithful form every user kernel starts with;
+/// `Chunked` is the monomorphized fast path registered by shaped
+/// containers ([`Container::compute_shaped`]). The executor iterates
+/// both through the grid's chunked path — for `PerCell` it unrolls the
+/// chunk itself, so the two forms visit cells in the identical order.
+pub enum KernelFn {
+    /// One virtual call per cell.
+    PerCell(ComputeFn),
+    /// One virtual call per chunk of cells.
+    Chunked(ChunkFn),
+}
+
+impl KernelFn {
+    /// Wrap a per-cell closure.
+    pub fn per_cell(f: impl Fn(Cell) + Send + 'static) -> Self {
+        KernelFn::PerCell(Box::new(f))
+    }
+
+    /// Wrap a chunk-level closure.
+    pub fn chunked(f: impl Fn(&[Cell]) + Send + 'static) -> Self {
+        KernelFn::Chunked(Box::new(f))
+    }
+
+    /// Apply the kernel to one chunk of cells, in slice order.
+    #[inline]
+    pub fn run_chunk(&self, cells: &[Cell]) {
+        match self {
+            KernelFn::PerCell(f) => {
+                for &c in cells {
+                    f(c);
+                }
+            }
+            KernelFn::Chunked(f) => f(cells),
+        }
+    }
+}
+
+type GenFn = dyn Fn(&mut Loader) -> KernelFn + Send + Sync;
 type HostGenFn = dyn Fn(&mut Loader) -> HostFn + Send + Sync;
 
 /// One directed inter-device transfer of a halo exchange.
@@ -91,6 +137,7 @@ pub trait HaloExchange: Send + Sync {
 struct ContainerInner {
     name: String,
     kind: ContainerKind,
+    shape: KernelShape,
     space: Option<Arc<dyn IterationSpace>>,
     gen: Option<Arc<GenFn>>,
     host_gen: Option<Arc<HostGenFn>>,
@@ -160,6 +207,63 @@ impl Container {
         flops_per_cell: u64,
         bw_efficiency: f64,
     ) -> Self {
+        Container::build_compute(
+            name,
+            space,
+            KernelShape::Generic,
+            Arc::new(move |ldr: &mut Loader| KernelFn::PerCell(gen(ldr))),
+            flops_per_cell,
+            bw_efficiency,
+        )
+    }
+
+    /// Build a compute container whose loading lambda declares a typed
+    /// [`KernelShape`] and may return a chunk-level kernel
+    /// ([`KernelFn::Chunked`]).
+    ///
+    /// The shape is a structural claim: the kernel must compute exactly
+    /// what the equivalent per-cell `Generic` kernel would, bit for bit
+    /// (the executor visits cells in the identical order either way).
+    /// Shaped containers get their shape folded into the sequence
+    /// signature, so plans compiled for shaped programs never alias
+    /// plans for generic ones in the plan cache.
+    pub fn compute_shaped(
+        name: &str,
+        space: Arc<dyn IterationSpace>,
+        shape: KernelShape,
+        gen: impl Fn(&mut Loader) -> KernelFn + Send + Sync + 'static,
+    ) -> Self {
+        Container::compute_shaped_opts(name, space, shape, gen, 0, 1.0)
+    }
+
+    /// [`Container::compute_shaped`] with performance-model overrides
+    /// (see [`Container::compute_opts`]).
+    pub fn compute_shaped_opts(
+        name: &str,
+        space: Arc<dyn IterationSpace>,
+        shape: KernelShape,
+        gen: impl Fn(&mut Loader) -> KernelFn + Send + Sync + 'static,
+        flops_per_cell: u64,
+        bw_efficiency: f64,
+    ) -> Self {
+        Container::build_compute(
+            name,
+            space,
+            shape,
+            Arc::new(gen),
+            flops_per_cell,
+            bw_efficiency,
+        )
+    }
+
+    fn build_compute(
+        name: &str,
+        space: Arc<dyn IterationSpace>,
+        shape: KernelShape,
+        gen: Arc<GenFn>,
+        flops_per_cell: u64,
+        bw_efficiency: f64,
+    ) -> Self {
         let mut accesses = Vec::new();
         {
             let mut loader = Loader::for_recording(&mut accesses, space.num_partitions());
@@ -176,8 +280,9 @@ impl Container {
             inner: Arc::new(ContainerInner {
                 name: name.to_string(),
                 kind,
+                shape,
                 space: Some(space),
-                gen: Some(Arc::new(gen)),
+                gen: Some(gen),
                 host_gen: None,
                 bytes_per_cell: bytes_per_cell_of(&accesses),
                 accesses,
@@ -206,6 +311,7 @@ impl Container {
             inner: Arc::new(ContainerInner {
                 name: name.to_string(),
                 kind: ContainerKind::Host,
+                shape: KernelShape::Generic,
                 space: None,
                 gen: None,
                 host_gen: Some(Arc::new(gen)),
@@ -291,19 +397,27 @@ impl Container {
         // still builds its own device views. The members' views of one
         // partition belong to a single launch, so their leases coalesce
         // under a FusedScope instead of conflicting (see `access`).
-        let gen = move |ldr: &mut Loader| -> ComputeFn {
+        // Member kernels are chained per *chunk*, not per cell. This is
+        // bit-identical to per-cell chaining because fusion legality
+        // forbids a member stencil-reading data an earlier member wrote:
+        // every member is cell-local over the chunk (maps, or reduces
+        // accumulating in ascending cell order), so running member k over
+        // cells [a..b] before member k+1 touches them computes the same
+        // values as interleaving per cell.
+        let gen = move |ldr: &mut Loader| -> KernelFn {
             let _scope = crate::access::FusedScope::enter();
-            let kernels: Vec<ComputeFn> = gens.iter().map(|g| g(ldr)).collect();
-            Box::new(move |c| {
+            let kernels: Vec<KernelFn> = gens.iter().map(|g| g(ldr)).collect();
+            KernelFn::Chunked(Box::new(move |cells: &[Cell]| {
                 for k in &kernels {
-                    k(c);
+                    k.run_chunk(cells);
                 }
-            })
+            }))
         };
         Container {
             inner: Arc::new(ContainerInner {
                 name: name.to_string(),
                 kind,
+                shape: KernelShape::Generic,
                 space: Some(space),
                 gen: Some(Arc::new(gen)),
                 host_gen: None,
@@ -336,6 +450,7 @@ impl Container {
             inner: Arc::new(ContainerInner {
                 name: name.to_string(),
                 kind: ContainerKind::Reduce,
+                shape: KernelShape::Generic,
                 space: members.first().and_then(|m| m.inner.space.clone()),
                 gen: None,
                 host_gen: None,
@@ -376,6 +491,12 @@ impl Container {
     /// Inferred kind.
     pub fn kind(&self) -> ContainerKind {
         self.inner.kind
+    }
+
+    /// Declared kernel shape (`Generic` unless built with
+    /// [`Container::compute_shaped`]).
+    pub fn shape(&self) -> KernelShape {
+        self.inner.shape
     }
 
     /// Declared accesses (recorded at construction).
@@ -462,14 +583,22 @@ impl Container {
         );
         let gen = self.inner.gen.as_ref().expect("compute container");
         let mut loader = Loader::for_execution(dev, space.num_partitions(), view);
-        let kernel = gen(&mut loader);
         // Chunked iteration: one virtual call per block of cells instead of
-        // one per cell, amortizing the `dyn FnMut` dispatch overhead.
-        space.for_each_cell_chunked(dev, view, &mut |cells| {
-            for &c in cells {
-                kernel(c);
+        // one per cell, amortizing the `dyn FnMut` dispatch overhead. A
+        // chunk-level kernel receives the whole slice; a per-cell kernel is
+        // unrolled here, so both visit cells in the identical order.
+        match gen(&mut loader) {
+            KernelFn::PerCell(kernel) => {
+                space.for_each_cell_chunked(dev, view, &mut |cells| {
+                    for &c in cells {
+                        kernel(c);
+                    }
+                });
             }
-        });
+            KernelFn::Chunked(kernel) => {
+                space.for_each_cell_chunked(dev, view, &mut |cells| kernel(cells));
+            }
+        }
     }
 
     /// Functionally execute a host container.

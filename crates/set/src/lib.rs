@@ -29,20 +29,23 @@ pub mod checkpoint;
 pub mod container;
 pub mod dataset;
 pub mod elem;
+pub mod layout;
 pub mod loader;
 pub mod manual;
 pub mod memset;
 pub mod scalar;
+pub mod shape;
 pub mod signature;
 pub mod uid;
 
 pub use access::{AccessConflict, AccessTracker, TrackerGuard};
-pub use cell::{Cell, DataView, IterationSpace, CELL_CHUNK};
+pub use cell::{Cell, ChunkBuffer, DataView, IterationSpace, CELL_CHUNK};
 pub use checkpoint::{Checkpoint, StateBlob, StateHandle};
-pub use container::{ComputeFn, HostFn};
+pub use container::{ChunkFn, ComputeFn, HostFn, KernelFn};
 pub use container::{Container, ContainerKind, HaloDescriptor, HaloExchange};
 pub use dataset::DataSet;
 pub use elem::Elem;
+pub use layout::MemLayout;
 pub use loader::{
     AccessMode, AccessRecord, ComputePattern, Loadable, Loader, ReduceHooks, ScalarReader,
     ScalarWriter,
@@ -50,5 +53,6 @@ pub use loader::{
 pub use manual::{EventSetId, ManualRuntime, StreamSetId};
 pub use memset::{MemSet, RawRead, RawWrite, StorageMode};
 pub use scalar::{ScalarSet, ScalarView};
+pub use shape::KernelShape;
 pub use signature::{sequence_signature, uid_roles};
 pub use uid::DataUid;

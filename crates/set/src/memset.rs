@@ -373,6 +373,24 @@ impl<T: Elem> RawRead<T> {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// The whole partition as a slice (empty for null views).
+    ///
+    /// This is the monomorphized fast path: shaped kernels hoist one
+    /// `as_slice` per chunk and index it with plain `[]`, paying the
+    /// bounds check once per element with no per-call assert formatting,
+    /// and giving the optimizer a contiguous slice to vectorize over.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.ptr.is_null() {
+            &[]
+        } else {
+            // SAFETY: ptr/len describe the leased partition buffer, kept
+            // alive by `_keepalive`; the tracker lease guarantees no
+            // aliasing writer while `self` is live.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
 }
 
 /// Mutable, bounds-checked view of one partition.
@@ -423,6 +441,24 @@ impl<T: Elem> RawWrite<T> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The whole partition as a mutable slice (empty for null views).
+    ///
+    /// Counterpart of [`RawRead::as_slice`] for shaped kernels. Takes
+    /// `&mut self` even though `set` takes `&self`: a slice borrow must
+    /// be unique for its lifetime, and the exclusive tracker lease only
+    /// guarantees exclusivity *between* views, not within one.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.ptr.is_null() {
+            &mut []
+        } else {
+            // SAFETY: ptr/len describe the exclusively leased partition
+            // buffer (kept alive by `_keepalive`); `&mut self` makes this
+            // the only live borrow through the view.
+            unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+        }
     }
 }
 

@@ -57,6 +57,9 @@ pub fn sequence_signature(containers: &[Container]) -> u64 {
             ContainerKind::Reduce => 2,
             ContainerKind::Host => 3,
         });
+        // Shaped and generic builds of the same program must never share
+        // a cached plan: the shape drives layout-select recommendations.
+        h.write_u8(c.shape().signature_byte());
         h.write_u64(c.accesses().len() as u64);
         for a in c.accesses() {
             h.write_u64(roles[&a.uid] as u64);

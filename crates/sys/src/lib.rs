@@ -49,7 +49,7 @@ pub use fault::{
 };
 pub use hash::{stable_hash_of, StableHasher};
 pub use memory::{AllocationTicket, MemoryLedger};
-pub use pool::WorkerPool;
+pub use pool::{host_cores, WorkerPool};
 pub use queue::{CounterSnapshot, EventId, QueueSim, StreamId};
 pub use topology::{LinkKind, LinkModel, LinkResourceId, Topology};
 pub use trace::{SpanKind, Trace, TraceSpan};

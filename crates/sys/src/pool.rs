@@ -24,8 +24,38 @@
 
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+/// Number of physical cores the host offers, probed once.
+///
+/// Drives every spin-vs-park decision in the functional runtime (and the
+/// multi-core gates of the reproduction benches): on a single-core host
+/// spinning steals cycles from the very thread being waited for, so all
+/// spin budgets collapse to zero there.
+pub fn host_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Iterations a pool participant spins before parking on a condvar.
+///
+/// Back-to-back kernel launches post jobs microseconds apart; on a host
+/// with enough cores to run every worker concurrently, a short spin lets
+/// workers catch the next epoch without a park/wake round-trip (two
+/// context switches each). Oversubscribed hosts get no spin at all.
+pub(crate) fn wake_spin() -> usize {
+    match host_cores() {
+        0 | 1 => 0,
+        2 | 3 => 64,
+        _ => 512,
+    }
+}
 
 /// The type every job is erased to. `Sync` because all workers share one
 /// reference; the `usize` argument is the worker index.
@@ -50,6 +80,13 @@ struct Shared {
     go: Condvar,
     /// Signaled by the last worker to finish the current job.
     done: Condvar,
+    /// Lock-free mirror of `state.epoch`, stored before waking workers so
+    /// spinning workers catch a fresh job without a mutex round-trip.
+    posted: AtomicU64,
+    /// Epoch of the last fully completed job; the caller spins on it
+    /// briefly before parking on `done` (short kernels finish in
+    /// microseconds — a park/wake round-trip would dominate them).
+    completed: AtomicU64,
 }
 
 /// A fixed-size pool of persistent worker threads, one per simulated
@@ -81,6 +118,8 @@ impl WorkerPool {
             }),
             go: Condvar::new(),
             done: Condvar::new(),
+            posted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
         });
         let workers = (0..num_workers)
             .map(|idx| {
@@ -119,12 +158,26 @@ impl WorkerPool {
             let mut st = self.shared.state.lock().unwrap();
             assert_eq!(st.remaining, 0, "WorkerPool::run is not reentrant");
             st.epoch += 1;
+            let epoch = st.epoch;
             st.job = Some(job);
             st.remaining = self.workers.len();
             st.panic = None;
             drop(st);
+            // Publish the epoch lock-free first: workers spinning between
+            // jobs pick it up without waiting for the condvar wake to
+            // percolate through the scheduler.
+            self.shared.posted.store(epoch, Ordering::Release);
             self.shared.go.notify_all();
 
+            // Spin briefly before parking — on a multi-core host a short
+            // job completes while a park/wake round-trip would still be in
+            // flight. The condvar loop below remains the source of truth.
+            for _ in 0..wake_spin() {
+                if self.shared.completed.load(Ordering::Acquire) >= epoch {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
             let mut st = self.shared.state.lock().unwrap();
             while st.remaining != 0 {
                 st = self.shared.done.wait(st).unwrap();
@@ -157,6 +210,17 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &Shared, idx: usize) {
     let mut last_epoch = 0u64;
     loop {
+        // Catch back-to-back launches lock-free: the caller publishes the
+        // new epoch to `posted` before notifying, so a short spin here
+        // skips the park/wake round-trip entirely on busy solvers. The
+        // spin budget is zero on single-core hosts, and bounded otherwise
+        // so shutdown (observed under the lock) is never delayed long.
+        for _ in 0..wake_spin() {
+            if shared.posted.load(Ordering::Acquire) != last_epoch {
+                break;
+            }
+            std::hint::spin_loop();
+        }
         let job = {
             let mut st = shared.state.lock().unwrap();
             while st.epoch == last_epoch && !st.shutdown {
@@ -178,7 +242,12 @@ fn worker_loop(shared: &Shared, idx: usize) {
         st.remaining -= 1;
         if st.remaining == 0 {
             drop(st);
-            shared.done.notify_all();
+            // Publish completion for the caller's spin loop, then wake it.
+            // Only one thread ever waits on `done` (`run` is not
+            // reentrant), so a single wake-up suffices — `notify_all` here
+            // would batch-wake nobody else.
+            shared.completed.store(last_epoch, Ordering::Release);
+            shared.done.notify_one();
         }
     }
 }

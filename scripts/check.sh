@@ -11,8 +11,11 @@ cargo build --workspace --release
 echo "==> cargo test --workspace --quiet"
 cargo test --workspace --quiet
 
-echo "==> golden IR dump (compiler pipeline output pinned)"
+echo "==> golden IR dump (compiler pipeline output pinned, incl. layout-select)"
 cargo test -p neon-core --test golden_ir_dump --quiet
+
+echo "==> layout/shape properties (AoS=SoA and shaped=generic bit-identity)"
+cargo test -p neon-core --test layout_shape_properties --quiet
 
 echo "==> functional executor smoke (parallel must match serial bit-for-bit)"
 cargo run --release -p neon-bench --bin repro_functional -- --smoke
