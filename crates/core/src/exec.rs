@@ -206,6 +206,13 @@ pub struct ExecReport {
     /// bytes, summed over launches; fused reads of just-written fields
     /// count zero).
     pub bytes_moved: u64,
+    /// FLOPs spent recomputing ghost cells another device owns (temporal
+    /// blocking's overlapped tiling; zero without a super-step).
+    pub redundant_flops: u64,
+    /// Halo-exchange rounds executed (one per halo node per execution,
+    /// whatever its depth — temporal blocking trades `k` depth-`r` rounds
+    /// for one depth-`k·r` round).
+    pub halo_rounds: u64,
     /// Number of executions aggregated.
     pub executions: u64,
     /// Fault events injected during these executions (transient specs
@@ -228,6 +235,8 @@ impl ExecReport {
         self.collective_time += other.collective_time;
         self.launches += other.launches;
         self.bytes_moved += other.bytes_moved;
+        self.redundant_flops += other.redundant_flops;
+        self.halo_rounds += other.halo_rounds;
         self.executions += other.executions;
         self.faults_injected += other.faults_injected;
         self.faults_recovered += other.faults_recovered;
@@ -756,6 +765,7 @@ impl Executor {
                     let bytes_per_cell = container.bytes_per_cell();
                     let flops_per_cell = container.flops_per_cell();
                     let eff = container.bw_efficiency();
+                    let temporal = container.temporal_spec();
                     for d in 0..ndev {
                         let dev = DeviceId(d);
                         let earliest = parents
@@ -767,11 +777,30 @@ impl Executor {
                             ends[node_id * ndev + d] = earliest;
                             continue;
                         }
-                        let dur = self.backend.device(dev).kernel_time(
-                            cells * bytes_per_cell,
-                            cells * flops_per_cell,
-                            eff,
-                        );
+                        // A temporal super-step runs k reps in one launch:
+                        // rep j sweeps the interior expanded by (k-1-j)·r
+                        // ghost layers. The memory system streams the
+                        // expanded footprint once; flops accrue per rep,
+                        // and those spent on cells another device owns are
+                        // the scheme's redundant-recompute overhead.
+                        let (bytes, flops, redundant) = match temporal {
+                            Some(spec) => {
+                                let k = spec.k as usize;
+                                let footprint =
+                                    space.cell_count_expanded(dev, (k - 1) * spec.radius);
+                                let mut flops = 0u64;
+                                let mut redundant = 0u64;
+                                for j in 0..k {
+                                    let swept =
+                                        space.cell_count_expanded(dev, (k - 1 - j) * spec.radius);
+                                    flops += swept * flops_per_cell;
+                                    redundant += (swept - cells) * flops_per_cell;
+                                }
+                                (footprint * bytes_per_cell, flops, redundant)
+                            }
+                            None => (cells * bytes_per_cell, cells * flops_per_cell, 0),
+                        };
+                        let dur = self.backend.device(dev).kernel_time(bytes, flops, eff);
                         let lane = if self.kernel_concurrency {
                             task.stream
                         } else {
@@ -787,8 +816,12 @@ impl Executor {
                         );
                         report.kernel_time += dur;
                         report.launches += 1;
-                        report.bytes_moved += cells * bytes_per_cell;
-                        self.queue.record_launch(cells * bytes_per_cell);
+                        report.bytes_moved += bytes;
+                        report.redundant_flops += redundant;
+                        self.queue.record_launch(bytes);
+                        if redundant > 0 {
+                            self.queue.record_redundant_flops(redundant);
+                        }
                         ends[node_id * ndev + d] = e;
                     }
                     if *reduce_finalize {
@@ -806,6 +839,8 @@ impl Executor {
                     }
                 }
                 NodeKind::Halo { .. } => {
+                    report.halo_rounds += 1;
+                    self.queue.record_halo_round();
                     // lanes = [constraint | into | from], each `ndev` wide.
                     let mut lanes = std::mem::take(&mut self.lane_scratch);
                     lanes.clear();

@@ -64,6 +64,13 @@ pub enum FusionLevel {
     /// provably legal (no stencil/scalar hazards). Bit-identical to `Off`.
     #[default]
     Conservative,
+    /// Everything `Conservative` does, plus temporal blocking: when the
+    /// whole post-fuse graph is one legal stencil sweep, rewrite it into a
+    /// super-step executing `k` iterations per launch with an expanded
+    /// (depth `k·r`) halo and deterministic ghost-zone recompute. Falls
+    /// back to `Conservative` behaviour whenever the legality checks fail.
+    /// Bit-identical to `Off`.
+    Temporal(u8),
 }
 
 /// Per-node access summary used by the legality checks.

@@ -52,6 +52,7 @@ pub mod pass;
 pub mod plan;
 pub mod schedule;
 pub mod skeleton;
+pub mod temporal;
 pub mod validate;
 
 pub use collective::{lower_collectives, merge_collectives, CollectiveMode};
@@ -73,4 +74,5 @@ pub use plan::{
 };
 pub use schedule::{build_schedule, build_schedule_opts, Schedule, Task};
 pub use skeleton::{ResilienceOptions, ResilientError, ResilientRun, Skeleton, SkeletonOptions};
+pub use temporal::TemporalFusePass;
 pub use validate::{validate_graph, validate_ir, validate_schedule, ValidationError};

@@ -80,13 +80,21 @@ fn accesses_via_stencil(c: &Container, uid: DataUid) -> bool {
 }
 
 fn is_splittable_compute(node: &Node) -> bool {
-    matches!(
-        &node.kind,
-        NodeKind::Compute {
-            view: DataView::Standard,
-            ..
-        }
-    )
+    // Temporal super-steps iterate an *expanded* interior whose ghost zone
+    // shrinks per rep — there is no Internal/Boundary decomposition of that
+    // footprint, so OCC never splits them.
+    let temporal = node
+        .container()
+        .map(Container::is_temporal)
+        .unwrap_or(false);
+    !temporal
+        && matches!(
+            &node.kind,
+            NodeKind::Compute {
+                view: DataView::Standard,
+                ..
+            }
+        )
 }
 
 /// Apply an OCC level to a multi-GPU graph, producing the optimized graph.

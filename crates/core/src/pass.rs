@@ -37,6 +37,7 @@ use crate::multigpu::to_multigpu_graph;
 use crate::occ::apply_occ;
 use crate::schedule::{build_schedule_opts, Schedule};
 use crate::skeleton::SkeletonOptions;
+use crate::temporal::TemporalFusePass;
 use crate::validate::{validate_ir, ValidationError};
 
 /// The compilation state threaded through the passes.
@@ -405,13 +406,14 @@ pub struct PassManager {
 }
 
 impl PassManager {
-    /// The standard eight-pass skeleton pipeline.
+    /// The standard nine-pass skeleton pipeline.
     pub fn standard() -> Self {
         PassManager {
             passes: vec![
                 Box::new(DependencyGraphPass),
                 Box::new(LayoutSelectPass),
                 Box::new(FusePass),
+                Box::new(TemporalFusePass),
                 Box::new(MultiGpuPass),
                 Box::new(OccPass),
                 Box::new(CollectivePass),
@@ -518,6 +520,7 @@ mod tests {
                 "dependency-graph",
                 "layout-select",
                 "fuse",
+                "temporal-fuse",
                 "multi-gpu",
                 "occ",
                 "collective-lowering",
@@ -525,7 +528,7 @@ mod tests {
                 "device-partition"
             ]
         );
-        assert_eq!(log.trace.spans().len(), 8);
+        assert_eq!(log.trace.spans().len(), 9);
         assert!(log
             .trace
             .spans()
@@ -546,7 +549,7 @@ mod tests {
             },
         };
         let log = PassManager::standard().run(&mut ir, &cx).unwrap();
-        assert_eq!(log.dumps.len(), 8);
+        assert_eq!(log.dumps.len(), 9);
         // The raw dependency graph uses role labels, never raw uids.
         assert!(log.dumps[0].1.contains("u0"));
         // The layout-select dump carries a recommendation per data object.

@@ -32,6 +32,7 @@ use neon_sys::{stable_hash_of, Backend, StableHasher, Trace};
 use crate::collective::CollectiveMode;
 use crate::devplan::{build_device_plan, DevicePlan};
 use crate::exec::HaloPolicy;
+use crate::fuse::FusionLevel;
 use crate::graph::{Edge, Graph, Node, NodeId, NodeKind};
 use crate::pass::{CompileError, Ir, PassCtx, PassManager, PassTiming};
 use crate::schedule::Schedule;
@@ -112,6 +113,19 @@ impl CompiledPlan {
     /// (empty for a rebound plan).
     pub fn compile_trace(&self) -> &Trace {
         &self.compile_trace
+    }
+
+    /// Logical iterations one `execute()` of this plan performs: `k` when
+    /// the temporal-fuse pass built a super-step, 1 otherwise. Callers
+    /// running `n` logical iterations execute the plan `n / k` times.
+    pub fn temporal_k(&self) -> usize {
+        self.graph
+            .nodes()
+            .iter()
+            .filter_map(|n| n.container().and_then(|c| c.temporal_spec()))
+            .map(|spec| spec.k as usize)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Wrap an already-built graph and schedule (no containers, no
@@ -232,7 +246,14 @@ fn options_signature(o: &SkeletonOptions) -> u64 {
             put(stable_hash_of(&format!("{a:?}")));
         }
     }
-    put(o.fusion as u64);
+    match o.fusion {
+        FusionLevel::Off => put(100),
+        FusionLevel::Conservative => put(101),
+        FusionLevel::Temporal(k) => {
+            put(102);
+            put(k as u64);
+        }
+    }
     put(o.dump_ir as u64);
     put(o.layout.signature_byte() as u64);
     h.finish()
@@ -443,6 +464,32 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
             // all-reduce and the lowered half of a fused map+reduce.
             let swap = |c: &Container| -> Container {
                 if !n.fused_sources.is_empty() {
+                    // A temporal super-step's provenance list is flattened:
+                    // re-chunk it by the old members' arity (a fused member
+                    // contributed its own member count) and rebuild the
+                    // same fused-then-temporal structure over the new
+                    // instance's containers.
+                    if let Some(spec) = c.temporal_spec() {
+                        let mut next = n.fused_sources.iter().copied();
+                        let members: Vec<Container> = c
+                            .fused_members()
+                            .iter()
+                            .map(|m| {
+                                let arity = m.fused_members().len().max(1);
+                                let chunk: Vec<Container> = (0..arity)
+                                    .map(|_| {
+                                        containers[next.next().expect("provenance arity")].clone()
+                                    })
+                                    .collect();
+                                if arity > 1 {
+                                    Container::fused(m.name(), chunk)
+                                } else {
+                                    chunk.into_iter().next().unwrap()
+                                }
+                            })
+                            .collect();
+                        return Container::temporal(c.name(), members, spec.k);
+                    }
                     let members: Vec<Container> = n
                         .fused_sources
                         .iter()
@@ -495,9 +542,15 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
                 },
                 NodeKind::Halo { exchange } => {
                     let uid = map_uid(exchange.data_uid());
+                    // Preserve the cached node's exchange depth: a temporal
+                    // plan's deep halo must stay `k·r` layers deep after the
+                    // new instance's (radius-deep) exchange is swapped in.
                     let ex = halos
                         .get(&uid)
-                        .cloned()
+                        .map(|h| {
+                            h.at_depth(exchange.depth())
+                                .unwrap_or_else(|| Arc::clone(h))
+                        })
                         .unwrap_or_else(|| Arc::clone(exchange));
                     Node {
                         name: format!("halo({})", ex.data_name()),
@@ -705,6 +758,20 @@ mod tests {
                 "fusion",
                 SkeletonOptions {
                     fusion: FusionLevel::Off,
+                    ..base
+                },
+            ),
+            (
+                "fusion-temporal-2",
+                SkeletonOptions {
+                    fusion: FusionLevel::Temporal(2),
+                    ..base
+                },
+            ),
+            (
+                "fusion-temporal-3",
+                SkeletonOptions {
+                    fusion: FusionLevel::Temporal(3),
                     ..base
                 },
             ),

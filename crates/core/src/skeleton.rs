@@ -281,6 +281,14 @@ impl Skeleton {
         self.from_cache
     }
 
+    /// Logical iterations one [`Skeleton::run`] performs: `k` when the
+    /// temporal-fuse pass built a `k`-iteration super-step, 1 otherwise.
+    /// A solver wanting `n` logical iterations calls
+    /// `run_iters(n / logical_iters_per_execution())`.
+    pub fn logical_iters_per_execution(&self) -> usize {
+        self.plan.temporal_k()
+    }
+
     /// Per-pass compile wall-clock timings (empty for a cache hit).
     pub fn pass_timings(&self) -> &[PassTiming] {
         self.plan.pass_timings()

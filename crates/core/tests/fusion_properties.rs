@@ -136,7 +136,7 @@ fn run_case(
     occ: OccLevel,
     halo: HaloPolicy,
     fusion: FusionLevel,
-) -> (Vec<u64>, f64, f64, u64, u64) {
+) -> (Vec<u64>, f64, f64, u64, u64, u64, u64) {
     let s = setup(n_dev);
     let seq = build_sequence(&s, ops_list);
     let mut sk = Skeleton::sequence(
@@ -160,6 +160,8 @@ fn run_case(
         s.dot_b.host_value(),
         report.launches,
         report.bytes_moved,
+        report.halo_rounds,
+        report.redundant_flops,
     )
 }
 
@@ -207,6 +209,13 @@ proptest! {
             "fusion raised bytes moved {} -> {} for {:?} at {:?} on {} devices",
             unfused.4, fused.4, ops_list, occ, n_dev
         );
+        prop_assert_eq!(
+            fused.5, unfused.5,
+            "kernel fusion must not change the halo-round count for {:?} on {} devices",
+            ops_list, n_dev
+        );
+        prop_assert_eq!(fused.6, 0u64, "conservative fusion never recomputes ghost cells");
+        prop_assert_eq!(unfused.6, 0u64, "unfused runs never recompute ghost cells");
     }
 }
 

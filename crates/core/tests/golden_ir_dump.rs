@@ -71,6 +71,7 @@ fn golden_ir_dump_matches() {
         "dependency-graph",
         "layout-select",
         "fuse",
+        "temporal-fuse",
         "multi-gpu",
         "occ",
         "collective-lowering",

@@ -688,6 +688,39 @@ impl GridLike for BlockSparseGrid {
         segs
     }
 
+    fn for_each_ghost_ring(&self, dev: DeviceId, level: usize, f: &mut dyn FnMut(Cell)) {
+        assert!(level >= 1, "ghost rings are 1-indexed");
+        // Halo storage is one full block layer per side: rings exist up to
+        // depth `B` even though only `radius` layers are exchange-fresh.
+        if self.inner.mode != StorageMode::Real || level > self.inner.block {
+            return;
+        }
+        let p = self.part(dev);
+        let bb = self.inner.block as i32;
+        let bpb = (bb * bb * bb) as u32;
+        let owned = p.n_owned();
+        let halo_lo_end = owned + p.n_halo_lo;
+        // One intra-block z-layer of every halo block, in-domain cells only
+        // (same padding contract as ordinary iteration).
+        let scan_layer = |range: std::ops::Range<u32>, iz: i32, f: &mut dyn FnMut(Cell)| {
+            for bi in range {
+                let (bx, by, bz) = p.origins[bi as usize];
+                let gz = bz * bb + iz;
+                for y in 0..bb {
+                    for x in 0..bb {
+                        let (gx, gy) = (bx * bb + x, by * bb + y);
+                        if self.inner.dim.contains(gx, gy, gz) {
+                            let intra = ((iz * bb + y) * bb + x) as u32;
+                            f(Cell::new(bi * bpb + intra, gx, gy, gz));
+                        }
+                    }
+                }
+            }
+        };
+        scan_layer(owned..halo_lo_end, bb - level as i32, f);
+        scan_layer(halo_lo_end..p.n_stored(), level as i32 - 1, f);
+    }
+
     fn locate(&self, x: i32, y: i32, z: i32) -> Option<(DeviceId, u32)> {
         if !self.inner.dim.contains(x, y, z) {
             return None;
@@ -962,6 +995,49 @@ mod tests {
             real.halo_segments(3, MemLayout::SoA),
             virt.halo_segments(3, MemLayout::SoA)
         );
+    }
+
+    #[test]
+    fn ghost_rings_walk_halo_block_layers() {
+        let g = grid(2);
+        let dim = g.dim();
+        for d in 0..2 {
+            let dev = DeviceId(d);
+            let p = &g.inner.parts[d];
+            let (zlo, zhi) = (p.bz0 * g.block_edge(), (p.bz1 * g.block_edge()).min(dim.z));
+            let mut total = 0u64;
+            for level in 1..=g.block_edge() {
+                g.for_each_ghost_ring(dev, level, &mut |c| {
+                    // Exactly `level` layers outside the owned slab, inside
+                    // the domain, indexed into a halo block.
+                    assert!(
+                        c.z == zlo as i32 - level as i32 || c.z == (zhi - 1 + level) as i32,
+                        "ring {level} cell at z={}",
+                        c.z
+                    );
+                    assert!(dim.contains(c.x, c.y, c.z));
+                    let bi = c.lin / g.cells_per_block() as u32;
+                    assert!(bi >= p.n_owned() && bi < p.n_stored());
+                    total += 1;
+                });
+            }
+            // Every in-domain cell of every halo block is in exactly one
+            // ring (halo blocks span one full block layer per side).
+            let halo_in_domain: u64 = p.origins[p.n_owned() as usize..p.n_stored() as usize]
+                .iter()
+                .map(|&(bx, by, bz)| {
+                    let b = g.block_edge() as i32;
+                    let cx = (dim.x as i32 - bx * b).clamp(0, b) as u64;
+                    let cy = (dim.y as i32 - by * b).clamp(0, b) as u64;
+                    let cz = (dim.z as i32 - bz * b).clamp(0, b) as u64;
+                    cx * cy * cz
+                })
+                .sum();
+            assert_eq!(total, halo_in_domain);
+            g.for_each_ghost_ring(dev, g.block_edge() + 1, &mut |_| {
+                panic!("ring beyond stored halo blocks")
+            });
+        }
     }
 
     #[test]

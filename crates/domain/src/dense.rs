@@ -48,6 +48,10 @@ struct DenseInner {
     backend: Backend,
     dim: Dim3,
     radius: usize,
+    /// Allocated ghost layers per neighbouring side (>= radius). The
+    /// default equals the radius; temporal blocking allocates `k·radius`
+    /// so one deep exchange can stage `k` iterations' worth of ghosts.
+    halo_cap: usize,
     offsets: Arc<Vec<Offset3>>,
     mode: StorageMode,
     parts: Vec<DensePart>,
@@ -101,6 +105,40 @@ impl DenseGrid {
         mode: StorageMode,
         strategy: PartitionStrategy,
     ) -> Result<Self> {
+        DenseGrid::build(backend, dim, stencils, mode, strategy, None)
+    }
+
+    /// [`DenseGrid::new`] allocating `halo_cap` ghost layers per
+    /// neighbouring side instead of the stencil radius. A `Temporal(k)`
+    /// super-step needs `k·radius` layers: rep 0 iterates `(k-1)·radius`
+    /// ghost layers and its stencil reads reach `k·radius`. Partitions
+    /// must be thick enough that a depth-`halo_cap` exchange still copies
+    /// only owned cells.
+    pub fn with_halo_capacity(
+        backend: &Backend,
+        dim: Dim3,
+        stencils: &[&Stencil],
+        mode: StorageMode,
+        halo_cap: usize,
+    ) -> Result<Self> {
+        DenseGrid::build(
+            backend,
+            dim,
+            stencils,
+            mode,
+            PartitionStrategy::Even,
+            Some(halo_cap),
+        )
+    }
+
+    fn build(
+        backend: &Backend,
+        dim: Dim3,
+        stencils: &[&Stencil],
+        mode: StorageMode,
+        strategy: PartitionStrategy,
+        halo_cap: Option<usize>,
+    ) -> Result<Self> {
         if dim.count() == 0 {
             return Err(NeonSysError::InvalidConfig {
                 what: format!("empty domain {dim}"),
@@ -136,6 +174,12 @@ impl DenseGrid {
                 proportional_slab_partition(dim.z, &shares)
             }
         };
+        let halo_cap = halo_cap.unwrap_or(radius);
+        if halo_cap < radius {
+            return Err(NeonSysError::InvalidConfig {
+                what: format!("halo capacity {halo_cap} below stencil radius {radius}"),
+            });
+        }
         let parts: Vec<DensePart> = slabs
             .iter()
             .enumerate()
@@ -147,16 +191,16 @@ impl DenseGrid {
             })
             .collect();
         for p in &parts {
-            let needed = p.has_lo as usize * radius + p.has_hi as usize * radius;
+            let needed = p.has_lo as usize * halo_cap + p.has_hi as usize * halo_cap;
             if p.nz() < needed.max(1) {
                 return Err(NeonSysError::InvalidConfig {
                     what: format!(
-                        "partition [{}, {}) too thin for halo radius {radius}",
+                        "partition [{}, {}) too thin for halo capacity {halo_cap}",
                         p.z0, p.z1
                     ),
                 });
             }
-            let alloc = dim.x * dim.y * (p.nz() + 2 * radius);
+            let alloc = dim.x * dim.y * (p.nz() + 2 * halo_cap);
             if alloc > u32::MAX as usize {
                 return Err(NeonSysError::InvalidConfig {
                     what: format!("partition storage {alloc} exceeds 32-bit cell indices"),
@@ -168,6 +212,7 @@ impl DenseGrid {
                 backend: backend.clone(),
                 dim,
                 radius,
+                halo_cap,
                 offsets: Arc::new(offsets),
                 mode,
                 parts,
@@ -233,8 +278,18 @@ impl DenseGrid {
     #[inline]
     fn local_lin(&self, dev: DeviceId, x: usize, y: usize, z: usize) -> u32 {
         let p = self.part(dev);
-        let zl = z - p.z0 + self.inner.radius;
+        // `z` may sit up to `halo_cap` layers below `z0` (ghost iteration),
+        // so add the capacity before subtracting to stay in `usize` range.
+        let zl = z + self.inner.halo_cap - p.z0;
         ((zl * self.inner.dim.y + y) * self.inner.dim.x + x) as u32
+    }
+
+    /// Ghost-layer counts `(below, above)` device `dev` iterates when
+    /// expanded by `depth` (clamped to allocation and domain edges).
+    fn expand_layers(&self, dev: DeviceId, depth: usize) -> (usize, usize) {
+        let p = self.part(dev);
+        let d = depth.min(self.inner.halo_cap);
+        (if p.has_lo { d } else { 0 }, if p.has_hi { d } else { 0 })
     }
 }
 
@@ -293,6 +348,44 @@ impl IterationSpace for DenseGrid {
 
     fn supports_functional(&self) -> bool {
         self.inner.mode == StorageMode::Real
+    }
+
+    fn ghost_capacity(&self) -> usize {
+        // A rep iterating `e` ghost layers stencil-reads to depth
+        // `e + radius`, which must stay within the allocation.
+        self.inner.halo_cap - self.inner.radius
+    }
+
+    fn cell_count_expanded(&self, dev: DeviceId, depth: usize) -> u64 {
+        let (lo, hi) = self.expand_layers(dev, depth);
+        ((self.part(dev).nz() + lo + hi) * self.sxy()) as u64
+    }
+
+    fn for_each_cell_chunked_expanded(
+        &self,
+        dev: DeviceId,
+        depth: usize,
+        f: &mut dyn FnMut(&[Cell]),
+    ) {
+        assert!(
+            depth <= IterationSpace::ghost_capacity(self),
+            "expanded depth {depth} exceeds ghost capacity {}",
+            IterationSpace::ghost_capacity(self)
+        );
+        let dim = self.inner.dim;
+        let p = self.part(dev);
+        let (lo, hi) = self.expand_layers(dev, depth);
+        let (za, zb) = (p.z0 - lo, p.z1 + hi);
+        let mut chunks = ChunkBuffer::new();
+        for z in za..zb {
+            for y in 0..dim.y {
+                let row = self.local_lin(dev, 0, y, z);
+                for x in 0..dim.x {
+                    chunks.push(Cell::new(row + x as u32, x as i32, y as i32, z as i32), f);
+                }
+            }
+        }
+        chunks.flush(f);
     }
 }
 
@@ -429,7 +522,7 @@ impl GridLike for DenseGrid {
     }
 
     fn alloc_len(&self, dev: DeviceId) -> usize {
-        self.sxy() * (self.part(dev).nz() + 2 * self.inner.radius)
+        self.sxy() * (self.part(dev).nz() + 2 * self.inner.halo_cap)
     }
 
     fn as_space(&self) -> Arc<dyn IterationSpace> {
@@ -445,8 +538,25 @@ impl GridLike for DenseGrid {
     }
 
     fn halo_segments(&self, card: usize, layout: MemLayout) -> Vec<HaloSegment> {
-        let r = self.inner.radius;
-        if r == 0 || self.inner.parts.len() == 1 {
+        self.halo_segments_depth(card, layout, self.inner.radius)
+    }
+
+    fn halo_capacity(&self) -> usize {
+        self.inner.halo_cap
+    }
+
+    fn halo_segments_depth(
+        &self,
+        card: usize,
+        layout: MemLayout,
+        depth: usize,
+    ) -> Vec<HaloSegment> {
+        let cap = self.inner.halo_cap;
+        assert!(
+            depth <= cap,
+            "halo depth {depth} exceeds allocated capacity {cap}"
+        );
+        if depth == 0 || self.inner.parts.len() == 1 {
             return Vec::new();
         }
         let sxy = self.sxy();
@@ -456,12 +566,16 @@ impl GridLike for DenseGrid {
             let hi = DeviceId(p + 1);
             let nz_lo = self.part(lo).nz();
             let nz_hi = self.part(hi).nz();
-            // Element offsets within one component's storage.
-            let up_src = nz_lo * sxy; // z-layers [nz_lo, nz_lo + r) local
-            let up_dst = 0; // halo layers [0, r)
-            let dn_src = r * sxy; // owned layers [r, 2r)
-            let dn_dst = (r + nz_lo) * sxy; // halo layers above owned
-            let len = r * sxy;
+            // Element offsets within one component's storage: owned layers
+            // occupy local z-layers [cap, cap + nz); a depth-d exchange
+            // copies each side's d owned layers nearest the cut into the
+            // d halo layers nearest the other side's owned region, so only
+            // owner-computed values ever cross devices.
+            let up_src = (cap + nz_lo - depth) * sxy; // lo's top d owned layers
+            let up_dst = (cap - depth) * sxy; // hi's halo layers [cap-d, cap)
+            let dn_src = cap * sxy; // hi's bottom d owned layers
+            let dn_dst = (cap + nz_lo) * sxy; // lo's halo above owned
+            let len = depth * sxy;
             match layout {
                 MemLayout::SoA => {
                     let stride_lo = self.alloc_len(lo);
@@ -521,6 +635,29 @@ impl GridLike for DenseGrid {
 
     fn for_each_owned(&self, dev: DeviceId, f: &mut dyn FnMut(Cell)) {
         self.for_each_cell(dev, DataView::Standard, f);
+    }
+
+    fn for_each_ghost_ring(&self, dev: DeviceId, level: usize, f: &mut dyn FnMut(Cell)) {
+        assert!(level >= 1, "ghost rings start at level 1");
+        if level > self.inner.halo_cap {
+            return;
+        }
+        let dim = self.inner.dim;
+        let p = self.part(dev);
+        let mut ring = |z: usize| {
+            for y in 0..dim.y {
+                let row = self.local_lin(dev, 0, y, z);
+                for x in 0..dim.x {
+                    f(Cell::new(row + x as u32, x as i32, y as i32, z as i32));
+                }
+            }
+        };
+        if p.has_lo {
+            ring(p.z0 - level);
+        }
+        if p.has_hi {
+            ring(p.z1 - 1 + level);
+        }
     }
 
     fn make_read_view<T: Elem>(
@@ -722,6 +859,100 @@ mod tests {
         let s = Stencil::new("wide", vec![Offset3::new(5, 0, 0)]);
         let err = DenseGrid::new(&b, Dim3::new(4, 4, 4), &[&s], StorageMode::Real);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn halo_capacity_expands_allocation_and_segments() {
+        let b = Backend::dgx_a100(2);
+        let s = Stencil::seven_point();
+        let g = DenseGrid::with_halo_capacity(&b, Dim3::new(4, 4, 8), &[&s], StorageMode::Real, 3)
+            .unwrap();
+        assert_eq!(g.halo_capacity(), 3);
+        assert_eq!(g.radius(), 1);
+        assert_eq!(g.alloc_len(DeviceId(0)), 16 * (4 + 6));
+        // A depth-3 exchange copies each side's 3 owned layers nearest
+        // the cut.
+        let segs = g.halo_segments_depth(1, MemLayout::SoA, 3);
+        assert_eq!(segs.len(), 2);
+        for s in &segs {
+            assert_eq!(s.len, 3 * 16);
+        }
+        let up = segs.iter().find(|s| s.src == DeviceId(0)).unwrap();
+        assert_eq!(up.src_off, (3 + 4 - 3) * 16);
+        assert_eq!(up.dst_off, 0);
+        let down = segs.iter().find(|s| s.src == DeviceId(1)).unwrap();
+        assert_eq!(down.src_off, 3 * 16);
+        assert_eq!(down.dst_off, (3 + 4) * 16);
+        // The default radius-deep exchange copies the layers *nearest*
+        // the owned region, nesting inside the capacity.
+        let r1 = g.halo_segments(1, MemLayout::SoA);
+        let up1 = r1.iter().find(|s| s.src == DeviceId(0)).unwrap();
+        assert_eq!(up1.src_off, (3 + 4 - 1) * 16);
+        assert_eq!(up1.dst_off, (3 - 1) * 16);
+    }
+
+    #[test]
+    fn expanded_iteration_covers_ghost_layers() {
+        let b = Backend::dgx_a100(2);
+        let s = Stencil::seven_point();
+        let g = DenseGrid::with_halo_capacity(&b, Dim3::new(4, 4, 8), &[&s], StorageMode::Real, 3)
+            .unwrap();
+        assert_eq!(IterationSpace::ghost_capacity(&g), 2);
+        // Edge partitions only expand toward their one neighbour.
+        assert_eq!(g.cell_count_expanded(DeviceId(0), 2), 16 * 6);
+        assert_eq!(g.cell_count_expanded(DeviceId(1), 2), 16 * 6);
+        let mut zs = std::collections::BTreeSet::new();
+        let mut n = 0usize;
+        g.for_each_cell_chunked_expanded(DeviceId(0), 2, &mut |cells| {
+            for c in cells {
+                zs.insert(c.z);
+                // Ghost cells carry valid local indices: round-trip via
+                // the same indexing rule locate() uses.
+                assert_eq!(
+                    c.lin,
+                    ((c.z as usize + 3) * 4 + c.y as usize) as u32 * 4 + c.x as u32
+                );
+                n += 1;
+            }
+        });
+        assert_eq!(n, 16 * 6);
+        assert_eq!(zs, (0..6).collect());
+        let mut zs1 = std::collections::BTreeSet::new();
+        g.for_each_cell_chunked_expanded(DeviceId(1), 2, &mut |cells| {
+            for c in cells {
+                zs1.insert(c.z);
+            }
+        });
+        assert_eq!(zs1, (2..8).collect());
+        // Depth 0 is exactly the standard view.
+        let mut std_cells = Vec::new();
+        g.for_each_cell_chunked(DeviceId(0), DataView::Standard, &mut |cs| {
+            std_cells.extend_from_slice(cs)
+        });
+        let mut exp_cells = Vec::new();
+        g.for_each_cell_chunked_expanded(DeviceId(0), 0, &mut |cs| exp_cells.extend_from_slice(cs));
+        assert_eq!(std_cells, exp_cells);
+    }
+
+    #[test]
+    fn ghost_rings_enumerate_layer_by_layer() {
+        let b = Backend::dgx_a100(2);
+        let s = Stencil::seven_point();
+        let g = DenseGrid::with_halo_capacity(&b, Dim3::new(4, 4, 8), &[&s], StorageMode::Real, 3)
+            .unwrap();
+        let collect = |dev: usize, level: usize| {
+            let mut zs = Vec::new();
+            GridLike::for_each_ghost_ring(&g, DeviceId(dev), level, &mut |c| zs.push(c.z));
+            zs
+        };
+        // Device 0 owns z [0,4): rings grow upward only (no lower
+        // neighbour).
+        assert_eq!(collect(0, 1), vec![4; 16]);
+        assert_eq!(collect(0, 2), vec![5; 16]);
+        assert_eq!(collect(1, 1), vec![3; 16]);
+        assert_eq!(collect(1, 2), vec![2; 16]);
+        // Beyond capacity: nothing.
+        assert!(collect(0, 4).is_empty());
     }
 
     #[test]

@@ -68,7 +68,17 @@ impl<T: Elem, G: GridLike> Field<T, G> {
         let halo = if segs.is_empty() {
             None
         } else {
-            Some(Arc::new(FieldHalo { mem, segs }))
+            let g = grid.clone();
+            let capacity = grid.halo_capacity();
+            let segs_at: SegsAtDepth =
+                Arc::new(move |d: usize| g.halo_segments_depth(card, layout, d));
+            Some(Arc::new(FieldHalo {
+                mem,
+                segs,
+                depth: grid.radius(),
+                capacity,
+                segs_at,
+            }))
         };
         Ok(Field {
             grid: grid.clone(),
@@ -189,10 +199,15 @@ impl<T: Elem, G: GridLike> Field<T, G> {
 
     /// Manually run this field's halo exchange (the Skeleton does this
     /// automatically before stencil launches; tests and hand-rolled
-    /// harnesses call it directly).
+    /// harnesses call it directly). Refreshes the field's *full* allocated
+    /// ghost capacity, so fields on deep-halo grids start temporal
+    /// super-steps with every stored ghost layer coherent.
     pub fn update_halos(&self) {
         if let Some(h) = &self.halo {
-            h.execute();
+            match h.at_depth(h.capacity) {
+                Some(deep) => deep.execute(),
+                None => h.execute(),
+            }
         }
     }
 }
@@ -213,16 +228,30 @@ pub trait GridExt: GridLike {
 
 impl<G: GridLike> GridExt for G {}
 
+/// Computes the transfer segments refreshing a given ghost depth —
+/// captures the grid so [`FieldHalo`] stays generic over `T` only.
+type SegsAtDepth = Arc<dyn Fn(usize) -> Vec<HaloSegment> + Send + Sync>;
+
 /// The explicit-transfer halo coherency implementation (paper §IV-C2).
 pub struct FieldHalo<T: Elem> {
     mem: MemSet<T>,
     segs: Vec<HaloSegment>,
+    /// Ghost layers one round of *this* exchange refreshes.
+    depth: usize,
+    /// Ghost layers the field's allocation can hold per side.
+    capacity: usize,
+    segs_at: SegsAtDepth,
 }
 
 impl<T: Elem> FieldHalo<T> {
     /// The transfer segments (element granularity).
     pub fn segments(&self) -> &[HaloSegment] {
         &self.segs
+    }
+
+    /// Ghost layers the field's allocation can hold per side.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -266,6 +295,33 @@ impl<T: Elem> HaloExchange for FieldHalo<T> {
             self.mem
                 .copy_between_untracked(s.src, s.src_off, s.dst, s.dst_off, s.len);
         }
+    }
+
+    fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn at_depth(&self, depth: usize) -> Option<Arc<dyn HaloExchange>> {
+        if depth == 0 || depth > self.capacity {
+            return None;
+        }
+        if depth == self.depth {
+            // Avoid recomputing segments for the common identity case.
+            return Some(Arc::new(FieldHalo {
+                mem: self.mem.clone(),
+                segs: self.segs.clone(),
+                depth,
+                capacity: self.capacity,
+                segs_at: self.segs_at.clone(),
+            }));
+        }
+        Some(Arc::new(FieldHalo {
+            mem: self.mem.clone(),
+            segs: (self.segs_at)(depth),
+            depth,
+            capacity: self.capacity,
+            segs_at: self.segs_at.clone(),
+        }))
     }
 }
 
@@ -456,6 +512,41 @@ mod tests {
         let fs = Field::<f64, _>::new(&sparse_g, "fs", 1, 0.0, MemLayout::SoA).unwrap();
         assert_eq!(fd.stencil_bytes_per_cell(), 8);
         assert_eq!(fs.stencil_bytes_per_cell(), 8 + 6 * 4);
+    }
+
+    #[test]
+    fn deep_halo_exchange_fills_capacity() {
+        let b = Backend::dgx_a100(2);
+        let s = Stencil::seven_point();
+        let g = DenseGrid::with_halo_capacity(&b, Dim3::new(4, 4, 8), &[&s], StorageMode::Real, 3)
+            .unwrap();
+        let f = Field::<f64, _>::new(&g, "f", 1, -1.0, MemLayout::SoA).unwrap();
+        // fill() refreshes the *full* ghost capacity, so cell-local reads
+        // of ghost cells 2 layers deep see the owner's values — the read
+        // path a temporal super-step's rep 0 exercises.
+        f.fill(|_, _, z, _| 10.0 * z as f64);
+        let h = f.halo().unwrap();
+        assert_eq!(h.capacity(), 3);
+        assert_eq!(HaloExchange::depth(h.as_ref()), 1);
+        let deep = h.at_depth(3).expect("capacity allows depth 3");
+        assert_eq!(HaloExchange::depth(deep.as_ref()), 3);
+        assert!(h.at_depth(4).is_none(), "beyond capacity");
+        for dev in 0..2 {
+            let mut ldr = Loader::for_execution(DeviceId(dev), 2, DataView::Standard);
+            let rv = ldr.read(&f);
+            g.for_each_cell_chunked_expanded(DeviceId(dev), 2, &mut |cells| {
+                for c in cells {
+                    assert_eq!(
+                        crate::view::FieldRead::at(&rv, *c, 0),
+                        10.0 * c.z as f64,
+                        "dev {dev} cell ({}, {}, {})",
+                        c.x,
+                        c.y,
+                        c.z
+                    );
+                }
+            });
+        }
     }
 
     #[test]

@@ -131,6 +131,42 @@ pub trait GridLike: Clone + Send + Sync + Sized + 'static {
     /// `layout` performs.
     fn halo_segments(&self, card: usize, layout: MemLayout) -> Vec<HaloSegment>;
 
+    /// Ghost layers each partition *allocates* per neighbouring side. At
+    /// least [`GridLike::radius`]; grids built for temporal blocking
+    /// allocate `k·radius` so one deep exchange can stage `k` iterations'
+    /// worth of ghost data.
+    fn halo_capacity(&self) -> usize {
+        self.radius()
+    }
+
+    /// The halo transfers refreshing `depth` ghost layers per side (the
+    /// deepened form of [`GridLike::halo_segments`]). Grids whose
+    /// allocation is fixed at `radius` only support `depth == radius`;
+    /// capacity-aware grids override this for any `depth <=
+    /// halo_capacity()`.
+    fn halo_segments_depth(
+        &self,
+        card: usize,
+        layout: MemLayout,
+        depth: usize,
+    ) -> Vec<HaloSegment> {
+        assert!(
+            depth == self.radius(),
+            "grid only supports halo exchanges at its stencil radius ({}), not depth {depth}",
+            self.radius()
+        );
+        self.halo_segments(card, layout)
+    }
+
+    /// Enumerate the ghost cells exactly `level` layers outside device
+    /// `dev`'s owned region (level 1 = the innermost ghost ring). Temporal
+    /// blocking recomputes rings `1..=(k-1)·radius`; diagnostics and tests
+    /// use this to address individual rings. Grids without addressable
+    /// ghost storage enumerate nothing.
+    fn for_each_ghost_ring(&self, dev: DeviceId, level: usize, f: &mut dyn FnMut(Cell)) {
+        let _ = (dev, level, f);
+    }
+
     /// Locate the partition and local linear index of an active cell
     /// (`None` if outside the domain or inactive). Host-side only.
     fn locate(&self, x: i32, y: i32, z: i32) -> Option<(DeviceId, u32)>;

@@ -615,6 +615,32 @@ impl GridLike for SparseGrid {
         segs
     }
 
+    fn for_each_ghost_ring(&self, dev: DeviceId, level: usize, f: &mut dyn FnMut(Cell)) {
+        assert!(level >= 1, "ghost rings are 1-indexed");
+        if self.inner.mode != StorageMode::Real || level > self.inner.radius {
+            return;
+        }
+        let p = self.part(dev);
+        let z_lo = p.z0 as i64 - level as i64;
+        let z_hi = (p.z1 - 1 + level) as i64;
+        // Halo classes are contiguous and collected in ascending z, so a
+        // ring is a z-filter over the two halo ranges.
+        let owned = p.n_owned() as usize;
+        let halo_lo_end = owned + p.n_halo_lo as usize;
+        for i in owned..halo_lo_end {
+            let (x, y, z) = p.cells[i];
+            if z as i64 == z_lo {
+                f(Cell::new(i as u32, x, y, z));
+            }
+        }
+        for i in halo_lo_end..p.n_stored() as usize {
+            let (x, y, z) = p.cells[i];
+            if z as i64 == z_hi {
+                f(Cell::new(i as u32, x, y, z));
+            }
+        }
+    }
+
     fn locate(&self, x: i32, y: i32, z: i32) -> Option<(DeviceId, u32)> {
         if !self.inner.dim.contains(x, y, z) {
             return None;
@@ -877,6 +903,39 @@ mod tests {
         let s = Stencil::seven_point();
         let err = SparseGrid::new(&b, Dim3::cube(8), &[&s], |_, _, _| false, StorageMode::Real);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn ghost_rings_cover_halo_classes() {
+        let g = grid(2);
+        let dim = g.dim();
+        let mask = ball_mask(dim, 6.0);
+        for d in 0..2 {
+            let dev = DeviceId(d);
+            let p = &g.inner.parts[d];
+            let (z0, z1) = g.owned_z_range(dev);
+            let mut ring_total = 0u64;
+            for level in 1..=g.radius() {
+                g.for_each_ghost_ring(dev, level, &mut |c| {
+                    // Rings sit exactly `level` layers outside the owned
+                    // slab, are active, and index into the halo classes.
+                    assert!(
+                        c.z == z0 as i32 - level as i32 || c.z == (z1 - 1 + level) as i32,
+                        "ring {level} cell at z={}",
+                        c.z
+                    );
+                    assert!(mask(c.x, c.y, c.z));
+                    assert!(c.lin >= p.n_owned() && c.lin < p.n_stored());
+                    ring_total += 1;
+                });
+            }
+            // Every stored halo cell belongs to exactly one ring.
+            assert_eq!(ring_total, p.n_halo() as u64);
+            // Levels past the stored radius enumerate nothing.
+            g.for_each_ghost_ring(dev, g.radius() + 1, &mut |_| {
+                panic!("ring beyond halo storage")
+            });
+        }
     }
 
     #[test]

@@ -85,6 +85,83 @@ struct Active {
     cp: Option<Checkpoint>,
 }
 
+/// The waiting set, indexed in dispatch order.
+///
+/// The WFQ scheduler's next candidate is the placeable waiting job with
+/// the least `(tenant virtual time, admission seq)` key. A linear minimum
+/// over the waiting list costs O(waiting) per dispatch — quadratic over a
+/// backlogged burst — so the set is kept as an ordered index instead: the
+/// scheduler scans a (usually length-1) prefix of a `BTreeSet`.
+///
+/// All of a tenant's entries share the tenant's current virtual time, so
+/// the index re-keys a tenant's entries only when its virtual time moves
+/// (quantum commit, idle-return floor) — O(waiting-of-tenant · log n)
+/// per vtime advance instead of O(waiting) per dispatch attempt.
+struct WaitQueue {
+    /// `(vtime bits, admission seq, job index)`, ordered. Virtual times
+    /// are non-negative finite f64s, so `to_bits` is order-preserving.
+    by_key: std::collections::BTreeSet<(u64, usize, usize)>,
+    /// Waiting `(seq, widx)` entries per tenant — what to re-key when the
+    /// tenant's virtual time advances, and the admission-control count.
+    by_tenant: Vec<Vec<(usize, usize)>>,
+    /// The vtime bits each tenant's entries are currently keyed under.
+    keyed_vtime: Vec<u64>,
+}
+
+impl WaitQueue {
+    fn new(tenants: usize) -> Self {
+        WaitQueue {
+            by_key: std::collections::BTreeSet::new(),
+            by_tenant: vec![Vec::new(); tenants],
+            keyed_vtime: vec![0.0f64.to_bits(); tenants],
+        }
+    }
+
+    fn push(&mut self, widx: usize, tenant: usize, seq: usize) {
+        self.by_key.insert((self.keyed_vtime[tenant], seq, widx));
+        self.by_tenant[tenant].push((seq, widx));
+    }
+
+    fn remove(&mut self, widx: usize, tenant: usize, seq: usize) {
+        self.by_key.remove(&(self.keyed_vtime[tenant], seq, widx));
+        self.by_tenant[tenant].retain(|&(_, w)| w != widx);
+    }
+
+    /// Re-key `tenant`'s waiting entries under its new virtual time.
+    /// Must be called at every vtime mutation so index order and the
+    /// scheduler's `(vtime, seq)` key never drift apart.
+    fn retune(&mut self, tenant: usize, vtime: f64) {
+        let bits = vtime.to_bits();
+        let old = self.keyed_vtime[tenant];
+        if bits == old {
+            return;
+        }
+        for &(seq, widx) in &self.by_tenant[tenant] {
+            self.by_key.remove(&(old, seq, widx));
+            self.by_key.insert((bits, seq, widx));
+        }
+        self.keyed_vtime[tenant] = bits;
+    }
+
+    fn tenant_waiting(&self, tenant: usize) -> usize {
+        self.by_tenant[tenant].len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Job indices in dispatch-key order (least `(vtime, seq)` first).
+    fn in_order(&self) -> impl Iterator<Item = usize> + '_ {
+        self.by_key.iter().map(|&(_, _, w)| w)
+    }
+
+    /// Job indices in no particular order (for order-insensitive scans).
+    fn iter_all(&self) -> impl Iterator<Item = usize> + '_ {
+        self.by_tenant.iter().flatten().map(|&(_, w)| w)
+    }
+}
+
 /// A multi-tenant solver-job server over one device fleet.
 pub struct Server {
     fleet: Backend,
@@ -165,7 +242,7 @@ impl Server {
 
         let mut free_at: Vec<f64> = vec![0.0; fleet_n];
         let mut dead: Vec<bool> = vec![false; fleet_n];
-        let mut waiting: Vec<usize> = Vec::new();
+        let mut waiting = WaitQueue::new(self.tenants.len());
         let mut active: Vec<Active> = Vec::new();
         let mut clock: f64 = 0.0;
         let mut next_arrival = 0usize;
@@ -184,11 +261,7 @@ impl Server {
                 let widx = order[next_arrival];
                 next_arrival += 1;
                 let tenant = jobs[widx].req.tenant;
-                let tenant_waiting = waiting
-                    .iter()
-                    .filter(|&&w| jobs[w].req.tenant == tenant)
-                    .count();
-                if tenant_waiting >= self.cfg.queue_capacity {
+                if waiting.tenant_waiting(tenant) >= self.cfg.queue_capacity {
                     jobs[widx].phase = Phase::Shed;
                     accounts[tenant].jobs_shed += 1;
                     shed += 1;
@@ -209,10 +282,11 @@ impl Server {
                         .fold(f64::INFINITY, f64::min);
                     if floor.is_finite() {
                         vtime[tenant] = vtime[tenant].max(floor);
+                        waiting.retune(tenant, vtime[tenant]);
                     }
                 }
                 live_jobs[tenant] += 1;
-                waiting.push(widx);
+                waiting.push(widx, tenant, jobs[widx].seq);
             }
 
             // 2. Fire a due device loss (after completions at strictly
@@ -250,15 +324,17 @@ impl Server {
                     let device_us = (a.end - a.start) * a.devices.len() as f64;
                     accounts[tenant].commit(&delta, a.iters_delta, device_us);
                     vtime[tenant] += device_us / self.tenants[tenant].weight;
+                    waiting.retune(tenant, vtime[tenant]);
                     if job.is_done() {
                         js.phase = Phase::Done;
                         js.finish_us = Some(a.end);
                         accounts[tenant].jobs_completed += 1;
                         live_jobs[tenant] -= 1;
                     } else {
+                        let seq = js.seq;
                         js.phase = Phase::Waiting;
                         js.ready_since = a.end;
-                        waiting.push(a.widx);
+                        waiting.push(a.widx, tenant, seq);
                     }
                 } else {
                     i += 1;
@@ -349,7 +425,7 @@ impl Server {
         clock: f64,
         jobs: &mut [JobState],
         accounts: &mut [TenantAccount],
-        waiting: &mut Vec<usize>,
+        waiting: &mut WaitQueue,
         active: &mut Vec<Active>,
         free_at: &mut [f64],
         dead: &[bool],
@@ -378,23 +454,33 @@ impl Server {
                 // queue runs to completion before anything else starts.
                 if active.is_empty() && !alive.is_empty() {
                     waiting
-                        .iter()
-                        .copied()
+                        .iter_all()
                         .min_by_key(|&w| jobs[w].seq)
                         .filter(|&w| placeable(&jobs[w], free_at))
                 } else {
                     None
                 }
             }
-            SchedPolicy::WeightedFair => waiting
-                .iter()
-                .copied()
-                .filter(|&w| placeable(&jobs[w], free_at))
-                .min_by(|&a, &b| {
-                    let ka = (vtime[jobs[a].req.tenant], jobs[a].seq);
-                    let kb = (vtime[jobs[b].req.tenant], jobs[b].seq);
-                    ka.partial_cmp(&kb).unwrap()
-                }),
+            SchedPolicy::WeightedFair => {
+                // First placeable entry in index order — identical to the
+                // old linear `min_by((vtime[tenant], seq))` scan, since the
+                // index keys under exactly that pair and `retune` keeps the
+                // keys synced with `vtime`.
+                let pick = waiting.in_order().find(|&w| placeable(&jobs[w], free_at));
+                debug_assert_eq!(
+                    pick,
+                    waiting
+                        .iter_all()
+                        .filter(|&w| placeable(&jobs[w], free_at))
+                        .min_by(|&a, &b| {
+                            let ka = (vtime[jobs[a].req.tenant], jobs[a].seq);
+                            let kb = (vtime[jobs[b].req.tenant], jobs[b].seq);
+                            ka.partial_cmp(&kb).unwrap()
+                        }),
+                    "ordered index must reproduce the linear-scan pick"
+                );
+                pick
+            }
         };
         *sched_wall += sched_start.elapsed();
         let Some(widx) = pick else {
@@ -458,8 +544,9 @@ impl Server {
 
         js.queue_wait_us += clock - js.ready_since;
         js.phase = Phase::Running;
+        let (tenant, seq) = (js.req.tenant, js.seq);
         let _ = accounts; // accounting happens at commit time
-        waiting.retain(|&w| w != widx);
+        waiting.remove(widx, tenant, seq);
         for &d in &devices {
             free_at[d] = end;
         }
@@ -485,7 +572,7 @@ impl Server {
         jobs: &mut [JobState],
         accounts: &mut [TenantAccount],
         active: &mut Vec<Active>,
-        waiting: &mut Vec<usize>,
+        waiting: &mut WaitQueue,
         free_at: &mut [f64],
         dead: &mut [bool],
     ) {
@@ -512,9 +599,10 @@ impl Server {
                         free_at[d] = at;
                     }
                 }
+                let (tenant, seq) = (js.req.tenant, js.seq);
                 js.phase = Phase::Waiting;
                 js.ready_since = at;
-                waiting.push(a.widx);
+                waiting.push(a.widx, tenant, seq);
             } else {
                 i += 1;
             }

@@ -265,6 +265,49 @@ fn device_loss_survivors_match_solo_replay() {
     );
 }
 
+/// The ordered dispatch index must reproduce WFQ's `(vtime, seq)` order
+/// exactly. One device serializes dispatches, identical job specs give
+/// every quantum the same virtual cost `d`, and weight 2 halves tenant 1's
+/// vtime increments — halving is exact in f64, so the whole schedule is
+/// hand-computable: t0 runs (v0: 0→d), then t1 twice (v1: 0→d/2→d), then
+/// the (d, seq) tie goes to t0's seq 2, then t1's seq 5 (d < 2d), then t0.
+#[test]
+fn wfq_dispatch_order_is_hand_computable() {
+    let fleet = Backend::dgx_a100(1);
+    let requests: Vec<JobRequest> = (0..6)
+        .map(|i| JobRequest {
+            tenant: (i % 2) as usize,
+            spec: poisson(8, 4, 300 + i),
+            ndev: 1,
+            arrival_us: 0.0,
+        })
+        .collect();
+    let mut server = Server::new(
+        &fleet,
+        vec![TenantSpec::new("w1", 1.0), TenantSpec::new("w2", 2.0)],
+        ServeConfig {
+            queue_capacity: 16,
+            quantum_iters: 64, // each job runs in one quantum
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.run(requests);
+    assert!(report.outcomes.iter().all(|o| o.completed));
+    let mut starts: Vec<(f64, usize)> = report
+        .outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.start_us.expect("ran"), i))
+        .collect();
+    starts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let order: Vec<usize> = starts.into_iter().map(|(_, i)| i).collect();
+    assert_eq!(
+        order,
+        vec![0, 1, 3, 2, 5, 4],
+        "WFQ dispatch order drifted from the hand-computed schedule"
+    );
+}
+
 #[test]
 fn fifo_baseline_serializes_and_wfq_beats_it_on_makespan() {
     let fleet = Backend::dgx_a100(4);

@@ -172,6 +172,43 @@ pub trait IterationSpace: Send + Sync {
     fn space_id(&self) -> Option<u64> {
         None
     }
+
+    /// How many ghost layers beyond the owned region a partition can
+    /// *iterate* while still reading a full stencil neighbourhood from
+    /// allocated storage. Temporal blocking executes rep `j` of a `k`-rep
+    /// super-step over the owned cells plus `(k-1-j)·r` ghost layers, so a
+    /// grid must report at least `(k-1)·r` here to host a `Temporal(k)`
+    /// super-step. The default `0` means "no ghost iteration support".
+    fn ghost_capacity(&self) -> usize {
+        0
+    }
+
+    /// Number of stored cells within `depth` ghost layers of the owned
+    /// region on device `dev` (clamped to the allocated halo capacity).
+    /// Used both to size expanded-interior launches and to price the
+    /// memory footprint a temporally-blocked super-step sweeps.
+    fn cell_count_expanded(&self, dev: DeviceId, depth: usize) -> u64 {
+        let _ = depth;
+        self.cell_count(dev, DataView::Standard)
+    }
+
+    /// Invoke `f` with chunks covering the owned cells *plus* `depth` ghost
+    /// layers on device `dev` — the expanded interior a temporally-blocked
+    /// rep sweeps. `depth` must not exceed [`IterationSpace::ghost_capacity`].
+    /// The default (only valid for `depth == 0`) falls back to the standard
+    /// view.
+    fn for_each_cell_chunked_expanded(
+        &self,
+        dev: DeviceId,
+        depth: usize,
+        f: &mut dyn FnMut(&[Cell]),
+    ) {
+        assert!(
+            depth == 0,
+            "grid has no ghost-iteration support (depth {depth} requested)"
+        );
+        self.for_each_cell_chunked(dev, DataView::Standard, f);
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,30 @@ pub trait HaloExchange: Send + Sync {
         let _ = dst;
         unimplemented!("HaloExchange::execute_for_dst without supports_per_device");
     }
+    /// How many ghost layers one round of this exchange refreshes.
+    /// Defaults to 1 — the classic exchange-per-iteration depth.
+    fn depth(&self) -> usize {
+        1
+    }
+    /// A variant of this exchange refreshing `depth` ghost layers per
+    /// round, or `None` if the field's allocation cannot hold that many.
+    /// Temporal blocking trades one depth-`k·r` exchange for `k`
+    /// depth-`r` rounds; a `None` here makes the temporal-fuse pass fall
+    /// back to per-iteration exchanges for the whole graph.
+    fn at_depth(&self, depth: usize) -> Option<Arc<dyn HaloExchange>> {
+        let _ = depth;
+        None
+    }
+}
+
+/// Temporal-blocking execution parameters of a super-step container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalSpec {
+    /// Iterations executed per launch of the super-step.
+    pub k: u8,
+    /// Maximum stencil radius among the member sweeps: the ghost zone
+    /// shrinks by this much per rep.
+    pub radius: usize,
 }
 
 struct ContainerInner {
@@ -148,6 +172,10 @@ struct ContainerInner {
     reduce_hooks: Vec<ReduceHooks>,
     /// Member containers of a fused container (empty for ordinary ones).
     members: Vec<Container>,
+    /// Present for temporal super-steps built by [`Container::temporal`]:
+    /// one launch executes `k` whole iterations of the member sweeps over
+    /// a ghost zone that shrinks by `radius` layers per rep.
+    temporal: Option<TemporalSpec>,
 }
 
 /// `Σ_uid max(read bytes) + Σ_uid max(write bytes)` over the recorded
@@ -290,6 +318,7 @@ impl Container {
                 bw_efficiency,
                 reduce_hooks,
                 members: Vec::new(),
+                temporal: None,
             }),
         }
     }
@@ -321,6 +350,7 @@ impl Container {
                 bw_efficiency: 1.0,
                 reduce_hooks: Vec::new(),
                 members: Vec::new(),
+                temporal: None,
             }),
         }
     }
@@ -427,6 +457,7 @@ impl Container {
                 bw_efficiency,
                 reduce_hooks,
                 members,
+                temporal: None,
             }),
         }
     }
@@ -460,6 +491,122 @@ impl Container {
                 bw_efficiency: 1.0,
                 reduce_hooks,
                 members,
+                temporal: None,
+            }),
+        }
+    }
+
+    /// Compose compute containers into one *temporal super-step*: a single
+    /// launch that executes `k` whole iterations of the member sweeps, in
+    /// member order, over an expanded interior whose ghost zone shrinks by
+    /// the stencil radius each rep (overlapped tiling with ghost-zone
+    /// recompute). Built by the temporal-fuse pass, which checks legality:
+    /// compute-only members sharing one grid, no reductions, and no member
+    /// stencil-reading data an *earlier* member of the step wrote.
+    ///
+    /// The merged access records promote every field read *before* its
+    /// first write in the step to a stencil read carrying a depth-`k·r`
+    /// halo exchange: rep 0 sweeps `(k-1)·r` ghost layers and stencil
+    /// reads reach `k·r`, so one deep exchange up front replaces `k`
+    /// per-iteration rounds. Each later rep's reads land on ghost cells
+    /// the previous rep recomputed — deterministically identical to the
+    /// values the owning device computes, so results match the unfused
+    /// run bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// If `k < 2`, members are empty or not compute containers, members
+    /// do not share one iteration space, or a read-before-write field
+    /// lacks a deep-halo-capable exchange (the pass checks all of these
+    /// before constructing).
+    pub fn temporal(name: &str, members: Vec<Container>, k: u8) -> Self {
+        assert!(k >= 2, "temporal super-step needs k >= 2");
+        assert!(!members.is_empty(), "temporal super-step needs members");
+        let space = members[0]
+            .inner
+            .space
+            .clone()
+            .expect("temporal members must be compute containers");
+        let sid = space.space_id();
+        assert!(sid.is_some(), "temporal members need a grid identity");
+        let mut radius = 1usize;
+        for m in &members {
+            let ms = m
+                .inner
+                .space
+                .as_ref()
+                .expect("temporal members must be compute containers");
+            assert!(
+                ms.space_id() == sid,
+                "temporal members must share one iteration space"
+            );
+            assert!(
+                m.inner.gen.is_some(),
+                "temporal members must be compute containers"
+            );
+            assert!(
+                m.inner.reduce_hooks.is_empty(),
+                "reductions close super-steps; cannot cross iterations"
+            );
+            for a in &m.inner.accesses {
+                if a.pattern == ComputePattern::Stencil && a.mode.reads() {
+                    radius = radius.max(a.halo.as_ref().map_or(1, |h| h.depth()));
+                }
+            }
+        }
+        let deep = k as usize * radius;
+        // Merge access records like `fused`, and promote reads that happen
+        // before the step's first write of their field to deep stencil
+        // reads: the multi-GPU pass then inserts one depth-`k·r` halo
+        // node per such field in front of the super-step.
+        let mut accesses: Vec<AccessRecord> = Vec::new();
+        let mut written = std::collections::HashSet::new();
+        let mut flops_per_cell = 0u64;
+        let mut bw_efficiency = f64::INFINITY;
+        for m in &members {
+            // Walk accesses in recorded (program) order so a read landing
+            // after the step's first write of its field — even inside one
+            // fused member — reads recomputed values, not the pre-step
+            // state, and therefore needs no deep exchange.
+            for a in &m.inner.accesses {
+                let mut a = a.clone();
+                if written.contains(&a.uid) {
+                    a.read_bytes_per_cell = 0;
+                } else if a.mode.reads() {
+                    if let Some(fx) = &a.field_exchange {
+                        if !fx.descriptors().is_empty() {
+                            let deep_ex = fx.at_depth(deep).unwrap_or_else(|| {
+                                panic!("field '{}' cannot host a depth-{} halo", a.name, deep)
+                            });
+                            a.pattern = ComputePattern::Stencil;
+                            a.halo = Some(deep_ex);
+                        }
+                    }
+                }
+                if a.mode.writes() {
+                    written.insert(a.uid);
+                }
+                accesses.push(a);
+            }
+            flops_per_cell += m.inner.flops_per_cell;
+            bw_efficiency = bw_efficiency.min(m.inner.bw_efficiency);
+        }
+        let kind = infer_kind(&accesses);
+        Container {
+            inner: Arc::new(ContainerInner {
+                name: name.to_string(),
+                kind,
+                shape: KernelShape::Generic,
+                space: Some(space),
+                gen: None,
+                host_gen: None,
+                bytes_per_cell: bytes_per_cell_of(&accesses),
+                accesses,
+                flops_per_cell,
+                bw_efficiency,
+                reduce_hooks: Vec::new(),
+                members,
+                temporal: Some(TemporalSpec { k, radius }),
             }),
         }
     }
@@ -473,6 +620,17 @@ impl Container {
     /// Member containers of a fused container (empty for ordinary ones).
     pub fn fused_members(&self) -> &[Container] {
         &self.inner.members
+    }
+
+    /// Temporal-blocking parameters, present for super-steps built by
+    /// [`Container::temporal`].
+    pub fn temporal_spec(&self) -> Option<TemporalSpec> {
+        self.inner.temporal
+    }
+
+    /// Whether this container is a temporal super-step.
+    pub fn is_temporal(&self) -> bool {
+        self.inner.temporal.is_some()
     }
 
     /// Container name.
@@ -581,6 +739,13 @@ impl Container {
             "container '{}' runs on a virtual-storage grid; functional execution unavailable",
             self.inner.name
         );
+        if let Some(spec) = self.inner.temporal {
+            assert!(
+                view == DataView::Standard,
+                "temporal super-steps launch the standard view only"
+            );
+            return self.run_device_temporal(dev, spec);
+        }
         let gen = self.inner.gen.as_ref().expect("compute container");
         let mut loader = Loader::for_execution(dev, space.num_partitions(), view);
         // Chunked iteration: one virtual call per block of cells instead of
@@ -597,6 +762,44 @@ impl Container {
             }
             KernelFn::Chunked(kernel) => {
                 space.for_each_cell_chunked(dev, view, &mut |cells| kernel(cells));
+            }
+        }
+    }
+
+    /// One launch of a temporal super-step on `dev`: `k` reps of the
+    /// member sweeps, rep `j` covering the owned cells plus `(k-1-j)·r`
+    /// ghost layers. Rep 0's stencil reads reach depth `k·r` — valid
+    /// because the deep halo exchange ran just before the launch — and
+    /// every later rep reads ghost values the previous rep recomputed
+    /// locally, so no cross-device traffic happens inside the step and
+    /// the result is bit-identical to `k` separate exchanged sweeps.
+    fn run_device_temporal(&self, dev: DeviceId, spec: TemporalSpec) {
+        let space = self.inner.space.as_ref().expect("checked by caller");
+        let k = spec.k as usize;
+        // Build each member's kernel once; the views live for the whole
+        // step. Like `fused`, the members' leases on one partition belong
+        // to a single launch and coalesce under a FusedScope.
+        let _scope = crate::access::FusedScope::enter();
+        let kernels: Vec<KernelFn> = self
+            .inner
+            .members
+            .iter()
+            .map(|m| {
+                let gen = m
+                    .inner
+                    .gen
+                    .as_ref()
+                    .expect("temporal members are compute containers");
+                let mut loader =
+                    Loader::for_execution(dev, space.num_partitions(), DataView::Standard);
+                gen(&mut loader)
+            })
+            .collect();
+        for j in 0..k {
+            let depth = (k - 1 - j) * spec.radius;
+            for kern in &kernels {
+                space
+                    .for_each_cell_chunked_expanded(dev, depth, &mut |cells| kern.run_chunk(cells));
             }
         }
     }

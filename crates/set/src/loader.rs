@@ -94,6 +94,14 @@ pub struct AccessRecord {
     pub write_bytes_per_cell: u64,
     /// Halo-exchange implementation, present for stencil reads of fields.
     pub halo: Option<Arc<dyn HaloExchange>>,
+    /// The field's halo-exchange implementation regardless of pattern —
+    /// recorded for *every* access of a field that has one, unlike `halo`
+    /// which only stencil reads carry. The temporal-fuse pass uses this to
+    /// refresh ghost copies of fields a super-step reads cell-locally
+    /// (e.g. a Jacobi right-hand side): ghost-zone recompute evaluates map
+    /// reads at ghost cells too, so their halo copies must be coherent.
+    /// Downstream passes that key on `halo` are unaffected.
+    pub field_exchange: Option<Arc<dyn HaloExchange>>,
     /// Reduce lifecycle hooks, present for reduce accesses.
     pub reduce_hooks: Option<ReduceHooks>,
     /// Checkpoint capture handle, present for written objects (the
@@ -111,6 +119,7 @@ impl std::fmt::Debug for AccessRecord {
             .field("read_bytes_per_cell", &self.read_bytes_per_cell)
             .field("write_bytes_per_cell", &self.write_bytes_per_cell)
             .field("has_halo", &self.halo.is_some())
+            .field("has_field_exchange", &self.field_exchange.is_some())
             .field("has_state", &self.state.is_some())
             .finish()
     }
@@ -222,6 +231,7 @@ impl<'a> Loader<'a> {
         read_bytes_per_cell: u64,
         write_bytes_per_cell: u64,
         halo: Option<Arc<dyn HaloExchange>>,
+        field_exchange: Option<Arc<dyn HaloExchange>>,
         reduce_hooks: Option<ReduceHooks>,
         state: Option<Arc<dyn StateHandle>>,
     ) {
@@ -234,6 +244,7 @@ impl<'a> Loader<'a> {
                 read_bytes_per_cell,
                 write_bytes_per_cell,
                 halo,
+                field_exchange,
                 reduce_hooks,
                 state,
             });
@@ -242,6 +253,11 @@ impl<'a> Loader<'a> {
 
     /// Load a cell-local read view (map pattern).
     pub fn read<L: Loadable>(&mut self, d: &L) -> L::ReadView {
+        let fx = if self.is_recording() {
+            d.halo_exchange()
+        } else {
+            None
+        };
         self.record(
             d.data_uid(),
             d.data_name(),
@@ -250,6 +266,7 @@ impl<'a> Loader<'a> {
             d.bytes_per_cell(),
             0,
             None,
+            fx,
             None,
             None,
         );
@@ -261,6 +278,11 @@ impl<'a> Loader<'a> {
     /// Declaring a stencil read is what makes the Skeleton insert a halo
     /// update (and flags the container node as *incoherent*, paper §V-A).
     pub fn read_stencil<L: Loadable>(&mut self, d: &L) -> L::StencilView {
+        let fx = if self.is_recording() {
+            d.halo_exchange()
+        } else {
+            None
+        };
         self.record(
             d.data_uid(),
             d.data_name(),
@@ -268,7 +290,8 @@ impl<'a> Loader<'a> {
             ComputePattern::Stencil,
             d.stencil_bytes_per_cell(),
             0,
-            d.halo_exchange(),
+            fx.clone(),
+            fx,
             None,
             None,
         );
@@ -282,6 +305,11 @@ impl<'a> Loader<'a> {
         } else {
             None
         };
+        let fx = if self.is_recording() {
+            d.halo_exchange()
+        } else {
+            None
+        };
         self.record(
             d.data_uid(),
             d.data_name(),
@@ -290,6 +318,7 @@ impl<'a> Loader<'a> {
             0,
             d.bytes_per_cell(),
             None,
+            fx,
             None,
             state,
         );
@@ -305,6 +334,11 @@ impl<'a> Loader<'a> {
         } else {
             None
         };
+        let fx = if self.is_recording() {
+            d.halo_exchange()
+        } else {
+            None
+        };
         self.record(
             d.data_uid(),
             d.data_name(),
@@ -313,6 +347,7 @@ impl<'a> Loader<'a> {
             d.bytes_per_cell(),
             d.bytes_per_cell(),
             None,
+            fx,
             None,
             state,
         );
@@ -330,6 +365,7 @@ impl<'a> Loader<'a> {
             ComputePattern::Reduce,
             0,
             0,
+            None,
             None,
             Some(ReduceHooks {
                 init: Arc::new(move || s_init.init_partials()),
@@ -353,6 +389,7 @@ impl<'a> Loader<'a> {
             None,
             None,
             None,
+            None,
         );
         s.host_value()
     }
@@ -369,6 +406,7 @@ impl<'a> Loader<'a> {
             None,
             None,
             None,
+            None,
         );
         ScalarReader { set: s.clone() }
     }
@@ -382,6 +420,7 @@ impl<'a> Loader<'a> {
             ComputePattern::Map,
             0,
             0,
+            None,
             None,
             None,
             Some(Arc::new(s.clone()) as Arc<dyn StateHandle>),

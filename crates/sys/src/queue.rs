@@ -53,6 +53,12 @@ pub struct CounterSnapshot {
     pub kernel_launches: u64,
     /// Bytes swept by recorded kernel launches.
     pub kernel_bytes_moved: u64,
+    /// Ghost-zone flops recomputed by temporally-blocked kernels: work a
+    /// depth-1 execution would have received from a halo exchange instead.
+    pub redundant_flops: u64,
+    /// Halo exchange rounds executed (one per halo node per execution,
+    /// regardless of how many segment transfers the round performs).
+    pub halo_rounds: u64,
     /// Total busy time summed over every link resource.
     pub link_busy: SimTime,
     /// Contention events summed over every link resource.
@@ -65,6 +71,8 @@ impl CounterSnapshot {
     pub fn accumulate(&mut self, other: &CounterSnapshot) {
         self.kernel_launches += other.kernel_launches;
         self.kernel_bytes_moved += other.kernel_bytes_moved;
+        self.redundant_flops += other.redundant_flops;
+        self.halo_rounds += other.halo_rounds;
         self.link_busy += other.link_busy;
         self.link_contended += other.link_contended;
     }
@@ -82,6 +90,8 @@ impl std::ops::Sub for CounterSnapshot {
             kernel_bytes_moved: self
                 .kernel_bytes_moved
                 .saturating_sub(before.kernel_bytes_moved),
+            redundant_flops: self.redundant_flops.saturating_sub(before.redundant_flops),
+            halo_rounds: self.halo_rounds.saturating_sub(before.halo_rounds),
             link_busy: if self.link_busy.as_us() >= before.link_busy.as_us() {
                 self.link_busy - before.link_busy
             } else {
@@ -121,6 +131,10 @@ pub struct QueueSim {
     kernel_launches: u64,
     /// Cumulative bytes swept by recorded kernel launches.
     kernel_bytes_moved: u64,
+    /// Cumulative ghost-zone flops recomputed by temporally-blocked launches.
+    redundant_flops: u64,
+    /// Cumulative halo exchange rounds recorded.
+    halo_rounds: u64,
     trace: Option<Trace>,
     /// Fault injector consulted for kernel launches (transfers are consulted
     /// by the executor at halo-node granularity instead).
@@ -140,6 +154,8 @@ impl QueueSim {
             link_arbitration: SimTime::from_us(2.0),
             kernel_launches: 0,
             kernel_bytes_moved: 0,
+            redundant_flops: 0,
+            halo_rounds: 0,
             trace: None,
             injector: None,
         }
@@ -443,6 +459,8 @@ impl QueueSim {
     pub fn reset_counters(&mut self) {
         self.kernel_launches = 0;
         self.kernel_bytes_moved = 0;
+        self.redundant_flops = 0;
+        self.halo_rounds = 0;
         for l in &mut self.links {
             l.busy_total = SimTime::ZERO;
             l.contended = 0;
@@ -457,6 +475,8 @@ impl QueueSim {
         CounterSnapshot {
             kernel_launches: self.kernel_launches,
             kernel_bytes_moved: self.kernel_bytes_moved,
+            redundant_flops: self.redundant_flops,
+            halo_rounds: self.halo_rounds,
             link_busy: self.links.iter().map(|l| l.busy_total).sum(),
             link_contended: self.links.iter().map(|l| l.contended).sum(),
         }
@@ -490,6 +510,27 @@ impl QueueSim {
     /// Cumulative bytes swept by recorded kernel launches.
     pub fn kernel_bytes_moved(&self) -> u64 {
         self.kernel_bytes_moved
+    }
+
+    /// Record ghost-zone flops a temporally-blocked launch recomputed
+    /// instead of receiving via halo exchange (utilization counter).
+    pub fn record_redundant_flops(&mut self, flops: u64) {
+        self.redundant_flops += flops;
+    }
+
+    /// Cumulative ghost-zone flops recomputed by temporally-blocked launches.
+    pub fn redundant_flops(&self) -> u64 {
+        self.redundant_flops
+    }
+
+    /// Record one halo exchange round (all segments of one halo node).
+    pub fn record_halo_round(&mut self) {
+        self.halo_rounds += 1;
+    }
+
+    /// Cumulative halo exchange rounds recorded.
+    pub fn halo_rounds(&self) -> u64 {
+        self.halo_rounds
     }
 
     /// Number of link resources touched so far.
@@ -772,6 +813,35 @@ mod tests {
         q.reset();
         assert_eq!(q.kernel_launches(), 2, "utilization counters survive reset");
         assert_eq!(q.kernel_bytes_moved(), 1536);
+    }
+
+    #[test]
+    fn temporal_counters_accumulate_snapshot_and_reset() {
+        let mut q = QueueSim::new(1, 1);
+        assert_eq!(q.redundant_flops(), 0);
+        assert_eq!(q.halo_rounds(), 0);
+        q.record_redundant_flops(300);
+        q.record_halo_round();
+        q.record_halo_round();
+        assert_eq!(q.redundant_flops(), 300);
+        assert_eq!(q.halo_rounds(), 2);
+        q.reset();
+        assert_eq!(q.redundant_flops(), 300, "survive queue reset");
+        assert_eq!(q.halo_rounds(), 2);
+        let before = q.counters_snapshot();
+        q.record_redundant_flops(50);
+        q.record_halo_round();
+        let delta = q.counters_snapshot() - before;
+        assert_eq!(delta.redundant_flops, 50);
+        assert_eq!(delta.halo_rounds, 1);
+        let mut total = CounterSnapshot::default();
+        total.accumulate(&delta);
+        total.accumulate(&delta);
+        assert_eq!(total.redundant_flops, 100);
+        assert_eq!(total.halo_rounds, 2);
+        q.reset_counters();
+        assert_eq!(q.redundant_flops(), 0);
+        assert_eq!(q.halo_rounds(), 0);
     }
 
     #[test]

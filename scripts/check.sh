@@ -23,6 +23,9 @@ cargo run --release -p neon-bench --bin repro_functional -- --smoke
 echo "==> fusion smoke (fused must match unfused bit-for-bit and cut launches/bytes)"
 cargo run --release -p neon-bench --bin repro_fusion -- --smoke
 
+echo "==> temporal smoke (super-steps bit-identical, 1 deep round per k iters, 4-dev win >= 25%)"
+cargo run --release -p neon-bench --bin repro_temporal -- --smoke
+
 echo "==> fault smoke (retry/rollback/eviction must recover bit-identically)"
 cargo run --release -p neon-bench --bin repro_faults -- --smoke
 
