@@ -32,11 +32,24 @@ pub enum Algorithm {
     Ring,
     /// Binomial reduce-to-root + broadcast (latency-optimal).
     Tree,
+    /// Topology-hierarchical: reduce inside each NVLink island, exchange
+    /// one representative per island across the slow cross-island links,
+    /// broadcast back inside. Crosses the slow links `2(r−1)` times for
+    /// `r` islands — the minimum any spanning exchange can do — instead
+    /// of paying them on every flat ring/tree step.
+    Hierarchical,
 }
 
 impl Algorithm {
+    /// The flat (topology-oblivious) algorithms, for sweeps.
+    pub const FLAT: [Algorithm; 3] = [Algorithm::HostStaged, Algorithm::Ring, Algorithm::Tree];
     /// All algorithms, for sweeps.
-    pub const ALL: [Algorithm; 3] = [Algorithm::HostStaged, Algorithm::Ring, Algorithm::Tree];
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::HostStaged,
+        Algorithm::Ring,
+        Algorithm::Tree,
+        Algorithm::Hierarchical,
+    ];
 }
 
 impl fmt::Display for Algorithm {
@@ -45,6 +58,7 @@ impl fmt::Display for Algorithm {
             Algorithm::HostStaged => "host-staged",
             Algorithm::Ring => "ring",
             Algorithm::Tree => "tree",
+            Algorithm::Hierarchical => "hierarchical",
         })
     }
 }
@@ -79,6 +93,11 @@ impl fmt::Display for CollectiveKind {
 /// `peer` is the device↔device link, `host` the device↔host staging link.
 /// When the peer link is PCIe-class, concurrent steps of a round share the
 /// host root complex and are charged serially; NVLink rounds overlap.
+///
+/// [`Algorithm::Hierarchical`]'s cost depends on the island structure,
+/// which a single peer link cannot express — use
+/// [`estimate_hierarchical_us`]; this function returns `f64::INFINITY`
+/// for it so min-loops over [`Algorithm::ALL`] never pick it blindly.
 pub fn estimate_us(
     alg: Algorithm,
     kind: CollectiveKind,
@@ -137,16 +156,58 @@ pub fn estimate_us(
                 CollectiveKind::Broadcast => rounds * round,
             }
         }
+        Algorithm::Hierarchical => f64::INFINITY,
     }
 }
 
-/// Pick the cheapest algorithm for `kind` on this topology and payload.
-///
-/// Selection is driven by the topology's link class and the message size:
-/// small payloads on NVLink favour the tree (fewest latency terms), large
-/// payloads favour the ring (bandwidth-optimal), and PCIe boxes fall back
-/// to host staging when serialization erases the peer algorithms' edge.
-pub fn choose(kind: CollectiveKind, bytes: u64, topo: &Topology) -> Algorithm {
+/// Analytic cost of the hierarchical schedule on this topology, in
+/// microseconds: binomial rounds inside each NVLink island (islands
+/// overlap on their dedicated links, so the deepest island dominates),
+/// plus `r − 1` sequential full-payload transfers each way across the
+/// slow cross-island links for `r` islands.
+pub fn estimate_hierarchical_us(kind: CollectiveKind, bytes: u64, topo: &Topology) -> f64 {
+    let ndev = topo.num_devices();
+    if ndev <= 1 {
+        return 0.0;
+    }
+    let islands = topo.islands();
+    let r = islands.len() as f64;
+    // Intra-island phase: binomial rounds over the island's internal link;
+    // different islands run on disjoint dedicated links and overlap.
+    let intra_rounds = islands
+        .iter()
+        .map(|i| (i.len() as f64).log2().ceil())
+        .fold(0.0, f64::max);
+    let intra = islands.iter().find(|i| i.len() > 1).map_or(0.0, |i| {
+        intra_rounds * topo.transfer_time(i[0], i[1], bytes).as_us()
+    });
+    // Inter-island phase: representatives exchange sequentially over the
+    // shared slow path (they would serialize through the root complex
+    // anyway, and a sequential schedule avoids arbitration penalties).
+    let inter_one_way = if islands.len() > 1 {
+        (r - 1.0)
+            * topo
+                .transfer_time(islands[0][0], islands[1][0], bytes)
+                .as_us()
+    } else {
+        0.0
+    };
+    match kind {
+        CollectiveKind::AllReduce => 2.0 * intra + 2.0 * inter_one_way,
+        CollectiveKind::Broadcast => intra + inter_one_way,
+        // Reduce-to-root plus a shard scatter ≈ the all-reduce shape for
+        // selection purposes (shards are cheaper than the full payload,
+        // so this errs conservative).
+        CollectiveKind::ReduceScatter | CollectiveKind::AllGather => {
+            2.0 * intra + 2.0 * inter_one_way
+        }
+    }
+}
+
+/// Pick the cheapest *flat* algorithm for `kind` on this topology and
+/// payload (hierarchical excluded — the pre-island selection behavior,
+/// kept as the baseline the hierarchical schedule is measured against).
+pub fn choose_flat(kind: CollectiveKind, bytes: u64, topo: &Topology) -> Algorithm {
     let ndev = topo.num_devices();
     if ndev <= 1 {
         return Algorithm::Ring;
@@ -155,7 +216,7 @@ pub fn choose(kind: CollectiveKind, bytes: u64, topo: &Topology) -> Algorithm {
     let host = *topo.host_link();
     let mut best = Algorithm::Ring;
     let mut best_t = f64::INFINITY;
-    for alg in Algorithm::ALL {
+    for alg in Algorithm::FLAT {
         let t = estimate_us(alg, kind, ndev, bytes, &peer, &host);
         if t < best_t {
             best_t = t;
@@ -163,6 +224,38 @@ pub fn choose(kind: CollectiveKind, bytes: u64, topo: &Topology) -> Algorithm {
         }
     }
     best
+}
+
+/// Pick the cheapest algorithm for `kind` on this topology and payload.
+///
+/// Selection is driven by the topology's link class and the message size:
+/// small payloads on NVLink favour the tree (fewest latency terms), large
+/// payloads favour the ring (bandwidth-optimal), and PCIe boxes fall back
+/// to host staging when serialization erases the peer algorithms' edge.
+/// On *mixed* topologies — more than one island, at least one with an
+/// NVLink interior, as produced by multi-box fleets and by asymmetric
+/// survivor subsets after device eviction — the hierarchical schedule
+/// competes too, whatever the island sizes (they need not be powers of
+/// two or balanced).
+pub fn choose(kind: CollectiveKind, bytes: u64, topo: &Topology) -> Algorithm {
+    let ndev = topo.num_devices();
+    if ndev <= 1 {
+        return Algorithm::Ring;
+    }
+    let flat = choose_flat(kind, bytes, topo);
+    let islands = topo.islands();
+    let mixed = islands.len() > 1 && islands.iter().any(|i| i.len() > 1);
+    if !mixed {
+        return flat;
+    }
+    let peer = *topo.link(DeviceId(0), DeviceId(ndev - 1));
+    let host = *topo.host_link();
+    let flat_t = estimate_us(flat, kind, ndev, bytes, &peer, &host);
+    if estimate_hierarchical_us(kind, bytes, topo) < flat_t {
+        Algorithm::Hierarchical
+    } else {
+        flat
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +307,7 @@ mod tests {
     fn estimates_are_positive_and_finite() {
         let peer = LinkModel::nvlink();
         let host = LinkModel::pcie4_host();
-        for alg in Algorithm::ALL {
+        for alg in Algorithm::FLAT {
             for kind in [
                 CollectiveKind::AllReduce,
                 CollectiveKind::ReduceScatter,
@@ -225,6 +318,76 @@ mod tests {
                 assert!(t.is_finite() && t > 0.0, "{alg}/{kind}: {t}");
             }
         }
+        // The hierarchical estimate needs the topology, not a single link.
+        assert_eq!(
+            estimate_us(
+                Algorithm::Hierarchical,
+                CollectiveKind::AllReduce,
+                4,
+                1 << 20,
+                &peer,
+                &host
+            ),
+            f64::INFINITY
+        );
+        let topo = Topology::nvlink_islands(&[2, 2], 1555.0);
+        let t = estimate_hierarchical_us(CollectiveKind::AllReduce, 1 << 20, &topo);
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn mixed_topologies_select_hierarchical() {
+        for sizes in [&[2usize, 2][..], &[4, 4], &[3, 1], &[2, 1, 1], &[1, 4]] {
+            let topo = Topology::nvlink_islands(sizes, 1555.0);
+            for bytes in [8u64, 64 << 10, 16 << 20] {
+                assert_eq!(
+                    choose(CollectiveKind::AllReduce, bytes, &topo),
+                    Algorithm::Hierarchical,
+                    "islands {sizes:?}, {bytes} B"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pure_topologies_never_select_hierarchical() {
+        for topo in [
+            Topology::nvlink_all_to_all(8, 1555.0),
+            Topology::pcie_host_staged(8, 870.0),
+        ] {
+            for bytes in [8u64, 64 << 10, 16 << 20] {
+                let alg = choose(CollectiveKind::AllReduce, bytes, &topo);
+                assert_ne!(alg, Algorithm::Hierarchical, "{bytes} B");
+                assert_eq!(alg, choose_flat(CollectiveKind::AllReduce, bytes, &topo));
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_survivor_subsets_select_hierarchical() {
+        // Two 4-GPU boxes; a device loss leaves a 3+2 survivor subset.
+        let fleet = Topology::nvlink_islands(&[4, 4], 1555.0);
+        let survivors = fleet.with_devices(&[
+            DeviceId(0),
+            DeviceId(1),
+            DeviceId(2),
+            DeviceId(5),
+            DeviceId(6),
+        ]);
+        assert_eq!(survivors.islands().len(), 2);
+        for bytes in [8u64, 1 << 20] {
+            assert_eq!(
+                choose(CollectiveKind::AllReduce, bytes, &survivors),
+                Algorithm::Hierarchical
+            );
+        }
+        // A subset that falls entirely inside one island is pure NVLink
+        // again and must not pretend to be hierarchical.
+        let inside = fleet.with_devices(&[DeviceId(0), DeviceId(1), DeviceId(2)]);
+        assert_ne!(
+            choose(CollectiveKind::AllReduce, 1 << 20, &inside),
+            Algorithm::Hierarchical
+        );
     }
 
     #[test]
@@ -248,6 +411,7 @@ mod tests {
     fn display_labels() {
         assert_eq!(Algorithm::Ring.to_string(), "ring");
         assert_eq!(Algorithm::HostStaged.to_string(), "host-staged");
+        assert_eq!(Algorithm::Hierarchical.to_string(), "hierarchical");
         assert_eq!(CollectiveKind::AllReduce.to_string(), "all-reduce");
     }
 }

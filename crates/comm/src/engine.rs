@@ -136,6 +136,7 @@ impl CollectiveEngine {
             Algorithm::HostStaged => self.host_staged(q, kind, bytes, earliest, lane, name),
             Algorithm::Ring => self.ring(q, kind, bytes, earliest, lane, name),
             Algorithm::Tree => self.tree(q, kind, bytes, earliest, lane, name),
+            Algorithm::Hierarchical => self.hierarchical(q, kind, bytes, earliest, lane, name),
         };
         let busy_after: SimTime = (0..n).map(|d| q.now(self.stream(d, lane))).sum();
         CollectiveTiming {
@@ -214,11 +215,12 @@ impl CollectiveEngine {
                     .to_vec();
                 for k in 0..c {
                     let label = format!("{name}:ring{step}.{k}:{src}->{dst}");
-                    let (_, end) = q.enqueue_transfer(
+                    let (_, end) = q.enqueue_transfer_sized(
                         self.stream(src, lane),
                         prev[src][k],
                         dur,
                         &res,
+                        cb,
                         &label,
                         SpanKind::Collective,
                     );
@@ -257,7 +259,7 @@ impl CollectiveEngine {
                     if src >= n {
                         continue;
                     }
-                    self.tree_send(q, &mut ready, src, dst, cb, lane, name, "up", true);
+                    self.tree_send(q, &mut ready, src, dst, cb, lane, name, "tree-up", true);
                 }
                 r *= 2;
             }
@@ -275,7 +277,7 @@ impl CollectiveEngine {
                         if dst >= n {
                             continue;
                         }
-                        self.tree_send(q, &mut ready, src, dst, cb, lane, name, "down", false);
+                        self.tree_send(q, &mut ready, src, dst, cb, lane, name, "tree-down", false);
                     }
                 }
             }
@@ -290,11 +292,12 @@ impl CollectiveEngine {
                         .link_resources(DeviceId(0), DeviceId(dst))
                         .to_vec();
                     let label = format!("{name}:scatter:0->{dst}");
-                    let (_, end) = q.enqueue_transfer(
+                    let (_, end) = q.enqueue_transfer_sized(
                         self.stream(0, lane),
                         root_ready,
                         dur,
                         &res,
+                        shard,
                         &label,
                         SpanKind::Collective,
                     );
@@ -328,18 +331,172 @@ impl CollectiveEngine {
             .link_resources(DeviceId(src), DeviceId(dst))
             .to_vec();
         for k in 0..ready[src].len() {
-            let label = format!("{name}:tree-{dir}.{k}:{src}->{dst}");
-            let (_, end) = q.enqueue_transfer(
+            let label = format!("{name}:{dir}.{k}:{src}->{dst}");
+            let (_, end) = q.enqueue_transfer_sized(
                 self.stream(src, lane),
                 ready[src][k],
                 dur,
                 &res,
+                chunk_bytes,
                 &label,
                 SpanKind::Collective,
             );
             // A reduce combines with the receiver's operand; a broadcast
             // replaces it.
             ready[dst][k] = if combine { ready[dst][k].max(end) } else { end };
+        }
+    }
+
+    /// Hierarchical schedule: binomial reduce to each NVLink island's
+    /// leader over the island's dedicated links (islands overlap), a
+    /// sequential representative exchange across the slow cross-island
+    /// links (they share the host root complex, so a sequential schedule
+    /// costs the same serialization without arbitration penalties), then
+    /// binomial broadcast back inside each island. The slow path is
+    /// crossed `2(r−1)` times for `r` islands — the spanning minimum —
+    /// instead of on every flat ring/tree step. Degenerates gracefully:
+    /// one island is a plain binomial tree, all-singleton islands a
+    /// sequential leader exchange; island sizes may be arbitrary (uneven,
+    /// non-power-of-two survivor subsets included).
+    fn hierarchical(
+        &self,
+        q: &mut QueueSim,
+        kind: CollectiveKind,
+        bytes: u64,
+        earliest: &[SimTime],
+        lane: usize,
+        name: &str,
+    ) -> Vec<SimTime> {
+        let n = self.topo.num_devices();
+        let islands = self.topo.islands();
+        // Leaders: each island's smallest member. Island 0 contains device
+        // 0, so the global root is rank 0 — same convention as the flat
+        // algorithms.
+        let leaders: Vec<usize> = islands.iter().map(|i| i[0].0).collect();
+        let (c, cb) = self.chunks(bytes);
+        let mut ready: Vec<Vec<SimTime>> = earliest.iter().map(|&t| vec![t; c]).collect();
+        let needs_reduce = matches!(
+            kind,
+            CollectiveKind::AllReduce | CollectiveKind::ReduceScatter | CollectiveKind::AllGather
+        );
+        if needs_reduce {
+            for island in &islands {
+                self.island_sweep(q, &mut ready, island, cb, lane, name, true);
+            }
+            for &l in leaders.iter().skip(1) {
+                self.tree_send(
+                    q, &mut ready, l, leaders[0], cb, lane, name, "inter-up", true,
+                );
+            }
+        }
+        match kind {
+            CollectiveKind::AllReduce | CollectiveKind::Broadcast | CollectiveKind::AllGather => {
+                for &l in leaders.iter().skip(1) {
+                    let dir = "inter-down";
+                    self.tree_send(q, &mut ready, leaders[0], l, cb, lane, name, dir, false);
+                }
+                for island in &islands {
+                    self.island_sweep(q, &mut ready, island, cb, lane, name, false);
+                }
+            }
+            CollectiveKind::ReduceScatter => {
+                // The global root scatters shard-sized results directly.
+                let shard = bytes.div_ceil(n as u64);
+                let root = leaders[0];
+                let root_ready = ready[root]
+                    .iter()
+                    .copied()
+                    .fold(SimTime::ZERO, SimTime::max);
+                for dst in 0..n {
+                    if dst == root {
+                        continue;
+                    }
+                    let dur = self
+                        .topo
+                        .transfer_time(DeviceId(root), DeviceId(dst), shard);
+                    let res = self
+                        .topo
+                        .link_resources(DeviceId(root), DeviceId(dst))
+                        .to_vec();
+                    let label = format!("{name}:hier-scatter:{root}->{dst}");
+                    let (_, end) = q.enqueue_transfer_sized(
+                        self.stream(root, lane),
+                        root_ready,
+                        dur,
+                        &res,
+                        shard,
+                        &label,
+                        SpanKind::Collective,
+                    );
+                    for k in 0..c {
+                        ready[dst][k] = end;
+                    }
+                }
+            }
+        }
+        self.finish(q, lane, &ready)
+    }
+
+    /// One binomial sweep inside an island: `combine == true` reduces the
+    /// members onto the leader (`island[0]`), `combine == false`
+    /// broadcasts the leader's payload out in mirror order. Positions are
+    /// island-relative, so arbitrary (renumbered, uneven) member sets
+    /// work.
+    #[allow(clippy::too_many_arguments)]
+    fn island_sweep(
+        &self,
+        q: &mut QueueSim,
+        ready: &mut [Vec<SimTime>],
+        island: &[DeviceId],
+        chunk_bytes: u64,
+        lane: usize,
+        name: &str,
+        combine: bool,
+    ) {
+        let m = island.len();
+        if m <= 1 {
+            return;
+        }
+        if combine {
+            let mut r = 1;
+            while r < m {
+                for i in (0..m).step_by(2 * r) {
+                    let s = i + r;
+                    if s >= m {
+                        continue;
+                    }
+                    let (src, dst) = (island[s].0, island[i].0);
+                    self.tree_send(
+                        q,
+                        ready,
+                        src,
+                        dst,
+                        chunk_bytes,
+                        lane,
+                        name,
+                        "intra-up",
+                        true,
+                    );
+                }
+                r *= 2;
+            }
+        } else {
+            let mut r = 1;
+            while r < m {
+                r *= 2;
+            }
+            while r > 1 {
+                r /= 2;
+                for i in (0..m).step_by(2 * r) {
+                    let d = i + r;
+                    if d >= m {
+                        continue;
+                    }
+                    let (src, dst) = (island[i].0, island[d].0);
+                    let dir = "intra-down";
+                    self.tree_send(q, ready, src, dst, chunk_bytes, lane, name, dir, false);
+                }
+            }
         }
     }
 
@@ -369,11 +526,12 @@ impl CollectiveEngine {
         if kind == CollectiveKind::Broadcast {
             let dur = self.topo.host_transfer_time(bytes);
             let label = format!("{name}:d2h:0");
-            let (_, end) = q.enqueue_transfer(
+            let (_, end) = q.enqueue_transfer_sized(
                 self.stream(0, lane),
                 earliest[0],
                 dur,
                 &res,
+                bytes,
                 &label,
                 SpanKind::Collective,
             );
@@ -382,11 +540,12 @@ impl CollectiveEngine {
             let dur = self.topo.host_transfer_time(up_bytes);
             for d in 0..n {
                 let label = format!("{name}:d2h:{d}");
-                let (_, end) = q.enqueue_transfer(
+                let (_, end) = q.enqueue_transfer_sized(
                     self.stream(d, lane),
                     earliest[d],
                     dur,
                     &res,
+                    up_bytes,
                     &label,
                     SpanKind::Collective,
                 );
@@ -401,11 +560,12 @@ impl CollectiveEngine {
                 continue;
             }
             let label = format!("{name}:h2d:{d}");
-            let (_, end) = q.enqueue_transfer(
+            let (_, end) = q.enqueue_transfer_sized(
                 self.stream(d, lane),
                 host_done,
                 dur,
                 &res,
+                down_bytes,
                 &label,
                 SpanKind::Collective,
             );
@@ -594,6 +754,84 @@ mod tests {
                 assert_eq!(t.done.len(), 3);
             }
         }
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_on_two_islands() {
+        // 2 islands × 2 devices, 16 MiB: the flat ring pays the slow PCIe
+        // cross-links on 2 of its 4 edges every step; hierarchical crosses
+        // them exactly twice.
+        let topo = Topology::nvlink_islands(&[2, 2], 1555.0);
+        let bytes = 16 << 20;
+        let (hier, hq) = run(
+            topo.clone(),
+            Algorithm::Hierarchical,
+            CollectiveKind::AllReduce,
+            bytes,
+        );
+        let (ring, rq) = run(topo, Algorithm::Ring, CollectiveKind::AllReduce, bytes);
+        assert!(
+            hier.makespan().as_us() < 0.8 * ring.makespan().as_us(),
+            "hierarchical {} !< 0.8 × ring {}",
+            hier.makespan(),
+            ring.makespan()
+        );
+        let hier_slow = hq.counters_snapshot().slow_link_bytes;
+        let ring_slow = rq.counters_snapshot().slow_link_bytes;
+        assert!(
+            hier_slow < ring_slow,
+            "slow-link bytes {hier_slow} !< {ring_slow}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_handles_every_kind_on_uneven_islands() {
+        for sizes in [&[3usize, 1][..], &[2, 1, 1], &[1, 4], &[2, 3, 2]] {
+            for kind in [
+                CollectiveKind::AllReduce,
+                CollectiveKind::ReduceScatter,
+                CollectiveKind::AllGather,
+                CollectiveKind::Broadcast,
+            ] {
+                let topo = Topology::nvlink_islands(sizes, 1555.0);
+                let n = topo.num_devices();
+                let (t, _) = run(topo, Algorithm::Hierarchical, kind, 4 << 10);
+                assert!(t.makespan() > SimTime::ZERO, "{sizes:?}/{kind}");
+                assert_eq!(t.done.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_on_one_island_matches_tree() {
+        let topo = Topology::nvlink_all_to_all(4, 1555.0);
+        let (hier, _) = run(
+            topo.clone(),
+            Algorithm::Hierarchical,
+            CollectiveKind::AllReduce,
+            1 << 20,
+        );
+        let (tree, _) = run(topo, Algorithm::Tree, CollectiveKind::AllReduce, 1 << 20);
+        assert_eq!(hier.makespan(), tree.makespan());
+    }
+
+    #[test]
+    fn auto_selection_picks_hierarchical_on_mixed_topology() {
+        let engine = CollectiveEngine::new(Topology::nvlink_islands(&[2, 2], 1555.0));
+        assert_eq!(
+            engine.select(CollectiveKind::AllReduce, 1 << 20),
+            Algorithm::Hierarchical
+        );
+        let mut q = QueueSim::new(4, 1);
+        let t = engine.schedule(
+            &mut q,
+            CollectiveKind::AllReduce,
+            1 << 20,
+            &zeros(4),
+            0,
+            "ar",
+        );
+        assert_eq!(t.algorithm, Algorithm::Hierarchical);
     }
 
     #[test]

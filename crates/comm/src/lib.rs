@@ -8,12 +8,15 @@
 //!   result is bit-identical no matter which algorithm the timing layer
 //!   picks; and
 //! * a **timing schedule** on a [`QueueSim`] virtual clock
-//!   ([`engine::CollectiveEngine`]) implementing three algorithms —
+//!   ([`engine::CollectiveEngine`]) implementing four algorithms —
 //!   host-staged (the naive baseline: every partial staged through the
 //!   host), **ring** (bandwidth-optimal, `2(n−1)` shard-sized steps with
-//!   chunk-level pipelining) and **binomial tree**
-//!   (latency-optimal, `2⌈log₂ n⌉` rounds) — with automatic selection
-//!   driven by the topology's link class and the message size
+//!   chunk-level pipelining), **binomial tree**
+//!   (latency-optimal, `2⌈log₂ n⌉` rounds) and **hierarchical**
+//!   (topology-aware: reduce inside each NVLink island, exchange one
+//!   representative per island across the slow cross-island links,
+//!   broadcast back inside) — with automatic selection driven by the
+//!   topology's link class, island structure and the message size
 //!   ([`algorithm::choose`]).
 //!
 //! Transfers are enqueued through [`QueueSim::enqueue_transfer`], so they
@@ -34,6 +37,8 @@ pub mod algorithm;
 pub mod buffers;
 pub mod engine;
 
-pub use algorithm::{choose, estimate_us, Algorithm, CollectiveKind};
+pub use algorithm::{
+    choose, choose_flat, estimate_hierarchical_us, estimate_us, Algorithm, CollectiveKind,
+};
 pub use buffers::{all_gather, all_reduce, broadcast, reduce_scatter};
 pub use engine::{CollectiveEngine, CollectiveTiming, EngineConfig};

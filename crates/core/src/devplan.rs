@@ -46,8 +46,24 @@
 
 use neon_set::HaloDescriptor;
 
+use crate::exec::CommMode;
 use crate::graph::{Graph, NodeId, NodeKind};
 use crate::schedule::Schedule;
+
+/// Chunk policy shared by the timing replay and the device plan: split a
+/// transfer of `bytes` into `(chunks, bytes_per_chunk)`. Mirrors the
+/// collective engine's pipelining defaults (1 MiB chunks, at most 8 per
+/// transfer) so halo payloads and collective steps stream at the same
+/// granularity.
+pub fn comm_chunks(bytes: u64) -> (usize, u64) {
+    const CHUNK_BYTES: u64 = 1 << 20;
+    const MAX_CHUNKS: u64 = 8;
+    if bytes == 0 {
+        return (1, 0);
+    }
+    let c = bytes.div_ceil(CHUNK_BYTES).clamp(1, MAX_CHUNKS);
+    (c as usize, bytes.div_ceil(c))
+}
 
 /// What a single per-device step executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +113,13 @@ pub struct DevicePlan {
     steps: Vec<Vec<DevStep>>,
     /// Flat pool of wait slots, referenced by [`DevStep`] ranges.
     waits: Vec<u32>,
+    /// Whether this plan was built under [`CommMode::ChunkEvents`] (halo
+    /// consumers wait fine-grained per-chunk arrival slots).
+    chunked: bool,
+    /// Per-node base of the chunk-slot region (`u32::MAX` = none).
+    chunk_base: Vec<u32>,
+    /// Per-node chunk-slot count per device (0 = none).
+    chunk_counts: Vec<u32>,
 }
 
 impl DevicePlan {
@@ -137,6 +160,27 @@ impl DevicePlan {
     #[inline]
     pub fn waits_of(&self, step: &DevStep) -> &[u32] {
         &self.waits[step.wait_start as usize..(step.wait_start + step.wait_len) as usize]
+    }
+
+    /// Whether the plan carries per-chunk halo arrival slots (built under
+    /// [`CommMode::ChunkEvents`]).
+    pub fn chunked(&self) -> bool {
+        self.chunked
+    }
+
+    /// Number of per-device chunk slots of `node` (0 unless the node is a
+    /// per-device halo exchange in a chunked plan).
+    #[inline]
+    pub fn chunk_count(&self, node: usize) -> usize {
+        self.chunk_counts.get(node).map_or(0, |&c| c as usize)
+    }
+
+    /// Event slot signaled when chunk `k` of node `node`'s halo payload
+    /// into device `dev` has landed.
+    #[inline]
+    pub fn chunk_slot(&self, node: usize, dev: usize, k: usize) -> usize {
+        debug_assert!(k < self.chunk_count(node));
+        self.chunk_base[node] as usize + dev * self.chunk_counts[node] as usize + k
     }
 
     /// Total number of steps across all devices.
@@ -203,23 +247,41 @@ pub fn build_device_plan(
     parents: &[Vec<NodeId>],
     ndev: usize,
 ) -> DevicePlan {
+    build_device_plan_with(graph, schedule, parents, ndev, CommMode::Epoch)
+}
+
+/// [`build_device_plan`] with an explicit communication-signaling mode.
+///
+/// Under [`CommMode::ChunkEvents`] every per-device halo node gets an
+/// extra region of `chunks × ndev` event slots — one per arriving chunk
+/// per destination — and its consumers wait those fine-grained arrival
+/// slots instead of the whole-pull slot. The pull signals both, so the
+/// ordering (and therefore the functional result) is identical; what
+/// changes is the *granularity* the event table can express, mirroring
+/// the per-chunk transfer spans of the timing replay.
+pub fn build_device_plan_with(
+    graph: &Graph,
+    schedule: &Schedule,
+    parents: &[Vec<NodeId>],
+    ndev: usize,
+    comm: CommMode,
+) -> DevicePlan {
     assert!(ndev >= 1);
     let n = graph.len();
     let slots_per_node = ndev + 2;
-    let mut plan = DevicePlan {
-        ndev,
-        slots_per_node,
-        num_slots: n * slots_per_node,
-        steps: vec![Vec::new(); ndev],
-        waits: Vec::new(),
-    };
+    let chunked = comm == CommMode::ChunkEvents;
 
     // Per halo node: which devices each device's pulls read from, and
     // which devices pull *from* each device.
     let mut halo_srcs: Vec<Vec<Vec<usize>>> = Vec::new(); // [halo][dst] -> srcs
     let mut halo_dsts: Vec<Vec<Vec<usize>>> = Vec::new(); // [halo][src] -> dsts
     let mut signal_of: Vec<ParentSignal> = Vec::with_capacity(n);
-    for node in graph.nodes() {
+    // Chunk-slot region: assigned after the regular `n × slots_per_node`
+    // block, `chunk_counts[p]` slots per device for chunked halo nodes.
+    let mut chunk_base = vec![u32::MAX; n];
+    let mut chunk_counts = vec![0u32; n];
+    let mut num_slots = n * slots_per_node;
+    for (id, node) in graph.nodes().iter().enumerate() {
         signal_of.push(match &node.kind {
             NodeKind::Compute {
                 reduce_finalize, ..
@@ -242,6 +304,16 @@ pub fn build_device_plan(
                         dsts[d.src.0].push(d.dst.0);
                     }
                 }
+                if chunked && exchange.supports_per_device() && !descs.is_empty() {
+                    let k = descs
+                        .iter()
+                        .map(|d| comm_chunks(d.bytes).0)
+                        .max()
+                        .unwrap_or(1) as u32;
+                    chunk_base[id] = num_slots as u32;
+                    chunk_counts[id] = k;
+                    num_slots += k as usize * ndev;
+                }
                 halo_srcs.push(srcs);
                 halo_dsts.push(dsts);
                 ParentSignal::Halo(halo_srcs.len() - 1)
@@ -250,12 +322,32 @@ pub fn build_device_plan(
         });
     }
 
+    let mut plan = DevicePlan {
+        ndev,
+        slots_per_node,
+        num_slots,
+        steps: vec![Vec::new(); ndev],
+        waits: Vec::new(),
+        chunked,
+        chunk_base: chunk_base.clone(),
+        chunk_counts: chunk_counts.clone(),
+    };
+
     // Slots a consumer on device `d` waits for, for parent `p`.
     let parent_waits = |out: &mut Vec<u32>, p: NodeId, d: usize| match signal_of[p] {
         ParentSignal::AuxDone => out.push((p * slots_per_node + ndev + 1) as u32),
         ParentSignal::PerDevice => out.push((p * slots_per_node + d) as u32),
         ParentSignal::Halo(h) => {
-            out.push((p * slots_per_node + d) as u32);
+            if chunk_counts[p] > 0 {
+                // Chunked plan: wait each arriving chunk into `d` instead
+                // of the whole-pull slot.
+                let base = chunk_base[p] as usize + d * chunk_counts[p] as usize;
+                for k in 0..chunk_counts[p] as usize {
+                    out.push((base + k) as u32);
+                }
+            } else {
+                out.push((p * slots_per_node + d) as u32);
+            }
             // Remote pulls still reading `d`'s boundary: writers on `d`
             // must not proceed until they finish.
             for &e in &halo_dsts[h][d] {
@@ -489,6 +581,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunked_plan_adds_arrival_slots_and_consumers_wait_them() {
+        let (graph, schedule, parents) = compiled(4);
+        let base = build_device_plan(&graph, &schedule, &parents, 4);
+        let dp = build_device_plan_with(&graph, &schedule, &parents, 4, CommMode::ChunkEvents);
+        assert!(dp.chunked());
+        assert!(!base.chunked());
+        let halos: Vec<usize> = graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_halo())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!halos.is_empty(), "stencil pipeline must carry a halo");
+        let mut extra = 0;
+        for &h in &halos {
+            assert!(dp.chunk_count(h) >= 1);
+            assert_eq!(base.chunk_count(h), 0);
+            extra += dp.chunk_count(h) * 4;
+            // Chunk slots live past the regular region and are unique per
+            // (device, chunk).
+            let mut seen = std::collections::HashSet::new();
+            for d in 0..4 {
+                for k in 0..dp.chunk_count(h) {
+                    let s = dp.chunk_slot(h, d, k);
+                    assert!(s >= graph.len() * (4 + 2));
+                    assert!(s < dp.num_slots());
+                    assert!(seen.insert(s));
+                }
+            }
+        }
+        assert_eq!(dp.num_slots(), base.num_slots() + extra);
+        // At least one consumer step waits a fine-grained chunk slot.
+        let regular = graph.len() * (4 + 2);
+        assert!((0..4).any(|d| dp
+            .steps(d)
+            .iter()
+            .any(|s| dp.waits_of(s).iter().any(|&w| (w as usize) >= regular))));
+        // The step lists themselves are identical — only the event table
+        // got finer.
+        assert_eq!(dp.total_steps(), base.total_steps());
+    }
+
+    #[test]
+    fn chunk_policy_is_stable() {
+        assert_eq!(comm_chunks(0), (1, 0));
+        assert_eq!(comm_chunks(1), (1, 1));
+        assert_eq!(comm_chunks(1 << 20), (1, 1 << 20));
+        let (c, cb) = comm_chunks(3 << 20);
+        assert_eq!(c, 3);
+        assert_eq!(cb, 1 << 20);
+        // Above 8 MiB the chunk count saturates and the chunks grow.
+        let (c, cb) = comm_chunks(64 << 20);
+        assert_eq!(c, 8);
+        assert_eq!(cb, 8 << 20);
     }
 
     #[test]

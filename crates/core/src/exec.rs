@@ -48,7 +48,7 @@ use neon_sys::{
 };
 
 use crate::collective::CollectiveMode;
-use crate::devplan::{DevAction, DevicePlan};
+use crate::devplan::{comm_chunks, DevAction, DevicePlan};
 use crate::graph::{Graph, NodeKind};
 use crate::plan::CompiledPlan;
 use crate::schedule::Schedule;
@@ -83,6 +83,29 @@ impl HaloPolicy {
             bandwidth_gb_s: 50.0,
         }
     }
+}
+
+/// How communication completion is signaled to downstream compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CommMode {
+    /// Whole-transfer epochs: a consumer on device *d* waits for the
+    /// entire halo node to finish on *d* — every arriving payload **and**
+    /// the device's own outgoing sends — before any of its cells run.
+    #[default]
+    Epoch,
+    /// Per-chunk events: halo payloads stream in
+    /// [`crate::devplan::comm_chunks`]-sized chunks, each signaling its
+    /// own event slot on arrival. The timing replay splits a consuming
+    /// kernel into an *interior* span (starts as soon as its non-halo
+    /// inputs are ready — it touches no halo layer) and a *boundary*
+    /// span gated only on the last arriving chunk, so interior work
+    /// overlaps in-flight communication and a device's own outgoing
+    /// sends never gate its compute. Collective steps already stream
+    /// per-chunk inside the engine; this mode extends the same
+    /// granularity to halo exchanges. Bit-identical to [`CommMode::Epoch`]
+    /// on the functional side: the event table only gets finer, the
+    /// ordering it enforces is unchanged.
+    ChunkEvents,
 }
 
 /// How the functional replay runs the compute lambdas on host threads.
@@ -365,6 +388,11 @@ pub struct Executor {
     halo_policy: HaloPolicy,
     engine: CollectiveEngine,
     collective_mode: CollectiveMode,
+    comm_mode: CommMode,
+    /// Precomputed `("<name>:int", "<name>:bnd")` span labels per compute
+    /// node, built on the first switch to [`CommMode::ChunkEvents`] so the
+    /// split replay formats nothing per launch per iteration.
+    split_names: Vec<(String, String)>,
     /// The plan's per-device task partition + event table.
     devplan: Arc<DevicePlan>,
     /// Persistent per-device workers, spawned on the first parallel
@@ -398,6 +426,12 @@ pub struct Executor {
     /// Per-device staging buffer for halo/collective readiness times,
     /// reused across tasks.
     lane_scratch: Vec<SimTime>,
+    /// Chunk-events side tables, flat `node × device`, reused across
+    /// executions (only sized under [`CommMode::ChunkEvents`]): halo input
+    /// readiness, last-chunk arrival, and arriving halo bytes.
+    halo_ready_scratch: Vec<SimTime>,
+    halo_arrive_scratch: Vec<SimTime>,
+    halo_bytes_scratch: Vec<u64>,
 }
 
 impl Executor {
@@ -452,6 +486,8 @@ impl Executor {
             halo_policy: HaloPolicy::ExplicitTransfers,
             engine,
             collective_mode: CollectiveMode::default(),
+            comm_mode: CommMode::default(),
+            split_names: Vec::new(),
             devplan,
             pool: None,
             events,
@@ -463,6 +499,9 @@ impl Executor {
             iter_makespans: Vec::new(),
             ends_scratch: Vec::new(),
             lane_scratch: Vec::new(),
+            halo_ready_scratch: Vec::new(),
+            halo_arrive_scratch: Vec::new(),
+            halo_bytes_scratch: Vec::new(),
         }
     }
 
@@ -487,6 +526,31 @@ impl Executor {
                 ..EngineConfig::default()
             },
         );
+    }
+
+    /// Select how communication completion gates downstream compute
+    /// (default: [`CommMode::Epoch`]).
+    pub fn set_comm_mode(&mut self, mode: CommMode) {
+        self.comm_mode = mode;
+        if mode == CommMode::ChunkEvents && self.split_names.is_empty() {
+            self.split_names = self
+                .plan
+                .graph()
+                .nodes()
+                .iter()
+                .map(|n| match n.kind {
+                    NodeKind::Compute { .. } => {
+                        (format!("{}:int", n.name), format!("{}:bnd", n.name))
+                    }
+                    _ => (String::new(), String::new()),
+                })
+                .collect();
+        }
+    }
+
+    /// The configured communication-signaling mode.
+    pub fn comm_mode(&self) -> CommMode {
+        self.comm_mode
     }
 
     /// The virtual-clock simulator (link utilization counters live here).
@@ -742,6 +806,24 @@ impl Executor {
         let mut ends = std::mem::take(&mut self.ends_scratch);
         ends.clear();
         ends.resize(graph.len() * ndev, t0);
+        // Chunk-events side tables (only maintained in that mode): per
+        // halo node and destination device, when the halo's *inputs* were
+        // ready, when the last chunk *arrived*, and how many bytes came
+        // in. Unified memory has no explicit transfers to chunk, so the
+        // mode only applies to the explicit-transfer policy.
+        let chunked = self.comm_mode == CommMode::ChunkEvents
+            && matches!(self.halo_policy, HaloPolicy::ExplicitTransfers);
+        let mut h_ready = std::mem::take(&mut self.halo_ready_scratch);
+        let mut h_arrive = std::mem::take(&mut self.halo_arrive_scratch);
+        let mut h_bytes = std::mem::take(&mut self.halo_bytes_scratch);
+        if chunked {
+            h_ready.clear();
+            h_ready.resize(graph.len() * ndev, t0);
+            h_arrive.clear();
+            h_arrive.resize(graph.len() * ndev, t0);
+            h_bytes.clear();
+            h_bytes.resize(graph.len() * ndev, 0);
+        }
 
         for task in &schedule.tasks {
             let node_id = task.node;
@@ -807,13 +889,68 @@ impl Executor {
                             0
                         };
                         let stream = StreamId::new(dev, lane);
-                        let (_, e) = self.queue.enqueue_from(
-                            stream,
-                            earliest,
-                            dur,
-                            &node.name,
-                            SpanKind::Kernel,
-                        );
+                        // Chunk events: split the launch around its halo
+                        // inputs. Interior cells read no halo layer, so
+                        // that share starts once the *non-halo* inputs
+                        // (plus the halo's own input readiness, for
+                        // transitive ordering) are done; the boundary
+                        // share waits only for the last chunk *arriving*
+                        // into this device — never for its outgoing
+                        // sends. Both spans ride the same lane, so they
+                        // serialize like a split launch.
+                        let mut split = None;
+                        if chunked {
+                            let mut e0 = t0;
+                            let mut arrive = t0;
+                            let mut hbytes = 0u64;
+                            let mut has_halo = false;
+                            for &p in parents {
+                                if graph.node(p).is_halo() {
+                                    has_halo = true;
+                                    e0 = e0.max(h_ready[p * ndev + d]);
+                                    arrive = arrive.max(h_arrive[p * ndev + d]);
+                                    hbytes += h_bytes[p * ndev + d];
+                                } else {
+                                    e0 = e0.max(ends[p * ndev + d]);
+                                }
+                            }
+                            if has_halo && hbytes > 0 {
+                                split = Some((e0, arrive, hbytes));
+                            }
+                        }
+                        let e = match split {
+                            Some((e0, arrive, hbytes)) => {
+                                let frac = (hbytes as f64 / bytes.max(1) as f64).min(1.0);
+                                let bnd = SimTime::from_us(dur.as_us() * frac);
+                                let interior = dur - bnd;
+                                let (int_name, bnd_name) = &self.split_names[node_id];
+                                let (_, ie) = self.queue.enqueue_from(
+                                    stream,
+                                    e0,
+                                    interior,
+                                    int_name,
+                                    SpanKind::Kernel,
+                                );
+                                let (_, e) = self.queue.enqueue_from(
+                                    stream,
+                                    ie.max(arrive),
+                                    bnd,
+                                    bnd_name,
+                                    SpanKind::Kernel,
+                                );
+                                e
+                            }
+                            None => {
+                                let (_, e) = self.queue.enqueue_from(
+                                    stream,
+                                    earliest,
+                                    dur,
+                                    &node.name,
+                                    SpanKind::Kernel,
+                                );
+                                e
+                            }
+                        };
                         report.kernel_time += dur;
                         report.launches += 1;
                         report.bytes_moved += bytes;
@@ -853,6 +990,9 @@ impl Executor {
                         lanes[d] = c;
                         lanes[ndev + d] = c;
                         lanes[2 * ndev + d] = c;
+                        if chunked {
+                            h_ready[node_id * ndev + d] = c;
+                        }
                     }
                     // One transfer-fault verdict per destination device per
                     // halo node: the first descriptor into a destination
@@ -879,29 +1019,57 @@ impl Executor {
                                 let verdict = consult(desc.dst);
                                 let earliest = lanes[desc.src.0].max(lanes[desc.dst.0]);
                                 let lane = self.transfer_lane(desc.src, desc.dst);
-                                let dur = self
-                                    .backend
-                                    .topology()
-                                    .transfer_time(desc.src, desc.dst, desc.bytes);
                                 // Occupy the physical link: peer copies on a
                                 // PCIe box all contend for the host root
                                 // complex; NVLink pairs are dedicated.
                                 let res =
                                     self.backend.topology().link_resources(desc.src, desc.dst);
                                 let stream = StreamId::new(desc.src, lane);
-                                let (s, e) = self.queue.enqueue_transfer_with_faults(
-                                    stream,
-                                    earliest,
-                                    dur,
-                                    res,
-                                    &node.name,
-                                    SpanKind::Transfer,
-                                    verdict,
-                                    backoff,
-                                );
-                                report.transfer_time += e - s;
-                                lanes[ndev + desc.dst.0] = lanes[ndev + desc.dst.0].max(e);
-                                lanes[2 * ndev + desc.src.0] = lanes[2 * ndev + desc.src.0].max(e);
+                                // Chunk events stream the payload in
+                                // engine-sized chunks, pipelined DMA-style:
+                                // the first chunk pays the link round-trip
+                                // latency, follow-on chunks ride the already
+                                // -open channel at pure bandwidth. A retry
+                                // verdict lands on the first chunk, later
+                                // ones ride clean.
+                                let (cnum, cb) = if chunked {
+                                    comm_chunks(desc.bytes)
+                                } else {
+                                    (1, desc.bytes)
+                                };
+                                let latency =
+                                    self.backend.topology().transfer_time(desc.src, desc.dst, 0);
+                                let mut remaining = desc.bytes;
+                                for k in 0..cnum {
+                                    let b = cb.min(remaining);
+                                    remaining -= b;
+                                    let mut dur = self
+                                        .backend
+                                        .topology()
+                                        .transfer_time(desc.src, desc.dst, b);
+                                    if k > 0 {
+                                        dur = (dur - latency).max(SimTime::ZERO);
+                                    }
+                                    let v = if k == 0 { verdict } else { FaultVerdict::Clean };
+                                    let (s, e) = self.queue.enqueue_transfer_with_faults(
+                                        stream,
+                                        earliest,
+                                        dur,
+                                        res,
+                                        b,
+                                        &node.name,
+                                        SpanKind::Transfer,
+                                        v,
+                                        backoff,
+                                    );
+                                    report.transfer_time += e - s;
+                                    lanes[ndev + desc.dst.0] = lanes[ndev + desc.dst.0].max(e);
+                                    lanes[2 * ndev + desc.src.0] =
+                                        lanes[2 * ndev + desc.src.0].max(e);
+                                }
+                                if chunked {
+                                    h_bytes[node_id * ndev + desc.dst.0] += desc.bytes;
+                                }
                                 if matches!(verdict, FaultVerdict::Escaped { .. }) {
                                     // The destination never receives a clean
                                     // payload; the iteration is aborting.
@@ -956,6 +1124,12 @@ impl Executor {
                     }
                     for d in 0..ndev {
                         ends[node_id * ndev + d] = lanes[ndev + d].max(lanes[2 * ndev + d]);
+                        if chunked {
+                            // Consumers' boundary spans gate on arrivals
+                            // only; `ends` keeps the conservative epoch
+                            // meaning for every other consumer kind.
+                            h_arrive[node_id * ndev + d] = lanes[ndev + d];
+                        }
                     }
                     self.lane_scratch = lanes;
                 }
@@ -1014,6 +1188,9 @@ impl Executor {
         }
 
         self.ends_scratch = ends;
+        self.halo_ready_scratch = h_ready;
+        self.halo_arrive_scratch = h_arrive;
+        self.halo_bytes_scratch = h_bytes;
         Ok(())
     }
 
@@ -1342,6 +1519,13 @@ fn walk_device(
                     _ => return Err(malformed()),
                 }
                 events.signal(dp.slot(node_id, d), epoch);
+                // A chunked plan's consumers wait per-chunk arrival slots;
+                // the pull signals them all once the payload landed — the
+                // same ordering the whole-pull slot enforced, expressed at
+                // chunk granularity.
+                for k in 0..dp.chunk_count(node_id) {
+                    events.signal(dp.chunk_slot(node_id, d, k), epoch);
+                }
             }
             DevAction::HaloAll => {
                 match &node.kind {
@@ -1350,6 +1534,9 @@ fn walk_device(
                 }
                 for e in 0..ndev {
                     events.signal(dp.slot(node_id, e), epoch);
+                    for k in 0..dp.chunk_count(node_id) {
+                        events.signal(dp.chunk_slot(node_id, e, k), epoch);
+                    }
                 }
             }
             DevAction::Host => {

@@ -56,8 +56,10 @@ pub mod temporal;
 pub mod validate;
 
 pub use collective::{lower_collectives, merge_collectives, CollectiveMode};
-pub use devplan::{build_device_plan, DevAction, DevStep, DevicePlan};
-pub use exec::{ExecError, ExecReport, Executor, FunctionalMode, HaloPolicy};
+pub use devplan::{
+    build_device_plan, build_device_plan_with, comm_chunks, DevAction, DevStep, DevicePlan,
+};
+pub use exec::{CommMode, ExecError, ExecReport, Executor, FunctionalMode, HaloPolicy};
 pub use fuse::{fuse_graph, FusePass, FusionLevel};
 pub use graph::{build_dependency_graph, Edge, EdgeKind, Graph, Node, NodeId, NodeKind};
 pub use layout_select::{

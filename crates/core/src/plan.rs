@@ -30,8 +30,8 @@ use neon_set::{sequence_signature, uid_roles, Container, DataUid, HaloDescriptor
 use neon_sys::{stable_hash_of, Backend, StableHasher, Trace};
 
 use crate::collective::CollectiveMode;
-use crate::devplan::{build_device_plan, DevicePlan};
-use crate::exec::HaloPolicy;
+use crate::devplan::{build_device_plan, build_device_plan_with, comm_chunks, DevicePlan};
+use crate::exec::{CommMode, HaloPolicy};
 use crate::fuse::FusionLevel;
 use crate::graph::{Edge, Graph, Node, NodeId, NodeKind};
 use crate::pass::{CompileError, Ir, PassCtx, PassManager, PassTiming};
@@ -245,6 +245,12 @@ fn options_signature(o: &SkeletonOptions) -> u64 {
             put(3);
             put(stable_hash_of(&format!("{a:?}")));
         }
+    }
+    match o.comm {
+        CommMode::Epoch => put(200),
+        // Chunk events change the device plan's event table (per-chunk
+        // arrival slots), so the two modes must never alias in the cache.
+        CommMode::ChunkEvents => put(201),
     }
     match o.fusion {
         FusionLevel::Off => put(100),
@@ -584,14 +590,28 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
                     .zip(b)
                     .all(|(x, y)| x.src == y.src && x.dst == y.dst)
         });
-    let device_plan = if same_pairs {
+    // A chunked device plan additionally bakes in per-descriptor chunk
+    // counts, which follow the payload *bytes* — a rebind onto a larger
+    // grid can change them even when the pair structure is identical.
+    let same_chunks = !plan.device_plan.chunked()
+        || halo_descs.iter().zip(&plan.halo_descs).all(|(a, b)| {
+            a.iter()
+                .zip(b)
+                .all(|(x, y)| comm_chunks(x.bytes).0 == comm_chunks(y.bytes).0)
+        });
+    let device_plan = if same_pairs && same_chunks {
         Arc::clone(&plan.device_plan)
     } else {
-        Arc::new(build_device_plan(
+        Arc::new(build_device_plan_with(
             &graph,
             &plan.schedule,
             &plan.data_parents,
             plan.device_plan.ndev(),
+            if plan.device_plan.chunked() {
+                CommMode::ChunkEvents
+            } else {
+                CommMode::Epoch
+            },
         ))
     };
     Arc::new(CompiledPlan {
@@ -783,6 +803,13 @@ mod tests {
                 },
             ),
             (
+                "comm",
+                SkeletonOptions {
+                    comm: CommMode::ChunkEvents,
+                    ..base
+                },
+            ),
+            (
                 "dump_ir",
                 SkeletonOptions {
                     dump_ir: true,
@@ -817,6 +844,58 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A sequence with a stencil consumer, so the compiled graph carries
+    /// a halo node (the chunk-events device plan is only observably
+    /// different when one exists).
+    fn stencil_sequence(ndev: usize) -> (Backend, Vec<Container>) {
+        use neon_domain::{FieldStencil as _, FieldWrite as _, GridLike as _};
+        let b = Backend::dgx_a100(ndev);
+        let s = Stencil::seven_point();
+        let g = DenseGrid::new(&b, Dim3::new(4, 4, 16), &[&s], StorageMode::Real).unwrap();
+        let x = Field::<f64, _>::new(&g, "x", 1, 1.0, MemLayout::SoA).unwrap();
+        let y = Field::<f64, _>::new(&g, "y", 1, 0.0, MemLayout::SoA).unwrap();
+        let lap = {
+            let (xc, yc) = (x.clone(), y.clone());
+            Container::compute("lap", g.as_space(), move |ldr| {
+                let xv = ldr.read_stencil(&xc);
+                let yv = ldr.write(&yc);
+                Box::new(move |c| {
+                    let mut s = 0.0;
+                    for slot in 0..6 {
+                        s += xv.ngh(c, slot, 0);
+                    }
+                    yv.set(c, 0, s);
+                })
+            })
+        };
+        (b, vec![ops::set_value(&g, &x, 2.0), lap])
+    }
+
+    #[test]
+    fn comm_mode_fragments_the_cache() {
+        // Regression: Epoch and ChunkEvents device plans differ (the
+        // latter carries per-chunk arrival slots), so the two modes must
+        // compile fresh instead of aliasing in the cache.
+        let (b, seq1) = stencil_sequence(2);
+        let (base_plan, _) = compile(&b, seq1, SkeletonOptions::default()).unwrap();
+        let (_b, seq2) = stencil_sequence(2);
+        let (p, hit) = compile(
+            &b,
+            seq2,
+            SkeletonOptions {
+                comm: CommMode::ChunkEvents,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!hit, "different comm mode compiles fresh");
+        assert!(p.device_plan().chunked());
+        assert!(!base_plan.device_plan().chunked());
+        // The chunked plan carries strictly more event slots: the halo
+        // node gained a per-chunk arrival region.
+        assert!(p.device_plan().num_slots() > base_plan.device_plan().num_slots());
     }
 
     #[test]

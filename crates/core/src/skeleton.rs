@@ -32,7 +32,7 @@ use neon_set::{Checkpoint, ComputePattern, Container, StateHandle};
 use neon_sys::{Backend, FaultPlan, FaultStats, RetryPolicy, SimTime, Trace};
 
 use crate::collective::CollectiveMode;
-use crate::exec::{ExecError, ExecReport, Executor, FunctionalMode, HaloPolicy};
+use crate::exec::{CommMode, ExecError, ExecReport, Executor, FunctionalMode, HaloPolicy};
 use crate::fuse::FusionLevel;
 use crate::graph::Graph;
 use crate::layout_select::LayoutPolicy;
@@ -150,9 +150,17 @@ pub struct SkeletonOptions {
     /// (default) only fuses when provably bit-identical to `Off`.
     pub fusion: FusionLevel,
     /// How multi-device reductions are realized: lowered to collective
-    /// nodes whose algorithm (ring / tree / host-staged) is picked from
-    /// the topology and payload (`Auto`), or forced (`Fixed`).
+    /// nodes whose algorithm (ring / tree / host-staged / hierarchical)
+    /// is picked from the topology and payload (`Auto`), or forced
+    /// (`Fixed`).
     pub collectives: CollectiveMode,
+    /// How communication completion gates downstream compute: whole-node
+    /// epochs (default) or per-chunk events, where halo payloads stream
+    /// in chunks and consuming kernels split into an interior span that
+    /// overlaps in-flight chunks and a boundary span gated on the last
+    /// arrival. Shapes the device plan's event table, so it is part of
+    /// the plan-cache key.
+    pub comm: CommMode,
     /// Run the invariant validator between compile passes (cheap on
     /// app-sized graphs; turn off for huge synthetic sequences).
     pub validate: bool,
@@ -184,6 +192,7 @@ impl Default for SkeletonOptions {
             trace: false,
             fusion: FusionLevel::default(),
             collectives: CollectiveMode::Auto,
+            comm: CommMode::Epoch,
             validate: true,
             cache: true,
             dump_ir: false,
@@ -247,6 +256,7 @@ impl Skeleton {
         executor.set_kernel_concurrency(options.kernel_concurrency);
         executor.set_halo_policy(options.halo_policy);
         executor.set_collective_mode(options.collectives);
+        executor.set_comm_mode(options.comm);
         executor.set_functional_mode(options.functional_mode);
         if options.trace {
             executor.enable_trace();

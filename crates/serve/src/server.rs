@@ -27,6 +27,7 @@
 use std::time::Instant;
 
 use neon_apps::{JobSpec, SolverJob};
+use neon_comm::{choose, Algorithm, CollectiveKind};
 use neon_core::{OccLevel, SkeletonOptions};
 use neon_set::Checkpoint;
 use neon_sys::{Backend, CounterSnapshot, DeviceId, Result, SimTime};
@@ -70,6 +71,24 @@ struct JobState {
     queue_wait_us: f64,
     first_ndev: Option<usize>,
     evictions: Vec<EvictionEvent>,
+    /// Collective route on the current pinned subset (see
+    /// [`JobOutcome::collective_route`]).
+    route: Option<Algorithm>,
+}
+
+/// The collective algorithm the engine would route this job's field-sized
+/// all-reduces through on `backend`'s (subset) topology. The payload is
+/// one dense `f64` field of the job's grid — the unit the solvers reduce
+/// over — so the answer tracks the island structure of the subset: flat
+/// single-island subsets pick a flat schedule, subsets straddling islands
+/// (multi-box fleets, asymmetric survivor sets after eviction) pick the
+/// hierarchical one.
+fn collective_route(spec: &JobSpec, backend: &Backend) -> Algorithm {
+    let dim = match *spec {
+        JobSpec::Poisson { dim, .. } | JobSpec::Lbm { dim, .. } => dim as u64,
+    };
+    let field_bytes = dim * dim * dim * std::mem::size_of::<f64>() as u64;
+    choose(CollectiveKind::AllReduce, field_bytes, backend.topology())
 }
 
 /// One in-flight quantum.
@@ -232,6 +251,7 @@ impl Server {
                 queue_wait_us: 0.0,
                 first_ndev: None,
                 evictions: Vec::new(),
+                route: None,
             })
             .collect();
 
@@ -398,6 +418,7 @@ impl Server {
                 iterations: js.job.as_ref().map_or(0, |j| j.completed()),
                 first_ndev: js.first_ndev,
                 evictions: js.evictions.clone(),
+                collective_route: js.route,
             })
             .collect();
         for js in &jobs {
@@ -519,6 +540,7 @@ impl Server {
                 .build(&backend, self.job_options)
                 .expect("job construction on subset backend");
             jobs[widx].first_ndev = Some(job.num_devices());
+            jobs[widx].route = Some(collective_route(&jobs[widx].req.spec, &backend));
             jobs[widx].job = Some(job);
             jobs[widx].start_us = Some(clock);
         }
@@ -642,6 +664,7 @@ impl Server {
                 .expect("replacement subset is valid");
             let job = js.job.as_mut().expect("pinned implies built");
             job.migrate_to(&backend).expect("migration onto survivors");
+            js.route = Some(collective_route(&js.req.spec, &backend));
             js.evictions.push(EvictionEvent {
                 at_iteration: job.completed(),
                 from_ndev,

@@ -1,6 +1,7 @@
 //! Request, configuration and report types of the serving layer.
 
 use neon_apps::JobSpec;
+use neon_comm::Algorithm;
 use neon_sys::{CounterSnapshot, SimTime};
 
 /// One tenant of the server: a name and a fair-share weight. A tenant with
@@ -133,6 +134,11 @@ pub struct JobOutcome {
     pub first_ndev: Option<usize>,
     /// Forced migrations (device loss re-plans), in order.
     pub evictions: Vec<EvictionEvent>,
+    /// Collective algorithm the engine routes this job's field-sized
+    /// all-reduces through on its pinned subset (refreshed on migration,
+    /// so a survivor subset that straddles islands shows up as
+    /// [`Algorithm::Hierarchical`]). `None` for jobs that never ran.
+    pub collective_route: Option<Algorithm>,
 }
 
 impl JobOutcome {

@@ -356,3 +356,124 @@ fn fifo_baseline_serializes_and_wfq_beats_it_on_makespan() {
         assert_eq!(a.result_bits, b.result_bits);
     }
 }
+
+/// On a two-box island fleet the recorded collective route must track the
+/// island structure of each job's pinned subset: subsets spanning both
+/// islands route hierarchically, subsets inside one island stay flat —
+/// and the routing never perturbs the bits.
+#[test]
+fn island_fleet_records_hierarchical_routes_and_stays_bit_identical() {
+    use neon_core::CollectiveAlgorithm;
+
+    let fleet = Backend::dgx_islands(&[4, 4]);
+    // FIFO-exclusive pins each job to the first `ndev` fleet devices, so
+    // the island split of every subset is known: 8 → [4,4], 5 → [4,1],
+    // 4 → one whole island.
+    let requests = vec![
+        JobRequest {
+            tenant: 0,
+            spec: poisson(16, 6, 71),
+            ndev: 8,
+            arrival_us: 0.0,
+        },
+        JobRequest {
+            tenant: 1,
+            spec: poisson(10, 6, 72),
+            ndev: 5,
+            arrival_us: 1.0,
+        },
+        JobRequest {
+            tenant: 0,
+            spec: lbm(8, 6),
+            ndev: 4,
+            arrival_us: 2.0,
+        },
+    ];
+    let mut server = Server::new(
+        &fleet,
+        vec![TenantSpec::new("a", 1.0), TenantSpec::new("b", 1.0)],
+        ServeConfig {
+            policy: SchedPolicy::FifoExclusive,
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.run(requests);
+
+    let routes: Vec<_> = report
+        .outcomes
+        .iter()
+        .map(|o| o.collective_route.expect("every job ran"))
+        .collect();
+    assert_eq!(routes[0], CollectiveAlgorithm::Hierarchical, "8 over [4,4]");
+    assert_eq!(routes[1], CollectiveAlgorithm::Hierarchical, "5 over [4,1]");
+    assert_ne!(
+        routes[2],
+        CollectiveAlgorithm::Hierarchical,
+        "4 inside one island is pure NVLink"
+    );
+    for o in &report.outcomes {
+        assert!(o.completed);
+        let solo = solo_run_bits(
+            &fleet,
+            o.spec,
+            o.first_ndev.expect("ran"),
+            options(),
+            &o.evictions,
+        )
+        .expect("solo replay");
+        assert_eq!(
+            o.result_bits,
+            Some(solo),
+            "island-fleet result must match solo run for {:?}",
+            o.spec
+        );
+    }
+}
+
+/// A device loss on an island fleet leaves an asymmetric survivor subset
+/// (3+4 across the boxes); the re-plan must refresh the route to the
+/// hierarchical schedule and the migrated job must still replay solo.
+#[test]
+fn island_survivor_subset_routes_hierarchical_after_loss() {
+    use neon_core::CollectiveAlgorithm;
+
+    let fleet = Backend::dgx_islands(&[4, 4]);
+    let requests = vec![JobRequest {
+        tenant: 0,
+        spec: poisson(16, 12, 91),
+        ndev: 8,
+        arrival_us: 0.0,
+    }];
+    let mut server = Server::new(
+        &fleet,
+        vec![TenantSpec::new("a", 1.0)],
+        ServeConfig {
+            quantum_iters: 3,
+            device_loss: Some(DeviceLoss {
+                at_us: 40.0,
+                device: 2,
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.run(requests);
+    assert_eq!(report.device_losses, 1);
+
+    let o = &report.outcomes[0];
+    assert!(o.completed);
+    assert!(!o.evictions.is_empty(), "the loss must force a re-plan");
+    assert_eq!(
+        o.collective_route,
+        Some(CollectiveAlgorithm::Hierarchical),
+        "the 3+4 survivor subset straddles both islands"
+    );
+    let solo = solo_run_bits(
+        &fleet,
+        o.spec,
+        o.first_ndev.expect("ran"),
+        options(),
+        &o.evictions,
+    )
+    .expect("solo replay");
+    assert_eq!(o.result_bits, Some(solo));
+}

@@ -80,6 +80,22 @@ impl Backend {
         .expect("valid preset")
     }
 
+    /// Multi-box backend: A100 GPUs in NVLink islands of the given sizes,
+    /// bridged across islands over PCIe Gen3 through the host root
+    /// complex. `dgx_islands(&[4, 4])` models two 4-GPU boxes — the mixed
+    /// regime where hierarchical collectives beat flat ring/tree.
+    pub fn dgx_islands(sizes: &[usize]) -> Self {
+        let dev = DeviceModel::a100_40gb();
+        let local_bw = dev.mem_bandwidth_gb_s;
+        let n: usize = sizes.iter().sum();
+        Backend::new(
+            BackendKind::Gpu,
+            vec![dev; n],
+            Topology::nvlink_islands(sizes, local_bw),
+        )
+        .expect("valid preset")
+    }
+
     /// GV100-box-like backend: `n` GV100 GPUs over PCIe Gen3.
     pub fn gv100_pcie(n: usize) -> Self {
         let dev = DeviceModel::gv100();
@@ -265,6 +281,23 @@ mod tests {
             b.topology().link(DeviceId(1), DeviceId(2)).kind,
             LinkKind::PciE3
         );
+    }
+
+    #[test]
+    fn islands_preset() {
+        let b = Backend::dgx_islands(&[2, 2]);
+        assert_eq!(b.num_devices(), 4);
+        assert_eq!(
+            b.topology().link(DeviceId(0), DeviceId(1)).kind,
+            LinkKind::NvLink
+        );
+        assert_eq!(
+            b.topology().link(DeviceId(1), DeviceId(2)).kind,
+            LinkKind::PciE3
+        );
+        assert_eq!(b.topology().islands().len(), 2);
+        assert_ne!(b.fingerprint(), Backend::dgx_a100(4).fingerprint());
+        assert_ne!(b.fingerprint(), Backend::gv100_pcie(4).fingerprint());
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub struct CounterSnapshot {
     pub link_busy: SimTime,
     /// Contention events summed over every link resource.
     pub link_contended: u64,
+    /// Bytes moved through the shared host root complex (link resource 0
+    /// by [`Topology`] convention) — the slow path on PCIe boxes and on
+    /// mixed NVLink-island topologies, where every cross-island transfer
+    /// lands here. Hierarchical collectives exist to shrink this number.
+    ///
+    /// [`Topology`]: crate::topology::Topology
+    pub slow_link_bytes: u64,
 }
 
 impl CounterSnapshot {
@@ -75,6 +82,7 @@ impl CounterSnapshot {
         self.halo_rounds += other.halo_rounds;
         self.link_busy += other.link_busy;
         self.link_contended += other.link_contended;
+        self.slow_link_bytes += other.slow_link_bytes;
     }
 }
 
@@ -98,6 +106,7 @@ impl std::ops::Sub for CounterSnapshot {
                 SimTime::ZERO
             },
             link_contended: self.link_contended.saturating_sub(before.link_contended),
+            slow_link_bytes: self.slow_link_bytes.saturating_sub(before.slow_link_bytes),
         }
     }
 }
@@ -111,6 +120,9 @@ struct LinkState {
     busy_total: SimTime,
     /// Number of transfers that found the resource busy and were delayed.
     contended: u64,
+    /// Payload bytes moved over the resource (utilization counter; only
+    /// sized enqueues contribute).
+    bytes_total: u64,
 }
 
 /// Virtual-clock simulator for a set of devices' stream queues.
@@ -366,6 +378,25 @@ impl QueueSim {
         name: &str,
         kind: SpanKind,
     ) -> (SimTime, SimTime) {
+        self.enqueue_transfer_sized(s, earliest, duration, resources, 0, name, kind)
+    }
+
+    /// [`QueueSim::enqueue_transfer`] that additionally attributes `bytes`
+    /// of payload to every occupied resource, feeding the per-resource
+    /// byte counters ([`QueueSim::link_bytes`]) and the snapshot's
+    /// [`CounterSnapshot::slow_link_bytes`]. The timing model is identical
+    /// to the unsized variant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_transfer_sized(
+        &mut self,
+        s: StreamId,
+        earliest: SimTime,
+        duration: SimTime,
+        resources: &[LinkResourceId],
+        bytes: u64,
+        name: &str,
+        kind: SpanKind,
+    ) -> (SimTime, SimTime) {
         if let Some(&max) = resources.iter().max() {
             if max >= self.links.len() {
                 self.links.resize(max + 1, LinkState::default());
@@ -387,6 +418,7 @@ impl QueueSim {
             let l = &mut self.links[r];
             l.busy_until = end;
             l.busy_total += end - start;
+            l.bytes_total += bytes;
             if contended {
                 l.contended += 1;
             }
@@ -419,6 +451,7 @@ impl QueueSim {
         earliest: SimTime,
         duration: SimTime,
         resources: &[LinkResourceId],
+        bytes: u64,
         name: &str,
         kind: SpanKind,
         verdict: FaultVerdict,
@@ -426,13 +459,13 @@ impl QueueSim {
     ) -> (SimTime, SimTime) {
         match verdict {
             FaultVerdict::Clean => {
-                self.enqueue_transfer(s, earliest, duration, resources, name, kind)
+                self.enqueue_transfer_sized(s, earliest, duration, resources, bytes, name, kind)
             }
             FaultVerdict::Recovered { failed_attempts } => {
                 let first = self.now(s).max(earliest);
                 let ready =
                     self.faulty_attempts(s, first, duration, name, failed_attempts, backoff);
-                self.enqueue_transfer(s, ready, duration, resources, name, kind)
+                self.enqueue_transfer_sized(s, ready, duration, resources, bytes, name, kind)
             }
             FaultVerdict::Escaped { failed_attempts } => {
                 let first = self.now(s).max(earliest);
@@ -464,6 +497,7 @@ impl QueueSim {
         for l in &mut self.links {
             l.busy_total = SimTime::ZERO;
             l.contended = 0;
+            l.bytes_total = 0;
         }
     }
 
@@ -479,6 +513,7 @@ impl QueueSim {
             halo_rounds: self.halo_rounds,
             link_busy: self.links.iter().map(|l| l.busy_total).sum(),
             link_contended: self.links.iter().map(|l| l.contended).sum(),
+            slow_link_bytes: self.links.first().map_or(0, |l| l.bytes_total),
         }
     }
 
@@ -492,6 +527,12 @@ impl QueueSim {
     /// delayed behind it.
     pub fn link_contention_events(&self, r: LinkResourceId) -> u64 {
         self.links.get(r).map_or(0, |l| l.contended)
+    }
+
+    /// Payload bytes attributed to link resource `r` by sized transfers
+    /// (utilization counter; zero for resources never used).
+    pub fn link_bytes(&self, r: LinkResourceId) -> u64 {
+        self.links.get(r).map_or(0, |l| l.bytes_total)
     }
 
     /// Record one kernel launch sweeping `bytes` (utilization counter; the
@@ -956,6 +997,7 @@ mod tests {
             SimTime::ZERO,
             d,
             &[0],
+            256,
             "t",
             SpanKind::Transfer,
             FaultVerdict::Recovered { failed_attempts: 1 },
@@ -966,6 +1008,64 @@ mod tests {
         assert_eq!(end.as_us(), 25.0);
         // Only the successful transfer holds the link.
         assert_eq!(q.link_busy_time(0).as_us(), 10.0);
+        // And only the committed payload is counted.
+        assert_eq!(q.link_bytes(0), 256);
+    }
+
+    #[test]
+    fn sized_transfers_attribute_bytes_per_resource() {
+        let mut q = QueueSim::new(2, 1);
+        let d = SimTime::from_us(10.0);
+        // Resource 0 is the host root complex by Topology convention: its
+        // traffic is the snapshot's slow_link_bytes.
+        q.enqueue_transfer_sized(
+            s(0, 0),
+            SimTime::ZERO,
+            d,
+            &[0],
+            100,
+            "slow",
+            SpanKind::Transfer,
+        );
+        q.enqueue_transfer_sized(
+            s(1, 0),
+            SimTime::ZERO,
+            d,
+            &[1],
+            70,
+            "fast",
+            SpanKind::Transfer,
+        );
+        q.enqueue_transfer(
+            s(1, 0),
+            SimTime::ZERO,
+            d,
+            &[0],
+            "unsized",
+            SpanKind::Transfer,
+        );
+        assert_eq!(q.link_bytes(0), 100);
+        assert_eq!(q.link_bytes(1), 70);
+        assert_eq!(q.link_bytes(99), 0);
+        let before = q.counters_snapshot();
+        assert_eq!(before.slow_link_bytes, 100);
+        q.enqueue_transfer_sized(
+            s(0, 0),
+            SimTime::ZERO,
+            d,
+            &[0],
+            25,
+            "slow2",
+            SpanKind::Transfer,
+        );
+        let delta = q.counters_snapshot() - before;
+        assert_eq!(delta.slow_link_bytes, 25);
+        // reset() keeps byte counters, reset_counters() zeroes them.
+        q.reset();
+        assert_eq!(q.link_bytes(0), 125);
+        q.reset_counters();
+        assert_eq!(q.link_bytes(0), 0);
+        assert_eq!(q.counters_snapshot().slow_link_bytes, 0);
     }
 
     #[test]

@@ -205,6 +205,63 @@ impl Topology {
         })
     }
 
+    /// Mixed "multi-box" topology: NVLink all-to-all inside each island,
+    /// PCIe Gen3 between islands (DGX boxes bridged through the host root
+    /// complex). `sizes` lists the island sizes in device order, so
+    /// `nvlink_islands(&[2, 2], bw)` is two 2-GPU boxes.
+    pub fn nvlink_islands(sizes: &[usize], local_bw_gb_s: f64) -> Self {
+        assert!(!sizes.is_empty(), "need at least one island");
+        assert!(sizes.iter().all(|&s| s > 0), "islands must be non-empty");
+        let n: usize = sizes.iter().sum();
+        let mut island_of = Vec::with_capacity(n);
+        for (i, &s) in sizes.iter().enumerate() {
+            island_of.extend(std::iter::repeat_n(i, s));
+        }
+        Topology::from_fn(n, |s, d| {
+            if s == d {
+                LinkModel::local(local_bw_gb_s)
+            } else if island_of[s.0] == island_of[d.0] {
+                LinkModel::nvlink()
+            } else {
+                LinkModel::pcie3()
+            }
+        })
+    }
+
+    /// Partition the devices into NVLink islands: connected components of
+    /// the undirected graph whose edges are NvLink-class peer links.
+    /// Devices with no NVLink neighbour (an all-PCIe box, or a lone
+    /// survivor after eviction) form singleton islands. Islands are
+    /// ordered by their smallest member and each island's members are
+    /// sorted ascending, so the first member is a deterministic leader.
+    pub fn islands(&self) -> Vec<Vec<DeviceId>> {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut islands: Vec<Vec<DeviceId>> = Vec::new();
+        for start in 0..self.n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let id = islands.len();
+            comp[start] = id;
+            let mut stack = vec![start];
+            let mut members = Vec::new();
+            while let Some(s) = stack.pop() {
+                members.push(DeviceId(s));
+                for (d, c) in comp.iter_mut().enumerate() {
+                    let fwd = self.links[s * self.n + d].kind == LinkKind::NvLink;
+                    let bwd = self.links[d * self.n + s].kind == LinkKind::NvLink;
+                    if *c == usize::MAX && (fwd || bwd) {
+                        *c = id;
+                        stack.push(d);
+                    }
+                }
+            }
+            members.sort_unstable_by_key(|d| d.0);
+            islands.push(members);
+        }
+        islands
+    }
+
     /// Number of devices the topology covers.
     pub fn num_devices(&self) -> usize {
         self.n
@@ -410,6 +467,63 @@ mod tests {
         assert_ne!(
             a.fingerprint(),
             b.with_host_link(LinkModel::pcie3()).fingerprint()
+        );
+    }
+
+    #[test]
+    fn islands_single_device() {
+        let t = Topology::nvlink_all_to_all(1, 1555.0);
+        assert_eq!(t.islands(), vec![vec![DeviceId(0)]]);
+    }
+
+    #[test]
+    fn islands_all_nvlink_is_one_island() {
+        let t = Topology::nvlink_all_to_all(4, 1555.0);
+        assert_eq!(t.islands(), vec![(0..4).map(DeviceId).collect::<Vec<_>>()]);
+    }
+
+    #[test]
+    fn islands_all_pcie_is_singletons() {
+        let t = Topology::pcie_host_staged(3, 870.0);
+        assert_eq!(
+            t.islands(),
+            vec![vec![DeviceId(0)], vec![DeviceId(1)], vec![DeviceId(2)]]
+        );
+    }
+
+    #[test]
+    fn islands_mixed_topology() {
+        let t = Topology::nvlink_islands(&[2, 3], 1555.0);
+        assert_eq!(t.num_devices(), 5);
+        assert_eq!(t.link(DeviceId(0), DeviceId(1)).kind, LinkKind::NvLink);
+        assert_eq!(t.link(DeviceId(1), DeviceId(2)).kind, LinkKind::PciE3);
+        assert_eq!(t.link(DeviceId(3), DeviceId(4)).kind, LinkKind::NvLink);
+        assert_eq!(
+            t.islands(),
+            vec![
+                vec![DeviceId(0), DeviceId(1)],
+                vec![DeviceId(2), DeviceId(3), DeviceId(4)],
+            ]
+        );
+        // Mixed topology has PCIe peer links, so host staging defaults slow.
+        assert_eq!(t.host_link().bandwidth_gb_s, 6.5);
+    }
+
+    #[test]
+    fn islands_survive_eviction_renumbering() {
+        // Two 2-GPU islands; evicting device 1 leaves a singleton island
+        // {0} and the intact island {2,3} renumbered to {1,2}.
+        let t = Topology::nvlink_islands(&[2, 2], 1555.0);
+        let sub = t.with_devices(&[DeviceId(0), DeviceId(2), DeviceId(3)]);
+        assert_eq!(
+            sub.islands(),
+            vec![vec![DeviceId(0)], vec![DeviceId(1), DeviceId(2)]]
+        );
+        // An asymmetric survivor subset keeps its island structure too.
+        let sub2 = t.with_devices(&[DeviceId(0), DeviceId(1), DeviceId(2)]);
+        assert_eq!(
+            sub2.islands(),
+            vec![vec![DeviceId(0), DeviceId(1)], vec![DeviceId(2)]]
         );
     }
 

@@ -32,6 +32,9 @@ cargo run --release -p neon-bench --bin repro_faults -- --smoke
 echo "==> serving smoke (multiplexed jobs bit-identical to solo, wfq >= 1.3x fifo, Jain >= 0.9)"
 cargo run --release -p neon-bench --bin repro_serve -- --smoke
 
+echo "==> hierarchical smoke (bit-identical, >=20% win on [2,2]x16MiB, fewer slow-link bytes, chunk-events never loses)"
+cargo run --release -p neon-bench --bin repro_hierarchical -- --smoke
+
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

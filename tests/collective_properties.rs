@@ -217,3 +217,144 @@ fn trace_carries_link_utilization_counters() {
     let json = trace.to_chrome_json();
     assert!(json.contains("\"ph\":\"C\""), "counter events exported");
 }
+
+// ---------------------------------------------------------------------------
+// Hierarchical schedules and chunked communication (island fleets)
+// ---------------------------------------------------------------------------
+
+/// Island shapes the randomized fleet tests draw from: 2, 4 and 8 devices
+/// carved into even and deliberately uneven boxes.
+const ISLAND_SHAPES: &[&[usize]] = &[
+    &[1, 1],
+    &[2, 2],
+    &[3, 1],
+    &[2, 1, 1],
+    &[4, 4],
+    &[5, 3],
+    &[2, 2, 2, 2],
+    &[6, 1, 1],
+];
+
+/// Residual of a short CG solve on an island fleet with the given
+/// skeleton options — the end-to-end bit-identity probe.
+fn island_cg_residual(shape: &[usize], options: SkeletonOptions, iters: usize, seed: u64) -> f64 {
+    use neon::apps::PoissonSolver;
+    use neon_domain::StorageMode;
+
+    let backend = Backend::dgx_islands(shape);
+    let ndev = backend.num_devices();
+    let st = Stencil::seven_point();
+    let grid = DenseGrid::new(
+        &backend,
+        Dim3::new(8, 8, 4 * ndev),
+        &[&st],
+        StorageMode::Real,
+    )
+    .unwrap();
+    let mut solver = PoissonSolver::with_options(&grid, options).unwrap();
+    let s = (seed % 7) as i64;
+    solver.set_rhs(move |x, y, z| ((x as i64 * 7 + y as i64 * 3 + z as i64 + s) % 5) as f64 - 2.0);
+    solver.solve_iters(iters);
+    solver.residual()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// End-to-end bit-identity of the hierarchical collective: for any
+    /// island shape (2/4/8 devices, even or uneven), OCC level, rhs and
+    /// iteration count, a CG solve routed through the hierarchical
+    /// schedule produces the same residual bits as the flat ring and as
+    /// auto-selection — the data path is a canonical rank-order fold no
+    /// matter which timing schedule carries it.
+    #[test]
+    fn hierarchical_cg_bits_match_flat_on_island_fleets(
+        shape_idx in 0usize..ISLAND_SHAPES.len(),
+        occ_idx in 0usize..3,
+        iters in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let shape = ISLAND_SHAPES[shape_idx];
+        let occ = [OccLevel::None, OccLevel::Standard, OccLevel::TwoWayExtended][occ_idx];
+        let opts = |mode: CollectiveMode| SkeletonOptions {
+            occ,
+            collectives: mode,
+            ..SkeletonOptions::default()
+        };
+        let hier = island_cg_residual(
+            shape, opts(CollectiveMode::Fixed(CollectiveAlgorithm::Hierarchical)), iters, seed);
+        let ring = island_cg_residual(
+            shape, opts(CollectiveMode::Fixed(CollectiveAlgorithm::Ring)), iters, seed);
+        let auto = island_cg_residual(shape, opts(CollectiveMode::Auto), iters, seed);
+        prop_assert_eq!(hier.to_bits(), ring.to_bits(),
+            "hierarchical vs ring diverged on {:?}", shape);
+        prop_assert_eq!(hier.to_bits(), auto.to_bits(),
+            "hierarchical vs auto diverged on {:?}", shape);
+    }
+
+    /// Per-chunk event-driven communication is a *timing* refinement: for
+    /// any island shape and OCC level, running the same solve with
+    /// `CommMode::ChunkEvents` produces bit-identical residuals to the
+    /// default epoch mode.
+    #[test]
+    fn chunk_events_cg_bits_match_epoch(
+        shape_idx in 0usize..ISLAND_SHAPES.len(),
+        occ_idx in 0usize..3,
+        iters in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        use neon::core::CommMode;
+        let shape = ISLAND_SHAPES[shape_idx];
+        let occ = [OccLevel::None, OccLevel::Standard, OccLevel::TwoWayExtended][occ_idx];
+        let opts = |comm: CommMode| SkeletonOptions {
+            occ,
+            comm,
+            ..SkeletonOptions::default()
+        };
+        let epoch = island_cg_residual(shape, opts(CommMode::Epoch), iters, seed);
+        let chunked = island_cg_residual(shape, opts(CommMode::ChunkEvents), iters, seed);
+        prop_assert_eq!(epoch.to_bits(), chunked.to_bits(),
+            "chunk-events vs epoch diverged on {:?}", shape);
+    }
+
+    /// The hierarchical schedule never moves more bytes over the slow
+    /// cross-island links than the flat algorithm the selector would
+    /// otherwise pick: for the full-payload kinds (all-reduce and
+    /// broadcast) it crosses the slow path the spanning-tree minimum
+    /// number of times, whatever the payload or island split. (The
+    /// shard-based kinds — reduce-scatter, all-gather — are excluded:
+    /// flat rings move per-device shards while the hierarchical sweep
+    /// carries the full payload, so the comparison is not byte-monotone
+    /// there and the auto-selector's *time* estimate arbitrates instead.)
+    #[test]
+    fn hierarchical_slow_link_bytes_never_exceed_flat(
+        shape_idx in 0usize..ISLAND_SHAPES.len(),
+        kib in 0u64..=16_384,
+        kind_idx in 0usize..2,
+    ) {
+        use neon::comm::choose_flat;
+        let shape = ISLAND_SHAPES[shape_idx];
+        prop_assume!(shape.len() > 1);
+        let kind = [CollectiveKind::AllReduce, CollectiveKind::Broadcast][kind_idx];
+        let bytes = 8 + kib * 1024;
+        let topo = Topology::nvlink_islands(shape, 1555.0);
+        let n = topo.num_devices();
+        let run = |alg: Algorithm| {
+            let mut q = QueueSim::new(n, 1);
+            let engine = CollectiveEngine::with_config(
+                topo.clone(),
+                EngineConfig { algorithm: Some(alg), ..EngineConfig::default() },
+            );
+            engine.schedule(&mut q, kind, bytes, &zeros(n), 0, "slow");
+            q.counters_snapshot().slow_link_bytes
+        };
+        let flat = choose_flat(kind, bytes, &topo);
+        let hier_slow = run(Algorithm::Hierarchical);
+        let flat_slow = run(flat);
+        prop_assert!(
+            hier_slow <= flat_slow,
+            "{:?}/{}: hierarchical slow bytes {} > {} ({} B payload)",
+            shape, kind, hier_slow, flat_slow, bytes
+        );
+    }
+}
