@@ -28,6 +28,21 @@
 //! checks against). It is generally *not* bit-identical to the fault-free
 //! run: fewer partitions change the grouping of the dot-product
 //! reductions, which is an FP-associativity effect, not a correctness bug.
+//!
+//! ## The link tier
+//!
+//! The interconnect is its own fault domain. A permanent link loss
+//! ([`ExecError::LinkLost`]) or degrade ([`ExecError::LinkDegraded`])
+//! takes the *same* abort → invalidate → recompile → resume path, with one
+//! crucial simplification: every device survives, so the partitioning is
+//! unchanged and no state crosses a device boundary during recovery — the
+//! checkpoint restore the skeleton already performed *is* the state
+//! recovery. Recompiling against [`Backend::without_link`] /
+//! [`Backend::with_degraded_link`] re-times every transfer and re-routes
+//! collectives (an NVLink island that relied on the severed wire may
+//! split, flipping hierarchical routes flat), but none of that touches
+//! functional values: the post-repair residual history stays bit-identical
+//! to the fault-free run, which the tests pin.
 
 use neon_core::{ExecError, ExecReport, SkeletonOptions};
 use neon_domain::{DenseGrid, Dim3, Stencil, StorageMode};
@@ -49,6 +64,9 @@ pub struct RecoveryReport {
     pub replayed: u64,
     /// Permanent device losses healed by eviction + recompilation.
     pub evictions: u64,
+    /// Permanent link losses/degrades healed by recompiling on the
+    /// degraded topology (no state migration — every device survives).
+    pub link_repairs: u64,
 }
 
 /// A Poisson CG solver that survives transient faults *and* permanent
@@ -61,6 +79,7 @@ pub struct ResilientPoisson {
     /// Next logical iteration to run.
     iteration: u64,
     evictions: u64,
+    link_repairs: u64,
 }
 
 impl ResilientPoisson {
@@ -74,6 +93,7 @@ impl ResilientPoisson {
             solver,
             iteration: 0,
             evictions: 0,
+            link_repairs: 0,
         })
     }
 
@@ -94,8 +114,10 @@ impl ResilientPoisson {
     }
 
     /// Install a fault plan on the CG iteration skeleton. The plan is
-    /// dropped if a device loss forces an eviction: spec addressing is by
-    /// device index, which eviction renumbers.
+    /// dropped once a permanent fault (device loss or link event) forces a
+    /// rebuild: eviction renumbers the device indices the specs address,
+    /// and a permanent event would otherwise re-fire against the already
+    /// repaired hardware.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
         self.solver.install_fault_plan(plan);
     }
@@ -114,6 +136,11 @@ impl ResilientPoisson {
     /// Devices lost and healed so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Link faults (losses or degrades) healed by recompilation so far.
+    pub fn link_repairs(&self) -> u64 {
+        self.link_repairs
     }
 
     /// Next logical iteration to run.
@@ -158,6 +185,22 @@ impl ResilientPoisson {
                         out.replayed += self.iteration.saturating_sub(resume);
                         self.iteration = resume;
                     }
+                    ExecError::LinkLost { src, dst, .. } => {
+                        let resume = fail.checkpoint.iteration();
+                        self.recover_from_link_fault(src, dst, None)?;
+                        out.link_repairs += 1;
+                        out.replayed += self.iteration.saturating_sub(resume);
+                        self.iteration = resume;
+                    }
+                    ExecError::LinkDegraded {
+                        src, dst, factor, ..
+                    } => {
+                        let resume = fail.checkpoint.iteration();
+                        self.recover_from_link_fault(src, dst, Some(factor))?;
+                        out.link_repairs += 1;
+                        out.replayed += self.iteration.saturating_sub(resume);
+                        self.iteration = resume;
+                    }
                     error => return Err(error),
                 },
             }
@@ -175,6 +218,30 @@ impl ResilientPoisson {
     /// [`Skeleton::run_iters_resilient`]: neon_core::Skeleton::run_iters_resilient
     pub fn evict_device(&mut self, dead: DeviceId) -> std::result::Result<(), ExecError> {
         self.recover_from_device_loss(dead)
+    }
+
+    /// Voluntarily sever the peer link between `src` and `dst` (planned
+    /// cable pull): flush plans compiled for the healthy wire and rebuild
+    /// on the degraded topology. Same path a permanent
+    /// [`ExecError::LinkLost`] takes; exposed as the bench's
+    /// "degraded-start" oracle.
+    pub fn sever_link(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+    ) -> std::result::Result<(), ExecError> {
+        self.recover_from_link_fault(src, dst, None)
+    }
+
+    /// Voluntarily degrade the peer link between `src` and `dst` to
+    /// `factor` of its bandwidth; see [`ResilientPoisson::sever_link`].
+    pub fn degrade_link(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        factor: f64,
+    ) -> std::result::Result<(), ExecError> {
+        self.recover_from_link_fault(src, dst, Some(factor))
     }
 
     /// Evict `dead`, flush its compiled plans, rebuild grid + solver on
@@ -196,9 +263,58 @@ impl ResilientPoisson {
                 iteration,
             }
         })?;
+        self.migrate_state(&fresh);
+        self.backend = survivors;
+        self.solver = fresh;
+        self.evictions += 1;
+        Ok(())
+    }
 
-        // Migrate the checkpointed state through logical coordinates: the
-        // partition boundaries moved, the (x, y, z) -> value map did not.
+    /// Heal a permanent link fault: flush plans keyed on the healthy
+    /// fingerprint and recompile on the degraded topology. Every device
+    /// survives, so the partitioning is unchanged and the state copy below
+    /// is a same-shape transcription — nothing crosses a device boundary.
+    fn recover_from_link_fault(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        factor: Option<f64>,
+    ) -> std::result::Result<(), ExecError> {
+        let iteration = self.iteration;
+        let fail = |f: Option<f64>| match f {
+            None => ExecError::LinkLost {
+                src,
+                dst,
+                iteration,
+            },
+            Some(factor) => ExecError::LinkDegraded {
+                src,
+                dst,
+                factor,
+                iteration,
+            },
+        };
+        let old_fingerprint = self.backend.fingerprint();
+        let degraded = match factor {
+            None => self.backend.without_link(src, dst),
+            Some(f) => self.backend.with_degraded_link(src, dst, f),
+        }
+        .map_err(|_| fail(factor))?;
+        neon_core::invalidate_backend(old_fingerprint);
+        let fresh =
+            Self::build_solver(&degraded, self.dim, &self.options).map_err(|_| fail(factor))?;
+        self.migrate_state(&fresh);
+        self.backend = degraded;
+        self.solver = fresh;
+        self.link_repairs += 1;
+        Ok(())
+    }
+
+    /// Transcribe the current (already rolled-back) CG state into a fresh
+    /// solver through logical coordinates: partition boundaries may have
+    /// moved (eviction) or stayed put (link repair), the
+    /// (x, y, z) -> value map did not.
+    fn migrate_state(&self, fresh: &PoissonSolver<DenseGrid>) {
         let old = &self.solver.cg.state;
         let new = &fresh.cg.state;
         for (src, dst) in [
@@ -222,11 +338,6 @@ impl ResilientPoisson {
         ] {
             dst.set_host(src.host_value());
         }
-
-        self.backend = survivors;
-        self.solver = fresh;
-        self.evictions += 1;
-        Ok(())
     }
 }
 
@@ -344,6 +455,80 @@ mod tests {
             .with_transfer_fault(4, DeviceId(3), 0, 1)
             .with_kernel_fault(6, DeviceId(0), 1, 10);
         assert_eq!(run(Some(plan)), clean);
+    }
+
+    /// A mid-run permanent link loss heals by recompiling on the degraded
+    /// topology. Unlike device eviction, every device survives: the
+    /// partitioning — and with it every FP reduction grouping — is
+    /// unchanged, so the *entire* residual history stays bit-identical to
+    /// the fault-free run and to an oracle that severed the wire before
+    /// ever starting.
+    #[test]
+    fn link_loss_heals_and_stays_bit_identical() {
+        let dim = Dim3::new(10, 10, 12);
+        let iters = 12usize;
+        let lost_at = 6u64;
+        let (a, b) = (DeviceId(0), DeviceId(1));
+
+        let history = |prep: &dyn Fn(&mut ResilientPoisson)| -> (Vec<u64>, u64) {
+            let mut s = ResilientPoisson::new(&Backend::dgx_a100(4), dim, options()).unwrap();
+            s.set_rhs(rhs);
+            prep(&mut s);
+            let mut hist = Vec::new();
+            for _ in 0..iters {
+                s.iterate(1).unwrap();
+                hist.push(s.residual().to_bits());
+            }
+            assert_eq!(s.backend().num_devices(), 4, "no device was evicted");
+            (hist, s.link_repairs())
+        };
+
+        let (clean, _) = history(&|_| {});
+        let (faulted, repairs) = history(&|s| {
+            s.install_fault_plan(FaultPlan::none().with_link_loss(lost_at, a, b));
+        });
+        assert_eq!(repairs, 1, "exactly one link repair expected");
+        // Oracle: the wire was never there to begin with.
+        let (oracle, _) = history(&|s| s.sever_link(a, b).unwrap());
+
+        assert_eq!(faulted, clean, "link loss must be functionally invisible");
+        assert_eq!(faulted, oracle, "degraded-start oracle diverged");
+    }
+
+    /// A permanent bandwidth degrade takes the same recompile path and is
+    /// equally invisible to the numerics.
+    #[test]
+    fn link_degrade_heals_and_stays_bit_identical() {
+        let dim = Dim3::new(8, 8, 10);
+        let iters = 10usize;
+
+        let mut clean = ResilientPoisson::new(&Backend::dgx_a100(4), dim, options()).unwrap();
+        clean.set_rhs(rhs);
+        let mut faulty = ResilientPoisson::new(&Backend::dgx_a100(4), dim, options()).unwrap();
+        faulty.set_rhs(rhs);
+        faulty.install_fault_plan(FaultPlan::none().with_link_degrade(
+            4,
+            DeviceId(1),
+            DeviceId(2),
+            0.25,
+        ));
+        let mut repairs = 0;
+        for _ in 0..iters {
+            clean.iterate(1).unwrap();
+            let r = faulty.iterate(1).unwrap();
+            repairs += r.link_repairs;
+            assert_eq!(
+                faulty.residual().to_bits(),
+                clean.residual().to_bits(),
+                "degrade must be functionally invisible"
+            );
+        }
+        assert_eq!(repairs, 1);
+        assert_eq!(faulty.evictions(), 0);
+        // The repaired backend really runs the slower wire.
+        let link = faulty.backend().topology().link(DeviceId(1), DeviceId(2));
+        let healthy = clean.backend().topology().link(DeviceId(1), DeviceId(2));
+        assert!(link.bandwidth_gb_s < healthy.bandwidth_gb_s * 0.3);
     }
 
     /// Losing the only device is unrecoverable and surfaces as a

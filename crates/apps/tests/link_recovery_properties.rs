@@ -1,0 +1,86 @@
+//! Property tests of the link fault domain's permanent tier: a link
+//! loss or bandwidth degrade at a random iteration, between random
+//! endpoints, on 2- or 4-device fleets, heals through the
+//! abort → invalidate → recompile-on-degraded-topology → resume path
+//! and leaves the *entire* residual history bit-identical to a
+//! fault-free run. Unlike device eviction (which changes the partition
+//! and therefore the floating-point association of the suffix), every
+//! device survives a link fault — so full bit-transparency is the
+//! contract, not just prefix equality.
+
+use neon_apps::ResilientPoisson;
+use neon_core::{FaultPlan, OccLevel, ResilienceOptions, SkeletonOptions};
+use neon_domain::Dim3;
+use neon_sys::{Backend, DeviceId};
+use proptest::prelude::*;
+
+fn options() -> SkeletonOptions {
+    SkeletonOptions {
+        resilience: ResilienceOptions {
+            enabled: true,
+            checkpoint_interval: 3,
+            ..ResilienceOptions::default()
+        },
+        ..SkeletonOptions::with_occ(OccLevel::Standard)
+    }
+}
+
+fn rhs(x: i32, y: i32, z: i32) -> f64 {
+    ((x * 3 + y * 5 + z * 7) % 11) as f64 - 5.0
+}
+
+/// Residual trajectory of a run with `plan` installed, plus the repair
+/// and eviction counters at the end.
+fn history(ndev: usize, iters: usize, plan: Option<FaultPlan>) -> (Vec<u64>, u64, u64) {
+    let mut s = ResilientPoisson::new(&Backend::dgx_a100(ndev), Dim3::new(8, 8, 12), options())
+        .expect("solver builds on a healthy fleet");
+    s.set_rhs(rhs);
+    if let Some(p) = plan {
+        s.install_fault_plan(p);
+    }
+    let mut hist = Vec::new();
+    for _ in 0..iters {
+        s.iterate(1).expect("link faults must heal");
+        hist.push(s.residual().to_bits());
+    }
+    assert_eq!(s.backend().num_devices(), ndev, "no device may be evicted");
+    (hist, s.link_repairs(), s.evictions())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random permanent link events × endpoints × fault iterations ×
+    /// fleet sizes: recovery is fully bit-transparent.
+    #[test]
+    fn permanent_link_faults_heal_bit_identically(
+        ndev_idx in 0usize..2,
+        sever in any::<bool>(),
+        src in any::<usize>(),
+        dst in any::<usize>(),
+        factor_i in 1u32..=3,
+        at in 1u64..8,
+    ) {
+        let ndev = [2usize, 4][ndev_idx];
+        let (a, b) = (src % ndev, dst % ndev);
+        prop_assume!(a != b);
+        let (a, b) = (DeviceId(a.min(b)), DeviceId(a.max(b)));
+        let iters = 9usize;
+
+        let plan = if sever {
+            FaultPlan::none().with_link_loss(at, a, b)
+        } else {
+            FaultPlan::none().with_link_degrade(at, a, b, factor_i as f64 * 0.25)
+        };
+        let (clean, no_repairs, _) = history(ndev, iters, None);
+        prop_assert_eq!(no_repairs, 0);
+        let (faulted, repairs, evictions) = history(ndev, iters, Some(plan));
+        prop_assert_eq!(repairs, 1, "exactly one repair for one event");
+        prop_assert_eq!(evictions, 0, "link faults never evict devices");
+        prop_assert_eq!(
+            faulted, clean,
+            "{} of {:?}↔{:?} at iteration {} on {} devices leaked into the numerics",
+            if sever { "loss" } else { "degrade" }, a, b, at, ndev
+        );
+    }
+}

@@ -237,6 +237,7 @@ fn main() {
         quantum_iters: 4,
         policy,
         device_loss: loss,
+        link_fault: None,
     };
 
     // Capacity calibration: mean device-time demand of the mix, solo.

@@ -23,9 +23,9 @@
 
 use neon_sys::clock::SimTime;
 use neon_sys::queue::{QueueSim, StreamId};
-use neon_sys::topology::Topology;
+use neon_sys::topology::{LinkResourceId, Topology};
 use neon_sys::trace::SpanKind;
-use neon_sys::DeviceId;
+use neon_sys::{DeviceId, FaultSiteKind, FaultVerdict};
 
 use crate::algorithm::{choose, Algorithm, CollectiveKind};
 
@@ -150,6 +150,47 @@ impl CollectiveEngine {
         StreamId::new(DeviceId(device), lane)
     }
 
+    /// Enqueue one collective chunk transfer toward destination rank `dst`
+    /// through the fault-aware queue path. When the queue carries a fault
+    /// injector, the chunk is observed as a [`FaultSiteKind::Link`]
+    /// operation on the destination device: transient verdicts charge the
+    /// failed attempts plus exponential backoff on the sender's lane at
+    /// **chunk granularity** (only the faulted chunk repeats, the rest of
+    /// the step streams on), and an escaped verdict marks the injector's
+    /// escape site without ever occupying the wire — the executor aborts
+    /// the iteration before the collective commits.
+    #[allow(clippy::too_many_arguments)]
+    fn send_chunk(
+        &self,
+        q: &mut QueueSim,
+        stream: StreamId,
+        ready: SimTime,
+        dur: SimTime,
+        res: &[LinkResourceId],
+        bytes: u64,
+        dst: usize,
+        label: &str,
+    ) -> (SimTime, SimTime) {
+        let (verdict, backoff) = match q.fault_injector() {
+            Some(inj) => (
+                inj.observe(DeviceId(dst), FaultSiteKind::Link),
+                inj.policy().backoff,
+            ),
+            None => (FaultVerdict::Clean, SimTime::ZERO),
+        };
+        q.enqueue_transfer_with_faults(
+            stream,
+            ready,
+            dur,
+            res,
+            bytes,
+            label,
+            SpanKind::Collective,
+            verdict,
+            backoff,
+        )
+    }
+
     /// Split `step_bytes` into `(chunks, bytes_per_chunk)`.
     fn chunks(&self, step_bytes: u64) -> (usize, u64) {
         if step_bytes == 0 {
@@ -215,14 +256,15 @@ impl CollectiveEngine {
                     .to_vec();
                 for k in 0..c {
                     let label = format!("{name}:ring{step}.{k}:{src}->{dst}");
-                    let (_, end) = q.enqueue_transfer_sized(
+                    let (_, end) = self.send_chunk(
+                        q,
                         self.stream(src, lane),
                         prev[src][k],
                         dur,
                         &res,
                         cb,
+                        dst,
                         &label,
-                        SpanKind::Collective,
                     );
                     ready[dst][k] = ready[dst][k].max(end);
                 }
@@ -292,14 +334,15 @@ impl CollectiveEngine {
                         .link_resources(DeviceId(0), DeviceId(dst))
                         .to_vec();
                     let label = format!("{name}:scatter:0->{dst}");
-                    let (_, end) = q.enqueue_transfer_sized(
+                    let (_, end) = self.send_chunk(
+                        q,
                         self.stream(0, lane),
                         root_ready,
                         dur,
                         &res,
                         shard,
+                        dst,
                         &label,
-                        SpanKind::Collective,
                     );
                     for k in 0..c {
                         ready[dst][k] = end;
@@ -332,14 +375,15 @@ impl CollectiveEngine {
             .to_vec();
         for k in 0..ready[src].len() {
             let label = format!("{name}:{dir}.{k}:{src}->{dst}");
-            let (_, end) = q.enqueue_transfer_sized(
+            let (_, end) = self.send_chunk(
+                q,
                 self.stream(src, lane),
                 ready[src][k],
                 dur,
                 &res,
                 chunk_bytes,
+                dst,
                 &label,
-                SpanKind::Collective,
             );
             // A reduce combines with the receiver's operand; a broadcast
             // replaces it.
@@ -419,14 +463,15 @@ impl CollectiveEngine {
                         .link_resources(DeviceId(root), DeviceId(dst))
                         .to_vec();
                     let label = format!("{name}:hier-scatter:{root}->{dst}");
-                    let (_, end) = q.enqueue_transfer_sized(
+                    let (_, end) = self.send_chunk(
+                        q,
                         self.stream(root, lane),
                         root_ready,
                         dur,
                         &res,
                         shard,
+                        dst,
                         &label,
-                        SpanKind::Collective,
                     );
                     for k in 0..c {
                         ready[dst][k] = end;
@@ -526,28 +571,30 @@ impl CollectiveEngine {
         if kind == CollectiveKind::Broadcast {
             let dur = self.topo.host_transfer_time(bytes);
             let label = format!("{name}:d2h:0");
-            let (_, end) = q.enqueue_transfer_sized(
+            let (_, end) = self.send_chunk(
+                q,
                 self.stream(0, lane),
                 earliest[0],
                 dur,
                 &res,
                 bytes,
+                0,
                 &label,
-                SpanKind::Collective,
             );
             host_done = end;
         } else {
             let dur = self.topo.host_transfer_time(up_bytes);
             for d in 0..n {
                 let label = format!("{name}:d2h:{d}");
-                let (_, end) = q.enqueue_transfer_sized(
+                let (_, end) = self.send_chunk(
+                    q,
                     self.stream(d, lane),
                     earliest[d],
                     dur,
                     &res,
                     up_bytes,
+                    d,
                     &label,
-                    SpanKind::Collective,
                 );
                 host_done = host_done.max(end);
             }
@@ -560,14 +607,15 @@ impl CollectiveEngine {
                 continue;
             }
             let label = format!("{name}:h2d:{d}");
-            let (_, end) = q.enqueue_transfer_sized(
+            let (_, end) = self.send_chunk(
+                q,
                 self.stream(d, lane),
                 host_done,
                 dur,
                 &res,
                 down_bytes,
+                d,
                 &label,
-                SpanKind::Collective,
             );
             done[d] = end;
         }
@@ -832,6 +880,111 @@ mod tests {
             "ar",
         );
         assert_eq!(t.algorithm, Algorithm::Hierarchical);
+    }
+
+    #[test]
+    fn link_faults_charge_retry_at_chunk_granularity() {
+        use neon_sys::{FaultInjector, FaultPlan, RetryPolicy};
+        let topo = Topology::nvlink_all_to_all(4, 1555.0);
+        let engine = CollectiveEngine::with_config(
+            topo,
+            EngineConfig {
+                algorithm: Some(Algorithm::Ring),
+                ..EngineConfig::default()
+            },
+        );
+        let bytes = 8 << 20;
+        let mut clean_q = QueueSim::new(4, 1);
+        let clean = engine.schedule(
+            &mut clean_q,
+            CollectiveKind::AllReduce,
+            bytes,
+            &zeros(4),
+            0,
+            "ar",
+        );
+        // A recovered transient on the second chunk sent toward rank 2.
+        let mut q = QueueSim::new(4, 1);
+        let plan = FaultPlan::none().with_link_fault(0, DeviceId(2), 1, 1);
+        let inj = FaultInjector::new(plan, RetryPolicy::default(), 4);
+        inj.begin_iteration(0).unwrap();
+        q.set_fault_injector(Some(inj));
+        let faulted = engine.schedule(&mut q, CollectiveKind::AllReduce, bytes, &zeros(4), 0, "ar");
+        assert!(
+            faulted.makespan() > clean.makespan(),
+            "retry must cost virtual time: {} !> {}",
+            faulted.makespan(),
+            clean.makespan()
+        );
+        let stats = q.fault_injector().unwrap().stats();
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.escaped, 0);
+    }
+
+    #[test]
+    fn escaped_link_fault_marks_the_site_and_skips_the_wire() {
+        use neon_sys::{FaultInjector, FaultPlan, RetryPolicy};
+        let topo = Topology::nvlink_all_to_all(2, 1555.0);
+        let nres = topo.num_link_resources();
+        let engine = CollectiveEngine::with_config(
+            topo,
+            EngineConfig {
+                algorithm: Some(Algorithm::Tree),
+                ..EngineConfig::default()
+            },
+        );
+        let mut q = QueueSim::new(2, 1);
+        let plan = FaultPlan::none().with_link_fault(0, DeviceId(0), 0, 99);
+        let inj = FaultInjector::new(plan, RetryPolicy::default(), 2);
+        inj.begin_iteration(0).unwrap();
+        q.set_fault_injector(Some(inj));
+        engine.schedule(&mut q, CollectiveKind::AllReduce, 8, &zeros(2), 0, "ar");
+        let inj = q.fault_injector().unwrap();
+        let site = inj.escape_site().expect("escape recorded");
+        assert_eq!(site.kind, FaultSiteKind::Link);
+        assert_eq!(site.device, DeviceId(0));
+        assert_eq!(inj.stats().escaped, 1);
+        // The first transfer (toward the root, rank 0) escaped, so the
+        // wire it would have used stays idle; later sends observe Clean.
+        assert!((0..nres).any(|r| q.link_busy_time(r) == SimTime::ZERO));
+    }
+
+    #[test]
+    fn clean_injector_is_bit_identical_to_no_injector() {
+        use neon_sys::{FaultInjector, FaultPlan, RetryPolicy};
+        for alg in Algorithm::ALL {
+            let topo = Topology::nvlink_islands(&[2, 2], 1555.0);
+            let engine = CollectiveEngine::with_config(
+                topo,
+                EngineConfig {
+                    algorithm: Some(alg),
+                    ..EngineConfig::default()
+                },
+            );
+            let mut bare = QueueSim::new(4, 1);
+            let a = engine.schedule(
+                &mut bare,
+                CollectiveKind::AllReduce,
+                3 << 20,
+                &zeros(4),
+                0,
+                "ar",
+            );
+            let mut faulty = QueueSim::new(4, 1);
+            let inj = FaultInjector::new(FaultPlan::none(), RetryPolicy::default(), 4);
+            inj.begin_iteration(0).unwrap();
+            faulty.set_fault_injector(Some(inj));
+            let b = engine.schedule(
+                &mut faulty,
+                CollectiveKind::AllReduce,
+                3 << 20,
+                &zeros(4),
+                0,
+                "ar",
+            );
+            assert_eq!(a, b, "{alg}");
+        }
     }
 
     #[test]

@@ -45,24 +45,101 @@
 //! chain `init → kernels → finalize` — induction over the task index.
 
 use neon_set::HaloDescriptor;
+use neon_sys::topology::{LinkModel, Topology};
 
 use crate::exec::CommMode;
 use crate::graph::{Graph, NodeId, NodeKind};
 use crate::schedule::Schedule;
 
-/// Chunk policy shared by the timing replay and the device plan: split a
-/// transfer of `bytes` into `(chunks, bytes_per_chunk)`. Mirrors the
-/// collective engine's pipelining defaults (1 MiB chunks, at most 8 per
-/// transfer) so halo payloads and collective steps stream at the same
-/// granularity.
-pub fn comm_chunks(bytes: u64) -> (usize, u64) {
-    const CHUNK_BYTES: u64 = 1 << 20;
-    const MAX_CHUNKS: u64 = 8;
-    if bytes == 0 {
-        return (1, 0);
+/// How halo payloads are split into pipelined chunks.
+///
+/// A chunk should be large enough that the per-chunk round-trip latency
+/// amortizes, and small enough that the first chunk lands early (that
+/// early arrival is what lets a consumer's interior span overlap the rest
+/// of the stream). The classic sizing rule is a small multiple of the
+/// link's *bandwidth–delay product* — the bytes in flight on the wire at
+/// full rate — so [`ChunkPolicy::for_link`] derives `chunk_bytes` from
+/// `latency × bandwidth` instead of hard-coding one size for every
+/// interconnect: a PCIe 3 link (18 µs × 6.5 GB/s ≈ 114 KiB BDP) chunks at
+/// 1 MiB, an NVLink wire (9.5 µs × 173 GB/s ≈ 1.6 MiB BDP) at 16 MiB.
+///
+/// The policy is baked into the [`DevicePlan`] at compile time (the chunk
+/// counts shape the event table), so a cache-hit rebind — which has no
+/// backend in hand — reuses the stored policy and stays consistent with
+/// the timing replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPolicy {
+    /// Target bytes per chunk (power of two).
+    pub chunk_bytes: u64,
+    /// Cap on chunks per transfer (bounds event-slot growth).
+    pub max_chunks: u64,
+}
+
+impl ChunkPolicy {
+    /// The historical fixed policy (1 MiB chunks, at most 8), which is
+    /// also what [`ChunkPolicy::for_link`] derives for a PCIe-class link.
+    pub const DEFAULT: ChunkPolicy = ChunkPolicy {
+        chunk_bytes: 1 << 20,
+        max_chunks: 8,
+    };
+
+    /// Derive the policy from one link: chunks of 8× the bandwidth–delay
+    /// product, rounded up to a power of two and clamped to
+    /// `[1 MiB, 16 MiB]`.
+    pub fn for_link(link: &LinkModel) -> ChunkPolicy {
+        // µs × GB/s = 1e-6 s × 1e9 B/s = 1e3 bytes.
+        let bdp_bytes = link.latency_us * link.bandwidth_gb_s * 1e3;
+        let target = (8.0 * bdp_bytes).max(1.0) as u64;
+        ChunkPolicy {
+            chunk_bytes: target.next_power_of_two().clamp(1 << 20, 16 << 20),
+            max_chunks: 8,
+        }
     }
-    let c = bytes.div_ceil(CHUNK_BYTES).clamp(1, MAX_CHUNKS);
-    (c as usize, bytes.div_ceil(c))
+
+    /// Derive the policy from a topology's *slowest* distinct-pair link
+    /// (smallest bandwidth, then largest latency): halos cross every kind
+    /// of wire the partition touches, and chunking for the slowest one
+    /// keeps the policy a single plan-wide constant. Single-device
+    /// topologies fall back to [`ChunkPolicy::DEFAULT`].
+    pub fn for_topology(topo: &Topology) -> ChunkPolicy {
+        let n = topo.num_devices();
+        let mut slowest: Option<LinkModel> = None;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let l = *topo.link(neon_sys::DeviceId(s), neon_sys::DeviceId(d));
+                let worse = slowest.is_none_or(|b| {
+                    l.bandwidth_gb_s < b.bandwidth_gb_s
+                        || (l.bandwidth_gb_s == b.bandwidth_gb_s && l.latency_us > b.latency_us)
+                });
+                if worse {
+                    slowest = Some(l);
+                }
+            }
+        }
+        slowest.map_or(ChunkPolicy::DEFAULT, |l| ChunkPolicy::for_link(&l))
+    }
+
+    /// Split a transfer of `bytes` into `(chunks, bytes_per_chunk)`.
+    pub fn chunks(&self, bytes: u64) -> (usize, u64) {
+        if bytes == 0 {
+            return (1, 0);
+        }
+        let c = bytes
+            .div_ceil(self.chunk_bytes.max(1))
+            .clamp(1, self.max_chunks.max(1));
+        (c as usize, bytes.div_ceil(c))
+    }
+}
+
+/// [`ChunkPolicy::DEFAULT`]'s split — the policy the collective engine's
+/// pipelining defaults mirror (1 MiB chunks, at most 8 per transfer).
+/// Plans compiled against a real backend use the topology-derived policy
+/// stored in their [`DevicePlan`] instead.
+pub fn comm_chunks(bytes: u64) -> (usize, u64) {
+    ChunkPolicy::DEFAULT.chunks(bytes)
 }
 
 /// What a single per-device step executes.
@@ -120,6 +197,11 @@ pub struct DevicePlan {
     chunk_base: Vec<u32>,
     /// Per-node chunk-slot count per device (0 = none).
     chunk_counts: Vec<u32>,
+    /// The chunking policy the plan was built under — the timing replay
+    /// reads it back so its per-chunk transfer spans agree with the event
+    /// table, and a cache-hit rebind (no backend in hand) re-derives chunk
+    /// counts from it.
+    policy: ChunkPolicy,
 }
 
 impl DevicePlan {
@@ -166,6 +248,11 @@ impl DevicePlan {
     /// [`CommMode::ChunkEvents`]).
     pub fn chunked(&self) -> bool {
         self.chunked
+    }
+
+    /// The chunking policy this plan was built under.
+    pub fn chunk_policy(&self) -> ChunkPolicy {
+        self.policy
     }
 
     /// Number of per-device chunk slots of `node` (0 unless the node is a
@@ -266,6 +353,20 @@ pub fn build_device_plan_with(
     ndev: usize,
     comm: CommMode,
 ) -> DevicePlan {
+    build_device_plan_policy(graph, schedule, parents, ndev, comm, ChunkPolicy::DEFAULT)
+}
+
+/// [`build_device_plan_with`] under an explicit [`ChunkPolicy`] (the pass
+/// pipeline derives one from the backend topology's slowest link; see
+/// [`ChunkPolicy::for_topology`]).
+pub fn build_device_plan_policy(
+    graph: &Graph,
+    schedule: &Schedule,
+    parents: &[Vec<NodeId>],
+    ndev: usize,
+    comm: CommMode,
+    policy: ChunkPolicy,
+) -> DevicePlan {
     assert!(ndev >= 1);
     let n = graph.len();
     let slots_per_node = ndev + 2;
@@ -307,7 +408,7 @@ pub fn build_device_plan_with(
                 if chunked && exchange.supports_per_device() && !descs.is_empty() {
                     let k = descs
                         .iter()
-                        .map(|d| comm_chunks(d.bytes).0)
+                        .map(|d| policy.chunks(d.bytes).0)
                         .max()
                         .unwrap_or(1) as u32;
                     chunk_base[id] = num_slots as u32;
@@ -331,6 +432,7 @@ pub fn build_device_plan_with(
         chunked,
         chunk_base: chunk_base.clone(),
         chunk_counts: chunk_counts.clone(),
+        policy,
     };
 
     // Slots a consumer on device `d` waits for, for parent `p`.
@@ -639,6 +741,46 @@ mod tests {
         let (c, cb) = comm_chunks(64 << 20);
         assert_eq!(c, 8);
         assert_eq!(cb, 8 << 20);
+    }
+
+    #[test]
+    fn chunk_policy_follows_the_bandwidth_delay_product() {
+        use neon_sys::topology::LinkModel;
+        // PCIe 3: 18 µs × 6.5 GB/s ≈ 114 KiB BDP; ×8 ≈ 0.9 MiB rounds up
+        // to the 1 MiB floor — exactly the historical fixed policy, so
+        // PCIe-era plans are unchanged.
+        let pcie = ChunkPolicy::for_link(&LinkModel::pcie3());
+        assert_eq!(pcie.chunk_bytes, 1 << 20);
+        assert_eq!(pcie, ChunkPolicy::DEFAULT);
+        // NVLink: 9.5 µs × 173 GB/s ≈ 1.6 MiB BDP; ×8 ≈ 13 MiB rounds up
+        // to 16 MiB — a fat wire wants much coarser chunks before the
+        // per-chunk latency amortizes.
+        let nv = ChunkPolicy::for_link(&LinkModel::nvlink());
+        assert_eq!(nv.chunk_bytes, 16 << 20);
+
+        // Topology derivation picks the slowest wire: an all-PCIe box
+        // chunks at 1 MiB, a pure NVLink island at 16 MiB, and a mixed
+        // multi-island machine (NVLink inside, PCIe across) stays at the
+        // PCIe policy because halos cross the slow wire too.
+        let pcie_box = Backend::gv100_pcie(4);
+        assert_eq!(
+            ChunkPolicy::for_topology(pcie_box.topology()).chunk_bytes,
+            1 << 20
+        );
+        let nv_island = Backend::dgx_a100(4);
+        assert_eq!(
+            ChunkPolicy::for_topology(nv_island.topology()).chunk_bytes,
+            16 << 20
+        );
+        let mixed = Backend::dgx_islands(&[2, 2]);
+        assert_eq!(
+            ChunkPolicy::for_topology(mixed.topology()).chunk_bytes,
+            1 << 20
+        );
+
+        // The NVLink policy actually coarsens the split.
+        assert_eq!(nv.chunks(8 << 20), (1, 8 << 20));
+        assert_eq!(ChunkPolicy::DEFAULT.chunks(8 << 20), (8, 1 << 20));
     }
 
     #[test]

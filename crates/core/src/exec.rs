@@ -44,11 +44,12 @@ use std::time::Duration;
 use neon_comm::{CollectiveEngine, CollectiveKind, EngineConfig};
 use neon_sys::{
     Backend, DeviceId, FaultInjector, FaultPlan, FaultSite, FaultSiteKind, FaultStats,
-    FaultVerdict, QueueSim, RetryPolicy, SimTime, SpanKind, StreamId, Trace, WorkerPool,
+    FaultVerdict, PermanentFault, QueueSim, RetryPolicy, SimTime, SpanKind, StreamId, Trace,
+    WorkerPool,
 };
 
 use crate::collective::CollectiveMode;
-use crate::devplan::{comm_chunks, DevAction, DevicePlan};
+use crate::devplan::{DevAction, DevicePlan};
 use crate::graph::{Graph, NodeKind};
 use crate::plan::CompiledPlan;
 use crate::schedule::Schedule;
@@ -130,7 +131,7 @@ pub enum FunctionalMode {
 /// The executor's hot path reports malformed plans and injected faults as
 /// values instead of panicking: a solver embedding the executor can retry,
 /// roll back or evict a device without unwinding through foreign frames.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     /// A transient injected fault failed every allowed attempt. The
     /// iteration aborted mid-replay (earlier nodes already ran), so the
@@ -151,6 +152,33 @@ pub enum ExecError {
         /// The dead device.
         device: DeviceId,
         /// Logical iteration at whose start the loss was detected.
+        iteration: u64,
+    },
+    /// A link was severed permanently: the topology the plan was compiled
+    /// on no longer exists, so its halo schedules and collective routes are
+    /// stale. Every subsequent execution fails the same way until the
+    /// caller recompiles on the degraded topology
+    /// ([`neon_sys::Backend::without_link`]). All devices survive, so no
+    /// state migration is needed — resume from the last checkpoint.
+    LinkLost {
+        /// One endpoint of the dead wire.
+        src: DeviceId,
+        /// The other endpoint.
+        dst: DeviceId,
+        /// Logical iteration at whose start the loss was detected.
+        iteration: u64,
+    },
+    /// A link was permanently degraded to a fraction of its bandwidth.
+    /// Like [`ExecError::LinkLost`], the compiled plan's timing model is
+    /// stale; rebuild on [`neon_sys::Backend::with_degraded_link`].
+    LinkDegraded {
+        /// One endpoint of the degraded wire.
+        src: DeviceId,
+        /// The other endpoint.
+        dst: DeviceId,
+        /// Remaining bandwidth fraction in `(0, 1]`.
+        factor: f64,
+        /// Logical iteration at whose start the degrade was detected.
         iteration: u64,
     },
     /// A compute node carries no iteration space.
@@ -190,6 +218,29 @@ impl std::fmt::Display for ExecError {
             ExecError::DeviceLost { device, iteration } => {
                 write!(f, "device {} lost at iteration {iteration}", device.0)
             }
+            ExecError::LinkLost {
+                src,
+                dst,
+                iteration,
+            } => write!(
+                f,
+                "link {}<->{} lost at iteration {iteration}; recompile on the \
+                 degraded topology",
+                src.0, dst.0
+            ),
+            ExecError::LinkDegraded {
+                src,
+                dst,
+                factor,
+                iteration,
+            } => write!(
+                f,
+                "link {}<->{} degraded to {:.0}% bandwidth at iteration \
+                 {iteration}; recompile on the degraded topology",
+                src.0,
+                dst.0,
+                factor * 100.0
+            ),
             ExecError::MissingIterationSpace { node } => {
                 write!(f, "compute node '{node}' has no iteration space")
             }
@@ -418,6 +469,15 @@ pub struct Executor {
     /// fault plans target. Advanced by each successful execution; a
     /// resilient runner rewinds it on rollback.
     logical_iteration: u64,
+    /// Graph node at which a [`FaultSiteKind::Link`] escape fired during
+    /// the timing replay: link faults are observed inside the collective
+    /// engine (no per-device occurrence counters on this side), so the
+    /// functional replay aborts at node granularity — the whole collective
+    /// is uncommitted.
+    escape_node: Option<usize>,
+    /// Per-device kernel busy time of the most recent execution (the
+    /// straggler monitor's sample source).
+    dev_kernel_scratch: Vec<SimTime>,
     /// Per-iteration makespans of the most recent `execute_iters` call.
     iter_makespans: Vec<SimTime>,
     /// Flat `node × device` completion-time table, reused across
@@ -496,6 +556,8 @@ impl Executor {
             um_names,
             injector: None,
             logical_iteration: 0,
+            escape_node: None,
+            dev_kernel_scratch: Vec::new(),
             iter_makespans: Vec::new(),
             ends_scratch: Vec::new(),
             lane_scratch: Vec::new(),
@@ -609,6 +671,15 @@ impl Executor {
         self.functional_mode
     }
 
+    /// Per-device kernel busy time of the most recent execution, indexed
+    /// by device rank. This is the deterministic sample the straggler
+    /// monitor ([`crate::health::StragglerMonitor`]) folds into its EWMA:
+    /// it comes straight off the virtual clock, so two runs of the same
+    /// plan produce bit-identical health histories.
+    pub fn per_device_kernel_time(&self) -> &[SimTime] {
+        &self.dev_kernel_scratch
+    }
+
     /// Makespans of the individual iterations of the most recent
     /// [`Executor::execute_iters`] call, in order.
     ///
@@ -714,10 +785,26 @@ impl Executor {
         let iteration = self.logical_iteration;
         let stats_before = self.injector.as_ref().map(|i| i.stats());
         if let Some(inj) = &self.injector {
-            if let Err(device) = inj.begin_iteration(iteration) {
-                return Err(ExecError::DeviceLost { device, iteration });
+            if let Err(fault) = inj.begin_iteration(iteration) {
+                return Err(match fault {
+                    PermanentFault::DeviceLoss(device) => {
+                        ExecError::DeviceLost { device, iteration }
+                    }
+                    PermanentFault::LinkLoss(src, dst) => ExecError::LinkLost {
+                        src,
+                        dst,
+                        iteration,
+                    },
+                    PermanentFault::LinkDegrade(src, dst, factor) => ExecError::LinkDegraded {
+                        src,
+                        dst,
+                        factor,
+                        iteration,
+                    },
+                });
             }
         }
+        self.escape_node = None;
         let mut report = ExecReport {
             executions: 1,
             ..Default::default()
@@ -795,6 +882,7 @@ impl Executor {
         let graph = plan.graph();
         let schedule = plan.schedule();
         let ndev = self.backend.num_devices();
+        let chunk_policy = self.devplan.chunk_policy();
         // Kernel faults are observed inside `enqueue_from`; transfer
         // faults are consulted here, once per (halo node, destination).
         let injector = self.injector.clone();
@@ -806,6 +894,18 @@ impl Executor {
         let mut ends = std::mem::take(&mut self.ends_scratch);
         ends.clear();
         ends.resize(graph.len() * ndev, t0);
+        // Per-device kernel busy samples for the straggler monitor.
+        let mut dev_kernel = std::mem::take(&mut self.dev_kernel_scratch);
+        dev_kernel.clear();
+        dev_kernel.resize(ndev, SimTime::ZERO);
+        // Per-device transfer-observation counter mirroring the injector's
+        // own: the `nth` it yields maps a retry verdict onto the actual
+        // faulted chunk's slot instead of always chunk 0.
+        let mut xfer_seen: Vec<u32> = if injector.is_some() {
+            vec![0; ndev]
+        } else {
+            Vec::new()
+        };
         // Chunk-events side tables (only maintained in that mode): per
         // halo node and destination device, when the halo's *inputs* were
         // ready, when the last chunk *arrived*, and how many bytes came
@@ -952,6 +1052,7 @@ impl Executor {
                             }
                         };
                         report.kernel_time += dur;
+                        dev_kernel[d] += dur;
                         report.launches += 1;
                         report.bytes_moved += bytes;
                         report.redundant_flops += redundant;
@@ -997,26 +1098,31 @@ impl Executor {
                     // One transfer-fault verdict per destination device per
                     // halo node: the first descriptor into a destination
                     // carries the retry cost, later ones ride clean. Only
-                    // allocated when an injector is installed.
-                    let mut verdicts: Option<Vec<Option<FaultVerdict>>> =
+                    // allocated when an injector is installed. The returned
+                    // `nth` is the observation's per-device occurrence
+                    // index, which selects the chunk slot the verdict is
+                    // charged to.
+                    let mut verdicts: Option<Vec<Option<(FaultVerdict, u32)>>> =
                         injector.as_ref().map(|_| vec![None; ndev]);
-                    let mut consult = |dst: DeviceId| -> FaultVerdict {
+                    let mut consult = |dst: DeviceId| -> (FaultVerdict, u32) {
                         match (&mut verdicts, &injector) {
                             (Some(v), Some(inj)) => match v[dst.0] {
-                                Some(_) => FaultVerdict::Clean,
+                                Some((_, nth)) => (FaultVerdict::Clean, nth),
                                 None => {
+                                    let nth = xfer_seen[dst.0];
+                                    xfer_seen[dst.0] += 1;
                                     let verdict = inj.observe(dst, FaultSiteKind::Transfer);
-                                    v[dst.0] = Some(verdict);
-                                    verdict
+                                    v[dst.0] = Some((verdict, nth));
+                                    (verdict, nth)
                                 }
                             },
-                            _ => FaultVerdict::Clean,
+                            _ => (FaultVerdict::Clean, 0),
                         }
                     };
                     match self.halo_policy {
                         HaloPolicy::ExplicitTransfers => {
                             for desc in plan.halo_descriptors(node_id) {
-                                let verdict = consult(desc.dst);
+                                let (verdict, nth) = consult(desc.dst);
                                 let earliest = lanes[desc.src.0].max(lanes[desc.dst.0]);
                                 let lane = self.transfer_lane(desc.src, desc.dst);
                                 // Occupy the physical link: peer copies on a
@@ -1030,13 +1136,16 @@ impl Executor {
                                 // the first chunk pays the link round-trip
                                 // latency, follow-on chunks ride the already
                                 // -open channel at pure bandwidth. A retry
-                                // verdict lands on the first chunk, later
-                                // ones ride clean.
+                                // verdict lands on the faulted chunk's own
+                                // slot (`nth` mod the chunk count), other
+                                // chunks ride clean; an escaped chunk aborts
+                                // the rest of the payload.
                                 let (cnum, cb) = if chunked {
-                                    comm_chunks(desc.bytes)
+                                    chunk_policy.chunks(desc.bytes)
                                 } else {
                                     (1, desc.bytes)
                                 };
+                                let fault_chunk = nth as usize % cnum.max(1);
                                 let latency =
                                     self.backend.topology().transfer_time(desc.src, desc.dst, 0);
                                 let mut remaining = desc.bytes;
@@ -1050,7 +1159,11 @@ impl Executor {
                                     if k > 0 {
                                         dur = (dur - latency).max(SimTime::ZERO);
                                     }
-                                    let v = if k == 0 { verdict } else { FaultVerdict::Clean };
+                                    let v = if k == fault_chunk {
+                                        verdict
+                                    } else {
+                                        FaultVerdict::Clean
+                                    };
                                     let (s, e) = self.queue.enqueue_transfer_with_faults(
                                         stream,
                                         earliest,
@@ -1066,6 +1179,11 @@ impl Executor {
                                     lanes[ndev + desc.dst.0] = lanes[ndev + desc.dst.0].max(e);
                                     lanes[2 * ndev + desc.src.0] =
                                         lanes[2 * ndev + desc.src.0].max(e);
+                                    if matches!(v, FaultVerdict::Escaped { .. }) {
+                                        // The chunk never landed cleanly;
+                                        // the rest of the payload is moot.
+                                        break;
+                                    }
                                 }
                                 if chunked {
                                     h_bytes[node_id * ndev + desc.dst.0] += desc.bytes;
@@ -1087,7 +1205,7 @@ impl Executor {
                             // device's compute lane (lane 0), serializing
                             // with kernels — OCC cannot hide it.
                             for desc in plan.halo_descriptors(node_id) {
-                                let verdict = consult(desc.dst);
+                                let (verdict, _) = consult(desc.dst);
                                 let mut earliest = lanes[desc.src.0].max(lanes[desc.dst.0]);
                                 let pages = desc.bytes.div_ceil(page_bytes);
                                 let dur = SimTime::from_us(
@@ -1176,6 +1294,17 @@ impl Executor {
                     for d in 0..ndev {
                         ends[node_id * ndev + d] = timing.done[d];
                     }
+                    // Link faults are observed inside the engine, chunk by
+                    // chunk; if one escaped here, remember the node so the
+                    // functional replay can abort before its finalize.
+                    if self.escape_node.is_none()
+                        && injector
+                            .as_ref()
+                            .and_then(|i| i.escape_site())
+                            .is_some_and(|s| s.kind == FaultSiteKind::Link)
+                    {
+                        self.escape_node = Some(node_id);
+                    }
                 }
             }
             if injector.as_ref().is_some_and(|i| i.escape_site().is_some()) {
@@ -1188,6 +1317,7 @@ impl Executor {
         }
 
         self.ends_scratch = ends;
+        self.dev_kernel_scratch = dev_kernel;
         self.halo_ready_scratch = h_ready;
         self.halo_arrive_scratch = h_arrive;
         self.halo_bytes_scratch = h_bytes;
@@ -1338,6 +1468,10 @@ impl Executor {
     /// Occurrence counting mirrors the timing replay exactly: kernels
     /// count per device only when the partition is non-empty, halo
     /// transfers count once per (node, destination) in descriptor order.
+    /// Link faults carry no functional counter: the engine observed them
+    /// mid-collective, so the abort lands on the collective *node* the
+    /// timing replay recorded (`escape_node`) — the fold never committed,
+    /// skipping the whole node is exact.
     fn replay_functional_until(
         &self,
         plan: &CompiledPlan,
@@ -1407,7 +1541,15 @@ impl Executor {
                     exchange.execute();
                 }
                 NodeKind::Host { container } => container.run_host(),
-                NodeKind::Collective { container, .. } => container.reduce_finalize(),
+                NodeKind::Collective { container, .. } => {
+                    if site.kind == FaultSiteKind::Link && self.escape_node == Some(task.node) {
+                        // The collective aborted mid-flight: no rank holds
+                        // the folded value, so the finalize (and everything
+                        // after) never runs.
+                        return Ok(());
+                    }
+                    container.reduce_finalize();
+                }
             }
         }
         // The site was not reached — counters drifted from the timing

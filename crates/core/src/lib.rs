@@ -45,6 +45,7 @@ pub mod devplan;
 pub mod exec;
 pub mod fuse;
 pub mod graph;
+pub mod health;
 pub mod layout_select;
 pub mod multigpu;
 pub mod occ;
@@ -57,17 +58,22 @@ pub mod validate;
 
 pub use collective::{lower_collectives, merge_collectives, CollectiveMode};
 pub use devplan::{
-    build_device_plan, build_device_plan_with, comm_chunks, DevAction, DevStep, DevicePlan,
+    build_device_plan, build_device_plan_policy, build_device_plan_with, comm_chunks, ChunkPolicy,
+    DevAction, DevStep, DevicePlan,
 };
 pub use exec::{CommMode, ExecError, ExecReport, Executor, FunctionalMode, HaloPolicy};
 pub use fuse::{fuse_graph, FusePass, FusionLevel};
 pub use graph::{build_dependency_graph, Edge, EdgeKind, Graph, Node, NodeId, NodeKind};
+pub use health::{HealthReport, StragglerMonitor, StragglerPolicy};
 pub use layout_select::{
     recommend_layout, summarize_accesses, AccessSummary, LayoutPolicy, LayoutRec, LayoutSelectPass,
 };
 pub use multigpu::to_multigpu_graph;
 pub use neon_comm::Algorithm as CollectiveAlgorithm;
-pub use neon_sys::{CounterSnapshot, FaultPlan, FaultSite, FaultSiteKind, FaultStats, RetryPolicy};
+pub use neon_sys::{
+    CounterSnapshot, FaultPlan, FaultSite, FaultSiteKind, FaultStats, LinkEvent, PermanentFault,
+    RetryPolicy,
+};
 pub use occ::{apply_occ, OccLevel};
 pub use pass::{CompileError, CompileLog, Ir, Pass, PassCtx, PassManager, PassTiming};
 pub use plan::{

@@ -30,7 +30,7 @@ use neon_set::{sequence_signature, uid_roles, Container, DataUid, HaloDescriptor
 use neon_sys::{stable_hash_of, Backend, StableHasher, Trace};
 
 use crate::collective::CollectiveMode;
-use crate::devplan::{build_device_plan, build_device_plan_with, comm_chunks, DevicePlan};
+use crate::devplan::{build_device_plan, build_device_plan_policy, DevicePlan};
 use crate::exec::{CommMode, HaloPolicy};
 use crate::fuse::FusionLevel;
 use crate::graph::{Edge, Graph, Node, NodeId, NodeKind};
@@ -593,16 +593,17 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
     // A chunked device plan additionally bakes in per-descriptor chunk
     // counts, which follow the payload *bytes* — a rebind onto a larger
     // grid can change them even when the pair structure is identical.
+    let policy = plan.device_plan.chunk_policy();
     let same_chunks = !plan.device_plan.chunked()
         || halo_descs.iter().zip(&plan.halo_descs).all(|(a, b)| {
             a.iter()
                 .zip(b)
-                .all(|(x, y)| comm_chunks(x.bytes).0 == comm_chunks(y.bytes).0)
+                .all(|(x, y)| policy.chunks(x.bytes).0 == policy.chunks(y.bytes).0)
         });
     let device_plan = if same_pairs && same_chunks {
         Arc::clone(&plan.device_plan)
     } else {
-        Arc::new(build_device_plan_with(
+        Arc::new(build_device_plan_policy(
             &graph,
             &plan.schedule,
             &plan.data_parents,
@@ -612,6 +613,7 @@ fn rebind(plan: &CompiledPlan, containers: Vec<Container>) -> Arc<CompiledPlan> 
             } else {
                 CommMode::Epoch
             },
+            policy,
         ))
     };
     Arc::new(CompiledPlan {

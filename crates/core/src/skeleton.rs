@@ -35,6 +35,7 @@ use crate::collective::CollectiveMode;
 use crate::exec::{CommMode, ExecError, ExecReport, Executor, FunctionalMode, HaloPolicy};
 use crate::fuse::FusionLevel;
 use crate::graph::Graph;
+use crate::health::{HealthReport, StragglerMonitor, StragglerPolicy};
 use crate::layout_select::LayoutPolicy;
 use crate::occ::OccLevel;
 use crate::pass::{CompileError, PassTiming};
@@ -225,6 +226,9 @@ pub struct Skeleton {
     plan: Arc<CompiledPlan>,
     executor: Executor,
     from_cache: bool,
+    /// Optional straggler monitor, fed one per-device kernel-span sample
+    /// per execution routed through the skeleton's run entry points.
+    monitor: Option<StragglerMonitor>,
 }
 
 impl Skeleton {
@@ -267,6 +271,7 @@ impl Skeleton {
             plan,
             executor,
             from_cache,
+            monitor: None,
         })
     }
 
@@ -373,12 +378,24 @@ impl Skeleton {
 
     /// Execute the sequence once.
     pub fn run(&mut self) -> ExecReport {
-        self.executor.execute()
+        let r = self.executor.execute();
+        self.observe_health();
+        r
     }
 
     /// Execute the sequence `n` times (an iterative solver's outer loop).
+    ///
+    /// With a straggler monitor enabled, each iteration contributes one
+    /// per-device kernel-span sample to the EWMA.
     pub fn run_iters(&mut self, n: usize) -> ExecReport {
-        self.executor.execute_iters(n)
+        if self.monitor.is_none() {
+            return self.executor.execute_iters(n);
+        }
+        let mut total = ExecReport::default();
+        for _ in 0..n {
+            total.accumulate(self.run());
+        }
+        total
     }
 
     /// Average virtual time of one execution over `n` runs.
@@ -438,7 +455,37 @@ impl Skeleton {
     /// Execute the sequence once, reporting failures as values instead of
     /// panicking (see [`Executor::try_execute`]).
     pub fn try_run(&mut self) -> Result<ExecReport, ExecError> {
-        self.executor.try_execute()
+        let r = self.executor.try_execute();
+        if r.is_ok() {
+            self.observe_health();
+        }
+        r
+    }
+
+    /// Enable the deterministic straggler monitor: every execution routed
+    /// through this skeleton's run entry points feeds one per-device
+    /// kernel-span sample (off the virtual clock —
+    /// [`Executor::per_device_kernel_time`]) into an EWMA judged by
+    /// `policy`. Replaces any previous monitor.
+    pub fn enable_straggler_monitor(&mut self, policy: StragglerPolicy) {
+        self.monitor = Some(StragglerMonitor::new(
+            self.executor.queue().num_devices(),
+            policy,
+        ));
+    }
+
+    /// The current fleet-health snapshot, if a monitor is enabled.
+    pub fn health_report(&self) -> Option<HealthReport> {
+        self.monitor.as_ref().map(|m| m.report())
+    }
+
+    /// Fold the most recent execution's per-device kernel spans into the
+    /// monitor (no-op when disabled). Called by the run entry points;
+    /// exposed for callers that drive the executor directly.
+    pub fn observe_health(&mut self) {
+        if let Some(m) = &mut self.monitor {
+            m.observe(self.executor.per_device_kernel_time());
+        }
     }
 
     /// Type-erased state handles of every data object the sequence
@@ -497,6 +544,7 @@ impl Skeleton {
             match self.executor.try_execute() {
                 Ok(r) => {
                     report.accumulate(r);
+                    self.observe_health();
                     i += 1;
                     if (i - start).is_multiple_of(interval) && i < end {
                         checkpoint = Checkpoint::capture(i, &handles);

@@ -75,7 +75,7 @@ impl std::fmt::Debug for DenseGrid {
 }
 
 /// How a dense grid splits its z-layers over the devices.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum PartitionStrategy {
     /// Equal layer counts — correct for homogeneous systems.
     #[default]
@@ -83,6 +83,12 @@ pub enum PartitionStrategy {
     /// Layers proportional to each device's effective memory bandwidth —
     /// load balance for heterogeneous systems (paper §VII future work).
     DeviceProportional,
+    /// Layers proportional to explicit per-device shares — the feedback
+    /// path for the straggler monitor, whose
+    /// [`HealthReport::shares`](../../neon_core/health/struct.HealthReport.html)
+    /// shrink a flagged device's slab on the next (re)build. Must hold
+    /// one positive share per device.
+    Shares(Vec<f64>),
 }
 
 impl DenseGrid {
@@ -172,6 +178,19 @@ impl DenseGrid {
                     .map(|d| d.mem_bandwidth_gb_s)
                     .collect();
                 proportional_slab_partition(dim.z, &shares)
+            }
+            PartitionStrategy::Shares(ref shares) => {
+                if shares.len() != n {
+                    return Err(NeonSysError::InvalidConfig {
+                        what: format!("{} partition shares for {n} devices", shares.len()),
+                    });
+                }
+                if shares.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+                    return Err(NeonSysError::InvalidConfig {
+                        what: format!("partition shares must be positive and finite: {shares:?}"),
+                    });
+                }
+                proportional_slab_partition(dim.z, shares)
             }
         };
         let halo_cap = halo_cap.unwrap_or(radius);

@@ -38,12 +38,23 @@
 //! migrates its state through logical coordinates — then keeps going.
 //! The forced migrations are recorded as [`EvictionEvent`]s so the solo
 //! oracle can replay them and confirm bit-identity even across a loss.
+//!
+//! The interconnect is a fault domain of its own: a scheduled [`LinkFault`]
+//! severs or degrades one fleet wire. Quanta straddling it roll back, jobs
+//! pinned across both endpoints re-plan on the degraded fleet — same
+//! devices, new link timing, possibly a new collective route (recorded as
+//! [`RouteChange`]s when an island split flips hierarchical routing flat or
+//! vice versa) — and results stay bit-identical to a healthy solo run,
+//! because link speed never enters the numerics. Checkpoint captures are
+//! priced on the virtual clock (state bytes over the host staging link)
+//! and charged to the tenant that needed the protection
+//! ([`TenantAccount::checkpoint_us`]).
 
 pub mod server;
 pub mod types;
 
 pub use server::{solo_run_bits, Server};
 pub use types::{
-    jain_index, percentile, DeviceLoss, EvictionEvent, JobOutcome, JobRequest, SchedPolicy,
-    ServeConfig, ServeReport, TenantAccount, TenantSpec,
+    jain_index, percentile, DeviceLoss, EvictionEvent, JobOutcome, JobRequest, LinkFault,
+    RouteChange, SchedPolicy, ServeConfig, ServeReport, TenantAccount, TenantSpec,
 };

@@ -33,8 +33,8 @@ use neon_set::Checkpoint;
 use neon_sys::{Backend, CounterSnapshot, DeviceId, Result, SimTime};
 
 use crate::types::{
-    DeviceLoss, EvictionEvent, JobOutcome, JobRequest, SchedPolicy, ServeConfig, ServeReport,
-    TenantAccount, TenantSpec,
+    DeviceLoss, EvictionEvent, JobOutcome, JobRequest, LinkFault, RouteChange, SchedPolicy,
+    ServeConfig, ServeReport, TenantAccount, TenantSpec,
 };
 
 /// Comparison slack for event times (sums of f64 microseconds).
@@ -74,6 +74,9 @@ struct JobState {
     /// Collective route on the current pinned subset (see
     /// [`JobOutcome::collective_route`]).
     route: Option<Algorithm>,
+    /// Route flips forced by fleet link faults (see
+    /// [`JobOutcome::route_changes`]).
+    route_changes: Vec<RouteChange>,
 }
 
 /// The collective algorithm the engine would route this job's field-sized
@@ -225,7 +228,10 @@ impl Server {
         }
         let run_start = Instant::now();
         let cache_before = neon_core::plan_cache_stats();
-        let fleet_n = self.fleet.num_devices();
+        // The interconnect is mutable run state: a fired link fault swaps
+        // in the degraded fleet, and every later subset carve sees it.
+        let mut fleet = self.fleet.clone();
+        let fleet_n = fleet.num_devices();
 
         // Arrival order (stable on submission index).
         let mut order: Vec<usize> = (0..requests.len()).collect();
@@ -252,6 +258,7 @@ impl Server {
                 first_ndev: None,
                 evictions: Vec::new(),
                 route: None,
+                route_changes: Vec::new(),
             })
             .collect();
 
@@ -269,7 +276,9 @@ impl Server {
         let mut next_seq = 0usize;
         let mut shed = 0u64;
         let mut device_losses = 0u64;
+        let mut link_faults = 0u64;
         let mut loss_pending = self.cfg.device_loss;
+        let mut link_pending = self.cfg.link_fault;
         let mut sched_wall = std::time::Duration::ZERO;
         let mut makespan: f64 = 0.0;
 
@@ -320,6 +329,7 @@ impl Server {
                     self.process_loss(
                         loss,
                         clock.min(loss.at_us.max(0.0)),
+                        &fleet,
                         &mut jobs,
                         &mut accounts,
                         &mut active,
@@ -328,6 +338,26 @@ impl Server {
                         &mut dead,
                     );
                     device_losses += 1;
+                }
+            }
+
+            // 2b. Fire a due link fault: swap in the degraded fleet, abort
+            //     in-flight quanta that straddled the wire, re-plan pinned
+            //     jobs (same tie-to-the-loss semantics as a device loss).
+            if let Some(fault) = link_pending {
+                if fault.at_us <= clock + EPS {
+                    link_pending = None;
+                    self.process_link_fault(
+                        fault,
+                        clock.min(fault.at_us.max(0.0)),
+                        &mut fleet,
+                        &mut jobs,
+                        &mut accounts,
+                        &mut active,
+                        &mut waiting,
+                        &mut free_at,
+                    );
+                    link_faults += 1;
                 }
             }
 
@@ -364,6 +394,7 @@ impl Server {
             // 4. Dispatch while something is both ready and placeable.
             while self.try_dispatch_one(
                 clock,
+                &fleet,
                 &mut jobs,
                 &mut accounts,
                 &mut waiting,
@@ -372,6 +403,7 @@ impl Server {
                 &dead,
                 &vtime,
                 loss_pending,
+                link_pending,
                 &mut sched_wall,
             ) {}
 
@@ -387,6 +419,9 @@ impl Server {
             }
             if let Some(loss) = loss_pending {
                 t = t.min(loss.at_us);
+            }
+            if let Some(fault) = link_pending {
+                t = t.min(fault.at_us);
             }
             for a in &active {
                 t = t.min(a.end);
@@ -419,6 +454,7 @@ impl Server {
                 first_ndev: js.first_ndev,
                 evictions: js.evictions.clone(),
                 collective_route: js.route,
+                route_changes: js.route_changes.clone(),
             })
             .collect();
         for js in &jobs {
@@ -431,6 +467,7 @@ impl Server {
             makespan: SimTime::from_us(makespan),
             shed,
             device_losses,
+            link_faults,
             sched_wall_us: sched_wall.as_secs_f64() * 1e6,
             total_wall_us: run_start.elapsed().as_secs_f64() * 1e6,
             cache_hits: cache_after.hits - cache_before.hits,
@@ -444,6 +481,7 @@ impl Server {
     fn try_dispatch_one(
         &self,
         clock: f64,
+        fleet: &Backend,
         jobs: &mut [JobState],
         accounts: &mut [TenantAccount],
         waiting: &mut WaitQueue,
@@ -452,6 +490,7 @@ impl Server {
         dead: &[bool],
         vtime: &[f64],
         loss_pending: Option<DeviceLoss>,
+        link_pending: Option<LinkFault>,
         sched_wall: &mut std::time::Duration,
     ) -> bool {
         let sched_start = Instant::now();
@@ -530,10 +569,7 @@ impl Server {
         // compiles go through the shared plan cache.
         if jobs[widx].job.is_none() {
             let subset: Vec<DeviceId> = devices.iter().map(|&d| DeviceId(d)).collect();
-            let backend = self
-                .fleet
-                .with_devices(&subset)
-                .expect("pinned subset is valid");
+            let backend = fleet.with_devices(&subset).expect("pinned subset is valid");
             let job = jobs[widx]
                 .req
                 .spec
@@ -551,23 +587,42 @@ impl Server {
         };
         let js = &mut jobs[widx];
         let job = js.job.as_mut().expect("built above");
-        // Checkpoint iff an armed loss targets one of this quantum's
-        // devices — the abort path rolls back to the quantum start.
-        let cp = match loss_pending {
-            Some(loss) if devices.contains(&loss.device) => Some(job.capture()),
-            _ => None,
+        // Checkpoint iff an armed fault could abort this quantum: a device
+        // loss targeting one of its devices, or a link fault both of whose
+        // endpoints the quantum straddles — the abort path rolls back to
+        // the quantum start.
+        let loss_armed = matches!(loss_pending, Some(l) if devices.contains(&l.device));
+        let link_armed = matches!(
+            link_pending,
+            Some(f) if devices.contains(&f.src) && devices.contains(&f.dst)
+        );
+        let cp = if loss_armed || link_armed {
+            Some(job.capture())
+        } else {
+            None
         };
+        // A capture stages the job's write set to the host, and the
+        // devices stall on the staging link while it runs: the cost lands
+        // on the quantum's virtual makespan (and hence the tenant's WFQ
+        // virtual time at commit), not on some global overhead bucket.
+        let cp_us = cp.as_ref().map_or(0.0, |c| {
+            let bytes = c.bytes();
+            let us = fleet.topology().host_transfer_time(bytes).as_us();
+            let t = &mut accounts[js.req.tenant];
+            t.checkpoint_bytes += bytes;
+            t.checkpoint_us += us;
+            us
+        });
         let counters_before = job.counters();
         let iters_before = job.completed();
         let report = job.advance(span);
         let iters_delta = job.completed() - iters_before;
         debug_assert!(iters_delta > 0, "a quantum must commit progress");
-        let end = clock + report.makespan.as_us().max(1e-6);
+        let end = clock + cp_us + report.makespan.as_us().max(1e-6);
 
         js.queue_wait_us += clock - js.ready_since;
         js.phase = Phase::Running;
         let (tenant, seq) = (js.req.tenant, js.seq);
-        let _ = accounts; // accounting happens at commit time
         waiting.remove(widx, tenant, seq);
         for &d in &devices {
             free_at[d] = end;
@@ -591,6 +646,7 @@ impl Server {
         &self,
         loss: DeviceLoss,
         at: f64,
+        fleet: &Backend,
         jobs: &mut [JobState],
         accounts: &mut [TenantAccount],
         active: &mut Vec<Active>,
@@ -658,8 +714,7 @@ impl Server {
             new_pinned.truncate(size);
 
             let subset: Vec<DeviceId> = new_pinned.iter().map(|&d| DeviceId(d)).collect();
-            let backend = self
-                .fleet
+            let backend = fleet
                 .with_devices(&subset)
                 .expect("replacement subset is valid");
             let job = js.job.as_mut().expect("pinned implies built");
@@ -671,6 +726,97 @@ impl Server {
                 to_ndev: new_pinned.len(),
             });
             js.pinned = Some(new_pinned);
+        }
+    }
+
+    /// Degrade the fleet interconnect, abort in-flight quanta that
+    /// straddled the faulted wire, and re-plan every live job whose pinned
+    /// subset spans both endpoints. Jobs touching at most one endpoint
+    /// carve a subset topology that never contained the wire, so their
+    /// plans — and plan-cache entries — stay valid untouched.
+    #[allow(clippy::too_many_arguments)]
+    fn process_link_fault(
+        &self,
+        fault: LinkFault,
+        at: f64,
+        fleet: &mut Backend,
+        jobs: &mut [JobState],
+        accounts: &mut [TenantAccount],
+        active: &mut Vec<Active>,
+        waiting: &mut WaitQueue,
+        free_at: &mut [f64],
+    ) {
+        let (s, d) = (fault.src, fault.dst);
+        if s >= fleet.num_devices() || d >= fleet.num_devices() || s == d {
+            return;
+        }
+        let old_fingerprint = fleet.fingerprint();
+        let degraded = match fault.factor {
+            None => fleet.without_link(DeviceId(s), DeviceId(d)),
+            Some(f) => fleet.with_degraded_link(DeviceId(s), DeviceId(d), f),
+        }
+        .expect("link fault endpoints validated above");
+        // Whole-fleet plans keyed on the healthy interconnect are stale;
+        // subset plans key on the *subset* fingerprint and are invalidated
+        // per job below only when the subset actually contained the wire.
+        neon_core::invalidate_backend(old_fingerprint);
+        *fleet = degraded;
+
+        // Abort in-flight quanta that straddled the wire: roll back to the
+        // quantum-start checkpoint, free their devices at the fault time,
+        // charge the wasted device-time.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].devices.contains(&s) && active[i].devices.contains(&d) {
+                let a = active.swap_remove(i);
+                let js = &mut jobs[a.widx];
+                let cp = a.cp.expect("link fault was armed, checkpoint captured");
+                js.job.as_mut().expect("active job is built").restore(&cp);
+                accounts[js.req.tenant].wasted_device_us +=
+                    (at - a.start).max(0.0) * a.devices.len() as f64;
+                for &dev in &a.devices {
+                    free_at[dev] = at;
+                }
+                let (tenant, seq) = (js.req.tenant, js.seq);
+                js.phase = Phase::Waiting;
+                js.ready_since = at;
+                waiting.push(a.widx, tenant, seq);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Re-plan every live job pinned across both endpoints: same
+        // devices (nothing died), fresh subset backend carved from the
+        // degraded fleet. The subset fingerprint changed, so the rebuild
+        // recompiles, re-times every transfer, and re-routes collectives;
+        // a route that relied on the wire flips and is recorded.
+        for js in jobs.iter_mut() {
+            if js.phase != Phase::Waiting {
+                continue;
+            }
+            let Some(pinned) = &js.pinned else { continue };
+            if !pinned.contains(&s) || !pinned.contains(&d) {
+                continue;
+            }
+            let subset: Vec<DeviceId> = pinned.iter().map(|&dev| DeviceId(dev)).collect();
+            let backend = fleet
+                .with_devices(&subset)
+                .expect("pinned subset is valid on the degraded fleet");
+            let job = js.job.as_mut().expect("pinned implies built");
+            job.migrate_to(&backend)
+                .expect("same-size migration onto the degraded subset");
+            let new_route = collective_route(&js.req.spec, &backend);
+            if let Some(old_route) = js.route {
+                if old_route != new_route {
+                    js.route_changes.push(RouteChange {
+                        at_iteration: job.completed(),
+                        from: old_route,
+                        to: new_route,
+                    });
+                }
+            }
+            js.route = Some(new_route);
         }
     }
 }

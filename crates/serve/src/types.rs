@@ -64,6 +64,26 @@ pub struct DeviceLoss {
     pub device: usize,
 }
 
+/// A scheduled permanent link fault (server-level fault injection): at
+/// virtual time `at_us` the fleet's peer link between `src` and `dst` is
+/// severed (`factor == None`, both directions fall back to PCIe-class
+/// staging) or degraded to `factor` of its bandwidth. Jobs whose pinned
+/// subset spans both endpoints are re-planned on the degraded fleet; their
+/// collective routes may flip (an island that split routes hierarchically
+/// where it was flat, or vice versa), which [`JobOutcome::route_changes`]
+/// records.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFault {
+    /// Virtual time of the fault, in microseconds.
+    pub at_us: f64,
+    /// One end of the affected fleet link.
+    pub src: usize,
+    /// The other end of the affected fleet link.
+    pub dst: usize,
+    /// `None` = severed; `Some(f)` = bandwidth drops to `f` of nominal.
+    pub factor: Option<f64>,
+}
+
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
@@ -80,6 +100,8 @@ pub struct ServeConfig {
     pub policy: SchedPolicy,
     /// Optional scheduled device loss.
     pub device_loss: Option<DeviceLoss>,
+    /// Optional scheduled link fault.
+    pub link_fault: Option<LinkFault>,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +111,7 @@ impl Default for ServeConfig {
             quantum_iters: 4,
             policy: SchedPolicy::WeightedFair,
             device_loss: None,
+            link_fault: None,
         }
     }
 }
@@ -105,6 +128,19 @@ pub struct EvictionEvent {
     pub from_ndev: usize,
     /// Subset size after re-planning (equal if a spare device was free).
     pub to_ndev: usize,
+}
+
+/// One collective-route flip forced by a fleet link fault: the job kept
+/// its devices, but the degraded subset topology routes its all-reduces
+/// differently from the healthy one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteChange {
+    /// Iteration boundary the job was re-planned at.
+    pub at_iteration: u64,
+    /// Route on the healthy subset topology.
+    pub from: Algorithm,
+    /// Route on the degraded subset topology.
+    pub to: Algorithm,
 }
 
 /// Per-request outcome.
@@ -139,6 +175,11 @@ pub struct JobOutcome {
     /// so a survivor subset that straddles islands shows up as
     /// [`Algorithm::Hierarchical`]). `None` for jobs that never ran.
     pub collective_route: Option<Algorithm>,
+    /// Collective-route flips forced by fleet link faults, in order. A
+    /// fault that re-plans a job without changing its route records
+    /// nothing here — the entry means the wire the route relied on is
+    /// gone, not merely that a recompile happened.
+    pub route_changes: Vec<RouteChange>,
 }
 
 impl JobOutcome {
@@ -169,6 +210,14 @@ pub struct TenantAccount {
     /// Device-time of quanta aborted by a device loss (rolled back, not
     /// counted in `device_busy_us`), µs.
     pub wasted_device_us: f64,
+    /// Bytes of solver state staged to the host by checkpoint captures on
+    /// the tenant's behalf.
+    pub checkpoint_bytes: u64,
+    /// Virtual time spent capturing checkpoints (checkpoint bytes over the
+    /// host staging link), µs. Charged to the tenant's WFQ virtual time —
+    /// resilience is a service the tenant pays for, not free overhead
+    /// smeared across the fleet.
+    pub checkpoint_us: f64,
     /// Total time the tenant's jobs sat admitted-but-not-running, µs.
     pub queue_wait_us: f64,
     /// Jobs that ran to completion.
@@ -188,6 +237,8 @@ impl TenantAccount {
             device_busy_us: 0.0,
             link_busy_us: 0.0,
             wasted_device_us: 0.0,
+            checkpoint_bytes: 0,
+            checkpoint_us: 0.0,
             queue_wait_us: 0.0,
             jobs_completed: 0,
             jobs_shed: 0,
@@ -216,6 +267,8 @@ pub struct ServeReport {
     pub shed: u64,
     /// Device losses processed.
     pub device_losses: u64,
+    /// Link faults processed.
+    pub link_faults: u64,
     /// Host wall-clock spent in scheduling decisions, µs.
     pub sched_wall_us: f64,
     /// Host wall-clock of the whole run (compiles + functional execution +

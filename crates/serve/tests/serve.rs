@@ -5,7 +5,7 @@
 use neon_apps::JobSpec;
 use neon_core::{OccLevel, SkeletonOptions};
 use neon_serve::{
-    solo_run_bits, DeviceLoss, JobRequest, SchedPolicy, ServeConfig, Server, TenantSpec,
+    solo_run_bits, DeviceLoss, JobRequest, LinkFault, SchedPolicy, ServeConfig, Server, TenantSpec,
 };
 use neon_sys::Backend;
 
@@ -428,6 +428,107 @@ fn island_fleet_records_hierarchical_routes_and_stays_bit_identical() {
             o.spec
         );
     }
+}
+
+/// Severing the NVLink inside an island mid-run splits the island: the
+/// job pinned across it aborts its in-flight quantum, re-plans on the
+/// degraded fleet with the *same* devices, and its collective route flips
+/// from hierarchical to a flat schedule — recorded as a [`RouteChange`] —
+/// while the results stay bit-identical to a healthy solo run (link speed
+/// never enters the numerics). The checkpoint that made the rollback
+/// possible is priced on the virtual clock and charged to the tenant.
+#[test]
+fn link_fault_splits_island_reroutes_and_stays_bit_identical() {
+    use neon_core::CollectiveAlgorithm;
+
+    // Islands {0,1} and {2,3}; a 3-device job pins {0,1,2} under
+    // FIFO-exclusive-style first-fit (it is the only job), straddling the
+    // 0↔1 NVLink and the cross-island wire.
+    let fleet = Backend::dgx_islands(&[2, 2]);
+    let requests = vec![JobRequest {
+        tenant: 0,
+        spec: poisson(10, 12, 77),
+        ndev: 3,
+        arrival_us: 0.0,
+    }];
+    let mut server = Server::new(
+        &fleet,
+        vec![TenantSpec::new("a", 1.0)],
+        ServeConfig {
+            quantum_iters: 3,
+            link_fault: Some(LinkFault {
+                at_us: 40.0,
+                src: 0,
+                dst: 1,
+                factor: None,
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.run(requests);
+    assert_eq!(report.link_faults, 1);
+    assert_eq!(report.device_losses, 0);
+
+    let o = &report.outcomes[0];
+    assert!(o.completed);
+    assert!(o.evictions.is_empty(), "no device died, no eviction");
+    // The healthy {0,1},{2} subset routed hierarchically; the severed one
+    // is three singleton islands and must have flipped to a flat schedule.
+    assert_eq!(o.route_changes.len(), 1, "{:?}", o.route_changes);
+    assert_eq!(o.route_changes[0].from, CollectiveAlgorithm::Hierarchical);
+    assert_ne!(o.route_changes[0].to, CollectiveAlgorithm::Hierarchical);
+    assert_eq!(o.collective_route, Some(o.route_changes[0].to));
+
+    // Bit-identity against a *healthy* solo run with no migrations: the
+    // repair kept every device, so the numerics never saw the fault.
+    let solo = solo_run_bits(&fleet, o.spec, 3, options(), &[]).expect("solo replay");
+    assert_eq!(o.result_bits, Some(solo));
+
+    // The aborted quantum is charged as waste, and the checkpoints that
+    // guarded it are priced in bytes and virtual microseconds.
+    let t = &report.tenants[0];
+    assert!(t.wasted_device_us > 0.0, "in-flight quantum aborted");
+    assert!(t.checkpoint_bytes > 0, "captures staged state to the host");
+    assert!(t.checkpoint_us > 0.0, "captures cost virtual time");
+}
+
+/// A bandwidth degrade re-plans without flipping the route when the link
+/// class is unchanged: the job recompiles on the slower wire, records no
+/// route change, and still matches the healthy solo bits.
+#[test]
+fn link_degrade_replans_without_route_change() {
+    let fleet = Backend::dgx_a100(4);
+    let requests = vec![JobRequest {
+        tenant: 0,
+        spec: poisson(10, 12, 81),
+        ndev: 4,
+        arrival_us: 0.0,
+    }];
+    let mut server = Server::new(
+        &fleet,
+        vec![TenantSpec::new("a", 1.0)],
+        ServeConfig {
+            quantum_iters: 3,
+            link_fault: Some(LinkFault {
+                at_us: 40.0,
+                src: 1,
+                dst: 2,
+                factor: Some(0.25),
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.run(requests);
+    assert_eq!(report.link_faults, 1);
+    let o = &report.outcomes[0];
+    assert!(o.completed);
+    assert!(
+        o.route_changes.is_empty(),
+        "degrading one NVLink of a flat single-island box keeps the route: {:?}",
+        o.route_changes
+    );
+    let solo = solo_run_bits(&fleet, o.spec, 4, options(), &[]).expect("solo replay");
+    assert_eq!(o.result_bits, Some(solo));
 }
 
 /// A device loss on an island fleet leaves an asymmetric survivor subset

@@ -42,6 +42,10 @@ pub trait StateHandle: Send + Sync {
     /// Capture the current state. `None` when there is nothing to capture
     /// (virtual storage).
     fn save_state(&self) -> Option<StateBlob>;
+    /// Bytes a `save_state` snapshot occupies on the host (0 for virtual
+    /// storage). A checkpoint is a device→host copy of this payload, so
+    /// schedulers price capture time as `state bytes / host-link bandwidth`.
+    fn state_bytes(&self) -> u64;
     /// Restore a previously captured state.
     ///
     /// # Panics
@@ -65,6 +69,15 @@ impl<T: Elem> StateHandle for MemSet<T> {
             .map(|d| self.with_part(DeviceId(d), |s| s.to_vec()))
             .collect();
         Some(Box::new(parts))
+    }
+    fn state_bytes(&self) -> u64 {
+        if self.mode() == StorageMode::Virtual {
+            return 0;
+        }
+        (0..self.num_partitions())
+            .map(|d| self.with_part(DeviceId(d), |s| s.len() as u64))
+            .sum::<u64>()
+            * std::mem::size_of::<T>() as u64
     }
     fn restore_state(&self, blob: &StateBlob) {
         let parts = blob
@@ -103,6 +116,9 @@ impl<T: Elem> StateHandle for ScalarSet<T> {
             host: self.host_value(),
             partials,
         }))
+    }
+    fn state_bytes(&self) -> u64 {
+        (self.num_devices() as u64 + 1) * std::mem::size_of::<T>() as u64
     }
     fn restore_state(&self, blob: &StateBlob) {
         let state = blob
@@ -171,6 +187,13 @@ impl Checkpoint {
         self.entries.is_empty()
     }
 
+    /// Host-side bytes this snapshot holds (what a capture staged over the
+    /// device↔host link). This is the payload schedulers charge for when
+    /// they price checkpoint capture on the virtual clock.
+    pub fn bytes(&self) -> u64 {
+        self.entries.iter().map(|(h, _)| h.state_bytes()).sum()
+    }
+
     /// Write every captured blob back into its object.
     pub fn restore(&self) {
         for (h, blob) in &self.entries {
@@ -193,6 +216,7 @@ mod tests {
         let cp = Checkpoint::capture(7, &[handle]);
         assert_eq!(cp.iteration(), 7);
         assert_eq!(cp.len(), 1);
+        assert_eq!(cp.bytes(), 4 * 8, "4 f64 cells staged to the host");
         m.from_host(&[9.0, 9.0, 9.0, 9.0]);
         cp.restore();
         assert_eq!(m.to_host(), vec![1.0, 2.0, 3.0, 4.0]);

@@ -205,6 +205,47 @@ impl Backend {
         )
     }
 
+    /// The backend with the peer link between `src` and `dst` severed
+    /// (both directions): same devices, fresh ledgers, and the degraded
+    /// topology of [`Topology::without_link`]. The fingerprint changes, so
+    /// plans compiled for the healthy interconnect cannot be rebound.
+    pub fn without_link(&self, src: DeviceId, dst: DeviceId) -> Result<Self> {
+        self.check_device(src)?;
+        self.check_device(dst)?;
+        if src == dst {
+            return Err(NeonSysError::InvalidConfig {
+                what: "cannot sever a device's local link".to_string(),
+            });
+        }
+        Backend::new(
+            self.inner.kind,
+            self.inner.devices.clone(),
+            self.inner.topology.without_link(src, dst),
+        )
+    }
+
+    /// The backend with the peer link between `src` and `dst` degraded to
+    /// `factor` of its bandwidth (both directions); see
+    /// [`Topology::with_degraded_link`].
+    pub fn with_degraded_link(&self, src: DeviceId, dst: DeviceId, factor: f64) -> Result<Self> {
+        self.check_device(src)?;
+        self.check_device(dst)?;
+        if src == dst || !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+            return Err(NeonSysError::InvalidConfig {
+                what: format!(
+                    "link degrade needs two distinct devices and a factor in (0, 1], \
+                     got {}<->{} at {factor}",
+                    src.0, dst.0
+                ),
+            });
+        }
+        Backend::new(
+            self.inner.kind,
+            self.inner.devices.clone(),
+            self.inner.topology.with_degraded_link(src, dst, factor),
+        )
+    }
+
     /// Validate a device id against this backend.
     pub fn check_device(&self, d: DeviceId) -> Result<()> {
         if d.0 < self.num_devices() {
@@ -393,6 +434,36 @@ mod tests {
             evicted.topology().link(DeviceId(0), DeviceId(1)).kind,
             LinkKind::PciE3
         );
+    }
+
+    #[test]
+    fn without_link_keeps_devices_and_changes_fingerprint() {
+        let b = Backend::dgx_islands(&[2, 2]);
+        let cut = b.without_link(DeviceId(0), DeviceId(1)).unwrap();
+        assert_eq!(cut.num_devices(), 4);
+        assert_eq!(
+            cut.topology().link(DeviceId(0), DeviceId(1)).kind,
+            LinkKind::PciE3
+        );
+        // The first box split into singletons; the second is intact.
+        assert_eq!(cut.topology().islands().len(), 3);
+        assert_ne!(cut.fingerprint(), b.fingerprint());
+        assert!(b.without_link(DeviceId(1), DeviceId(1)).is_err());
+        assert!(b.without_link(DeviceId(0), DeviceId(9)).is_err());
+    }
+
+    #[test]
+    fn with_degraded_link_keeps_kind_and_changes_fingerprint() {
+        let b = Backend::dgx_a100(4);
+        let slow = b.with_degraded_link(DeviceId(0), DeviceId(1), 0.5).unwrap();
+        assert_eq!(
+            slow.topology().link(DeviceId(0), DeviceId(1)).kind,
+            LinkKind::NvLink
+        );
+        assert_ne!(slow.fingerprint(), b.fingerprint());
+        assert!(b.with_degraded_link(DeviceId(0), DeviceId(1), 0.0).is_err());
+        assert!(b.with_degraded_link(DeviceId(0), DeviceId(1), 1.5).is_err());
+        assert!(b.with_degraded_link(DeviceId(2), DeviceId(2), 0.5).is_err());
     }
 
     #[test]

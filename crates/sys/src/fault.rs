@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex};
 use crate::clock::SimTime;
 use crate::device::DeviceId;
 
-/// The two kinds of operations a transient fault can target.
+/// The kinds of operations a transient fault can target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultSiteKind {
     /// A compute kernel launch.
@@ -48,6 +48,21 @@ pub enum FaultSiteKind {
     /// A halo transfer (all pulls into one destination device count as one
     /// occurrence — the granularity at which the functional replay retries).
     Transfer,
+    /// A collective step transfer on an inter-device link (each chunk sent
+    /// toward a destination rank counts as one occurrence — the granularity
+    /// at which the collective engine retries).
+    Link,
+}
+
+impl FaultSiteKind {
+    /// Dense index used for per-device occurrence counters.
+    pub(crate) fn slot(self) -> usize {
+        match self {
+            FaultSiteKind::Kernel => 0,
+            FaultSiteKind::Transfer => 1,
+            FaultSiteKind::Link => 2,
+        }
+    }
 }
 
 impl std::fmt::Display for FaultSiteKind {
@@ -55,6 +70,7 @@ impl std::fmt::Display for FaultSiteKind {
         f.write_str(match self {
             FaultSiteKind::Kernel => "kernel",
             FaultSiteKind::Transfer => "transfer",
+            FaultSiteKind::Link => "link",
         })
     }
 }
@@ -84,11 +100,57 @@ pub struct FaultSpec {
     pub fails: u32,
 }
 
+/// A permanent interconnect event: from `iteration` on, the peer link
+/// between `src` and `dst` is severed (`factor == None`) or degraded to
+/// the given fraction of its bandwidth (`factor == Some(f)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkEvent {
+    /// First iteration at which the event is reported.
+    pub iteration: u64,
+    /// One end of the affected link.
+    pub src: DeviceId,
+    /// The other end of the affected link.
+    pub dst: DeviceId,
+    /// `None` = the wire is gone; `Some(f)` = bandwidth drops to `f`.
+    pub factor: Option<f64>,
+}
+
+/// A permanent fault reported at an iteration boundary. Permanent faults
+/// keep being reported until the caller rebuilds the executor for the
+/// degraded hardware configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PermanentFault {
+    /// The device is gone for good (evict + repartition to heal).
+    DeviceLoss(DeviceId),
+    /// The peer link between the pair is gone for good (recompile on
+    /// [`crate::topology::Topology::without_link`] to heal).
+    LinkLoss(DeviceId, DeviceId),
+    /// The peer link between the pair runs at the given fraction of its
+    /// bandwidth from now on (recompile on
+    /// [`crate::topology::Topology::with_degraded_link`] to heal).
+    LinkDegrade(DeviceId, DeviceId, f64),
+}
+
+impl std::fmt::Display for PermanentFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PermanentFault::DeviceLoss(d) => write!(f, "permanent loss of device {}", d.0),
+            PermanentFault::LinkLoss(s, d) => {
+                write!(f, "permanent loss of link {}<->{}", s.0, d.0)
+            }
+            PermanentFault::LinkDegrade(s, d, x) => {
+                write!(f, "link {}<->{} degraded to {x} of its bandwidth", s.0, d.0)
+            }
+        }
+    }
+}
+
 /// A deterministic schedule of faults.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     transients: Vec<FaultSpec>,
     loss: Option<(u64, DeviceId)>,
+    link_event: Option<LinkEvent>,
 }
 
 impl FaultPlan {
@@ -99,7 +161,7 @@ impl FaultPlan {
 
     /// Whether the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
-        self.transients.is_empty() && self.loss.is_none()
+        self.transients.is_empty() && self.loss.is_none() && self.link_event.is_none()
     }
 
     /// Schedule a transient kernel fault.
@@ -142,15 +204,72 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a transient (corrupted chunk, dropped-before-commit)
+    /// collective link transfer: the `nth` chunk sent toward destination
+    /// rank `device` within `iteration`.
+    pub fn with_link_fault(
+        mut self,
+        iteration: u64,
+        device: DeviceId,
+        nth: u32,
+        fails: u32,
+    ) -> Self {
+        self.transients.push(FaultSpec {
+            site: FaultSite {
+                iteration,
+                device,
+                kind: FaultSiteKind::Link,
+                nth,
+            },
+            fails: fails.max(1),
+        });
+        self
+    }
+
     /// Schedule a permanent device loss at the start of `iteration`.
     pub fn with_device_loss(mut self, iteration: u64, device: DeviceId) -> Self {
         self.loss = Some((iteration, device));
         self
     }
 
+    /// Schedule a permanent link loss (both directions) at the start of
+    /// `iteration`.
+    pub fn with_link_loss(mut self, iteration: u64, src: DeviceId, dst: DeviceId) -> Self {
+        self.link_event = Some(LinkEvent {
+            iteration,
+            src,
+            dst,
+            factor: None,
+        });
+        self
+    }
+
+    /// Schedule a permanent link degrade to `factor` of its bandwidth
+    /// (both directions) at the start of `iteration`.
+    pub fn with_link_degrade(
+        mut self,
+        iteration: u64,
+        src: DeviceId,
+        dst: DeviceId,
+        factor: f64,
+    ) -> Self {
+        self.link_event = Some(LinkEvent {
+            iteration,
+            src,
+            dst,
+            factor: Some(factor),
+        });
+        self
+    }
+
     /// The scheduled device loss, if any.
     pub fn device_loss(&self) -> Option<(u64, DeviceId)> {
         self.loss
+    }
+
+    /// The scheduled permanent link event, if any.
+    pub fn link_event(&self) -> Option<LinkEvent> {
+        self.link_event
     }
 
     /// The scheduled transient faults.
@@ -183,6 +302,35 @@ impl FaultPlan {
                 plan.with_kernel_fault(iteration, device, nth, fails)
             } else {
                 plan.with_transfer_fault(iteration, device, nth, fails)
+            };
+        }
+        plan
+    }
+
+    /// [`FaultPlan::seeded`] with the link fault domain in the mix: each
+    /// transient is a kernel, halo-transfer or collective-link fault with
+    /// equal probability (same deterministic generator family).
+    pub fn seeded_with_links(seed: u64, iterations: u64, devices: usize, n_faults: usize) -> Self {
+        let mut state = seed.wrapping_add(0xD1B5_4A32_D192_ED03);
+        state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        state |= 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut plan = FaultPlan::none();
+        for _ in 0..n_faults {
+            let iteration = next() % iterations.max(1);
+            let device = DeviceId((next() % devices.max(1) as u64) as usize);
+            let nth = (next() % 4) as u32;
+            let fails = 1 + (next() % 2) as u32;
+            plan = match next() % 3 {
+                0 => plan.with_kernel_fault(iteration, device, nth, fails),
+                1 => plan.with_transfer_fault(iteration, device, nth, fails),
+                _ => plan.with_link_fault(iteration, device, nth, fails),
             };
         }
         plan
@@ -250,15 +398,16 @@ pub enum FaultVerdict {
 
 struct InjectorState {
     iteration: u64,
-    /// Per-device `[kernel, transfer]` occurrence counters, reset each
-    /// iteration.
-    seen: Vec<[u32; 2]>,
+    /// Per-device `[kernel, transfer, link]` occurrence counters, reset
+    /// each iteration.
+    seen: Vec<[u32; 3]>,
     /// One flag per plan spec: a spec fires at most once.
     consumed: Vec<bool>,
     /// The site whose fault escaped retry in the current iteration, if any
     /// (the functional replay aborts exactly there).
     escape: Option<FaultSite>,
     loss_reported: bool,
+    link_reported: bool,
     stats: FaultStats,
 }
 
@@ -289,10 +438,11 @@ impl FaultInjector {
             policy,
             state: Mutex::new(InjectorState {
                 iteration: 0,
-                seen: vec![[0, 0]; devices],
+                seen: vec![[0, 0, 0]; devices],
                 consumed,
                 escape: None,
                 loss_reported: false,
+                link_reported: false,
                 stats: FaultStats::default(),
             }),
         })
@@ -312,11 +462,14 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Start logical iteration `iter`: reset occurrence counters, clear the
-    /// escape marker, and report a scheduled device loss (`Err(device)`)
-    /// once its iteration is reached. The loss is permanent — every later
-    /// call keeps failing until the caller rebuilds on surviving devices.
-    pub fn begin_iteration(&self, iter: u64) -> Result<(), DeviceId> {
+    /// Start logical iteration `iter`: reset occurrence counters, clear
+    /// the escape marker, and report a scheduled permanent fault once its
+    /// iteration is reached. Permanent faults keep being reported on every
+    /// later call until the caller rebuilds for the degraded hardware
+    /// (device loss: surviving devices; link loss/degrade: the mutated
+    /// topology). A device loss outranks a link event due at the same
+    /// iteration — the dead device subsumes its links.
+    pub fn begin_iteration(&self, iter: u64) -> Result<(), PermanentFault> {
         let mut st = self.lock();
         if let Some((at, dev)) = self.plan.loss {
             if iter >= at {
@@ -324,12 +477,24 @@ impl FaultInjector {
                     st.loss_reported = true;
                     st.stats.injected += 1;
                 }
-                return Err(dev);
+                return Err(PermanentFault::DeviceLoss(dev));
+            }
+        }
+        if let Some(ev) = self.plan.link_event {
+            if iter >= ev.iteration {
+                if !st.link_reported {
+                    st.link_reported = true;
+                    st.stats.injected += 1;
+                }
+                return Err(match ev.factor {
+                    None => PermanentFault::LinkLoss(ev.src, ev.dst),
+                    Some(f) => PermanentFault::LinkDegrade(ev.src, ev.dst, f),
+                });
             }
         }
         st.iteration = iter;
         for s in &mut st.seen {
-            *s = [0, 0];
+            *s = [0, 0, 0];
         }
         st.escape = None;
         Ok(())
@@ -347,10 +512,7 @@ impl FaultInjector {
         if st.escape.is_some() {
             return FaultVerdict::Clean;
         }
-        let slot = match kind {
-            FaultSiteKind::Kernel => 0,
-            FaultSiteKind::Transfer => 1,
-        };
+        let slot = kind.slot();
         let nth = st.seen[device.0][slot];
         st.seen[device.0][slot] += 1;
         let iteration = st.iteration;
@@ -474,9 +636,73 @@ mod tests {
         let plan = FaultPlan::none().with_device_loss(3, DeviceId(2));
         let inj = FaultInjector::new(plan, RetryPolicy::default(), 4);
         assert!(inj.begin_iteration(2).is_ok());
-        assert_eq!(inj.begin_iteration(3), Err(DeviceId(2)));
-        assert_eq!(inj.begin_iteration(4), Err(DeviceId(2)));
+        assert_eq!(
+            inj.begin_iteration(3),
+            Err(PermanentFault::DeviceLoss(DeviceId(2)))
+        );
+        assert_eq!(
+            inj.begin_iteration(4),
+            Err(PermanentFault::DeviceLoss(DeviceId(2)))
+        );
         assert_eq!(inj.stats().injected, 1);
+    }
+
+    #[test]
+    fn link_events_are_permanent_and_counted_once() {
+        let plan = FaultPlan::none().with_link_loss(2, DeviceId(0), DeviceId(1));
+        let inj = FaultInjector::new(plan, RetryPolicy::default(), 4);
+        assert!(inj.begin_iteration(1).is_ok());
+        assert_eq!(
+            inj.begin_iteration(2),
+            Err(PermanentFault::LinkLoss(DeviceId(0), DeviceId(1)))
+        );
+        assert_eq!(
+            inj.begin_iteration(5),
+            Err(PermanentFault::LinkLoss(DeviceId(0), DeviceId(1)))
+        );
+        assert_eq!(inj.stats().injected, 1);
+
+        let plan = FaultPlan::none().with_link_degrade(1, DeviceId(2), DeviceId(3), 0.5);
+        assert!(!plan.is_empty());
+        let inj = FaultInjector::new(plan, RetryPolicy::default(), 4);
+        assert_eq!(
+            inj.begin_iteration(1),
+            Err(PermanentFault::LinkDegrade(DeviceId(2), DeviceId(3), 0.5))
+        );
+    }
+
+    #[test]
+    fn device_loss_outranks_link_event() {
+        let plan = FaultPlan::none()
+            .with_device_loss(1, DeviceId(0))
+            .with_link_loss(1, DeviceId(1), DeviceId(2));
+        let inj = FaultInjector::new(plan, RetryPolicy::default(), 4);
+        assert_eq!(
+            inj.begin_iteration(1),
+            Err(PermanentFault::DeviceLoss(DeviceId(0)))
+        );
+    }
+
+    #[test]
+    fn link_transients_count_independently_of_transfers() {
+        let plan = FaultPlan::none().with_link_fault(0, DeviceId(1), 1, 1);
+        let inj = FaultInjector::new(plan, RetryPolicy::default(), 2);
+        inj.begin_iteration(0).unwrap();
+        // A halo transfer on the same device does not advance the link
+        // occurrence counter.
+        assert_eq!(
+            inj.observe(DeviceId(1), FaultSiteKind::Transfer),
+            FaultVerdict::Clean
+        );
+        assert_eq!(
+            inj.observe(DeviceId(1), FaultSiteKind::Link),
+            FaultVerdict::Clean
+        );
+        assert_eq!(
+            inj.observe(DeviceId(1), FaultSiteKind::Link),
+            FaultVerdict::Recovered { failed_attempts: 1 }
+        );
+        assert_eq!(inj.stats().recovered, 1);
     }
 
     #[test]
@@ -487,6 +713,15 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.transients().len(), 5);
+        assert_eq!(
+            FaultPlan::seeded_with_links(42, 10, 4, 12),
+            FaultPlan::seeded_with_links(42, 10, 4, 12)
+        );
+        // The link-domain generator does produce link sites.
+        assert!(FaultPlan::seeded_with_links(42, 10, 4, 12)
+            .transients()
+            .iter()
+            .any(|s| s.site.kind == FaultSiteKind::Link));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use device::{DeviceId, DeviceKind, DeviceModel};
 pub use error::{NeonSysError, Result};
 pub use fault::{
     FaultInjector, FaultPlan, FaultSite, FaultSiteKind, FaultSpec, FaultStats, FaultVerdict,
-    RetryPolicy,
+    LinkEvent, PermanentFault, RetryPolicy,
 };
 pub use hash::{stable_hash_of, StableHasher};
 pub use memory::{AllocationTicket, MemoryLedger};

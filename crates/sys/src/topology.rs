@@ -296,6 +296,53 @@ impl Topology {
         .with_host_link(self.host_link)
     }
 
+    /// The topology with the direct peer link between `src` and `dst`
+    /// severed (both directions — the physical wire is gone). Traffic
+    /// between the pair falls back to PCIe-class staging through the host
+    /// root complex, so an NVLink island that relied on the wire may split
+    /// into two. Link resources are rebuilt for the new link classes and
+    /// the host staging link is kept; the fingerprint changes, so cached
+    /// plans compiled for the healthy interconnect can never be rebound to
+    /// the degraded one.
+    pub fn without_link(&self, src: DeviceId, dst: DeviceId) -> Topology {
+        assert!(src.0 < self.n && dst.0 < self.n, "device out of topology");
+        assert!(src != dst, "cannot sever a device's local link");
+        Topology::from_fn(self.n, |s, d| {
+            if (s, d) == (src, dst) || (s, d) == (dst, src) {
+                LinkModel::pcie3()
+            } else {
+                self.links[s.0 * self.n + d.0]
+            }
+        })
+        .with_host_link(self.host_link)
+    }
+
+    /// The topology with the peer link between `src` and `dst` degraded to
+    /// `factor` of its bandwidth in both directions (0 < factor ≤ 1; a
+    /// flapping retimer or a lane failure). The link keeps its class —
+    /// islands do not change — but the fingerprint does, so stale plans
+    /// cannot serve the slower wire.
+    pub fn with_degraded_link(&self, src: DeviceId, dst: DeviceId, factor: f64) -> Topology {
+        assert!(src.0 < self.n && dst.0 < self.n, "device out of topology");
+        assert!(src != dst, "cannot degrade a device's local link");
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "degrade factor must be in (0, 1], got {factor}"
+        );
+        Topology::from_fn(self.n, |s, d| {
+            let l = self.links[s.0 * self.n + d.0];
+            if (s, d) == (src, dst) || (s, d) == (dst, src) {
+                LinkModel {
+                    bandwidth_gb_s: l.bandwidth_gb_s * factor,
+                    ..l
+                }
+            } else {
+                l
+            }
+        })
+        .with_host_link(self.host_link)
+    }
+
     /// The link used from `src` to `dst`.
     pub fn link(&self, src: DeviceId, dst: DeviceId) -> &LinkModel {
         assert!(src.0 < self.n && dst.0 < self.n, "device out of topology");
@@ -525,6 +572,83 @@ mod tests {
             sub2.islands(),
             vec![vec![DeviceId(0), DeviceId(1)], vec![DeviceId(2)]]
         );
+    }
+
+    #[test]
+    fn without_link_splits_an_island_and_mints_a_fresh_fingerprint() {
+        let t = Topology::nvlink_all_to_all(4, 1555.0);
+        let cut = t.without_link(DeviceId(1), DeviceId(2));
+        // Severed in both directions, downgraded to host-staged PCIe.
+        assert_eq!(cut.link(DeviceId(1), DeviceId(2)).kind, LinkKind::PciE3);
+        assert_eq!(cut.link(DeviceId(2), DeviceId(1)).kind, LinkKind::PciE3);
+        // Other links untouched.
+        assert_eq!(cut.link(DeviceId(0), DeviceId(3)).kind, LinkKind::NvLink);
+        // All-to-all stays connected through the other wires...
+        assert_eq!(cut.islands().len(), 1);
+        // ...but a 2+2 island bridge does split.
+        let bridge = Topology::nvlink_islands(&[4], 1555.0);
+        assert_eq!(bridge.islands().len(), 1);
+        let mut split = bridge.clone();
+        for a in [0usize, 1] {
+            for b in [2usize, 3] {
+                split = split.without_link(DeviceId(a), DeviceId(b));
+            }
+        }
+        assert_eq!(
+            split.islands(),
+            vec![
+                vec![DeviceId(0), DeviceId(1)],
+                vec![DeviceId(2), DeviceId(3)],
+            ]
+        );
+        assert_ne!(cut.fingerprint(), t.fingerprint());
+        assert_ne!(split.fingerprint(), bridge.fingerprint());
+        // Deterministic: the same severing yields the same fingerprint.
+        assert_eq!(
+            t.without_link(DeviceId(1), DeviceId(2)).fingerprint(),
+            t.without_link(DeviceId(2), DeviceId(1)).fingerprint()
+        );
+        // Host link survives the rebuild.
+        assert_eq!(cut.host_link(), t.host_link());
+    }
+
+    #[test]
+    fn with_degraded_link_keeps_islands_but_changes_fingerprint() {
+        let t = Topology::nvlink_all_to_all(4, 1555.0);
+        let slow = t.with_degraded_link(DeviceId(0), DeviceId(3), 0.25);
+        assert_eq!(slow.link(DeviceId(0), DeviceId(3)).kind, LinkKind::NvLink);
+        assert_eq!(
+            slow.link(DeviceId(0), DeviceId(3)).bandwidth_gb_s,
+            t.link(DeviceId(0), DeviceId(3)).bandwidth_gb_s * 0.25
+        );
+        assert_eq!(
+            slow.link(DeviceId(3), DeviceId(0)).bandwidth_gb_s,
+            t.link(DeviceId(3), DeviceId(0)).bandwidth_gb_s * 0.25
+        );
+        assert_eq!(slow.islands(), t.islands());
+        assert_ne!(slow.fingerprint(), t.fingerprint());
+        assert!(
+            slow.transfer_time(DeviceId(0), DeviceId(3), 1 << 20)
+                > t.transfer_time(DeviceId(0), DeviceId(3), 1 << 20)
+        );
+        // A full-bandwidth "degrade" is the identity on the link matrix.
+        assert_eq!(
+            t.with_degraded_link(DeviceId(0), DeviceId(3), 1.0)
+                .fingerprint(),
+            t.fingerprint()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "local link")]
+    fn without_link_rejects_self_loops() {
+        Topology::nvlink_all_to_all(2, 1555.0).without_link(DeviceId(1), DeviceId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor")]
+    fn degraded_link_rejects_bad_factor() {
+        Topology::nvlink_all_to_all(2, 1555.0).with_degraded_link(DeviceId(0), DeviceId(1), 0.0);
     }
 
     #[test]

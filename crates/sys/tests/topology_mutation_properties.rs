@@ -1,0 +1,191 @@
+//! Property tests of the topology fault domain: under arbitrary chains of
+//! `without_device` + `without_link` + `with_degraded_link`, the island
+//! decomposition stays canonical (a sorted partition with ascending
+//! leaders), each mutation only ever *refines* the islands it started
+//! from (degrades never change them), every real change mints a fresh
+//! fingerprint so stale cached plans can never be rebound, and replaying
+//! the same chain reproduces the same fingerprints and islands bit for
+//! bit.
+
+use neon_sys::{Backend, DeviceId, LinkModel, Topology};
+use proptest::prelude::*;
+
+/// One link- or device-level fault applied to the current backend. The
+/// raw indices are reduced modulo the *current* device count at apply
+/// time, so a chain stays meaningful as `Drop` shrinks the system.
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Sever the peer wire between two devices (`without_link`).
+    Sever(usize, usize),
+    /// Degrade the peer wire's bandwidth by a factor in (0, 1)
+    /// (`with_degraded_link`).
+    Degrade(usize, usize, f64),
+    /// Evict a device outright (`without_device`).
+    Drop(usize),
+}
+
+fn base_backend(idx: usize) -> Backend {
+    match idx {
+        0 => Backend::dgx_a100(2),
+        1 => Backend::dgx_a100(4),
+        2 => Backend::dgx_a100(8),
+        3 => Backend::gv100_pcie(4),
+        4 => Backend::dgx_islands(&[2, 2]),
+        _ => Backend::dgx_islands(&[4, 2]),
+    }
+}
+
+/// Apply one mutation, returning the degraded backend plus whether the
+/// topology fingerprint *must* change (severing an already-PCIe wire is
+/// the one legitimate no-op). `None` means the mutation is inapplicable
+/// in the current state (self-link, or dropping below two devices) and
+/// the chain skips it.
+fn apply(b: &Backend, m: Mutation) -> Option<(Backend, bool)> {
+    let n = b.num_devices();
+    match m {
+        Mutation::Sever(a, c) => {
+            let (a, c) = (DeviceId(a % n), DeviceId(c % n));
+            if a == c {
+                return None;
+            }
+            let already_pcie = *b.topology().link(a, c) == LinkModel::pcie3();
+            Some((b.without_link(a, c).unwrap(), !already_pcie))
+        }
+        Mutation::Degrade(a, c, f) => {
+            let (a, c) = (DeviceId(a % n), DeviceId(c % n));
+            if a == c {
+                return None;
+            }
+            // factor < 1 strictly shrinks the bandwidth, so the
+            // fingerprint must always move.
+            Some((b.with_degraded_link(a, c, f).unwrap(), true))
+        }
+        Mutation::Drop(d) => {
+            if n <= 2 {
+                return None;
+            }
+            Some((b.without_device(DeviceId(d % n)).unwrap(), true))
+        }
+    }
+}
+
+/// Islands must always be a canonical partition: non-empty, members
+/// sorted ascending, islands ordered by leader, every device in exactly
+/// one island.
+fn assert_islands_canonical(topo: &Topology) {
+    let islands = topo.islands();
+    let mut seen = vec![false; topo.num_devices()];
+    let mut last_leader: Option<usize> = None;
+    for isl in &islands {
+        assert!(!isl.is_empty(), "empty island");
+        for w in isl.windows(2) {
+            assert!(w[0].0 < w[1].0, "island members not sorted: {isl:?}");
+        }
+        if let Some(l) = last_leader {
+            assert!(isl[0].0 > l, "islands not ordered by leader");
+        }
+        last_leader = Some(isl[0].0);
+        for d in isl {
+            assert!(!seen[d.0], "device {d:?} in two islands");
+            seen[d.0] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "device missing from all islands");
+}
+
+/// Every new island must sit inside exactly one old island (`old_of`
+/// maps a new-numbering device to its pre-mutation island id): losing a
+/// wire or a device can split an island, never merge two.
+fn assert_refines(new_islands: &[Vec<DeviceId>], old_of: &[usize]) {
+    for isl in new_islands {
+        let owner = old_of[isl[0].0];
+        for d in isl {
+            assert_eq!(
+                old_of[d.0], owner,
+                "island {isl:?} spans two pre-mutation islands"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary fault chains keep `islands()` canonical, only refine the
+    /// decomposition, mint a fresh fingerprint on every real change, and
+    /// replay deterministically.
+    #[test]
+    fn mutation_chains_refine_islands_and_mint_fresh_fingerprints(
+        base in 0usize..6,
+        chain in prop::collection::vec(
+            prop_oneof![
+                (any::<usize>(), any::<usize>())
+                    .prop_map(|(a, c)| Mutation::Sever(a, c)),
+                (any::<usize>(), any::<usize>(), 1u32..=15)
+                    .prop_map(|(a, c, f)| Mutation::Degrade(a, c, 0.2 + f as f64 / 20.0)),
+                any::<usize>().prop_map(Mutation::Drop),
+            ],
+            1..8,
+        ),
+    ) {
+        let mut b = base_backend(base);
+        assert_islands_canonical(b.topology());
+        let mut applied = Vec::new();
+        for m in chain {
+            let n = b.num_devices();
+            let old_islands = b.topology().islands();
+            let old_topo_fp = b.topology().fingerprint();
+            let old_fp = b.fingerprint();
+            let Some((next, must_change)) = apply(&b, m) else { continue };
+            applied.push(m);
+            assert_islands_canonical(next.topology());
+
+            // Old-island ownership in the *new* numbering (identity for
+            // link mutations; devices past the dropped one shift down).
+            let old_of: Vec<usize> = {
+                let dead = match m {
+                    Mutation::Drop(d) => Some(d % n),
+                    _ => None,
+                };
+                let mut of = vec![usize::MAX; n];
+                for (i, isl) in old_islands.iter().enumerate() {
+                    for d in isl {
+                        of[d.0] = i;
+                    }
+                }
+                (0..n)
+                    .filter(|&i| Some(i) != dead)
+                    .map(|i| of[i])
+                    .collect()
+            };
+            let new_islands = next.topology().islands();
+            assert_refines(&new_islands, &old_of);
+            if let Mutation::Degrade(..) = m {
+                // A degrade keeps the link class, so islands are frozen.
+                prop_assert_eq!(&new_islands, &old_islands);
+            }
+
+            if must_change {
+                prop_assert_ne!(next.topology().fingerprint(), old_topo_fp);
+                prop_assert_ne!(next.fingerprint(), old_fp);
+            } else {
+                // Severing an already-PCIe wire changes nothing, so the
+                // fingerprint must not churn (plan caches stay warm).
+                prop_assert_eq!(next.topology().fingerprint(), old_topo_fp);
+                prop_assert_eq!(next.fingerprint(), old_fp);
+            }
+            b = next;
+        }
+
+        // Replaying the surviving chain from scratch lands on the exact
+        // same backend: fingerprints and islands are pure functions of
+        // the fault history.
+        let mut replay = base_backend(base);
+        for &m in &applied {
+            replay = apply(&replay, m).expect("replay accepts the same chain").0;
+        }
+        prop_assert_eq!(replay.fingerprint(), b.fingerprint());
+        prop_assert_eq!(replay.topology().fingerprint(), b.topology().fingerprint());
+        prop_assert_eq!(replay.topology().islands(), b.topology().islands());
+    }
+}

@@ -35,6 +35,9 @@ cargo run --release -p neon-bench --bin repro_serve -- --smoke
 echo "==> hierarchical smoke (bit-identical, >=20% win on [2,2]x16MiB, fewer slow-link bytes, chunk-events never loses)"
 cargo run --release -p neon-bench --bin repro_hierarchical -- --smoke
 
+echo "==> degraded-link smoke (transient overhead <= 10%, link repairs bit-transparent, split reroutes flat, straggler rebalance wins)"
+cargo run --release -p neon-bench --bin repro_degraded -- --smoke
+
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
